@@ -1,0 +1,40 @@
+//! E10 — the introduction / §2 closed-form identities, evaluated at large
+//! domain sizes (the closed forms are the cheapest path and set the baseline
+//! the lifted algorithms are compared against).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfomc::core::closed_form;
+use wfomc::prelude::*;
+use wfomc_bench::standard_weights;
+
+fn bench_closed_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_forms");
+    let weights = standard_weights();
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("forall-exists-edge", n), &n, |b, &n| {
+            b.iter(|| closed_form::fomc_forall_exists_edge(n))
+        });
+        group.bench_with_input(BenchmarkId::new("table1-fomc", n), &n, |b, &n| {
+            b.iter(|| closed_form::fomc_table1(n))
+        });
+        group.bench_with_input(BenchmarkId::new("table1-wfomc", n), &n, |b, &n| {
+            b.iter(|| closed_form::wfomc_table1(n, &weights))
+        });
+        group.bench_with_input(BenchmarkId::new("exists-unary", n), &n, |b, &n| {
+            b.iter(|| closed_form::wfomc_exists_unary(n, &weight_int(3), &weight_int(2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_closed_forms
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E2 — Figure 1: the conjunctive-query tractability landscape.
+//!
+//! γ-acyclic queries (chains, stars, the Table 1 dual) are counted by the
+//! lifted Theorem 3.6 algorithm and scale polynomially in n; the typed cycle
+//! C₃ (conjectured hard) only has the grounded baseline. The chain query is
+//! also measured against the explicit Example 3.10 recurrence.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfomc::core::cq::gamma_acyclic_wfomc;
+use wfomc::ground::GroundSolver;
+use wfomc::prelude::*;
+use wfomc_bench::standard_weights;
+
+fn bench_figure1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1");
+    let weights = standard_weights();
+
+    // Lifted γ-acyclic counting: chains and the Table 1 dual, growing n.
+    for n in [4usize, 8, 16] {
+        let chain = catalog::chain_query(3);
+        group.bench_with_input(BenchmarkId::new("chain3/lifted", n), &n, |b, &n| {
+            b.iter(|| gamma_acyclic_wfomc(&chain, n, &Weights::ones()).unwrap())
+        });
+        let chain_probs: Vec<Weight> = vec![weight_ratio(1, 3); 3];
+        group.bench_with_input(BenchmarkId::new("chain3/recurrence", n), &n, |b, &n| {
+            b.iter(|| chain_probability(&vec![n; 4], &chain_probs))
+        });
+        let dual = catalog::table1_dual_cq();
+        group.bench_with_input(BenchmarkId::new("table1-dual/lifted", n), &n, |b, &n| {
+            b.iter(|| gamma_acyclic_wfomc(&dual, n, &weights).unwrap())
+        });
+    }
+
+    // Grounded baselines, exponential: only tiny n.
+    for n in [2usize, 3] {
+        let chain = catalog::chain_query(3).to_formula();
+        group.bench_with_input(BenchmarkId::new("chain3/grounded", n), &n, |b, &n| {
+            b.iter(|| GroundSolver::new().fomc(&chain, n))
+        });
+        let cycle = catalog::typed_cycle_cq(3).to_formula();
+        group.bench_with_input(BenchmarkId::new("cycle3/grounded", n), &n, |b, &n| {
+            b.iter(|| GroundSolver::new().fomc(&cycle, n))
+        });
+    }
+
+    // Acyclicity classification itself (cheap, but part of the dispatch path).
+    group.bench_function("classify-landscape", |b| {
+        b.iter(|| {
+            wfomc_bench::figure1_workload()
+                .iter()
+                .map(|(_, q)| query_hypergraph(q).classify())
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_figure1
+}
+criterion_main!(benches);

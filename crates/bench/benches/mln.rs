@@ -1,0 +1,42 @@
+//! E8 — Examples 1.1/1.2: MLN inference via the reduction to symmetric WFOMC.
+//! The lifted path (reduction + FO²) scales polynomially with the domain; the
+//! direct ground semantics is the exponential reference.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfomc::mln::ground_semantics::partition_function_brute;
+use wfomc::prelude::*;
+use wfomc_bench::smokers_mln;
+
+fn bench_mln(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mln");
+    let mln = smokers_mln();
+    let engine = MlnEngine::new(&mln).unwrap();
+    let query = exists(["x"], atom("Smokes", &["x"]));
+
+    for n in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::new("partition/lifted", n), &n, |b, &n| {
+            b.iter(|| engine.partition_function(n).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("marginal/lifted", n), &n, |b, &n| {
+            b.iter(|| engine.probability(&query, n).unwrap())
+        });
+    }
+    for n in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("partition/ground-semantics", n), &n, |b, &n| {
+            b.iter(|| partition_function_brute(&mln, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_mln
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E5 — Theorem 3.7: the QS4 dynamic program versus the grounded baseline.
+//! The DP is polynomial (O(n²) table with O(n) work per entry); grounding is
+//! doubly exponential and stops at n = 3.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfomc::core::qs4::wfomc_qs4;
+use wfomc::ground::GroundSolver;
+use wfomc::prelude::*;
+
+fn bench_qs4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qs4");
+    let sentence = catalog::qs4();
+    let weights = Weights::from_ints([("S", 2, 1)]);
+
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("dynamic-program", n), &n, |b, &n| {
+            b.iter(|| wfomc_qs4(n, &weights))
+        });
+    }
+    for n in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("grounded", n), &n, |b, &n| {
+            b.iter(|| GroundSolver::new().wfomc(&sentence, &sentence.vocabulary(), n, &weights))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_qs4
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E4 — Table 2: the open problems. No lifted algorithm applies (the solver
+//! reports the grounded fallback), so the only available method is exponential
+//! in n — these benches document that cost at n = 2 and n = 3.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfomc::prelude::*;
+use wfomc_bench::table2_workload;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    let solver = Solver::new();
+    for (name, sentence) in table2_workload() {
+        // Confirm (cheaply) that the dispatcher grounds these.
+        let report = solver.fomc(&sentence, 1).unwrap();
+        assert_eq!(report.method, Method::Ground, "{name} unexpectedly lifted");
+        for n in [2usize, 3] {
+            // Skip blow-ups that take more than a couple of seconds per
+            // iteration: 4-ary tuple spaces at n = 3.
+            if sentence.vocabulary().num_ground_tuples(n) > 27 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(name.replace(' ', "-"), n),
+                &n,
+                |b, &n| b.iter(|| solver.fomc(&sentence, n).unwrap().value),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_table2
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E9 — Theorem 3.1 / Appendix B: the Θ₁ encoding. Measures the cost of
+//! simulating the counting TM (the quantity the data-complexity result is
+//! about), the cost of building the FO³ sentence, and — for the smallest
+//! configuration — the cost of actually grounding it.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfomc::prelude::*;
+use wfomc::reductions::theta1::theta1;
+
+fn bench_theta1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theta1");
+
+    // Simulating the nondeterministic machine: exponential in c·n.
+    let coin = coin_flip_machine(1);
+    for n in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::new("simulate/coin-flip", n), &n, |b, &n| {
+            b.iter(|| coin.count_accepting(n))
+        });
+    }
+
+    // Building Θ₁ for machines with more epochs (sentence grows with c²).
+    for epochs in [1usize, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("encode/scanner", epochs),
+            &epochs,
+            |b, &epochs| {
+                let tm = scanner_machine(epochs);
+                b.iter(|| theta1(&tm).sentence.size())
+            },
+        );
+    }
+
+    // Grounding the smallest encoding at n = 1 (the sanity check of the
+    // headline equation FOMC(Θ₁, n) = n!·#accepting).
+    let enc = theta1(&scanner_machine(1));
+    group.bench_function("ground-count/scanner-n1", |b| {
+        b.iter(|| wfomc::ground::fomc(&enc.sentence, 1))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_theta1
+}
+criterion_main!(benches);

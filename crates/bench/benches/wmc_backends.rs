@@ -1,0 +1,75 @@
+//! Ablation — the propositional WMC backends underlying the grounded
+//! pipeline: brute-force enumeration vs weighted DPLL with component caching,
+//! on the lineage of a catalog sentence and on random 3-CNFs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wfomc::ground::Lineage;
+use wfomc::prelude::*;
+use wfomc::prop::counter::{wmc, WmcBackend};
+use wfomc::prop::{Cnf, VarWeights};
+use wfomc::prop::cnf::Lit;
+
+fn random_cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| Lit {
+                    var: rng.gen_range(0..num_vars),
+                    positive: rng.gen_bool(0.5),
+                })
+                .collect()
+        })
+        .collect();
+    Cnf::new(num_vars, clauses)
+}
+
+fn bench_wmc_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wmc_backends");
+
+    // Random 3-CNF instances.
+    for &num_vars in &[12usize, 18] {
+        let cnf = random_cnf(num_vars, num_vars * 3, 7);
+        let weights = VarWeights::ones(cnf.num_vars);
+        group.bench_with_input(BenchmarkId::new("dpll/random-3cnf", num_vars), &(), |b, _| {
+            b.iter(|| wmc(&cnf, &weights, WmcBackend::Dpll))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("enumerate/random-3cnf", num_vars),
+            &(),
+            |b, _| b.iter(|| wmc(&cnf, &weights, WmcBackend::Enumerate)),
+        );
+    }
+
+    // The lineage of the Table 1 sentence at n = 3 (15 ground atoms).
+    let sentence = catalog::table1_sentence();
+    let voc = sentence.vocabulary();
+    let lineage = Lineage::build(&sentence, &voc, 3);
+    let weights = lineage.symmetric_weights(&Weights::ones());
+    for backend in [WmcBackend::Dpll, WmcBackend::Enumerate] {
+        group.bench_with_input(
+            BenchmarkId::new("table1-lineage-n3", format!("{backend:?}")),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    wfomc::prop::counter::wmc_formula_via(&lineage.prop, &weights, backend)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_wmc_backends
+}
+criterion_main!(benches);

@@ -1,0 +1,236 @@
+//! The reproduction harness: prints the rows/series behind every table and
+//! figure of the paper. Run a single experiment with e.g.
+//! `cargo run --release -p wfomc-bench --bin repro -- table1`, or everything
+//! with `-- all`. `EXPERIMENTS.md` records the expected output.
+
+use std::env;
+
+use wfomc::core::closed_form;
+use wfomc::core::fo2::wfomc_fo2;
+use wfomc::core::qs4::wfomc_qs4;
+use wfomc::ground::GroundSolver;
+use wfomc::mln::ground_semantics::partition_function_brute;
+use wfomc::prelude::*;
+use wfomc::reductions::theta1::theta1;
+use wfomc_bench::{approx, short, smokers_mln, standard_weights};
+
+fn main() {
+    let which = env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    if all || which == "table1" {
+        table1();
+    }
+    if all || which == "figure1" {
+        figure1();
+    }
+    if all || which == "figure2" {
+        figure2();
+    }
+    if all || which == "table2" {
+        table2();
+    }
+    if all || which == "qs4" {
+        qs4();
+    }
+    if all || which == "fo2" {
+        fo2();
+    }
+    if all || which == "mln" {
+        mln();
+    }
+    if all || which == "theta1" {
+        theta1_experiment();
+    }
+    if all || which == "closed-forms" {
+        closed_forms();
+    }
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// E1 — Table 1.
+fn table1() {
+    header("E1  Table 1: Φ = ∀x∀y (R(x) ∨ S(x,y) ∨ T(y))");
+    let sentence = catalog::table1_sentence();
+    let voc = sentence.vocabulary();
+    let weights = standard_weights();
+    println!(
+        "{:>3} {:>26} {:>26} {:>26}",
+        "n", "FOMC closed form", "FOMC lifted (FO²)", "WFOMC closed form"
+    );
+    for n in 0..=6 {
+        let closed = closed_form::fomc_table1(n);
+        let lifted = wfomc_fo2(&sentence, &voc, n, &Weights::ones()).unwrap();
+        let weighted = closed_form::wfomc_table1(n, &weights);
+        assert_eq!(closed, lifted);
+        println!("{n:>3} {:>26} {:>26} {:>26}", short(&closed), short(&lifted), short(&weighted));
+    }
+    let grounded = GroundSolver::new().fomc(&sentence, 3);
+    println!("grounded cross-check at n=3: {grounded} (matches: {})", grounded == closed_form::fomc_table1(3));
+}
+
+/// E2 — Figure 1.
+fn figure1() {
+    header("E2  Figure 1: conjunctive-query landscape");
+    println!(
+        "{:<14} {:>10} {:>18} {:>22}",
+        "query", "acyclicity", "solver method", "FOMC at n=3"
+    );
+    let solver = Solver::new();
+    for (name, q) in wfomc_bench::figure1_workload() {
+        let class = query_hypergraph(&q).classify();
+        let f = q.to_formula();
+        let n = if f.vocabulary().num_ground_tuples(3) > 40 { 2 } else { 3 };
+        let report = solver.fomc(&f, n).unwrap();
+        println!(
+            "{:<14} {:>10} {:>18} {:>22}",
+            name,
+            format!("{class:?}"),
+            report.method.to_string(),
+            format!("{} (n={n})", short(&report.value))
+        );
+    }
+    println!("\nlifted chain-of-3 FOMC series (γ-acyclic, PTIME):");
+    let chain = catalog::chain_query(3);
+    for n in [2usize, 4, 8, 16] {
+        let v = gamma_acyclic_wfomc(&chain, n, &Weights::ones()).unwrap();
+        println!("  n = {n:>3}: {}", short(&v));
+    }
+}
+
+/// E3 — Figure 2.
+fn figure2() {
+    header("E3  Figure 2: #SAT → FO² FOMC (combined complexity)");
+    let (f, vars) = wfomc_bench::figure2_boolean_formula();
+    let models = wfomc::prop::counter::wmc_formula(&f, &wfomc::prop::VarWeights::ones(vars));
+    let red = sharp_sat_to_fomc(&f, vars);
+    let count = GroundSolver::new().fomc(&red.sentence, red.domain_size);
+    let factorial: i64 = (1..=(red.domain_size as i64)).product();
+    println!("F = {f},  #F = {models}");
+    println!("FOMC(ϕ_F, {}) = {}  =  (n+1)!·#F = {}·{}", red.domain_size, count, factorial, models);
+    println!("\nsize of ϕ_F as |F| grows (the sentence is part of the input):");
+    for vars in [2usize, 4, 8, 16] {
+        let r = sharp_sat_to_fomc(&PropFormula::var(0), vars);
+        println!("  {vars:>3} Boolean variables → {:>7} AST nodes", r.sentence.size());
+    }
+}
+
+/// E4 — Table 2.
+fn table2() {
+    header("E4  Table 2: open problems (grounded fallback only)");
+    let solver = Solver::new();
+    println!("{:<34} {:>14} {:>20} {:>20}", "sentence", "method", "FOMC n=2", "FOMC n=3");
+    for (name, f) in catalog::table2_open_problems() {
+        let r2 = solver.fomc(&f, 2).unwrap();
+        let n3 = if f.vocabulary().num_ground_tuples(3) <= 27 {
+            short(&solver.fomc(&f, 3).unwrap().value)
+        } else {
+            "(skipped)".to_string()
+        };
+        println!(
+            "{:<34} {:>14} {:>20} {:>20}",
+            name,
+            r2.method.to_string(),
+            short(&r2.value),
+            n3
+        );
+    }
+}
+
+/// E5 — Theorem 3.7.
+fn qs4() {
+    header("E5  Theorem 3.7: the QS4 dynamic program");
+    println!("{:>4} {:>30} {:>30}", "n", "FOMC (DP)", "grounded check");
+    for n in [0usize, 1, 2, 3, 6, 12, 24] {
+        let dp = wfomc_qs4(n, &Weights::ones());
+        let check = if n <= 3 {
+            let g = GroundSolver::new().fomc(&catalog::qs4(), n);
+            format!("{} ({})", short(&g), if g == dp { "ok" } else { "MISMATCH" })
+        } else {
+            "(too large to ground)".to_string()
+        };
+        println!("{n:>4} {:>30} {:>30}", short(&dp), check);
+    }
+}
+
+/// E6 — Appendix C.
+fn fo2() {
+    header("E6  Appendix C: FO² data complexity is polynomial");
+    let weights = standard_weights();
+    for (name, sentence) in [
+        ("∀x∃y R(x,y)", catalog::forall_exists_edge()),
+        ("spouse constraint", catalog::spouse_constraint()),
+        ("smokers constraint", catalog::smokers_constraint()),
+    ] {
+        let voc = sentence.vocabulary();
+        print!("{name:<22}");
+        for n in [2usize, 4, 8, 16] {
+            let v = wfomc_fo2(&sentence, &voc, n, &weights).unwrap();
+            print!("  n={n}: {:<18}", short(&v));
+        }
+        println!();
+    }
+}
+
+/// E8 — Examples 1.1/1.2.
+fn mln() {
+    header("E8  MLN inference via the Example 1.2 reduction");
+    let mln = smokers_mln();
+    let engine = MlnEngine::new(&mln).unwrap();
+    let q = exists(["x"], atom("Smokes", &["x"]));
+    println!("{:>3} {:>26} {:>22} {:>14}", "n", "Z(n) lifted", "ground-semantics check", "Pr[∃ smoker]");
+    for n in 1..=6 {
+        let z = engine.partition_function(n).unwrap();
+        let check = if n <= 2 {
+            let b = partition_function_brute(&mln, n);
+            if b == z { "ok".to_string() } else { "MISMATCH".to_string() }
+        } else {
+            "-".to_string()
+        };
+        let p = engine.probability(&q, n).unwrap();
+        println!("{n:>3} {:>26} {:>22} {:>14.6}", short(&z), check, approx(&p));
+    }
+}
+
+/// E9 — Theorem 3.1 / Appendix B.
+fn theta1_experiment() {
+    header("E9  Appendix B: the Θ₁ encoding");
+    for (name, tm) in [
+        ("scanner (deterministic)", scanner_machine(1)),
+        ("coin-flip (nondeterministic)", coin_flip_machine(1)),
+    ] {
+        let enc = theta1(&tm);
+        println!(
+            "{name:<30} FO{}  |Θ₁| = {:>6} AST nodes, {:>3} predicates",
+            enc.sentence.distinct_variable_count(),
+            enc.sentence.size(),
+            enc.vocabulary.len()
+        );
+        print!("  #accepting(n): ");
+        for n in 1..=6 {
+            print!("n={n}:{}  ", tm.count_accepting(n));
+        }
+        println!();
+    }
+    let enc = theta1(&scanner_machine(1));
+    let counted = wfomc::ground::fomc(&enc.sentence, 1);
+    println!("ground check at n=1 (scanner): FOMC(Θ₁,1) = {counted} = 1!·1");
+}
+
+/// E10 — closed forms.
+fn closed_forms() {
+    header("E10  Introduction / §2 closed forms");
+    println!("{:>4} {:>24} {:>24} {:>24}", "n", "(2ⁿ−1)ⁿ", "(w+w̄)ⁿ−w̄ⁿ  (w=3,w̄=2)", "dual CQ count");
+    for n in [1usize, 2, 3, 4, 6, 8] {
+        println!(
+            "{n:>4} {:>24} {:>24} {:>24}",
+            short(&closed_form::fomc_forall_exists_edge(n)),
+            short(&closed_form::wfomc_exists_unary(n, &weight_int(3), &weight_int(2))),
+            short(&closed_form::fomc_table1_dual_cq(n))
+        );
+    }
+}

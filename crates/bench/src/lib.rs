@@ -1,0 +1,106 @@
+//! Shared workload definitions for the benchmarks and the `repro` harness.
+//!
+//! Every experiment id (E1–E10, see `DESIGN.md` and `EXPERIMENTS.md`) has a
+//! corresponding workload constructor here so the Criterion benches and the
+//! textual reproduction harness measure exactly the same inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use wfomc::prelude::*;
+
+/// Weights used throughout the weighted benchmarks (non-trivial but small, so
+/// the exact arithmetic does not dominate the measurements).
+pub fn standard_weights() -> Weights {
+    Weights::from_ints([
+        ("R", 2, 1),
+        ("S", 1, 3),
+        ("T", 2, 2),
+        ("Spouse", 1, 1),
+        ("Female", 2, 1),
+        ("Male", 1, 2),
+        ("Smokes", 3, 1),
+        ("Friends", 1, 2),
+    ])
+}
+
+/// E1 (Table 1): the running-example sentence.
+pub fn table1_workload() -> Formula {
+    catalog::table1_sentence()
+}
+
+/// E2 (Figure 1): the conjunctive-query landscape, labeled.
+pub fn figure1_workload() -> Vec<(&'static str, ConjunctiveQuery)> {
+    vec![
+        ("chain3", catalog::chain_query(3)),
+        ("star3", catalog::star_query(3)),
+        ("table1-dual", catalog::table1_dual_cq()),
+        ("c-gamma", catalog::c_gamma()),
+        ("c-jtdb", catalog::c_jtdb()),
+        ("cycle3", catalog::typed_cycle_cq(3)),
+    ]
+}
+
+/// E3 (Figure 2): a small #SAT instance and its FO² encoding.
+pub fn figure2_boolean_formula() -> (PropFormula, usize) {
+    (
+        PropFormula::and_all([
+            PropFormula::or(PropFormula::var(0), PropFormula::var(1)),
+            PropFormula::or(PropFormula::not(PropFormula::var(0)), PropFormula::var(1)),
+        ]),
+        2,
+    )
+}
+
+/// E4 (Table 2): the open problems.
+pub fn table2_workload() -> Vec<(&'static str, Formula)> {
+    catalog::table2_open_problems()
+}
+
+/// E8: the smokers-and-friends MLN.
+pub fn smokers_mln() -> MarkovLogicNetwork {
+    let mut mln = MarkovLogicNetwork::new();
+    mln.add_soft(
+        weight_int(2),
+        implies(
+            and(vec![atom("Smokes", &["x"]), atom("Friends", &["x", "y"])]),
+            atom("Smokes", &["y"]),
+        ),
+    );
+    mln.add_soft(weight_int(3), atom("Smokes", &["x"]));
+    mln
+}
+
+/// Convert an exact rational into an f64 for display purposes only.
+pub fn approx(w: &Weight) -> f64 {
+    let numer: f64 = w.numer().to_string().parse().unwrap_or(f64::NAN);
+    let denom: f64 = w.denom().to_string().parse().unwrap_or(f64::NAN);
+    numer / denom
+}
+
+/// Truncate huge exact integers for table printing.
+pub fn short(w: &Weight) -> String {
+    let s = w.to_string();
+    if s.len() <= 24 {
+        s
+    } else {
+        format!("{}…({} digits)", &s[..10], s.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_well_formed() {
+        assert!(table1_workload().is_sentence());
+        assert_eq!(figure1_workload().len(), 6);
+        assert_eq!(table2_workload().len(), 6);
+        let (f, n) = figure2_boolean_formula();
+        assert!(f.num_vars() <= n);
+        assert_eq!(smokers_mln().len(), 2);
+        assert_eq!(approx(&weight_ratio(1, 2)), 0.5);
+        assert!(short(&weight_int(7)).contains('7'));
+    }
+}

@@ -1,0 +1,177 @@
+//! Closed-form counting identities from the paper.
+//!
+//! * Introduction / §2: `FOMC(∀x∃y R(x,y), n) = (2ⁿ − 1)ⁿ`,
+//!   `WFOMC(∃y S(y), n) = (w + w̄)ⁿ − w̄ⁿ`, and the footnote-5 formula for
+//!   `∃x∃y (R(x) ∧ S(x,y) ∧ T(y))`;
+//! * Table 1: the symmetric FOMC and WFOMC of
+//!   `Φ = ∀x∀y (R(x) ∨ S(x,y) ∨ T(y))`.
+//!
+//! These are used as independent ground truth for the FO² algorithm and the
+//! grounded baselines, and they power the `repro table1` harness.
+
+use num_traits::One;
+
+use wfomc_logic::weights::{weight_int, weight_pow, Weight, Weights};
+
+use crate::combinatorics::binomial_weight;
+
+/// `FOMC(∀x∃y R(x,y), n) = (2ⁿ − 1)ⁿ`.
+pub fn fomc_forall_exists_edge(n: usize) -> Weight {
+    let models_per_row = weight_pow(&weight_int(2), n) - Weight::one();
+    weight_pow(&models_per_row, n)
+}
+
+/// `WFOMC(∀x∃y R(x,y), n, w, w̄) = ((w + w̄)ⁿ − w̄ⁿ)ⁿ` (§2).
+pub fn wfomc_forall_exists_edge(n: usize, w: &Weight, w_bar: &Weight) -> Weight {
+    let per_row = weight_pow(&(w + w_bar), n) - weight_pow(w_bar, n);
+    weight_pow(&per_row, n)
+}
+
+/// `WFOMC(∃y S(y), n, w, w̄) = (w + w̄)ⁿ − w̄ⁿ` (§2).
+pub fn wfomc_exists_unary(n: usize, w: &Weight, w_bar: &Weight) -> Weight {
+    weight_pow(&(w + w_bar), n) - weight_pow(w_bar, n)
+}
+
+/// Table 1, symmetric FOMC row:
+/// `FOMC(Φ, n) = Σ_{k,m=0}^{n} C(n,k) C(n,m) 2^{n²−km}`
+/// for `Φ = ∀x∀y (R(x) ∨ S(x,y) ∨ T(y))`.
+pub fn fomc_table1(n: usize) -> Weight {
+    let mut total = Weight::from_integer(0.into());
+    for k in 0..=n {
+        for m in 0..=n {
+            total += binomial_weight(n, k)
+                * binomial_weight(n, m)
+                * weight_pow(&weight_int(2), n * n - k * m);
+        }
+    }
+    total
+}
+
+/// Table 1, symmetric WFOMC row:
+/// `WFOMC(Φ, n, w, w̄) = Σ_{k,m} C(n,k) C(n,m) W_{k,m}` with
+/// `W_{k,m} = w_R^{n−k} w̄_R^k · w_S^{km} (w_S + w̄_S)^{n²−km} · w_T^{n−m} w̄_T^m`,
+/// where `k` counts the elements with `R` false and `m` those with `T` false.
+pub fn wfomc_table1(n: usize, weights: &Weights) -> Weight {
+    let r = weights.pair("R");
+    let s = weights.pair("S");
+    let t = weights.pair("T");
+    let s_total = s.total();
+    let mut total = Weight::from_integer(0.into());
+    for k in 0..=n {
+        for m in 0..=n {
+            let w_km = weight_pow(&r.pos, n - k)
+                * weight_pow(&r.neg, k)
+                * weight_pow(&s.pos, k * m)
+                * weight_pow(&s_total, n * n - k * m)
+                * weight_pow(&t.pos, n - m)
+                * weight_pow(&t.neg, m);
+            total += binomial_weight(n, k) * binomial_weight(n, m) * w_km;
+        }
+    }
+    total
+}
+
+/// Footnote 5 / introduction: the number of models of the dual conjunctive
+/// query `∃x∃y (R(x) ∧ S(x,y) ∧ T(y))` is
+/// `2^{2n+n²} − Σ_{k,m} C(n,k) C(n,m) 2^{n²−km}`.
+pub fn fomc_table1_dual_cq(n: usize) -> Weight {
+    weight_pow(&weight_int(2), 2 * n + n * n) - fomc_table1_complement(n)
+}
+
+/// The number of structures that do **not** satisfy the dual CQ, i.e. where
+/// `S` avoids `R × T`: `Σ_{k,m} C(n,k) C(n,m) 2^{n²−km}` with `k = |R|`,
+/// `m = |T|` (footnote 5).
+pub fn fomc_table1_complement(n: usize) -> Weight {
+    let mut total = Weight::from_integer(0.into());
+    for k in 0..=n {
+        for m in 0..=n {
+            total += binomial_weight(n, k)
+                * binomial_weight(n, m)
+                * weight_pow(&weight_int(2), n * n - k * m);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfomc_ground::{brute_force_fomc, brute_force_wfomc, wfomc as ground_wfomc};
+    use wfomc_logic::catalog;
+
+    #[test]
+    fn forall_exists_edge_matches_brute_force() {
+        let f = catalog::forall_exists_edge();
+        for n in 0..=3 {
+            assert_eq!(fomc_forall_exists_edge(n), brute_force_fomc(&f, n), "n={n}");
+        }
+        // Weighted version against the grounded pipeline.
+        let voc = f.vocabulary();
+        let weights = Weights::from_ints([("R", 3, 2)]);
+        for n in 0..=3 {
+            assert_eq!(
+                wfomc_forall_exists_edge(n, &weight_int(3), &weight_int(2)),
+                ground_wfomc(&f, &voc, n, &weights),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn exists_unary_matches_brute_force() {
+        let f = catalog::exists_unary();
+        let voc = f.vocabulary();
+        let weights = Weights::from_ints([("S", 5, 2)]);
+        for n in 0..=4 {
+            assert_eq!(
+                wfomc_exists_unary(n, &weight_int(5), &weight_int(2)),
+                brute_force_wfomc(&f, &voc, n, &weights),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_fomc_matches_brute_force() {
+        let f = catalog::table1_sentence();
+        for n in 0..=3 {
+            assert_eq!(fomc_table1(n), brute_force_fomc(&f, n), "n = {n}");
+        }
+        // Known value at n = 2: Σ C(2,k)C(2,m) 2^{4−km} = 161.
+        assert_eq!(fomc_table1(2), weight_int(161));
+    }
+
+    #[test]
+    fn table1_wfomc_matches_grounded() {
+        let f = catalog::table1_sentence();
+        let voc = f.vocabulary();
+        let weights = Weights::from_ints([("R", 2, 3), ("S", 1, 2), ("T", 5, 1)]);
+        for n in 0..=2 {
+            assert_eq!(
+                wfomc_table1(n, &weights),
+                ground_wfomc(&f, &voc, n, &weights),
+                "n = {n}"
+            );
+        }
+        // The unweighted specialization of the WFOMC formula reproduces the
+        // FOMC formula.
+        for n in 0..=4 {
+            assert_eq!(wfomc_table1(n, &Weights::ones()), fomc_table1(n));
+        }
+    }
+
+    #[test]
+    fn dual_cq_count_is_complementary() {
+        let q = catalog::table1_dual_cq().to_formula();
+        for n in 0..=2 {
+            assert_eq!(fomc_table1_dual_cq(n), brute_force_fomc(&q, n), "n = {n}");
+        }
+        // Complement + query = all structures (2^{2n+n²}).
+        for n in 0..=5 {
+            assert_eq!(
+                fomc_table1_dual_cq(n) + fomc_table1_complement(n),
+                weight_pow(&weight_int(2), 2 * n + n * n)
+            );
+        }
+    }
+}

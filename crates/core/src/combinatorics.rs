@@ -1,0 +1,207 @@
+//! Exact combinatorics on big integers: factorials, binomials, multinomials
+//! and compositions. These are the building blocks of every counting formula
+//! in the paper (the Table 1 sums, the FO² cell decomposition, the QS4 dynamic
+//! program, the γ-acyclic rule (b)).
+
+use num_bigint::BigInt;
+use num_rational::BigRational;
+use num_traits::{One, Zero};
+
+use wfomc_logic::weights::Weight;
+
+/// `n!` as a big integer.
+pub fn factorial(n: usize) -> BigInt {
+    let mut acc = BigInt::one();
+    for i in 2..=n {
+        acc *= BigInt::from(i);
+    }
+    acc
+}
+
+/// Binomial coefficient `C(n, k)` as a big integer (0 when `k > n`).
+pub fn binomial(n: usize, k: usize) -> BigInt {
+    if k > n {
+        return BigInt::zero();
+    }
+    let k = k.min(n - k);
+    let mut num = BigInt::one();
+    let mut den = BigInt::one();
+    for i in 0..k {
+        num *= BigInt::from(n - i);
+        den *= BigInt::from(i + 1);
+    }
+    num / den
+}
+
+/// Multinomial coefficient `n! / (parts₁! · … · parts_k!)`.
+///
+/// # Panics
+/// Panics if the parts do not sum to `n`.
+pub fn multinomial(n: usize, parts: &[usize]) -> BigInt {
+    assert_eq!(
+        parts.iter().sum::<usize>(),
+        n,
+        "multinomial parts must sum to n"
+    );
+    let mut result = factorial(n);
+    for &p in parts {
+        result /= factorial(p);
+    }
+    result
+}
+
+/// Converts a big integer into a rational [`Weight`].
+pub fn weight_from_bigint(i: BigInt) -> Weight {
+    BigRational::from_integer(i)
+}
+
+/// Binomial coefficient as a [`Weight`].
+pub fn binomial_weight(n: usize, k: usize) -> Weight {
+    weight_from_bigint(binomial(n, k))
+}
+
+/// Multinomial coefficient as a [`Weight`].
+pub fn multinomial_weight(n: usize, parts: &[usize]) -> Weight {
+    weight_from_bigint(multinomial(n, parts))
+}
+
+/// Iterator over all compositions of `n` into exactly `k` non-negative parts,
+/// i.e. all vectors `(n₁, …, n_k)` with `Σ nᵢ = n`. There are `C(n+k−1, k−1)`
+/// of them. For `k = 0` the iterator yields a single empty composition when
+/// `n = 0` and nothing otherwise.
+pub fn compositions(n: usize, k: usize) -> Compositions {
+    Compositions {
+        n,
+        k,
+        current: None,
+        done: false,
+    }
+}
+
+/// See [`compositions`].
+pub struct Compositions {
+    n: usize,
+    k: usize,
+    current: Option<Vec<usize>>,
+    done: bool,
+}
+
+impl Iterator for Compositions {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        match &mut self.current {
+            None => {
+                // First composition: everything in the last slot.
+                if self.k == 0 {
+                    self.done = true;
+                    return if self.n == 0 { Some(vec![]) } else { None };
+                }
+                let mut first = vec![0; self.k];
+                first[self.k - 1] = self.n;
+                self.current = Some(first.clone());
+                Some(first)
+            }
+            Some(current) => {
+                // Find the rightmost position before the last with remaining
+                // mass to shift.  Standard "stars and bars" successor: move one
+                // unit from the tail into the first position that can take it.
+                let k = self.k;
+                // Find the last index i < k-1 such that the suffix after i has
+                // positive sum; increment position i, reset the suffix.
+                let mut i = k - 1;
+                loop {
+                    if i == 0 {
+                        self.done = true;
+                        return None;
+                    }
+                    i -= 1;
+                    let suffix_sum: usize = current[i + 1..].iter().sum();
+                    if suffix_sum > 0 {
+                        break;
+                    }
+                }
+                current[i] += 1;
+                let used: usize = current[..=i].iter().sum();
+                for slot in current[i + 1..].iter_mut() {
+                    *slot = 0;
+                }
+                current[k - 1] = self.n - used;
+                Some(current.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0), BigInt::from(1));
+        assert_eq!(factorial(5), BigInt::from(120));
+        assert_eq!(factorial(20), BigInt::from(2432902008176640000u64));
+    }
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(5, 2), BigInt::from(10));
+        assert_eq!(binomial(5, 0), BigInt::from(1));
+        assert_eq!(binomial(5, 5), BigInt::from(1));
+        assert_eq!(binomial(5, 6), BigInt::from(0));
+        assert_eq!(binomial(50, 25), "126410606437752".parse::<BigInt>().unwrap());
+    }
+
+    #[test]
+    fn multinomials() {
+        assert_eq!(multinomial(4, &[2, 2]), BigInt::from(6));
+        assert_eq!(multinomial(6, &[1, 2, 3]), BigInt::from(60));
+        assert_eq!(multinomial(0, &[0, 0]), BigInt::from(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to n")]
+    fn multinomial_bad_parts_panics() {
+        multinomial(4, &[1, 1]);
+    }
+
+    #[test]
+    fn compositions_enumerate_stars_and_bars() {
+        let all: Vec<_> = compositions(3, 2).collect();
+        assert_eq!(
+            all,
+            vec![vec![0, 3], vec![1, 2], vec![2, 1], vec![3, 0]]
+        );
+        // C(n+k-1, k-1) counts.
+        assert_eq!(compositions(5, 3).count(), 21);
+        assert_eq!(compositions(0, 4).count(), 1);
+        assert_eq!(compositions(4, 1).count(), 1);
+        assert_eq!(compositions(0, 0).count(), 1);
+        assert_eq!(compositions(2, 0).count(), 0);
+    }
+
+    #[test]
+    fn compositions_each_sum_to_n() {
+        for comp in compositions(6, 4) {
+            assert_eq!(comp.iter().sum::<usize>(), 6);
+            assert_eq!(comp.len(), 4);
+        }
+        // No duplicates.
+        let all: Vec<_> = compositions(6, 4).collect();
+        let dedup: std::collections::BTreeSet<_> = all.iter().cloned().collect();
+        assert_eq!(all.len(), dedup.len());
+    }
+
+    #[test]
+    fn weight_conversions() {
+        assert_eq!(binomial_weight(4, 2), Weight::from_integer(6.into()));
+        assert_eq!(
+            multinomial_weight(3, &[1, 1, 1]),
+            Weight::from_integer(6.into())
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for the lifted algorithms.
+
+use std::fmt;
+
+/// Why a lifted algorithm declined (or failed) to handle an input.
+///
+/// "Declined" is the common case: the paper's hardness results mean no lifted
+/// algorithm can cover all sentences, so the [`crate::solver::Solver`] treats
+/// most of these as a signal to fall back to the grounded pipeline rather than
+/// as a hard failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LiftError {
+    /// The sentence uses more distinct variables than the algorithm supports
+    /// (e.g. an FO³ sentence handed to the FO² algorithm).
+    TooManyVariables {
+        /// Number of distinct variables found.
+        found: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// A predicate has higher arity than the algorithm supports.
+    ArityTooLarge {
+        /// The offending predicate name.
+        predicate: String,
+        /// Its arity.
+        arity: usize,
+        /// Maximum supported arity.
+        max: usize,
+    },
+    /// The input is not a sentence (it has free variables).
+    NotASentence,
+    /// The formula could not be interpreted as a conjunctive query.
+    NotAConjunctiveQuery,
+    /// The conjunctive query has a self-join, which Theorem 3.6 excludes.
+    HasSelfJoin,
+    /// The query hypergraph is not γ-acyclic, so Fagin's reduction got stuck.
+    NotGammaAcyclic,
+    /// A weight pair has `w + w̄ = 0`, so it admits no probability
+    /// normalization (required by the probability-space CQ algorithm).
+    NoProbabilityNormalization {
+        /// The offending predicate.
+        predicate: String,
+    },
+    /// The sentence does not match the special-case algorithm it was handed to
+    /// (e.g. a non-QS4 sentence given to the QS4 dynamic program).
+    PatternMismatch {
+        /// Description of the expected pattern.
+        expected: String,
+    },
+    /// The normalization produced something the cell algorithm cannot consume;
+    /// this indicates a bug and carries a description.
+    Internal(String),
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftError::TooManyVariables { found, max } => write!(
+                f,
+                "sentence uses {found} distinct variables but the algorithm supports at most {max}"
+            ),
+            LiftError::ArityTooLarge {
+                predicate,
+                arity,
+                max,
+            } => write!(
+                f,
+                "predicate {predicate} has arity {arity}, above the supported maximum {max}"
+            ),
+            LiftError::NotASentence => write!(f, "the formula has free variables"),
+            LiftError::NotAConjunctiveQuery => {
+                write!(f, "the formula is not a conjunctive query")
+            }
+            LiftError::HasSelfJoin => {
+                write!(f, "the conjunctive query has a self-join")
+            }
+            LiftError::NotGammaAcyclic => {
+                write!(f, "the query hypergraph is not γ-acyclic")
+            }
+            LiftError::NoProbabilityNormalization { predicate } => write!(
+                f,
+                "predicate {predicate} has w + w̄ = 0, so tuple probabilities are undefined"
+            ),
+            LiftError::PatternMismatch { expected } => {
+                write!(f, "the sentence does not match the expected pattern: {expected}")
+            }
+            LiftError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LiftError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LiftError::TooManyVariables { found: 3, max: 2 };
+        assert!(e.to_string().contains('3'));
+        let e = LiftError::ArityTooLarge {
+            predicate: "R".into(),
+            arity: 4,
+            max: 2,
+        };
+        assert!(e.to_string().contains("R"));
+        assert!(LiftError::NotGammaAcyclic.to_string().contains("γ-acyclic"));
+        assert!(LiftError::Internal("oops".into()).to_string().contains("oops"));
+    }
+}

@@ -1,0 +1,395 @@
+//! 1-types (cells) and two-element tables for the FO² algorithm.
+//!
+//! A *cell* (the appendix calls them `C₁ … C_{2^m}`; the lifted-inference
+//! literature calls them 1-types) is a complete truth assignment to all atoms
+//! that mention a single element: the unary atoms `U(x)` and the reflexive
+//! binary atoms `B(x,x)`. A cell is *valid* if it satisfies the diagonal
+//! constraint `Ψ(x, x)`.
+//!
+//! For an (unordered) pair of elements with cells `i` and `j`, the table entry
+//! `r_{ij}` sums, over all assignments to the cross atoms `B(x,y)`, `B(y,x)`,
+//! the weight of the assignments satisfying `Ψ(x,y) ∧ Ψ(y,x)`.
+
+use num_traits::{One, Zero};
+
+use wfomc_logic::syntax::Formula;
+use wfomc_logic::term::Term;
+use wfomc_logic::vocabulary::Predicate;
+use wfomc_logic::weights::{Weight, Weights};
+
+use super::normalize::{VAR_X, VAR_Y};
+use crate::error::LiftError;
+
+/// The unary / binary predicates over which cells are formed.
+#[derive(Clone, Debug)]
+pub struct CellSpace {
+    /// Unary predicates, in a fixed order.
+    pub unary: Vec<Predicate>,
+    /// Binary predicates, in a fixed order.
+    pub binary: Vec<Predicate>,
+}
+
+impl CellSpace {
+    /// Number of bits in a cell description.
+    pub fn cell_bits(&self) -> usize {
+        self.unary.len() + self.binary.len()
+    }
+}
+
+/// A valid 1-type together with its weight
+/// `u_c = Π_U w-or-w̄(U) · Π_B w-or-w̄(B)` over its unary and reflexive atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Truth values of the unary atoms, aligned with [`CellSpace::unary`].
+    pub unary: Vec<bool>,
+    /// Truth values of the reflexive binary atoms, aligned with
+    /// [`CellSpace::binary`].
+    pub reflexive: Vec<bool>,
+    /// The cell weight `u_c`.
+    pub weight: Weight,
+}
+
+/// An assignment to the cross atoms of an ordered pair `(x, y)`.
+struct CrossAssign {
+    /// `B_k(x, y)` values.
+    fwd: Vec<bool>,
+    /// `B_k(y, x)` values.
+    bwd: Vec<bool>,
+}
+
+/// Enumerates the valid cells of a matrix.
+pub fn build_cells(
+    matrix: &Formula,
+    space: &CellSpace,
+    weights: &Weights,
+) -> Result<Vec<Cell>, LiftError> {
+    let bits = space.cell_bits();
+    if bits > 24 {
+        return Err(LiftError::Internal(format!(
+            "cell space over {bits} atoms is too large; the sentence is not practically liftable"
+        )));
+    }
+    let mut cells = Vec::new();
+    for code in 0u64..(1u64 << bits) {
+        let unary: Vec<bool> = (0..space.unary.len()).map(|i| code >> i & 1 == 1).collect();
+        let reflexive: Vec<bool> = (0..space.binary.len())
+            .map(|i| code >> (space.unary.len() + i) & 1 == 1)
+            .collect();
+        let candidate = Cell {
+            unary,
+            reflexive,
+            weight: Weight::one(),
+        };
+        // Validity: Ψ(x, x) must hold.
+        if !eval_matrix(matrix, space, &candidate, &candidate, None, true)? {
+            continue;
+        }
+        let mut weight = Weight::one();
+        for (i, p) in space.unary.iter().enumerate() {
+            let pair = weights.pair_of(p);
+            weight *= if candidate.unary[i] { pair.pos } else { pair.neg };
+        }
+        for (i, p) in space.binary.iter().enumerate() {
+            let pair = weights.pair_of(p);
+            weight *= if candidate.reflexive[i] {
+                pair.pos
+            } else {
+                pair.neg
+            };
+        }
+        cells.push(Cell {
+            weight,
+            ..candidate
+        });
+    }
+    Ok(cells)
+}
+
+/// Builds the symmetric table `r_{ij}` over the valid cells.
+pub fn build_pair_table(
+    matrix: &Formula,
+    space: &CellSpace,
+    cells: &[Cell],
+    weights: &Weights,
+) -> Result<Vec<Vec<Weight>>, LiftError> {
+    let b = space.binary.len();
+    if 2 * b > 24 {
+        return Err(LiftError::Internal(format!(
+            "pair table over {} cross atoms is too large",
+            2 * b
+        )));
+    }
+    // Precompute weight pairs for the binary predicates.
+    let pairs: Vec<_> = space.binary.iter().map(|p| weights.pair_of(p)).collect();
+
+    let k = cells.len();
+    let mut table = vec![vec![Weight::zero(); k]; k];
+    for i in 0..k {
+        for j in i..k {
+            let mut total = Weight::zero();
+            for code in 0u64..(1u64 << (2 * b)) {
+                let fwd: Vec<bool> = (0..b).map(|t| code >> t & 1 == 1).collect();
+                let bwd: Vec<bool> = (0..b).map(|t| code >> (b + t) & 1 == 1).collect();
+                let cross = CrossAssign {
+                    fwd: fwd.clone(),
+                    bwd: bwd.clone(),
+                };
+                let cross_swapped = CrossAssign { fwd: bwd, bwd: fwd };
+                let forward_ok =
+                    eval_matrix(matrix, space, &cells[i], &cells[j], Some(&cross), false)?;
+                if !forward_ok {
+                    continue;
+                }
+                let backward_ok = eval_matrix(
+                    matrix,
+                    space,
+                    &cells[j],
+                    &cells[i],
+                    Some(&cross_swapped),
+                    false,
+                )?;
+                if !backward_ok {
+                    continue;
+                }
+                let mut weight = Weight::one();
+                for (t, pair) in pairs.iter().enumerate() {
+                    weight *= if cross.fwd[t] { &pair.pos } else { &pair.neg };
+                    weight *= if cross.bwd[t] { &pair.pos } else { &pair.neg };
+                }
+                total += weight;
+            }
+            table[i][j] = total.clone();
+            table[j][i] = total;
+        }
+    }
+    Ok(table)
+}
+
+/// Evaluates the matrix under a cell assignment for `x` and `y`.
+///
+/// `same_element = true` means `x` and `y` denote the same element (used for
+/// the diagonal validity check); in that case `cross` is ignored and the
+/// reflexive atoms of `cell_x` are used for every binary atom.
+fn eval_matrix(
+    matrix: &Formula,
+    space: &CellSpace,
+    cell_x: &Cell,
+    cell_y: &Cell,
+    cross: Option<&CrossAssign>,
+    same_element: bool,
+) -> Result<bool, LiftError> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Role {
+        X,
+        Y,
+    }
+    fn role_of(t: &Term) -> Result<Role, LiftError> {
+        match t {
+            Term::Var(v) if v.name() == VAR_X => Ok(Role::X),
+            Term::Var(v) if v.name() == VAR_Y => Ok(Role::Y),
+            other => Err(LiftError::Internal(format!(
+                "non-canonical term {other} in FO² matrix"
+            ))),
+        }
+    }
+
+    match matrix {
+        Formula::Top => Ok(true),
+        Formula::Bottom => Ok(false),
+        Formula::Not(g) => Ok(!eval_matrix(g, space, cell_x, cell_y, cross, same_element)?),
+        Formula::And(gs) => {
+            for g in gs {
+                if !eval_matrix(g, space, cell_x, cell_y, cross, same_element)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(gs) => {
+            for g in gs {
+                if eval_matrix(g, space, cell_x, cell_y, cross, same_element)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Implies(a, b) => Ok(
+            !eval_matrix(a, space, cell_x, cell_y, cross, same_element)?
+                || eval_matrix(b, space, cell_x, cell_y, cross, same_element)?,
+        ),
+        Formula::Iff(a, b) => Ok(
+            eval_matrix(a, space, cell_x, cell_y, cross, same_element)?
+                == eval_matrix(b, space, cell_x, cell_y, cross, same_element)?,
+        ),
+        Formula::Equals(a, b) => {
+            let ra = role_of(a)?;
+            let rb = role_of(b)?;
+            Ok(ra == rb || same_element)
+        }
+        Formula::Atom(atom) => match atom.args.len() {
+            0 => Err(LiftError::Internal(format!(
+                "nullary atom {} should have been removed by Shannon expansion",
+                atom.predicate.name()
+            ))),
+            1 => {
+                let idx = space
+                    .unary
+                    .iter()
+                    .position(|p| p == &atom.predicate)
+                    .ok_or_else(|| {
+                        LiftError::Internal(format!(
+                            "unary predicate {} missing from cell space",
+                            atom.predicate.name()
+                        ))
+                    })?;
+                match role_of(&atom.args[0])? {
+                    Role::X => Ok(cell_x.unary[idx]),
+                    Role::Y => Ok(if same_element {
+                        cell_x.unary[idx]
+                    } else {
+                        cell_y.unary[idx]
+                    }),
+                }
+            }
+            2 => {
+                let idx = space
+                    .binary
+                    .iter()
+                    .position(|p| p == &atom.predicate)
+                    .ok_or_else(|| {
+                        LiftError::Internal(format!(
+                            "binary predicate {} missing from cell space",
+                            atom.predicate.name()
+                        ))
+                    })?;
+                let r0 = role_of(&atom.args[0])?;
+                let r1 = role_of(&atom.args[1])?;
+                if same_element {
+                    return Ok(cell_x.reflexive[idx]);
+                }
+                Ok(match (r0, r1) {
+                    (Role::X, Role::X) => cell_x.reflexive[idx],
+                    (Role::Y, Role::Y) => cell_y.reflexive[idx],
+                    (Role::X, Role::Y) => {
+                        cross
+                            .ok_or_else(|| {
+                                LiftError::Internal("cross assignment required".to_string())
+                            })?
+                            .fwd[idx]
+                    }
+                    (Role::Y, Role::X) => {
+                        cross
+                            .ok_or_else(|| {
+                                LiftError::Internal("cross assignment required".to_string())
+                            })?
+                            .bwd[idx]
+                    }
+                })
+            }
+            a => Err(LiftError::Internal(format!(
+                "predicate {} of arity {a} in FO² matrix",
+                atom.predicate.name()
+            ))),
+        },
+        Formula::Forall(..) | Formula::Exists(..) => Err(LiftError::Internal(
+            "quantifier inside the FO² matrix".to_string(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfomc_logic::builders::*;
+    use wfomc_logic::term::Variable;
+    use wfomc_logic::transform::substitute;
+    use wfomc_logic::weights::weight_int;
+
+    /// Builds the Table 1 matrix over the canonical variables.
+    fn table1_matrix() -> Formula {
+        let m = or(vec![
+            atom("R", &["x"]),
+            atom("S", &["x", "y"]),
+            atom("T", &["y"]),
+        ]);
+        let m = substitute(&m, &Variable::new("x"), &Term::var(VAR_X));
+        substitute(&m, &Variable::new("y"), &Term::var(VAR_Y))
+    }
+
+    fn table1_space() -> CellSpace {
+        CellSpace {
+            unary: vec![Predicate::new("R", 1), Predicate::new("T", 1)],
+            binary: vec![Predicate::new("S", 2)],
+        }
+    }
+
+    #[test]
+    fn valid_cells_of_table1() {
+        let cells = build_cells(&table1_matrix(), &table1_space(), &Weights::ones()).unwrap();
+        // 8 candidate cells; only R=T=S(x,x)=false violates Ψ(x,x).
+        assert_eq!(cells.len(), 7);
+        assert!(cells.iter().all(|c| c.weight == weight_int(1)));
+    }
+
+    #[test]
+    fn cell_weights_multiply_unary_and_reflexive_atoms() {
+        let weights = Weights::from_ints([("R", 2, 3), ("T", 5, 7), ("S", 11, 13)]);
+        let cells = build_cells(&table1_matrix(), &table1_space(), &weights).unwrap();
+        // The cell with R true, T false, S(x,x) false weighs 2·7·13.
+        assert!(cells
+            .iter()
+            .any(|c| c.unary == vec![true, false]
+                && c.reflexive == vec![false]
+                && c.weight == weight_int(2 * 7 * 13)));
+    }
+
+    #[test]
+    fn pair_table_counts_cross_assignments() {
+        let space = table1_space();
+        let weights = Weights::ones();
+        let cells = build_cells(&table1_matrix(), &space, &weights).unwrap();
+        let table = build_pair_table(&table1_matrix(), &space, &cells, &weights).unwrap();
+        // Find the cell where R and T are both true: the matrix is satisfied
+        // regardless of the S cross atoms, so r = 4.
+        let i = cells
+            .iter()
+            .position(|c| c.unary == vec![true, true] && c.reflexive == vec![false])
+            .unwrap();
+        assert_eq!(table[i][i], weight_int(4));
+        // The cell with R=false, T=false (and S(x,x)=true to stay valid)
+        // paired with itself requires S(x,y) and S(y,x) both true: r = 1.
+        let j = cells
+            .iter()
+            .position(|c| c.unary == vec![false, false] && c.reflexive == vec![true])
+            .unwrap();
+        assert_eq!(table[j][j], weight_int(1));
+        // Mixed pair (R true, T false) with (R false, T true):
+        // Ψ(x,y) = R(x) ∨ … = true; Ψ(y,x) = R(y) ∨ S(y,x) ∨ T(x): R(y) is
+        // false and T(x) is false, so S(y,x) must be true: r = 2.
+        let a = cells
+            .iter()
+            .position(|c| c.unary == vec![true, false] && c.reflexive == vec![false])
+            .unwrap();
+        let b = cells
+            .iter()
+            .position(|c| c.unary == vec![false, true] && c.reflexive == vec![false])
+            .unwrap();
+        assert_eq!(table[a][b], weight_int(2));
+        assert_eq!(table[b][a], weight_int(2));
+    }
+
+    #[test]
+    fn equality_atoms_distinguish_diagonal_from_pairs() {
+        // Matrix: x = y ∨ S(x,y) — diagonal always valid, off-diagonal needs S.
+        let m = or(vec![eq(VAR_X, VAR_Y), atom("S", &[VAR_X, VAR_Y])]);
+        let space = CellSpace {
+            unary: vec![],
+            binary: vec![Predicate::new("S", 2)],
+        };
+        let cells = build_cells(&m, &space, &Weights::ones()).unwrap();
+        assert_eq!(cells.len(), 2);
+        let table = build_pair_table(&m, &space, &cells, &Weights::ones()).unwrap();
+        // Off-diagonal: S(x,y) ∧ S(y,x) both required → exactly 1 assignment.
+        assert_eq!(table[0][0], weight_int(1));
+    }
+}

@@ -1,0 +1,191 @@
+//! Lemma 3.5 — removing the equality predicate.
+//!
+//! Replace every equality atom `x = y` by a fresh binary relation `E(x,y)` and
+//! conjoin the hard constraint `∀x E(x,x)`. With weights `w(E) = z`,
+//! `w̄(E) = 1`, the weighted model count of the rewritten sentence Φ′ is a
+//! polynomial `f(z)` of degree at most `n²` whose monomials all have degree
+//! ≥ n (the diagonal is forced). Worlds where `|E| = n` are exactly those
+//! interpreting `E` as true equality, so the coefficient of `zⁿ` equals
+//! `WFOMC(Φ, n, w, w̄)`. The coefficient is recovered by evaluating `f` at
+//! polynomially many points and interpolating; we use `n² + 1` evaluation
+//! points, which pins the whole polynomial down exactly.
+
+use num_traits::{One, Zero};
+
+use wfomc_logic::syntax::Formula;
+use wfomc_logic::term::Term;
+use wfomc_logic::vocabulary::{Predicate, Vocabulary};
+use wfomc_logic::weights::{weight_int, Weight, Weights};
+
+/// The equality-free rewriting of a sentence.
+#[derive(Clone, Debug)]
+pub struct EqualityFree {
+    /// `Φ_E ∧ ∀x E(x,x)` — the rewritten sentence.
+    pub formula: Formula,
+    /// The vocabulary extended with the fresh predicate `E`.
+    pub vocabulary: Vocabulary,
+    /// The fresh predicate standing in for equality.
+    pub equality_predicate: Predicate,
+}
+
+/// Rewrites a sentence so it no longer uses the built-in equality predicate.
+pub fn remove_equality(formula: &Formula, vocabulary: &Vocabulary) -> EqualityFree {
+    let mut vocabulary = vocabulary.extended_with(&formula.vocabulary());
+    let e = vocabulary.add_fresh("Eq", 2);
+    let rewritten = formula.map_bottom_up(&mut |node| match node {
+        Formula::Equals(a, b) => Formula::atom(e.clone(), vec![a, b]),
+        other => other,
+    });
+    let x = wfomc_logic::term::Variable::new("eq_x");
+    let reflexivity = Formula::forall(
+        x.clone(),
+        Formula::atom(e.clone(), vec![Term::Var(x.clone()), Term::Var(x)]),
+    );
+    EqualityFree {
+        formula: Formula::and(rewritten, reflexivity),
+        vocabulary,
+        equality_predicate: e,
+    }
+}
+
+/// Computes `WFOMC(Φ, n, w, w̄)` for a sentence Φ *with* equality, using an
+/// oracle that can only count sentences *without* equality.
+///
+/// The oracle is called `n² + 1` times, once per interpolation point, with the
+/// rewritten sentence, the extended vocabulary and the weights extended by
+/// `w(E) = z`, `w̄(E) = 1`.
+pub fn wfomc_via_equality_removal(
+    formula: &Formula,
+    vocabulary: &Vocabulary,
+    n: usize,
+    weights: &Weights,
+    mut oracle: impl FnMut(&Formula, &Vocabulary, usize, &Weights) -> Weight,
+) -> Weight {
+    let rewritten = remove_equality(formula, vocabulary);
+    let degree = n * n;
+    let mut points: Vec<(Weight, Weight)> = Vec::with_capacity(degree + 1);
+    for z in 0..=degree {
+        let mut w = weights.clone();
+        w.set(
+            rewritten.equality_predicate.name(),
+            weight_int(z as i64),
+            weight_int(1),
+        );
+        let value = oracle(&rewritten.formula, &rewritten.vocabulary, n, &w);
+        points.push((weight_int(z as i64), value));
+    }
+    let coefficients = interpolate(&points);
+    coefficients.get(n).cloned().unwrap_or_else(Weight::zero)
+}
+
+/// Lagrange interpolation: given `d+1` points with distinct x-coordinates,
+/// returns the coefficients (low degree first) of the unique polynomial of
+/// degree ≤ d passing through them. Exact rational arithmetic throughout.
+pub fn interpolate(points: &[(Weight, Weight)]) -> Vec<Weight> {
+    let d = points.len();
+    if d == 0 {
+        return vec![];
+    }
+    let mut result = vec![Weight::zero(); d];
+    for (i, (xi, yi)) in points.iter().enumerate() {
+        // Build the Lagrange basis polynomial L_i = Π_{j≠i} (x − x_j) / (x_i − x_j).
+        let mut basis = vec![Weight::one()]; // polynomial "1"
+        let mut denom = Weight::one();
+        for (j, (xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            basis = poly_mul_linear(&basis, xj);
+            denom *= xi - xj;
+        }
+        let scale = yi / denom;
+        for (k, c) in basis.iter().enumerate() {
+            result[k] += c * &scale;
+        }
+    }
+    result
+}
+
+/// Multiplies a polynomial (low degree first) by `(x − root)`.
+fn poly_mul_linear(poly: &[Weight], root: &Weight) -> Vec<Weight> {
+    let mut out = vec![Weight::zero(); poly.len() + 1];
+    for (k, c) in poly.iter().enumerate() {
+        out[k + 1] += c;
+        out[k] -= c * root;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfomc_ground::{brute_force_wfomc, wfomc as ground_wfomc};
+    use wfomc_logic::builders::*;
+    use wfomc_logic::catalog;
+
+    #[test]
+    fn interpolation_recovers_polynomial_coefficients() {
+        // f(x) = 2 − 3x + x³ sampled at 0..3.
+        let f = |x: i64| weight_int(2 - 3 * x + x * x * x);
+        let points: Vec<_> = (0..=3).map(|x| (weight_int(x), f(x))).collect();
+        let coeffs = interpolate(&points);
+        assert_eq!(coeffs[0], weight_int(2));
+        assert_eq!(coeffs[1], weight_int(-3));
+        assert_eq!(coeffs[2], weight_int(0));
+        assert_eq!(coeffs[3], weight_int(1));
+    }
+
+    #[test]
+    fn rewriting_removes_equality_syntax() {
+        let f = forall(["x", "y"], or(vec![atom("R", &["x", "y"]), eq("x", "y")]));
+        let rewritten = remove_equality(&f, &f.vocabulary());
+        assert!(!rewritten.formula.uses_equality());
+        assert!(rewritten.vocabulary.contains(rewritten.equality_predicate.name()));
+    }
+
+    #[test]
+    fn equality_removal_preserves_wfomc_via_oracle() {
+        // ∀x∀y (R(x,y) ∨ x = y): tuples off the diagonal must be present.
+        let f = forall(["x", "y"], or(vec![atom("R", &["x", "y"]), eq("x", "y")]));
+        let voc = f.vocabulary();
+        let weights = Weights::from_ints([("R", 2, 3)]);
+        for n in 0..=2 {
+            let direct = brute_force_wfomc(&f, &voc, n, &weights);
+            let via_removal = wfomc_via_equality_removal(&f, &voc, n, &weights, |g, v, n, w| {
+                ground_wfomc(g, v, n, w)
+            });
+            assert_eq!(direct, via_removal, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn extension_axiom_inequalities_are_supported() {
+        // The Table 2 extension axiom uses ≠; check the rewriting pipeline on
+        // n = 2 (where the axiom is vacuously true because no three distinct
+        // elements exist).
+        let f = catalog::extension_axiom();
+        let voc = f.vocabulary();
+        let weights = Weights::ones();
+        let n = 2;
+        let direct = brute_force_wfomc(&f, &voc, n, &weights);
+        let via_removal = wfomc_via_equality_removal(&f, &voc, n, &weights, |g, v, n, w| {
+            ground_wfomc(g, v, n, w)
+        });
+        assert_eq!(direct, via_removal);
+        // Sanity: 16 structures over E/2 at n=2, all satisfy the axiom.
+        assert_eq!(direct, weight_int(16));
+    }
+
+    #[test]
+    fn oracle_is_called_polynomially_many_times() {
+        let f = forall(["x", "y"], or(vec![atom("R", &["x", "y"]), eq("x", "y")]));
+        let voc = f.vocabulary();
+        let mut calls = 0usize;
+        let n = 2;
+        let _ = wfomc_via_equality_removal(&f, &voc, n, &Weights::ones(), |g, v, n, w| {
+            calls += 1;
+            ground_wfomc(g, v, n, w)
+        });
+        assert_eq!(calls, n * n + 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Lemma 3.4 — removing negation from ∀*-sentences.
+//!
+//! For every negated subformula `¬ψ(x̄)` of a universally quantified sentence,
+//! introduce two fresh predicates `A`, `B` of arity `|x̄|`, replace `¬ψ(x̄)` by
+//! `A(x̄)`, and conjoin
+//! `∆ = ∀x̄ [(ψ(x̄) ∨ A(x̄)) ∧ (A(x̄) ∨ B(x̄)) ∧ (ψ(x̄) ∨ B(x̄))]`
+//! with weights `w(A) = w̄(A) = w(B) = 1`, `w̄(B) = −1`. In "good" worlds
+//! `A ≡ ¬ψ` pointwise, `B` is forced true and contributes 1; in "bad" worlds
+//! (some point with `ψ ∧ A`) `B` is unconstrained there and the two extensions
+//! cancel. The weighted model count is unchanged.
+//!
+//! The implementation works on the matrix of a prenex ∀*-sentence in NNF, so
+//! "negated subformulas" are exactly the negative literals.
+
+use std::collections::BTreeMap;
+
+use wfomc_logic::syntax::{Atom, Formula};
+use wfomc_logic::term::Term;
+use wfomc_logic::transform::{nnf, prenex, Prenex};
+use wfomc_logic::vocabulary::Vocabulary;
+use wfomc_logic::weights::{weight_int, Weights};
+
+use crate::error::LiftError;
+
+/// The result of removing negation from a ∀*-sentence.
+#[derive(Clone, Debug)]
+pub struct NegationFree {
+    /// The positive sentence (still prenex ∀*).
+    pub prenex: Prenex,
+    /// Extended vocabulary (two fresh predicates per rewritten literal shape).
+    pub vocabulary: Vocabulary,
+    /// Extended weights.
+    pub weights: Weights,
+    /// The introduced `(A, B)` predicate name pairs.
+    pub introduced: Vec<(String, String)>,
+}
+
+impl NegationFree {
+    /// The rewritten sentence as a formula.
+    pub fn formula(&self) -> Formula {
+        self.prenex.to_formula()
+    }
+}
+
+/// Applies Lemma 3.4 to a universally quantified sentence.
+///
+/// Returns an error if the sentence has an existential quantifier (apply
+/// [`super::skolemize`] first) or contains equality under negation that the
+/// rewriting would have to treat as a relational atom (apply
+/// [`super::remove_equality`] first).
+pub fn remove_negation(
+    formula: &Formula,
+    vocabulary: &Vocabulary,
+    weights: &Weights,
+) -> Result<NegationFree, LiftError> {
+    if !formula.is_sentence() {
+        return Err(LiftError::NotASentence);
+    }
+    let p = prenex(formula);
+    if !p.is_universal() {
+        return Err(LiftError::PatternMismatch {
+            expected: "a universally quantified (∀*) sentence".to_string(),
+        });
+    }
+    let matrix = nnf(&p.matrix);
+
+    let mut vocabulary = vocabulary.extended_with(&formula.vocabulary());
+    let mut weights = weights.clone();
+    let mut introduced = Vec::new();
+    // Map from negated atom (by predicate + argument pattern) to its A-atom,
+    // so repeated occurrences share the same fresh predicates.
+    let mut replacements: BTreeMap<Atom, Atom> = BTreeMap::new();
+    let mut delta_conjuncts: Vec<Formula> = Vec::new();
+
+    let rewritten = rewrite(
+        &matrix,
+        &mut vocabulary,
+        &mut weights,
+        &mut introduced,
+        &mut replacements,
+        &mut delta_conjuncts,
+    )?;
+
+    let new_matrix = Formula::and_all(std::iter::once(rewritten).chain(delta_conjuncts));
+    Ok(NegationFree {
+        prenex: Prenex {
+            prefix: p.prefix,
+            matrix: new_matrix,
+        },
+        vocabulary,
+        weights,
+        introduced,
+    })
+}
+
+fn rewrite(
+    f: &Formula,
+    vocabulary: &mut Vocabulary,
+    weights: &mut Weights,
+    introduced: &mut Vec<(String, String)>,
+    replacements: &mut BTreeMap<Atom, Atom>,
+    delta: &mut Vec<Formula>,
+) -> Result<Formula, LiftError> {
+    match f {
+        Formula::Top | Formula::Bottom | Formula::Atom(_) | Formula::Equals(..) => Ok(f.clone()),
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::Atom(atom) => {
+                if let Some(a_atom) = replacements.get(atom) {
+                    return Ok(Formula::Atom(a_atom.clone()));
+                }
+                let arity = atom.args.len();
+                let a_pred = vocabulary.add_fresh("NegA", arity);
+                let b_pred = vocabulary.add_fresh("NegB", arity);
+                weights.set(a_pred.name(), weight_int(1), weight_int(1));
+                weights.set(b_pred.name(), weight_int(1), weight_int(-1));
+                introduced.push((a_pred.name().to_string(), b_pred.name().to_string()));
+
+                let args: Vec<Term> = atom.args.clone();
+                let a_atom = Atom::new(a_pred, args.clone());
+                let b_atom = Atom::new(b_pred, args);
+                let psi = Formula::Atom(atom.clone());
+                // ∆ body: (ψ ∨ A) ∧ (A ∨ B) ∧ (ψ ∨ B).
+                delta.push(Formula::and_all([
+                    Formula::or(psi.clone(), Formula::Atom(a_atom.clone())),
+                    Formula::or(Formula::Atom(a_atom.clone()), Formula::Atom(b_atom.clone())),
+                    Formula::or(psi, Formula::Atom(b_atom)),
+                ]));
+                replacements.insert(atom.clone(), a_atom.clone());
+                Ok(Formula::Atom(a_atom))
+            }
+            Formula::Equals(..) => Err(LiftError::PatternMismatch {
+                expected: "no negated equality (apply equality removal first)".to_string(),
+            }),
+            _ => Err(LiftError::Internal(
+                "matrix not in negation normal form".to_string(),
+            )),
+        },
+        Formula::And(parts) => Ok(Formula::and_all(
+            parts
+                .iter()
+                .map(|g| rewrite(g, vocabulary, weights, introduced, replacements, delta))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Formula::Or(parts) => Ok(Formula::or_all(
+            parts
+                .iter()
+                .map(|g| rewrite(g, vocabulary, weights, introduced, replacements, delta))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Formula::Implies(..) | Formula::Iff(..) => Err(LiftError::Internal(
+            "matrix not in negation normal form".to_string(),
+        )),
+        Formula::Forall(..) | Formula::Exists(..) => Err(LiftError::Internal(
+            "quantifier inside a prenex matrix".to_string(),
+        )),
+    }
+}
+
+/// Convenience check used by tests: a formula is *positive* if it contains no
+/// negation, implication or bi-implication.
+pub fn is_positive(f: &Formula) -> bool {
+    let mut positive = true;
+    f.visit(&mut |node| {
+        if matches!(node, Formula::Not(_) | Formula::Implies(..) | Formula::Iff(..)) {
+            positive = false;
+        }
+    });
+    positive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfomc_ground::wfomc as ground_wfomc;
+    use wfomc_logic::builders::*;
+    use wfomc_logic::catalog;
+
+    fn check_preserves_wfomc(f: &Formula, weights: &Weights, max_n: usize) {
+        let voc = f.vocabulary();
+        let nf = remove_negation(f, &voc, weights).expect("rewriting should apply");
+        assert!(is_positive(&nf.formula()), "result must be positive");
+        for n in 0..=max_n {
+            let original = ground_wfomc(f, &voc, n, weights);
+            let transformed = ground_wfomc(&nf.formula(), &nf.vocabulary, n, &nf.weights);
+            assert_eq!(original, transformed, "WFOMC changed for {f} at n={n}");
+        }
+    }
+
+    #[test]
+    fn removes_negation_from_clause() {
+        // ∀x∀y (R(x) ∨ ¬S(x,y)).
+        let f = forall(["x", "y"], or(vec![atom("R", &["x"]), not(atom("S", &["x", "y"]))]));
+        check_preserves_wfomc(&f, &Weights::from_ints([("R", 2, 1), ("S", 1, 3)]), 2);
+        let nf = remove_negation(&f, &f.vocabulary(), &Weights::ones()).unwrap();
+        assert_eq!(nf.introduced.len(), 1);
+    }
+
+    #[test]
+    fn spouse_constraint_as_universal_sentence() {
+        // ∀x∀y (Spouse(x,y) ∧ Female(x) ⇒ Male(y)) is a ∀∀ sentence whose NNF
+        // has two negative literals.
+        let f = catalog::spouse_constraint();
+        check_preserves_wfomc(
+            &f,
+            &Weights::from_ints([("Spouse", 1, 2), ("Female", 3, 1), ("Male", 1, 1)]),
+            2,
+        );
+        let nf = remove_negation(&f, &f.vocabulary(), &Weights::ones()).unwrap();
+        assert_eq!(nf.introduced.len(), 2);
+    }
+
+    #[test]
+    fn shared_negative_literals_reuse_predicates() {
+        // ¬S(x,y) occurs twice; only one (A, B) pair should be created.
+        let f = forall(
+            ["x", "y"],
+            and(vec![
+                or(vec![atom("R", &["x"]), not(atom("S", &["x", "y"]))]),
+                or(vec![atom("T", &["y"]), not(atom("S", &["x", "y"]))]),
+            ]),
+        );
+        let nf = remove_negation(&f, &f.vocabulary(), &Weights::ones()).unwrap();
+        assert_eq!(nf.introduced.len(), 1);
+        check_preserves_wfomc(&f, &Weights::from_ints([("S", 2, 1)]), 2);
+    }
+
+    #[test]
+    fn distinct_argument_patterns_get_distinct_predicates() {
+        // ¬S(x,y) and ¬S(y,x) are different subformulas.
+        let f = forall(
+            ["x", "y"],
+            or(vec![not(atom("S", &["x", "y"])), not(atom("S", &["y", "x"]))]),
+        );
+        let nf = remove_negation(&f, &f.vocabulary(), &Weights::ones()).unwrap();
+        assert_eq!(nf.introduced.len(), 2);
+        check_preserves_wfomc(&f, &Weights::from_ints([("S", 1, 2)]), 2);
+    }
+
+    #[test]
+    fn positive_sentence_is_untouched() {
+        let f = catalog::table1_sentence();
+        let nf = remove_negation(&f, &f.vocabulary(), &Weights::ones()).unwrap();
+        assert!(nf.introduced.is_empty());
+        assert!(is_positive(&nf.formula()));
+    }
+
+    #[test]
+    fn existential_sentence_is_rejected() {
+        let f = catalog::exists_unary();
+        let err = remove_negation(&f, &f.vocabulary(), &Weights::ones()).unwrap_err();
+        assert!(matches!(err, LiftError::PatternMismatch { .. }));
+    }
+
+    #[test]
+    fn qs4_round_trip() {
+        let f = catalog::qs4();
+        check_preserves_wfomc(&f, &Weights::from_ints([("S", 2, 3)]), 2);
+    }
+}

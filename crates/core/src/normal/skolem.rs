@@ -1,0 +1,178 @@
+//! Lemma 3.3 — Skolemization for WFOMC.
+//!
+//! Given a sentence Φ in prenex form, every existential quantifier can be
+//! eliminated: `∀x̄ ∃y ϕ(x̄, y)` becomes `∀x̄ ∀y (¬ϕ(x̄, y) ∨ A(x̄))` where `A` is
+//! a fresh predicate of arity `|x̄|` with weights `w(A) = 1`, `w̄(A) = −1`.
+//! For every tuple `ā`: if `∃y ϕ(ā, y)` holds then `A(ā)` is forced true and
+//! contributes a factor 1; otherwise `A(ā)` is unconstrained and the two
+//! extensions contribute `1 + (−1) = 0`, cancelling exactly the worlds that
+//! violate the original sentence. Iterating from the outermost existential
+//! inward removes the whole existential prefix (later quantifiers are dualized
+//! by the negation, so the process is repeated until the prefix is purely
+//! universal).
+
+use wfomc_logic::syntax::Formula;
+use wfomc_logic::term::Term;
+use wfomc_logic::transform::{prenex, Prenex, Quantifier};
+use wfomc_logic::vocabulary::Vocabulary;
+use wfomc_logic::weights::{weight_int, Weights};
+
+/// The result of Skolemizing a sentence.
+#[derive(Clone, Debug)]
+pub struct Skolemized {
+    /// The new sentence, in prenex form with a purely universal prefix.
+    pub prenex: Prenex,
+    /// The vocabulary extended with the fresh Skolem predicates.
+    pub vocabulary: Vocabulary,
+    /// The weights extended with `(1, −1)` for every Skolem predicate.
+    pub weights: Weights,
+    /// Names of the introduced Skolem predicates, in introduction order.
+    pub skolem_predicates: Vec<String>,
+}
+
+impl Skolemized {
+    /// The Skolemized sentence as a formula.
+    pub fn formula(&self) -> Formula {
+        self.prenex.to_formula()
+    }
+}
+
+/// Applies Lemma 3.3 until the quantifier prefix is purely universal.
+///
+/// `WFOMC(Φ, n, w, w̄) = WFOMC(Φ', n, w', w̄')` for all `n`, where the primed
+/// objects are the returned ones. Note that the *unweighted* model counts are
+/// **not** preserved (the lemma forces negative weights), which the paper
+/// points out is unavoidable.
+///
+/// # Panics
+/// Panics if the input is not a sentence.
+pub fn skolemize(formula: &Formula, vocabulary: &Vocabulary, weights: &Weights) -> Skolemized {
+    assert!(formula.is_sentence(), "Skolemization requires a sentence");
+    let mut current = prenex(formula);
+    let mut vocabulary = vocabulary.extended_with(&formula.vocabulary());
+    let mut weights = weights.clone();
+    let mut skolem_predicates = Vec::new();
+
+    while let Some(pos) = current.first_existential() {
+        // Φ = ∀x₁…∀x_{pos}  ∃x_{pos+1}  Q… M
+        let universal_prefix: Vec<_> = current.prefix[..pos].to_vec();
+        let exists_var = current.prefix[pos].1.clone();
+        let rest: Vec<_> = current.prefix[pos + 1..].to_vec();
+
+        // Fresh Skolem predicate over the universal prefix variables.
+        let arity = universal_prefix.len();
+        let a = vocabulary.add_fresh("Sk", arity);
+        weights.set(a.name(), weight_int(1), weight_int(-1));
+        skolem_predicates.push(a.name().to_string());
+        let a_atom = Formula::atom(
+            a,
+            universal_prefix
+                .iter()
+                .map(|(_, v)| Term::Var(v.clone()))
+                .collect(),
+        );
+
+        // New matrix: ¬M ∨ A(x̄); new prefix: ∀-prefix, ∀ exists_var, dual(rest).
+        let new_matrix = Formula::or(Formula::not(current.matrix.clone()), a_atom);
+        let mut new_prefix = universal_prefix;
+        new_prefix.push((Quantifier::Forall, exists_var));
+        for (q, v) in rest {
+            new_prefix.push((q.dual(), v));
+        }
+        current = Prenex {
+            prefix: new_prefix,
+            matrix: new_matrix,
+        };
+    }
+
+    Skolemized {
+        prenex: current,
+        vocabulary,
+        weights,
+        skolem_predicates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfomc_ground::{brute_force_wfomc, wfomc as ground_wfomc};
+    use wfomc_logic::builders::*;
+    use wfomc_logic::catalog;
+
+    /// Checks that Skolemization preserves WFOMC, using the grounded pipeline
+    /// on both sides.
+    fn check_preserves_wfomc(f: &Formula, weights: &Weights, max_n: usize) {
+        let voc = f.vocabulary();
+        let sk = skolemize(f, &voc, weights);
+        assert!(sk.prenex.is_universal(), "prefix must be purely universal");
+        let g = sk.formula();
+        for n in 0..=max_n {
+            let original = ground_wfomc(f, &voc, n, weights);
+            let transformed = ground_wfomc(&g, &sk.vocabulary, n, &sk.weights);
+            assert_eq!(original, transformed, "WFOMC changed for {f} at n={n}");
+        }
+    }
+
+    #[test]
+    fn skolemizes_forall_exists() {
+        let f = catalog::forall_exists_edge();
+        check_preserves_wfomc(&f, &Weights::from_ints([("R", 2, 3)]), 3);
+        let sk = skolemize(&f, &f.vocabulary(), &Weights::ones());
+        assert_eq!(sk.skolem_predicates.len(), 1);
+        // The Skolem predicate has arity 1 (one universal variable before ∃).
+        assert_eq!(sk.vocabulary.get(&sk.skolem_predicates[0]).unwrap().arity(), 1);
+        // Unweighted counts are NOT preserved (the lemma needs weight −1).
+        let n = 2;
+        let fomc_orig = brute_force_wfomc(&f, &f.vocabulary(), n, &Weights::ones());
+        let fomc_new = brute_force_wfomc(&sk.formula(), &sk.vocabulary, n, &Weights::ones());
+        assert_ne!(fomc_orig, fomc_new);
+    }
+
+    #[test]
+    fn skolemizes_pure_existential() {
+        let f = catalog::exists_unary();
+        check_preserves_wfomc(&f, &Weights::from_ints([("S", 1, 2)]), 3);
+        let sk = skolemize(&f, &f.vocabulary(), &Weights::ones());
+        // The universal prefix before the ∃ is empty, so the Skolem predicate
+        // is nullary.
+        assert_eq!(sk.vocabulary.get(&sk.skolem_predicates[0]).unwrap().arity(), 0);
+    }
+
+    #[test]
+    fn skolemizes_exists_forall() {
+        // ∃x ∀y R(x,y): the negation dualizes the ∀ into ∃, requiring a second
+        // round of Skolemization.
+        let f = exists(["x"], forall(["y"], atom("R", &["x", "y"])));
+        let sk = skolemize(&f, &f.vocabulary(), &Weights::ones());
+        assert!(sk.prenex.is_universal());
+        assert_eq!(sk.skolem_predicates.len(), 2);
+        check_preserves_wfomc(&f, &Weights::from_ints([("R", 1, 1)]), 3);
+        check_preserves_wfomc(&f, &Weights::from_ints([("R", 3, 2)]), 2);
+    }
+
+    #[test]
+    fn skolemizes_typed_triangle_query() {
+        // Table 2's typed triangle ∃x∃y∃z(R(x,y) ∧ S(y,z) ∧ T(z,x)).
+        let f = catalog::typed_triangles();
+        check_preserves_wfomc(
+            &f,
+            &Weights::from_ints([("R", 1, 1), ("S", 2, 1), ("T", 1, 3)]),
+            2,
+        );
+    }
+
+    #[test]
+    fn already_universal_sentence_is_untouched() {
+        let f = catalog::table1_sentence();
+        let sk = skolemize(&f, &f.vocabulary(), &Weights::ones());
+        assert!(sk.skolem_predicates.is_empty());
+        assert_eq!(sk.vocabulary.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a sentence")]
+    fn open_formula_is_rejected() {
+        skolemize(&atom("R", &["x"]), &Vocabulary::new(), &Weights::ones());
+    }
+}

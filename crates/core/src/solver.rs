@@ -1,0 +1,324 @@
+//! A front-door solver that picks the best applicable counting method.
+//!
+//! The dispatch order mirrors the paper's tractability landscape:
+//!
+//! 1. the QS4 dynamic program (Theorem 3.7) for its specific sentence;
+//! 2. the FO² cell algorithm (Appendix C) for sentences with at most two
+//!    distinct variables and predicates of arity ≤ 2;
+//! 3. the γ-acyclic conjunctive-query algorithm (Theorem 3.6);
+//! 4. grounding + weighted model counting — always correct, exponential in
+//!    `n`, and exactly what the paper's hardness results (Theorem 3.1,
+//!    Corollary 3.2, Table 2) say cannot be avoided in general.
+
+use num_traits::Zero;
+
+use wfomc_ground::GroundSolver;
+use wfomc_logic::cq::ConjunctiveQuery;
+use wfomc_logic::syntax::Formula;
+use wfomc_logic::vocabulary::Vocabulary;
+use wfomc_logic::weights::{weight_pow, Weight, Weights};
+use wfomc_prop::WmcBackend;
+
+use crate::cq::gamma_acyclic::gamma_acyclic_wfomc;
+use crate::error::LiftError;
+use crate::fo2::wfomc_fo2;
+use crate::qs4::{is_qs4, wfomc_qs4};
+
+/// Which algorithm produced a result.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Method {
+    /// Theorem 3.7's dynamic program.
+    Qs4,
+    /// The FO² cell algorithm (Appendix C).
+    Fo2,
+    /// The γ-acyclic conjunctive-query algorithm (Theorem 3.6).
+    GammaAcyclicCq,
+    /// Grounding to the propositional lineage plus weighted model counting.
+    Ground,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Method::Qs4 => "qs4-dynamic-program",
+            Method::Fo2 => "fo2-cells",
+            Method::GammaAcyclicCq => "gamma-acyclic-cq",
+            Method::Ground => "grounded-wmc",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A solver result: the count and the method that produced it.
+#[derive(Clone, Debug)]
+pub struct SolverReport {
+    /// The weighted model count (or probability, for the probability entry
+    /// points).
+    pub value: Weight,
+    /// The method used.
+    pub method: Method,
+}
+
+/// The dispatching solver.
+#[derive(Clone, Copy, Debug)]
+pub struct Solver {
+    /// Whether to fall back to grounding when no lifted method applies.
+    pub allow_ground_fallback: bool,
+    /// Propositional backend for the grounded fallback.
+    pub ground_backend: WmcBackend,
+    /// Whether lifted methods are tried at all (disable to force grounding,
+    /// used by the benchmark baselines).
+    pub use_lifted: bool,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver {
+            allow_ground_fallback: true,
+            ground_backend: WmcBackend::Dpll,
+            use_lifted: true,
+        }
+    }
+}
+
+impl Solver {
+    /// A solver with the default configuration (lifted methods first, grounded
+    /// fallback enabled).
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// A solver that only uses lifted methods (errors if none applies).
+    pub fn lifted_only() -> Self {
+        Solver {
+            allow_ground_fallback: false,
+            ..Solver::default()
+        }
+    }
+
+    /// A solver that always grounds (the baseline in the benchmarks).
+    pub fn ground_only() -> Self {
+        Solver {
+            use_lifted: false,
+            ..Solver::default()
+        }
+    }
+
+    /// Symmetric WFOMC of a sentence over `vocabulary` and a domain of size
+    /// `n`.
+    pub fn wfomc(
+        &self,
+        sentence: &Formula,
+        vocabulary: &Vocabulary,
+        n: usize,
+        weights: &Weights,
+    ) -> Result<SolverReport, LiftError> {
+        if !sentence.is_sentence() {
+            return Err(LiftError::NotASentence);
+        }
+        let full_voc = vocabulary.extended_with(&sentence.vocabulary());
+
+        if self.use_lifted {
+            // 1. The QS4 special case.
+            if is_qs4(sentence) {
+                let value = wfomc_qs4(n, weights)
+                    * extra_vocabulary_factor(&full_voc, &sentence.vocabulary(), n, weights);
+                return Ok(SolverReport {
+                    value,
+                    method: Method::Qs4,
+                });
+            }
+
+            // 2. The FO² algorithm.
+            match wfomc_fo2(sentence, &full_voc, n, weights) {
+                Ok(value) => {
+                    return Ok(SolverReport {
+                        value,
+                        method: Method::Fo2,
+                    })
+                }
+                Err(LiftError::Internal(msg)) => return Err(LiftError::Internal(msg)),
+                Err(_) => {}
+            }
+
+            // 3. The γ-acyclic CQ algorithm.
+            if let Some(query) = ConjunctiveQuery::from_formula(sentence) {
+                if let Ok(value) = gamma_acyclic_wfomc(&query, n, weights) {
+                    let value = value
+                        * extra_vocabulary_factor(&full_voc, &query.vocabulary(), n, weights);
+                    return Ok(SolverReport {
+                        value,
+                        method: Method::GammaAcyclicCq,
+                    });
+                }
+            }
+        }
+
+        // 4. Ground.
+        if !self.allow_ground_fallback {
+            return Err(LiftError::PatternMismatch {
+                expected: "a sentence covered by a lifted algorithm (QS4, FO², γ-acyclic CQ)"
+                    .to_string(),
+            });
+        }
+        let value = GroundSolver::with_backend(self.ground_backend)
+            .wfomc(sentence, &full_voc, n, weights);
+        Ok(SolverReport {
+            value,
+            method: Method::Ground,
+        })
+    }
+
+    /// FOMC (all weights 1) over the sentence's own vocabulary.
+    pub fn fomc(&self, sentence: &Formula, n: usize) -> Result<SolverReport, LiftError> {
+        self.wfomc(sentence, &sentence.vocabulary(), n, &Weights::ones())
+    }
+
+    /// The probability of the sentence under the tuple-independent semantics:
+    /// `Pr(Φ) = WFOMC(Φ) / WFOMC(true)`.
+    pub fn probability(
+        &self,
+        sentence: &Formula,
+        vocabulary: &Vocabulary,
+        n: usize,
+        weights: &Weights,
+    ) -> Result<SolverReport, LiftError> {
+        let full_voc = vocabulary.extended_with(&sentence.vocabulary());
+        let report = self.wfomc(sentence, &full_voc, n, weights)?;
+        let normalization = weights.wfomc_of_true(&full_voc, n);
+        if normalization.is_zero() {
+            return Err(LiftError::NoProbabilityNormalization {
+                predicate: "<vocabulary>".to_string(),
+            });
+        }
+        Ok(SolverReport {
+            value: report.value / normalization,
+            method: report.method,
+        })
+    }
+}
+
+/// `(w + w̄)^{n^arity}` for predicates in the full vocabulary that the lifted
+/// method did not account for.
+fn extra_vocabulary_factor(
+    full: &Vocabulary,
+    counted: &Vocabulary,
+    n: usize,
+    weights: &Weights,
+) -> Weight {
+    let mut factor = Weight::from_integer(1.into());
+    for p in full.iter() {
+        if !counted.contains(p.name()) {
+            factor *= weight_pow(&weights.pair_of(p).total(), p.num_ground_tuples(n));
+        }
+    }
+    factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfomc_ground::wfomc as ground_wfomc;
+    use wfomc_logic::catalog;
+    use wfomc_logic::weights::{weight_int, weight_ratio};
+
+    #[test]
+    fn dispatches_qs4_to_the_dynamic_program() {
+        let solver = Solver::new();
+        let report = solver.fomc(&catalog::qs4(), 2).unwrap();
+        assert_eq!(report.method, Method::Qs4);
+        assert_eq!(report.value, weight_int(14));
+    }
+
+    #[test]
+    fn dispatches_fo2_sentences_to_cells() {
+        let solver = Solver::new();
+        for f in [
+            catalog::forall_exists_edge(),
+            catalog::table1_sentence(),
+            catalog::spouse_constraint(),
+            catalog::exists_unary(),
+        ] {
+            let report = solver.fomc(&f, 3).unwrap();
+            assert_eq!(report.method, Method::Fo2, "wrong method for {f}");
+            let grounded = ground_wfomc(&f, &f.vocabulary(), 3, &Weights::ones());
+            assert_eq!(report.value, grounded, "wrong count for {f}");
+        }
+    }
+
+    #[test]
+    fn dispatches_gamma_acyclic_cqs() {
+        let solver = Solver::new();
+        // A 3-variable chain is not FO², so it must go to the CQ algorithm.
+        let q = catalog::chain_query(3);
+        let f = q.to_formula();
+        let report = solver.fomc(&f, 2).unwrap();
+        assert_eq!(report.method, Method::GammaAcyclicCq);
+        assert_eq!(report.value, ground_wfomc(&f, &f.vocabulary(), 2, &Weights::ones()));
+    }
+
+    #[test]
+    fn falls_back_to_ground_for_open_problems() {
+        let solver = Solver::new();
+        for (name, f) in catalog::table2_open_problems() {
+            if f.vocabulary().num_ground_tuples(2) > 20 {
+                continue;
+            }
+            let report = solver.fomc(&f, 2).unwrap();
+            assert_eq!(
+                report.method,
+                Method::Ground,
+                "{name} should not be liftable by the implemented methods"
+            );
+        }
+    }
+
+    #[test]
+    fn lifted_only_solver_errors_on_hard_sentences() {
+        let solver = Solver::lifted_only();
+        let err = solver.fomc(&catalog::transitivity(), 2).unwrap_err();
+        assert!(matches!(err, LiftError::PatternMismatch { .. }));
+        // But still solves FO² sentences.
+        assert!(solver.fomc(&catalog::table1_sentence(), 3).is_ok());
+    }
+
+    #[test]
+    fn ground_only_solver_always_grounds() {
+        let solver = Solver::ground_only();
+        let report = solver.fomc(&catalog::table1_sentence(), 2).unwrap();
+        assert_eq!(report.method, Method::Ground);
+        assert_eq!(report.value, weight_int(161));
+    }
+
+    #[test]
+    fn probability_normalizes_by_wfomc_of_true() {
+        let solver = Solver::new();
+        let f = catalog::exists_unary();
+        let voc = f.vocabulary();
+        let mut w = Weights::ones();
+        w.set_probability("S", weight_ratio(1, 3));
+        let report = solver.probability(&f, &voc, 2, &w).unwrap();
+        assert_eq!(report.value, weight_ratio(5, 9));
+        assert_eq!(report.method, Method::Fo2);
+    }
+
+    #[test]
+    fn extra_vocabulary_predicates_are_counted() {
+        let solver = Solver::new();
+        let f = catalog::qs4();
+        let voc = Vocabulary::from_pairs([("S", 2), ("Unused", 1)]);
+        let report = solver.wfomc(&f, &voc, 2, &Weights::ones()).unwrap();
+        // 14 · 2² (for the unused unary predicate).
+        assert_eq!(report.value, weight_int(56));
+    }
+
+    #[test]
+    fn open_formula_is_rejected() {
+        let solver = Solver::new();
+        let f = wfomc_logic::builders::atom("R", &["x"]);
+        assert!(matches!(
+            solver.fomc(&f, 2),
+            Err(LiftError::NotASentence)
+        ));
+    }
+}

@@ -1,0 +1,157 @@
+//! Model checking: does a structure satisfy a first-order sentence?
+//!
+//! Quantifiers range over the structure's domain `[n]`. The evaluator is the
+//! semantic reference point for the whole library: the lineage construction
+//! and every lifted algorithm are tested against it.
+
+use std::collections::HashMap;
+
+use wfomc_logic::term::{Term, Variable};
+use wfomc_logic::Formula;
+
+use crate::structure::Structure;
+
+/// Evaluates a sentence on a structure.
+///
+/// # Panics
+/// Panics if the formula has free variables (use [`evaluate_with`] to supply
+/// an assignment) or mentions a constant outside the domain.
+pub fn evaluate(formula: &Formula, structure: &Structure) -> bool {
+    assert!(
+        formula.is_sentence(),
+        "evaluate() requires a sentence; use evaluate_with() for open formulas"
+    );
+    evaluate_with(formula, structure, &HashMap::new())
+}
+
+/// Evaluates a formula on a structure under a (possibly partial) variable
+/// assignment. Every free variable of the formula must be assigned.
+pub fn evaluate_with(
+    formula: &Formula,
+    structure: &Structure,
+    assignment: &HashMap<Variable, usize>,
+) -> bool {
+    match formula {
+        Formula::Top => true,
+        Formula::Bottom => false,
+        Formula::Atom(a) => {
+            let tuple: Vec<usize> = a
+                .args
+                .iter()
+                .map(|t| resolve(t, assignment, structure.domain_size()))
+                .collect();
+            structure.contains(a.predicate.name(), &tuple)
+        }
+        Formula::Equals(x, y) => {
+            resolve(x, assignment, structure.domain_size())
+                == resolve(y, assignment, structure.domain_size())
+        }
+        Formula::Not(g) => !evaluate_with(g, structure, assignment),
+        Formula::And(gs) => gs.iter().all(|g| evaluate_with(g, structure, assignment)),
+        Formula::Or(gs) => gs.iter().any(|g| evaluate_with(g, structure, assignment)),
+        Formula::Implies(a, b) => {
+            !evaluate_with(a, structure, assignment) || evaluate_with(b, structure, assignment)
+        }
+        Formula::Iff(a, b) => {
+            evaluate_with(a, structure, assignment) == evaluate_with(b, structure, assignment)
+        }
+        Formula::Forall(v, g) => (0..structure.domain_size()).all(|c| {
+            let mut ext = assignment.clone();
+            ext.insert(v.clone(), c);
+            evaluate_with(g, structure, &ext)
+        }),
+        Formula::Exists(v, g) => (0..structure.domain_size()).any(|c| {
+            let mut ext = assignment.clone();
+            ext.insert(v.clone(), c);
+            evaluate_with(g, structure, &ext)
+        }),
+    }
+}
+
+fn resolve(term: &Term, assignment: &HashMap<Variable, usize>, domain_size: usize) -> usize {
+    let value = match term {
+        Term::Const(c) => c.index(),
+        Term::Var(v) => *assignment
+            .get(v)
+            .unwrap_or_else(|| panic!("unassigned free variable {v}")),
+    };
+    assert!(
+        value < domain_size,
+        "constant {value} outside domain of size {domain_size}"
+    );
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfomc_logic::builders::*;
+    use wfomc_logic::catalog;
+
+    #[test]
+    fn evaluates_quantifiers() {
+        // Structure over [2] with R = {(0,1), (1,0)} satisfies ∀x∃y R(x,y).
+        let mut s = Structure::empty(2);
+        s.insert("R", vec![0, 1]);
+        s.insert("R", vec![1, 0]);
+        assert!(evaluate(&catalog::forall_exists_edge(), &s));
+        // Removing (1,0) breaks it.
+        s.remove("R", &[1, 0]);
+        assert!(!evaluate(&catalog::forall_exists_edge(), &s));
+    }
+
+    #[test]
+    fn evaluates_equality_and_constants() {
+        let s = Structure::empty(3);
+        assert!(evaluate(&forall(["x"], eq("x", "x")), &s));
+        assert!(!evaluate(&forall(["x", "y"], eq("x", "y")), &s));
+        assert!(evaluate(&exists(["x", "y"], neq("x", "y")), &s));
+        // Constant atoms.
+        let mut s = Structure::empty(2);
+        s.insert("R", vec![1]);
+        assert!(evaluate(&atom("R", &["#1"]), &s));
+        assert!(!evaluate(&atom("R", &["#0"]), &s));
+    }
+
+    #[test]
+    fn evaluates_table1_sentence() {
+        // Φ = ∀x∀y (R(x) ∨ S(x,y) ∨ T(y)). With R full, Φ holds regardless.
+        let mut s = Structure::empty(2);
+        s.insert("R", vec![0]);
+        s.insert("R", vec![1]);
+        assert!(evaluate(&catalog::table1_sentence(), &s));
+        // With everything empty, Φ fails (n ≥ 1).
+        assert!(!evaluate(&catalog::table1_sentence(), &Structure::empty(2)));
+        // Degenerate domain of size 0: universally quantified sentences hold.
+        assert!(evaluate(&catalog::table1_sentence(), &Structure::empty(0)));
+    }
+
+    #[test]
+    fn evaluate_with_supports_open_formulas() {
+        let mut s = Structure::empty(2);
+        s.insert("S", vec![0, 1]);
+        let f = atom("S", &["x", "y"]);
+        let mut env = HashMap::new();
+        env.insert(wfomc_logic::Variable::new("x"), 0usize);
+        env.insert(wfomc_logic::Variable::new("y"), 1usize);
+        assert!(evaluate_with(&f, &s, &env));
+        env.insert(wfomc_logic::Variable::new("y"), 0usize);
+        assert!(!evaluate_with(&f, &s, &env));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a sentence")]
+    fn open_formula_rejected_by_evaluate() {
+        evaluate(&atom("R", &["x"]), &Structure::empty(1));
+    }
+
+    #[test]
+    fn transitivity_holds_on_transitive_relations() {
+        let mut s = Structure::empty(3);
+        s.insert("E", vec![0, 1]);
+        s.insert("E", vec![1, 2]);
+        assert!(!evaluate(&catalog::transitivity(), &s));
+        s.insert("E", vec![0, 2]);
+        assert!(evaluate(&catalog::transitivity(), &s));
+    }
+}

@@ -1,0 +1,32 @@
+//! # wfomc-ground
+//!
+//! The model-theoretic substrate of the WFOMC library: finite structures,
+//! model checking, and the two *grounded* baselines against which every
+//! lifted algorithm in `wfomc-core` is validated:
+//!
+//! 1. **Brute-force structure enumeration** ([`enumerate`]) — iterate over all
+//!    `2^{|Tup(n)|}` structures, check the sentence on each, and sum weights.
+//!    Obviously correct, hopelessly exponential; the ground truth for tests.
+//! 2. **Grounded WFOMC via the lineage** ([`lineage`] + [`wfomc`]) — build the
+//!    propositional lineage `F_{Φ,n}` of §2 and hand it to the weighted model
+//!    counters of `wfomc-prop`. Still exponential in the worst case but far
+//!    more scalable than enumeration, and the only generally-applicable method
+//!    for sentences outside the lifted fragments (Table 2's open problems, the
+//!    Θ₁ and ϕ_F reductions).
+//!
+//! This crate also implements the *asymmetric* WFOMC variant of Table 1, where
+//! every ground tuple may carry its own weight.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enumerate;
+pub mod evaluate;
+pub mod lineage;
+pub mod structure;
+pub mod wfomc;
+
+pub use enumerate::{brute_force_fomc, brute_force_wfomc};
+pub use lineage::{GroundAtom, Lineage};
+pub use structure::Structure;
+pub use wfomc::{fomc, probability, wfomc, wfomc_asymmetric, GroundSolver};

@@ -1,0 +1,272 @@
+//! Lineage construction: the grounding `F_{Φ,n}` of §2.
+//!
+//! The lineage of a sentence Φ over a domain of size `n` is the propositional
+//! formula obtained by expanding `∀x` into a conjunction and `∃x` into a
+//! disjunction over the domain, mapping each ground atom to a propositional
+//! variable, and evaluating equality atoms on the spot. For a fixed sentence
+//! its size is polynomial in `n`.
+
+use std::collections::HashMap;
+
+use wfomc_logic::term::{Term, Variable};
+use wfomc_logic::weights::{Weight, Weights};
+use wfomc_logic::{Formula, Vocabulary};
+use wfomc_prop::{PropFormula, VarWeights};
+
+use crate::structure::all_tuples;
+
+/// A ground atom: predicate name plus a tuple of domain constants.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct GroundAtom {
+    /// Predicate name.
+    pub predicate: String,
+    /// The argument tuple.
+    pub tuple: Vec<usize>,
+}
+
+impl std::fmt::Display for GroundAtom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(", self.predicate)?;
+        for (i, c) in self.tuple.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The lineage of a sentence: a propositional formula over the ground atoms of
+/// `Tup(n)`, together with the atom ↔ variable correspondence.
+#[derive(Clone, Debug)]
+pub struct Lineage {
+    /// The propositional lineage formula.
+    pub prop: PropFormula,
+    /// `atoms[v]` is the ground atom of propositional variable `v`. The list
+    /// covers *all* of `Tup(n)` for the supplied vocabulary, not just the
+    /// atoms mentioned by the formula, so weighted counts over the lineage
+    /// equal WFOMC over the full vocabulary.
+    pub atoms: Vec<GroundAtom>,
+    /// Domain size.
+    pub domain_size: usize,
+}
+
+impl Lineage {
+    /// Grounds `formula` over a domain of size `n`, using `vocabulary` as the
+    /// tuple universe.
+    ///
+    /// # Panics
+    /// Panics if the formula mentions predicates outside the vocabulary, has
+    /// free variables, or uses constants outside the domain.
+    pub fn build(formula: &Formula, vocabulary: &Vocabulary, n: usize) -> Lineage {
+        assert!(
+            formula.is_sentence(),
+            "lineage construction requires a sentence"
+        );
+        assert!(
+            formula.vocabulary().is_subvocabulary_of(vocabulary),
+            "the sentence mentions predicates outside the supplied vocabulary"
+        );
+        let mut atoms = Vec::new();
+        let mut index: HashMap<GroundAtom, usize> = HashMap::new();
+        for p in vocabulary.iter() {
+            for tuple in all_tuples(n, p.arity()) {
+                let atom = GroundAtom {
+                    predicate: p.name().to_string(),
+                    tuple,
+                };
+                index.insert(atom.clone(), atoms.len());
+                atoms.push(atom);
+            }
+        }
+        let prop = ground(formula, n, &index, &HashMap::new());
+        Lineage {
+            prop,
+            atoms,
+            domain_size: n,
+        }
+    }
+
+    /// Number of propositional variables (`|Tup(n)|`).
+    pub fn num_vars(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The variable index of a ground atom, if it is part of the universe.
+    pub fn var_of(&self, atom: &GroundAtom) -> Option<usize> {
+        self.atoms.iter().position(|a| a == atom)
+    }
+
+    /// Symmetric per-variable weights: every ground atom of relation `R`
+    /// receives `(w_R, w̄_R)`.
+    pub fn symmetric_weights(&self, weights: &Weights) -> VarWeights {
+        let mut vw = VarWeights::ones(0);
+        for atom in &self.atoms {
+            let pair = weights.pair(&atom.predicate);
+            vw.push(pair.pos, pair.neg);
+        }
+        vw
+    }
+
+    /// Asymmetric per-variable weights: each ground tuple gets its own pair,
+    /// supplied by the callback (the Table 1 "asymmetric WFOMC" row).
+    pub fn asymmetric_weights(&self, mut weight_of: impl FnMut(&GroundAtom) -> (Weight, Weight)) -> VarWeights {
+        let mut vw = VarWeights::ones(0);
+        for atom in &self.atoms {
+            let (pos, neg) = weight_of(atom);
+            vw.push(pos, neg);
+        }
+        vw
+    }
+}
+
+fn ground(
+    formula: &Formula,
+    n: usize,
+    index: &HashMap<GroundAtom, usize>,
+    env: &HashMap<Variable, usize>,
+) -> PropFormula {
+    match formula {
+        Formula::Top => PropFormula::Top,
+        Formula::Bottom => PropFormula::Bottom,
+        Formula::Atom(a) => {
+            let tuple: Vec<usize> = a.args.iter().map(|t| resolve(t, env, n)).collect();
+            let ga = GroundAtom {
+                predicate: a.predicate.name().to_string(),
+                tuple,
+            };
+            let var = *index
+                .get(&ga)
+                .unwrap_or_else(|| panic!("ground atom {ga} missing from the universe"));
+            PropFormula::var(var)
+        }
+        Formula::Equals(x, y) => {
+            if resolve(x, env, n) == resolve(y, env, n) {
+                PropFormula::Top
+            } else {
+                PropFormula::Bottom
+            }
+        }
+        Formula::Not(g) => PropFormula::not(ground(g, n, index, env)),
+        Formula::And(gs) => PropFormula::and_all(gs.iter().map(|g| ground(g, n, index, env))),
+        Formula::Or(gs) => PropFormula::or_all(gs.iter().map(|g| ground(g, n, index, env))),
+        Formula::Implies(a, b) => PropFormula::implies(
+            ground(a, n, index, env),
+            ground(b, n, index, env),
+        ),
+        Formula::Iff(a, b) => PropFormula::iff(
+            ground(a, n, index, env),
+            ground(b, n, index, env),
+        ),
+        Formula::Forall(v, g) => PropFormula::and_all((0..n).map(|c| {
+            let mut ext = env.clone();
+            ext.insert(v.clone(), c);
+            ground(g, n, index, &ext)
+        })),
+        Formula::Exists(v, g) => PropFormula::or_all((0..n).map(|c| {
+            let mut ext = env.clone();
+            ext.insert(v.clone(), c);
+            ground(g, n, index, &ext)
+        })),
+    }
+}
+
+fn resolve(term: &Term, env: &HashMap<Variable, usize>, n: usize) -> usize {
+    let value = match term {
+        Term::Const(c) => c.index(),
+        Term::Var(v) => *env
+            .get(v)
+            .unwrap_or_else(|| panic!("unbound variable {v} during grounding")),
+    };
+    assert!(value < n, "constant {value} outside domain of size {n}");
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfomc_logic::builders::*;
+    use wfomc_logic::catalog;
+    use wfomc_logic::weights::weight_int;
+
+    #[test]
+    fn lineage_of_forall_exists_edge() {
+        // ∀x∃y R(x,y) over n=2: (R00 ∨ R01) ∧ (R10 ∨ R11).
+        let f = catalog::forall_exists_edge();
+        let voc = f.vocabulary();
+        let lin = Lineage::build(&f, &voc, 2);
+        assert_eq!(lin.num_vars(), 4);
+        match &lin.prop {
+            PropFormula::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected conjunction, got {other:?}"),
+        }
+        assert_eq!(lin.domain_size, 2);
+        assert!(lin
+            .var_of(&GroundAtom {
+                predicate: "R".into(),
+                tuple: vec![1, 0]
+            })
+            .is_some());
+    }
+
+    #[test]
+    fn lineage_size_is_polynomial_in_n() {
+        let f = catalog::table1_sentence();
+        let voc = f.vocabulary();
+        let s3 = Lineage::build(&f, &voc, 3).prop.size();
+        let s6 = Lineage::build(&f, &voc, 6).prop.size();
+        // Quadratic growth: roughly 4x when doubling n.
+        assert!(s6 > 3 * s3 && s6 < 6 * s3, "sizes {s3} vs {s6}");
+    }
+
+    #[test]
+    fn equality_is_resolved_during_grounding() {
+        // ∀x∀y (x = y ∨ R(x,y)) over n=2 should constrain only off-diagonal
+        // atoms.
+        let f = forall(["x", "y"], or(vec![eq("x", "y"), atom("R", &["x", "y"])]));
+        let voc = f.vocabulary();
+        let lin = Lineage::build(&f, &voc, 2);
+        let vars = lin.prop.variables();
+        // Diagonal atoms R(0,0), R(1,1) are unconstrained.
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn symmetric_weights_follow_predicates() {
+        let f = catalog::table1_sentence();
+        let voc = f.vocabulary();
+        let lin = Lineage::build(&f, &voc, 2);
+        let weights = Weights::from_ints([("R", 2, 1), ("S", 3, 1), ("T", 5, 7)]);
+        let vw = lin.symmetric_weights(&weights);
+        assert_eq!(vw.len(), lin.num_vars());
+        // Find a T-atom and check its weights.
+        let t_var = lin
+            .var_of(&GroundAtom {
+                predicate: "T".into(),
+                tuple: vec![1],
+            })
+            .unwrap();
+        assert_eq!(vw.pos(t_var), &weight_int(5));
+        assert_eq!(vw.neg(t_var), &weight_int(7));
+    }
+
+    #[test]
+    fn asymmetric_weights_vary_per_tuple() {
+        let f = catalog::exists_unary();
+        let voc = f.vocabulary();
+        let lin = Lineage::build(&f, &voc, 3);
+        let vw = lin.asymmetric_weights(|atom| {
+            (weight_int(atom.tuple[0] as i64 + 1), weight_int(1))
+        });
+        assert_eq!(vw.pos(0), &weight_int(1));
+        assert_eq!(vw.pos(2), &weight_int(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a sentence")]
+    fn open_formula_is_rejected() {
+        let f = atom("R", &["x"]);
+        Lineage::build(&f, &f.vocabulary(), 2);
+    }
+}

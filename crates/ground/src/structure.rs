@@ -1,0 +1,217 @@
+//! Finite relational structures (possible worlds / database instances).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use wfomc_logic::weights::{weight_pow, Weight, Weights};
+use wfomc_logic::{Predicate, Vocabulary};
+
+/// A finite structure over a domain `{0, …, domain_size−1}`: for every
+/// predicate, the set of tuples that are true.
+///
+/// Structures are *labeled* (the paper counts isomorphic structures as
+/// distinct), so two structures are equal iff they contain exactly the same
+/// ground tuples.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Structure {
+    domain_size: usize,
+    relations: BTreeMap<String, BTreeSet<Vec<usize>>>,
+}
+
+impl Structure {
+    /// The empty structure over a domain of the given size.
+    pub fn empty(domain_size: usize) -> Self {
+        Structure {
+            domain_size,
+            relations: BTreeMap::new(),
+        }
+    }
+
+    /// The domain size `n`.
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// Inserts a ground tuple.
+    ///
+    /// # Panics
+    /// Panics if a tuple element is outside the domain.
+    pub fn insert(&mut self, predicate: &str, tuple: Vec<usize>) {
+        assert!(
+            tuple.iter().all(|&c| c < self.domain_size),
+            "tuple {tuple:?} outside domain of size {}",
+            self.domain_size
+        );
+        self.relations
+            .entry(predicate.to_string())
+            .or_default()
+            .insert(tuple);
+    }
+
+    /// Removes a ground tuple; returns whether it was present.
+    pub fn remove(&mut self, predicate: &str, tuple: &[usize]) -> bool {
+        self.relations
+            .get_mut(predicate)
+            .map(|rel| rel.remove(tuple))
+            .unwrap_or(false)
+    }
+
+    /// True if the tuple is in the relation.
+    pub fn contains(&self, predicate: &str, tuple: &[usize]) -> bool {
+        self.relations
+            .get(predicate)
+            .map(|rel| rel.contains(tuple))
+            .unwrap_or(false)
+    }
+
+    /// The tuples of one relation (empty if never touched).
+    pub fn relation(&self, predicate: &str) -> BTreeSet<Vec<usize>> {
+        self.relations.get(predicate).cloned().unwrap_or_default()
+    }
+
+    /// Number of tuples of one relation.
+    pub fn relation_size(&self, predicate: &str) -> usize {
+        self.relations.get(predicate).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// Total number of tuples in the structure.
+    pub fn num_tuples(&self) -> usize {
+        self.relations.values().map(BTreeSet::len).sum()
+    }
+
+    /// The weight of this structure under symmetric weights: for every
+    /// predicate of `vocabulary`, present tuples contribute `w`, absent tuples
+    /// contribute `w̄` (the `W(θ)` of §2 Eq. (3), restricted to the symmetric
+    /// setting).
+    pub fn weight(&self, vocabulary: &Vocabulary, weights: &Weights) -> Weight {
+        let mut total = Weight::from_integer(1.into());
+        for p in vocabulary.iter() {
+            let pair = weights.pair_of(p);
+            let present = self.relation_size(p.name());
+            let possible = p.num_ground_tuples(self.domain_size);
+            debug_assert!(present <= possible);
+            total *= weight_pow(&pair.pos, present);
+            total *= weight_pow(&pair.neg, possible - present);
+        }
+        total
+    }
+
+    /// Fills one relation with the full cartesian power of the domain
+    /// (used by the Corollary 3.2 argument of setting a relation's
+    /// probability to 1).
+    pub fn fill_relation(&mut self, predicate: &Predicate) {
+        let tuples = all_tuples(self.domain_size, predicate.arity());
+        let rel = self.relations.entry(predicate.name().to_string()).or_default();
+        for t in tuples {
+            rel.insert(t);
+        }
+    }
+}
+
+/// All tuples of the given arity over a domain of size `n`, in lexicographic
+/// order.
+pub fn all_tuples(n: usize, arity: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![vec![]];
+    for _ in 0..arity {
+        let mut next = Vec::with_capacity(out.len() * n);
+        for prefix in &out {
+            for c in 0..n {
+                let mut t = prefix.clone();
+                t.push(c);
+                next.push(t);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨[{}]; ", self.domain_size)?;
+        for (i, (name, rel)) in self.relations.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}={{")?;
+            for (j, t) in rel.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "(")?;
+                for (k, c) in t.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfomc_logic::weights::weight_int;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = Structure::empty(3);
+        s.insert("R", vec![0, 1]);
+        s.insert("R", vec![1, 2]);
+        s.insert("S", vec![2]);
+        assert!(s.contains("R", &[0, 1]));
+        assert!(!s.contains("R", &[1, 0]));
+        assert_eq!(s.relation_size("R"), 2);
+        assert_eq!(s.num_tuples(), 3);
+        assert!(s.remove("R", &[0, 1]));
+        assert!(!s.remove("R", &[0, 1]));
+        assert_eq!(s.relation_size("R"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_tuple_panics() {
+        let mut s = Structure::empty(2);
+        s.insert("R", vec![0, 5]);
+    }
+
+    #[test]
+    fn all_tuples_enumeration() {
+        assert_eq!(all_tuples(3, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(all_tuples(2, 1), vec![vec![0], vec![1]]);
+        assert_eq!(all_tuples(2, 2).len(), 4);
+        assert_eq!(all_tuples(3, 2).len(), 9);
+    }
+
+    #[test]
+    fn weight_counts_present_and_absent_tuples() {
+        // Vocabulary R/1 over domain 2, weights (3, 2).
+        let voc = Vocabulary::from_pairs([("R", 1)]);
+        let weights = Weights::from_ints([("R", 3, 2)]);
+        let mut s = Structure::empty(2);
+        s.insert("R", vec![0]);
+        // One present (3), one absent (2) → 6.
+        assert_eq!(s.weight(&voc, &weights), weight_int(6));
+        // Empty structure: 2·2 = 4.
+        assert_eq!(Structure::empty(2).weight(&voc, &weights), weight_int(4));
+    }
+
+    #[test]
+    fn fill_relation_inserts_cartesian_power() {
+        let mut s = Structure::empty(3);
+        s.fill_relation(&Predicate::new("R", 2));
+        assert_eq!(s.relation_size("R"), 9);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let mut s = Structure::empty(2);
+        s.insert("R", vec![0, 1]);
+        assert_eq!(s.to_string(), "⟨[2]; R={(0,1)}⟩");
+    }
+}

@@ -1,0 +1,212 @@
+//! The hypergraph data structure.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a node (a query variable).
+pub type NodeId = usize;
+
+/// Index of a hyperedge (a query atom).
+pub type EdgeId = usize;
+
+/// A labeled hypergraph.
+///
+/// Nodes are dense indices `0..num_nodes` with optional string labels;
+/// hyperedges are labeled sets of nodes. Both duplicates of labels and
+/// duplicate edges (same node set) are allowed — the acyclicity reductions
+/// deal with them.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Hypergraph {
+    node_labels: Vec<String>,
+    edges: Vec<Edge>,
+}
+
+/// A hyperedge: a label and the set of incident nodes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Edge {
+    /// Human-readable label (typically the relation name).
+    pub label: String,
+    /// The incident nodes.
+    pub nodes: BTreeSet<NodeId>,
+}
+
+impl Hypergraph {
+    /// Creates an empty hypergraph.
+    pub fn new() -> Self {
+        Hypergraph::default()
+    }
+
+    /// Adds a node with a label, returning its id.
+    pub fn add_node(&mut self, label: impl Into<String>) -> NodeId {
+        self.node_labels.push(label.into());
+        self.node_labels.len() - 1
+    }
+
+    /// Adds `count` anonymous nodes, returning the id of the first.
+    pub fn add_nodes(&mut self, count: usize) -> NodeId {
+        let first = self.node_labels.len();
+        for i in 0..count {
+            self.node_labels.push(format!("v{}", first + i));
+        }
+        first
+    }
+
+    /// Adds a hyperedge over the given nodes, returning its id.
+    ///
+    /// # Panics
+    /// Panics if a node id is out of range.
+    pub fn add_edge(&mut self, label: impl Into<String>, nodes: impl IntoIterator<Item = NodeId>) -> EdgeId {
+        let nodes: BTreeSet<NodeId> = nodes.into_iter().collect();
+        for &n in &nodes {
+            assert!(n < self.node_labels.len(), "node {n} does not exist");
+        }
+        self.edges.push(Edge {
+            label: label.into(),
+            nodes,
+        });
+        self.edges.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The label of a node.
+    pub fn node_label(&self, n: NodeId) -> &str {
+        &self.node_labels[n]
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The node sets of all edges (useful for the acyclicity reductions,
+    /// which only care about the incidence structure).
+    pub fn edge_sets(&self) -> Vec<BTreeSet<NodeId>> {
+        self.edges.iter().map(|e| e.nodes.clone()).collect()
+    }
+
+    /// The edges incident to a node.
+    pub fn edges_of(&self, n: NodeId) -> Vec<EdgeId> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.nodes.contains(&n))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// All nodes that occur in at least one edge.
+    pub fn covered_nodes(&self) -> BTreeSet<NodeId> {
+        self.edges.iter().flat_map(|e| e.nodes.iter().copied()).collect()
+    }
+
+    /// The sub-hypergraph induced by a subset of edges (nodes are kept as-is).
+    pub fn edge_subgraph(&self, edge_ids: &[EdgeId]) -> Hypergraph {
+        Hypergraph {
+            node_labels: self.node_labels.clone(),
+            edges: edge_ids.iter().map(|&i| self.edges[i].clone()).collect(),
+        }
+    }
+
+    /// Builds a hypergraph from named edges over named nodes, creating nodes
+    /// on first use. Convenient for tests and for converting conjunctive
+    /// queries.
+    pub fn from_named_edges<'a, I, J>(edges: I) -> Hypergraph
+    where
+        I: IntoIterator<Item = (&'a str, J)>,
+        J: IntoIterator<Item = &'a str>,
+    {
+        let mut hg = Hypergraph::new();
+        let mut names: Vec<String> = Vec::new();
+        for (label, nodes) in edges {
+            let ids: Vec<NodeId> = nodes
+                .into_iter()
+                .map(|name| {
+                    if let Some(pos) = names.iter().position(|n| n == name) {
+                        pos
+                    } else {
+                        names.push(name.to_string());
+                        hg.add_node(name)
+                    }
+                })
+                .collect();
+            hg.add_edge(label, ids);
+        }
+        hg
+    }
+}
+
+impl fmt::Display for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}(", e.label)?;
+            for (j, n) in e.nodes.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", self.node_labels[*n])?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut hg = Hypergraph::new();
+        let x = hg.add_node("x");
+        let y = hg.add_node("y");
+        let z = hg.add_node("z");
+        let e0 = hg.add_edge("R", [x, y]);
+        let e1 = hg.add_edge("S", [y, z]);
+        assert_eq!(hg.num_nodes(), 3);
+        assert_eq!(hg.num_edges(), 2);
+        assert_eq!(hg.edges_of(y), vec![e0, e1]);
+        assert_eq!(hg.edges_of(x), vec![e0]);
+        assert_eq!(hg.covered_nodes().len(), 3);
+        assert_eq!(hg.node_label(z), "z");
+    }
+
+    #[test]
+    fn from_named_edges_reuses_nodes() {
+        let hg = Hypergraph::from_named_edges([("R", vec!["x", "y"]), ("S", vec!["y", "z"])]);
+        assert_eq!(hg.num_nodes(), 3);
+        assert_eq!(hg.num_edges(), 2);
+        assert_eq!(hg.to_string(), "R(x,y), S(y,z)");
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_selected_edges() {
+        let hg = Hypergraph::from_named_edges([
+            ("R", vec!["x", "y"]),
+            ("S", vec!["y", "z"]),
+            ("T", vec!["z", "x"]),
+        ]);
+        let sub = hg.edge_subgraph(&[0, 2]);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(sub.edges()[1].label, "T");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn adding_edge_with_unknown_node_panics() {
+        let mut hg = Hypergraph::new();
+        hg.add_edge("R", [5]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # wfomc-hypergraph
+//!
+//! Hypergraphs and Fagin's degrees of acyclicity.
+//!
+//! §3.2 of *Symmetric Weighted First-Order Model Counting* (PODS 2015)
+//! classifies conjunctive queries by the acyclicity of their associated
+//! hypergraph (variables are nodes, atoms are hyperedges):
+//!
+//! * **γ-acyclic** queries have PTIME symmetric WFOMC (Theorem 3.6);
+//! * **β-acyclic** queries are conjectured to be the tractability frontier;
+//! * **α-acyclic** queries are as hard as arbitrary self-join-free queries.
+//!
+//! This crate implements the three acyclicity tests:
+//!
+//! * [`Hypergraph::is_alpha_acyclic`] — GYO ear-removal;
+//! * [`Hypergraph::is_beta_acyclic`] — every edge-subset is α-acyclic
+//!   (Fagin's characterization), plus [`Hypergraph::find_weak_beta_cycle`]
+//!   which produces the witness used by the paper's C_k-hardness reduction;
+//! * [`Hypergraph::is_gamma_acyclic`] — Fagin's reduction rules (a)–(e), the
+//!   exact rule set the Theorem 3.6 counting algorithm follows.
+//!
+//! The crate is self-contained (no logic dependency); `wfomc-core` converts
+//! conjunctive queries into [`Hypergraph`] values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acyclicity;
+pub mod hypergraph;
+
+pub use acyclicity::{AcyclicityClass, GammaReductionTrace, ReductionStep};
+pub use hypergraph::{EdgeId, Hypergraph, NodeId};

@@ -1,0 +1,128 @@
+//! Ergonomic helpers for constructing formulas in examples, tests and the
+//! paper-sentence catalog.
+//!
+//! These helpers infer predicate arity from the argument count, so
+//! `atom("S", &["x", "y"])` builds `S/2`. They are deliberately stringly-typed
+//! for brevity; library code that already has [`Predicate`] values should use
+//! the [`Formula`] smart constructors directly.
+
+use crate::syntax::Formula;
+use crate::term::Term;
+use crate::vocabulary::Predicate;
+
+/// Builds an atom `name(args…)`, inferring the arity from `args.len()`.
+/// Arguments are parsed as constants when they look like `#<index>`
+/// (e.g. `"#0"`), otherwise as variables.
+pub fn atom(name: &str, args: &[&str]) -> Formula {
+    let terms: Vec<Term> = args.iter().map(|a| parse_term(a)).collect();
+    Formula::atom(Predicate::new(name, terms.len()), terms)
+}
+
+/// Builds a nullary (propositional) atom.
+pub fn prop(name: &str) -> Formula {
+    Formula::atom(Predicate::new(name, 0), vec![])
+}
+
+fn parse_term(s: &str) -> Term {
+    if let Some(rest) = s.strip_prefix('#') {
+        if let Ok(i) = rest.parse::<usize>() {
+            return Term::constant(i);
+        }
+    }
+    Term::var(s)
+}
+
+/// Negation.
+pub fn not(f: Formula) -> Formula {
+    Formula::not(f)
+}
+
+/// N-ary conjunction.
+pub fn and(fs: Vec<Formula>) -> Formula {
+    Formula::and_all(fs)
+}
+
+/// N-ary disjunction.
+pub fn or(fs: Vec<Formula>) -> Formula {
+    Formula::or_all(fs)
+}
+
+/// Implication.
+pub fn implies(a: Formula, b: Formula) -> Formula {
+    Formula::implies(a, b)
+}
+
+/// Bi-implication.
+pub fn iff(a: Formula, b: Formula) -> Formula {
+    Formula::iff(a, b)
+}
+
+/// Universal closure over the listed variables.
+pub fn forall<const N: usize>(vars: [&str; N], f: Formula) -> Formula {
+    Formula::forall_many(vars, f)
+}
+
+/// Existential closure over the listed variables.
+pub fn exists<const N: usize>(vars: [&str; N], f: Formula) -> Formula {
+    Formula::exists_many(vars, f)
+}
+
+/// Equality atom between two variables/constants (same `#i` syntax as [`atom`]).
+pub fn eq(a: &str, b: &str) -> Formula {
+    Formula::Equals(parse_term(a), parse_term(b))
+}
+
+/// Inequality `¬(a = b)`.
+pub fn neq(a: &str, b: &str) -> Formula {
+    Formula::not(eq(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_infers_arity_and_constants() {
+        let f = atom("R", &["x", "#3"]);
+        match f {
+            Formula::Atom(a) => {
+                assert_eq!(a.predicate.arity(), 2);
+                assert!(a.args[0].is_var());
+                assert_eq!(a.args[1].as_const().unwrap().index(), 3);
+            }
+            other => panic!("expected atom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prop_is_nullary() {
+        match prop("X") {
+            Formula::Atom(a) => assert_eq!(a.predicate.arity(), 0),
+            other => panic!("expected atom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closures_nest_in_order() {
+        let f = forall(["x", "y"], atom("R", &["x", "y"]));
+        match f {
+            Formula::Forall(v, inner) => {
+                assert_eq!(v.name(), "x");
+                match *inner {
+                    Formula::Forall(v2, _) => assert_eq!(v2.name(), "y"),
+                    other => panic!("expected nested forall, got {other:?}"),
+                }
+            }
+            other => panic!("expected forall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eq_and_neq() {
+        assert!(eq("x", "y").uses_equality());
+        match neq("x", "y") {
+            Formula::Not(inner) => assert!(matches!(*inner, Formula::Equals(..))),
+            other => panic!("expected negation, got {other:?}"),
+        }
+    }
+}

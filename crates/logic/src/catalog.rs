@@ -1,0 +1,326 @@
+//! A catalog of every sentence and query that appears in the paper, built
+//! programmatically so examples, tests and benchmarks all agree on the exact
+//! syntax.
+//!
+//! * Table 1 / intro identities: [`table1_sentence`], [`table1_dual_cq`],
+//!   [`forall_exists_edge`], [`exists_unary`];
+//! * Example 1.1 (MLN soft constraint): [`spouse_constraint`];
+//! * Theorem 3.7: [`qs4`];
+//! * Table 2 (open problems): [`untyped_triangles`], [`typed_triangles`],
+//!   [`k_cycle`], [`transitivity`], [`homophily`], [`extension_axiom`];
+//! * Figure 1 (conjunctive-query landscape): [`c_gamma`], [`c_jtdb`],
+//!   [`chain_query`], [`typed_cycle_cq`], [`star_query`];
+//! * the classic smokers-and-friends constraint used by the MLN examples:
+//!   [`smokers_constraint`].
+
+use crate::builders::*;
+use crate::cq::ConjunctiveQuery;
+use crate::syntax::{Atom, Formula};
+use crate::term::Term;
+use crate::vocabulary::Predicate;
+
+fn cq_atom(name: &str, vars: &[&str]) -> Atom {
+    Atom::new(
+        Predicate::new(name, vars.len()),
+        vars.iter().map(|v| Term::var(*v)).collect(),
+    )
+}
+
+/// Table 1 / running example: `Φ = ∀x∀y (R(x) ∨ S(x,y) ∨ T(y))`.
+pub fn table1_sentence() -> Formula {
+    forall(
+        ["x", "y"],
+        or(vec![
+            atom("R", &["x"]),
+            atom("S", &["x", "y"]),
+            atom("T", &["y"]),
+        ]),
+    )
+}
+
+/// The dual conjunctive query of Table 1's clause:
+/// `∃x∃y (R(x) ∧ S(x,y) ∧ T(y))` — the sentence the introduction points out is
+/// #P-hard for *asymmetric* weights but polynomial for symmetric ones.
+pub fn table1_dual_cq() -> ConjunctiveQuery {
+    ConjunctiveQuery::new(vec![
+        cq_atom("R", &["x"]),
+        cq_atom("S", &["x", "y"]),
+        cq_atom("T", &["y"]),
+    ])
+}
+
+/// `Φ = ∀x ∃y R(x,y)` — the introduction's first example with
+/// `FOMC(Φ, n) = (2ⁿ − 1)ⁿ`.
+pub fn forall_exists_edge() -> Formula {
+    forall(["x"], exists(["y"], atom("R", &["x", "y"])))
+}
+
+/// `ϕ = ∃y S(y)` — the §2 example with
+/// `WFOMC(ϕ, n) = (w̄+w)ⁿ − w̄ⁿ`.
+pub fn exists_unary() -> Formula {
+    exists(["y"], atom("S", &["y"]))
+}
+
+/// Example 1.1's soft-constraint formula (without its weight):
+/// `∀x∀y (Spouse(x,y) ∧ Female(x) ⇒ Male(y))`.
+pub fn spouse_constraint() -> Formula {
+    forall(
+        ["x", "y"],
+        implies(
+            and(vec![atom("Spouse", &["x", "y"]), atom("Female", &["x"])]),
+            atom("Male", &["y"]),
+        ),
+    )
+}
+
+/// The classic smokers-and-friends MLN constraint, used by the social-network
+/// example: `∀x∀y (Smokes(x) ∧ Friends(x,y) ⇒ Smokes(y))`.
+pub fn smokers_constraint() -> Formula {
+    forall(
+        ["x", "y"],
+        implies(
+            and(vec![atom("Smokes", &["x"]), atom("Friends", &["x", "y"])]),
+            atom("Smokes", &["y"]),
+        ),
+    )
+}
+
+/// Theorem 3.7's sentence
+/// `QS4 = ∀x₁∀x₂∀y₁∀y₂ (S(x₁,y₁) ∨ ¬S(x₂,y₁) ∨ S(x₂,y₂) ∨ ¬S(x₁,y₂))`.
+pub fn qs4() -> Formula {
+    forall(
+        ["x1", "x2", "y1", "y2"],
+        or(vec![
+            atom("S", &["x1", "y1"]),
+            not(atom("S", &["x2", "y1"])),
+            atom("S", &["x2", "y2"]),
+            not(atom("S", &["x1", "y2"])),
+        ]),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: open problems
+// ---------------------------------------------------------------------------
+
+/// Table 2, "Untyped triangles": `∃x∃y∃z (R(x,y) ∧ R(y,z) ∧ R(z,x))`.
+pub fn untyped_triangles() -> Formula {
+    exists(
+        ["x", "y", "z"],
+        and(vec![
+            atom("R", &["x", "y"]),
+            atom("R", &["y", "z"]),
+            atom("R", &["z", "x"]),
+        ]),
+    )
+}
+
+/// Table 2, "Typed triangles (3-cycle)": `∃x∃y∃z (R(x,y) ∧ S(y,z) ∧ T(z,x))`.
+pub fn typed_triangles() -> Formula {
+    exists(
+        ["x", "y", "z"],
+        and(vec![
+            atom("R", &["x", "y"]),
+            atom("S", &["y", "z"]),
+            atom("T", &["z", "x"]),
+        ]),
+    )
+}
+
+/// Table 2 / Figure 1, the typed `k`-cycle `C_k` as a conjunctive query:
+/// `∃x₁…x_k (R₁(x₁,x₂) ∧ R₂(x₂,x₃) ∧ … ∧ R_k(x_k,x₁))` for `k ≥ 3`.
+///
+/// # Panics
+/// Panics if `k < 3`.
+pub fn typed_cycle_cq(k: usize) -> ConjunctiveQuery {
+    assert!(k >= 3, "a typed cycle needs at least 3 relations");
+    let vars: Vec<String> = (1..=k).map(|i| format!("x{i}")).collect();
+    let mut atoms = Vec::with_capacity(k);
+    for i in 0..k {
+        let a = &vars[i];
+        let b = &vars[(i + 1) % k];
+        atoms.push(cq_atom(&format!("R{}", i + 1), &[a.as_str(), b.as_str()]));
+    }
+    ConjunctiveQuery::new(atoms)
+}
+
+/// The typed `k`-cycle as a first-order sentence.
+pub fn k_cycle(k: usize) -> Formula {
+    typed_cycle_cq(k).to_formula()
+}
+
+/// Table 2, "Transitivity": `∀x∀y∀z (E(x,y) ∧ E(y,z) ⇒ E(x,z))`.
+pub fn transitivity() -> Formula {
+    forall(
+        ["x", "y", "z"],
+        implies(
+            and(vec![atom("E", &["x", "y"]), atom("E", &["y", "z"])]),
+            atom("E", &["x", "z"]),
+        ),
+    )
+}
+
+/// Table 2, "Homophily": `∀x∀y∀z (R(x,y) ∧ S(x,z) ⇒ R(z,y))`.
+pub fn homophily() -> Formula {
+    forall(
+        ["x", "y", "z"],
+        implies(
+            and(vec![atom("R", &["x", "y"]), atom("S", &["x", "z"])]),
+            atom("R", &["z", "y"]),
+        ),
+    )
+}
+
+/// Table 2, "Extension Axiom (Simplified)":
+/// `∀x₁∀x₂∀x₃ (x₁≠x₂ ∧ x₁≠x₃ ∧ x₂≠x₃ ⇒ ∃y (E(x₁,y) ∧ E(x₂,y) ∧ E(x₃,y)))`.
+pub fn extension_axiom() -> Formula {
+    forall(
+        ["x1", "x2", "x3"],
+        implies(
+            and(vec![neq("x1", "x2"), neq("x1", "x3"), neq("x2", "x3")]),
+            exists(
+                ["y"],
+                and(vec![
+                    atom("E", &["x1", "y"]),
+                    atom("E", &["x2", "y"]),
+                    atom("E", &["x3", "y"]),
+                ]),
+            ),
+        ),
+    )
+}
+
+/// All Table 2 open problems with their paper names, for the `repro table2`
+/// harness.
+pub fn table2_open_problems() -> Vec<(&'static str, Formula)> {
+    vec![
+        ("Untyped triangles", untyped_triangles()),
+        ("Typed triangles (3-cycle)", typed_triangles()),
+        ("4-cycle", k_cycle(4)),
+        ("Transitivity", transitivity()),
+        ("Homophily", homophily()),
+        ("Extension axiom (simplified)", extension_axiom()),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: conjunctive-query landscape
+// ---------------------------------------------------------------------------
+
+/// Figure 1's γ-cyclic yet tractable query
+/// `c_γ = R(x,z), S(x,y,z), T(y,z)` (§3.2: the last variable `z` is a
+/// separator).
+pub fn c_gamma() -> ConjunctiveQuery {
+    ConjunctiveQuery::new(vec![
+        cq_atom("R", &["x", "z"]),
+        cq_atom("S", &["x", "y", "z"]),
+        cq_atom("T", &["y", "z"]),
+    ])
+}
+
+/// Figure 1's PTIME query outside jtdb:
+/// `c_jtdb = R(x,y,z,u), S(x,y), T(x,z), V(x,u)`.
+pub fn c_jtdb() -> ConjunctiveQuery {
+    ConjunctiveQuery::new(vec![
+        cq_atom("R", &["x", "y", "z", "u"]),
+        cq_atom("S", &["x", "y"]),
+        cq_atom("T", &["x", "z"]),
+        cq_atom("V", &["x", "u"]),
+    ])
+}
+
+/// Example 3.10's linear chain query
+/// `Q = ∃x₀…x_m R₁(x₀,x₁) ∧ … ∧ R_m(x_{m−1},x_m)`.
+///
+/// # Panics
+/// Panics if `m == 0`.
+pub fn chain_query(m: usize) -> ConjunctiveQuery {
+    assert!(m >= 1, "a chain needs at least one atom");
+    let vars: Vec<String> = (0..=m).map(|i| format!("x{i}")).collect();
+    let atoms = (0..m)
+        .map(|i| {
+            cq_atom(
+                &format!("R{}", i + 1),
+                &[vars[i].as_str(), vars[i + 1].as_str()],
+            )
+        })
+        .collect();
+    ConjunctiveQuery::new(atoms)
+}
+
+/// A star query `R₁(c,x₁), …, R_k(c,x_k)` — γ-acyclic, used by tests and the
+/// Figure 1 bench as an easy member of the tractable region.
+pub fn star_query(k: usize) -> ConjunctiveQuery {
+    assert!(k >= 1);
+    let atoms = (1..=k)
+        .map(|i| cq_atom(&format!("R{i}"), &["c", &format!("x{i}")]))
+        .collect();
+    ConjunctiveQuery::new(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_sentence_shape() {
+        let f = table1_sentence();
+        assert!(f.is_sentence());
+        assert_eq!(f.distinct_variable_count(), 2);
+        assert!(f.is_in_fo_k(2));
+        assert_eq!(f.vocabulary().len(), 3);
+    }
+
+    #[test]
+    fn qs4_is_fo4_over_single_relation() {
+        let f = qs4();
+        assert_eq!(f.distinct_variable_count(), 4);
+        assert_eq!(f.vocabulary().len(), 1);
+        assert_eq!(f.vocabulary().get("S").unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn open_problems_are_sentences() {
+        for (name, f) in table2_open_problems() {
+            assert!(f.is_sentence(), "{name} should be a sentence");
+        }
+        assert!(extension_axiom().uses_equality());
+        assert_eq!(transitivity().distinct_variable_count(), 3);
+    }
+
+    #[test]
+    fn cycles_and_chains_have_expected_shape() {
+        let c5 = typed_cycle_cq(5);
+        assert_eq!(c5.atoms.len(), 5);
+        assert_eq!(c5.variables().len(), 5);
+        assert!(c5.is_self_join_free());
+
+        let chain = chain_query(4);
+        assert_eq!(chain.atoms.len(), 4);
+        assert_eq!(chain.variables().len(), 5);
+        assert!(chain.is_self_join_free());
+
+        let star = star_query(3);
+        assert_eq!(star.variables().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn short_cycle_panics() {
+        typed_cycle_cq(2);
+    }
+
+    #[test]
+    fn figure1_queries_are_self_join_free() {
+        assert!(c_gamma().is_self_join_free());
+        assert!(c_jtdb().is_self_join_free());
+    }
+
+    #[test]
+    fn untyped_triangle_has_self_join() {
+        let q = ConjunctiveQuery::from_formula(&untyped_triangles()).unwrap();
+        assert!(!q.is_self_join_free());
+        let t = ConjunctiveQuery::from_formula(&typed_triangles()).unwrap();
+        assert!(t.is_self_join_free());
+    }
+}

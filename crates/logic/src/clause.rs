@@ -1,0 +1,341 @@
+//! Clauses and clausal sentences.
+//!
+//! A *clause* in the paper's sense is a universally quantified disjunction of
+//! literals, e.g. `∀x∀y (R(x) ∨ ¬S(x,y))`. Positive clauses without equality
+//! are the duals of conjunctive queries (§3.1); the inclusion–exclusion step
+//! of Corollary 3.2 and the Skolemization pipeline both operate on clausal
+//! sentences.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::syntax::{Atom, Formula};
+use crate::term::Variable;
+use crate::transform::{nnf, simplify};
+
+/// A literal: an atom or equality, possibly negated.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Literal {
+    /// The underlying atom (either [`Formula::Atom`] or [`Formula::Equals`]).
+    pub formula: Formula,
+    /// True if the literal is positive.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// A positive relational literal.
+    pub fn pos(atom: Atom) -> Self {
+        Literal {
+            formula: Formula::Atom(atom),
+            positive: true,
+        }
+    }
+
+    /// A negative relational literal.
+    pub fn neg(atom: Atom) -> Self {
+        Literal {
+            formula: Formula::Atom(atom),
+            positive: false,
+        }
+    }
+
+    /// The literal as a [`Formula`].
+    pub fn to_formula(&self) -> Formula {
+        if self.positive {
+            self.formula.clone()
+        } else {
+            Formula::not(self.formula.clone())
+        }
+    }
+
+    /// The complementary literal.
+    pub fn negated(&self) -> Literal {
+        Literal {
+            formula: self.formula.clone(),
+            positive: !self.positive,
+        }
+    }
+
+    /// True if the literal is an equality literal.
+    pub fn is_equality(&self) -> bool {
+        matches!(self.formula, Formula::Equals(..))
+    }
+
+    /// The relational atom, if this is a relational literal.
+    pub fn atom(&self) -> Option<&Atom> {
+        match &self.formula {
+            Formula::Atom(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.formula_display())
+        } else {
+            write!(f, "¬{}", self.formula_display())
+        }
+    }
+}
+
+impl Literal {
+    fn formula_display(&self) -> String {
+        match &self.formula {
+            Formula::Atom(a) => a.to_string(),
+            Formula::Equals(x, y) => format!("{x}={y}"),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// A clause: the universal closure of a disjunction of literals.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Clause {
+    /// The literals of the clause.
+    pub literals: Vec<Literal>,
+}
+
+impl Clause {
+    /// Creates a clause from literals.
+    pub fn new(literals: Vec<Literal>) -> Self {
+        Clause { literals }
+    }
+
+    /// The variables occurring in the clause (all implicitly ∀-quantified).
+    pub fn variables(&self) -> BTreeSet<Variable> {
+        let mut out = BTreeSet::new();
+        for lit in &self.literals {
+            out.extend(lit.formula.free_variables());
+        }
+        out
+    }
+
+    /// True if every literal is a positive relational literal (no equality).
+    pub fn is_positive(&self) -> bool {
+        self.literals
+            .iter()
+            .all(|l| l.positive && !l.is_equality())
+    }
+
+    /// True if the clause mentions equality.
+    pub fn uses_equality(&self) -> bool {
+        self.literals.iter().any(Literal::is_equality)
+    }
+
+    /// The clause as a sentence `∀x̄ (ℓ₁ ∨ … ∨ ℓ_k)`.
+    pub fn to_sentence(&self) -> Formula {
+        let body = Formula::or_all(self.literals.iter().map(Literal::to_formula));
+        Formula::forall_many(self.variables(), body)
+    }
+
+    /// The quantifier-free disjunction of the literals.
+    pub fn body(&self) -> Formula {
+        Formula::or_all(self.literals.iter().map(Literal::to_formula))
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, l) in self.literals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A clausal sentence: a conjunction of clauses `C₁ ∧ … ∧ C_k`, each clause
+/// being (implicitly) universally quantified.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ClausalSentence {
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl ClausalSentence {
+    /// Creates a clausal sentence from clauses.
+    pub fn new(clauses: Vec<Clause>) -> Self {
+        ClausalSentence { clauses }
+    }
+
+    /// Converts the clausal sentence to a single [`Formula`].
+    pub fn to_formula(&self) -> Formula {
+        Formula::and_all(self.clauses.iter().map(Clause::to_sentence))
+    }
+
+    /// Converts a *universally quantified, quantifier-free-matrix* sentence to
+    /// clausal form by putting the matrix in CNF (distribution).
+    ///
+    /// Returns `None` if the formula contains an existential quantifier or a
+    /// quantifier below a connective other than the outermost ∀ block.
+    pub fn from_universal_sentence(f: &Formula) -> Option<ClausalSentence> {
+        // Peel the ∀ prefix.
+        let mut body = f.clone();
+        loop {
+            body = match body {
+                Formula::Forall(_, inner) => *inner,
+                other => {
+                    body = other;
+                    break;
+                }
+            };
+        }
+        if !body.is_quantifier_free() {
+            return None;
+        }
+        let matrix = nnf(&simplify(&body));
+        let cnf = distribute_to_cnf(&matrix)?;
+        Some(ClausalSentence::new(cnf))
+    }
+}
+
+impl fmt::Display for ClausalSentence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "({c})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Distributes an NNF, quantifier-free formula into CNF clauses.
+/// Returns `None` on ⊤/⊥ degeneracies that produce no clause structure
+/// (⊤ yields an empty clause set; ⊥ yields a single empty clause).
+fn distribute_to_cnf(f: &Formula) -> Option<Vec<Clause>> {
+    match f {
+        Formula::Top => Some(vec![]),
+        Formula::Bottom => Some(vec![Clause::default()]),
+        Formula::Atom(a) => Some(vec![Clause::new(vec![Literal::pos(a.clone())])]),
+        Formula::Equals(..) => Some(vec![Clause::new(vec![Literal {
+            formula: f.clone(),
+            positive: true,
+        }])]),
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::Atom(a) => Some(vec![Clause::new(vec![Literal::neg(a.clone())])]),
+            Formula::Equals(..) => Some(vec![Clause::new(vec![Literal {
+                formula: (**inner).clone(),
+                positive: false,
+            }])]),
+            _ => None, // not in NNF
+        },
+        Formula::And(parts) => {
+            let mut clauses = Vec::new();
+            for p in parts {
+                clauses.extend(distribute_to_cnf(p)?);
+            }
+            Some(clauses)
+        }
+        Formula::Or(parts) => {
+            // Cartesian product of the CNF of the parts.
+            let mut acc: Vec<Clause> = vec![Clause::default()];
+            for p in parts {
+                let sub = distribute_to_cnf(p)?;
+                if sub.is_empty() {
+                    // p is ⊤: the whole disjunction is ⊤.
+                    return Some(vec![]);
+                }
+                let mut next = Vec::with_capacity(acc.len() * sub.len());
+                for a in &acc {
+                    for s in &sub {
+                        let mut lits = a.literals.clone();
+                        lits.extend(s.literals.clone());
+                        next.push(Clause::new(lits));
+                    }
+                }
+                acc = next;
+            }
+            Some(acc)
+        }
+        Formula::Implies(..) | Formula::Iff(..) | Formula::Forall(..) | Formula::Exists(..) => {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::*;
+    use crate::vocabulary::Predicate;
+    use crate::term::Term;
+
+    fn lit(name: &str, vars: &[&str], positive: bool) -> Literal {
+        let a = Atom::new(
+            Predicate::new(name, vars.len()),
+            vars.iter().map(|v| Term::var(*v)).collect(),
+        );
+        if positive {
+            Literal::pos(a)
+        } else {
+            Literal::neg(a)
+        }
+    }
+
+    #[test]
+    fn clause_roundtrip_to_sentence() {
+        let c = Clause::new(vec![lit("R", &["x"], true), lit("S", &["x", "y"], false)]);
+        assert_eq!(c.variables().len(), 2);
+        assert!(!c.is_positive());
+        let s = c.to_sentence();
+        assert!(s.is_sentence());
+        assert!(s.to_string().contains('S'));
+    }
+
+    #[test]
+    fn positive_clause_detection() {
+        let c = Clause::new(vec![lit("R", &["x"], true), lit("T", &["y"], true)]);
+        assert!(c.is_positive());
+        assert!(!c.uses_equality());
+    }
+
+    #[test]
+    fn from_universal_sentence_builds_cnf() {
+        // ∀x∀y ((R(x) ∨ S(x,y)) ∧ T(y))
+        let f = forall(
+            ["x", "y"],
+            and(vec![
+                or(vec![atom("R", &["x"]), atom("S", &["x", "y"])]),
+                atom("T", &["y"]),
+            ]),
+        );
+        let cs = ClausalSentence::from_universal_sentence(&f).unwrap();
+        assert_eq!(cs.clauses.len(), 2);
+        assert_eq!(cs.clauses[0].literals.len(), 2);
+        assert_eq!(cs.clauses[1].literals.len(), 1);
+    }
+
+    #[test]
+    fn from_universal_sentence_distributes_or_over_and() {
+        // ∀x (R(x) ∨ (S(x) ∧ T(x))) → (R∨S) ∧ (R∨T)
+        let f = forall(
+            ["x"],
+            or(vec![
+                atom("R", &["x"]),
+                and(vec![atom("S", &["x"]), atom("T", &["x"])]),
+            ]),
+        );
+        let cs = ClausalSentence::from_universal_sentence(&f).unwrap();
+        assert_eq!(cs.clauses.len(), 2);
+        assert!(cs.clauses.iter().all(|c| c.literals.len() == 2));
+    }
+
+    #[test]
+    fn existential_sentence_is_rejected() {
+        let f = exists(["x"], atom("R", &["x"]));
+        assert!(ClausalSentence::from_universal_sentence(&f).is_none());
+    }
+
+    #[test]
+    fn literal_negation_is_involution() {
+        let l = lit("R", &["x"], true);
+        assert_eq!(l.negated().negated(), l);
+        assert_eq!(l.negated().to_formula(), Formula::not(l.to_formula()));
+    }
+}

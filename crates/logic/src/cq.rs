@@ -1,0 +1,244 @@
+//! Conjunctive queries.
+//!
+//! A conjunctive query (CQ) is an existentially quantified conjunction of
+//! positive relational atoms, `∃x̄ (A₁ ∧ … ∧ A_k)` (§3.1). The Figure 1
+//! landscape and Theorem 3.6 (γ-acyclic CQs) are stated for CQs *without
+//! self-joins* (every atom uses a distinct relation symbol).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::clause::{Clause, Literal};
+use crate::syntax::{Atom, Formula};
+use crate::term::{Term, Variable};
+use crate::vocabulary::Vocabulary;
+
+/// A conjunctive query: an existentially quantified conjunction of positive
+/// atoms. All variables are existentially quantified (Boolean query).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConjunctiveQuery {
+    /// The query atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a CQ from atoms.
+    pub fn new(atoms: Vec<Atom>) -> Self {
+        ConjunctiveQuery { atoms }
+    }
+
+    /// The variables of the query, in order of first occurrence.
+    pub fn variables(&self) -> Vec<Variable> {
+        let mut out = Vec::new();
+        for a in &self.atoms {
+            for v in a.variables() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// The vocabulary of the query.
+    pub fn vocabulary(&self) -> Vocabulary {
+        let mut voc = Vocabulary::new();
+        for a in &self.atoms {
+            voc.add(a.predicate.clone());
+        }
+        voc
+    }
+
+    /// True if every atom uses a distinct relation symbol ("without
+    /// self-joins", the standing assumption of §3.2).
+    pub fn is_self_join_free(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        for a in &self.atoms {
+            if !seen.insert(a.predicate.name().to_string()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The CQ as a first-order sentence `∃x̄ ⋀ᵢ Aᵢ`.
+    pub fn to_formula(&self) -> Formula {
+        let body = Formula::and_all(self.atoms.iter().cloned().map(Formula::Atom));
+        Formula::exists_many(self.variables(), body)
+    }
+
+    /// The *dual* positive clause `∀x̄ ⋁ᵢ Aᵢ` (§3.1: positive clauses without
+    /// equality are the duals of CQs). `WFOMC` of the clause with weights
+    /// (w, w̄) equals `WFOMC` of the negated query with weights swapped; the
+    /// core crate exploits this duality.
+    pub fn dual_clause(&self) -> Clause {
+        Clause::new(self.atoms.iter().cloned().map(Literal::pos).collect())
+    }
+
+    /// Attempts to interpret a formula as a conjunctive query.
+    ///
+    /// Accepts `∃x̄ (A₁ ∧ … ∧ A_k)` with only positive relational atoms and no
+    /// equality; returns `None` otherwise.
+    pub fn from_formula(f: &Formula) -> Option<ConjunctiveQuery> {
+        // Peel existential quantifiers.
+        let mut body = f.clone();
+        let mut bound = Vec::new();
+        loop {
+            body = match body {
+                Formula::Exists(v, inner) => {
+                    bound.push(v);
+                    *inner
+                }
+                other => {
+                    body = other;
+                    break;
+                }
+            };
+        }
+        let mut atoms = Vec::new();
+        collect_conjuncts(&body, &mut atoms)?;
+        let q = ConjunctiveQuery::new(atoms);
+        // A Boolean CQ must have every variable quantified.
+        let vars: BTreeSet<_> = q.variables().into_iter().collect();
+        let bound: BTreeSet<_> = bound.into_iter().collect();
+        if vars.is_subset(&bound) || bound.is_empty() && vars.is_empty() {
+            Some(q)
+        } else if vars.is_subset(&bound) {
+            Some(q)
+        } else {
+            // Free variables present: not a Boolean CQ.
+            None
+        }
+    }
+
+    /// Per-atom variable lists, used to build the query hypergraph (variables
+    /// are nodes, atoms are hyperedges).
+    pub fn hyperedges(&self) -> Vec<(String, Vec<Variable>)> {
+        self.atoms
+            .iter()
+            .map(|a| (a.predicate.name().to_string(), a.variables()))
+            .collect()
+    }
+
+    /// True if any atom repeats a variable (e.g. `R(x,x)`), which some of the
+    /// specialized algorithms do not support.
+    pub fn has_repeated_variable_in_atom(&self) -> bool {
+        self.atoms.iter().any(|a| {
+            let vars: Vec<_> = a
+                .args
+                .iter()
+                .filter_map(|t| t.as_var().cloned())
+                .collect();
+            let set: BTreeSet<_> = vars.iter().cloned().collect();
+            set.len() != vars.len()
+        })
+    }
+
+    /// True if every argument of every atom is a variable (no constants).
+    pub fn is_constant_free(&self) -> bool {
+        self.atoms
+            .iter()
+            .all(|a| a.args.iter().all(Term::is_var))
+    }
+}
+
+fn collect_conjuncts(f: &Formula, atoms: &mut Vec<Atom>) -> Option<()> {
+    match f {
+        Formula::Atom(a) => {
+            atoms.push(a.clone());
+            Some(())
+        }
+        Formula::And(parts) => {
+            for p in parts {
+                collect_conjuncts(p, atoms)?;
+            }
+            Some(())
+        }
+        Formula::Top => Some(()),
+        _ => None,
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q() :- ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::*;
+    use crate::vocabulary::Predicate;
+
+    fn mk_atom(name: &str, vars: &[&str]) -> Atom {
+        Atom::new(
+            Predicate::new(name, vars.len()),
+            vars.iter().map(|v| Term::var(*v)).collect(),
+        )
+    }
+
+    #[test]
+    fn variables_in_first_occurrence_order() {
+        let q = ConjunctiveQuery::new(vec![mk_atom("R", &["x", "y"]), mk_atom("S", &["y", "z"])]);
+        let names: Vec<_> = q.variables().iter().map(|v| v.name().to_string()).collect();
+        assert_eq!(names, vec!["x", "y", "z"]);
+        assert!(q.is_self_join_free());
+        assert!(q.is_constant_free());
+    }
+
+    #[test]
+    fn self_join_detection() {
+        let q = ConjunctiveQuery::new(vec![mk_atom("R", &["x", "y"]), mk_atom("R", &["y", "z"])]);
+        assert!(!q.is_self_join_free());
+    }
+
+    #[test]
+    fn formula_round_trip() {
+        let q = ConjunctiveQuery::new(vec![mk_atom("R", &["x"]), mk_atom("S", &["x", "y"])]);
+        let f = q.to_formula();
+        assert!(f.is_sentence());
+        let q2 = ConjunctiveQuery::from_formula(&f).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn from_formula_rejects_negation_and_disjunction() {
+        let f = exists(["x"], not(atom("R", &["x"])));
+        assert!(ConjunctiveQuery::from_formula(&f).is_none());
+        let f = exists(["x"], or(vec![atom("R", &["x"]), atom("S", &["x"])]));
+        assert!(ConjunctiveQuery::from_formula(&f).is_none());
+    }
+
+    #[test]
+    fn dual_clause_is_positive() {
+        let q = ConjunctiveQuery::new(vec![mk_atom("R", &["x"]), mk_atom("S", &["x", "y"])]);
+        let c = q.dual_clause();
+        assert!(c.is_positive());
+        assert_eq!(c.literals.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_detection() {
+        let q = ConjunctiveQuery::new(vec![mk_atom("R", &["x", "x"])]);
+        assert!(q.has_repeated_variable_in_atom());
+        let q = ConjunctiveQuery::new(vec![mk_atom("R", &["x", "y"])]);
+        assert!(!q.has_repeated_variable_in_atom());
+    }
+
+    #[test]
+    fn hyperedges_expose_structure() {
+        let q = ConjunctiveQuery::new(vec![mk_atom("R", &["x", "z"]), mk_atom("T", &["y", "z"])]);
+        let edges = q.hyperedges();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].0, "R");
+        assert_eq!(edges[1].1.len(), 2);
+    }
+}

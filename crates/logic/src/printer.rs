@@ -1,0 +1,154 @@
+//! Pretty-printing of formulas.
+//!
+//! The output syntax is the same one accepted by [`crate::parser`], so
+//! `parse(&f.to_string())` round-trips (modulo flattening of nested
+//! conjunctions/disjunctions).
+
+use std::fmt;
+
+use crate::syntax::Formula;
+
+/// Operator precedence levels used to minimize parentheses.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+enum Prec {
+    Iff,
+    Implies,
+    Or,
+    And,
+    Unary,
+}
+
+fn print(f: &Formula, out: &mut fmt::Formatter<'_>, parent: Prec) -> fmt::Result {
+    let prec = precedence(f);
+    let needs_parens = prec < parent;
+    if needs_parens {
+        write!(out, "(")?;
+    }
+    match f {
+        Formula::Top => write!(out, "true")?,
+        Formula::Bottom => write!(out, "false")?,
+        Formula::Atom(a) => write!(out, "{a}")?,
+        Formula::Equals(x, y) => write!(out, "{x} = {y}")?,
+        Formula::Not(g) => {
+            write!(out, "!")?;
+            print(g, out, Prec::Unary)?;
+        }
+        Formula::And(parts) => {
+            if parts.is_empty() {
+                write!(out, "true")?;
+            }
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(out, " & ")?;
+                }
+                print(p, out, next_level(Prec::And))?;
+            }
+        }
+        Formula::Or(parts) => {
+            if parts.is_empty() {
+                write!(out, "false")?;
+            }
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(out, " | ")?;
+                }
+                print(p, out, next_level(Prec::Or))?;
+            }
+        }
+        Formula::Implies(a, b) => {
+            print(a, out, next_level(Prec::Implies))?;
+            write!(out, " -> ")?;
+            print(b, out, Prec::Implies)?;
+        }
+        Formula::Iff(a, b) => {
+            print(a, out, next_level(Prec::Iff))?;
+            write!(out, " <-> ")?;
+            print(b, out, Prec::Iff)?;
+        }
+        Formula::Forall(v, g) => {
+            write!(out, "forall {v}. ")?;
+            print(g, out, Prec::Iff)?;
+        }
+        Formula::Exists(v, g) => {
+            write!(out, "exists {v}. ")?;
+            print(g, out, Prec::Iff)?;
+        }
+    }
+    if needs_parens {
+        write!(out, ")")?;
+    }
+    Ok(())
+}
+
+fn precedence(f: &Formula) -> Prec {
+    match f {
+        Formula::Iff(..) | Formula::Forall(..) | Formula::Exists(..) => Prec::Iff,
+        Formula::Implies(..) => Prec::Implies,
+        Formula::Or(..) => Prec::Or,
+        Formula::And(..) => Prec::And,
+        _ => Prec::Unary,
+    }
+}
+
+fn next_level(p: Prec) -> Prec {
+    match p {
+        Prec::Iff => Prec::Implies,
+        Prec::Implies => Prec::Or,
+        Prec::Or => Prec::And,
+        Prec::And => Prec::Unary,
+        Prec::Unary => Prec::Unary,
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        print(self, f, Prec::Iff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builders::*;
+    use crate::syntax::Formula;
+
+    #[test]
+    fn displays_connectives() {
+        let f = forall(
+            ["x", "y"],
+            or(vec![
+                atom("R", &["x"]),
+                not(atom("S", &["x", "y"])),
+                atom("T", &["y"]),
+            ]),
+        );
+        assert_eq!(
+            f.to_string(),
+            "forall x. forall y. R(x) | !S(x,y) | T(y)"
+        );
+    }
+
+    #[test]
+    fn parenthesizes_by_precedence() {
+        let f = and(vec![
+            or(vec![atom("R", &["x"]), atom("S", &["x"])]),
+            atom("T", &["x"]),
+        ]);
+        assert_eq!(f.to_string(), "(R(x) | S(x)) & T(x)");
+    }
+
+    #[test]
+    fn displays_constants_and_quantifier_bodies() {
+        let f = exists(["x"], and(vec![atom("R", &["x", "#0"]), eq("x", "y")]));
+        assert_eq!(f.to_string(), "exists x. R(x,c0) & x = y");
+        assert_eq!(Formula::Top.to_string(), "true");
+        assert_eq!(Formula::Bottom.to_string(), "false");
+    }
+
+    #[test]
+    fn implication_associates_right() {
+        let f = implies(atom("A", &[]), implies(atom("B", &[]), atom("C", &[])));
+        assert_eq!(f.to_string(), "A -> B -> C");
+        let g = implies(implies(atom("A", &[]), atom("B", &[])), atom("C", &[]));
+        assert_eq!(g.to_string(), "(A -> B) -> C");
+    }
+}

@@ -1,0 +1,513 @@
+//! First-order formulas over a relational vocabulary with equality.
+//!
+//! The abstract syntax follows §2 of the paper: atoms `R(t₁,…,t_k)`, equality
+//! atoms `t₁ = t₂`, the Boolean connectives, and the quantifiers `∀x`, `∃x`.
+//! `⊤`/`⊥` are included so simplification has normal forms to land on.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::term::{Term, Variable};
+use crate::vocabulary::{Predicate, Vocabulary};
+
+/// A relational atom `R(t₁, …, t_k)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Atom {
+    /// The predicate symbol.
+    pub predicate: Predicate,
+    /// The argument terms; `args.len() == predicate.arity()`.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom, checking the arity.
+    ///
+    /// # Panics
+    /// Panics if the number of arguments differs from the predicate arity.
+    pub fn new(predicate: Predicate, args: Vec<Term>) -> Self {
+        assert_eq!(
+            predicate.arity(),
+            args.len(),
+            "atom {} expects {} arguments, got {}",
+            predicate.name(),
+            predicate.arity(),
+            args.len()
+        );
+        Atom { predicate, args }
+    }
+
+    /// The variables occurring in the atom, in order of first occurrence.
+    pub fn variables(&self) -> Vec<Variable> {
+        let mut out = Vec::new();
+        for t in &self.args {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// True if every argument is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_const)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.args.is_empty() {
+            return write!(f, "{}", self.predicate.name());
+        }
+        write!(f, "{}(", self.predicate.name())?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A first-order formula.
+///
+/// N-ary conjunction/disjunction keep formulas flat, which matters for the
+/// clause-oriented algorithms (Skolemization, inclusion–exclusion, grounding).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// The true constant ⊤.
+    Top,
+    /// The false constant ⊥.
+    Bottom,
+    /// A relational atom.
+    Atom(Atom),
+    /// An equality atom `t₁ = t₂`.
+    Equals(Term, Term),
+    /// Negation ¬φ.
+    Not(Box<Formula>),
+    /// N-ary conjunction. An empty conjunction is ⊤.
+    And(Vec<Formula>),
+    /// N-ary disjunction. An empty disjunction is ⊥.
+    Or(Vec<Formula>),
+    /// Implication φ ⇒ ψ.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication φ ⇔ ψ.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Universal quantification ∀x φ.
+    Forall(Variable, Box<Formula>),
+    /// Existential quantification ∃x φ.
+    Exists(Variable, Box<Formula>),
+}
+
+impl Formula {
+    // ----- smart constructors -------------------------------------------------
+
+    /// An atom `pred(args…)`.
+    pub fn atom(predicate: Predicate, args: Vec<Term>) -> Formula {
+        Formula::Atom(Atom::new(predicate, args))
+    }
+
+    /// Equality `a = b`.
+    pub fn equals(a: impl Into<Term>, b: impl Into<Term>) -> Formula {
+        Formula::Equals(a.into(), b.into())
+    }
+
+    /// Negation, collapsing double negation.
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::Not(inner) => *inner,
+            Formula::Top => Formula::Bottom,
+            Formula::Bottom => Formula::Top,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// N-ary conjunction with flattening and ⊤/⊥ short-circuiting.
+    pub fn and_all<I: IntoIterator<Item = Formula>>(fs: I) -> Formula {
+        let mut parts = Vec::new();
+        for f in fs {
+            match f {
+                Formula::Top => {}
+                Formula::Bottom => return Formula::Bottom,
+                Formula::And(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+        }
+        match parts.len() {
+            0 => Formula::Top,
+            1 => parts.pop().expect("length checked"),
+            _ => Formula::And(parts),
+        }
+    }
+
+    /// N-ary disjunction with flattening and ⊤/⊥ short-circuiting.
+    pub fn or_all<I: IntoIterator<Item = Formula>>(fs: I) -> Formula {
+        let mut parts = Vec::new();
+        for f in fs {
+            match f {
+                Formula::Bottom => {}
+                Formula::Top => return Formula::Top,
+                Formula::Or(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+        }
+        match parts.len() {
+            0 => Formula::Bottom,
+            1 => parts.pop().expect("length checked"),
+            _ => Formula::Or(parts),
+        }
+    }
+
+    /// Binary conjunction.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::and_all([a, b])
+    }
+
+    /// Binary disjunction.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::or_all([a, b])
+    }
+
+    /// Implication.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// Bi-implication.
+    pub fn iff(a: Formula, b: Formula) -> Formula {
+        Formula::Iff(Box::new(a), Box::new(b))
+    }
+
+    /// Universal quantification over one variable.
+    pub fn forall(v: impl Into<Variable>, f: Formula) -> Formula {
+        Formula::Forall(v.into(), Box::new(f))
+    }
+
+    /// Existential quantification over one variable.
+    pub fn exists(v: impl Into<Variable>, f: Formula) -> Formula {
+        Formula::Exists(v.into(), Box::new(f))
+    }
+
+    /// `∀v₁ ∀v₂ … φ`, right-nesting.
+    pub fn forall_many<I, V>(vars: I, f: Formula) -> Formula
+    where
+        I: IntoIterator<Item = V>,
+        I::IntoIter: DoubleEndedIterator,
+        V: Into<Variable>,
+    {
+        vars.into_iter()
+            .rev()
+            .fold(f, |acc, v| Formula::forall(v, acc))
+    }
+
+    /// `∃v₁ ∃v₂ … φ`, right-nesting.
+    pub fn exists_many<I, V>(vars: I, f: Formula) -> Formula
+    where
+        I: IntoIterator<Item = V>,
+        I::IntoIter: DoubleEndedIterator,
+        V: Into<Variable>,
+    {
+        vars.into_iter()
+            .rev()
+            .fold(f, |acc, v| Formula::exists(v, acc))
+    }
+
+    // ----- inspection ---------------------------------------------------------
+
+    /// The free variables of the formula.
+    pub fn free_variables(&self) -> BTreeSet<Variable> {
+        fn go(f: &Formula, bound: &mut Vec<Variable>, out: &mut BTreeSet<Variable>) {
+            match f {
+                Formula::Top | Formula::Bottom => {}
+                Formula::Atom(a) => {
+                    for t in &a.args {
+                        if let Term::Var(v) = t {
+                            if !bound.contains(v) {
+                                out.insert(v.clone());
+                            }
+                        }
+                    }
+                }
+                Formula::Equals(a, b) => {
+                    for t in [a, b] {
+                        if let Term::Var(v) = t {
+                            if !bound.contains(v) {
+                                out.insert(v.clone());
+                            }
+                        }
+                    }
+                }
+                Formula::Not(g) => go(g, bound, out),
+                Formula::And(gs) | Formula::Or(gs) => {
+                    for g in gs {
+                        go(g, bound, out);
+                    }
+                }
+                Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Formula::Forall(v, g) | Formula::Exists(v, g) => {
+                    bound.push(v.clone());
+                    go(g, bound, out);
+                    bound.pop();
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// All variables mentioned anywhere in the formula (free or bound).
+    pub fn all_variables(&self) -> BTreeSet<Variable> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| match f {
+            Formula::Atom(a) => {
+                for t in &a.args {
+                    if let Term::Var(v) = t {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+            Formula::Equals(a, b) => {
+                for t in [a, b] {
+                    if let Term::Var(v) = t {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+            Formula::Forall(v, _) | Formula::Exists(v, _) => {
+                out.insert(v.clone());
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// The number of *distinct* variable names used, which determines the FOᵏ
+    /// fragment the formula belongs to (the paper's FO², FO³, …).
+    pub fn distinct_variable_count(&self) -> usize {
+        self.all_variables().len()
+    }
+
+    /// True if the formula uses at most `k` distinct variables, i.e. lies in FOᵏ.
+    pub fn is_in_fo_k(&self, k: usize) -> bool {
+        self.distinct_variable_count() <= k
+    }
+
+    /// The set of predicate symbols occurring in the formula.
+    pub fn predicates(&self) -> BTreeSet<Predicate> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| {
+            if let Formula::Atom(a) = f {
+                out.insert(a.predicate.clone());
+            }
+        });
+        out
+    }
+
+    /// A vocabulary consisting of exactly the predicates used by the formula,
+    /// in order of first syntactic occurrence.
+    pub fn vocabulary(&self) -> Vocabulary {
+        let mut v = Vocabulary::new();
+        self.visit(&mut |f| {
+            if let Formula::Atom(a) = f {
+                v.add(a.predicate.clone());
+            }
+        });
+        v
+    }
+
+    /// True if the formula contains no quantifiers.
+    pub fn is_quantifier_free(&self) -> bool {
+        let mut qf = true;
+        self.visit(&mut |f| {
+            if matches!(f, Formula::Forall(..) | Formula::Exists(..)) {
+                qf = false;
+            }
+        });
+        qf
+    }
+
+    /// True if the formula is a sentence (no free variables).
+    pub fn is_sentence(&self) -> bool {
+        self.free_variables().is_empty()
+    }
+
+    /// True if the formula mentions the equality predicate.
+    pub fn uses_equality(&self) -> bool {
+        let mut eq = false;
+        self.visit(&mut |f| {
+            if matches!(f, Formula::Equals(..)) {
+                eq = true;
+            }
+        });
+        eq
+    }
+
+    /// Number of AST nodes — a crude but useful size measure for the combined
+    /// complexity experiments.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Visits every sub-formula (including `self`), pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Formula)) {
+        f(self);
+        match self {
+            Formula::Top | Formula::Bottom | Formula::Atom(_) | Formula::Equals(..) => {}
+            Formula::Not(g) => g.visit(f),
+            Formula::And(gs) | Formula::Or(gs) => {
+                for g in gs {
+                    g.visit(f);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Formula::Forall(_, g) | Formula::Exists(_, g) => g.visit(f),
+        }
+    }
+
+    /// Rebuilds the formula bottom-up, applying `f` to every node after its
+    /// children have been transformed. This is the workhorse used by the
+    /// normal-form passes.
+    pub fn map_bottom_up(&self, f: &mut impl FnMut(Formula) -> Formula) -> Formula {
+        let rebuilt = match self {
+            Formula::Top => Formula::Top,
+            Formula::Bottom => Formula::Bottom,
+            Formula::Atom(a) => Formula::Atom(a.clone()),
+            Formula::Equals(a, b) => Formula::Equals(a.clone(), b.clone()),
+            Formula::Not(g) => Formula::Not(Box::new(g.map_bottom_up(f))),
+            Formula::And(gs) => Formula::And(gs.iter().map(|g| g.map_bottom_up(f)).collect()),
+            Formula::Or(gs) => Formula::Or(gs.iter().map(|g| g.map_bottom_up(f)).collect()),
+            Formula::Implies(a, b) => Formula::Implies(
+                Box::new(a.map_bottom_up(f)),
+                Box::new(b.map_bottom_up(f)),
+            ),
+            Formula::Iff(a, b) => {
+                Formula::Iff(Box::new(a.map_bottom_up(f)), Box::new(b.map_bottom_up(f)))
+            }
+            Formula::Forall(v, g) => Formula::Forall(v.clone(), Box::new(g.map_bottom_up(f))),
+            Formula::Exists(v, g) => Formula::Exists(v.clone(), Box::new(g.map_bottom_up(f))),
+        };
+        f(rebuilt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::*;
+
+    #[test]
+    fn atom_arity_checked() {
+        let r = Predicate::new("R", 2);
+        let a = Atom::new(r.clone(), vec![Term::var("x"), Term::var("y")]);
+        assert_eq!(a.variables().len(), 2);
+        assert!(!a.is_ground());
+        let g = Atom::new(r, vec![Term::constant(0), Term::constant(1)]);
+        assert!(g.is_ground());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 arguments")]
+    fn atom_wrong_arity_panics() {
+        Atom::new(Predicate::new("R", 2), vec![Term::var("x")]);
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(Formula::not(Formula::not(Formula::Top)), Formula::Top);
+        assert_eq!(Formula::and_all([]), Formula::Top);
+        assert_eq!(Formula::or_all([]), Formula::Bottom);
+        assert_eq!(
+            Formula::and_all([Formula::Top, Formula::Bottom]),
+            Formula::Bottom
+        );
+        assert_eq!(
+            Formula::or_all([Formula::Bottom, Formula::Top]),
+            Formula::Top
+        );
+        // flattening
+        let r = atom("R", &["x"]);
+        let nested = Formula::and(r.clone(), Formula::and(r.clone(), r.clone()));
+        match nested {
+            Formula::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_and_bound_variables() {
+        // ∀x (R(x,y) ∨ ∃y S(y))  — the free variables are {y} (the outer y).
+        let f = Formula::forall(
+            "x",
+            Formula::or(
+                atom("R", &["x", "y"]),
+                Formula::exists("y", atom("S", &["y"])),
+            ),
+        );
+        let free: Vec<_> = f.free_variables().into_iter().collect();
+        assert_eq!(free, vec![Variable::new("y")]);
+        assert_eq!(f.distinct_variable_count(), 2);
+        assert!(f.is_in_fo_k(2));
+        assert!(!f.is_in_fo_k(1));
+        assert!(!f.is_sentence());
+    }
+
+    #[test]
+    fn sentence_detection_and_size() {
+        let f = forall(["x", "y"], or(vec![atom("R", &["x"]), atom("S", &["x", "y"])]));
+        assert!(f.is_sentence());
+        assert!(f.size() > 4);
+        assert!(!f.uses_equality());
+        let g = Formula::forall("x", Formula::equals(Term::var("x"), Term::var("x")));
+        assert!(g.uses_equality());
+    }
+
+    #[test]
+    fn predicates_and_vocabulary() {
+        let f = forall(
+            ["x", "y"],
+            or(vec![
+                atom("R", &["x"]),
+                atom("S", &["x", "y"]),
+                atom("T", &["y"]),
+            ]),
+        );
+        let voc = f.vocabulary();
+        assert_eq!(voc.len(), 3);
+        assert_eq!(voc.get("S").unwrap().arity(), 2);
+        assert_eq!(f.predicates().len(), 3);
+    }
+
+    #[test]
+    fn map_bottom_up_rewrites() {
+        // Replace every R atom by ⊤.
+        let f = and(vec![atom("R", &["x"]), atom("S", &["x"])]);
+        let g = f.map_bottom_up(&mut |node| match &node {
+            Formula::Atom(a) if a.predicate.name() == "R" => Formula::Top,
+            _ => node,
+        });
+        // Not auto-simplified by map, but the ⊤ is in place.
+        match g {
+            Formula::And(parts) => {
+                assert_eq!(parts[0], Formula::Top);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifier_free_detection() {
+        assert!(atom("R", &["x"]).is_quantifier_free());
+        assert!(!Formula::exists("x", atom("R", &["x"])).is_quantifier_free());
+    }
+}

@@ -1,0 +1,225 @@
+//! Terms of the logic: variables and domain constants.
+//!
+//! The paper works over finite domains `[n] = {0, 1, …, n−1}`; constants are
+//! therefore represented as natural numbers. Variables carry symbolic names
+//! (`x`, `y`, `x1`, …).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A first-order variable, identified by name.
+///
+/// Variables are cheap to clone (the name is reference-counted) and compare by
+/// name, so `Variable::new("x") == Variable::new("x")`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Variable(Arc<str>);
+
+impl Variable {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Variable(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// Produces a fresh variable derived from this one that does not collide
+    /// with any variable in `taken`.
+    pub fn fresh_avoiding<'a, I>(&self, taken: I) -> Variable
+    where
+        I: IntoIterator<Item = &'a Variable>,
+    {
+        let taken: std::collections::HashSet<&str> =
+            taken.into_iter().map(|v| v.name()).collect();
+        if !taken.contains(self.name()) {
+            return self.clone();
+        }
+        for i in 0.. {
+            let candidate = format!("{}_{}", self.name(), i);
+            if !taken.contains(candidate.as_str()) {
+                return Variable::new(candidate);
+            }
+        }
+        unreachable!("unbounded loop always returns")
+    }
+}
+
+impl fmt::Debug for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Variable {
+    fn from(s: &str) -> Self {
+        Variable::new(s)
+    }
+}
+
+/// A domain constant. The domain of size `n` is `{Constant(0), …, Constant(n-1)}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Constant(pub usize);
+
+impl Constant {
+    /// The underlying index into the domain.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<usize> for Constant {
+    fn from(i: usize) -> Self {
+        Constant(i)
+    }
+}
+
+/// A term: either a variable or a domain constant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A first-order variable.
+    Var(Variable),
+    /// A domain constant.
+    Const(Constant),
+}
+
+impl Term {
+    /// Convenience constructor for a variable term.
+    pub fn var(name: impl AsRef<str>) -> Term {
+        Term::Var(Variable::new(name))
+    }
+
+    /// Convenience constructor for a constant term.
+    pub fn constant(i: usize) -> Term {
+        Term::Const(Constant(i))
+    }
+
+    /// Returns the variable if this term is one.
+    pub fn as_var(&self) -> Option<&Variable> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant if this term is one.
+    pub fn as_const(&self) -> Option<Constant> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(*c),
+        }
+    }
+
+    /// True if the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// True if the term is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<Variable> for Term {
+    fn from(v: Variable) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Constant> for Term {
+    fn from(c: Constant) -> Self {
+        Term::Const(c)
+    }
+}
+
+impl From<&str> for Term {
+    fn from(s: &str) -> Self {
+        Term::var(s)
+    }
+}
+
+impl From<usize> for Term {
+    fn from(i: usize) -> Self {
+        Term::constant(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_compare_by_name() {
+        assert_eq!(Variable::new("x"), Variable::new("x"));
+        assert_ne!(Variable::new("x"), Variable::new("y"));
+    }
+
+    #[test]
+    fn fresh_variable_avoids_collisions() {
+        let x = Variable::new("x");
+        let taken = vec![Variable::new("x"), Variable::new("x_0")];
+        let fresh = x.fresh_avoiding(taken.iter());
+        assert_eq!(fresh.name(), "x_1");
+    }
+
+    #[test]
+    fn fresh_variable_keeps_name_when_free() {
+        let x = Variable::new("x");
+        let taken = vec![Variable::new("y")];
+        assert_eq!(x.fresh_avoiding(taken.iter()), x);
+    }
+
+    #[test]
+    fn term_accessors() {
+        let t = Term::var("x");
+        assert!(t.is_var());
+        assert_eq!(t.as_var().unwrap().name(), "x");
+        assert!(t.as_const().is_none());
+
+        let c = Term::constant(3);
+        assert!(c.is_const());
+        assert_eq!(c.as_const().unwrap().index(), 3);
+        assert!(c.as_var().is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Term::var("x").to_string(), "x");
+        assert_eq!(Term::constant(2).to_string(), "c2");
+        assert_eq!(format!("{:?}", Variable::new("z")), "?z");
+    }
+
+    #[test]
+    fn conversions() {
+        let t: Term = "x".into();
+        assert!(t.is_var());
+        let t: Term = 7usize.into();
+        assert_eq!(t.as_const(), Some(Constant(7)));
+        let v: Variable = "y".into();
+        let t: Term = v.clone().into();
+        assert_eq!(t.as_var(), Some(&v));
+    }
+}

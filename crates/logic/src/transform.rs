@@ -1,0 +1,524 @@
+//! Syntactic transformations: substitution, simplification, negation normal
+//! form, renaming bound variables apart, and prenex normal form.
+//!
+//! These are the building blocks of the paper's reductions: Lemma 3.3
+//! (Skolemization) requires prenex form; the FO² algorithm (Appendix C)
+//! requires NNF matrices; grounding requires substitution of constants for
+//! variables.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::syntax::{Atom, Formula};
+use crate::term::{Term, Variable};
+
+/// A quantifier kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Quantifier {
+    /// Universal ∀.
+    Forall,
+    /// Existential ∃.
+    Exists,
+}
+
+impl Quantifier {
+    /// The dual quantifier (∀ ↔ ∃), used when negation crosses a quantifier.
+    pub fn dual(self) -> Quantifier {
+        match self {
+            Quantifier::Forall => Quantifier::Exists,
+            Quantifier::Exists => Quantifier::Forall,
+        }
+    }
+}
+
+/// A formula in prenex normal form: a quantifier prefix and a quantifier-free
+/// matrix.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Prenex {
+    /// The quantifier prefix, outermost first.
+    pub prefix: Vec<(Quantifier, Variable)>,
+    /// The quantifier-free matrix.
+    pub matrix: Formula,
+}
+
+impl Prenex {
+    /// Reassembles the prenex formula into a plain [`Formula`].
+    pub fn to_formula(&self) -> Formula {
+        let mut f = self.matrix.clone();
+        for (q, v) in self.prefix.iter().rev() {
+            f = match q {
+                Quantifier::Forall => Formula::forall(v.clone(), f),
+                Quantifier::Exists => Formula::exists(v.clone(), f),
+            };
+        }
+        f
+    }
+
+    /// True if the prefix is purely universal (the ∀* form targeted by
+    /// Lemma 3.3).
+    pub fn is_universal(&self) -> bool {
+        self.prefix.iter().all(|(q, _)| *q == Quantifier::Forall)
+    }
+
+    /// Index of the first existential quantifier, if any.
+    pub fn first_existential(&self) -> Option<usize> {
+        self.prefix.iter().position(|(q, _)| *q == Quantifier::Exists)
+    }
+}
+
+/// Substitutes `term` for every *free* occurrence of `var` in `f`.
+///
+/// The substitution is capture-avoiding: bound variables that would capture a
+/// variable occurring in `term` are renamed first.
+pub fn substitute(f: &Formula, var: &Variable, term: &Term) -> Formula {
+    let term_vars: BTreeSet<Variable> = match term {
+        Term::Var(v) => [v.clone()].into_iter().collect(),
+        Term::Const(_) => BTreeSet::new(),
+    };
+    subst_rec(f, var, term, &term_vars)
+}
+
+fn subst_term(t: &Term, var: &Variable, term: &Term) -> Term {
+    match t {
+        Term::Var(v) if v == var => term.clone(),
+        other => other.clone(),
+    }
+}
+
+fn subst_rec(f: &Formula, var: &Variable, term: &Term, term_vars: &BTreeSet<Variable>) -> Formula {
+    match f {
+        Formula::Top => Formula::Top,
+        Formula::Bottom => Formula::Bottom,
+        Formula::Atom(a) => Formula::Atom(Atom::new(
+            a.predicate.clone(),
+            a.args.iter().map(|t| subst_term(t, var, term)).collect(),
+        )),
+        Formula::Equals(a, b) => {
+            Formula::Equals(subst_term(a, var, term), subst_term(b, var, term))
+        }
+        Formula::Not(g) => Formula::Not(Box::new(subst_rec(g, var, term, term_vars))),
+        Formula::And(gs) => Formula::And(
+            gs.iter()
+                .map(|g| subst_rec(g, var, term, term_vars))
+                .collect(),
+        ),
+        Formula::Or(gs) => Formula::Or(
+            gs.iter()
+                .map(|g| subst_rec(g, var, term, term_vars))
+                .collect(),
+        ),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(subst_rec(a, var, term, term_vars)),
+            Box::new(subst_rec(b, var, term, term_vars)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(subst_rec(a, var, term, term_vars)),
+            Box::new(subst_rec(b, var, term, term_vars)),
+        ),
+        Formula::Forall(v, g) | Formula::Exists(v, g) => {
+            let is_forall = matches!(f, Formula::Forall(..));
+            if v == var {
+                // The substituted variable is shadowed: no change below.
+                return f.clone();
+            }
+            let (v2, g2) = if term_vars.contains(v) {
+                // Rename the bound variable to avoid capture.
+                let mut avoid: Vec<Variable> = g.all_variables().into_iter().collect();
+                avoid.extend(term_vars.iter().cloned());
+                avoid.push(var.clone());
+                let fresh = v.fresh_avoiding(avoid.iter());
+                let renamed = substitute(g, v, &Term::Var(fresh.clone()));
+                (fresh, renamed)
+            } else {
+                (v.clone(), (**g).clone())
+            };
+            let body = Box::new(subst_rec(&g2, var, term, term_vars));
+            if is_forall {
+                Formula::Forall(v2, body)
+            } else {
+                Formula::Exists(v2, body)
+            }
+        }
+    }
+}
+
+/// Substitutes several variables simultaneously (applied left to right, which
+/// is equivalent to simultaneous substitution when the replacement terms are
+/// constants — the only case the grounding code uses).
+pub fn substitute_all(f: &Formula, bindings: &[(Variable, Term)]) -> Formula {
+    let mut out = f.clone();
+    for (v, t) in bindings {
+        out = substitute(&out, v, t);
+    }
+    out
+}
+
+/// Boolean-level simplification: propagates ⊤/⊥, collapses double negation,
+/// flattens conjunction/disjunction, drops quantifiers over variable-free
+/// bodies when the body is a constant, and evaluates ground equalities.
+pub fn simplify(f: &Formula) -> Formula {
+    f.map_bottom_up(&mut |node| match node {
+        Formula::Not(inner) => Formula::not(*inner),
+        Formula::And(parts) => Formula::and_all(parts),
+        Formula::Or(parts) => Formula::or_all(parts),
+        Formula::Implies(a, b) => match (*a, *b) {
+            (Formula::Top, b) => b,
+            (Formula::Bottom, _) => Formula::Top,
+            (_, Formula::Top) => Formula::Top,
+            (a, Formula::Bottom) => Formula::not(a),
+            (a, b) => Formula::Implies(Box::new(a), Box::new(b)),
+        },
+        Formula::Iff(a, b) => match (*a, *b) {
+            (Formula::Top, b) => b,
+            (a, Formula::Top) => a,
+            (Formula::Bottom, b) => Formula::not(b),
+            (a, Formula::Bottom) => Formula::not(a),
+            (a, b) if a == b => Formula::Top,
+            (a, b) => Formula::Iff(Box::new(a), Box::new(b)),
+        },
+        Formula::Equals(Term::Const(a), Term::Const(b)) => {
+            if a == b {
+                Formula::Top
+            } else {
+                Formula::Bottom
+            }
+        }
+        Formula::Equals(Term::Var(a), Term::Var(b)) if a == b => Formula::Top,
+        Formula::Forall(v, body) => match *body {
+            Formula::Top => Formula::Top,
+            Formula::Bottom => Formula::Bottom,
+            other => Formula::Forall(v, Box::new(other)),
+        },
+        Formula::Exists(v, body) => match *body {
+            Formula::Top => Formula::Top,
+            Formula::Bottom => Formula::Bottom,
+            other => Formula::Exists(v, Box::new(other)),
+        },
+        other => other,
+    })
+}
+
+/// Negation normal form: eliminates `⇒`/`⇔` and pushes negations down to
+/// literals. Quantifiers are preserved (and dualized under negation).
+pub fn nnf(f: &Formula) -> Formula {
+    nnf_rec(f, false)
+}
+
+fn nnf_rec(f: &Formula, negated: bool) -> Formula {
+    match f {
+        Formula::Top => {
+            if negated {
+                Formula::Bottom
+            } else {
+                Formula::Top
+            }
+        }
+        Formula::Bottom => {
+            if negated {
+                Formula::Top
+            } else {
+                Formula::Bottom
+            }
+        }
+        Formula::Atom(_) | Formula::Equals(..) => {
+            if negated {
+                Formula::Not(Box::new(f.clone()))
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Not(g) => nnf_rec(g, !negated),
+        Formula::And(gs) => {
+            let parts = gs.iter().map(|g| nnf_rec(g, negated));
+            if negated {
+                Formula::or_all(parts)
+            } else {
+                Formula::and_all(parts)
+            }
+        }
+        Formula::Or(gs) => {
+            let parts = gs.iter().map(|g| nnf_rec(g, negated));
+            if negated {
+                Formula::and_all(parts)
+            } else {
+                Formula::or_all(parts)
+            }
+        }
+        Formula::Implies(a, b) => {
+            // a ⇒ b  ≡  ¬a ∨ b
+            let rewritten = Formula::or(Formula::not((**a).clone()), (**b).clone());
+            nnf_rec(&rewritten, negated)
+        }
+        Formula::Iff(a, b) => {
+            // a ⇔ b ≡ (a ∧ b) ∨ (¬a ∧ ¬b)
+            let rewritten = Formula::or(
+                Formula::and((**a).clone(), (**b).clone()),
+                Formula::and(Formula::not((**a).clone()), Formula::not((**b).clone())),
+            );
+            nnf_rec(&rewritten, negated)
+        }
+        Formula::Forall(v, g) => {
+            let body = nnf_rec(g, negated);
+            if negated {
+                Formula::Exists(v.clone(), Box::new(body))
+            } else {
+                Formula::Forall(v.clone(), Box::new(body))
+            }
+        }
+        Formula::Exists(v, g) => {
+            let body = nnf_rec(g, negated);
+            if negated {
+                Formula::Forall(v.clone(), Box::new(body))
+            } else {
+                Formula::Exists(v.clone(), Box::new(body))
+            }
+        }
+    }
+}
+
+/// Renames bound variables so that (i) every quantifier binds a distinct
+/// variable and (ii) no bound variable collides with a free variable.
+///
+/// Note that this may *increase* the number of distinct variables — a formula
+/// in FO² that re-uses its two variables will leave FO² after renaming. The
+/// FO² algorithm therefore never calls this; it is used by the generic prenex
+/// conversion (Lemma 3.3 does not care about the number of variables).
+pub fn rename_apart(f: &Formula) -> Formula {
+    let mut used: BTreeSet<Variable> = f.free_variables();
+    let mut counter: HashMap<String, usize> = HashMap::new();
+    rename_rec(f, &HashMap::new(), &mut used, &mut counter)
+}
+
+fn rename_rec(
+    f: &Formula,
+    renaming: &HashMap<Variable, Variable>,
+    used: &mut BTreeSet<Variable>,
+    counter: &mut HashMap<String, usize>,
+) -> Formula {
+    let rename_term = |t: &Term, renaming: &HashMap<Variable, Variable>| -> Term {
+        match t {
+            Term::Var(v) => Term::Var(renaming.get(v).cloned().unwrap_or_else(|| v.clone())),
+            Term::Const(c) => Term::Const(*c),
+        }
+    };
+    match f {
+        Formula::Top => Formula::Top,
+        Formula::Bottom => Formula::Bottom,
+        Formula::Atom(a) => Formula::Atom(Atom::new(
+            a.predicate.clone(),
+            a.args.iter().map(|t| rename_term(t, renaming)).collect(),
+        )),
+        Formula::Equals(a, b) => {
+            Formula::Equals(rename_term(a, renaming), rename_term(b, renaming))
+        }
+        Formula::Not(g) => Formula::Not(Box::new(rename_rec(g, renaming, used, counter))),
+        Formula::And(gs) => Formula::And(
+            gs.iter()
+                .map(|g| rename_rec(g, renaming, used, counter))
+                .collect(),
+        ),
+        Formula::Or(gs) => Formula::Or(
+            gs.iter()
+                .map(|g| rename_rec(g, renaming, used, counter))
+                .collect(),
+        ),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(rename_rec(a, renaming, used, counter)),
+            Box::new(rename_rec(b, renaming, used, counter)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(rename_rec(a, renaming, used, counter)),
+            Box::new(rename_rec(b, renaming, used, counter)),
+        ),
+        Formula::Forall(v, g) | Formula::Exists(v, g) => {
+            let fresh = if used.contains(v) {
+                let base = v.name().to_string();
+                loop {
+                    let c = counter.entry(base.clone()).or_insert(0);
+                    *c += 1;
+                    let candidate = Variable::new(format!("{base}_{c}"));
+                    if !used.contains(&candidate) {
+                        break candidate;
+                    }
+                }
+            } else {
+                v.clone()
+            };
+            used.insert(fresh.clone());
+            let mut inner_renaming = renaming.clone();
+            inner_renaming.insert(v.clone(), fresh.clone());
+            let body = Box::new(rename_rec(g, &inner_renaming, used, counter));
+            if matches!(f, Formula::Forall(..)) {
+                Formula::Forall(fresh, body)
+            } else {
+                Formula::Exists(fresh, body)
+            }
+        }
+    }
+}
+
+/// Converts a formula to prenex normal form.
+///
+/// The formula is first put in NNF (so negation never sits above a
+/// quantifier), then bound variables are renamed apart, and finally the
+/// quantifiers are hoisted outward left-to-right.
+pub fn prenex(f: &Formula) -> Prenex {
+    let renamed = rename_apart(&nnf(&simplify(f)));
+    let mut prefix = Vec::new();
+    let matrix = pull_quantifiers(&renamed, &mut prefix);
+    Prenex { prefix, matrix }
+}
+
+fn pull_quantifiers(f: &Formula, prefix: &mut Vec<(Quantifier, Variable)>) -> Formula {
+    match f {
+        Formula::Forall(v, g) => {
+            prefix.push((Quantifier::Forall, v.clone()));
+            pull_quantifiers(g, prefix)
+        }
+        Formula::Exists(v, g) => {
+            prefix.push((Quantifier::Exists, v.clone()));
+            pull_quantifiers(g, prefix)
+        }
+        Formula::And(gs) => {
+            let parts: Vec<Formula> = gs.iter().map(|g| pull_quantifiers(g, prefix)).collect();
+            Formula::and_all(parts)
+        }
+        Formula::Or(gs) => {
+            let parts: Vec<Formula> = gs.iter().map(|g| pull_quantifiers(g, prefix)).collect();
+            Formula::or_all(parts)
+        }
+        Formula::Not(g) => Formula::not(pull_quantifiers(g, prefix)),
+        // NNF has eliminated ⇒ and ⇔; atoms and constants pass through.
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::*;
+
+    #[test]
+    fn substitution_replaces_free_occurrences_only() {
+        // ∀x R(x, y) with y ↦ c0.
+        let f = forall(["x"], atom("R", &["x", "y"]));
+        let g = substitute(&f, &Variable::new("y"), &Term::constant(0));
+        assert_eq!(g.free_variables().len(), 0);
+        // x is bound: substituting x is a no-op.
+        let h = substitute(&f, &Variable::new("x"), &Term::constant(0));
+        assert_eq!(h, f);
+    }
+
+    #[test]
+    fn substitution_avoids_capture() {
+        // ∃x R(x, y), substitute y ↦ x: the bound x must be renamed.
+        let f = exists(["x"], atom("R", &["x", "y"]));
+        let g = substitute(&f, &Variable::new("y"), &Term::var("x"));
+        match &g {
+            Formula::Exists(v, body) => {
+                assert_ne!(v.name(), "x", "bound variable must have been renamed");
+                // Body should be R(v, x) with distinct terms.
+                match body.as_ref() {
+                    Formula::Atom(a) => {
+                        assert_ne!(a.args[0], a.args[1]);
+                    }
+                    other => panic!("unexpected body {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simplify_constants_and_equality() {
+        let f = and(vec![Formula::Top, or(vec![atom("R", &["x"]), Formula::Bottom])]);
+        assert_eq!(simplify(&f), atom("R", &["x"]));
+        assert_eq!(simplify(&eq("#1", "#1")), Formula::Top);
+        assert_eq!(simplify(&eq("#1", "#2")), Formula::Bottom);
+        assert_eq!(simplify(&eq("x", "x")), Formula::Top);
+        let g = forall(["x"], Formula::Top);
+        assert_eq!(simplify(&g), Formula::Top);
+    }
+
+    #[test]
+    fn simplify_implication_and_iff() {
+        let r = atom("R", &["x"]);
+        assert_eq!(simplify(&implies(Formula::Top, r.clone())), r);
+        assert_eq!(simplify(&implies(r.clone(), Formula::Bottom)), not(r.clone()));
+        assert_eq!(simplify(&iff(r.clone(), r.clone())), Formula::Top);
+    }
+
+    #[test]
+    fn nnf_pushes_negation_to_literals() {
+        // ¬∀x (R(x) ⇒ S(x))  ≡  ∃x (R(x) ∧ ¬S(x))
+        let f = not(forall(["x"], implies(atom("R", &["x"]), atom("S", &["x"]))));
+        let g = nnf(&f);
+        match &g {
+            Formula::Exists(_, body) => match body.as_ref() {
+                Formula::And(parts) => {
+                    assert_eq!(parts.len(), 2);
+                    assert!(matches!(parts[1], Formula::Not(_)));
+                }
+                other => panic!("unexpected body {other:?}"),
+            },
+            other => panic!("expected ∃, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_expands_iff() {
+        let f = iff(atom("R", &["x"]), atom("S", &["x"]));
+        let g = nnf(&f);
+        // (R ∧ S) ∨ (¬R ∧ ¬S)
+        match g {
+            Formula::Or(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rename_apart_makes_binders_unique() {
+        // ∀x R(x) ∧ ∀x S(x): the second binder must be renamed.
+        let f = and(vec![
+            forall(["x"], atom("R", &["x"])),
+            forall(["x"], atom("S", &["x"])),
+        ]);
+        let g = rename_apart(&f);
+        let mut binders = Vec::new();
+        g.visit(&mut |node| {
+            if let Formula::Forall(v, _) = node {
+                binders.push(v.clone());
+            }
+        });
+        assert_eq!(binders.len(), 2);
+        assert_ne!(binders[0], binders[1]);
+    }
+
+    #[test]
+    fn prenex_produces_quantifier_free_matrix() {
+        // ∀x (R(x) ∨ ∃y S(x,y)) — prefix ∀x ∃y, matrix quantifier-free.
+        let f = forall(
+            ["x"],
+            or(vec![atom("R", &["x"]), exists(["y"], atom("S", &["x", "y"]))]),
+        );
+        let p = prenex(&f);
+        assert!(p.matrix.is_quantifier_free());
+        assert_eq!(p.prefix.len(), 2);
+        assert_eq!(p.prefix[0].0, Quantifier::Forall);
+        assert_eq!(p.prefix[1].0, Quantifier::Exists);
+        assert!(!p.is_universal());
+        assert_eq!(p.first_existential(), Some(1));
+        // Round-trip: the reassembled formula is a sentence over the same vocabulary.
+        let back = p.to_formula();
+        assert!(back.is_sentence());
+        assert_eq!(back.vocabulary().len(), 2);
+    }
+
+    #[test]
+    fn prenex_of_negated_exists_is_universal() {
+        // ¬∃x R(x) is ∀x ¬R(x).
+        let f = not(exists(["x"], atom("R", &["x"])));
+        let p = prenex(&f);
+        assert!(p.is_universal());
+        assert_eq!(p.prefix.len(), 1);
+    }
+}

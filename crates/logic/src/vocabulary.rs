@@ -1,0 +1,268 @@
+//! Relational vocabularies σ = (R₁, …, Rₘ).
+//!
+//! The paper always works with a *fixed* vocabulary; the data complexity
+//! results fix the formula too and only vary the domain size. A
+//! [`Vocabulary`] is an ordered collection of [`Predicate`] symbols; order
+//! matters for deterministic iteration (grounding, cell enumeration, …).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A relational predicate symbol with a fixed arity.
+///
+/// Predicates compare by name *and* arity, so `R/1` and `R/2` are distinct
+/// symbols (this mirrors the paper's convention of writing `P/a`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Predicate {
+    name: Arc<str>,
+    arity: usize,
+}
+
+impl Predicate {
+    /// Creates a predicate symbol.
+    pub fn new(name: impl AsRef<str>, arity: usize) -> Self {
+        Predicate {
+            name: Arc::from(name.as_ref()),
+            arity,
+        }
+    }
+
+    /// The predicate's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The predicate's arity (number of argument positions).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of ground tuples of this predicate over a domain of size `n`,
+    /// i.e. `n^arity`.
+    pub fn num_ground_tuples(&self, n: usize) -> usize {
+        n.checked_pow(self.arity as u32)
+            .expect("ground tuple count overflows usize")
+    }
+}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// An ordered relational vocabulary.
+///
+/// Supports lookup by name, insertion-order iteration and set-like extension
+/// (the paper's lemmas repeatedly *extend* a vocabulary with fresh symbols).
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Vocabulary {
+    predicates: Vec<Predicate>,
+    by_name: BTreeMap<Arc<str>, usize>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a vocabulary from `(name, arity)` pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, usize)>,
+        S: AsRef<str>,
+    {
+        let mut v = Vocabulary::new();
+        for (name, arity) in pairs {
+            v.add(Predicate::new(name, arity));
+        }
+        v
+    }
+
+    /// Adds a predicate; returns `false` (and leaves the vocabulary unchanged)
+    /// if a predicate with the same name already exists.
+    ///
+    /// # Panics
+    /// Panics if a predicate with the same name but a *different* arity is
+    /// already present — that is almost certainly a bug in the caller.
+    pub fn add(&mut self, p: Predicate) -> bool {
+        if let Some(&idx) = self.by_name.get(p.name.as_ref() as &str) {
+            let existing = &self.predicates[idx];
+            assert_eq!(
+                existing.arity(),
+                p.arity(),
+                "predicate {} registered with conflicting arities {} and {}",
+                p.name(),
+                existing.arity(),
+                p.arity()
+            );
+            return false;
+        }
+        self.by_name.insert(p.name.clone(), self.predicates.len());
+        self.predicates.push(p);
+        true
+    }
+
+    /// Looks up a predicate by name.
+    pub fn get(&self, name: &str) -> Option<&Predicate> {
+        self.by_name.get(name).map(|&i| &self.predicates[i])
+    }
+
+    /// True if the vocabulary contains a predicate with this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// The predicates in insertion order.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Iterates over the predicates in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Predicate> {
+        self.predicates.iter()
+    }
+
+    /// Number of predicate symbols.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// True if the vocabulary has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// The maximum arity over all predicates (0 for an empty vocabulary).
+    pub fn max_arity(&self) -> usize {
+        self.predicates.iter().map(|p| p.arity()).max().unwrap_or(0)
+    }
+
+    /// Total number of ground tuples `|Tup(n)| = Σᵢ n^{arity(Rᵢ)}` over a
+    /// domain of size `n` (§2 of the paper).
+    pub fn num_ground_tuples(&self, n: usize) -> usize {
+        self.predicates
+            .iter()
+            .map(|p| p.num_ground_tuples(n))
+            .sum()
+    }
+
+    /// Returns a new vocabulary containing all predicates of `self` followed
+    /// by those of `other` that are not already present.
+    pub fn extended_with(&self, other: &Vocabulary) -> Vocabulary {
+        let mut out = self.clone();
+        for p in other.iter() {
+            out.add(p.clone());
+        }
+        out
+    }
+
+    /// Generates a predicate name starting from `base` that is not yet used.
+    pub fn fresh_name(&self, base: &str) -> String {
+        if !self.contains(base) {
+            return base.to_string();
+        }
+        for i in 0.. {
+            let candidate = format!("{base}{i}");
+            if !self.contains(&candidate) {
+                return candidate;
+            }
+        }
+        unreachable!()
+    }
+
+    /// Adds a fresh predicate with the given base name and arity, returning it.
+    pub fn add_fresh(&mut self, base: &str, arity: usize) -> Predicate {
+        let name = self.fresh_name(base);
+        let p = Predicate::new(name, arity);
+        self.add(p.clone());
+        p
+    }
+
+    /// True if `self` is a sub-vocabulary of `other` (the paper's σ ⊆ σ′).
+    pub fn is_subvocabulary_of(&self, other: &Vocabulary) -> bool {
+        self.iter().all(|p| other.get(p.name()) == Some(p))
+    }
+}
+
+impl fmt::Debug for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.predicates.iter()).finish()
+    }
+}
+
+impl FromIterator<Predicate> for Vocabulary {
+    fn from_iter<T: IntoIterator<Item = Predicate>>(iter: T) -> Self {
+        let mut v = Vocabulary::new();
+        for p in iter {
+            v.add(p);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut v = Vocabulary::new();
+        assert!(v.add(Predicate::new("R", 2)));
+        assert!(v.add(Predicate::new("S", 1)));
+        assert!(!v.add(Predicate::new("R", 2)), "duplicate add is a no-op");
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get("R").unwrap().arity(), 2);
+        assert!(v.contains("S"));
+        assert!(!v.contains("T"));
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting arities")]
+    fn conflicting_arity_panics() {
+        let mut v = Vocabulary::new();
+        v.add(Predicate::new("R", 2));
+        v.add(Predicate::new("R", 3));
+    }
+
+    #[test]
+    fn ground_tuple_counts() {
+        let v = Vocabulary::from_pairs([("R", 2), ("S", 1), ("T", 0)]);
+        // |Tup(3)| = 3² + 3¹ + 3⁰ = 9 + 3 + 1 = 13.
+        assert_eq!(v.num_ground_tuples(3), 13);
+        assert_eq!(v.max_arity(), 2);
+    }
+
+    #[test]
+    fn fresh_names_do_not_collide() {
+        let mut v = Vocabulary::from_pairs([("A", 1), ("A0", 1)]);
+        let p = v.add_fresh("A", 2);
+        assert_eq!(p.name(), "A1");
+        assert!(v.contains("A1"));
+    }
+
+    #[test]
+    fn extension_and_subvocabulary() {
+        let base = Vocabulary::from_pairs([("R", 2)]);
+        let extra = Vocabulary::from_pairs([("R", 2), ("S", 1)]);
+        let ext = base.extended_with(&extra);
+        assert_eq!(ext.len(), 2);
+        assert!(base.is_subvocabulary_of(&ext));
+        assert!(!ext.is_subvocabulary_of(&base));
+    }
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let v = Vocabulary::from_pairs([("Z", 1), ("A", 2), ("M", 0)]);
+        let names: Vec<_> = v.iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(names, vec!["Z", "A", "M"]);
+    }
+}

@@ -1,0 +1,158 @@
+//! The textbook (ground) semantics of an MLN, used as ground truth.
+//!
+//! `W(D) = Π_{(w,ϕ(x̄)) soft, ā : D ⊨ ϕ[ā/x̄]} w` for structures `D` satisfying
+//! every grounding of every hard constraint, and `W(D) = 0` otherwise.
+//! `Pr(Φ) = W(Φ) / W(true)` where `W(Φ)` sums `W(D)` over the models of `Φ`.
+//!
+//! Everything here enumerates structures explicitly and is exponential in
+//! `|Tup(n)|`; it exists to validate the WFOMC reduction path.
+
+use std::collections::HashMap;
+
+use num_traits::{One, Zero};
+
+use wfomc_ground::enumerate::all_structures;
+use wfomc_ground::evaluate::{evaluate, evaluate_with};
+use wfomc_ground::structure::{all_tuples, Structure};
+use wfomc_logic::syntax::Formula;
+use wfomc_logic::weights::Weight;
+
+use crate::network::{ConstraintWeight, MarkovLogicNetwork};
+
+/// The MLN weight of a single structure.
+pub fn world_weight(mln: &MarkovLogicNetwork, structure: &Structure) -> Weight {
+    let n = structure.domain_size();
+    let mut weight = Weight::one();
+    for c in mln.constraints() {
+        for tuple in all_tuples(n, c.variables.len()) {
+            let assignment: HashMap<_, _> = c
+                .variables
+                .iter()
+                .cloned()
+                .zip(tuple.iter().copied())
+                .collect();
+            let holds = evaluate_with(&c.formula, structure, &assignment);
+            match (&c.weight, holds) {
+                (ConstraintWeight::Hard, false) => return Weight::zero(),
+                (ConstraintWeight::Hard, true) => {}
+                (ConstraintWeight::Soft(w), true) => weight *= w,
+                (ConstraintWeight::Soft(_), false) => {}
+            }
+        }
+    }
+    weight
+}
+
+/// The partition function `W(true) = Σ_D W(D)` by brute-force enumeration.
+pub fn partition_function_brute(mln: &MarkovLogicNetwork, n: usize) -> Weight {
+    let voc = mln.vocabulary();
+    let mut total = Weight::zero();
+    for structure in all_structures(&voc, n) {
+        total += world_weight(mln, &structure);
+    }
+    total
+}
+
+/// `W(Φ)` by brute-force enumeration: the sum of `W(D)` over models of the
+/// query sentence.
+pub fn query_weight_brute(mln: &MarkovLogicNetwork, query: &Formula, n: usize) -> Weight {
+    let voc = mln.vocabulary().extended_with(&query.vocabulary());
+    let mut total = Weight::zero();
+    for structure in all_structures(&voc, n) {
+        if evaluate(query, &structure) {
+            total += world_weight(mln, &structure);
+        }
+    }
+    total
+}
+
+/// `Pr_MLN(Φ) = W(Φ) / W(true)` by brute-force enumeration.
+///
+/// # Panics
+/// Panics if the partition function is zero (contradictory hard constraints).
+pub fn probability_brute(mln: &MarkovLogicNetwork, query: &Formula, n: usize) -> Weight {
+    let z = partition_function_brute(mln, n);
+    assert!(
+        !z.is_zero(),
+        "the MLN's hard constraints are unsatisfiable over a domain of size {n}"
+    );
+    query_weight_brute(mln, query, n) / z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfomc_logic::builders::*;
+    use wfomc_logic::weights::{weight_int, weight_ratio};
+
+    fn spouse_mln(weight: i64) -> MarkovLogicNetwork {
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_soft(
+            weight_int(weight),
+            implies(
+                and(vec![atom("Spouse", &["x", "y"]), atom("Female", &["x"])]),
+                atom("Male", &["y"]),
+            ),
+        );
+        mln
+    }
+
+    #[test]
+    fn world_weight_counts_satisfied_groundings() {
+        // Example 1.1: the weight of a world is 3^N where N is the number of
+        // satisfied groundings of the spouse constraint.
+        let mln = spouse_mln(3);
+        let mut d = Structure::empty(1);
+        // Spouse(0,0), Female(0), Male(0) absent → the implication is
+        // (⊥ ∧ ?) ⇒ ? = true → weight 3.
+        assert_eq!(world_weight(&mln, &d), weight_int(3));
+        // Make the implication false: Spouse(0,0), Female(0), ¬Male(0).
+        d.insert("Spouse", vec![0, 0]);
+        d.insert("Female", vec![0]);
+        assert_eq!(world_weight(&mln, &d), weight_int(1));
+        d.insert("Male", vec![0]);
+        assert_eq!(world_weight(&mln, &d), weight_int(3));
+    }
+
+    #[test]
+    fn hard_constraints_zero_out_violating_worlds() {
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_hard(not(atom("Spouse", &["x", "x"])));
+        let mut d = Structure::empty(2);
+        assert_eq!(world_weight(&mln, &d), weight_int(1));
+        d.insert("Spouse", vec![1, 1]);
+        assert_eq!(world_weight(&mln, &d), weight_int(0));
+    }
+
+    #[test]
+    fn empty_mln_is_uniform() {
+        let mln = MarkovLogicNetwork::new();
+        // Empty vocabulary → a single empty structure of weight 1.
+        assert_eq!(partition_function_brute(&mln, 2), weight_int(1));
+    }
+
+    #[test]
+    fn partition_function_of_single_unary_soft_constraint() {
+        // MLN with one soft constraint (2, Female(x)): each element doubles
+        // the weight when Female holds: Z = Σ_D 2^{|Female|} = (1+2)ⁿ.
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_soft(weight_int(2), atom("Female", &["x"]));
+        for n in 0..=3 {
+            assert_eq!(
+                partition_function_brute(&mln, n),
+                wfomc_logic::weights::weight_pow(&weight_int(3), n),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn probability_of_query() {
+        // One soft constraint (2, Female(x)) over n = 1:
+        // Pr(Female(c0)) = 2 / 3.
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_soft(weight_int(2), atom("Female", &["x"]));
+        let q = atom("Female", &["#0"]);
+        assert_eq!(probability_brute(&mln, &q, 1), weight_ratio(2, 3));
+    }
+}

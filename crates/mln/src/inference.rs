@@ -1,0 +1,213 @@
+//! Exact MLN inference through the WFOMC reduction and the lifted solver.
+
+use num_traits::Zero;
+
+use wfomc_core::{LiftError, Method, Solver};
+use wfomc_logic::syntax::Formula;
+use wfomc_logic::weights::Weight;
+
+use crate::network::{MarkovLogicNetwork, MlnError};
+use crate::reduction::{reduce_to_wfomc, WfomcReduction};
+
+/// An exact inference engine for an MLN, backed by the Example 1.2 reduction
+/// and the `wfomc-core` solver (which uses a lifted algorithm whenever the
+/// reduced constraints allow, and grounded WMC otherwise).
+#[derive(Clone, Debug)]
+pub struct MlnEngine {
+    reduction: WfomcReduction,
+    solver: Solver,
+}
+
+impl MlnEngine {
+    /// Builds the engine (applies the reduction once).
+    pub fn new(mln: &MarkovLogicNetwork) -> Result<Self, MlnError> {
+        Ok(MlnEngine {
+            reduction: reduce_to_wfomc(mln)?,
+            solver: Solver::new(),
+        })
+    }
+
+    /// Builds the engine with a custom solver configuration (e.g. the
+    /// grounded-only baseline used in benchmarks).
+    pub fn with_solver(mln: &MarkovLogicNetwork, solver: Solver) -> Result<Self, MlnError> {
+        Ok(MlnEngine {
+            reduction: reduce_to_wfomc(mln)?,
+            solver,
+        })
+    }
+
+    /// The reduction underlying this engine.
+    pub fn reduction(&self) -> &WfomcReduction {
+        &self.reduction
+    }
+
+    /// The MLN partition function `Z(n) = Σ_D W(D)`.
+    pub fn partition_function(&self, n: usize) -> Result<Weight, LiftError> {
+        let report = self.solver.wfomc(
+            &self.reduction.hard_sentence,
+            &self.reduction.vocabulary,
+            n,
+            &self.reduction.weights,
+        )?;
+        Ok(self.reduction.scaling_factor(n) * report.value)
+    }
+
+    /// `Pr_MLN(Φ) = WFOMC(Φ ∧ Γ) / WFOMC(Γ)` — the conditional-probability
+    /// form of Example 1.2. Also reports which methods answered the two WFOMC
+    /// calls.
+    pub fn probability(&self, query: &Formula, n: usize) -> Result<Weight, LiftError> {
+        self.probability_with_methods(query, n).map(|(p, _, _)| p)
+    }
+
+    /// As [`probability`](Self::probability), additionally returning the
+    /// methods used for the numerator and denominator.
+    pub fn probability_with_methods(
+        &self,
+        query: &Formula,
+        n: usize,
+    ) -> Result<(Weight, Method, Method), LiftError> {
+        if !query.is_sentence() {
+            return Err(LiftError::NotASentence);
+        }
+        let vocabulary = self
+            .reduction
+            .vocabulary
+            .extended_with(&query.vocabulary());
+        let denominator = self.solver.wfomc(
+            &self.reduction.hard_sentence,
+            &vocabulary,
+            n,
+            &self.reduction.weights,
+        )?;
+        if denominator.value.is_zero() {
+            return Err(LiftError::Internal(format!(
+                "the MLN's hard constraints are unsatisfiable over a domain of size {n}"
+            )));
+        }
+        let numerator_sentence =
+            Formula::and(query.clone(), self.reduction.hard_sentence.clone());
+        let numerator = self.solver.wfomc(
+            &numerator_sentence,
+            &vocabulary,
+            n,
+            &self.reduction.weights,
+        )?;
+        Ok((
+            numerator.value / denominator.value,
+            numerator.method,
+            denominator.method,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_semantics::{partition_function_brute, probability_brute};
+    use wfomc_logic::builders::*;
+    use wfomc_logic::weights::{weight_int, weight_ratio};
+
+    fn spouse_mln() -> MarkovLogicNetwork {
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_soft(
+            weight_int(3),
+            implies(
+                and(vec![atom("Spouse", &["x", "y"]), atom("Female", &["x"])]),
+                atom("Male", &["y"]),
+            ),
+        );
+        mln
+    }
+
+    fn smokers_mln() -> MarkovLogicNetwork {
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_soft(
+            weight_int(2),
+            implies(
+                and(vec![atom("Smokes", &["x"]), atom("Friends", &["x", "y"])]),
+                atom("Smokes", &["y"]),
+            ),
+        );
+        mln.add_soft(weight_int(3), atom("Smokes", &["x"]));
+        mln
+    }
+
+    #[test]
+    fn partition_function_matches_brute_force() {
+        for mln in [spouse_mln(), smokers_mln()] {
+            let engine = MlnEngine::new(&mln).unwrap();
+            for n in 0..=2 {
+                assert_eq!(
+                    engine.partition_function(n).unwrap(),
+                    partition_function_brute(&mln, n),
+                    "n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_probabilities_match_brute_force() {
+        let mln = spouse_mln();
+        let engine = MlnEngine::new(&mln).unwrap();
+        // Queries over the original vocabulary, closed sentences.
+        let queries = vec![
+            exists(["x"], atom("Female", &["x"])),
+            forall(["x", "y"], implies(atom("Spouse", &["x", "y"]), atom("Male", &["y"]))),
+            exists(["x", "y"], atom("Spouse", &["x", "y"])),
+        ];
+        for q in queries {
+            for n in 1..=2 {
+                let lifted = engine.probability(&q, n).unwrap();
+                let brute = probability_brute(&mln, &q, n);
+                assert_eq!(lifted, brute, "query {q}, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn smokers_marginal_matches_brute_force() {
+        let mln = smokers_mln();
+        let engine = MlnEngine::new(&mln).unwrap();
+        let q = exists(["x"], atom("Smokes", &["x"]));
+        for n in 1..=2 {
+            assert_eq!(
+                engine.probability(&q, n).unwrap(),
+                probability_brute(&mln, &q, n),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_keeps_queries_liftable() {
+        // The reduced spouse MLN is FO², so both WFOMC calls should be
+        // answered by the FO² algorithm, not by grounding.
+        let mln = spouse_mln();
+        let engine = MlnEngine::new(&mln).unwrap();
+        let q = exists(["x"], atom("Female", &["x"]));
+        let (_, num_method, den_method) = engine.probability_with_methods(&q, 4).unwrap();
+        assert_eq!(num_method, Method::Fo2);
+        assert_eq!(den_method, Method::Fo2);
+    }
+
+    #[test]
+    fn uniform_mln_probabilities() {
+        // An MLN with only a weight-1 constraint is the uniform distribution:
+        // Pr(∃x Smokes(x)) over n = 2 is 1 − 1/4 = 3/4.
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_soft(weight_int(1), atom("Smokes", &["x"]));
+        let engine = MlnEngine::new(&mln).unwrap();
+        let q = exists(["x"], atom("Smokes", &["x"]));
+        assert_eq!(engine.probability(&q, 2).unwrap(), weight_ratio(3, 4));
+    }
+
+    #[test]
+    fn open_queries_are_rejected() {
+        let engine = MlnEngine::new(&spouse_mln()).unwrap();
+        assert!(matches!(
+            engine.probability(&atom("Female", &["x"]), 2),
+            Err(LiftError::NotASentence)
+        ));
+    }
+}

@@ -1,0 +1,34 @@
+//! # wfomc-mln
+//!
+//! Markov Logic Networks (MLNs) — the paper's motivating application
+//! (Examples 1.1 and 1.2).
+//!
+//! An MLN is a finite set of *soft* constraints `(w, ϕ(x̄))` and *hard*
+//! constraints `(∞, ϕ)`. Over a finite domain it defines a weight for every
+//! structure (`W(D) = Π w` over the soft-constraint groundings satisfied by
+//! `D`, with hard constraints acting as a filter), and probabilities by
+//! normalization.
+//!
+//! Two inference paths are provided and cross-checked against each other:
+//!
+//! * [`ground_semantics`] — the textbook definition, evaluated by enumerating
+//!   structures; exponential, used as ground truth;
+//! * [`reduction`] + [`inference`] — the Example 1.2 reduction: each soft
+//!   constraint `(w, ϕ(x̄))` becomes a hard constraint `∀x̄ (R(x̄) ∨ ϕ(x̄))` plus
+//!   a fresh relation `R` with symmetric tuple weight `1/(w−1)`; MLN
+//!   probabilities become conditional probabilities over a symmetric
+//!   tuple-independent distribution, i.e. a pair of symmetric WFOMC calls,
+//!   answered by the `wfomc-core` solver (lifted whenever the constraint
+//!   structure allows, exactly as the paper advocates).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ground_semantics;
+pub mod inference;
+pub mod network;
+pub mod reduction;
+
+pub use inference::MlnEngine;
+pub use network::{ConstraintWeight, MarkovLogicNetwork, MlnConstraint, MlnError};
+pub use reduction::WfomcReduction;

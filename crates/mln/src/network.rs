@@ -1,0 +1,175 @@
+//! The Markov Logic Network data model.
+
+use std::fmt;
+
+use wfomc_logic::syntax::Formula;
+use wfomc_logic::term::Variable;
+use wfomc_logic::vocabulary::Vocabulary;
+use wfomc_logic::weights::Weight;
+
+/// The weight attached to one MLN constraint.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConstraintWeight {
+    /// A soft constraint with a finite multiplicative weight.
+    Soft(Weight),
+    /// A hard constraint (weight ∞): worlds violating it have weight zero.
+    Hard,
+}
+
+/// One constraint of an MLN: a weight and a formula, possibly with free
+/// variables (the free variables are implicitly grounded over the domain, as
+/// in Example 1.1's `(3, Spouse(x,y) ∧ Female(x) ⇒ Male(y))`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MlnConstraint {
+    /// The constraint weight.
+    pub weight: ConstraintWeight,
+    /// The constraint formula.
+    pub formula: Formula,
+    /// The free variables, in a fixed order (the grounding tuple order).
+    pub variables: Vec<Variable>,
+}
+
+impl MlnConstraint {
+    /// Number of groundings over a domain of size `n`.
+    pub fn num_groundings(&self, n: usize) -> usize {
+        n.pow(self.variables.len() as u32)
+    }
+}
+
+/// Errors raised while building or reducing an MLN.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MlnError {
+    /// A hard constraint has free variables that could not be closed.
+    MalformedConstraint(String),
+}
+
+impl fmt::Display for MlnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlnError::MalformedConstraint(msg) => write!(f, "malformed constraint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlnError {}
+
+/// A Markov Logic Network: an ordered list of constraints.
+#[derive(Clone, Default, Debug)]
+pub struct MarkovLogicNetwork {
+    constraints: Vec<MlnConstraint>,
+}
+
+impl MarkovLogicNetwork {
+    /// An empty MLN (its distribution is uniform over all structures).
+    pub fn new() -> Self {
+        MarkovLogicNetwork::default()
+    }
+
+    /// Adds a soft constraint `(weight, formula)`. The formula's free
+    /// variables are grounded over the domain.
+    pub fn add_soft(&mut self, weight: Weight, formula: Formula) -> &mut Self {
+        let variables: Vec<Variable> = formula.free_variables().into_iter().collect();
+        self.constraints.push(MlnConstraint {
+            weight: ConstraintWeight::Soft(weight),
+            formula,
+            variables,
+        });
+        self
+    }
+
+    /// Adds a hard constraint.
+    pub fn add_hard(&mut self, formula: Formula) -> &mut Self {
+        let variables: Vec<Variable> = formula.free_variables().into_iter().collect();
+        self.constraints.push(MlnConstraint {
+            weight: ConstraintWeight::Hard,
+            formula,
+            variables,
+        });
+        self
+    }
+
+    /// The constraints in insertion order.
+    pub fn constraints(&self) -> &[MlnConstraint] {
+        &self.constraints
+    }
+
+    /// The relational vocabulary mentioned by the constraints.
+    pub fn vocabulary(&self) -> Vocabulary {
+        let mut voc = Vocabulary::new();
+        for c in &self.constraints {
+            for p in c.formula.vocabulary().iter() {
+                voc.add(p.clone());
+            }
+        }
+        voc
+    }
+
+    /// The conjunction of all hard constraints, each universally closed over
+    /// its free variables.
+    pub fn hard_sentence(&self) -> Formula {
+        Formula::and_all(self.constraints.iter().filter_map(|c| {
+            if matches!(c.weight, ConstraintWeight::Hard) {
+                Some(Formula::forall_many(c.variables.clone(), c.formula.clone()))
+            } else {
+                None
+            }
+        }))
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True if the network has no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfomc_logic::builders::*;
+    use wfomc_logic::weights::weight_int;
+
+    fn spouse_body() -> Formula {
+        implies(
+            and(vec![atom("Spouse", &["x", "y"]), atom("Female", &["x"])]),
+            atom("Male", &["y"]),
+        )
+    }
+
+    #[test]
+    fn building_a_network() {
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_soft(weight_int(3), spouse_body());
+        mln.add_hard(forall(["x"], not(atom("Spouse", &["x", "x"]))));
+        assert_eq!(mln.len(), 2);
+        assert!(!mln.is_empty());
+        assert_eq!(mln.vocabulary().len(), 3);
+        // The soft constraint has two free variables → n² groundings.
+        assert_eq!(mln.constraints()[0].variables.len(), 2);
+        assert_eq!(mln.constraints()[0].num_groundings(3), 9);
+        // The hard constraint is already closed → 1 grounding.
+        assert_eq!(mln.constraints()[1].num_groundings(3), 1);
+    }
+
+    #[test]
+    fn hard_sentence_conjoins_closures() {
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_hard(not(atom("Spouse", &["x", "x"])));
+        mln.add_soft(weight_int(2), atom("Female", &["x"]));
+        let hard = mln.hard_sentence();
+        assert!(hard.is_sentence());
+        // Only the hard constraint appears.
+        assert!(!hard.to_string().contains("Female"));
+    }
+
+    #[test]
+    fn empty_network_has_trivial_hard_sentence() {
+        let mln = MarkovLogicNetwork::new();
+        assert_eq!(mln.hard_sentence(), Formula::Top);
+        assert!(mln.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Example 1.2 — the reduction from MLN inference to symmetric WFOMC.
+//!
+//! Every soft constraint `(w, ϕ(x̄))` is replaced by
+//!
+//! * the hard constraint `∀x̄ (R(x̄) ∨ ϕ(x̄))`, and
+//! * a fresh relation `R` of arity `|x̄|` whose tuples all carry the symmetric
+//!   weight `1/(w − 1)` (absent-weight 1).
+//!
+//! For each grounding `ā`: if `ϕ(ā)` is false, `R(ā)` is forced true and
+//! contributes `1/(w−1)`; if `ϕ(ā)` is true, `R(ā)` is free and contributes
+//! `1 + 1/(w−1) = w/(w−1)`. The ratio is `1 : w`, exactly the original soft
+//! constraint, up to the global factor `(w−1)^{#groundings}` per constraint.
+//! Consequently `Pr_MLN(Φ) = Pr(Φ | Γ)` over the symmetric tuple-independent
+//! distribution, where Γ is the conjunction of all hard constraints — a pair
+//! of symmetric WFOMC computations.
+//!
+//! Soft constraints with weight exactly 1 are dropped (they do not affect the
+//! distribution and the transformation would divide by zero). Soft weight 0 is
+//! allowed (the auxiliary weight is −1 — negative weights are one of the
+//! reasons the paper insists symmetric WFOMC must handle them).
+
+use num_traits::One;
+
+use wfomc_logic::syntax::Formula;
+use wfomc_logic::vocabulary::Vocabulary;
+use wfomc_logic::weights::{weight_pow, Weight, Weights};
+
+use crate::network::{ConstraintWeight, MarkovLogicNetwork, MlnError};
+
+/// The symmetric-WFOMC form of an MLN.
+#[derive(Clone, Debug)]
+pub struct WfomcReduction {
+    /// Γ — the conjunction of all hard constraints (original and introduced).
+    pub hard_sentence: Formula,
+    /// The vocabulary: original relations plus one auxiliary relation per
+    /// reduced soft constraint.
+    pub vocabulary: Vocabulary,
+    /// Symmetric weights: auxiliary relations carry `(1/(w−1), 1)`; original
+    /// relations carry `(1, 1)`.
+    pub weights: Weights,
+    /// Per-constraint `(w − 1, arity)` pairs, from which the global scaling
+    /// factor `Π (w−1)^{n^arity}` relating WFOMC to the MLN partition function
+    /// is computed.
+    pub scaling: Vec<(Weight, usize)>,
+}
+
+impl WfomcReduction {
+    /// The factor `Π_i (wᵢ − 1)^{n^{arityᵢ}}` such that
+    /// `Z_MLN(n) = factor · WFOMC(Γ, n, weights)`.
+    pub fn scaling_factor(&self, n: usize) -> Weight {
+        let mut factor = Weight::one();
+        for (base, arity) in &self.scaling {
+            factor *= weight_pow(base, n.pow(*arity as u32));
+        }
+        factor
+    }
+}
+
+/// Applies the Example 1.2 reduction to an MLN.
+pub fn reduce_to_wfomc(mln: &MarkovLogicNetwork) -> Result<WfomcReduction, MlnError> {
+    let mut vocabulary = mln.vocabulary();
+    let mut weights = Weights::ones();
+    let mut hard_parts: Vec<Formula> = Vec::new();
+    let mut scaling = Vec::new();
+
+    for constraint in mln.constraints() {
+        match &constraint.weight {
+            ConstraintWeight::Hard => {
+                hard_parts.push(Formula::forall_many(
+                    constraint.variables.clone(),
+                    constraint.formula.clone(),
+                ));
+            }
+            ConstraintWeight::Soft(w) => {
+                if w == &Weight::one() {
+                    // Weight-1 constraints are vacuous.
+                    continue;
+                }
+                let arity = constraint.variables.len();
+                let aux = vocabulary.add_fresh("MlnAux", arity);
+                let denominator = w - Weight::one();
+                weights.set(aux.name(), Weight::one() / &denominator, Weight::one());
+                scaling.push((denominator, arity));
+                let aux_atom = Formula::atom(
+                    aux,
+                    constraint
+                        .variables
+                        .iter()
+                        .map(|v| wfomc_logic::term::Term::Var(v.clone()))
+                        .collect(),
+                );
+                hard_parts.push(Formula::forall_many(
+                    constraint.variables.clone(),
+                    Formula::or(aux_atom, constraint.formula.clone()),
+                ));
+            }
+        }
+    }
+
+    Ok(WfomcReduction {
+        hard_sentence: Formula::and_all(hard_parts),
+        vocabulary,
+        weights,
+        scaling,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_semantics::partition_function_brute;
+    use wfomc_ground::wfomc as ground_wfomc;
+    use wfomc_logic::builders::*;
+    use wfomc_logic::weights::{weight_int, weight_ratio};
+
+    #[test]
+    fn reduction_structure_matches_example_1_2() {
+        // The soft spouse constraint with weight 3 becomes a hard clause plus
+        // an auxiliary relation with weight 1/2 (probability 1/3).
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_soft(
+            weight_int(3),
+            implies(
+                and(vec![atom("Spouse", &["x", "y"]), atom("Female", &["x"])]),
+                atom("Male", &["y"]),
+            ),
+        );
+        let red = reduce_to_wfomc(&mln).unwrap();
+        assert_eq!(red.vocabulary.len(), 4);
+        let aux = red
+            .vocabulary
+            .iter()
+            .find(|p| p.name().starts_with("MlnAux"))
+            .unwrap();
+        assert_eq!(aux.arity(), 2);
+        let pair = red.weights.pair(aux.name());
+        assert_eq!(pair.pos, weight_ratio(1, 2));
+        assert_eq!(pair.to_probability().unwrap(), weight_ratio(1, 3));
+        assert!(red.hard_sentence.is_sentence());
+    }
+
+    #[test]
+    fn partition_function_matches_ground_semantics() {
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_soft(
+            weight_int(3),
+            implies(
+                and(vec![atom("Spouse", &["x", "y"]), atom("Female", &["x"])]),
+                atom("Male", &["y"]),
+            ),
+        );
+        let red = reduce_to_wfomc(&mln).unwrap();
+        for n in 0..=2 {
+            let z_direct = partition_function_brute(&mln, n);
+            let z_reduced = red.scaling_factor(n)
+                * ground_wfomc(&red.hard_sentence, &red.vocabulary, n, &red.weights);
+            assert_eq!(z_direct, z_reduced, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn weight_one_constraints_are_dropped() {
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_soft(weight_int(1), atom("R", &["x"]));
+        let red = reduce_to_wfomc(&mln).unwrap();
+        assert_eq!(red.hard_sentence, Formula::Top);
+        assert!(red.scaling.is_empty());
+    }
+
+    #[test]
+    fn fractional_and_zero_weights_are_supported() {
+        // Weight 1/2 → auxiliary weight 1/(1/2 − 1) = −2; weight 0 → −1.
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_soft(weight_ratio(1, 2), atom("R", &["x"]));
+        mln.add_soft(weight_int(0), atom("S", &["x"]));
+        let red = reduce_to_wfomc(&mln).unwrap();
+        for n in 0..=3 {
+            let z_direct = partition_function_brute(&mln, n);
+            let z_reduced = red.scaling_factor(n)
+                * ground_wfomc(&red.hard_sentence, &red.vocabulary, n, &red.weights);
+            assert_eq!(z_direct, z_reduced, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn hard_constraints_pass_through() {
+        let mut mln = MarkovLogicNetwork::new();
+        mln.add_hard(not(atom("Spouse", &["x", "x"])));
+        mln.add_soft(weight_int(2), atom("Female", &["x"]));
+        let red = reduce_to_wfomc(&mln).unwrap();
+        for n in 0..=2 {
+            let z_direct = partition_function_brute(&mln, n);
+            let z_reduced = red.scaling_factor(n)
+                * ground_wfomc(&red.hard_sentence, &red.vocabulary, n, &red.weights);
+            assert_eq!(z_direct, z_reduced, "n = {n}");
+        }
+    }
+}

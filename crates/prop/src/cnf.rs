@@ -1,0 +1,207 @@
+//! Conjunctive normal form.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::formula::{PropFormula, Var};
+
+/// A propositional literal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Lit {
+    /// The variable index.
+    pub var: Var,
+    /// True for a positive literal.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// A positive literal.
+    pub fn pos(var: Var) -> Lit {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    /// A negative literal.
+    pub fn neg(var: Var) -> Lit {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// True if the literal is satisfied by assigning `value` to its variable.
+    pub fn satisfied_by(self, value: bool) -> bool {
+        self.positive == value
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A CNF formula: a conjunction of clauses, each clause a disjunction of
+/// literals. `num_vars` records the variable universe (which may exceed the
+/// variables actually mentioned — unconstrained variables still contribute
+/// `w + w̄` to weighted counts).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cnf {
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+    /// Size of the variable universe (variables are `0..num_vars`).
+    pub num_vars: usize,
+}
+
+impl Cnf {
+    /// Creates a CNF over `num_vars` variables.
+    pub fn new(num_vars: usize, clauses: Vec<Vec<Lit>>) -> Self {
+        let cnf = Cnf { clauses, num_vars };
+        debug_assert!(
+            cnf.mentioned_vars().iter().all(|&v| v < num_vars),
+            "clause mentions a variable outside the universe"
+        );
+        cnf
+    }
+
+    /// An empty (trivially true) CNF over `num_vars` variables.
+    pub fn trivial(num_vars: usize) -> Self {
+        Cnf {
+            clauses: vec![],
+            num_vars,
+        }
+    }
+
+    /// Adds a clause.
+    pub fn add_clause(&mut self, clause: Vec<Lit>) {
+        self.clauses.push(clause);
+    }
+
+    /// The variables actually mentioned in some clause.
+    pub fn mentioned_vars(&self) -> BTreeSet<Var> {
+        self.clauses
+            .iter()
+            .flat_map(|c| c.iter().map(|l| l.var))
+            .collect()
+    }
+
+    /// True if some clause is empty (the CNF is unsatisfiable).
+    pub fn has_empty_clause(&self) -> bool {
+        self.clauses.iter().any(Vec::is_empty)
+    }
+
+    /// Evaluates the CNF under a total assignment.
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.satisfied_by(assignment[l.var])))
+    }
+
+    /// Converts the CNF back into a [`PropFormula`] (useful for cross-checking
+    /// the counters against each other).
+    pub fn to_formula(&self) -> PropFormula {
+        PropFormula::and_all(self.clauses.iter().map(|c| {
+            PropFormula::or_all(c.iter().map(|l| {
+                if l.positive {
+                    PropFormula::var(l.var)
+                } else {
+                    PropFormula::not(PropFormula::var(l.var))
+                }
+            }))
+        }))
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// True if there are no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, l) in c.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_basics() {
+        let l = Lit::pos(3);
+        assert!(l.satisfied_by(true));
+        assert!(!l.satisfied_by(false));
+        assert_eq!(l.negated(), Lit::neg(3));
+        assert_eq!(l.negated().negated(), l);
+    }
+
+    #[test]
+    fn cnf_evaluation() {
+        // (x0 ∨ ¬x1) ∧ (x1 ∨ x2)
+        let cnf = Cnf::new(
+            3,
+            vec![vec![Lit::pos(0), Lit::neg(1)], vec![Lit::pos(1), Lit::pos(2)]],
+        );
+        assert!(cnf.evaluate(&[true, true, false]));
+        assert!(!cnf.evaluate(&[false, true, false]));
+        assert!(cnf.evaluate(&[false, false, true]));
+        assert_eq!(cnf.mentioned_vars().len(), 3);
+        assert_eq!(cnf.len(), 2);
+        assert!(!cnf.has_empty_clause());
+    }
+
+    #[test]
+    fn to_formula_agrees_with_cnf_eval() {
+        let cnf = Cnf::new(
+            2,
+            vec![vec![Lit::pos(0)], vec![Lit::neg(0), Lit::pos(1)]],
+        );
+        let f = cnf.to_formula();
+        for a in 0..4u8 {
+            let assignment = [(a & 1) != 0, (a & 2) != 0];
+            assert_eq!(cnf.evaluate(&assignment), f.evaluate(&assignment));
+        }
+    }
+
+    #[test]
+    fn empty_clause_detection() {
+        let mut cnf = Cnf::trivial(1);
+        assert!(cnf.is_empty());
+        cnf.add_clause(vec![]);
+        assert!(cnf.has_empty_clause());
+        assert!(!cnf.evaluate(&[true]));
+    }
+}

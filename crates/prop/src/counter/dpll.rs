@@ -1,0 +1,342 @@
+//! Weighted DPLL model counting with unit propagation, connected-component
+//! decomposition and component caching.
+//!
+//! The algorithm maintains the invariant that [`count`] computes the weighted
+//! model count of a clause set *over exactly the variables mentioned in it*.
+//! Whenever a step (unit propagation, conditioning) makes a variable disappear
+//! from all clauses without assigning it, the caller multiplies in the factor
+//! `w(v) + w̄(v)` for that "freed" variable. Unmentioned variables of the
+//! original universe are handled once at the top level.
+
+use std::collections::{BTreeSet, HashMap};
+
+use num_traits::{One, Zero};
+use wfomc_logic::weights::Weight;
+
+use crate::cnf::{Cnf, Lit};
+use crate::formula::Var;
+use crate::weights::VarWeights;
+
+type ClauseSet = Vec<Vec<Lit>>;
+
+/// Weighted model count of a CNF over the universe `0..max(cnf.num_vars,
+/// weights.len())`.
+pub fn wmc_dpll(cnf: &Cnf, weights: &VarWeights) -> Weight {
+    let universe = cnf.num_vars.max(weights.len());
+    assert!(
+        weights.len() >= cnf.num_vars,
+        "weights cover {} variables but the CNF universe has {}",
+        weights.len(),
+        cnf.num_vars
+    );
+
+    // Normalize clauses: dedupe literals, drop tautological clauses.
+    let mut mentioned_before: BTreeSet<Var> = BTreeSet::new();
+    let mut clauses: ClauseSet = Vec::with_capacity(cnf.clauses.len());
+    for clause in &cnf.clauses {
+        for l in clause {
+            mentioned_before.insert(l.var);
+        }
+        let mut lits: Vec<Lit> = clause.clone();
+        lits.sort();
+        lits.dedup();
+        let tautological = lits
+            .windows(2)
+            .any(|w| w[0].var == w[1].var && w[0].positive != w[1].positive);
+        if !tautological {
+            clauses.push(lits);
+        }
+    }
+
+    // Variables never mentioned (or only mentioned in tautological clauses)
+    // contribute w + w̄ each.
+    let mentioned_after: BTreeSet<Var> = clauses.iter().flatten().map(|l| l.var).collect();
+    let mut factor = Weight::one();
+    for v in 0..universe {
+        if !mentioned_after.contains(&v) {
+            factor *= weights.total(v);
+        }
+    }
+
+    canonicalize(&mut clauses);
+    let mut cache: HashMap<ClauseSet, Weight> = HashMap::new();
+    let inner = count(&clauses, weights, &mut cache);
+    factor * inner
+}
+
+fn canonicalize(clauses: &mut ClauseSet) {
+    for c in clauses.iter_mut() {
+        c.sort();
+    }
+    clauses.sort();
+}
+
+fn clause_vars(clauses: &[Vec<Lit>]) -> BTreeSet<Var> {
+    clauses.iter().flatten().map(|l| l.var).collect()
+}
+
+/// Conditions a clause set on `var = value`. Returns `None` if an empty
+/// clause (conflict) is produced.
+fn condition(clauses: &[Vec<Lit>], var: Var, value: bool) -> Option<ClauseSet> {
+    let mut out = Vec::with_capacity(clauses.len());
+    for c in clauses {
+        if c.iter().any(|l| l.var == var && l.satisfied_by(value)) {
+            continue; // satisfied
+        }
+        let reduced: Vec<Lit> = c.iter().copied().filter(|l| l.var != var).collect();
+        if reduced.is_empty() {
+            return None;
+        }
+        out.push(reduced);
+    }
+    Some(out)
+}
+
+/// Weighted model count of `clauses` over exactly the variables mentioned in
+/// `clauses`. `clauses` must be canonical (sorted clauses, sorted literal
+/// lists, no tautologies, no duplicate literals).
+fn count(clauses: &ClauseSet, weights: &VarWeights, cache: &mut HashMap<ClauseSet, Weight>) -> Weight {
+    if clauses.is_empty() {
+        return Weight::one();
+    }
+    if clauses.iter().any(Vec::is_empty) {
+        return Weight::zero();
+    }
+    if let Some(hit) = cache.get(clauses) {
+        return hit.clone();
+    }
+
+    let scope = clause_vars(clauses);
+
+    // Unit propagation, with bookkeeping of which variables got assigned (as
+    // opposed to freed because every clause containing them was satisfied).
+    let mut factor = Weight::one();
+    let mut current: ClauseSet = clauses.clone();
+    let mut assigned_vars: BTreeSet<Var> = BTreeSet::new();
+    loop {
+        let unit = current.iter().find(|c| c.len() == 1).map(|c| c[0]);
+        let Some(lit) = unit else { break };
+        factor *= weights.literal_weight(lit.var, lit.positive);
+        assigned_vars.insert(lit.var);
+        match condition(&current, lit.var, lit.positive) {
+            Some(next) => current = next,
+            None => {
+                cache.insert(clauses.clone(), Weight::zero());
+                return Weight::zero();
+            }
+        }
+    }
+    let remaining_vars = clause_vars(&current);
+    for v in scope.iter() {
+        if !assigned_vars.contains(v) && !remaining_vars.contains(v) {
+            factor *= weights.total(*v);
+        }
+    }
+
+    let result = if current.is_empty() {
+        factor
+    } else {
+        // Connected-component decomposition over the primal graph.
+        let components = split_components(&current);
+        let mut product = factor;
+        for mut comp in components {
+            canonicalize(&mut comp);
+            product *= count_component(&comp, weights, cache);
+        }
+        product
+    };
+
+    cache.insert(clauses.clone(), result.clone());
+    result
+}
+
+/// Counts a single connected component by branching on a variable.
+fn count_component(
+    comp: &ClauseSet,
+    weights: &VarWeights,
+    cache: &mut HashMap<ClauseSet, Weight>,
+) -> Weight {
+    if comp.is_empty() {
+        return Weight::one();
+    }
+    if let Some(hit) = cache.get(comp) {
+        return hit.clone();
+    }
+    let scope = clause_vars(comp);
+
+    // Branch on the most frequently occurring variable.
+    let mut occurrence: HashMap<Var, usize> = HashMap::new();
+    for c in comp {
+        for l in c {
+            *occurrence.entry(l.var).or_insert(0) += 1;
+        }
+    }
+    let (&branch_var, _) = occurrence
+        .iter()
+        .max_by_key(|(v, count)| (**count, usize::MAX - **v))
+        .expect("non-empty component has variables");
+
+    let mut total = Weight::zero();
+    for value in [true, false] {
+        let weight = weights.literal_weight(branch_var, value).clone();
+        if let Some(mut cond) = condition(comp, branch_var, value) {
+            canonicalize(&mut cond);
+            // Variables freed by this conditioning step.
+            let cond_vars = clause_vars(&cond);
+            let mut freed_factor = Weight::one();
+            for v in scope.iter() {
+                if *v != branch_var && !cond_vars.contains(v) {
+                    freed_factor *= weights.total(*v);
+                }
+            }
+            total += weight * freed_factor * count(&cond, weights, cache);
+        }
+    }
+    cache.insert(comp.clone(), total.clone());
+    total
+}
+
+/// Splits a clause set into connected components of its primal graph
+/// (clauses are connected when they share a variable).
+fn split_components(clauses: &ClauseSet) -> Vec<ClauseSet> {
+    let n = clauses.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+
+    // Union clauses sharing a variable via a var → first clause map.
+    let mut owner: HashMap<Var, usize> = HashMap::new();
+    for (i, c) in clauses.iter().enumerate() {
+        for l in c {
+            match owner.get(&l.var) {
+                Some(&j) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+                None => {
+                    owner.insert(l.var, i);
+                }
+            }
+        }
+    }
+
+    let mut groups: HashMap<usize, ClauseSet> = HashMap::new();
+    for (i, c) in clauses.iter().enumerate() {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(c.clone());
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::wmc_enumerate;
+    use wfomc_logic::weights::weight_int;
+
+    fn cnf(num_vars: usize, clauses: &[&[(usize, bool)]]) -> Cnf {
+        Cnf::new(
+            num_vars,
+            clauses
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .map(|&(v, pos)| Lit { var: v, positive: pos })
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_cnf_counts_all_assignments() {
+        let c = Cnf::trivial(4);
+        assert_eq!(wmc_dpll(&c, &VarWeights::ones(4)), weight_int(16));
+    }
+
+    #[test]
+    fn unsat_cnf_counts_zero() {
+        let c = cnf(2, &[&[(0, true)], &[(0, false)]]);
+        assert_eq!(wmc_dpll(&c, &VarWeights::ones(2)), weight_int(0));
+    }
+
+    #[test]
+    fn freed_variables_are_counted() {
+        // (x0 ∨ x1): branching on x0=true frees x1.
+        let c = cnf(2, &[&[(0, true), (1, true)]]);
+        assert_eq!(wmc_dpll(&c, &VarWeights::ones(2)), weight_int(3));
+    }
+
+    #[test]
+    fn component_decomposition_multiplies() {
+        // (x0 ∨ x1) ∧ (x2 ∨ x3): 3 · 3 = 9 models.
+        let c = cnf(4, &[&[(0, true), (1, true)], &[(2, true), (3, true)]]);
+        assert_eq!(wmc_dpll(&c, &VarWeights::ones(4)), weight_int(9));
+    }
+
+    #[test]
+    fn tautological_clause_is_ignored() {
+        // (x0 ∨ ¬x0) ∧ (x1) → x1 fixed, x0 free → 2 models.
+        let c = cnf(2, &[&[(0, true), (0, false)], &[(1, true)]]);
+        assert_eq!(wmc_dpll(&c, &VarWeights::ones(2)), weight_int(2));
+    }
+
+    #[test]
+    fn matches_enumeration_on_structured_instances() {
+        // Pigeonhole-ish and chain instances.
+        let instances = vec![
+            cnf(
+                4,
+                &[
+                    &[(0, true), (1, true)],
+                    &[(1, false), (2, true)],
+                    &[(2, false), (3, true)],
+                    &[(0, false), (3, false)],
+                ],
+            ),
+            cnf(
+                5,
+                &[
+                    &[(0, true), (1, true), (2, true)],
+                    &[(2, false), (3, false)],
+                    &[(3, true), (4, true)],
+                ],
+            ),
+        ];
+        for c in instances {
+            let w = VarWeights::ones(c.num_vars);
+            assert_eq!(wmc_dpll(&c, &w), wmc_enumerate(&c, &w));
+        }
+    }
+
+    #[test]
+    fn negative_weights_are_exact() {
+        // Skolemization-style weights: w(x0)=1, w̄(x0)=−1; the count of
+        // (x0 ∨ x1) is w(x0)(w(x1)+w̄(x1)) + w̄(x0)w(x1) = 2 − 1 = 1.
+        let c = cnf(2, &[&[(0, true), (1, true)]]);
+        let w = VarWeights::from_vecs(
+            vec![weight_int(1), weight_int(1)],
+            vec![weight_int(-1), weight_int(1)],
+        );
+        assert_eq!(wmc_dpll(&c, &w), weight_int(1));
+        assert_eq!(wmc_enumerate(&c, &w), weight_int(1));
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2): forces all true → 1 model.
+        let c = cnf(
+            3,
+            &[&[(0, true)], &[(0, false), (1, true)], &[(1, false), (2, true)]],
+        );
+        assert_eq!(wmc_dpll(&c, &VarWeights::ones(3)), weight_int(1));
+    }
+}

@@ -1,0 +1,278 @@
+//! Propositional formulas over integer-indexed variables.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a propositional variable. Variables are dense `0..num_vars`.
+pub type Var = usize;
+
+/// A propositional formula.
+///
+/// The representation mirrors the lineage construction of §2: n-ary
+/// conjunction/disjunction (grounded quantifiers produce wide conjunctions),
+/// plus negation and constants.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PropFormula {
+    /// The constant true.
+    Top,
+    /// The constant false.
+    Bottom,
+    /// A propositional variable.
+    Var(Var),
+    /// Negation.
+    Not(Box<PropFormula>),
+    /// N-ary conjunction (empty = true).
+    And(Vec<PropFormula>),
+    /// N-ary disjunction (empty = false).
+    Or(Vec<PropFormula>),
+}
+
+impl PropFormula {
+    /// A variable literal.
+    pub fn var(v: Var) -> Self {
+        PropFormula::Var(v)
+    }
+
+    /// Negation with double-negation and constant collapsing.
+    pub fn not(f: PropFormula) -> Self {
+        match f {
+            PropFormula::Top => PropFormula::Bottom,
+            PropFormula::Bottom => PropFormula::Top,
+            PropFormula::Not(g) => *g,
+            other => PropFormula::Not(Box::new(other)),
+        }
+    }
+
+    /// N-ary conjunction with flattening and short-circuiting.
+    pub fn and_all<I: IntoIterator<Item = PropFormula>>(fs: I) -> Self {
+        let mut parts = Vec::new();
+        for f in fs {
+            match f {
+                PropFormula::Top => {}
+                PropFormula::Bottom => return PropFormula::Bottom,
+                PropFormula::And(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+        }
+        match parts.len() {
+            0 => PropFormula::Top,
+            1 => parts.pop().expect("checked length"),
+            _ => PropFormula::And(parts),
+        }
+    }
+
+    /// N-ary disjunction with flattening and short-circuiting.
+    pub fn or_all<I: IntoIterator<Item = PropFormula>>(fs: I) -> Self {
+        let mut parts = Vec::new();
+        for f in fs {
+            match f {
+                PropFormula::Bottom => {}
+                PropFormula::Top => return PropFormula::Top,
+                PropFormula::Or(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+        }
+        match parts.len() {
+            0 => PropFormula::Bottom,
+            1 => parts.pop().expect("checked length"),
+            _ => PropFormula::Or(parts),
+        }
+    }
+
+    /// Binary conjunction.
+    pub fn and(a: PropFormula, b: PropFormula) -> Self {
+        PropFormula::and_all([a, b])
+    }
+
+    /// Binary disjunction.
+    pub fn or(a: PropFormula, b: PropFormula) -> Self {
+        PropFormula::or_all([a, b])
+    }
+
+    /// Implication `a ⇒ b` as `¬a ∨ b`.
+    pub fn implies(a: PropFormula, b: PropFormula) -> Self {
+        PropFormula::or(PropFormula::not(a), b)
+    }
+
+    /// Bi-implication `a ⇔ b` as `(a ∧ b) ∨ (¬a ∧ ¬b)`.
+    pub fn iff(a: PropFormula, b: PropFormula) -> Self {
+        PropFormula::or(
+            PropFormula::and(a.clone(), b.clone()),
+            PropFormula::and(PropFormula::not(a), PropFormula::not(b)),
+        )
+    }
+
+    /// The set of variables occurring in the formula.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            PropFormula::Top | PropFormula::Bottom => {}
+            PropFormula::Var(v) => {
+                out.insert(*v);
+            }
+            PropFormula::Not(g) => g.collect_vars(out),
+            PropFormula::And(gs) | PropFormula::Or(gs) => {
+                for g in gs {
+                    g.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// The largest variable index plus one (0 for a variable-free formula).
+    pub fn num_vars(&self) -> usize {
+        self.variables().iter().max().map_or(0, |v| v + 1)
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            PropFormula::Top | PropFormula::Bottom | PropFormula::Var(_) => 1,
+            PropFormula::Not(g) => 1 + g.size(),
+            PropFormula::And(gs) | PropFormula::Or(gs) => {
+                1 + gs.iter().map(PropFormula::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Evaluates the formula under a total assignment (`assignment[v]` is the
+    /// value of variable `v`).
+    ///
+    /// # Panics
+    /// Panics if a variable index is out of bounds.
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        match self {
+            PropFormula::Top => true,
+            PropFormula::Bottom => false,
+            PropFormula::Var(v) => assignment[*v],
+            PropFormula::Not(g) => !g.evaluate(assignment),
+            PropFormula::And(gs) => gs.iter().all(|g| g.evaluate(assignment)),
+            PropFormula::Or(gs) => gs.iter().any(|g| g.evaluate(assignment)),
+        }
+    }
+
+    /// Conditions the formula on `var = value` and simplifies constants away.
+    pub fn condition(&self, var: Var, value: bool) -> PropFormula {
+        match self {
+            PropFormula::Top => PropFormula::Top,
+            PropFormula::Bottom => PropFormula::Bottom,
+            PropFormula::Var(v) => {
+                if *v == var {
+                    if value {
+                        PropFormula::Top
+                    } else {
+                        PropFormula::Bottom
+                    }
+                } else {
+                    PropFormula::Var(*v)
+                }
+            }
+            PropFormula::Not(g) => PropFormula::not(g.condition(var, value)),
+            PropFormula::And(gs) => {
+                PropFormula::and_all(gs.iter().map(|g| g.condition(var, value)))
+            }
+            PropFormula::Or(gs) => PropFormula::or_all(gs.iter().map(|g| g.condition(var, value))),
+        }
+    }
+}
+
+impl fmt::Display for PropFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropFormula::Top => write!(f, "⊤"),
+            PropFormula::Bottom => write!(f, "⊥"),
+            PropFormula::Var(v) => write!(f, "x{v}"),
+            PropFormula::Not(g) => write!(f, "¬{g}"),
+            PropFormula::And(gs) => {
+                write!(f, "(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            PropFormula::Or(gs) => {
+                write!(f, "(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(PropFormula::not(PropFormula::Top), PropFormula::Bottom);
+        assert_eq!(
+            PropFormula::not(PropFormula::not(PropFormula::var(1))),
+            PropFormula::var(1)
+        );
+        assert_eq!(
+            PropFormula::and_all([PropFormula::Top, PropFormula::var(0)]),
+            PropFormula::var(0)
+        );
+        assert_eq!(
+            PropFormula::or_all([PropFormula::Top, PropFormula::var(0)]),
+            PropFormula::Top
+        );
+        assert_eq!(PropFormula::and_all([]), PropFormula::Top);
+        assert_eq!(PropFormula::or_all([]), PropFormula::Bottom);
+    }
+
+    #[test]
+    fn evaluation() {
+        // (x0 ∨ ¬x1) ∧ x2
+        let f = PropFormula::and(
+            PropFormula::or(PropFormula::var(0), PropFormula::not(PropFormula::var(1))),
+            PropFormula::var(2),
+        );
+        assert!(f.evaluate(&[true, true, true]));
+        assert!(!f.evaluate(&[false, true, true]));
+        assert!(f.evaluate(&[false, false, true]));
+        assert!(!f.evaluate(&[true, false, false]));
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.variables().len(), 3);
+    }
+
+    #[test]
+    fn conditioning_eliminates_variable() {
+        let f = PropFormula::or(PropFormula::var(0), PropFormula::var(1));
+        assert_eq!(f.condition(0, true), PropFormula::Top);
+        assert_eq!(f.condition(0, false), PropFormula::var(1));
+        assert!(!f.condition(0, false).variables().contains(&0));
+    }
+
+    #[test]
+    fn iff_and_implies_truth_tables() {
+        let a = PropFormula::var(0);
+        let b = PropFormula::var(1);
+        let iff = PropFormula::iff(a.clone(), b.clone());
+        let imp = PropFormula::implies(a, b);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(iff.evaluate(&[va, vb]), va == vb);
+            assert_eq!(imp.evaluate(&[va, vb]), !va || vb);
+        }
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let f = PropFormula::and(PropFormula::var(0), PropFormula::not(PropFormula::var(1)));
+        assert_eq!(f.size(), 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! # wfomc-reductions
+//!
+//! The paper's constructive complexity reductions, implemented and executable:
+//!
+//! * [`tm`] — nondeterministic multi-tape *counting Turing machines* and a
+//!   simulator that counts accepting computations (the objects behind the
+//!   #P₁-hardness machinery of Lemma 3.8);
+//! * [`theta1`] — the Appendix B encoding of a linear-time counting TM into an
+//!   FO³ sentence Θ₁ with `FOMC(Θ₁, n) = n! · #accepting(n)` (Theorem 3.1 /
+//!   Lemma 3.9), including the epoch/region construction that squeezes `c·n`
+//!   time steps and tape cells into a domain of size `n`;
+//! * [`sharp_sat`] — the Figure 2 reduction from #SAT to FOMC of an FO²
+//!   sentence, `FOMC(ϕ_F, n+1) = (n+1)! · #F` (Theorem 4.1(1)), showing the
+//!   combined complexity of FO² is #P-hard;
+//! * [`spectrum`] — deciders for the spectrum membership problem
+//!   `n ∈ Spec(Φ)?`, the decision problem whose data complexity is NP₁ and
+//!   whose combined complexity Theorem 4.1(2) pins down.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sharp_sat;
+pub mod spectrum;
+pub mod theta1;
+pub mod tm;
+
+pub use sharp_sat::SharpSatReduction;
+pub use tm::{CountingTm, Move};

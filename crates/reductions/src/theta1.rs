@@ -1,0 +1,612 @@
+//! Appendix B — encoding a linear-time counting Turing machine as an FO³
+//! sentence Θ₁ with `FOMC(Θ₁, n) = n! · #accepting(n)`.
+//!
+//! The domain of size `n` plays three roles at once: it carries a guessed
+//! linear order `<` (contributing the `n!` factor), it indexes the `n` time
+//! steps of each of the `c` *epochs*, and it indexes the `n` tape cells of
+//! each of the `c` *regions*. All machine-dependent structure (states, heads,
+//! tape symbols, movement and frame bookkeeping) lives in predicates indexed
+//! by state/tape/epoch/region, so the formula needs only three logical
+//! variables.
+//!
+//! Differences from the paper's presentation, made so that the encoding is
+//! *exactly* model-preserving (every accepting run corresponds to exactly one
+//! model per linear order):
+//!
+//! * the `Unchanged` predicate is *defined* (with a ⇔) as "the head of this
+//!   tape is not on this cell, or the current state does not operate on this
+//!   tape", instead of only being implied, so its interpretation is forced;
+//! * the `Left`/`Right` movement predicates are written as guarded
+//!   bi-implications (`Succ(p',p) ⇒ (Left(t,p) ⇔ H(t,p'))` etc.), which is the
+//!   reading intended by the paper's equations;
+//! * states with no applicable transition produce an empty disjunction (⊥), so
+//!   dead computation paths contribute no models — matching the simulator.
+
+use wfomc_logic::builders::{and, atom, exists, forall, implies, not, or};
+use wfomc_logic::syntax::Formula;
+use wfomc_logic::vocabulary::Vocabulary;
+
+use crate::tm::{CountingTm, Move};
+
+/// Names of the predicates used by the Θ₁ encoding of a specific machine.
+#[derive(Clone, Debug)]
+pub struct Theta1Encoding {
+    /// The sentence Θ₁.
+    pub sentence: Formula,
+    /// Its vocabulary.
+    pub vocabulary: Vocabulary,
+    /// The number of epochs/regions `c`.
+    pub epochs: usize,
+}
+
+fn s_pred(q: usize, e: usize) -> String {
+    format!("S_q{q}_e{e}")
+}
+fn h_pred(tape: usize, e: usize, r: usize) -> String {
+    format!("H_t{tape}_e{e}_r{r}")
+}
+fn tape_pred(symbol: bool, tape: usize, e: usize, r: usize) -> String {
+    format!("T{}_t{tape}_e{e}_r{r}", if symbol { 1 } else { 0 })
+}
+fn left_pred(tape: usize, e: usize, r: usize) -> String {
+    format!("Left_t{tape}_e{e}_r{r}")
+}
+fn right_pred(tape: usize, e: usize, r: usize) -> String {
+    format!("Right_t{tape}_e{e}_r{r}")
+}
+fn unchanged_pred(tape: usize, e: usize, r: usize) -> String {
+    format!("Unch_t{tape}_e{e}_r{r}")
+}
+
+/// Builds the Θ₁ sentence for a counting TM.
+///
+/// # Panics
+/// Panics if the machine fails [`CountingTm::validate`].
+pub fn theta1(tm: &CountingTm) -> Theta1Encoding {
+    tm.validate().expect("machine must be well-formed");
+    let c = tm.epochs;
+    let mut parts: Vec<Formula> = Vec::new();
+
+    parts.extend(order_axioms());
+    parts.extend(state_axioms(tm, c));
+    parts.extend(head_axioms(tm, c));
+    parts.extend(symbol_axioms(tm, c));
+    parts.extend(initial_configuration(tm, c));
+    parts.extend(transition_axioms(tm, c));
+    parts.extend(other_head_frame_axioms(tm, c));
+    parts.extend(movement_axioms(tm, c));
+    parts.extend(unchanged_definition(tm, c));
+    parts.extend(frame_axioms(tm, c));
+    parts.push(acceptance_axiom(tm, c));
+
+    let sentence = Formula::and_all(parts);
+    let vocabulary = sentence.vocabulary();
+    Theta1Encoding {
+        sentence,
+        vocabulary,
+        epochs: c,
+    }
+}
+
+/// Group 1–3: `<` is a strict linear order, `Min`/`Max` are its extremes and
+/// `Succ` its successor relation.
+fn order_axioms() -> Vec<Formula> {
+    vec![
+        // Totality, antisymmetry (via irreflexivity + trichotomy), transitivity.
+        forall(
+            ["x", "y"],
+            implies(
+                not(Formula::equals(
+                    wfomc_logic::term::Term::var("x"),
+                    wfomc_logic::term::Term::var("y"),
+                )),
+                or(vec![atom("Lt", &["x", "y"]), atom("Lt", &["y", "x"])]),
+            ),
+        ),
+        forall(
+            ["x", "y"],
+            or(vec![not(atom("Lt", &["x", "y"])), not(atom("Lt", &["y", "x"]))]),
+        ),
+        forall(["x"], not(atom("Lt", &["x", "x"]))),
+        forall(
+            ["x", "y", "z"],
+            implies(
+                and(vec![atom("Lt", &["x", "y"]), atom("Lt", &["y", "z"])]),
+                atom("Lt", &["x", "z"]),
+            ),
+        ),
+        // Min and Max.
+        forall(
+            ["x"],
+            Formula::iff(
+                atom("Min", &["x"]),
+                not(exists(["y"], atom("Lt", &["y", "x"]))),
+            ),
+        ),
+        forall(
+            ["x"],
+            Formula::iff(
+                atom("Max", &["x"]),
+                not(exists(["y"], atom("Lt", &["x", "y"]))),
+            ),
+        ),
+        // Succ.
+        forall(
+            ["x", "y"],
+            Formula::iff(
+                atom("Succ", &["x", "y"]),
+                and(vec![
+                    atom("Lt", &["x", "y"]),
+                    not(exists(
+                        ["z"],
+                        and(vec![atom("Lt", &["x", "z"]), atom("Lt", &["z", "y"])]),
+                    )),
+                ]),
+            ),
+        ),
+    ]
+}
+
+/// Group 4: at any time (within each epoch) the machine is in exactly one
+/// state.
+fn state_axioms(tm: &CountingTm, c: usize) -> Vec<Formula> {
+    let mut parts = Vec::new();
+    for e in 0..c {
+        for q1 in 0..tm.num_states {
+            for q2 in (q1 + 1)..tm.num_states {
+                parts.push(forall(
+                    ["x"],
+                    or(vec![
+                        not(atom(&s_pred(q1, e), &["x"])),
+                        not(atom(&s_pred(q2, e), &["x"])),
+                    ]),
+                ));
+            }
+        }
+        parts.push(forall(
+            ["x"],
+            or((0..tm.num_states)
+                .map(|q| atom(&s_pred(q, e), &["x"]))
+                .collect()),
+        ));
+    }
+    parts
+}
+
+/// Group 5: each head is in exactly one position (over all regions).
+fn head_axioms(tm: &CountingTm, c: usize) -> Vec<Formula> {
+    let mut parts = Vec::new();
+    for tape in 0..tm.num_tapes {
+        for e in 0..c {
+            // At least one position.
+            parts.push(forall(
+                ["x"],
+                exists(
+                    ["y"],
+                    or((0..c).map(|r| atom(&h_pred(tape, e, r), &["x", "y"])).collect()),
+                ),
+            ));
+            // At most one region.
+            for r1 in 0..c {
+                for r2 in 0..c {
+                    if r1 == r2 {
+                        continue;
+                    }
+                    parts.push(forall(
+                        ["x", "y", "z"],
+                        implies(
+                            atom(&h_pred(tape, e, r1), &["x", "y"]),
+                            not(atom(&h_pred(tape, e, r2), &["x", "z"])),
+                        ),
+                    ));
+                }
+            }
+            // At most one position within a region.
+            for r in 0..c {
+                parts.push(forall(
+                    ["x", "y", "z"],
+                    implies(
+                        and(vec![
+                            atom(&h_pred(tape, e, r), &["x", "y"]),
+                            atom(&h_pred(tape, e, r), &["x", "z"]),
+                        ]),
+                        Formula::equals(
+                            wfomc_logic::term::Term::var("y"),
+                            wfomc_logic::term::Term::var("z"),
+                        ),
+                    ),
+                ));
+            }
+        }
+    }
+    parts
+}
+
+/// Group 6: every tape cell holds exactly one symbol.
+fn symbol_axioms(tm: &CountingTm, c: usize) -> Vec<Formula> {
+    let mut parts = Vec::new();
+    for tape in 0..tm.num_tapes {
+        for e in 0..c {
+            for r in 0..c {
+                parts.push(forall(
+                    ["x", "y"],
+                    Formula::iff(
+                        atom(&tape_pred(false, tape, e, r), &["x", "y"]),
+                        not(atom(&tape_pred(true, tape, e, r), &["x", "y"])),
+                    ),
+                ));
+            }
+        }
+    }
+    parts
+}
+
+/// Group 7: the initial configuration — state q₁, heads on the first cell,
+/// input tape `1ⁿ` in region 0 and zeros elsewhere.
+fn initial_configuration(tm: &CountingTm, c: usize) -> Vec<Formula> {
+    let mut parts = Vec::new();
+    parts.push(forall(
+        ["x"],
+        implies(
+            atom("Min", &["x"]),
+            and(std::iter::once(atom(&s_pred(tm.initial_state, 0), &["x"]))
+                .chain((0..tm.num_tapes).map(|tape| atom(&h_pred(tape, 0, 0), &["x", "x"])))
+                .collect()),
+        ),
+    ));
+    let mut contents = Vec::new();
+    for tape in 0..tm.num_tapes {
+        for r in 0..c {
+            let symbol = tape == 0 && r == 0;
+            contents.push(atom(&tape_pred(symbol, tape, 0, r), &["x", "y"]));
+        }
+    }
+    parts.push(forall(
+        ["x", "y"],
+        implies(atom("Min", &["x"]), and(contents)),
+    ));
+    parts
+}
+
+/// Group 8(a)/(b): the transition relation, within epochs and across epoch
+/// boundaries. A `(state, symbol)` pair with no choices yields an empty
+/// disjunction (⊥), forbidding dead configurations before the final time.
+fn transition_axioms(tm: &CountingTm, c: usize) -> Vec<Formula> {
+    let mut parts = Vec::new();
+    let empty: Vec<crate::tm::Choice> = Vec::new();
+    for q in 0..tm.num_states {
+        let tape = tm.tape_of_state[q];
+        for symbol in [false, true] {
+            let choices = tm.transitions.get(&(q, symbol)).unwrap_or(&empty);
+            for e in 0..c {
+                for r in 0..c {
+                    let guard_common = |time_link: Vec<Formula>, e_from: usize| {
+                        let mut g = vec![
+                            atom(&s_pred(q, e_from), &["x"]),
+                            atom(&h_pred(tape, e_from, r), &["x", "z"]),
+                            atom(&tape_pred(symbol, tape, e_from, r), &["x", "z"]),
+                        ];
+                        g.extend(time_link);
+                        and(g)
+                    };
+                    let outcome = |e_to: usize| {
+                        or(choices
+                            .iter()
+                            .map(|choice| {
+                                let move_pred = match choice.movement {
+                                    Move::Left => left_pred(tape, e_to, r),
+                                    Move::Right => right_pred(tape, e_to, r),
+                                };
+                                and(vec![
+                                    atom(&s_pred(choice.next_state, e_to), &["y"]),
+                                    atom(&move_pred, &["y", "z"]),
+                                    atom(&tape_pred(choice.write, tape, e_to, r), &["y", "z"]),
+                                ])
+                            })
+                            .collect())
+                    };
+                    // Within the epoch: Succ(x, y).
+                    parts.push(forall(
+                        ["x", "y", "z"],
+                        implies(
+                            guard_common(vec![atom("Succ", &["x", "y"])], e),
+                            outcome(e),
+                        ),
+                    ));
+                    // Across the epoch boundary: Max(x) ∧ Min(y).
+                    if e + 1 < c {
+                        parts.push(forall(
+                            ["x", "y", "z"],
+                            implies(
+                                guard_common(
+                                    vec![atom("Max", &["x"]), atom("Min", &["y"])],
+                                    e,
+                                ),
+                                outcome(e + 1),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    parts
+}
+
+/// Group 8(d): heads of tapes the current state does not operate on stay put.
+fn other_head_frame_axioms(tm: &CountingTm, c: usize) -> Vec<Formula> {
+    let mut parts = Vec::new();
+    for q in 0..tm.num_states {
+        let active = tm.tape_of_state[q];
+        for tape in 0..tm.num_tapes {
+            if tape == active {
+                continue;
+            }
+            for e in 0..c {
+                for r in 0..c {
+                    parts.push(forall(
+                        ["x", "y", "z"],
+                        implies(
+                            and(vec![
+                                atom(&s_pred(q, e), &["x"]),
+                                atom(&h_pred(tape, e, r), &["x", "z"]),
+                                atom("Succ", &["x", "y"]),
+                            ]),
+                            atom(&h_pred(tape, e, r), &["y", "z"]),
+                        ),
+                    ));
+                    if e + 1 < c {
+                        parts.push(forall(
+                            ["x", "y", "z"],
+                            implies(
+                                and(vec![
+                                    atom(&s_pred(q, e), &["x"]),
+                                    atom(&h_pred(tape, e, r), &["x", "z"]),
+                                    atom("Max", &["x"]),
+                                    atom("Min", &["y"]),
+                                ]),
+                                atom(&h_pred(tape, e + 1, r), &["y", "z"]),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    parts
+}
+
+/// Group 9: the movement predicates are defined from the head predicates.
+fn movement_axioms(tm: &CountingTm, c: usize) -> Vec<Formula> {
+    let mut parts = Vec::new();
+    for tape in 0..tm.num_tapes {
+        for e in 0..c {
+            for r in 0..c {
+                let left = left_pred(tape, e, r);
+                let right = right_pred(tape, e, r);
+                let h = h_pred(tape, e, r);
+                // Left(t, p) with a predecessor p' inside the region: ⇔ H(t, p').
+                parts.push(forall(
+                    ["x", "y", "z"],
+                    implies(
+                        atom("Succ", &["z", "y"]),
+                        Formula::iff(atom(&left, &["x", "y"]), atom(&h, &["x", "z"])),
+                    ),
+                ));
+                // Right(t, p) with a successor p' inside the region: ⇔ H(t, p').
+                parts.push(forall(
+                    ["x", "y", "z"],
+                    implies(
+                        atom("Succ", &["y", "z"]),
+                        Formula::iff(atom(&right, &["x", "y"]), atom(&h, &["x", "z"])),
+                    ),
+                ));
+                if r == 0 {
+                    // Left at the very first cell: the head stays.
+                    parts.push(forall(
+                        ["x", "y"],
+                        implies(
+                            atom("Min", &["y"]),
+                            Formula::iff(atom(&left, &["x", "y"]), atom(&h, &["x", "y"])),
+                        ),
+                    ));
+                } else {
+                    // Left at the first cell of region r: head was at the last
+                    // cell of region r−1.
+                    let h_prev = h_pred(tape, e, r - 1);
+                    parts.push(forall(
+                        ["x", "y", "z"],
+                        implies(
+                            and(vec![atom("Min", &["y"]), atom("Max", &["z"])]),
+                            Formula::iff(atom(&left, &["x", "y"]), atom(&h_prev, &["x", "z"])),
+                        ),
+                    ));
+                }
+                if r + 1 == c {
+                    // Right at the very last cell: the head stays.
+                    parts.push(forall(
+                        ["x", "y"],
+                        implies(
+                            atom("Max", &["y"]),
+                            Formula::iff(atom(&right, &["x", "y"]), atom(&h, &["x", "y"])),
+                        ),
+                    ));
+                } else {
+                    // Right at the last cell of region r: head moves to the
+                    // first cell of region r+1... defined on that region's
+                    // Right predicate instead (mirror of the Left case).
+                    let h_next = h_pred(tape, e, r + 1);
+                    parts.push(forall(
+                        ["x", "y", "z"],
+                        implies(
+                            and(vec![atom("Max", &["y"]), atom("Min", &["z"])]),
+                            Formula::iff(atom(&right, &["x", "y"]), atom(&h_next, &["x", "z"])),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    parts
+}
+
+/// The `Unchanged` predicate is defined: a cell is unchanged at time `t`
+/// exactly when the head of its tape is elsewhere, or the current state does
+/// not operate on this tape.
+fn unchanged_definition(tm: &CountingTm, c: usize) -> Vec<Formula> {
+    let mut parts = Vec::new();
+    for tape in 0..tm.num_tapes {
+        let active_states: Vec<usize> = (0..tm.num_states)
+            .filter(|&q| tm.tape_of_state[q] == tape)
+            .collect();
+        for e in 0..c {
+            for r in 0..c {
+                let writing_here = and(vec![
+                    atom(&h_pred(tape, e, r), &["x", "y"]),
+                    or(active_states
+                        .iter()
+                        .map(|&q| atom(&s_pred(q, e), &["x"]))
+                        .collect()),
+                ]);
+                parts.push(forall(
+                    ["x", "y"],
+                    Formula::iff(
+                        atom(&unchanged_pred(tape, e, r), &["x", "y"]),
+                        not(writing_here),
+                    ),
+                ));
+            }
+        }
+    }
+    parts
+}
+
+/// Group 10: unchanged cells keep their symbol, within epochs and across
+/// epoch boundaries.
+fn frame_axioms(tm: &CountingTm, c: usize) -> Vec<Formula> {
+    let mut parts = Vec::new();
+    for tape in 0..tm.num_tapes {
+        for e in 0..c {
+            for r in 0..c {
+                let unch = unchanged_pred(tape, e, r);
+                let t1 = tape_pred(true, tape, e, r);
+                parts.push(forall(
+                    ["x", "y", "z"],
+                    implies(
+                        and(vec![atom(&unch, &["x", "z"]), atom("Succ", &["x", "y"])]),
+                        Formula::iff(atom(&t1, &["x", "z"]), atom(&t1, &["y", "z"])),
+                    ),
+                ));
+                if e + 1 < c {
+                    let t1_next = tape_pred(true, tape, e + 1, r);
+                    parts.push(forall(
+                        ["x", "y", "z"],
+                        implies(
+                            and(vec![
+                                atom(&unch, &["x", "z"]),
+                                atom("Max", &["x"]),
+                                atom("Min", &["y"]),
+                            ]),
+                            Formula::iff(atom(&t1, &["x", "z"]), atom(&t1_next, &["y", "z"])),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    parts
+}
+
+/// Group 11: the machine is in an accepting state at the final time of the
+/// final epoch.
+fn acceptance_axiom(tm: &CountingTm, c: usize) -> Formula {
+    forall(
+        ["x"],
+        implies(
+            atom("Max", &["x"]),
+            or(tm
+                .accepting_states
+                .iter()
+                .map(|&q| atom(&s_pred(q, c - 1), &["x"]))
+                .collect()),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tm::{coin_flip_machine, scanner_machine};
+    use num_traits::ToPrimitive;
+    use wfomc_ground::fomc;
+    use wfomc_logic::weights::weight_int;
+
+    fn small_factorial(n: usize) -> i64 {
+        (1..=n as i64).product::<i64>().max(1)
+    }
+
+    #[test]
+    fn encoding_is_in_fo3() {
+        for tm in [scanner_machine(1), coin_flip_machine(2)] {
+            let enc = theta1(&tm);
+            assert!(
+                enc.sentence.is_in_fo_k(3),
+                "Θ₁ must use at most three variables, found {}",
+                enc.sentence.distinct_variable_count()
+            );
+            assert!(enc.sentence.is_sentence());
+        }
+    }
+
+    #[test]
+    fn vocabulary_scales_with_epochs_and_tapes() {
+        let small = theta1(&scanner_machine(1));
+        let large = theta1(&scanner_machine(3));
+        assert!(large.vocabulary.len() > small.vocabulary.len());
+        assert!(large.sentence.size() > small.sentence.size());
+        // The base order predicates are always present.
+        for name in ["Lt", "Succ", "Min", "Max"] {
+            assert!(small.vocabulary.contains(name), "missing {name}");
+        }
+        assert_eq!(small.epochs, 1);
+    }
+
+    #[test]
+    fn sentence_size_is_independent_of_n() {
+        // Data complexity: the formula is fixed; only the domain grows.
+        let enc = theta1(&coin_flip_machine(1));
+        let size = enc.sentence.size();
+        assert!(size > 100, "the encoding should be a substantial sentence");
+        assert_eq!(theta1(&coin_flip_machine(1)).sentence.size(), size);
+    }
+
+    /// The headline equation `FOMC(Θ₁, n) = n! · #accepting(n)`, verified by
+    /// grounding. Expensive (the vocabulary has dozens of predicates), so it
+    /// runs only for the deterministic scanner machine at n = 1 by default;
+    /// the `--ignored` variant checks n = 2 and the nondeterministic machine.
+    #[test]
+    fn fomc_equals_factorial_times_accepting_runs_n1() {
+        let tm = scanner_machine(1);
+        let enc = theta1(&tm);
+        let n = 1;
+        let runs = tm.count_accepting(n).to_u64().unwrap() as i64;
+        let counted = fomc(&enc.sentence, n);
+        assert_eq!(counted, weight_int(runs * small_factorial(n)));
+    }
+
+    #[test]
+    #[ignore = "grounding a ~40-atom vocabulary; run with --ignored (seconds in release mode)"]
+    fn fomc_equals_factorial_times_accepting_runs_n2() {
+        for tm in [scanner_machine(1), coin_flip_machine(1)] {
+            let enc = theta1(&tm);
+            let n = 2;
+            let runs = tm.count_accepting(n).to_u64().unwrap() as i64;
+            let counted = fomc(&enc.sentence, n);
+            assert_eq!(
+                counted,
+                weight_int(runs * small_factorial(n)),
+                "machine with {runs} accepting runs"
+            );
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Nondeterministic multi-tape counting Turing machines and their simulator.
+//!
+//! The #P₁-hardness proof (Lemma 3.8 / 3.9) works with counting TMs over a
+//! unary input alphabet: the input is `1ⁿ`, the machine runs for `c·n` steps,
+//! and the quantity of interest is the number of accepting computation paths.
+//! This module provides a concrete machine description, a step semantics
+//! matching the Appendix B encoding (each state reads and writes exactly one
+//! designated tape and moves that head left or right), and an exact path
+//! counter used to validate the Θ₁ encoding.
+
+use std::collections::BTreeMap;
+
+use num_bigint::BigUint;
+use num_traits::{One, Zero};
+
+/// A head movement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Move {
+    /// Move the head one cell to the left (no-op at the left end, mirroring
+    /// the encoding's boundary handling).
+    Left,
+    /// Move the head one cell to the right (no-op at the right end).
+    Right,
+}
+
+/// One nondeterministic choice of a transition: next state, symbol written,
+/// and head movement on the state's designated tape.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Choice {
+    /// The successor state.
+    pub next_state: usize,
+    /// The symbol written (tapes are binary).
+    pub write: bool,
+    /// The head movement.
+    pub movement: Move,
+}
+
+/// A nondeterministic multi-tape counting Turing machine over the binary tape
+/// alphabet and a unary input alphabet.
+///
+/// Following Appendix B, every state operates on exactly one tape per step
+/// (`tape_of_state`), which is what keeps the Θ₁ encoding inside FO³.
+#[derive(Clone, Debug)]
+pub struct CountingTm {
+    /// Number of states (states are `0..num_states`).
+    pub num_states: usize,
+    /// The initial state (`q₁` in the paper).
+    pub initial_state: usize,
+    /// The accepting states.
+    pub accepting_states: Vec<usize>,
+    /// Number of tapes; tape 0 is the input tape.
+    pub num_tapes: usize,
+    /// The tape each state reads and writes.
+    pub tape_of_state: Vec<usize>,
+    /// `transitions[(state, symbol)]` — the nondeterministic choices.
+    pub transitions: BTreeMap<(usize, bool), Vec<Choice>>,
+    /// The number of epochs `c`: the machine runs for exactly `c·n` steps on
+    /// input `1ⁿ` and each tape has `c·n` cells.
+    pub epochs: usize,
+}
+
+impl CountingTm {
+    /// Validates internal consistency (state/tape indices in range).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initial_state >= self.num_states {
+            return Err("initial state out of range".to_string());
+        }
+        if self.tape_of_state.len() != self.num_states {
+            return Err("tape_of_state must have one entry per state".to_string());
+        }
+        if self.epochs == 0 {
+            return Err("the machine must run for at least one epoch".to_string());
+        }
+        for (&(state, _), choices) in &self.transitions {
+            if state >= self.num_states {
+                return Err(format!("transition from unknown state {state}"));
+            }
+            for c in choices {
+                if c.next_state >= self.num_states {
+                    return Err(format!("transition to unknown state {}", c.next_state));
+                }
+            }
+        }
+        for &q in &self.accepting_states {
+            if q >= self.num_states {
+                return Err(format!("accepting state {q} out of range"));
+            }
+        }
+        for &t in &self.tape_of_state {
+            if t >= self.num_tapes {
+                return Err(format!("tape {t} out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts the accepting computations on input `1ⁿ`.
+    ///
+    /// A computation makes exactly `c·n − 1` transitions (time steps
+    /// `1..c·n`, matching the encoding where time 1 is the initial
+    /// configuration) and accepts if the machine is in an accepting state at
+    /// the final time step. Paths with no applicable transition die and are
+    /// not counted.
+    pub fn count_accepting(&self, n: usize) -> BigUint {
+        if n == 0 {
+            return BigUint::zero();
+        }
+        let total_time = self.epochs * n;
+        let tape_len = self.epochs * n;
+        // Input tape: n ones followed by zeros; other tapes all zeros.
+        let mut tapes = vec![vec![false; tape_len]; self.num_tapes];
+        for cell in tapes[0].iter_mut().take(n) {
+            *cell = true;
+        }
+        let heads = vec![0usize; self.num_tapes];
+        self.count_from(self.initial_state, tapes, heads, 1, total_time)
+    }
+
+    fn count_from(
+        &self,
+        state: usize,
+        tapes: Vec<Vec<bool>>,
+        heads: Vec<usize>,
+        time: usize,
+        total_time: usize,
+    ) -> BigUint {
+        if time == total_time {
+            return if self.accepting_states.contains(&state) {
+                BigUint::one()
+            } else {
+                BigUint::zero()
+            };
+        }
+        let tape = self.tape_of_state[state];
+        let head = heads[tape];
+        let symbol = tapes[tape][head];
+        let Some(choices) = self.transitions.get(&(state, symbol)) else {
+            return BigUint::zero();
+        };
+        let mut total = BigUint::zero();
+        for choice in choices {
+            let mut new_tapes = tapes.clone();
+            let mut new_heads = heads.clone();
+            new_tapes[tape][head] = choice.write;
+            new_heads[tape] = match choice.movement {
+                Move::Left => head.saturating_sub(1),
+                Move::Right => (head + 1).min(new_tapes[tape].len() - 1),
+            };
+            total += self.count_from(choice.next_state, new_tapes, new_heads, time + 1, total_time);
+        }
+        total
+    }
+}
+
+/// A single-state machine that nondeterministically writes 0 or 1 and moves
+/// right at every step. It has `2^{c·n − 1}` accepting computations on input
+/// `1ⁿ` — a convenient machine for validating the Θ₁ encoding because the
+/// count is known in closed form.
+pub fn coin_flip_machine(epochs: usize) -> CountingTm {
+    let mut transitions = BTreeMap::new();
+    for symbol in [false, true] {
+        transitions.insert(
+            (0, symbol),
+            vec![
+                Choice {
+                    next_state: 0,
+                    write: false,
+                    movement: Move::Right,
+                },
+                Choice {
+                    next_state: 0,
+                    write: true,
+                    movement: Move::Right,
+                },
+            ],
+        );
+    }
+    CountingTm {
+        num_states: 1,
+        initial_state: 0,
+        accepting_states: vec![0],
+        num_tapes: 1,
+        tape_of_state: vec![0],
+        transitions,
+        epochs,
+    }
+}
+
+/// A deterministic machine that scans the input tape and accepts; it has
+/// exactly one accepting computation for every `n ≥ 1`.
+pub fn scanner_machine(epochs: usize) -> CountingTm {
+    let mut transitions = BTreeMap::new();
+    for symbol in [false, true] {
+        transitions.insert(
+            (0, symbol),
+            vec![Choice {
+                next_state: 0,
+                write: symbol,
+                movement: Move::Right,
+            }],
+        );
+    }
+    CountingTm {
+        num_states: 1,
+        initial_state: 0,
+        accepting_states: vec![0],
+        num_tapes: 1,
+        tape_of_state: vec![0],
+        transitions,
+        epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machines_validate() {
+        assert!(coin_flip_machine(1).validate().is_ok());
+        assert!(scanner_machine(2).validate().is_ok());
+        let mut broken = scanner_machine(1);
+        broken.initial_state = 7;
+        assert!(broken.validate().is_err());
+        let mut broken = scanner_machine(1);
+        broken.epochs = 0;
+        assert!(broken.validate().is_err());
+    }
+
+    #[test]
+    fn coin_flip_machine_counts_powers_of_two() {
+        let tm = coin_flip_machine(1);
+        // c·n − 1 nondeterministic steps, each with 2 choices.
+        for n in 1..=4 {
+            assert_eq!(
+                tm.count_accepting(n),
+                BigUint::from(1u32) << (n - 1),
+                "n = {n}"
+            );
+        }
+        let tm2 = coin_flip_machine(2);
+        for n in 1..=3 {
+            assert_eq!(tm2.count_accepting(n), BigUint::from(1u32) << (2 * n - 1));
+        }
+    }
+
+    #[test]
+    fn scanner_machine_is_deterministic() {
+        let tm = scanner_machine(1);
+        for n in 1..=5 {
+            assert_eq!(tm.count_accepting(n), BigUint::one(), "n = {n}");
+        }
+        assert_eq!(tm.count_accepting(0), BigUint::zero());
+    }
+
+    #[test]
+    fn dead_paths_are_not_counted() {
+        // A machine with no transition on reading 1: the very first step on
+        // input 1ⁿ (n ≥ 1) dies unless c·n = 1.
+        let mut tm = scanner_machine(1);
+        tm.transitions.remove(&(0, true));
+        assert_eq!(tm.count_accepting(1), BigUint::one(), "no step needed");
+        assert_eq!(tm.count_accepting(2), BigUint::zero());
+    }
+
+    #[test]
+    fn rejecting_states_yield_zero() {
+        let mut tm = scanner_machine(1);
+        tm.accepting_states.clear();
+        assert_eq!(tm.count_accepting(3), BigUint::zero());
+    }
+}

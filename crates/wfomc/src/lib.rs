@@ -1,0 +1,91 @@
+//! # wfomc — Symmetric Weighted First-Order Model Counting
+//!
+//! A from-scratch Rust implementation of the algorithms, reductions and worked
+//! examples of *Symmetric Weighted First-Order Model Counting* (Beame,
+//! Van den Broeck, Gribkoff, Suciu — PODS 2015), packaged as a library for
+//! exact lifted probabilistic inference.
+//!
+//! ## What you get
+//!
+//! * a first-order logic toolkit with exact rational weights
+//!   ([`logic`], re-exported from `wfomc-logic`);
+//! * propositional weighted model counting ([`prop`]);
+//! * Fagin's hypergraph acyclicity hierarchy ([`hypergraph`]);
+//! * grounded baselines: brute-force enumeration and lineage + WMC
+//!   ([`ground`]);
+//! * the paper's lifted algorithms — Skolemization, the FO² cell algorithm,
+//!   γ-acyclic conjunctive queries, the QS4 dynamic program — behind a single
+//!   dispatching [`core::Solver`] ([`core`]);
+//! * Markov Logic Networks with the Example 1.2 reduction to WFOMC ([`mln`]);
+//! * the complexity reductions: counting Turing machines, the Θ₁ FO³
+//!   encoding, #SAT → FO² FOMC, spectrum deciders ([`reductions`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wfomc::prelude::*;
+//!
+//! // Φ = ∀x ∃y R(x,y): the introduction's example with (2ⁿ − 1)ⁿ models.
+//! let phi = parse("forall x. exists y. R(x,y)").unwrap();
+//! let solver = Solver::new();
+//! let report = solver.fomc(&phi, 4).unwrap();
+//! assert_eq!(report.value, weight_int((16 - 1) * (16 - 1) * (16 - 1) * (16 - 1)));
+//! assert_eq!(report.method, Method::Fo2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wfomc_core as core;
+pub use wfomc_ground as ground;
+pub use wfomc_hypergraph as hypergraph;
+pub use wfomc_logic as logic;
+pub use wfomc_mln as mln;
+pub use wfomc_prop as prop;
+pub use wfomc_reductions as reductions;
+
+/// One-stop import for applications and examples.
+pub mod prelude {
+    pub use wfomc_core::closed_form;
+    pub use wfomc_core::cq::{chain_probability, gamma_acyclic_wfomc, query_hypergraph};
+    pub use wfomc_core::fo2::wfomc_fo2;
+    pub use wfomc_core::normal::{remove_equality, remove_negation, skolemize};
+    pub use wfomc_core::qs4::wfomc_qs4;
+    pub use wfomc_core::{LiftError, Method, Solver, SolverReport};
+    pub use wfomc_ground::{brute_force_fomc, brute_force_wfomc, GroundSolver};
+    pub use wfomc_hypergraph::{AcyclicityClass, Hypergraph};
+    pub use wfomc_logic::builders::*;
+    pub use wfomc_logic::catalog;
+    pub use wfomc_logic::cq::ConjunctiveQuery;
+    pub use wfomc_logic::parser::parse;
+    pub use wfomc_logic::weights::{weight_int, weight_ratio, Weight, Weights};
+    pub use wfomc_logic::{Formula, Predicate, Vocabulary};
+    pub use wfomc_mln::{MarkovLogicNetwork, MlnEngine};
+    pub use wfomc_prop::{PropFormula, WmcBackend};
+    pub use wfomc_reductions::sharp_sat::sharp_sat_to_fomc;
+    pub use wfomc_reductions::theta1::theta1;
+    pub use wfomc_reductions::tm::{coin_flip_machine, scanner_machine, CountingTm};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn doc_example_compiles_and_runs() {
+        let phi = parse("forall x. exists y. R(x,y)").unwrap();
+        let report = Solver::new().fomc(&phi, 3).unwrap();
+        assert_eq!(report.value, weight_int(343));
+        assert_eq!(report.method, Method::Fo2);
+    }
+
+    #[test]
+    fn prelude_reexports_are_usable_together() {
+        // Parse, classify, count, and check against the closed form.
+        let q = catalog::table1_dual_cq();
+        let hg = query_hypergraph(&q);
+        assert_eq!(hg.classify(), AcyclicityClass::Gamma);
+        let count = gamma_acyclic_wfomc(&q, 3, &Weights::ones()).unwrap();
+        assert_eq!(count, closed_form::fomc_table1_dual_cq(3));
+    }
+}

@@ -1,0 +1,88 @@
+//! The tractability landscape of Figure 1 and Table 2, experienced from the
+//! solver's point of view: which sentences get a lifted (polynomial-time)
+//! algorithm, which fall back to grounding, and how the query hypergraphs
+//! classify in Fagin's acyclicity hierarchy.
+//!
+//! Run with `cargo run --release --example complexity_frontier`.
+
+use std::time::Instant;
+
+use wfomc::prelude::*;
+
+fn main() {
+    let solver = Solver::new();
+
+    println!("== Figure 1: conjunctive-query landscape ==\n");
+    let queries: Vec<(&str, ConjunctiveQuery)> = vec![
+        ("chain of length 3 (γ-acyclic)", catalog::chain_query(3)),
+        ("star with 3 rays (γ-acyclic)", catalog::star_query(3)),
+        ("R(x),S(x,y),T(y)  (Table 1 dual)", catalog::table1_dual_cq()),
+        ("c_γ = R(x,z),S(x,y,z),T(y,z)", catalog::c_gamma()),
+        ("c_jtdb = R(x,y,z,u),S(x,y),T(x,z),V(x,u)", catalog::c_jtdb()),
+        ("typed 3-cycle C₃ (conjectured hard)", catalog::typed_cycle_cq(3)),
+        ("typed 4-cycle C₄ (conjectured hard)", catalog::typed_cycle_cq(4)),
+    ];
+    println!(
+        "{:<42} {:>10} {:>18} {:>14}",
+        "query", "acyclicity", "solver method", "FOMC at n=2"
+    );
+    for (name, q) in &queries {
+        let class = query_hypergraph(q).classify();
+        let sentence = q.to_formula();
+        let report = solver.fomc(&sentence, 2).expect("solver always answers");
+        println!(
+            "{:<42} {:>10} {:>18} {:>14}",
+            name,
+            format!("{class:?}"),
+            report.method.to_string(),
+            report.value
+        );
+    }
+
+    println!("\n== Scaling: lifted vs grounded on the Table 1 dual CQ ==\n");
+    let q = catalog::table1_dual_cq();
+    let sentence = q.to_formula();
+    println!("{:>4} {:>14} {:>14}", "n", "lifted (ms)", "grounded (ms)");
+    for n in [2usize, 3, 4, 6, 8, 12, 16] {
+        let t0 = Instant::now();
+        let lifted = gamma_acyclic_wfomc(&q, n, &Weights::ones()).unwrap();
+        let lifted_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let grounded_ms = if n <= 4 {
+            let t1 = Instant::now();
+            let grounded = GroundSolver::new().fomc(&sentence, n);
+            assert_eq!(grounded, lifted, "cross-check failed at n = {n}");
+            format!("{:.2}", t1.elapsed().as_secs_f64() * 1e3)
+        } else {
+            "(skipped: exponential)".to_string()
+        };
+        println!("{n:>4} {:>14.2} {:>14}", lifted_ms, grounded_ms);
+    }
+
+    println!("\n== Table 2: the open problems fall back to grounding ==\n");
+    println!("{:<38} {:>16} {:>14}", "sentence", "solver method", "FOMC at n=2");
+    for (name, f) in catalog::table2_open_problems() {
+        let report = solver.fomc(&f, 2).expect("solver always answers");
+        println!(
+            "{:<38} {:>16} {:>14}",
+            name,
+            report.method.to_string(),
+            report.value
+        );
+    }
+
+    println!("\n== Theorem 3.7: QS4 needs its own dynamic program ==\n");
+    let qs4 = catalog::qs4();
+    println!("{:>4} {:>30} {:>12}", "n", "WFOMC(QS4, n)", "method");
+    for n in [1usize, 2, 3, 5, 8, 12, 20] {
+        let report = solver.fomc(&qs4, n).unwrap();
+        println!("{n:>4} {:>30} {:>12}", truncate(&report.value.to_string(), 28), report.method);
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…({} digits)", &s[..8], s.len())
+    }
+}

@@ -1,0 +1,98 @@
+//! A probabilistic knowledge base with soft constraints, in the style of the
+//! paper's introduction (Example 1.1): an automatically extracted KB stores
+//! `Spouse`, `Female` and `Male` facts with uncertainty, and a soft constraint
+//! says a female's spouse is typically male.
+//!
+//! Because the symmetric WFOMC problem only depends on the domain *size* and
+//! the constraint weights, a synthetic domain exercises exactly the inference
+//! path a real knowledge base would.
+//!
+//! Run with `cargo run --release --example knowledge_base_queries`.
+
+use wfomc::prelude::*;
+
+fn main() {
+    // The knowledge base's soft constraint set.
+    let mut kb = MarkovLogicNetwork::new();
+    // Example 1.1: (3, Spouse(x,y) ∧ Female(x) ⇒ Male(y)).
+    kb.add_soft(
+        weight_int(3),
+        implies(
+            and(vec![atom("Spouse", &["x", "y"]), atom("Female", &["x"])]),
+            atom("Male", &["y"]),
+        ),
+    );
+    // Extraction confidences modeled symmetrically: facts are somewhat rare.
+    kb.add_soft(weight_ratio(1, 4), atom("Spouse", &["x", "y"]));
+    kb.add_soft(weight_int(1), atom("Female", &["x"])); // weight 1 = uninformative
+    // Hard ontology constraints: nobody is married to themselves, and nobody
+    // is both male and female.
+    kb.add_hard(not(atom("Spouse", &["x", "x"])));
+    kb.add_hard(not(and(vec![atom("Female", &["x"]), atom("Male", &["x"])])));
+
+    let engine = MlnEngine::new(&kb).expect("reduction applies");
+
+    println!("== Knowledge base with soft constraints (Example 1.1 style) ==\n");
+    println!("Reduction to symmetric WFOMC (Example 1.2):");
+    for (name, pair) in engine.reduction().weights.iter() {
+        println!("  relation {name:<10} weight pair {pair}");
+    }
+    println!();
+
+    let queries = vec![
+        (
+            "some female has a spouse",
+            exists(
+                ["x", "y"],
+                and(vec![atom("Female", &["x"]), atom("Spouse", &["x", "y"])]),
+            ),
+        ),
+        (
+            "every spouse of a female is male",
+            forall(
+                ["x", "y"],
+                implies(
+                    and(vec![atom("Spouse", &["x", "y"]), atom("Female", &["x"])]),
+                    atom("Male", &["y"]),
+                ),
+            ),
+        ),
+        (
+            "the marriage relation is non-empty",
+            exists(["x", "y"], atom("Spouse", &["x", "y"])),
+        ),
+    ];
+
+    for (label, query) in queries {
+        println!("Pr[{label}] as the domain grows:");
+        for n in 1..=5 {
+            let (p, method, _) = engine
+                .probability_with_methods(&query, n)
+                .expect("exact inference");
+            println!("  n = {n}: {:<24} (method: {method})", format_rational(&p));
+        }
+        println!();
+    }
+
+    // Conditional query with evidence expressed as extra hard constraints:
+    // given that person 0 is female (modelled symmetrically by conditioning on
+    // "∃x Female(x)"), how does the marriage probability change?
+    let evidence = exists(["x"], atom("Female", &["x"]));
+    let joint = Formula::and(
+        exists(["x", "y"], atom("Spouse", &["x", "y"])),
+        evidence.clone(),
+    );
+    println!("Conditional query Pr[∃ spouse | ∃ female]:");
+    for n in 1..=5 {
+        let p_joint = engine.probability(&joint, n).unwrap();
+        let p_evidence = engine.probability(&evidence, n).unwrap();
+        let conditional = p_joint / p_evidence;
+        println!("  n = {n}: {}", format_rational(&conditional));
+    }
+}
+
+fn format_rational(w: &Weight) -> String {
+    let numer: f64 = w.numer().to_string().parse().unwrap_or(f64::NAN);
+    let denom: f64 = w.denom().to_string().parse().unwrap_or(f64::NAN);
+    format!("{:.6} ({w})", numer / denom)
+}

@@ -1,0 +1,56 @@
+//! Quickstart: parse a sentence, count its models three different ways, and
+//! turn weights into probabilities.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use wfomc::prelude::*;
+
+fn main() {
+    // -----------------------------------------------------------------------
+    // 1. FOMC of the introduction's example Φ = ∀x ∃y R(x, y).
+    // -----------------------------------------------------------------------
+    let phi = parse("forall x. exists y. R(x,y)").expect("valid syntax");
+    let solver = Solver::new();
+
+    println!("Φ = {phi}");
+    println!("{:>4} {:>28} {:>28} {:>12}", "n", "lifted FOMC", "closed form (2^n-1)^n", "method");
+    for n in 0..=8 {
+        let report = solver.fomc(&phi, n).expect("solver always answers");
+        let closed = closed_form::fomc_forall_exists_edge(n);
+        assert_eq!(report.value, closed, "the implementation must match the paper");
+        println!("{n:>4} {:>28} {:>28} {:>12}", report.value, closed, report.method);
+    }
+
+    // -----------------------------------------------------------------------
+    // 2. Weighted counting and probabilities: every tuple of R is present
+    //    independently with probability 1/3 (weight 1/2 per §1).
+    // -----------------------------------------------------------------------
+    let mut weights = Weights::ones();
+    weights.set_probability("R", weight_ratio(1, 3));
+    let voc = phi.vocabulary();
+    println!("\nPr(Φ) when each R-tuple holds with probability 1/3:");
+    for n in 1..=6 {
+        let report = solver
+            .probability(&phi, &voc, n, &weights)
+            .expect("solver always answers");
+        println!("  n = {n}: Pr = {}", report.value);
+    }
+
+    // -----------------------------------------------------------------------
+    // 3. Cross-check a lifted answer against brute force on a small domain.
+    // -----------------------------------------------------------------------
+    let brute = brute_force_fomc(&phi, 3);
+    let lifted = solver.fomc(&phi, 3).unwrap().value;
+    println!("\nbrute force at n = 3: {brute}, lifted: {lifted} (equal: {})", brute == lifted);
+
+    // -----------------------------------------------------------------------
+    // 4. A sentence outside every lifted fragment falls back to grounding —
+    //    exactly what the paper's hardness results predict.
+    // -----------------------------------------------------------------------
+    let transitivity = catalog::transitivity();
+    let report = solver.fomc(&transitivity, 3).unwrap();
+    println!(
+        "\n{transitivity}\n  n = 3: {} models, method = {} (Table 2: open problem)",
+        report.value, report.method
+    );
+}
