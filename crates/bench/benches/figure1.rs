@@ -25,7 +25,7 @@ fn bench_figure1(c: &mut Criterion) {
         });
         let chain_probs: Vec<Weight> = vec![weight_ratio(1, 3); 3];
         group.bench_with_input(BenchmarkId::new("chain3/recurrence", n), &n, |b, &n| {
-            b.iter(|| chain_probability(&vec![n; 4], &chain_probs))
+            b.iter(|| chain_probability(&[n; 4], &chain_probs))
         });
         let dual = catalog::table1_dual_cq();
         group.bench_with_input(BenchmarkId::new("table1-dual/lifted", n), &n, |b, &n| {

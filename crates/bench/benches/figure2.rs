@@ -30,9 +30,7 @@ fn bench_figure2(c: &mut Criterion) {
 
     // The #SAT side of the equation, for reference.
     group.bench_function("count-F/enumeration", |b| {
-        b.iter(|| {
-            wfomc::prop::counter::wmc_formula(&f, &wfomc::prop::VarWeights::ones(vars))
-        })
+        b.iter(|| wfomc::prop::counter::wmc_formula(&f, &wfomc::prop::VarWeights::ones(vars)))
     });
     group.finish();
 }

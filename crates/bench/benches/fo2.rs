@@ -31,9 +31,11 @@ fn bench_fo2(c: &mut Criterion) {
                 |b, &n| b.iter(|| wfomc_fo2(sentence, &voc, n, &weights).unwrap()),
             );
         }
-        group.bench_with_input(BenchmarkId::new(format!("{name}/grounded"), 3), &3, |b, &n| {
-            b.iter(|| GroundSolver::new().wfomc(sentence, &voc, n, &weights))
-        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}/grounded"), 3),
+            &3,
+            |b, &n| b.iter(|| GroundSolver::new().wfomc(sentence, &voc, n, &weights)),
+        );
     }
 
     // Cell statistics (the cost drivers): report once as a benchmark of the
@@ -42,7 +44,11 @@ fn bench_fo2(c: &mut Criterion) {
     group.bench_function("normalization-and-cells/table1", |b| {
         let sentence = catalog::table1_sentence();
         let voc = sentence.vocabulary();
-        b.iter(|| wfomc_fo2_with_stats(&sentence, &voc, 1, &weights).unwrap().1)
+        b.iter(|| {
+            wfomc_fo2_with_stats(&sentence, &voc, 1, &weights)
+                .unwrap()
+                .1
+        })
     });
     group.finish();
 }

@@ -5,7 +5,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wfomc::core::normal::{remove_equality, remove_negation, skolemize, wfomc_via_equality_removal};
+use wfomc::core::normal::{
+    remove_equality, remove_negation, skolemize, wfomc_via_equality_removal,
+};
 use wfomc::ground::wfomc as ground_wfomc;
 use wfomc::prelude::*;
 

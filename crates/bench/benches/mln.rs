@@ -24,9 +24,11 @@ fn bench_mln(c: &mut Criterion) {
         });
     }
     for n in [1usize, 2] {
-        group.bench_with_input(BenchmarkId::new("partition/ground-semantics", n), &n, |b, &n| {
-            b.iter(|| partition_function_brute(&mln, n))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("partition/ground-semantics", n),
+            &n,
+            |b, &n| b.iter(|| partition_function_brute(&mln, n)),
+        );
     }
     group.finish();
 }

@@ -21,11 +21,9 @@ fn bench_table2(c: &mut Criterion) {
             if sentence.vocabulary().num_ground_tuples(n) > 27 {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(name.replace(' ', "-"), n),
-                &n,
-                |b, &n| b.iter(|| solver.fomc(&sentence, n).unwrap().value),
-            );
+            group.bench_with_input(BenchmarkId::new(name.replace(' ', "-"), n), &n, |b, &n| {
+                b.iter(|| solver.fomc(&sentence, n).unwrap().value)
+            });
         }
     }
     group.finish();

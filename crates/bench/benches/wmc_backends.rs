@@ -1,6 +1,14 @@
 //! Ablation — the propositional WMC backends underlying the grounded
-//! pipeline: brute-force enumeration vs weighted DPLL with component caching,
-//! on the lineage of a catalog sentence and on random 3-CNFs.
+//! pipeline: brute-force enumeration vs weighted DPLL with component caching
+//! vs d-DNNF knowledge compilation, on the lineage of a catalog sentence and
+//! on random 3-CNFs.
+//!
+//! The `amortized/*` group is the compile-once / evaluate-many scenario the
+//! circuit backend exists for: one CNF evaluated at `k` different weight
+//! vectors (the access pattern of the Lemma 3.5 equality-removal
+//! interpolation, which needs `n² + 1` points of a single CNF). DPLL re-runs
+//! its search per vector; the circuit backend compiles once and pays one
+//! linear evaluation per vector.
 
 use std::time::Duration;
 
@@ -9,9 +17,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wfomc::ground::Lineage;
 use wfomc::prelude::*;
-use wfomc::prop::counter::{wmc, WmcBackend};
-use wfomc::prop::{Cnf, VarWeights};
 use wfomc::prop::cnf::Lit;
+use wfomc::prop::counter::{wmc, CompiledWmc, WmcBackend};
+use wfomc::prop::{Cnf, VarWeights};
 
 fn random_cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -28,21 +36,36 @@ fn random_cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
     Cnf::new(num_vars, clauses)
 }
 
+/// `k` weight vectors sweeping one variable's weight — the equality-removal
+/// interpolation access pattern.
+fn weight_sweep(num_vars: usize, k: usize) -> Vec<VarWeights> {
+    (0..k)
+        .map(|z| {
+            let mut w = VarWeights::ones(num_vars);
+            w.set(0, weight_int(z as i64), weight_int(1));
+            w
+        })
+        .collect()
+}
+
+const ALL_BACKENDS: [WmcBackend; 3] =
+    [WmcBackend::Dpll, WmcBackend::Enumerate, WmcBackend::Circuit];
+
 fn bench_wmc_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("wmc_backends");
 
-    // Random 3-CNF instances.
+    // Random 3-CNF instances, single evaluation.
     for &num_vars in &[12usize, 18] {
         let cnf = random_cnf(num_vars, num_vars * 3, 7);
         let weights = VarWeights::ones(cnf.num_vars);
-        group.bench_with_input(BenchmarkId::new("dpll/random-3cnf", num_vars), &(), |b, _| {
-            b.iter(|| wmc(&cnf, &weights, WmcBackend::Dpll))
-        });
-        group.bench_with_input(
-            BenchmarkId::new("enumerate/random-3cnf", num_vars),
-            &(),
-            |b, _| b.iter(|| wmc(&cnf, &weights, WmcBackend::Enumerate)),
-        );
+        for backend in ALL_BACKENDS {
+            let label = format!("{backend:?}").to_lowercase();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/random-3cnf"), num_vars),
+                &backend,
+                |b, &backend| b.iter(|| wmc(&cnf, &weights, backend)),
+            );
+        }
     }
 
     // The lineage of the Table 1 sentence at n = 3 (15 ground atoms).
@@ -50,17 +73,62 @@ fn bench_wmc_backends(c: &mut Criterion) {
     let voc = sentence.vocabulary();
     let lineage = Lineage::build(&sentence, &voc, 3);
     let weights = lineage.symmetric_weights(&Weights::ones());
-    for backend in [WmcBackend::Dpll, WmcBackend::Enumerate] {
+    for backend in ALL_BACKENDS {
         group.bench_with_input(
             BenchmarkId::new("table1-lineage-n3", format!("{backend:?}")),
             &backend,
             |b, &backend| {
+                b.iter(|| wfomc::prop::counter::wmc_formula_via(&lineage.prop, &weights, backend))
+            },
+        );
+    }
+    group.finish();
+
+    // Compile-once / evaluate-many: one CNF, k weight vectors.
+    let mut group = c.benchmark_group("amortized");
+    let cnf = random_cnf(16, 40, 11);
+    for &k in &[1usize, 5, 25] {
+        let sweep = weight_sweep(cnf.num_vars, k);
+        group.bench_with_input(BenchmarkId::new("dpll/k-vectors", k), &(), |b, _| {
+            b.iter(|| {
+                sweep
+                    .iter()
+                    .map(|w| wmc(&cnf, w, WmcBackend::Dpll))
+                    .collect::<Vec<_>>()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("circuit-compile+eval/k-vectors", k),
+            &(),
+            |b, _| {
                 b.iter(|| {
-                    wfomc::prop::counter::wmc_formula_via(&lineage.prop, &weights, backend)
+                    let compiled = CompiledWmc::compile(&cnf);
+                    sweep.iter().map(|w| compiled.wmc(w)).collect::<Vec<_>>()
                 })
             },
         );
     }
+    // The marginal cost of one extra evaluation once compiled.
+    let compiled = CompiledWmc::compile(&cnf);
+    let sweep = weight_sweep(cnf.num_vars, 1);
+    group.bench_with_input(BenchmarkId::new("circuit-eval-only", 1), &(), |b, _| {
+        b.iter(|| compiled.wmc(&sweep[0]))
+    });
+
+    // The full equality-removal interpolation through the compiled pipeline
+    // vs the per-point grounded oracle (n² + 1 = 5 points at n = 2).
+    let eq_sentence = parse("forall x. forall y. (R(x,y) | x = y)").unwrap();
+    let eq_voc = eq_sentence.vocabulary();
+    group.bench_function("equality-removal/oracle-n2", |b| {
+        b.iter(|| {
+            wfomc_via_equality_removal(&eq_sentence, &eq_voc, 2, &Weights::ones(), |g, v, n, w| {
+                wfomc::ground::wfomc(g, v, n, w)
+            })
+        })
+    });
+    group.bench_function("equality-removal/compiled-n2", |b| {
+        b.iter(|| wfomc_via_equality_removal_compiled(&eq_sentence, &eq_voc, 2, &Weights::ones()))
+    });
     group.finish();
 }
 

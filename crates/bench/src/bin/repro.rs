@@ -67,10 +67,18 @@ fn table1() {
         let lifted = wfomc_fo2(&sentence, &voc, n, &Weights::ones()).unwrap();
         let weighted = closed_form::wfomc_table1(n, &weights);
         assert_eq!(closed, lifted);
-        println!("{n:>3} {:>26} {:>26} {:>26}", short(&closed), short(&lifted), short(&weighted));
+        println!(
+            "{n:>3} {:>26} {:>26} {:>26}",
+            short(&closed),
+            short(&lifted),
+            short(&weighted)
+        );
     }
     let grounded = GroundSolver::new().fomc(&sentence, 3);
-    println!("grounded cross-check at n=3: {grounded} (matches: {})", grounded == closed_form::fomc_table1(3));
+    println!(
+        "grounded cross-check at n=3: {grounded} (matches: {})",
+        grounded == closed_form::fomc_table1(3)
+    );
 }
 
 /// E2 — Figure 1.
@@ -84,7 +92,11 @@ fn figure1() {
     for (name, q) in wfomc_bench::figure1_workload() {
         let class = query_hypergraph(&q).classify();
         let f = q.to_formula();
-        let n = if f.vocabulary().num_ground_tuples(3) > 40 { 2 } else { 3 };
+        let n = if f.vocabulary().num_ground_tuples(3) > 40 {
+            2
+        } else {
+            3
+        };
         let report = solver.fomc(&f, n).unwrap();
         println!(
             "{:<14} {:>10} {:>18} {:>22}",
@@ -111,11 +123,17 @@ fn figure2() {
     let count = GroundSolver::new().fomc(&red.sentence, red.domain_size);
     let factorial: i64 = (1..=(red.domain_size as i64)).product();
     println!("F = {f},  #F = {models}");
-    println!("FOMC(ϕ_F, {}) = {}  =  (n+1)!·#F = {}·{}", red.domain_size, count, factorial, models);
+    println!(
+        "FOMC(ϕ_F, {}) = {}  =  (n+1)!·#F = {}·{}",
+        red.domain_size, count, factorial, models
+    );
     println!("\nsize of ϕ_F as |F| grows (the sentence is part of the input):");
     for vars in [2usize, 4, 8, 16] {
         let r = sharp_sat_to_fomc(&PropFormula::var(0), vars);
-        println!("  {vars:>3} Boolean variables → {:>7} AST nodes", r.sentence.size());
+        println!(
+            "  {vars:>3} Boolean variables → {:>7} AST nodes",
+            r.sentence.size()
+        );
     }
 }
 
@@ -123,7 +141,10 @@ fn figure2() {
 fn table2() {
     header("E4  Table 2: open problems (grounded fallback only)");
     let solver = Solver::new();
-    println!("{:<34} {:>14} {:>20} {:>20}", "sentence", "method", "FOMC n=2", "FOMC n=3");
+    println!(
+        "{:<34} {:>14} {:>20} {:>20}",
+        "sentence", "method", "FOMC n=2", "FOMC n=3"
+    );
     for (name, f) in catalog::table2_open_problems() {
         let r2 = solver.fomc(&f, 2).unwrap();
         let n3 = if f.vocabulary().num_ground_tuples(3) <= 27 {
@@ -149,7 +170,11 @@ fn qs4() {
         let dp = wfomc_qs4(n, &Weights::ones());
         let check = if n <= 3 {
             let g = GroundSolver::new().fomc(&catalog::qs4(), n);
-            format!("{} ({})", short(&g), if g == dp { "ok" } else { "MISMATCH" })
+            format!(
+                "{} ({})",
+                short(&g),
+                if g == dp { "ok" } else { "MISMATCH" }
+            )
         } else {
             "(too large to ground)".to_string()
         };
@@ -182,17 +207,29 @@ fn mln() {
     let mln = smokers_mln();
     let engine = MlnEngine::new(&mln).unwrap();
     let q = exists(["x"], atom("Smokes", &["x"]));
-    println!("{:>3} {:>26} {:>22} {:>14}", "n", "Z(n) lifted", "ground-semantics check", "Pr[∃ smoker]");
+    println!(
+        "{:>3} {:>26} {:>22} {:>14}",
+        "n", "Z(n) lifted", "ground-semantics check", "Pr[∃ smoker]"
+    );
     for n in 1..=6 {
         let z = engine.partition_function(n).unwrap();
         let check = if n <= 2 {
             let b = partition_function_brute(&mln, n);
-            if b == z { "ok".to_string() } else { "MISMATCH".to_string() }
+            if b == z {
+                "ok".to_string()
+            } else {
+                "MISMATCH".to_string()
+            }
         } else {
             "-".to_string()
         };
         let p = engine.probability(&q, n).unwrap();
-        println!("{n:>3} {:>26} {:>22} {:>14.6}", short(&z), check, approx(&p));
+        println!(
+            "{n:>3} {:>26} {:>22} {:>14.6}",
+            short(&z),
+            check,
+            approx(&p)
+        );
     }
 }
 
@@ -224,12 +261,19 @@ fn theta1_experiment() {
 /// E10 — closed forms.
 fn closed_forms() {
     header("E10  Introduction / §2 closed forms");
-    println!("{:>4} {:>24} {:>24} {:>24}", "n", "(2ⁿ−1)ⁿ", "(w+w̄)ⁿ−w̄ⁿ  (w=3,w̄=2)", "dual CQ count");
+    println!(
+        "{:>4} {:>24} {:>24} {:>24}",
+        "n", "(2ⁿ−1)ⁿ", "(w+w̄)ⁿ−w̄ⁿ  (w=3,w̄=2)", "dual CQ count"
+    );
     for n in [1usize, 2, 3, 4, 6, 8] {
         println!(
             "{n:>4} {:>24} {:>24} {:>24}",
             short(&closed_form::fomc_forall_exists_edge(n)),
-            short(&closed_form::wfomc_exists_unary(n, &weight_int(3), &weight_int(2))),
+            short(&closed_form::wfomc_exists_unary(
+                n,
+                &weight_int(3),
+                &weight_int(2)
+            )),
             short(&closed_form::fomc_table1_dual_cq(n))
         );
     }

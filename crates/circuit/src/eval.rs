@@ -1,0 +1,194 @@
+//! Linear-time weighted evaluation of smoothed d-DNNF circuits.
+//!
+//! Evaluation is a single bottom-up pass in arena order (children always
+//! precede parents): literal ↦ its weight, And ↦ product of children,
+//! decision ↦ `w(v)·hi + w̄(v)·lo`. On a smoothed circuit this computes the
+//! weighted model count over the circuit's full universe — the
+//! compile-once / evaluate-many payoff: the pass costs `O(|circuit|)`
+//! arithmetic operations per weight vector, with no search.
+
+use num_traits::{One, Zero};
+use wfomc_logic::weights::Weight;
+
+use crate::ir::{Circuit, Node, NodeId};
+
+/// A lookup of per-variable weight pairs `(w, w̄)`.
+///
+/// `wfomc-prop` implements this for its `VarWeights`; [`SliceWeights`] is a
+/// self-contained implementation for tests, benches and standalone use.
+pub trait LitWeights {
+    /// The weight of variable `var` being assigned `value`.
+    fn weight(&self, var: usize, value: bool) -> Weight;
+
+    /// `w(var) + w̄(var)`, the contribution of an unconstrained variable.
+    fn total(&self, var: usize) -> Weight {
+        self.weight(var, true) + self.weight(var, false)
+    }
+}
+
+/// Dense weight vectors backed by two `Vec<Weight>`s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SliceWeights {
+    pos: Vec<Weight>,
+    neg: Vec<Weight>,
+}
+
+impl SliceWeights {
+    /// All-ones weights (plain model counting) for `n` variables.
+    pub fn ones(n: usize) -> SliceWeights {
+        SliceWeights {
+            pos: vec![Weight::one(); n],
+            neg: vec![Weight::one(); n],
+        }
+    }
+
+    /// Weights from parallel `(pos, neg)` vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors have different lengths.
+    pub fn from_vecs(pos: Vec<Weight>, neg: Vec<Weight>) -> SliceWeights {
+        assert_eq!(pos.len(), neg.len(), "weight vectors must align");
+        SliceWeights { pos, neg }
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True if no variables are covered.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+}
+
+impl LitWeights for SliceWeights {
+    fn weight(&self, var: usize, value: bool) -> Weight {
+        if value {
+            self.pos[var].clone()
+        } else {
+            self.neg[var].clone()
+        }
+    }
+}
+
+/// Evaluates the smoothed circuit under `root` against a weight vector.
+///
+/// The result is the weighted model count over the universe the circuit was
+/// smoothed for. Runs in one pass over the whole arena — [`compile`] prunes
+/// the arena to the live circuit, so for compiled CNFs every node evaluated
+/// is reachable. (On a hand-built arena with garbage nodes the pass wastes
+/// a little work on them; use [`Circuit::pruned`] first if that matters.)
+///
+/// [`compile`]: crate::compile::compile
+pub fn evaluate<W: LitWeights + ?Sized>(circuit: &Circuit, root: NodeId, weights: &W) -> Weight {
+    let mut values: Vec<Weight> = vec![Weight::zero(); circuit.len()];
+    for (index, node) in circuit.nodes().iter().enumerate() {
+        values[index] = match node {
+            Node::False => Weight::zero(),
+            Node::True => Weight::one(),
+            Node::Lit(lit) => weights.weight(lit.var, lit.positive),
+            Node::And(children) => {
+                let mut product = Weight::one();
+                for child in children.iter() {
+                    if values[child.index()].is_zero() {
+                        product = Weight::zero();
+                        break;
+                    }
+                    product *= &values[child.index()];
+                }
+                product
+            }
+            Node::Decision { var, hi, lo } => {
+                let hi_value = &values[hi.index()];
+                let lo_value = &values[lo.index()];
+                let mut acc = Weight::zero();
+                if !hi_value.is_zero() {
+                    acc += weights.weight(*var, true) * hi_value;
+                }
+                if !lo_value.is_zero() {
+                    acc += weights.weight(*var, false) * lo_value;
+                }
+                acc
+            }
+        };
+    }
+    values[root.index()].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::CLit;
+    use wfomc_logic::weights::{weight_int, weight_ratio};
+
+    #[test]
+    fn constants_and_literals() {
+        let mut c = Circuit::new();
+        let x = c.mk_lit(CLit::pos(0));
+        let nx = c.mk_lit(CLit::neg(0));
+        let w = SliceWeights::from_vecs(vec![weight_int(2)], vec![weight_ratio(1, 2)]);
+        assert_eq!(evaluate(&c, c.ff(), &w), weight_int(0));
+        assert_eq!(evaluate(&c, c.tt(), &w), weight_int(1));
+        assert_eq!(evaluate(&c, x, &w), weight_int(2));
+        assert_eq!(evaluate(&c, nx, &w), weight_ratio(1, 2));
+    }
+
+    #[test]
+    fn decision_is_weighted_shannon_expansion() {
+        let mut c = Circuit::new();
+        // (v ∧ x1) ∨ (¬v ∧ ¬x1) — equality of two variables.
+        let x1 = c.mk_lit(CLit::pos(1));
+        let nx1 = c.mk_lit(CLit::neg(1));
+        let d = c.mk_decision(0, x1, nx1);
+        let w = SliceWeights::from_vecs(
+            vec![weight_int(2), weight_int(3)],
+            vec![weight_int(5), weight_int(7)],
+        );
+        // 2·3 + 5·7 = 41.
+        assert_eq!(evaluate(&c, d, &w), weight_int(41));
+    }
+
+    #[test]
+    fn and_multiplies_disjoint_children() {
+        let mut c = Circuit::new();
+        let x0 = c.mk_lit(CLit::pos(0));
+        let x1 = c.mk_lit(CLit::neg(1));
+        let a = c.mk_and([x0, x1]);
+        let w = SliceWeights::from_vecs(
+            vec![weight_int(3), weight_int(100)],
+            vec![weight_int(1), weight_int(-4)],
+        );
+        assert_eq!(evaluate(&c, a, &w), weight_int(-12));
+    }
+
+    #[test]
+    fn zero_short_circuit_is_exact_with_negative_weights() {
+        let mut c = Circuit::new();
+        // free gadget on a variable whose total is zero.
+        let g = c.mk_free(0);
+        let x1 = c.mk_lit(CLit::pos(1));
+        let a = c.mk_and([g, x1]);
+        let w = SliceWeights::from_vecs(
+            vec![weight_int(1), weight_int(9)],
+            vec![weight_int(-1), weight_int(9)],
+        );
+        assert_eq!(evaluate(&c, a, &w), weight_int(0));
+    }
+
+    #[test]
+    fn slice_weights_basics() {
+        let mut w = SliceWeights::ones(2);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert_eq!(w.total(0), weight_int(2));
+        w = SliceWeights::from_vecs(vec![weight_int(2)], vec![weight_int(-2)]);
+        assert_eq!(w.total(0), weight_int(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_weight_vectors_panic() {
+        SliceWeights::from_vecs(vec![weight_int(1)], vec![]);
+    }
+}

@@ -1,0 +1,452 @@
+//! The arena-based NNF circuit intermediate representation.
+//!
+//! A [`Circuit`] owns a flat arena of [`Node`]s identified by [`NodeId`].
+//! Construction goes through the `mk_*` methods, which apply local
+//! simplifications (constant folding, And-flattening) and **structural
+//! hashing**: structurally identical nodes are created once and shared, so
+//! the arena is a DAG, never a tree. Children always have smaller ids than
+//! their parents, which gives every circuit a ready-made topological order —
+//! the property the linear-time evaluator relies on.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A propositional variable index.
+pub type Var = usize;
+
+/// A literal over [`Var`], the circuit crate's own minimal literal type.
+///
+/// `wfomc-prop`'s `Lit` converts to and from this trivially; keeping a local
+/// definition lets this crate sit below `wfomc-prop` in the dependency graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct CLit {
+    /// The variable index.
+    pub var: Var,
+    /// True for a positive literal.
+    pub positive: bool,
+}
+
+impl CLit {
+    /// A positive literal.
+    pub fn pos(var: Var) -> CLit {
+        CLit {
+            var,
+            positive: true,
+        }
+    }
+
+    /// A negative literal.
+    pub fn neg(var: Var) -> CLit {
+        CLit {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> CLit {
+        CLit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+}
+
+impl fmt::Display for CLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// An index into a [`Circuit`]'s node arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena slot as a usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One circuit node.
+///
+/// The d-DNNF invariants maintained by the compiler are:
+/// * **decomposability** — the children of an [`Node::And`] mention pairwise
+///   disjoint variable sets;
+/// * **determinism** — [`Node::Decision`] is the only disjunction, and its
+///   branches contradict on `var`: the node denotes
+///   `(var ∧ hi) ∨ (¬var ∧ lo)` where neither branch mentions `var`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Node {
+    /// The constant false (empty disjunction).
+    False,
+    /// The constant true (empty conjunction).
+    True,
+    /// A literal.
+    Lit(CLit),
+    /// A decomposable conjunction of two or more children.
+    And(Box<[NodeId]>),
+    /// A deterministic disjunction `(var ∧ hi) ∨ (¬var ∧ lo)`.
+    Decision {
+        /// The decision variable; neither branch mentions it.
+        var: Var,
+        /// The branch taken when `var` is true.
+        hi: NodeId,
+        /// The branch taken when `var` is false.
+        lo: NodeId,
+    },
+}
+
+/// An arena of structurally hashed NNF nodes.
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    nodes: Vec<Node>,
+    dedup: HashMap<Node, NodeId>,
+}
+
+impl Circuit {
+    /// An empty circuit containing only the two constants.
+    pub fn new() -> Circuit {
+        let mut c = Circuit {
+            nodes: Vec::new(),
+            dedup: HashMap::new(),
+        };
+        c.intern(Node::False);
+        c.intern(Node::True);
+        c
+    }
+
+    fn intern(&mut self, node: Node) -> NodeId {
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("circuit arena overflow"));
+        self.nodes.push(node.clone());
+        self.dedup.insert(node, id);
+        id
+    }
+
+    /// The constant-false node.
+    pub fn ff(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The constant-true node.
+    pub fn tt(&self) -> NodeId {
+        NodeId(1)
+    }
+
+    /// The node for a literal.
+    pub fn mk_lit(&mut self, lit: CLit) -> NodeId {
+        self.intern(Node::Lit(lit))
+    }
+
+    /// A decomposable conjunction. Flattens nested Ands, drops `true`
+    /// children, collapses to `false` on a `false` child, and deduplicates
+    /// repeated children.
+    pub fn mk_and(&mut self, children: impl IntoIterator<Item = NodeId>) -> NodeId {
+        let mut flat: Vec<NodeId> = Vec::new();
+        for child in children {
+            if child == self.ff() {
+                return self.ff();
+            }
+            if child == self.tt() {
+                continue;
+            }
+            match &self.nodes[child.index()] {
+                Node::And(grandchildren) => flat.extend(grandchildren.iter().copied()),
+                _ => flat.push(child),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        match flat.len() {
+            0 => self.tt(),
+            1 => flat[0],
+            _ => self.intern(Node::And(flat.into_boxed_slice())),
+        }
+    }
+
+    /// A deterministic decision node `(var ∧ hi) ∨ (¬var ∧ lo)`.
+    pub fn mk_decision(&mut self, var: Var, hi: NodeId, lo: NodeId) -> NodeId {
+        if hi == self.ff() && lo == self.ff() {
+            return self.ff();
+        }
+        self.intern(Node::Decision { var, hi, lo })
+    }
+
+    /// The "free variable" gadget `(v ∧ true) ∨ (¬v ∧ true)`, used by the
+    /// smoothing pass; it evaluates to `w(v) + w̄(v)`.
+    pub fn mk_free(&mut self, var: Var) -> NodeId {
+        let tt = self.tt();
+        self.mk_decision(var, tt, tt)
+    }
+
+    /// The node stored at `id`.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes in the arena (including both constants).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the arena holds only the constants.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    /// Number of child edges in the arena.
+    pub fn edge_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::And(children) => children.len(),
+                Node::Decision { .. } => 2,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// All nodes in arena (= topological) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The sorted variable support of every node, in arena order.
+    ///
+    /// `support[id]` is the set of variables the sub-circuit under `id`
+    /// mentions; decision variables count as mentioned.
+    pub fn supports(&self) -> Vec<Vec<Var>> {
+        let mut supports: Vec<Vec<Var>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let support = match node {
+                Node::False | Node::True => Vec::new(),
+                Node::Lit(lit) => vec![lit.var],
+                Node::And(children) => {
+                    let mut merged: Vec<Var> = Vec::new();
+                    for child in children.iter() {
+                        merged = merge_sorted(&merged, &supports[child.index()]);
+                    }
+                    merged
+                }
+                Node::Decision { var, hi, lo } => {
+                    let branches = merge_sorted(&supports[hi.index()], &supports[lo.index()]);
+                    merge_sorted(&branches, &[*var])
+                }
+            };
+            supports.push(support);
+        }
+        supports
+    }
+
+    /// A copy of this circuit containing only the nodes reachable from
+    /// `root` (plus the two constants), together with the remapped root.
+    ///
+    /// Compilation and smoothing leave superseded intermediate nodes behind
+    /// in the arena; pruning once after smoothing means every later
+    /// traversal — in particular each weighted evaluation — touches live
+    /// nodes only.
+    pub fn pruned(&self, root: NodeId) -> (Circuit, NodeId) {
+        let mask = self.reachable(root);
+        let mut out = Circuit::new();
+        let mut remap: Vec<NodeId> = vec![NodeId(0); self.nodes.len()];
+        for (index, node) in self.nodes.iter().enumerate() {
+            if !mask[index] {
+                continue;
+            }
+            remap[index] = match node {
+                Node::False => out.ff(),
+                Node::True => out.tt(),
+                Node::Lit(lit) => out.mk_lit(*lit),
+                Node::And(children) => {
+                    let remapped: Vec<NodeId> = children.iter().map(|c| remap[c.index()]).collect();
+                    out.mk_and(remapped)
+                }
+                Node::Decision { var, hi, lo } => {
+                    out.mk_decision(*var, remap[hi.index()], remap[lo.index()])
+                }
+            };
+        }
+        (out, remap[root.index()])
+    }
+
+    /// The set of nodes reachable from `root`, as a boolean mask in arena
+    /// order.
+    pub fn reachable(&self, root: NodeId) -> Vec<bool> {
+        let mut mask = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if mask[id.index()] {
+                continue;
+            }
+            mask[id.index()] = true;
+            match &self.nodes[id.index()] {
+                Node::And(children) => stack.extend(children.iter().copied()),
+                Node::Decision { hi, lo, .. } => {
+                    stack.push(*hi);
+                    stack.push(*lo);
+                }
+                _ => {}
+            }
+        }
+        mask
+    }
+}
+
+/// Merges two ascending, duplicate-free variable lists.
+fn merge_sorted(a: &[Var], b: &[Var]) -> Vec<Var> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_preallocated() {
+        let c = Circuit::new();
+        assert_eq!(c.node(c.ff()), &Node::False);
+        assert_eq!(c.node(c.tt()), &Node::True);
+        assert_eq!(c.len(), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn structural_hashing_shares_nodes() {
+        let mut c = Circuit::new();
+        let a = c.mk_lit(CLit::pos(0));
+        let b = c.mk_lit(CLit::pos(0));
+        assert_eq!(a, b);
+        let d1 = c.mk_decision(1, a, c.ff());
+        let d2 = c.mk_decision(1, a, c.ff());
+        assert_eq!(d1, d2);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn and_simplifications() {
+        let mut c = Circuit::new();
+        let x = c.mk_lit(CLit::pos(0));
+        let y = c.mk_lit(CLit::neg(1));
+        let tt = c.tt();
+        let ff = c.ff();
+        assert_eq!(c.mk_and([]), tt);
+        assert_eq!(c.mk_and([tt, tt]), tt);
+        assert_eq!(c.mk_and([x]), x);
+        assert_eq!(c.mk_and([x, tt]), x);
+        assert_eq!(c.mk_and([x, ff, y]), ff);
+        assert_eq!(c.mk_and([x, x]), x);
+        // Nested Ands flatten into one node.
+        let xy = c.mk_and([x, y]);
+        let z = c.mk_lit(CLit::pos(2));
+        let xyz = c.mk_and([xy, z]);
+        match c.node(xyz) {
+            Node::And(children) => assert_eq!(children.len(), 3),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn children_precede_parents() {
+        let mut c = Circuit::new();
+        let x = c.mk_lit(CLit::pos(0));
+        let y = c.mk_lit(CLit::pos(1));
+        let a = c.mk_and([x, y]);
+        let d = c.mk_decision(2, a, x);
+        for (id, node) in c.nodes().iter().enumerate() {
+            let check = |child: NodeId| assert!(child.index() < id);
+            match node {
+                Node::And(children) => children.iter().copied().for_each(check),
+                Node::Decision { hi, lo, .. } => {
+                    check(*hi);
+                    check(*lo);
+                }
+                _ => {}
+            }
+        }
+        assert!(d.index() > a.index());
+    }
+
+    #[test]
+    fn supports_are_sorted_unions() {
+        let mut c = Circuit::new();
+        let x = c.mk_lit(CLit::pos(3));
+        let y = c.mk_lit(CLit::pos(1));
+        let a = c.mk_and([x, y]);
+        let d = c.mk_decision(2, a, c.ff());
+        let free = c.mk_free(5);
+        let supports = c.supports();
+        assert_eq!(supports[a.index()], vec![1, 3]);
+        assert_eq!(supports[d.index()], vec![1, 2, 3]);
+        assert_eq!(supports[free.index()], vec![5]);
+        assert_eq!(supports[c.ff().index()], Vec::<Var>::new());
+    }
+
+    #[test]
+    fn dead_decision_collapses_to_false() {
+        let mut c = Circuit::new();
+        let ff = c.ff();
+        assert_eq!(c.mk_decision(0, ff, ff), ff);
+    }
+
+    #[test]
+    fn pruning_drops_garbage_and_preserves_structure() {
+        let mut c = Circuit::new();
+        let x = c.mk_lit(CLit::pos(0));
+        let _garbage = c.mk_lit(CLit::pos(9));
+        let _more_garbage = c.mk_free(7);
+        let y = c.mk_lit(CLit::neg(1));
+        let a = c.mk_and([x, y]);
+        let d = c.mk_decision(2, a, x);
+        let (pruned, new_root) = c.pruned(d);
+        // Constants + x + y + And + Decision = 6 live nodes.
+        assert_eq!(pruned.len(), 6);
+        assert!(pruned.len() < c.len());
+        let supports = pruned.supports();
+        assert_eq!(supports[new_root.index()], vec![0, 1, 2]);
+        match pruned.node(new_root) {
+            Node::Decision { var, .. } => assert_eq!(*var, 2),
+            other => panic!("expected decision root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reachable_masks_garbage() {
+        let mut c = Circuit::new();
+        let x = c.mk_lit(CLit::pos(0));
+        let _garbage = c.mk_lit(CLit::pos(9));
+        let d = c.mk_decision(1, x, c.ff());
+        let mask = c.reachable(d);
+        assert!(mask[d.index()] && mask[x.index()] && mask[c.ff().index()]);
+        assert!(!mask[_garbage.index()]);
+        assert!(!mask[c.tt().index()]);
+    }
+}

@@ -1,0 +1,57 @@
+//! # wfomc-circuit
+//!
+//! Knowledge compilation for **compile-once / evaluate-many** weighted model
+//! counting.
+//!
+//! The grounded WFOMC pipeline and the Lemma 3.5 equality-removal oracle both
+//! evaluate the *same* propositional formula under many different weight
+//! vectors — equality removal alone needs `n² + 1` evaluation points of one
+//! CNF. Re-running a DPLL-style counter from scratch for every weight vector
+//! repeats the identical search. This crate instead records the search
+//! **once** as a circuit in *deterministic decomposable negation normal form*
+//! (d-DNNF), after which each weighted evaluation is a single linear pass over
+//! the circuit — the classical c2d / sharpSAT trace architecture.
+//!
+//! The pieces:
+//!
+//! * [`ir`] — an arena-based NNF circuit IR ([`Circuit`]) with True/False/
+//!   literal/And/decision nodes and structural hashing;
+//! * [`compile`] — a top-down compiler mirroring the weighted DPLL search of
+//!   `wfomc-prop` (unit propagation, connected-component decomposition, and a
+//!   component cache keyed by circuit node ids) that emits d-DNNF;
+//! * [`smooth`] — the smoothing pass that makes every decision node's
+//!   branches mention the same variables, so weighted evaluation needs no
+//!   gap-factor bookkeeping;
+//! * [`eval`] — the linear-time evaluator over arbitrary rational weight
+//!   vectors (negative weights included), via the [`LitWeights`] trait.
+//!
+//! The crate deliberately sits *below* `wfomc-prop` in the crate graph: it
+//! defines its own minimal literal type ([`CLit`]) and weight-lookup trait so
+//! that `wfomc-prop` can depend on it and dispatch its `WmcBackend::Circuit`
+//! natively.
+//!
+//! ```
+//! use wfomc_circuit::{compile, CLit, SliceWeights};
+//!
+//! // (x0 ∨ x1) ∧ (¬x1 ∨ x2), compiled once…
+//! let cnf = vec![
+//!     vec![CLit::pos(0), CLit::pos(1)],
+//!     vec![CLit::neg(1), CLit::pos(2)],
+//! ];
+//! let compiled = compile(3, &cnf);
+//! // …then evaluated under as many weight vectors as needed.
+//! let ones = SliceWeights::ones(3);
+//! assert_eq!(compiled.wmc(&ones), wfomc_logic::weights::weight_int(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod eval;
+pub mod ir;
+pub mod smooth;
+
+pub use compile::{compile, CompileStats, CompiledCnf};
+pub use eval::{LitWeights, SliceWeights};
+pub use ir::{CLit, Circuit, Node, NodeId};

@@ -153,7 +153,10 @@ mod tests {
         assert_eq!(binomial(5, 0), BigInt::from(1));
         assert_eq!(binomial(5, 5), BigInt::from(1));
         assert_eq!(binomial(5, 6), BigInt::from(0));
-        assert_eq!(binomial(50, 25), "126410606437752".parse::<BigInt>().unwrap());
+        assert_eq!(
+            binomial(50, 25),
+            "126410606437752".parse::<BigInt>().unwrap()
+        );
     }
 
     #[test]
@@ -172,10 +175,7 @@ mod tests {
     #[test]
     fn compositions_enumerate_stars_and_bars() {
         let all: Vec<_> = compositions(3, 2).collect();
-        assert_eq!(
-            all,
-            vec![vec![0, 3], vec![1, 2], vec![2, 1], vec![3, 0]]
-        );
+        assert_eq!(all, vec![vec![0, 3], vec![1, 2], vec![2, 1], vec![3, 0]]);
         // C(n+k-1, k-1) counts.
         assert_eq!(compositions(5, 3).count(), 21);
         assert_eq!(compositions(0, 4).count(), 1);

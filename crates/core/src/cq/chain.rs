@@ -38,7 +38,13 @@ pub fn chain_probability(domains: &[usize], probabilities: &[Weight]) -> Weight 
         "a chain with m atoms has m+1 variables"
     );
     let mut memo: HashMap<(usize, usize), Weight> = HashMap::new();
-    g(probabilities.len(), *domains.last().expect("non-empty"), domains, probabilities, &mut memo)
+    g(
+        probabilities.len(),
+        *domains.last().expect("non-empty"),
+        domains,
+        probabilities,
+        &mut memo,
+    )
 }
 
 /// Probability of the length-`m` chain over a single shared domain of size `n`.
@@ -98,9 +104,8 @@ mod tests {
         // Pr(∃x₀∃x₁ R₁(x₀,x₁)) = 1 − (1 − p)^{n²}.
         let p = weight_ratio(1, 3);
         for n in 0..=4 {
-            let direct = chain_probability_uniform(1, n, &[p.clone()]);
-            let expected =
-                Weight::one() - weight_pow(&weight_ratio(2, 3), n * n);
+            let direct = chain_probability_uniform(1, n, std::slice::from_ref(&p));
+            let expected = Weight::one() - weight_pow(&weight_ratio(2, 3), n * n);
             assert_eq!(direct, expected, "n = {n}");
         }
     }
@@ -131,11 +136,7 @@ mod tests {
         weights.set_probability("R1", weight_ratio(1, 3));
         weights.set_probability("R2", weight_ratio(1, 4));
         for n in 1..=2 {
-            let closed = chain_probability_uniform(
-                m,
-                n,
-                &[weight_ratio(1, 3), weight_ratio(1, 4)],
-            );
+            let closed = chain_probability_uniform(m, n, &[weight_ratio(1, 3), weight_ratio(1, 4)]);
             let grounded = ground_probability(&f, &voc, n, &weights);
             assert_eq!(closed, grounded, "n = {n}");
         }

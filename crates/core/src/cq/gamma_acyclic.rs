@@ -171,7 +171,10 @@ impl State {
     }
 
     fn active_vars(&self) -> BTreeSet<usize> {
-        self.edges.iter().flat_map(|e| e.vars.iter().copied()).collect()
+        self.edges
+            .iter()
+            .flat_map(|e| e.vars.iter().copied())
+            .collect()
     }
 }
 
@@ -181,11 +184,7 @@ fn reduce(state: &State, memo: &mut HashMap<Key, Weight>) -> Result<Weight, Lift
     }
     // A variable with an empty domain occurring in some edge makes the query
     // false (the existential quantifier has no witnesses).
-    if state
-        .active_vars()
-        .iter()
-        .any(|&v| state.domains[v] == 0)
-    {
+    if state.active_vars().iter().any(|&v| state.domains[v] == 0) {
         return Ok(Weight::zero());
     }
     let key = state.key();
@@ -358,8 +357,8 @@ mod tests {
 
     #[test]
     fn self_join_is_rejected() {
-        let q = wfomc_logic::cq::ConjunctiveQuery::from_formula(&catalog::untyped_triangles())
-            .unwrap();
+        let q =
+            wfomc_logic::cq::ConjunctiveQuery::from_formula(&catalog::untyped_triangles()).unwrap();
         let err = gamma_acyclic_wfomc(&q, 3, &Weights::ones()).unwrap_err();
         assert_eq!(err, LiftError::HasSelfJoin);
     }

@@ -82,7 +82,10 @@ impl fmt::Display for LiftError {
                 "predicate {predicate} has w + w̄ = 0, so tuple probabilities are undefined"
             ),
             LiftError::PatternMismatch { expected } => {
-                write!(f, "the sentence does not match the expected pattern: {expected}")
+                write!(
+                    f,
+                    "the sentence does not match the expected pattern: {expected}"
+                )
             }
             LiftError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -106,6 +109,8 @@ mod tests {
         };
         assert!(e.to_string().contains("R"));
         assert!(LiftError::NotGammaAcyclic.to_string().contains("γ-acyclic"));
-        assert!(LiftError::Internal("oops".into()).to_string().contains("oops"));
+        assert!(LiftError::Internal("oops".into())
+            .to_string()
+            .contains("oops"));
     }
 }

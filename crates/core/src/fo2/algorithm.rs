@@ -129,8 +129,7 @@ pub fn wfomc_fo2_with_stats(
         if factor.is_zero() {
             continue;
         }
-        let (branch_total, branch_stats) =
-            cell_sum(&branch_matrix, &space, &shape, n)?;
+        let (branch_total, branch_stats) = cell_sum(&branch_matrix, &space, &shape, n)?;
         stats.total_valid_cells += branch_stats.0;
         stats.compositions_summed += branch_stats.1;
         total += factor * branch_total;
@@ -259,7 +258,10 @@ mod tests {
         // ∀x (R(x) ∨ ∃y S(x,y)) and ∃x ∀y R(x,y).
         let f = forall(
             ["x"],
-            or(vec![atom("R", &["x"]), exists(["y"], atom("S", &["x", "y"]))]),
+            or(vec![
+                atom("R", &["x"]),
+                exists(["y"], atom("S", &["x", "y"])),
+            ]),
         );
         check_against_ground(&f, &Weights::from_ints([("R", 1, 2), ("S", 3, 1)]), 3);
 
@@ -286,7 +288,10 @@ mod tests {
         // ∀x R(x,x) ∧ ∀x∀y (R(x,y) → R(y,x)).
         let f = and(vec![
             forall(["x"], atom("R", &["x", "x"])),
-            forall(["x", "y"], implies(atom("R", &["x", "y"]), atom("R", &["y", "x"]))),
+            forall(
+                ["x", "y"],
+                implies(atom("R", &["x", "y"]), atom("R", &["y", "x"])),
+            ),
         ]);
         check_against_ground(&f, &Weights::ones(), 3);
         check_against_ground(&f, &Weights::from_ints([("R", 2, 1)]), 3);

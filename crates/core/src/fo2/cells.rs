@@ -87,7 +87,11 @@ pub fn build_cells(
         let mut weight = Weight::one();
         for (i, p) in space.unary.iter().enumerate() {
             let pair = weights.pair_of(p);
-            weight *= if candidate.unary[i] { pair.pos } else { pair.neg };
+            weight *= if candidate.unary[i] {
+                pair.pos
+            } else {
+                pair.neg
+            };
         }
         for (i, p) in space.binary.iter().enumerate() {
             let pair = weights.pair_of(p);
@@ -213,14 +217,10 @@ fn eval_matrix(
             }
             Ok(false)
         }
-        Formula::Implies(a, b) => Ok(
-            !eval_matrix(a, space, cell_x, cell_y, cross, same_element)?
-                || eval_matrix(b, space, cell_x, cell_y, cross, same_element)?,
-        ),
-        Formula::Iff(a, b) => Ok(
-            eval_matrix(a, space, cell_x, cell_y, cross, same_element)?
-                == eval_matrix(b, space, cell_x, cell_y, cross, same_element)?,
-        ),
+        Formula::Implies(a, b) => Ok(!eval_matrix(a, space, cell_x, cell_y, cross, same_element)?
+            || eval_matrix(b, space, cell_x, cell_y, cross, same_element)?),
+        Formula::Iff(a, b) => Ok(eval_matrix(a, space, cell_x, cell_y, cross, same_element)?
+            == eval_matrix(b, space, cell_x, cell_y, cross, same_element)?),
         Formula::Equals(a, b) => {
             let ra = role_of(a)?;
             let rb = role_of(b)?;
@@ -336,11 +336,9 @@ mod tests {
         let weights = Weights::from_ints([("R", 2, 3), ("T", 5, 7), ("S", 11, 13)]);
         let cells = build_cells(&table1_matrix(), &table1_space(), &weights).unwrap();
         // The cell with R true, T false, S(x,x) false weighs 2·7·13.
-        assert!(cells
-            .iter()
-            .any(|c| c.unary == vec![true, false]
-                && c.reflexive == vec![false]
-                && c.weight == weight_int(2 * 7 * 13)));
+        assert!(cells.iter().any(|c| c.unary == vec![true, false]
+            && c.reflexive == vec![false]
+            && c.weight == weight_int(2 * 7 * 13)));
     }
 
     #[test]

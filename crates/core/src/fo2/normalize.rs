@@ -118,16 +118,8 @@ pub fn fo2_normal_form(
 fn contains_constants(f: &Formula) -> bool {
     let mut found = false;
     f.visit(&mut |node| match node {
-        Formula::Atom(a) => {
-            if a.args.iter().any(Term::is_const) {
-                found = true;
-            }
-        }
-        Formula::Equals(a, b) => {
-            if a.is_const() || b.is_const() {
-                found = true;
-            }
-        }
+        Formula::Atom(a) if a.args.iter().any(Term::is_const) => found = true,
+        Formula::Equals(a, b) if a.is_const() || b.is_const() => found = true,
         _ => {}
     });
     found
@@ -207,10 +199,7 @@ fn extract_inner(f: &Formula, ctx: &mut Ctx) -> Result<Formula, LiftError> {
             extract_inner(a, ctx)?,
             extract_inner(b, ctx)?,
         )),
-        Formula::Iff(a, b) => Ok(Formula::iff(
-            extract_inner(a, ctx)?,
-            extract_inner(b, ctx)?,
-        )),
+        Formula::Iff(a, b) => Ok(Formula::iff(extract_inner(a, ctx)?, extract_inner(b, ctx)?)),
         Formula::Forall(v, g) | Formula::Exists(v, g) => {
             let is_forall = matches!(f, Formula::Forall(..));
             let inner = extract_inner(g, ctx)?;
@@ -228,10 +217,7 @@ fn extract_inner(f: &Formula, ctx: &mut Ctx) -> Result<Formula, LiftError> {
                 });
             }
             let def = ctx.fresh("Def", outer.len(), 1, 1);
-            let def_atom = Formula::atom(
-                def,
-                outer.iter().map(|u| Term::Var(u.clone())).collect(),
-            );
+            let def_atom = Formula::atom(def, outer.iter().map(|u| Term::Var(u.clone())).collect());
 
             let mut forall_prefix: Vec<(Quantifier, Variable)> = outer
                 .iter()
@@ -289,7 +275,8 @@ fn handle_prefix_piece(
             Ok(())
         }
         [(Quantifier::Forall, u)] => {
-            ctx.pieces.push(rename_to_canonical(&matrix, &[u.clone()]));
+            ctx.pieces
+                .push(rename_to_canonical(&matrix, std::slice::from_ref(u)));
             Ok(())
         }
         [(Quantifier::Forall, u), (Quantifier::Forall, v)] => {
@@ -313,7 +300,7 @@ fn handle_prefix_piece(
             let z_atom = Formula::atom(z, vec![]);
             let new_matrix = Formula::or(Formula::not(matrix), z_atom);
             ctx.pieces
-                .push(rename_to_canonical(&new_matrix, &[u.clone()]));
+                .push(rename_to_canonical(&new_matrix, std::slice::from_ref(u)));
             Ok(())
         }
         [(Quantifier::Exists, u), rest @ ..] => {
@@ -393,15 +380,15 @@ mod tests {
         // ∀x (R(x) ∨ ∃y S(x,y)): the nested ∃y subformula is named.
         let f = forall(
             ["x"],
-            or(vec![atom("R", &["x"]), exists(["y"], atom("S", &["x", "y"]))]),
+            or(vec![
+                atom("R", &["x"]),
+                exists(["y"], atom("S", &["x", "y"])),
+            ]),
         );
         let shape = fo2_normal_form(&f, &f.vocabulary(), &Weights::ones()).unwrap();
         // One Def predicate plus one Skolem from its ∀∃ direction.
         assert!(shape.introduced.len() >= 2);
-        assert!(shape
-            .introduced
-            .iter()
-            .any(|p| p.name().starts_with("Def")));
+        assert!(shape.introduced.iter().any(|p| p.name().starts_with("Def")));
         assert!(shape.introduced.iter().any(|p| p.name().starts_with("Sk")));
         assert!(shape.matrix.is_quantifier_free());
     }

@@ -12,6 +12,7 @@
 
 use num_traits::{One, Zero};
 
+use wfomc_ground::CompiledWfomc;
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::term::Term;
 use wfomc_logic::vocabulary::{Predicate, Vocabulary};
@@ -62,6 +63,20 @@ pub fn wfomc_via_equality_removal(
     mut oracle: impl FnMut(&Formula, &Vocabulary, usize, &Weights) -> Weight,
 ) -> Weight {
     let rewritten = remove_equality(formula, vocabulary);
+    coefficient_by_interpolation(&rewritten, n, weights, |w| {
+        oracle(&rewritten.formula, &rewritten.vocabulary, n, w)
+    })
+}
+
+/// Shared core of the two equality-removal entry points: sweeps
+/// `w(E) = z` over the `n² + 1` interpolation points, evaluates each with
+/// the supplied counter, and extracts the coefficient of `zⁿ`.
+fn coefficient_by_interpolation(
+    rewritten: &EqualityFree,
+    n: usize,
+    weights: &Weights,
+    mut point_value: impl FnMut(&Weights) -> Weight,
+) -> Weight {
     let degree = n * n;
     let mut points: Vec<(Weight, Weight)> = Vec::with_capacity(degree + 1);
     for z in 0..=degree {
@@ -71,11 +86,29 @@ pub fn wfomc_via_equality_removal(
             weight_int(z as i64),
             weight_int(1),
         );
-        let value = oracle(&rewritten.formula, &rewritten.vocabulary, n, &w);
-        points.push((weight_int(z as i64), value));
+        points.push((weight_int(z as i64), point_value(&w)));
     }
     let coefficients = interpolate(&points);
     coefficients.get(n).cloned().unwrap_or_else(Weight::zero)
+}
+
+/// Computes `WFOMC(Φ, n, w, w̄)` for a sentence Φ *with* equality through the
+/// **compiled** grounded pipeline: the rewritten sentence is grounded and
+/// knowledge-compiled to a d-DNNF circuit *once*, and the `n² + 1`
+/// interpolation points are then `n² + 1` linear circuit evaluations — the
+/// compile-once / evaluate-many payoff of `wfomc-circuit`.
+///
+/// Equivalent to [`wfomc_via_equality_removal`] with a grounded oracle, but
+/// without re-running the counting search per evaluation point.
+pub fn wfomc_via_equality_removal_compiled(
+    formula: &Formula,
+    vocabulary: &Vocabulary,
+    n: usize,
+    weights: &Weights,
+) -> Weight {
+    let rewritten = remove_equality(formula, vocabulary);
+    let compiled = CompiledWfomc::compile(&rewritten.formula, &rewritten.vocabulary, n);
+    coefficient_by_interpolation(&rewritten, n, weights, |w| compiled.wfomc(w))
 }
 
 /// Lagrange interpolation: given `d+1` points with distinct x-coordinates,
@@ -140,7 +173,9 @@ mod tests {
         let f = forall(["x", "y"], or(vec![atom("R", &["x", "y"]), eq("x", "y")]));
         let rewritten = remove_equality(&f, &f.vocabulary());
         assert!(!rewritten.formula.uses_equality());
-        assert!(rewritten.vocabulary.contains(rewritten.equality_predicate.name()));
+        assert!(rewritten
+            .vocabulary
+            .contains(rewritten.equality_predicate.name()));
     }
 
     #[test]
@@ -174,6 +209,33 @@ mod tests {
         assert_eq!(direct, via_removal);
         // Sanity: 16 structures over E/2 at n=2, all satisfy the axiom.
         assert_eq!(direct, weight_int(16));
+    }
+
+    #[test]
+    fn compiled_equality_removal_matches_brute_force() {
+        let f = forall(["x", "y"], or(vec![atom("R", &["x", "y"]), eq("x", "y")]));
+        let voc = f.vocabulary();
+        let weights = Weights::from_ints([("R", 2, 3)]);
+        for n in 0..=2 {
+            let direct = brute_force_wfomc(&f, &voc, n, &weights);
+            let compiled = wfomc_via_equality_removal_compiled(&f, &voc, n, &weights);
+            assert_eq!(direct, compiled, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn compiled_equality_removal_matches_the_oracle_formulation() {
+        // The extension-axiom pipeline, through one compiled circuit instead
+        // of n² + 1 oracle searches.
+        let f = catalog::extension_axiom();
+        let voc = f.vocabulary();
+        let n = 2;
+        let via_oracle = wfomc_via_equality_removal(&f, &voc, n, &Weights::ones(), |g, v, n, w| {
+            ground_wfomc(g, v, n, w)
+        });
+        let via_circuit = wfomc_via_equality_removal_compiled(&f, &voc, n, &Weights::ones());
+        assert_eq!(via_oracle, via_circuit);
+        assert_eq!(via_circuit, weight_int(16));
     }
 
     #[test]

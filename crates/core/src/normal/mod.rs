@@ -18,6 +18,8 @@ pub mod equality;
 pub mod negation;
 pub mod skolem;
 
-pub use equality::{remove_equality, wfomc_via_equality_removal, EqualityFree};
+pub use equality::{
+    remove_equality, wfomc_via_equality_removal, wfomc_via_equality_removal_compiled, EqualityFree,
+};
 pub use negation::{remove_negation, NegationFree};
 pub use skolem::{skolemize, Skolemized};

@@ -161,7 +161,10 @@ fn rewrite(
 pub fn is_positive(f: &Formula) -> bool {
     let mut positive = true;
     f.visit(&mut |node| {
-        if matches!(node, Formula::Not(_) | Formula::Implies(..) | Formula::Iff(..)) {
+        if matches!(
+            node,
+            Formula::Not(_) | Formula::Implies(..) | Formula::Iff(..)
+        ) {
             positive = false;
         }
     });
@@ -189,7 +192,10 @@ mod tests {
     #[test]
     fn removes_negation_from_clause() {
         // ∀x∀y (R(x) ∨ ¬S(x,y)).
-        let f = forall(["x", "y"], or(vec![atom("R", &["x"]), not(atom("S", &["x", "y"]))]));
+        let f = forall(
+            ["x", "y"],
+            or(vec![atom("R", &["x"]), not(atom("S", &["x", "y"]))]),
+        );
         check_preserves_wfomc(&f, &Weights::from_ints([("R", 2, 1), ("S", 1, 3)]), 2);
         let nf = remove_negation(&f, &f.vocabulary(), &Weights::ones()).unwrap();
         assert_eq!(nf.introduced.len(), 1);
@@ -229,7 +235,10 @@ mod tests {
         // ¬S(x,y) and ¬S(y,x) are different subformulas.
         let f = forall(
             ["x", "y"],
-            or(vec![not(atom("S", &["x", "y"])), not(atom("S", &["y", "x"]))]),
+            or(vec![
+                not(atom("S", &["x", "y"])),
+                not(atom("S", &["y", "x"])),
+            ]),
         );
         let nf = remove_negation(&f, &f.vocabulary(), &Weights::ones()).unwrap();
         assert_eq!(nf.introduced.len(), 2);

@@ -121,7 +121,10 @@ mod tests {
         let sk = skolemize(&f, &f.vocabulary(), &Weights::ones());
         assert_eq!(sk.skolem_predicates.len(), 1);
         // The Skolem predicate has arity 1 (one universal variable before ∃).
-        assert_eq!(sk.vocabulary.get(&sk.skolem_predicates[0]).unwrap().arity(), 1);
+        assert_eq!(
+            sk.vocabulary.get(&sk.skolem_predicates[0]).unwrap().arity(),
+            1
+        );
         // Unweighted counts are NOT preserved (the lemma needs weight −1).
         let n = 2;
         let fomc_orig = brute_force_wfomc(&f, &f.vocabulary(), n, &Weights::ones());
@@ -136,7 +139,10 @@ mod tests {
         let sk = skolemize(&f, &f.vocabulary(), &Weights::ones());
         // The universal prefix before the ∃ is empty, so the Skolem predicate
         // is nullary.
-        assert_eq!(sk.vocabulary.get(&sk.skolem_predicates[0]).unwrap().arity(), 0);
+        assert_eq!(
+            sk.vocabulary.get(&sk.skolem_predicates[0]).unwrap().arity(),
+            0
+        );
     }
 
     #[test]

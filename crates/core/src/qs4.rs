@@ -94,9 +94,7 @@ fn qs4_tables(
             } else {
                 let mut total = Weight::from_integer(0.into());
                 for k in 1..=n1 {
-                    total += binomial_weight(n1, k)
-                        * weight_pow(w, k * n2)
-                        * g[n1 - k][n2].clone();
+                    total += binomial_weight(n1, k) * weight_pow(w, k * n2) * g[n1 - k][n2].clone();
                 }
                 f[n1][n2] = total;
             }
@@ -105,9 +103,8 @@ fn qs4_tables(
             } else {
                 let mut total = Weight::from_integer(0.into());
                 for l in 1..=n2 {
-                    total += binomial_weight(n2, l)
-                        * weight_pow(w_bar, n1 * l)
-                        * f[n1][n2 - l].clone();
+                    total +=
+                        binomial_weight(n2, l) * weight_pow(w_bar, n1 * l) * f[n1][n2 - l].clone();
                 }
                 g[n1][n2] = total;
             }

@@ -57,6 +57,9 @@ pub struct SolverReport {
     pub value: Weight,
     /// The method used.
     pub method: Method,
+    /// The propositional backend, when the grounded fallback produced the
+    /// result (`None` for lifted methods, which never touch a counter).
+    pub backend: Option<WmcBackend>,
 }
 
 /// The dispatching solver.
@@ -104,6 +107,15 @@ impl Solver {
         }
     }
 
+    /// A solver whose grounded fallback uses the chosen propositional
+    /// backend (e.g. [`WmcBackend::Circuit`] for knowledge compilation).
+    pub fn with_ground_backend(backend: WmcBackend) -> Self {
+        Solver {
+            ground_backend: backend,
+            ..Solver::default()
+        }
+    }
+
     /// Symmetric WFOMC of a sentence over `vocabulary` and a domain of size
     /// `n`.
     pub fn wfomc(
@@ -126,6 +138,7 @@ impl Solver {
                 return Ok(SolverReport {
                     value,
                     method: Method::Qs4,
+                    backend: None,
                 });
             }
 
@@ -135,6 +148,7 @@ impl Solver {
                     return Ok(SolverReport {
                         value,
                         method: Method::Fo2,
+                        backend: None,
                     })
                 }
                 Err(LiftError::Internal(msg)) => return Err(LiftError::Internal(msg)),
@@ -144,11 +158,12 @@ impl Solver {
             // 3. The γ-acyclic CQ algorithm.
             if let Some(query) = ConjunctiveQuery::from_formula(sentence) {
                 if let Ok(value) = gamma_acyclic_wfomc(&query, n, weights) {
-                    let value = value
-                        * extra_vocabulary_factor(&full_voc, &query.vocabulary(), n, weights);
+                    let value =
+                        value * extra_vocabulary_factor(&full_voc, &query.vocabulary(), n, weights);
                     return Ok(SolverReport {
                         value,
                         method: Method::GammaAcyclicCq,
+                        backend: None,
                     });
                 }
             }
@@ -161,11 +176,12 @@ impl Solver {
                     .to_string(),
             });
         }
-        let value = GroundSolver::with_backend(self.ground_backend)
-            .wfomc(sentence, &full_voc, n, weights);
+        let value =
+            GroundSolver::with_backend(self.ground_backend).wfomc(sentence, &full_voc, n, weights);
         Ok(SolverReport {
             value,
             method: Method::Ground,
+            backend: Some(self.ground_backend),
         })
     }
 
@@ -194,6 +210,7 @@ impl Solver {
         Ok(SolverReport {
             value: report.value / normalization,
             method: report.method,
+            backend: report.backend,
         })
     }
 }
@@ -254,7 +271,10 @@ mod tests {
         let f = q.to_formula();
         let report = solver.fomc(&f, 2).unwrap();
         assert_eq!(report.method, Method::GammaAcyclicCq);
-        assert_eq!(report.value, ground_wfomc(&f, &f.vocabulary(), 2, &Weights::ones()));
+        assert_eq!(
+            report.value,
+            ground_wfomc(&f, &f.vocabulary(), 2, &Weights::ones())
+        );
     }
 
     #[test]
@@ -291,6 +311,24 @@ mod tests {
     }
 
     #[test]
+    fn circuit_ground_backend_matches_dpll_and_is_reported() {
+        let f = catalog::transitivity();
+        let dpll = Solver::ground_only().fomc(&f, 2).unwrap();
+        let circuit_solver = Solver {
+            use_lifted: false,
+            ..Solver::with_ground_backend(WmcBackend::Circuit)
+        };
+        let circuit = circuit_solver.fomc(&f, 2).unwrap();
+        assert_eq!(dpll.value, circuit.value);
+        assert_eq!(circuit.method, Method::Ground);
+        assert_eq!(circuit.backend, Some(WmcBackend::Circuit));
+        assert_eq!(dpll.backend, Some(WmcBackend::Dpll));
+        // Lifted methods never report a propositional backend.
+        let lifted = Solver::new().fomc(&catalog::table1_sentence(), 2).unwrap();
+        assert_eq!(lifted.backend, None);
+    }
+
+    #[test]
     fn probability_normalizes_by_wfomc_of_true() {
         let solver = Solver::new();
         let f = catalog::exists_unary();
@@ -316,9 +354,6 @@ mod tests {
     fn open_formula_is_rejected() {
         let solver = Solver::new();
         let f = wfomc_logic::builders::atom("R", &["x"]);
-        assert!(matches!(
-            solver.fomc(&f, 2),
-            Err(LiftError::NotASentence)
-        ));
+        assert!(matches!(solver.fomc(&f, 2), Err(LiftError::NotASentence)));
     }
 }

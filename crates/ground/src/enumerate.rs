@@ -57,9 +57,7 @@ pub fn brute_force_wfomc(
     weights: &Weights,
 ) -> Weight {
     assert!(
-        formula
-            .vocabulary()
-            .is_subvocabulary_of(vocabulary),
+        formula.vocabulary().is_subvocabulary_of(vocabulary),
         "the sentence mentions predicates outside the supplied vocabulary"
     );
     let mut total = Weight::zero();

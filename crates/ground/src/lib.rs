@@ -29,4 +29,4 @@ pub mod wfomc;
 pub use enumerate::{brute_force_fomc, brute_force_wfomc};
 pub use lineage::{GroundAtom, Lineage};
 pub use structure::Structure;
-pub use wfomc::{fomc, probability, wfomc, wfomc_asymmetric, GroundSolver};
+pub use wfomc::{fomc, probability, wfomc, wfomc_asymmetric, CompiledWfomc, GroundSolver};

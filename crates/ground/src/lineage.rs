@@ -111,7 +111,10 @@ impl Lineage {
 
     /// Asymmetric per-variable weights: each ground tuple gets its own pair,
     /// supplied by the callback (the Table 1 "asymmetric WFOMC" row).
-    pub fn asymmetric_weights(&self, mut weight_of: impl FnMut(&GroundAtom) -> (Weight, Weight)) -> VarWeights {
+    pub fn asymmetric_weights(
+        &self,
+        mut weight_of: impl FnMut(&GroundAtom) -> (Weight, Weight),
+    ) -> VarWeights {
         let mut vw = VarWeights::ones(0);
         for atom in &self.atoms {
             let (pos, neg) = weight_of(atom);
@@ -151,14 +154,10 @@ fn ground(
         Formula::Not(g) => PropFormula::not(ground(g, n, index, env)),
         Formula::And(gs) => PropFormula::and_all(gs.iter().map(|g| ground(g, n, index, env))),
         Formula::Or(gs) => PropFormula::or_all(gs.iter().map(|g| ground(g, n, index, env))),
-        Formula::Implies(a, b) => PropFormula::implies(
-            ground(a, n, index, env),
-            ground(b, n, index, env),
-        ),
-        Formula::Iff(a, b) => PropFormula::iff(
-            ground(a, n, index, env),
-            ground(b, n, index, env),
-        ),
+        Formula::Implies(a, b) => {
+            PropFormula::implies(ground(a, n, index, env), ground(b, n, index, env))
+        }
+        Formula::Iff(a, b) => PropFormula::iff(ground(a, n, index, env), ground(b, n, index, env)),
         Formula::Forall(v, g) => PropFormula::and_all((0..n).map(|c| {
             let mut ext = env.clone();
             ext.insert(v.clone(), c);
@@ -256,9 +255,8 @@ mod tests {
         let f = catalog::exists_unary();
         let voc = f.vocabulary();
         let lin = Lineage::build(&f, &voc, 3);
-        let vw = lin.asymmetric_weights(|atom| {
-            (weight_int(atom.tuple[0] as i64 + 1), weight_int(1))
-        });
+        let vw =
+            lin.asymmetric_weights(|atom| (weight_int(atom.tuple[0] as i64 + 1), weight_int(1)));
         assert_eq!(vw.pos(0), &weight_int(1));
         assert_eq!(vw.pos(2), &weight_int(3));
     }

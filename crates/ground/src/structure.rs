@@ -71,7 +71,10 @@ impl Structure {
 
     /// Number of tuples of one relation.
     pub fn relation_size(&self, predicate: &str) -> usize {
-        self.relations.get(predicate).map(BTreeSet::len).unwrap_or(0)
+        self.relations
+            .get(predicate)
+            .map(BTreeSet::len)
+            .unwrap_or(0)
     }
 
     /// Total number of tuples in the structure.
@@ -101,7 +104,10 @@ impl Structure {
     /// probability to 1).
     pub fn fill_relation(&mut self, predicate: &Predicate) {
         let tuples = all_tuples(self.domain_size, predicate.arity());
-        let rel = self.relations.entry(predicate.name().to_string()).or_default();
+        let rel = self
+            .relations
+            .entry(predicate.name().to_string())
+            .or_default();
         for t in tuples {
             rel.insert(t);
         }

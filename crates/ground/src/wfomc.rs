@@ -8,7 +8,9 @@
 
 use wfomc_logic::weights::{Weight, Weights};
 use wfomc_logic::{Formula, Vocabulary};
-use wfomc_prop::counter::{wmc_formula_via, WmcBackend};
+use wfomc_prop::counter::{wmc_formula_via, CompiledWmc, WmcBackend};
+use wfomc_prop::tseitin::{to_cnf, TseitinCnf};
+use wfomc_prop::VarWeights;
 
 use crate::lineage::{GroundAtom, Lineage};
 
@@ -88,6 +90,64 @@ impl GroundSolver {
     }
 }
 
+/// A sentence grounded at a fixed domain size and compiled **once** into a
+/// smoothed d-DNNF circuit, for evaluation under many weight functions.
+///
+/// The pipeline `lineage → Tseitin CNF → circuit` is weight-independent, so
+/// the expensive steps run a single time; [`CompiledWfomc::wfomc`] then
+/// costs one linear circuit pass per weight function. This is the fast path
+/// behind the Lemma 3.5 equality-removal interpolation (`n² + 1` weight
+/// points on one sentence) and any repeated-query workload that varies
+/// weights but not the sentence or domain.
+#[derive(Clone, Debug)]
+pub struct CompiledWfomc {
+    lineage: Lineage,
+    tseitin: TseitinCnf,
+    compiled: CompiledWmc,
+}
+
+impl CompiledWfomc {
+    /// Grounds the sentence over a domain of size `n` and compiles its
+    /// lineage CNF to a circuit.
+    pub fn compile(formula: &Formula, vocabulary: &Vocabulary, n: usize) -> CompiledWfomc {
+        let lineage = Lineage::build(formula, vocabulary, n);
+        let tseitin = to_cnf(&lineage.prop, &VarWeights::ones(lineage.num_vars()));
+        let compiled = CompiledWmc::compile(&tseitin.cnf);
+        CompiledWfomc {
+            lineage,
+            tseitin,
+            compiled,
+        }
+    }
+
+    /// Symmetric WFOMC under a weight function — one circuit evaluation, no
+    /// recompilation.
+    pub fn wfomc(&self, weights: &Weights) -> Weight {
+        let var_weights = self.lineage.symmetric_weights(weights);
+        self.compiled.wmc(&self.tseitin.weights_for(&var_weights))
+    }
+
+    /// Asymmetric WFOMC: every ground tuple gets its own weight pair from
+    /// the callback, evaluated on the same compiled circuit.
+    pub fn wfomc_asymmetric(
+        &self,
+        weight_of: impl FnMut(&GroundAtom) -> (Weight, Weight),
+    ) -> Weight {
+        let var_weights = self.lineage.asymmetric_weights(weight_of);
+        self.compiled.wmc(&self.tseitin.weights_for(&var_weights))
+    }
+
+    /// The underlying lineage (ground atoms and propositional formula).
+    pub fn lineage(&self) -> &Lineage {
+        &self.lineage
+    }
+
+    /// The compiled circuit with its statistics.
+    pub fn compiled(&self) -> &CompiledWmc {
+        &self.compiled
+    }
+}
+
 /// Symmetric WFOMC via the default (DPLL) grounded pipeline.
 pub fn wfomc(formula: &Formula, vocabulary: &Vocabulary, n: usize, weights: &Weights) -> Weight {
     GroundSolver::new().wfomc(formula, vocabulary, n, weights)
@@ -99,7 +159,12 @@ pub fn fomc(formula: &Formula, n: usize) -> Weight {
 }
 
 /// Probability via the default grounded pipeline.
-pub fn probability(formula: &Formula, vocabulary: &Vocabulary, n: usize, weights: &Weights) -> Weight {
+pub fn probability(
+    formula: &Formula,
+    vocabulary: &Vocabulary,
+    n: usize,
+    weights: &Weights,
+) -> Weight {
     GroundSolver::new().probability(formula, vocabulary, n, weights)
 }
 
@@ -209,15 +274,56 @@ mod tests {
     }
 
     #[test]
+    fn compiled_pipeline_matches_per_call_pipeline() {
+        let f = catalog::table1_sentence();
+        let voc = f.vocabulary();
+        let compiled = CompiledWfomc::compile(&f, &voc, 2);
+        // One compilation, several weight functions.
+        for (r, s, t) in [(1, 1, 1), (2, 3, 1), (5, 1, 7), (0, 2, 2)] {
+            let w = Weights::from_ints([("R", r, 1), ("S", s, 1), ("T", t, 2)]);
+            assert_eq!(
+                compiled.wfomc(&w),
+                wfomc(&f, &voc, 2, &w),
+                "weights ({r},{s},{t})"
+            );
+        }
+        assert!(compiled.compiled().stats().nodes > 2);
+        assert_eq!(compiled.lineage().num_vars(), voc.num_ground_tuples(2));
+    }
+
+    #[test]
+    fn compiled_pipeline_supports_asymmetric_weights() {
+        let f = catalog::exists_unary();
+        let voc = f.vocabulary();
+        let compiled = CompiledWfomc::compile(&f, &voc, 3);
+        let asym =
+            compiled.wfomc_asymmetric(|atom| (weight_int(atom.tuple[0] as i64 + 1), weight_int(1)));
+        // Same closed form as the per-call asymmetric test: (2·3·4) − 1.
+        assert_eq!(asym, weight_int(23));
+        // And the same circuit still answers the symmetric query.
+        assert_eq!(
+            compiled.wfomc(&Weights::ones()),
+            wfomc(&f, &voc, 3, &Weights::ones())
+        );
+    }
+
+    #[test]
+    fn circuit_backend_agrees_through_the_ground_solver() {
+        let f = catalog::table1_sentence();
+        let voc = f.vocabulary();
+        let weights = Weights::from_ints([("R", 1, 2), ("S", 3, 1), ("T", 1, 1)]);
+        let dpll = GroundSolver::with_backend(WmcBackend::Dpll).wfomc(&f, &voc, 2, &weights);
+        let circuit = GroundSolver::with_backend(WmcBackend::Circuit).wfomc(&f, &voc, 2, &weights);
+        assert_eq!(dpll, circuit);
+    }
+
+    #[test]
     fn spouse_constraint_counts() {
         // Cross-check the MLN-style constraint against brute force at n = 2
         // with nontrivial weights.
         let f = catalog::spouse_constraint();
         let voc = f.vocabulary();
         let w = Weights::from_ints([("Spouse", 1, 1), ("Female", 3, 1), ("Male", 1, 4)]);
-        assert_eq!(
-            wfomc(&f, &voc, 2, &w),
-            brute_force_wfomc(&f, &voc, 2, &w)
-        );
+        assert_eq!(wfomc(&f, &voc, 2, &w), brute_force_wfomc(&f, &voc, 2, &w));
     }
 }

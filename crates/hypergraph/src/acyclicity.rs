@@ -233,12 +233,8 @@ impl Hypergraph {
     pub fn gamma_reduction_trace(&self) -> GammaReductionTrace {
         let mut edges = self.edge_sets();
         let mut steps = Vec::new();
-        loop {
-            if let Some(step) = gamma_step(&mut edges) {
-                steps.push(step);
-            } else {
-                break;
-            }
+        while let Some(step) = gamma_step(&mut edges) {
+            steps.push(step);
         }
         GammaReductionTrace {
             steps,
@@ -307,7 +303,10 @@ fn gamma_step(edges: &mut Vec<BTreeSet<NodeId>>) -> Option<ReductionStep> {
         for j in (i + 1)..edges.len() {
             if edges[i] == edges[j] {
                 edges.remove(j);
-                return Some(ReductionStep::DuplicateEdge { kept: i, removed: j });
+                return Some(ReductionStep::DuplicateEdge {
+                    kept: i,
+                    removed: j,
+                });
             }
         }
     }
@@ -335,7 +334,10 @@ fn gamma_step(edges: &mut Vec<BTreeSet<NodeId>>) -> Option<ReductionStep> {
                 for e in edges.iter_mut() {
                     e.remove(&b);
                 }
-                return Some(ReductionStep::EquivalentNodes { kept: a, removed: b });
+                return Some(ReductionStep::EquivalentNodes {
+                    kept: a,
+                    removed: b,
+                });
             }
         }
     }
@@ -348,7 +350,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn chain() -> Hypergraph {
-        Hypergraph::from_named_edges([("R1", vec!["x0", "x1"]), ("R2", vec!["x1", "x2"]), ("R3", vec!["x2", "x3"])])
+        Hypergraph::from_named_edges([
+            ("R1", vec!["x0", "x1"]),
+            ("R2", vec!["x1", "x2"]),
+            ("R3", vec!["x2", "x3"]),
+        ])
     }
 
     fn triangle() -> Hypergraph {
@@ -397,7 +403,9 @@ mod tests {
         assert!(!hg.is_beta_acyclic());
         assert!(!hg.is_gamma_acyclic());
         assert_eq!(hg.classify(), AcyclicityClass::Cyclic);
-        let (edges, nodes) = hg.find_weak_beta_cycle().expect("triangle has a weak β-cycle");
+        let (edges, nodes) = hg
+            .find_weak_beta_cycle()
+            .expect("triangle has a weak β-cycle");
         assert_eq!(edges.len(), 3);
         assert_eq!(nodes.len(), 3);
     }

@@ -55,7 +55,11 @@ impl Hypergraph {
     ///
     /// # Panics
     /// Panics if a node id is out of range.
-    pub fn add_edge(&mut self, label: impl Into<String>, nodes: impl IntoIterator<Item = NodeId>) -> EdgeId {
+    pub fn add_edge(
+        &mut self,
+        label: impl Into<String>,
+        nodes: impl IntoIterator<Item = NodeId>,
+    ) -> EdgeId {
         let nodes: BTreeSet<NodeId> = nodes.into_iter().collect();
         for &n in &nodes {
             assert!(n < self.node_labels.len(), "node {n} does not exist");
@@ -105,7 +109,10 @@ impl Hypergraph {
 
     /// All nodes that occur in at least one edge.
     pub fn covered_nodes(&self) -> BTreeSet<NodeId> {
-        self.edges.iter().flat_map(|e| e.nodes.iter().copied()).collect()
+        self.edges
+            .iter()
+            .flat_map(|e| e.nodes.iter().copied())
+            .collect()
     }
 
     /// The sub-hypergraph induced by a subset of edges (nodes are kept as-is).

@@ -114,9 +114,7 @@ impl Clause {
 
     /// True if every literal is a positive relational literal (no equality).
     pub fn is_positive(&self) -> bool {
-        self.literals
-            .iter()
-            .all(|l| l.positive && !l.is_equality())
+        self.literals.iter().all(|l| l.positive && !l.is_equality())
     }
 
     /// True if the clause mentions equality.
@@ -253,9 +251,7 @@ fn distribute_to_cnf(f: &Formula) -> Option<Vec<Clause>> {
             }
             Some(acc)
         }
-        Formula::Implies(..) | Formula::Iff(..) | Formula::Forall(..) | Formula::Exists(..) => {
-            None
-        }
+        Formula::Implies(..) | Formula::Iff(..) | Formula::Forall(..) | Formula::Exists(..) => None,
     }
 }
 
@@ -263,8 +259,8 @@ fn distribute_to_cnf(f: &Formula) -> Option<Vec<Clause>> {
 mod tests {
     use super::*;
     use crate::builders::*;
-    use crate::vocabulary::Predicate;
     use crate::term::Term;
+    use crate::vocabulary::Predicate;
 
     fn lit(name: &str, vars: &[&str], positive: bool) -> Literal {
         let a = Atom::new(

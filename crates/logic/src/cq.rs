@@ -101,9 +101,7 @@ impl ConjunctiveQuery {
         // A Boolean CQ must have every variable quantified.
         let vars: BTreeSet<_> = q.variables().into_iter().collect();
         let bound: BTreeSet<_> = bound.into_iter().collect();
-        if vars.is_subset(&bound) || bound.is_empty() && vars.is_empty() {
-            Some(q)
-        } else if vars.is_subset(&bound) {
+        if vars.is_subset(&bound) {
             Some(q)
         } else {
             // Free variables present: not a Boolean CQ.
@@ -124,11 +122,7 @@ impl ConjunctiveQuery {
     /// specialized algorithms do not support.
     pub fn has_repeated_variable_in_atom(&self) -> bool {
         self.atoms.iter().any(|a| {
-            let vars: Vec<_> = a
-                .args
-                .iter()
-                .filter_map(|t| t.as_var().cloned())
-                .collect();
+            let vars: Vec<_> = a.args.iter().filter_map(|t| t.as_var().cloned()).collect();
             let set: BTreeSet<_> = vars.iter().cloned().collect();
             set.len() != vars.len()
         })
@@ -136,9 +130,7 @@ impl ConjunctiveQuery {
 
     /// True if every argument of every atom is a variable (no constants).
     pub fn is_constant_free(&self) -> bool {
-        self.atoms
-            .iter()
-            .all(|a| a.args.iter().all(Term::is_var))
+        self.atoms.iter().all(|a| a.args.iter().all(Term::is_var))
     }
 }
 

@@ -49,7 +49,7 @@ pub use weights::{Weight, Weights};
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::builders::*;
-    pub use crate::clause::{Clause, ClausalSentence, Literal};
+    pub use crate::clause::{ClausalSentence, Clause, Literal};
     pub use crate::cq::ConjunctiveQuery;
     pub use crate::syntax::{Atom, Formula};
     pub use crate::term::{Constant, Term, Variable};

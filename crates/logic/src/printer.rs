@@ -121,10 +121,7 @@ mod tests {
                 atom("T", &["y"]),
             ]),
         );
-        assert_eq!(
-            f.to_string(),
-            "forall x. forall y. R(x) | !S(x,y) | T(y)"
-        );
+        assert_eq!(f.to_string(), "forall x. forall y. R(x) | !S(x,y) | T(y)");
     }
 
     #[test]

@@ -115,6 +115,7 @@ impl Formula {
     }
 
     /// Negation, collapsing double negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::Not(inner) => *inner,
@@ -387,10 +388,9 @@ impl Formula {
             Formula::Not(g) => Formula::Not(Box::new(g.map_bottom_up(f))),
             Formula::And(gs) => Formula::And(gs.iter().map(|g| g.map_bottom_up(f)).collect()),
             Formula::Or(gs) => Formula::Or(gs.iter().map(|g| g.map_bottom_up(f)).collect()),
-            Formula::Implies(a, b) => Formula::Implies(
-                Box::new(a.map_bottom_up(f)),
-                Box::new(b.map_bottom_up(f)),
-            ),
+            Formula::Implies(a, b) => {
+                Formula::Implies(Box::new(a.map_bottom_up(f)), Box::new(b.map_bottom_up(f)))
+            }
             Formula::Iff(a, b) => {
                 Formula::Iff(Box::new(a.map_bottom_up(f)), Box::new(b.map_bottom_up(f)))
             }
@@ -464,7 +464,10 @@ mod tests {
 
     #[test]
     fn sentence_detection_and_size() {
-        let f = forall(["x", "y"], or(vec![atom("R", &["x"]), atom("S", &["x", "y"])]));
+        let f = forall(
+            ["x", "y"],
+            or(vec![atom("R", &["x"]), atom("S", &["x", "y"])]),
+        );
         assert!(f.is_sentence());
         assert!(f.size() > 4);
         assert!(!f.uses_equality());

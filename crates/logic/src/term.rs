@@ -31,8 +31,7 @@ impl Variable {
     where
         I: IntoIterator<Item = &'a Variable>,
     {
-        let taken: std::collections::HashSet<&str> =
-            taken.into_iter().map(|v| v.name()).collect();
+        let taken: std::collections::HashSet<&str> = taken.into_iter().map(|v| v.name()).collect();
         if !taken.contains(self.name()) {
             return self.clone();
         }
@@ -180,7 +179,7 @@ mod tests {
     #[test]
     fn fresh_variable_avoids_collisions() {
         let x = Variable::new("x");
-        let taken = vec![Variable::new("x"), Variable::new("x_0")];
+        let taken = [Variable::new("x"), Variable::new("x_0")];
         let fresh = x.fresh_avoiding(taken.iter());
         assert_eq!(fresh.name(), "x_1");
     }
@@ -188,7 +187,7 @@ mod tests {
     #[test]
     fn fresh_variable_keeps_name_when_free() {
         let x = Variable::new("x");
-        let taken = vec![Variable::new("y")];
+        let taken = [Variable::new("y")];
         assert_eq!(x.fresh_avoiding(taken.iter()), x);
     }
 

@@ -61,7 +61,9 @@ impl Prenex {
 
     /// Index of the first existential quantifier, if any.
     pub fn first_existential(&self) -> Option<usize> {
-        self.prefix.iter().position(|(q, _)| *q == Quantifier::Exists)
+        self.prefix
+            .iter()
+            .position(|(q, _)| *q == Quantifier::Exists)
     }
 }
 
@@ -430,7 +432,10 @@ mod tests {
 
     #[test]
     fn simplify_constants_and_equality() {
-        let f = and(vec![Formula::Top, or(vec![atom("R", &["x"]), Formula::Bottom])]);
+        let f = and(vec![
+            Formula::Top,
+            or(vec![atom("R", &["x"]), Formula::Bottom]),
+        ]);
         assert_eq!(simplify(&f), atom("R", &["x"]));
         assert_eq!(simplify(&eq("#1", "#1")), Formula::Top);
         assert_eq!(simplify(&eq("#1", "#2")), Formula::Bottom);
@@ -443,7 +448,10 @@ mod tests {
     fn simplify_implication_and_iff() {
         let r = atom("R", &["x"]);
         assert_eq!(simplify(&implies(Formula::Top, r.clone())), r);
-        assert_eq!(simplify(&implies(r.clone(), Formula::Bottom)), not(r.clone()));
+        assert_eq!(
+            simplify(&implies(r.clone(), Formula::Bottom)),
+            not(r.clone())
+        );
         assert_eq!(simplify(&iff(r.clone(), r.clone())), Formula::Top);
     }
 
@@ -498,7 +506,10 @@ mod tests {
         // ∀x (R(x) ∨ ∃y S(x,y)) — prefix ∀x ∃y, matrix quantifier-free.
         let f = forall(
             ["x"],
-            or(vec![atom("R", &["x"]), exists(["y"], atom("S", &["x", "y"]))]),
+            or(vec![
+                atom("R", &["x"]),
+                exists(["y"], atom("S", &["x", "y"])),
+            ]),
         );
         let p = prenex(&f);
         assert!(p.matrix.is_quantifier_free());

@@ -149,10 +149,7 @@ impl Vocabulary {
     /// Total number of ground tuples `|Tup(n)| = Σᵢ n^{arity(Rᵢ)}` over a
     /// domain of size `n` (§2 of the paper).
     pub fn num_ground_tuples(&self, n: usize) -> usize {
-        self.predicates
-            .iter()
-            .map(|p| p.num_ground_tuples(n))
-            .sum()
+        self.predicates.iter().map(|p| p.num_ground_tuples(n)).sum()
     }
 
     /// Returns a new vocabulary containing all predicates of `self` followed

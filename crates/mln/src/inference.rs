@@ -69,10 +69,7 @@ impl MlnEngine {
         if !query.is_sentence() {
             return Err(LiftError::NotASentence);
         }
-        let vocabulary = self
-            .reduction
-            .vocabulary
-            .extended_with(&query.vocabulary());
+        let vocabulary = self.reduction.vocabulary.extended_with(&query.vocabulary());
         let denominator = self.solver.wfomc(
             &self.reduction.hard_sentence,
             &vocabulary,
@@ -84,14 +81,10 @@ impl MlnEngine {
                 "the MLN's hard constraints are unsatisfiable over a domain of size {n}"
             )));
         }
-        let numerator_sentence =
-            Formula::and(query.clone(), self.reduction.hard_sentence.clone());
-        let numerator = self.solver.wfomc(
-            &numerator_sentence,
-            &vocabulary,
-            n,
-            &self.reduction.weights,
-        )?;
+        let numerator_sentence = Formula::and(query.clone(), self.reduction.hard_sentence.clone());
+        let numerator =
+            self.solver
+                .wfomc(&numerator_sentence, &vocabulary, n, &self.reduction.weights)?;
         Ok((
             numerator.value / denominator.value,
             numerator.method,
@@ -153,7 +146,10 @@ mod tests {
         // Queries over the original vocabulary, closed sentences.
         let queries = vec![
             exists(["x"], atom("Female", &["x"])),
-            forall(["x", "y"], implies(atom("Spouse", &["x", "y"]), atom("Male", &["y"]))),
+            forall(
+                ["x", "y"],
+                implies(atom("Spouse", &["x", "y"]), atom("Male", &["y"])),
+            ),
             exists(["x", "y"], atom("Spouse", &["x", "y"])),
         ];
         for q in queries {

@@ -173,7 +173,10 @@ mod tests {
         // (x0 ∨ ¬x1) ∧ (x1 ∨ x2)
         let cnf = Cnf::new(
             3,
-            vec![vec![Lit::pos(0), Lit::neg(1)], vec![Lit::pos(1), Lit::pos(2)]],
+            vec![
+                vec![Lit::pos(0), Lit::neg(1)],
+                vec![Lit::pos(1), Lit::pos(2)],
+            ],
         );
         assert!(cnf.evaluate(&[true, true, false]));
         assert!(!cnf.evaluate(&[false, true, false]));
@@ -185,10 +188,7 @@ mod tests {
 
     #[test]
     fn to_formula_agrees_with_cnf_eval() {
-        let cnf = Cnf::new(
-            2,
-            vec![vec![Lit::pos(0)], vec![Lit::neg(0), Lit::pos(1)]],
-        );
+        let cnf = Cnf::new(2, vec![vec![Lit::pos(0)], vec![Lit::neg(0), Lit::pos(1)]]);
         let f = cnf.to_formula();
         for a in 0..4u8 {
             let assignment = [(a & 1) != 0, (a & 2) != 0];

@@ -1,0 +1,121 @@
+//! The d-DNNF knowledge-compilation backend, bridging `wfomc-circuit`.
+//!
+//! [`wmc_circuit`] matches the one-shot counting contract of the other
+//! backends, but the real payoff is [`CompiledWmc`]: compile a CNF **once**
+//! and evaluate it under arbitrarily many weight vectors, each evaluation
+//! linear in circuit size. The equality-removal interpolation
+//! (`wfomc-core`), which needs the same CNF at `n² + 1` weight points, and
+//! any repeated-query serving path build on this type.
+
+use wfomc_circuit::{CLit, CompileStats, CompiledCnf, LitWeights};
+use wfomc_logic::weights::Weight;
+
+use crate::cnf::{Cnf, Lit};
+use crate::weights::VarWeights;
+
+impl LitWeights for VarWeights {
+    fn weight(&self, var: usize, value: bool) -> Weight {
+        self.literal_weight(var, value)
+    }
+}
+
+fn to_clit(lit: Lit) -> CLit {
+    CLit {
+        var: lit.var,
+        positive: lit.positive,
+    }
+}
+
+/// A CNF compiled once into a smoothed d-DNNF circuit.
+#[derive(Clone, Debug)]
+pub struct CompiledWmc {
+    inner: CompiledCnf,
+}
+
+impl CompiledWmc {
+    /// Compiles the CNF's DPLL search into a circuit. This is the expensive
+    /// step — it performs the same search as [`wmc_dpll`](super::wmc_dpll)
+    /// once.
+    pub fn compile(cnf: &Cnf) -> CompiledWmc {
+        let clauses: Vec<Vec<CLit>> = cnf
+            .clauses
+            .iter()
+            .map(|c| c.iter().copied().map(to_clit).collect())
+            .collect();
+        CompiledWmc {
+            inner: wfomc_circuit::compile(cnf.num_vars, &clauses),
+        }
+    }
+
+    /// Weighted model count over the universe
+    /// `0..max(num_vars, weights.len())`, under the same weight-table
+    /// contract as the other backends: variables beyond the table count
+    /// unweighted, table entries beyond the CNF universe contribute
+    /// `w + w̄` each.
+    pub fn wmc(&self, weights: &VarWeights) -> Weight {
+        let mut result = self.inner.wmc(weights);
+        // The circuit is smoothed over the CNF's own universe; longer weight
+        // tables extend the universe with unconstrained variables.
+        for v in self.inner.num_vars()..weights.len() {
+            result *= weights.total(v);
+        }
+        result
+    }
+
+    /// The variable universe the circuit was compiled over.
+    pub fn num_vars(&self) -> usize {
+        self.inner.num_vars()
+    }
+
+    /// Circuit size and compilation counters.
+    pub fn stats(&self) -> &CompileStats {
+        self.inner.stats()
+    }
+
+    /// The underlying compiled circuit.
+    pub fn inner(&self) -> &CompiledCnf {
+        &self.inner
+    }
+}
+
+/// One-shot weighted model count through compilation — the
+/// [`WmcBackend::Circuit`](super::WmcBackend::Circuit) entry point.
+///
+/// For a single evaluation this does strictly more work than the DPLL
+/// backend (same search plus circuit construction); use [`CompiledWmc`]
+/// directly when several weight vectors share one CNF.
+pub fn wmc_circuit(cnf: &Cnf, weights: &VarWeights) -> Weight {
+    CompiledWmc::compile(cnf).wmc(weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfomc_logic::weights::weight_int;
+
+    #[test]
+    fn compiled_circuit_honours_longer_weight_tables() {
+        // x0 with a 3-variable weight table: the two unconstrained extra
+        // variables multiply their totals in.
+        let cnf = Cnf::new(1, vec![vec![Lit::pos(0)]]);
+        let compiled = CompiledWmc::compile(&cnf);
+        let w = VarWeights::from_vecs(
+            vec![weight_int(5), weight_int(1), weight_int(2)],
+            vec![weight_int(1), weight_int(1), weight_int(3)],
+        );
+        // 5 · (1+1) · (2+3) = 50.
+        assert_eq!(compiled.wmc(&w), weight_int(50));
+        assert_eq!(compiled.num_vars(), 1);
+        assert!(compiled.stats().nodes >= 2);
+    }
+
+    #[test]
+    fn compiled_circuit_honours_shorter_weight_tables() {
+        let cnf = Cnf::new(2, vec![vec![Lit::pos(0), Lit::pos(1)]]);
+        let compiled = CompiledWmc::compile(&cnf);
+        assert_eq!(
+            compiled.wmc(&VarWeights::from_vecs(vec![], vec![])),
+            weight_int(3)
+        );
+    }
+}

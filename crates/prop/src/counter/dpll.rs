@@ -21,14 +21,14 @@ type ClauseSet = Vec<Vec<Lit>>;
 
 /// Weighted model count of a CNF over the universe `0..max(cnf.num_vars,
 /// weights.len())`.
+///
+/// The weight table may be shorter or longer than `cnf.num_vars`: variables
+/// beyond the table carry the implicit pair `(1, 1)` (they are counted,
+/// unweighted), and table entries beyond the CNF's universe are unconstrained
+/// variables contributing `w + w̄` each. This matches the enumeration
+/// backend's contract exactly.
 pub fn wmc_dpll(cnf: &Cnf, weights: &VarWeights) -> Weight {
     let universe = cnf.num_vars.max(weights.len());
-    assert!(
-        weights.len() >= cnf.num_vars,
-        "weights cover {} variables but the CNF universe has {}",
-        weights.len(),
-        cnf.num_vars
-    );
 
     // Normalize clauses: dedupe literals, drop tautological clauses.
     let mut mentioned_before: BTreeSet<Var> = BTreeSet::new();
@@ -95,7 +95,11 @@ fn condition(clauses: &[Vec<Lit>], var: Var, value: bool) -> Option<ClauseSet> {
 /// Weighted model count of `clauses` over exactly the variables mentioned in
 /// `clauses`. `clauses` must be canonical (sorted clauses, sorted literal
 /// lists, no tautologies, no duplicate literals).
-fn count(clauses: &ClauseSet, weights: &VarWeights, cache: &mut HashMap<ClauseSet, Weight>) -> Weight {
+fn count(
+    clauses: &ClauseSet,
+    weights: &VarWeights,
+    cache: &mut HashMap<ClauseSet, Weight>,
+) -> Weight {
     if clauses.is_empty() {
         return Weight::one();
     }
@@ -178,7 +182,7 @@ fn count_component(
 
     let mut total = Weight::zero();
     for value in [true, false] {
-        let weight = weights.literal_weight(branch_var, value).clone();
+        let weight = weights.literal_weight(branch_var, value);
         if let Some(mut cond) = condition(comp, branch_var, value) {
             canonicalize(&mut cond);
             // Variables freed by this conditioning step.
@@ -249,7 +253,10 @@ mod tests {
                 .iter()
                 .map(|c| {
                     c.iter()
-                        .map(|&(v, pos)| Lit { var: v, positive: pos })
+                        .map(|&(v, pos)| Lit {
+                            var: v,
+                            positive: pos,
+                        })
                         .collect()
                 })
                 .collect(),
@@ -331,11 +338,33 @@ mod tests {
     }
 
     #[test]
+    fn short_weight_tables_count_remaining_vars_unweighted() {
+        // (x0 ∨ x1) over 3 variables, weights only for x0: the other two
+        // variables carry the implicit pair (1, 1).
+        let c = cnf(3, &[&[(0, true), (1, true)]]);
+        let w = VarWeights::from_vecs(vec![weight_int(3)], vec![weight_int(2)]);
+        // (3·2 + 2·1) · 2 = 16 over x2's two values: x0 branch weights
+        // (3 when true frees x1 → ·2; 2 when false forces x1 → ·1).
+        let expected = weight_int(16);
+        assert_eq!(wmc_dpll(&c, &w), expected);
+        assert_eq!(wmc_enumerate(&c, &w), expected);
+        // An empty table degenerates to plain model counting.
+        assert_eq!(
+            wmc_dpll(&c, &VarWeights::from_vecs(vec![], vec![])),
+            weight_int(6)
+        );
+    }
+
+    #[test]
     fn unit_propagation_chain() {
         // x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2): forces all true → 1 model.
         let c = cnf(
             3,
-            &[&[(0, true)], &[(0, false), (1, true)], &[(1, false), (2, true)]],
+            &[
+                &[(0, true)],
+                &[(0, false), (1, true)],
+                &[(1, false), (2, true)],
+            ],
         );
         assert_eq!(wmc_dpll(&c, &VarWeights::ones(3)), weight_int(1));
     }

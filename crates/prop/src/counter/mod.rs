@@ -1,6 +1,6 @@
 //! Exact weighted model counters.
 //!
-//! Two interchangeable backends are provided:
+//! Three interchangeable backends are provided:
 //!
 //! * [`WmcBackend::Enumerate`] — brute-force enumeration of all assignments.
 //!   Simple and obviously correct; exponential in the number of variables.
@@ -8,14 +8,25 @@
 //!   `wmc_backends` ablation bench.
 //! * [`WmcBackend::Dpll`] — a weighted DPLL search with unit propagation,
 //!   connected-component decomposition and component caching. This is the
-//!   counter used by the grounded WFOMC pipeline.
+//!   default counter of the grounded WFOMC pipeline.
+//! * [`WmcBackend::Circuit`] — knowledge compilation to a smoothed d-DNNF
+//!   circuit (`wfomc-circuit`) by tracing the same DPLL search, then
+//!   evaluating the circuit. For a single weight vector this costs slightly
+//!   more than DPLL; its purpose is **compile-once / evaluate-many**: via
+//!   [`circuit::CompiledWmc`], one compilation serves any number of weight
+//!   vectors (each evaluation linear in circuit size), which is what the
+//!   equality-removal interpolation and repeated-query serving paths use.
 //!
-//! Both backends compute `WMC(F, w, w̄) = Σ_{θ ⊨ F} Π_i w-or-w̄(Xᵢ)` exactly,
-//! with arbitrary (possibly negative) rational weights.
+//! All backends compute `WMC(F, w, w̄) = Σ_{θ ⊨ F} Π_i w-or-w̄(Xᵢ)` exactly,
+//! with arbitrary (possibly negative) rational weights, over the universe
+//! `0..max(cnf.num_vars, weights.len())` — variables beyond the weight table
+//! count unweighted, table entries beyond the CNF contribute `w + w̄` each.
 
+pub mod circuit;
 mod dpll;
 mod enumerate;
 
+pub use circuit::{wmc_circuit, CompiledWmc};
 pub use dpll::wmc_dpll;
 pub use enumerate::{wmc_enumerate, wmc_formula};
 
@@ -34,6 +45,10 @@ pub enum WmcBackend {
     /// caching.
     #[default]
     Dpll,
+    /// Knowledge compilation to a smoothed d-DNNF circuit, then linear
+    /// evaluation; compile once with [`CompiledWmc`] to amortize over many
+    /// weight vectors.
+    Circuit,
 }
 
 /// Computes the weighted model count of a CNF with the chosen backend.
@@ -41,19 +56,24 @@ pub fn wmc(cnf: &Cnf, weights: &VarWeights, backend: WmcBackend) -> Weight {
     match backend {
         WmcBackend::Enumerate => wmc_enumerate(cnf, weights),
         WmcBackend::Dpll => wmc_dpll(cnf, weights),
+        WmcBackend::Circuit => wmc_circuit(cnf, weights),
     }
 }
 
 /// Computes the weighted model count of an arbitrary propositional formula.
 ///
-/// The enumerate backend evaluates the formula directly; the DPLL backend
-/// first applies the count-preserving Tseitin transform.
+/// The enumerate backend evaluates the formula directly; the DPLL and
+/// circuit backends first apply the count-preserving Tseitin transform.
 pub fn wmc_formula_via(formula: &PropFormula, weights: &VarWeights, backend: WmcBackend) -> Weight {
     match backend {
         WmcBackend::Enumerate => wmc_formula(formula, weights),
         WmcBackend::Dpll => {
             let t = to_cnf(formula, weights);
             wmc_dpll(&t.cnf, &t.weights)
+        }
+        WmcBackend::Circuit => {
+            let t = to_cnf(formula, weights);
+            wmc_circuit(&t.cnf, &t.weights)
         }
     }
 }
@@ -70,27 +90,33 @@ mod tests {
     use proptest::prelude::*;
     use wfomc_logic::weights::{weight_int, weight_ratio};
 
+    const ALL_BACKENDS: [WmcBackend; 3] =
+        [WmcBackend::Enumerate, WmcBackend::Dpll, WmcBackend::Circuit];
+
     #[test]
     fn backends_agree_on_simple_cnf() {
         // (x0 ∨ x1) ∧ (¬x1 ∨ x2)
         let cnf = Cnf::new(
             3,
-            vec![vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(1), Lit::pos(2)]],
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(1), Lit::pos(2)],
+            ],
         );
         let w = VarWeights::ones(3);
-        let a = wmc(&cnf, &w, WmcBackend::Enumerate);
-        let b = wmc(&cnf, &w, WmcBackend::Dpll);
-        assert_eq!(a, b);
-        // Truth-table check: assignments satisfying both clauses.
-        assert_eq!(a, weight_int(4));
+        for backend in ALL_BACKENDS {
+            // Truth-table check: assignments satisfying both clauses.
+            assert_eq!(wmc(&cnf, &w, backend), weight_int(4), "{backend:?}");
+        }
     }
 
     #[test]
     fn count_models_matches_known_value() {
         // x0 ∨ x1 has 3 models over 2 vars.
         let cnf = Cnf::new(2, vec![vec![Lit::pos(0), Lit::pos(1)]]);
-        assert_eq!(count_models(&cnf, WmcBackend::Dpll), weight_int(3));
-        assert_eq!(count_models(&cnf, WmcBackend::Enumerate), weight_int(3));
+        for backend in ALL_BACKENDS {
+            assert_eq!(count_models(&cnf, backend), weight_int(3), "{backend:?}");
+        }
     }
 
     #[test]
@@ -103,10 +129,39 @@ mod tests {
             vec![weight_int(2), weight_ratio(1, 2), weight_int(3)],
             vec![weight_int(1), weight_int(1), weight_int(-1)],
         );
-        assert_eq!(
-            wmc_formula_via(&f, &w, WmcBackend::Enumerate),
-            wmc_formula_via(&f, &w, WmcBackend::Dpll)
+        let ground_truth = wmc_formula_via(&f, &w, WmcBackend::Enumerate);
+        for backend in [WmcBackend::Dpll, WmcBackend::Circuit] {
+            assert_eq!(
+                wmc_formula_via(&f, &w, backend),
+                ground_truth,
+                "{backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_compilation_serves_many_weight_vectors() {
+        // The equality-removal interpolation pattern: one CNF, many weight
+        // vectors differing in a single variable's weight.
+        let cnf = Cnf::new(
+            4,
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::pos(3)],
+            ],
         );
+        let compiled = CompiledWmc::compile(&cnf);
+        for z in -3i64..=9 {
+            let mut w = VarWeights::ones(4);
+            w.set(1, weight_int(z), weight_int(1));
+            w.set(3, weight_ratio(1, 2), weight_int(-2));
+            assert_eq!(
+                compiled.wmc(&w),
+                wmc(&cnf, &w, WmcBackend::Enumerate),
+                "z = {z}"
+            );
+        }
     }
 
     /// Random CNF generator for property tests.
@@ -117,7 +172,10 @@ mod tests {
                 .into_iter()
                 .map(|c| {
                     c.into_iter()
-                        .map(|(v, pos)| Lit { var: v, positive: pos })
+                        .map(|(v, pos)| Lit {
+                            var: v,
+                            positive: pos,
+                        })
                         .collect()
                 })
                 .collect();
@@ -125,36 +183,53 @@ mod tests {
         })
     }
 
+    /// Deterministic pseudo-random weights derived from the seed, including
+    /// negative rationals.
+    fn seeded_weights(num_vars: usize, seed: u64) -> VarWeights {
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        let mut s = seed as i64 + 1;
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            weight_ratio((s % 5) - 1, 1 + (s % 4).unsigned_abs() as i64)
+        };
+        for _ in 0..num_vars {
+            pos.push(next());
+            neg.push(next());
+        }
+        VarWeights::from_vecs(pos, neg)
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
         #[test]
-        fn dpll_matches_enumeration_on_random_cnfs(cnf in arb_cnf(6, 8)) {
+        fn backends_match_enumeration_on_random_cnfs(cnf in arb_cnf(6, 8)) {
             let w = VarWeights::ones(cnf.num_vars);
-            prop_assert_eq!(
-                wmc(&cnf, &w, WmcBackend::Dpll),
-                wmc(&cnf, &w, WmcBackend::Enumerate)
-            );
+            let ground_truth = wmc(&cnf, &w, WmcBackend::Enumerate);
+            prop_assert_eq!(wmc(&cnf, &w, WmcBackend::Dpll), ground_truth.clone());
+            prop_assert_eq!(wmc(&cnf, &w, WmcBackend::Circuit), ground_truth);
         }
 
         #[test]
-        fn dpll_matches_enumeration_with_weights(cnf in arb_cnf(5, 6), seed in 0u64..1000) {
-            // Deterministic pseudo-random weights derived from the seed,
-            // including negative ones.
-            let mut pos = Vec::new();
-            let mut neg = Vec::new();
-            let mut s = seed as i64 + 1;
-            for _ in 0..cnf.num_vars {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                pos.push(weight_int((s % 5) - 1));
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                neg.push(weight_int((s % 5) - 1));
+        fn backends_match_enumeration_with_weights(cnf in arb_cnf(5, 6), seed in 0u64..1000) {
+            let w = seeded_weights(cnf.num_vars, seed);
+            let ground_truth = wmc(&cnf, &w, WmcBackend::Enumerate);
+            prop_assert_eq!(wmc(&cnf, &w, WmcBackend::Dpll), ground_truth.clone());
+            prop_assert_eq!(wmc(&cnf, &w, WmcBackend::Circuit), ground_truth);
+        }
+
+        #[test]
+        fn compiled_circuit_agrees_across_weight_sweeps(cnf in arb_cnf(5, 6), seed in 0u64..200) {
+            // One compilation, several weight vectors — the compile-once /
+            // evaluate-many contract, cross-checked against fresh DPLL runs.
+            let compiled = CompiledWmc::compile(&cnf);
+            for offset in 0..4 {
+                let w = seeded_weights(cnf.num_vars, seed * 4 + offset);
+                prop_assert_eq!(compiled.wmc(&w), wmc(&cnf, &w, WmcBackend::Dpll));
             }
-            let w = VarWeights::from_vecs(pos, neg);
-            prop_assert_eq!(
-                wmc(&cnf, &w, WmcBackend::Dpll),
-                wmc(&cnf, &w, WmcBackend::Enumerate)
-            );
         }
     }
 }

@@ -34,6 +34,7 @@ impl PropFormula {
     }
 
     /// Negation with double-negation and constant collapsing.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: PropFormula) -> Self {
         match f {
             PropFormula::Top => PropFormula::Bottom,

@@ -61,6 +61,30 @@ pub fn to_cnf(formula: &PropFormula, weights: &VarWeights) -> TseitinCnf {
     }
 }
 
+impl TseitinCnf {
+    /// Extends a fresh weight table over the original variables with the
+    /// `(1, 1)` pairs of this transformation's definition variables.
+    ///
+    /// The encoding itself is weight-independent, so one Tseitin CNF can be
+    /// re-weighted any number of times — the compile-once / evaluate-many
+    /// path of the circuit backend relies on this.
+    ///
+    /// # Panics
+    /// Panics if `original` does not cover exactly the original variables.
+    pub fn weights_for(&self, original: &VarWeights) -> VarWeights {
+        assert_eq!(
+            original.len(),
+            self.original_vars,
+            "weight table must cover exactly the original variables"
+        );
+        let mut ext = original.clone();
+        for _ in self.original_vars..self.cnf.num_vars {
+            ext.push(Weight::one(), Weight::one());
+        }
+        ext
+    }
+}
+
 struct Encoder {
     clauses: Vec<Vec<Lit>>,
     next_var: Var,
@@ -178,10 +202,7 @@ mod tests {
         let w = VarWeights::ones(3);
         let t = to_cnf(&f, &w);
         // Models: x0 = true, x1/x2 free → 4.
-        assert_eq!(
-            wmc(&t.cnf, &t.weights, WmcBackend::Dpll),
-            weight_int(4)
-        );
+        assert_eq!(wmc(&t.cnf, &t.weights, WmcBackend::Dpll), weight_int(4));
     }
 
     #[test]
@@ -189,5 +210,33 @@ mod tests {
     fn missing_weights_panic() {
         let f = PropFormula::var(5);
         to_cnf(&f, &VarWeights::ones(2));
+    }
+
+    #[test]
+    fn weights_for_reweights_one_encoding() {
+        let f = PropFormula::iff(
+            PropFormula::var(0),
+            PropFormula::or(PropFormula::var(1), PropFormula::var(2)),
+        );
+        let t = to_cnf(&f, &VarWeights::ones(3));
+        // Re-weight the same CNF and cross-check against a fresh transform.
+        let new = VarWeights::from_vecs(
+            vec![weight_int(2), weight_int(-1), weight_int(3)],
+            vec![weight_int(1), weight_int(4), weight_int(1)],
+        );
+        let reweighted = t.weights_for(&new);
+        assert_eq!(reweighted.len(), t.cnf.num_vars);
+        assert_eq!(
+            wmc(&t.cnf, &reweighted, WmcBackend::Dpll),
+            wmc_formula(&f, &new)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly the original")]
+    fn weights_for_rejects_wrong_length() {
+        let f = PropFormula::var(0);
+        let t = to_cnf(&f, &VarWeights::ones(2));
+        t.weights_for(&VarWeights::ones(5));
     }
 }

@@ -50,11 +50,19 @@ impl VarWeights {
     }
 
     /// Weight of variable `v` being true.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the table; use [`VarWeights::literal_weight`]
+    /// for the total (default-to-one) accessor.
     pub fn pos(&self, v: usize) -> &Weight {
         &self.pos[v]
     }
 
     /// Weight of variable `v` being false.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the table; use [`VarWeights::literal_weight`]
+    /// for the total (default-to-one) accessor.
     pub fn neg(&self, v: usize) -> &Weight {
         &self.neg[v]
     }
@@ -66,17 +74,27 @@ impl VarWeights {
     }
 
     /// The weight of `v` under a specific truth value.
-    pub fn literal_weight(&self, v: usize, value: bool) -> &Weight {
-        if value {
-            self.pos(v)
-        } else {
-            self.neg(v)
+    ///
+    /// Variables beyond the table carry the implicit weight pair `(1, 1)`,
+    /// so a weight table shorter than a CNF's universe means "count the
+    /// remaining variables unweighted" rather than an error.
+    pub fn literal_weight(&self, v: usize, value: bool) -> Weight {
+        let table = if value { &self.pos } else { &self.neg };
+        match table.get(v) {
+            Some(w) => w.clone(),
+            None => Weight::one(),
         }
     }
 
     /// `w(v) + w̄(v)` — the contribution of an unconstrained variable.
+    ///
+    /// Like [`VarWeights::literal_weight`], variables beyond the table get
+    /// the implicit pair `(1, 1)` and therefore contribute `2`.
     pub fn total(&self, v: usize) -> Weight {
-        &self.pos[v] + &self.neg[v]
+        match (self.pos.get(v), self.neg.get(v)) {
+            (Some(p), Some(n)) => p + n,
+            _ => Weight::one() + Weight::one(),
+        }
     }
 
     /// The weight of a complete assignment (Eq. (3) in the paper).
@@ -134,5 +152,16 @@ mod tests {
     #[should_panic(expected = "must align")]
     fn mismatched_vectors_panic() {
         VarWeights::from_vecs(vec![weight_int(1)], vec![]);
+    }
+
+    #[test]
+    fn variables_beyond_the_table_are_unweighted() {
+        let w = VarWeights::from_vecs(vec![weight_int(5)], vec![weight_int(7)]);
+        assert_eq!(w.literal_weight(0, true), weight_int(5));
+        assert_eq!(w.literal_weight(3, true), weight_int(1));
+        assert_eq!(w.literal_weight(3, false), weight_int(1));
+        assert_eq!(w.total(3), weight_int(2));
+        // An assignment longer than the table multiplies in implicit ones.
+        assert_eq!(w.assignment_weight(&[false, true, true]), weight_int(7));
     }
 }

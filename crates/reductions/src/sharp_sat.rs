@@ -126,10 +126,7 @@ fn build_alpha(i: usize, free: &str, other: &str) -> Formula {
         return atom("A", &[free]);
     }
     let inner = build_alpha(i - 1, other, free);
-    exists(
-        [other],
-        and(vec![inner, atom("R", &[other, free])]),
-    )
+    exists([other], and(vec![inner, atom("R", &[other, free])]))
 }
 
 /// "There exists an R-path with exactly `m` elements from the A element to the

@@ -105,7 +105,10 @@ fn order_axioms() -> Vec<Formula> {
         ),
         forall(
             ["x", "y"],
-            or(vec![not(atom("Lt", &["x", "y"])), not(atom("Lt", &["y", "x"]))]),
+            or(vec![
+                not(atom("Lt", &["x", "y"])),
+                not(atom("Lt", &["y", "x"])),
+            ]),
         ),
         forall(["x"], not(atom("Lt", &["x", "x"]))),
         forall(
@@ -183,7 +186,9 @@ fn head_axioms(tm: &CountingTm, c: usize) -> Vec<Formula> {
                 ["x"],
                 exists(
                     ["y"],
-                    or((0..c).map(|r| atom(&h_pred(tape, e, r), &["x", "y"])).collect()),
+                    or((0..c)
+                        .map(|r| atom(&h_pred(tape, e, r), &["x", "y"]))
+                        .collect()),
                 ),
             ));
             // At most one region.
@@ -308,20 +313,14 @@ fn transition_axioms(tm: &CountingTm, c: usize) -> Vec<Formula> {
                     // Within the epoch: Succ(x, y).
                     parts.push(forall(
                         ["x", "y", "z"],
-                        implies(
-                            guard_common(vec![atom("Succ", &["x", "y"])], e),
-                            outcome(e),
-                        ),
+                        implies(guard_common(vec![atom("Succ", &["x", "y"])], e), outcome(e)),
                     ));
                     // Across the epoch boundary: Max(x) ∧ Min(y).
                     if e + 1 < c {
                         parts.push(forall(
                             ["x", "y", "z"],
                             implies(
-                                guard_common(
-                                    vec![atom("Max", &["x"]), atom("Min", &["y"])],
-                                    e,
-                                ),
+                                guard_common(vec![atom("Max", &["x"]), atom("Min", &["y"])], e),
                                 outcome(e + 1),
                             ),
                         ));

@@ -146,7 +146,13 @@ impl CountingTm {
                 Move::Left => head.saturating_sub(1),
                 Move::Right => (head + 1).min(new_tapes[tape].len() - 1),
             };
-            total += self.count_from(choice.next_state, new_tapes, new_heads, time + 1, total_time);
+            total += self.count_from(
+                choice.next_state,
+                new_tapes,
+                new_heads,
+                time + 1,
+                total_time,
+            );
         }
         total
     }

@@ -9,7 +9,9 @@
 //!
 //! * a first-order logic toolkit with exact rational weights
 //!   ([`logic`], re-exported from `wfomc-logic`);
-//! * propositional weighted model counting ([`prop`]);
+//! * propositional weighted model counting with three backends —
+//!   enumeration, weighted DPLL, and d-DNNF knowledge compilation ([`prop`],
+//!   [`circuit`]);
 //! * Fagin's hypergraph acyclicity hierarchy ([`hypergraph`]);
 //! * grounded baselines: brute-force enumeration and lineage + WMC
 //!   ([`ground`]);
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use wfomc_circuit as circuit;
 pub use wfomc_core as core;
 pub use wfomc_ground as ground;
 pub use wfomc_hypergraph as hypergraph;
@@ -46,13 +49,17 @@ pub use wfomc_reductions as reductions;
 
 /// One-stop import for applications and examples.
 pub mod prelude {
+    pub use wfomc_circuit::{CompileStats, CompiledCnf};
     pub use wfomc_core::closed_form;
     pub use wfomc_core::cq::{chain_probability, gamma_acyclic_wfomc, query_hypergraph};
     pub use wfomc_core::fo2::wfomc_fo2;
-    pub use wfomc_core::normal::{remove_equality, remove_negation, skolemize};
+    pub use wfomc_core::normal::{
+        remove_equality, remove_negation, skolemize, wfomc_via_equality_removal,
+        wfomc_via_equality_removal_compiled,
+    };
     pub use wfomc_core::qs4::wfomc_qs4;
     pub use wfomc_core::{LiftError, Method, Solver, SolverReport};
-    pub use wfomc_ground::{brute_force_fomc, brute_force_wfomc, GroundSolver};
+    pub use wfomc_ground::{brute_force_fomc, brute_force_wfomc, CompiledWfomc, GroundSolver};
     pub use wfomc_hypergraph::{AcyclicityClass, Hypergraph};
     pub use wfomc_logic::builders::*;
     pub use wfomc_logic::catalog;
@@ -61,6 +68,7 @@ pub mod prelude {
     pub use wfomc_logic::weights::{weight_int, weight_ratio, Weight, Weights};
     pub use wfomc_logic::{Formula, Predicate, Vocabulary};
     pub use wfomc_mln::{MarkovLogicNetwork, MlnEngine};
+    pub use wfomc_prop::counter::CompiledWmc;
     pub use wfomc_prop::{PropFormula, WmcBackend};
     pub use wfomc_reductions::sharp_sat::sharp_sat_to_fomc;
     pub use wfomc_reductions::theta1::theta1;
@@ -77,6 +85,21 @@ mod tests {
         let report = Solver::new().fomc(&phi, 3).unwrap();
         assert_eq!(report.value, weight_int(343));
         assert_eq!(report.method, Method::Fo2);
+    }
+
+    #[test]
+    fn compile_once_evaluate_many_through_the_prelude() {
+        // Ground + compile the Table 1 sentence once, then answer several
+        // weighted queries from the same circuit, checking against the
+        // dispatching solver.
+        let phi = catalog::table1_sentence();
+        let voc = phi.vocabulary();
+        let compiled = CompiledWfomc::compile(&phi, &voc, 2);
+        for s in 1..4i64 {
+            let w = Weights::from_ints([("R", 2, 1), ("S", s, 1), ("T", 1, 1)]);
+            let report = Solver::ground_only().wfomc(&phi, &voc, 2, &w).unwrap();
+            assert_eq!(compiled.wfomc(&w), report.value, "s = {s}");
+        }
     }
 
     #[test]

@@ -16,11 +16,23 @@ fn main() {
     let queries: Vec<(&str, ConjunctiveQuery)> = vec![
         ("chain of length 3 (γ-acyclic)", catalog::chain_query(3)),
         ("star with 3 rays (γ-acyclic)", catalog::star_query(3)),
-        ("R(x),S(x,y),T(y)  (Table 1 dual)", catalog::table1_dual_cq()),
+        (
+            "R(x),S(x,y),T(y)  (Table 1 dual)",
+            catalog::table1_dual_cq(),
+        ),
         ("c_γ = R(x,z),S(x,y,z),T(y,z)", catalog::c_gamma()),
-        ("c_jtdb = R(x,y,z,u),S(x,y),T(x,z),V(x,u)", catalog::c_jtdb()),
-        ("typed 3-cycle C₃ (conjectured hard)", catalog::typed_cycle_cq(3)),
-        ("typed 4-cycle C₄ (conjectured hard)", catalog::typed_cycle_cq(4)),
+        (
+            "c_jtdb = R(x,y,z,u),S(x,y),T(x,z),V(x,u)",
+            catalog::c_jtdb(),
+        ),
+        (
+            "typed 3-cycle C₃ (conjectured hard)",
+            catalog::typed_cycle_cq(3),
+        ),
+        (
+            "typed 4-cycle C₄ (conjectured hard)",
+            catalog::typed_cycle_cq(4),
+        ),
     ];
     println!(
         "{:<42} {:>10} {:>18} {:>14}",
@@ -59,7 +71,10 @@ fn main() {
     }
 
     println!("\n== Table 2: the open problems fall back to grounding ==\n");
-    println!("{:<38} {:>16} {:>14}", "sentence", "solver method", "FOMC at n=2");
+    println!(
+        "{:<38} {:>16} {:>14}",
+        "sentence", "solver method", "FOMC at n=2"
+    );
     for (name, f) in catalog::table2_open_problems() {
         let report = solver.fomc(&f, 2).expect("solver always answers");
         println!(
@@ -75,7 +90,11 @@ fn main() {
     println!("{:>4} {:>30} {:>12}", "n", "WFOMC(QS4, n)", "method");
     for n in [1usize, 2, 3, 5, 8, 12, 20] {
         let report = solver.fomc(&qs4, n).unwrap();
-        println!("{n:>4} {:>30} {:>12}", truncate(&report.value.to_string(), 28), report.method);
+        println!(
+            "{n:>4} {:>30} {:>12}",
+            truncate(&report.value.to_string(), 28),
+            report.method
+        );
     }
 }
 

@@ -24,7 +24,8 @@ fn main() {
     );
     // Extraction confidences modeled symmetrically: facts are somewhat rare.
     kb.add_soft(weight_ratio(1, 4), atom("Spouse", &["x", "y"]));
-    kb.add_soft(weight_int(1), atom("Female", &["x"])); // weight 1 = uninformative
+    // weight 1 = uninformative
+    kb.add_soft(weight_int(1), atom("Female", &["x"]));
     // Hard ontology constraints: nobody is married to themselves, and nobody
     // is both male and female.
     kb.add_hard(not(atom("Spouse", &["x", "x"])));

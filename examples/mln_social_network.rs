@@ -28,12 +28,18 @@ fn main() {
     let engine = MlnEngine::new(&mln).expect("reduction applies");
 
     println!("== Smokers & friends MLN ==");
-    println!("reduced hard sentence: {}", engine.reduction().hard_sentence);
+    println!(
+        "reduced hard sentence: {}",
+        engine.reduction().hard_sentence
+    );
     println!();
 
     // Exact partition function: lifted (reduction + FO²) vs the textbook
     // ground semantics on small domains.
-    println!("{:>4} {:>34} {:>16}", "n", "partition function Z(n)", "checked vs ground");
+    println!(
+        "{:>4} {:>34} {:>16}",
+        "n", "partition function Z(n)", "checked vs ground"
+    );
     for n in 1..=4 {
         let z = engine.partition_function(n).expect("exact inference");
         let check = if n <= 2 {
@@ -52,10 +58,7 @@ fn main() {
     // Marginal-style queries (closed sentences), answered exactly.
     let queries = vec![
         ("somebody smokes", exists(["x"], atom("Smokes", &["x"]))),
-        (
-            "everybody smokes",
-            forall(["x"], atom("Smokes", &["x"])),
-        ),
+        ("everybody smokes", forall(["x"], atom("Smokes", &["x"]))),
         (
             "there is a friendship between a smoker and a non-smoker",
             exists(

@@ -13,12 +13,21 @@ fn main() {
     let solver = Solver::new();
 
     println!("Φ = {phi}");
-    println!("{:>4} {:>28} {:>28} {:>12}", "n", "lifted FOMC", "closed form (2^n-1)^n", "method");
+    println!(
+        "{:>4} {:>28} {:>28} {:>12}",
+        "n", "lifted FOMC", "closed form (2^n-1)^n", "method"
+    );
     for n in 0..=8 {
         let report = solver.fomc(&phi, n).expect("solver always answers");
         let closed = closed_form::fomc_forall_exists_edge(n);
-        assert_eq!(report.value, closed, "the implementation must match the paper");
-        println!("{n:>4} {:>28} {:>28} {:>12}", report.value, closed, report.method);
+        assert_eq!(
+            report.value, closed,
+            "the implementation must match the paper"
+        );
+        println!(
+            "{n:>4} {:>28} {:>28} {:>12}",
+            report.value, closed, report.method
+        );
     }
 
     // -----------------------------------------------------------------------
@@ -41,7 +50,10 @@ fn main() {
     // -----------------------------------------------------------------------
     let brute = brute_force_fomc(&phi, 3);
     let lifted = solver.fomc(&phi, 3).unwrap().value;
-    println!("\nbrute force at n = 3: {brute}, lifted: {lifted} (equal: {})", brute == lifted);
+    println!(
+        "\nbrute force at n = 3: {brute}, lifted: {lifted} (equal: {})",
+        brute == lifted
+    );
 
     // -----------------------------------------------------------------------
     // 4. A sentence outside every lifted fragment falls back to grounding —

@@ -31,7 +31,10 @@ fn main() {
 
     // Count its models by grounding (this is the #P-hard direction: the
     // formula is part of the input, so no lifted algorithm applies in general).
-    println!("Counting FOMC(ϕ_F, {}) by grounding + weighted model counting…", reduction.domain_size);
+    println!(
+        "Counting FOMC(ϕ_F, {}) by grounding + weighted model counting…",
+        reduction.domain_size
+    );
     let count = GroundSolver::new().fomc(&reduction.sentence, reduction.domain_size);
     let factorial: i64 = (1..=(reduction.domain_size as i64)).product();
     println!("FOMC(ϕ_F, {}) = {}", reduction.domain_size, count);

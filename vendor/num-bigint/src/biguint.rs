@@ -1,0 +1,517 @@
+//! Arbitrary-precision unsigned integers on little-endian `u32` limbs.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Shl, Sub};
+use std::str::FromStr;
+
+use num_traits::{One, ToPrimitive, Zero};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` has no trailing zero limbs; zero is the empty vector.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+const LIMB_BITS: u64 = 32;
+
+impl BigUint {
+    fn from_limbs(mut limbs: Vec<u32>) -> BigUint {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() as u64 * LIMB_BITS - u64::from(top.leading_zeros()),
+        }
+    }
+
+    fn add_mag(&self, other: &BigUint) -> BigUint {
+        let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(longer.len() + 1);
+        let mut carry = 0u64;
+        for (i, &limb) in longer.iter().enumerate() {
+            let sum = u64::from(limb) + u64::from(shorter.get(i).copied().unwrap_or(0)) + carry;
+            out.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Magnitude subtraction.
+    ///
+    /// # Panics
+    /// Panics if `other > self`.
+    fn sub_mag(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let diff = i64::from(self.limbs[i])
+                - i64::from(other.limbs.get(i).copied().unwrap_or(0))
+                - borrow;
+            if diff < 0 {
+                out.push((diff + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(diff as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        BigUint::from_limbs(out)
+    }
+
+    fn mul_mag(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = u64::from(a) * u64::from(b) + u64::from(out[i + j]) + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = u64::from(out[k]) + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    fn shl_bits(&self, shift: u64) -> BigUint {
+        if self.is_zero() || shift == 0 {
+            return self.clone();
+        }
+        let limb_shift = (shift / LIMB_BITS) as usize;
+        let bit_shift = (shift % LIMB_BITS) as u32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    fn shr_bits(&self, shift: u64) -> BigUint {
+        if self.is_zero() || shift == 0 {
+            return self.clone();
+        }
+        let limb_shift = (shift / LIMB_BITS) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = (shift % LIMB_BITS) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = src.get(i + 1).copied().unwrap_or(0) << (32 - bit_shift);
+                out.push(lo | hi);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    fn trailing_zeros(&self) -> u64 {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i as u64 * LIMB_BITS + u64::from(l.trailing_zeros());
+            }
+        }
+        0
+    }
+
+    /// Greatest common divisor by the binary (Stein) algorithm.
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let ta = self.trailing_zeros();
+        let tb = other.trailing_zeros();
+        let common = ta.min(tb);
+        let mut a = self.shr_bits(ta);
+        let mut b = other.shr_bits(tb);
+        loop {
+            // Invariant: a and b are odd.
+            if a < b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            a = a.sub_mag(&b);
+            if a.is_zero() {
+                return b.shl_bits(common);
+            }
+            a = a.shr_bits(a.trailing_zeros());
+        }
+    }
+
+    /// Long division (Knuth TAOCP vol. 2, Algorithm D): returns
+    /// `(self / divisor, self % divisor)`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        // Single-limb fast path.
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u32(divisor.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = u64::from(divisor.limbs.last().unwrap().leading_zeros());
+        let v = divisor.shl_bits(shift).limbs;
+        let mut u = self.shl_bits(shift).limbs;
+        let n = v.len();
+        let m = u.len() - n;
+        u.push(0);
+
+        let b = 1u64 << 32;
+        let mut q_limbs = vec![0u32; m + 1];
+        // D2–D7: compute one quotient limb per iteration, high to low.
+        for j in (0..=m).rev() {
+            // D3: estimate the quotient limb from the top limbs.
+            let top = (u64::from(u[j + n]) << 32) | u64::from(u[j + n - 1]);
+            let mut qhat = top / u64::from(v[n - 1]);
+            let mut rhat = top % u64::from(v[n - 1]);
+            while qhat >= b || qhat * u64::from(v[n - 2]) > ((rhat << 32) | u64::from(u[j + n - 2]))
+            {
+                qhat -= 1;
+                rhat += u64::from(v[n - 1]);
+                if rhat >= b {
+                    break;
+                }
+            }
+
+            // D4: multiply-and-subtract qhat·v from u[j .. j+n].
+            let mut mul_carry = 0u64;
+            let mut borrow = 0i64;
+            for i in 0..n {
+                let p = qhat * u64::from(v[i]) + mul_carry;
+                mul_carry = p >> 32;
+                let d = i64::from(u[j + i]) - (p as u32 as i64) - borrow;
+                if d < 0 {
+                    u[j + i] = (d + b as i64) as u32;
+                    borrow = 1;
+                } else {
+                    u[j + i] = d as u32;
+                    borrow = 0;
+                }
+            }
+            let d = i64::from(u[j + n]) - mul_carry as i64 - borrow;
+            if d < 0 {
+                // D6: the estimate was one too large — add the divisor back.
+                u[j + n] = (d + b as i64) as u32;
+                qhat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let t = u64::from(u[j + i]) + u64::from(v[i]) + carry;
+                    u[j + i] = t as u32;
+                    carry = t >> 32;
+                }
+                u[j + n] = (u64::from(u[j + n]) + carry) as u32;
+            } else {
+                u[j + n] = d as u32;
+            }
+            q_limbs[j] = qhat as u32;
+        }
+
+        u.truncate(n);
+        let remainder = BigUint::from_limbs(u).shr_bits(shift);
+        (BigUint::from_limbs(q_limbs), remainder)
+    }
+
+    fn div_rem_u32(&self, divisor: u32) -> (BigUint, u32) {
+        assert!(divisor != 0, "division by zero");
+        let d = u64::from(divisor);
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 32) | u64::from(self.limbs[i]);
+            out[i] = (cur / d) as u32;
+            rem = cur % d;
+        }
+        (BigUint::from_limbs(out), rem as u32)
+    }
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigUint {
+            fn from(v: $t) -> BigUint {
+                let mut v = v as u128;
+                let mut limbs = Vec::new();
+                while v > 0 {
+                    limbs.push(v as u32);
+                    v >>= 32;
+                }
+                BigUint { limbs }
+            }
+        }
+    )*};
+}
+
+impl_from_uint!(u8, u16, u32, u64, u128, usize);
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            unequal => unequal,
+        }
+    }
+}
+
+macro_rules! forward_uint_binop {
+    ($trait:ident, $method:ident, $inner:ident) => {
+        impl $trait<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                self.$inner(rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$inner(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                self.$inner(rhs)
+            }
+        }
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$inner(&rhs)
+            }
+        }
+    };
+}
+
+forward_uint_binop!(Add, add, add_mag);
+forward_uint_binop!(Sub, sub, sub_mag);
+forward_uint_binop!(Mul, mul, mul_mag);
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = self.add_mag(rhs);
+    }
+}
+
+impl AddAssign<BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: BigUint) {
+        *self = self.add_mag(&rhs);
+    }
+}
+
+impl Shl<usize> for BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: usize) -> BigUint {
+        self.shl_bits(shift as u64)
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: usize) -> BigUint {
+        self.shl_bits(shift as u64)
+    }
+}
+
+impl Zero for BigUint {
+    fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+    fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+}
+
+impl One for BigUint {
+    fn one() -> Self {
+        BigUint::from(1u32)
+    }
+}
+
+impl ToPrimitive for BigUint {
+    fn to_i64(&self) -> Option<i64> {
+        self.to_u64().and_then(|v| i64::try_from(v).ok())
+    }
+    fn to_u64(&self) -> Option<u64> {
+        if self.limbs.len() > 2 {
+            return None;
+        }
+        let lo = u64::from(self.limbs.first().copied().unwrap_or(0));
+        let hi = u64::from(self.limbs.get(1).copied().unwrap_or(0));
+        Some((hi << 32) | lo)
+    }
+    fn to_f64(&self) -> Option<f64> {
+        let mut acc = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            acc = acc * 4294967296.0 + f64::from(l);
+        }
+        Some(acc)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Peel off 9 decimal digits at a time.
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u32(1_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        write!(f, "{}", chunks.last().unwrap())?;
+        for chunk in chunks.iter().rev().skip(1) {
+            write!(f, "{chunk:09}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a decimal unsigned integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError;
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigUintError);
+        }
+        let mut acc = BigUint::zero();
+        let ten_pow_9 = BigUint::from(1_000_000_000u32);
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let end = (i + 9).min(bytes.len());
+            let chunk: u32 = s[i..end].parse().map_err(|_| ParseBigUintError)?;
+            let scale = 10u64.pow((end - i) as u32);
+            acc = if scale == 1_000_000_000 {
+                acc.mul_mag(&ten_pow_9)
+            } else {
+                acc.mul_mag(&BigUint::from(scale))
+            };
+            acc += BigUint::from(chunk);
+            i = end;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn add_sub_mul_round_trip() {
+        let a = u(u64::MAX as u128) * u(u64::MAX as u128);
+        let b = u(1234567890123456789);
+        let sum = &a + &b;
+        assert_eq!(&sum - &b, a);
+        assert_eq!((&a * &b).div_rem(&b), (a.clone(), BigUint::zero()));
+    }
+
+    #[test]
+    fn division_with_remainder() {
+        let a = u(10u128.pow(30) + 7);
+        let d = u(10u128.pow(15));
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(q, u(10u128.pow(15)));
+        assert_eq!(r, u(7));
+    }
+
+    #[test]
+    fn shifts_match_powers_of_two() {
+        assert_eq!(u(1) << 100, u(1 << 50) * u(1 << 50));
+        assert_eq!((u(1) << 100).bits(), 101);
+        assert_eq!(u(0) << 5, u(0));
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for s in [
+            "0",
+            "7",
+            "1000000000",
+            "340282366920938463463374607431768211455",
+        ] {
+            let v: BigUint = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        let big = u(u128::MAX);
+        assert_eq!(big.to_string().parse::<BigUint>().unwrap(), big);
+        assert!("12x".parse::<BigUint>().is_err());
+        assert!("".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn comparison_orders_by_value() {
+        assert!(u(5) < u(6));
+        assert!(u(1) << 64 > u(u64::MAX as u128));
+        assert_eq!(u(42).cmp(&u(42)), Ordering::Equal);
+    }
+
+    #[test]
+    fn to_u64_bounds() {
+        assert_eq!(u(u64::MAX as u128).to_u64(), Some(u64::MAX));
+        assert_eq!((u(1) << 64).to_u64(), None);
+        assert_eq!(u(0).to_u64(), Some(0));
+    }
+}

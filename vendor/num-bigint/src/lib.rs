@@ -1,0 +1,422 @@
+//! Offline stand-in for the `num-bigint` crate.
+//!
+//! Arbitrary-precision integers with the subset of the real crate's API that
+//! this workspace uses: [`BigUint`] (little-endian `u32` limbs) and the
+//! sign-magnitude [`BigInt`], with exact add/sub/mul, truncating div/rem,
+//! left shift, comparison, decimal parsing and formatting, and the
+//! `num-traits` trait implementations.
+
+#![forbid(unsafe_code)]
+
+mod biguint;
+
+pub use biguint::BigUint;
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, RemAssign, Sub, SubAssign,
+};
+use std::str::FromStr;
+
+use num_traits::{One, Signed, ToPrimitive, Zero};
+
+/// Sign of a [`BigInt`]: −1, 0 or +1. Zero always carries sign 0.
+/// (The variant names mirror the real num-bigint crate.)
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(clippy::enum_variant_names)]
+enum Sign {
+    Minus,
+    NoSign,
+    Plus,
+}
+
+/// An arbitrary-precision signed integer.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    fn from_sign_mag(sign: Sign, mag: BigUint) -> BigInt {
+        if mag.is_zero() {
+            BigInt {
+                sign: Sign::NoSign,
+                mag,
+            }
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The magnitude as a [`BigUint`].
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Number of significant bits of the magnitude.
+    pub fn bits(&self) -> u64 {
+        self.mag.bits()
+    }
+
+    fn add_signed(&self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::NoSign, _) => other.clone(),
+            (_, Sign::NoSign) => self.clone(),
+            (a, b) if a == b => BigInt::from_sign_mag(a, &self.mag + &other.mag),
+            _ => match self.mag.cmp(&other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_sign_mag(self.sign, &self.mag - &other.mag),
+                Ordering::Less => BigInt::from_sign_mag(other.sign, &other.mag - &self.mag),
+            },
+        }
+    }
+
+    fn mul_signed(&self, other: &BigInt) -> BigInt {
+        let sign = match (self.sign, other.sign) {
+            (Sign::NoSign, _) | (_, Sign::NoSign) => Sign::NoSign,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        BigInt::from_sign_mag(sign, &self.mag * &other.mag)
+    }
+
+    /// Truncating division with remainder; the remainder takes the sign of
+    /// the dividend (Rust semantics, matching the real `num-bigint`).
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "division by zero");
+        let (q, r) = self.mag.div_rem(&other.mag);
+        let q_sign = match (self.sign, other.sign) {
+            (Sign::NoSign, _) => Sign::NoSign,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        (
+            BigInt::from_sign_mag(q_sign, q),
+            BigInt::from_sign_mag(self.sign, r),
+        )
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                BigInt::from_sign_mag(Sign::Plus, BigUint::from(v))
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_from_signed {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                if v < 0 {
+                    // Negate in a wider type so MIN does not overflow.
+                    BigInt::from_sign_mag(Sign::Minus, BigUint::from((-(v as $wide)) as u128))
+                } else {
+                    BigInt::from_sign_mag(Sign::Plus, BigUint::from(v as u128))
+                }
+            }
+        }
+    )*};
+}
+
+impl_from_signed!(i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128);
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> BigInt {
+        if v < 0 {
+            BigInt::from_sign_mag(Sign::Minus, BigUint::from(v.unsigned_abs()))
+        } else {
+            BigInt::from_sign_mag(Sign::Plus, BigUint::from(v as u128))
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> BigInt {
+        BigInt::from_sign_mag(Sign::Plus, mag)
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let rank = |s: Sign| match s {
+            Sign::Minus => 0,
+            Sign::NoSign => 1,
+            Sign::Plus => 2,
+        };
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => match self.sign {
+                Sign::Plus => self.mag.cmp(&other.mag),
+                Sign::Minus => other.mag.cmp(&self.mag),
+                Sign::NoSign => Ordering::Equal,
+            },
+            unequal => unequal,
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+            Sign::NoSign => Sign::NoSign,
+        };
+        BigInt { sign, ..self }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+// Generates the four ref/value combinations of a binary operator from the
+// by-reference implementation.
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $f:expr) => {
+        impl $trait<&BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                let f: fn(&BigInt, &BigInt) -> BigInt = $f;
+                f(self, rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, |a, b| a.add_signed(b));
+forward_binop!(Sub, sub, |a, b| a.add_signed(&-b));
+forward_binop!(Mul, mul, |a, b| a.mul_signed(b));
+forward_binop!(Div, div, |a, b| a.div_rem(b).0);
+forward_binop!(Rem, rem, |a, b| a.div_rem(b).1);
+
+macro_rules! forward_assign {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&BigInt> for BigInt {
+            fn $method(&mut self, rhs: &BigInt) {
+                *self = &*self $op rhs;
+            }
+        }
+        impl $trait<BigInt> for BigInt {
+            fn $method(&mut self, rhs: BigInt) {
+                *self = &*self $op &rhs;
+            }
+        }
+    };
+}
+
+forward_assign!(AddAssign, add_assign, +);
+forward_assign!(SubAssign, sub_assign, -);
+forward_assign!(MulAssign, mul_assign, *);
+forward_assign!(DivAssign, div_assign, /);
+forward_assign!(RemAssign, rem_assign, %);
+
+impl Zero for BigInt {
+    fn zero() -> Self {
+        BigInt {
+            sign: Sign::NoSign,
+            mag: BigUint::zero(),
+        }
+    }
+    fn is_zero(&self) -> bool {
+        self.sign == Sign::NoSign
+    }
+}
+
+impl One for BigInt {
+    fn one() -> Self {
+        BigInt::from(1u32)
+    }
+}
+
+impl Signed for BigInt {
+    fn abs(&self) -> Self {
+        BigInt::from_sign_mag(
+            if self.is_zero() {
+                Sign::NoSign
+            } else {
+                Sign::Plus
+            },
+            self.mag.clone(),
+        )
+    }
+    fn signum(&self) -> Self {
+        match self.sign {
+            Sign::Plus => BigInt::from(1i32),
+            Sign::Minus => BigInt::from(-1i32),
+            Sign::NoSign => BigInt::zero(),
+        }
+    }
+    fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+    fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+}
+
+impl ToPrimitive for BigInt {
+    fn to_i64(&self) -> Option<i64> {
+        let mag = self.mag.to_u64()?;
+        match self.sign {
+            Sign::NoSign => Some(0),
+            Sign::Plus => i64::try_from(mag).ok(),
+            Sign::Minus => {
+                if mag <= i64::MAX as u64 + 1 {
+                    Some((mag as i128).checked_neg()? as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+    fn to_u64(&self) -> Option<u64> {
+        match self.sign {
+            Sign::Minus => None,
+            _ => self.mag.to_u64(),
+        }
+    }
+    fn to_f64(&self) -> Option<f64> {
+        let mag = self.mag.to_f64()?;
+        Some(if self.sign == Sign::Minus { -mag } else { mag })
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+/// Error parsing a decimal integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError;
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal integer")
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Minus, rest),
+            None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let mag: BigUint = digits.parse().map_err(|_| ParseBigIntError)?;
+        Ok(BigInt::from_sign_mag(sign, mag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn signed_arithmetic() {
+        assert_eq!(b(3) + b(-5), b(-2));
+        assert_eq!(b(-3) - b(-5), b(2));
+        assert_eq!(b(-3) * b(5), b(-15));
+        assert_eq!(b(-3) * b(-5), b(15));
+        assert_eq!(b(0) + b(0), b(0));
+        let mut x = b(10);
+        x += &b(5);
+        x -= b(3);
+        x *= &b(2);
+        assert_eq!(x, b(24));
+    }
+
+    #[test]
+    fn truncating_division() {
+        assert_eq!(b(7) / b(2), b(3));
+        assert_eq!(b(-7) / b(2), b(-3));
+        assert_eq!(b(7) % b(-2), b(1));
+        assert_eq!(b(-7) % b(2), b(-1));
+    }
+
+    #[test]
+    fn large_values_round_trip_through_strings() {
+        let big: BigInt = "123456789012345678901234567890".parse().unwrap();
+        let neg: BigInt = "-123456789012345678901234567890".parse().unwrap();
+        assert_eq!(big.to_string(), "123456789012345678901234567890");
+        assert_eq!(&big + &neg, b(0));
+        assert_eq!((&big * &big).to_string().len(), 59);
+    }
+
+    #[test]
+    fn factorial_20_matches_u64() {
+        let mut acc = BigInt::one();
+        for i in 1..=20u32 {
+            acc *= BigInt::from(i);
+        }
+        assert_eq!(acc, BigInt::from(2432902008176640000u64));
+        assert_eq!(acc.to_u64(), Some(2432902008176640000));
+    }
+
+    #[test]
+    fn ordering_respects_sign() {
+        assert!(b(-5) < b(-2));
+        assert!(b(-2) < b(0));
+        assert!(b(0) < b(3));
+        assert!(b(3) < b(30));
+    }
+
+    #[test]
+    fn to_i64_handles_min() {
+        let min = BigInt::from(i64::MIN);
+        assert_eq!(min.to_i64(), Some(i64::MIN));
+        assert_eq!((min - b(1)).to_i64(), None);
+    }
+}

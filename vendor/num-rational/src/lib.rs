@@ -1,0 +1,371 @@
+//! Offline stand-in for the `num-rational` crate.
+//!
+//! Provides [`BigRational`] — an exact rational number over
+//! `num_bigint::BigInt` — kept in canonical form (denominator positive,
+//! numerator and denominator coprime, zero represented as `0/1`), with the
+//! arithmetic-operator coverage (all value/reference combinations), ordering,
+//! formatting and `num-traits` implementations this workspace uses.
+
+#![forbid(unsafe_code)]
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use num_bigint::BigInt;
+use num_traits::{One, Signed, ToPrimitive, Zero};
+
+/// An exact rational number with arbitrary-precision numerator and
+/// denominator, always stored in canonical form.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BigRational {
+    numer: BigInt,
+    denom: BigInt,
+}
+
+fn gcd(a: &BigInt, b: &BigInt) -> BigInt {
+    BigInt::from(a.magnitude().gcd(b.magnitude()))
+}
+
+impl BigRational {
+    /// Creates `numer / denom` in canonical form.
+    ///
+    /// # Panics
+    /// Panics if `denom` is zero.
+    pub fn new(numer: BigInt, denom: BigInt) -> BigRational {
+        assert!(!denom.is_zero(), "rational with zero denominator");
+        let mut numer = numer;
+        let mut denom = denom;
+        if denom.is_negative() {
+            numer = -numer;
+            denom = -denom;
+        }
+        if numer.is_zero() {
+            return BigRational {
+                numer,
+                denom: BigInt::one(),
+            };
+        }
+        let g = gcd(&numer, &denom);
+        BigRational {
+            numer: numer / &g,
+            denom: denom / &g,
+        }
+    }
+
+    /// Creates the rational `i / 1`.
+    pub fn from_integer(i: BigInt) -> BigRational {
+        BigRational {
+            numer: i,
+            denom: BigInt::one(),
+        }
+    }
+
+    /// The canonical numerator.
+    pub fn numer(&self) -> &BigInt {
+        &self.numer
+    }
+
+    /// The canonical (positive) denominator.
+    pub fn denom(&self) -> &BigInt {
+        &self.denom
+    }
+
+    /// True if the denominator is 1.
+    pub fn is_integer(&self) -> bool {
+        self.denom.is_one()
+    }
+
+    /// Truncates toward zero.
+    pub fn to_integer(&self) -> BigInt {
+        &self.numer / &self.denom
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if `self` is zero.
+    pub fn recip(&self) -> BigRational {
+        BigRational::new(self.denom.clone(), self.numer.clone())
+    }
+
+    // Addition via the classical gcd-of-denominators trick: with
+    // g = gcd(d1, d2) and both inputs canonical, the only common factor the
+    // sum can share with the denominator divides g, so the final reduction
+    // works on small numbers instead of the full cross products.
+    fn add_sub(&self, other: &BigRational, negate: bool) -> BigRational {
+        let rhs_numer = if negate {
+            -&other.numer
+        } else {
+            other.numer.clone()
+        };
+        if self.denom.is_one() && other.denom.is_one() {
+            return BigRational::from_integer(&self.numer + rhs_numer);
+        }
+        let g = gcd(&self.denom, &other.denom);
+        if g.is_one() {
+            return BigRational {
+                numer: &self.numer * &other.denom + rhs_numer * &self.denom,
+                denom: &self.denom * &other.denom,
+            };
+        }
+        let d1g = &self.denom / &g;
+        let d2g = &other.denom / &g;
+        let t = &self.numer * &d2g + rhs_numer * &d1g;
+        let g2 = gcd(&t, &g);
+        BigRational {
+            numer: t / &g2,
+            denom: d1g * (&other.denom / g2),
+        }
+    }
+
+    fn add_rat(&self, other: &BigRational) -> BigRational {
+        self.add_sub(other, false)
+    }
+
+    fn sub_rat(&self, other: &BigRational) -> BigRational {
+        self.add_sub(other, true)
+    }
+
+    // Multiplication with cross-reduction: cancel gcd(n1, d2) and
+    // gcd(n2, d1) first so the result is canonical without a gcd of the full
+    // products.
+    fn mul_rat(&self, other: &BigRational) -> BigRational {
+        if self.denom.is_one() && other.denom.is_one() {
+            return BigRational::from_integer(&self.numer * &other.numer);
+        }
+        let g1 = gcd(&self.numer, &other.denom);
+        let g2 = gcd(&other.numer, &self.denom);
+        BigRational {
+            numer: (&self.numer / &g1) * (&other.numer / &g2),
+            denom: (&self.denom / &g2) * (&other.denom / &g1),
+        }
+    }
+
+    fn div_rat(&self, other: &BigRational) -> BigRational {
+        assert!(!other.numer.is_zero(), "division by zero rational");
+        self.mul_rat(&other.recip())
+    }
+}
+
+impl Default for BigRational {
+    fn default() -> Self {
+        BigRational::zero()
+    }
+}
+
+impl From<BigInt> for BigRational {
+    fn from(i: BigInt) -> Self {
+        BigRational::from_integer(i)
+    }
+}
+
+impl PartialOrd for BigRational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigRational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Denominators are positive by the canonical-form invariant.
+        (&self.numer * &other.denom).cmp(&(&other.numer * &self.denom))
+    }
+}
+
+impl Neg for BigRational {
+    type Output = BigRational;
+    fn neg(self) -> BigRational {
+        BigRational {
+            numer: -self.numer,
+            denom: self.denom,
+        }
+    }
+}
+
+impl Neg for &BigRational {
+    type Output = BigRational;
+    fn neg(self) -> BigRational {
+        -self.clone()
+    }
+}
+
+macro_rules! forward_rat_binop {
+    ($trait:ident, $method:ident, $inner:ident) => {
+        impl $trait<&BigRational> for &BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: &BigRational) -> BigRational {
+                self.$inner(rhs)
+            }
+        }
+        impl $trait<BigRational> for &BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: BigRational) -> BigRational {
+                self.$inner(&rhs)
+            }
+        }
+        impl $trait<&BigRational> for BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: &BigRational) -> BigRational {
+                self.$inner(rhs)
+            }
+        }
+        impl $trait<BigRational> for BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: BigRational) -> BigRational {
+                self.$inner(&rhs)
+            }
+        }
+    };
+}
+
+forward_rat_binop!(Add, add, add_rat);
+forward_rat_binop!(Sub, sub, sub_rat);
+forward_rat_binop!(Mul, mul, mul_rat);
+forward_rat_binop!(Div, div, div_rat);
+
+macro_rules! forward_rat_assign {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&BigRational> for BigRational {
+            fn $method(&mut self, rhs: &BigRational) {
+                *self = &*self $op rhs;
+            }
+        }
+        impl $trait<BigRational> for BigRational {
+            fn $method(&mut self, rhs: BigRational) {
+                *self = &*self $op &rhs;
+            }
+        }
+    };
+}
+
+forward_rat_assign!(AddAssign, add_assign, +);
+forward_rat_assign!(SubAssign, sub_assign, -);
+forward_rat_assign!(MulAssign, mul_assign, *);
+forward_rat_assign!(DivAssign, div_assign, /);
+
+impl Zero for BigRational {
+    fn zero() -> Self {
+        BigRational::from_integer(BigInt::zero())
+    }
+    fn is_zero(&self) -> bool {
+        self.numer.is_zero()
+    }
+}
+
+impl One for BigRational {
+    fn one() -> Self {
+        BigRational::from_integer(BigInt::one())
+    }
+}
+
+impl Signed for BigRational {
+    fn abs(&self) -> Self {
+        BigRational {
+            numer: self.numer.abs(),
+            denom: self.denom.clone(),
+        }
+    }
+    fn signum(&self) -> Self {
+        BigRational::from_integer(self.numer.signum())
+    }
+    fn is_positive(&self) -> bool {
+        self.numer.is_positive()
+    }
+    fn is_negative(&self) -> bool {
+        self.numer.is_negative()
+    }
+}
+
+impl ToPrimitive for BigRational {
+    fn to_i64(&self) -> Option<i64> {
+        if self.is_integer() {
+            self.numer.to_i64()
+        } else {
+            None
+        }
+    }
+    fn to_u64(&self) -> Option<u64> {
+        if self.is_integer() {
+            self.numer.to_u64()
+        } else {
+            None
+        }
+    }
+    fn to_f64(&self) -> Option<f64> {
+        Some(self.numer.to_f64()? / self.denom.to_f64()?)
+    }
+}
+
+// Matches the real crate: integers print without a denominator.
+impl fmt::Display for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.numer)
+        } else {
+            write!(f, "{}/{}", self.numer, self.denom)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> BigRational {
+        BigRational::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(1, -2), r(-1, 2));
+        assert_eq!(r(0, 5).denom(), &BigInt::from(1));
+        assert_eq!(r(-6, -4), r(3, 2));
+    }
+
+    #[test]
+    fn field_arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        let mut x = r(1, 1);
+        x += &r(1, 2);
+        x -= r(1, 4);
+        x *= &r(4, 5);
+        x /= r(1, 5);
+        assert_eq!(x, r(5, 1));
+    }
+
+    #[test]
+    fn negative_weights_behave() {
+        assert_eq!(r(1, 1) + r(-1, 1), r(0, 1));
+        assert!(r(-1, 2).is_negative());
+        assert_eq!((-r(3, 4)).abs(), r(3, 4));
+        assert_eq!(r(-3, 4).signum(), r(-1, 1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(0, 1));
+        assert!(r(7, 1) > r(13, 2));
+    }
+
+    #[test]
+    fn integer_conversion_truncates() {
+        assert_eq!(r(7, 2).to_integer(), BigInt::from(3));
+        assert_eq!(r(-7, 2).to_integer(), BigInt::from(-3));
+        assert!(r(4, 2).is_integer());
+        assert_eq!(r(4, 2).to_i64(), Some(2));
+        assert_eq!(r(1, 2).to_i64(), None);
+    }
+
+    #[test]
+    fn display_matches_num_rational() {
+        assert_eq!(r(3, 1).to_string(), "3");
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(r(-1, 2).to_string(), "-1/2");
+    }
+}

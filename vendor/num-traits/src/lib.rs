@@ -1,0 +1,166 @@
+//! Offline stand-in for the `num-traits` crate.
+//!
+//! Provides the numeric traits used by this workspace — [`Zero`], [`One`],
+//! [`Signed`] and [`ToPrimitive`] — with the same names and semantics as the
+//! real crate, implemented for the primitive integer and float types. The
+//! big-number types in the sibling `num-bigint` / `num-rational` stubs
+//! implement these traits for themselves.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Add, Mul};
+
+/// Additive identity.
+pub trait Zero: Sized + Add<Self, Output = Self> {
+    /// Returns the additive identity.
+    fn zero() -> Self;
+    /// True if `self` is the additive identity.
+    fn is_zero(&self) -> bool;
+    /// Sets `self` to the additive identity.
+    fn set_zero(&mut self) {
+        *self = Self::zero();
+    }
+}
+
+/// Multiplicative identity.
+pub trait One: Sized + Mul<Self, Output = Self> {
+    /// Returns the multiplicative identity.
+    fn one() -> Self;
+    /// True if `self` is the multiplicative identity.
+    fn is_one(&self) -> bool
+    where
+        Self: PartialEq,
+    {
+        *self == Self::one()
+    }
+    /// Sets `self` to the multiplicative identity.
+    fn set_one(&mut self) {
+        *self = Self::one();
+    }
+}
+
+/// Numbers with a sign.
+pub trait Signed: Sized {
+    /// Absolute value.
+    fn abs(&self) -> Self;
+    /// `-1`, `0` or `+1` according to sign.
+    fn signum(&self) -> Self;
+    /// True if strictly positive.
+    fn is_positive(&self) -> bool;
+    /// True if strictly negative.
+    fn is_negative(&self) -> bool;
+}
+
+/// Checked conversions into primitive types.
+pub trait ToPrimitive {
+    /// Converts to `i64` if representable.
+    fn to_i64(&self) -> Option<i64>;
+    /// Converts to `u64` if representable.
+    fn to_u64(&self) -> Option<u64>;
+    /// Converts to `usize` if representable.
+    fn to_usize(&self) -> Option<usize> {
+        self.to_u64().and_then(|v| usize::try_from(v).ok())
+    }
+    /// Converts to `f64` (possibly losing precision).
+    fn to_f64(&self) -> Option<f64> {
+        self.to_i64().map(|v| v as f64)
+    }
+}
+
+macro_rules! impl_int_traits {
+    ($($t:ty),*) => {$(
+        impl Zero for $t {
+            fn zero() -> Self { 0 }
+            fn is_zero(&self) -> bool { *self == 0 }
+        }
+        impl One for $t {
+            fn one() -> Self { 1 }
+        }
+        impl ToPrimitive for $t {
+            fn to_i64(&self) -> Option<i64> { i64::try_from(*self).ok() }
+            fn to_u64(&self) -> Option<u64> { u64::try_from(*self).ok() }
+            fn to_f64(&self) -> Option<f64> { Some(*self as f64) }
+        }
+    )*};
+}
+
+impl_int_traits!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_signed_int {
+    ($($t:ty),*) => {$(
+        impl Signed for $t {
+            fn abs(&self) -> Self { <$t>::abs(*self) }
+            fn signum(&self) -> Self { <$t>::signum(*self) }
+            fn is_positive(&self) -> bool { *self > 0 }
+            fn is_negative(&self) -> bool { *self < 0 }
+        }
+    )*};
+}
+
+impl_signed_int!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float_traits {
+    ($($t:ty),*) => {$(
+        impl Zero for $t {
+            fn zero() -> Self { 0.0 }
+            fn is_zero(&self) -> bool { *self == 0.0 }
+        }
+        impl One for $t {
+            fn one() -> Self { 1.0 }
+        }
+        impl Signed for $t {
+            fn abs(&self) -> Self { <$t>::abs(*self) }
+            fn signum(&self) -> Self { <$t>::signum(*self) }
+            fn is_positive(&self) -> bool { *self > 0.0 }
+            fn is_negative(&self) -> bool { *self < 0.0 }
+        }
+        impl ToPrimitive for $t {
+            fn to_i64(&self) -> Option<i64> {
+                if self.fract() == 0.0 && *self >= i64::MIN as $t && *self <= i64::MAX as $t {
+                    Some(*self as i64)
+                } else {
+                    None
+                }
+            }
+            fn to_u64(&self) -> Option<u64> {
+                if self.fract() == 0.0 && *self >= 0.0 && *self <= u64::MAX as $t {
+                    Some(*self as u64)
+                } else {
+                    None
+                }
+            }
+            fn to_f64(&self) -> Option<f64> { Some(*self as f64) }
+        }
+    )*};
+}
+
+impl_float_traits!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(i64::zero(), 0);
+        assert_eq!(u32::one(), 1);
+        assert!(0u64.is_zero());
+        assert!(1i32.is_one());
+    }
+
+    #[test]
+    fn signs() {
+        assert!((-3i64).is_negative());
+        assert!(!0i64.is_negative());
+        assert_eq!((-3i32).abs(), 3);
+        assert_eq!((-3i32).signum(), -1);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(300usize.to_i64(), Some(300));
+        assert_eq!((-1i64).to_u64(), None);
+        assert_eq!(2.5f64.to_i64(), None);
+        assert_eq!(2.0f64.to_i64(), Some(2));
+    }
+}

@@ -1,0 +1,89 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy generating vectors of values from `element` with lengths in
+/// `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `BTreeSet<S::Value>`.
+///
+/// Duplicates drawn from `element` are merged, so the generated set may be
+/// smaller than the sampled size (the real proptest retries; for the random
+/// structures generated in this workspace the distinction is irrelevant).
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.generate(rng);
+        (0..target).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy generating ordered sets of values from `element` with at most
+/// `size.end - 1` entries.
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_vec_strategies_compose() {
+        let mut rng = TestRng::for_test("nested");
+        let clause = vec((0usize..6, crate::arbitrary::any::<bool>()), 0..4);
+        let cnf = vec(clause, 0..8);
+        for _ in 0..100 {
+            let f = cnf.generate(&mut rng);
+            assert!(f.len() < 8);
+            for c in f {
+                assert!(c.len() < 4);
+                assert!(c.iter().all(|&(v, _)| v < 6));
+            }
+        }
+    }
+
+    #[test]
+    fn btree_set_merges_duplicates() {
+        let mut rng = TestRng::for_test("dups");
+        let strat = btree_set(0usize..2, 3..4);
+        for _ in 0..50 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() <= 2);
+        }
+    }
+}

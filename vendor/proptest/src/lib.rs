@@ -1,0 +1,133 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, range / tuple /
+//! `any::<T>()` strategies, [`collection::vec`] and [`collection::btree_set`],
+//! [`test_runner::ProptestConfig`], and the [`proptest!`], [`prop_assert!`]
+//! and [`prop_assert_eq!`] macros.
+//!
+//! Semantics: each `proptest!` test runs `config.cases` iterations of seeded
+//! random generation (deterministic per test name), and `prop_assert*` is a
+//! plain assertion. There is **no shrinking** — a failing case reports the
+//! generated values via the panic message only.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The customary glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property-based tests.
+///
+/// Supports an optional `#![proptest_config(...)]` header followed by
+/// `#[test] fn name(binding in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("ranges");
+        for _ in 0..500 {
+            let v = Strategy::generate(&(3usize..10), &mut rng);
+            assert!((3..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut rng = crate::test_runner::TestRng::for_test("vec");
+        let strat = crate::collection::vec(0usize..5, 2..6);
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn btree_set_strategy_bounds_size() {
+        let mut rng = crate::test_runner::TestRng::for_test("set");
+        let strat = crate::collection::btree_set(0usize..5, 0..4);
+        for _ in 0..200 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(s.len() < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_runs(x in 0usize..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            let _ = flip;
+        }
+
+        #[test]
+        fn prop_map_applies(v in crate::collection::vec(0u64..10, 0..5).prop_map(|v| v.len())) {
+            prop_assert!(v < 5);
+        }
+
+        #[test]
+        fn just_returns_value(k in Just(41usize)) {
+            prop_assert_eq!(k + 1, 42);
+            prop_assert_ne!(k, 0);
+        }
+    }
+}

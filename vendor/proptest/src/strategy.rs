@@ -1,0 +1,126 @@
+//! The [`Strategy`] trait and the combinators used by this workspace.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of an associated type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Spans here always fit in u64.
+                let offset = rng.below(span as u64) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_strategy_generates_componentwise() {
+        let mut rng = TestRng::for_test("tuple");
+        let strat = (0usize..4, 10u64..20, -5i64..5);
+        for _ in 0..100 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!(a < 4);
+            assert!((10..20).contains(&b));
+            assert!((-5..5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn map_composes() {
+        let mut rng = TestRng::for_test("map");
+        let strat = (0usize..10).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn signed_ranges_cover_negatives() {
+        let mut rng = TestRng::for_test("signed");
+        let mut saw_negative = false;
+        for _ in 0..200 {
+            if (-10i64..10).generate(&mut rng) < 0 {
+                saw_negative = true;
+            }
+        }
+        assert!(saw_negative);
+    }
+}

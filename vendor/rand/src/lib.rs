@@ -1,0 +1,151 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides a deterministic [`rngs::StdRng`] (SplitMix64), the
+//! [`SeedableRng::seed_from_u64`] constructor and the [`Rng`] methods used by
+//! this workspace (`gen_range` over integer ranges, `gen_bool`). Not
+//! cryptographic and not statistically rigorous — it exists so seeded
+//! benchmarks and tests run without network access to crates.io.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `range` using `rng`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in gen_range");
+                let span = (range.end as u128) - (range.start as u128);
+                // Modulo bias is negligible for the spans used here and
+                // irrelevant for benchmark workload generation.
+                let offset = (rng.next_u64() as u128) % span;
+                (range.start as u128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in gen_range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (range.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Core source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open integer range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic SplitMix64 generator standing in for `rand`'s
+    /// `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..200 {
+            match rng.gen_range(0usize..2) {
+                0 => seen_low = true,
+                1 => seen_high = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(seen_low && seen_high);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let trues = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((300..700).contains(&trues), "suspicious balance: {trues}");
+    }
+}
