@@ -24,7 +24,7 @@ fn bench_fo2(c: &mut Criterion) {
 
     for (name, sentence) in &sentences {
         let voc = sentence.vocabulary();
-        for n in [6usize, 12] {
+        for n in [6usize, 12, 30] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{name}/lifted"), n),
                 &n,

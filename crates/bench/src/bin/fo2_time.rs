@@ -1,0 +1,46 @@
+//! Wall-clock snapshot tool for the FO² cell-sum hot path. Prints one JSON
+//! object per workload (`{"workload": ..., "n": ..., "ms": ...}`) so
+//! before/after numbers can be recorded in `BENCH_fo2.json`. Run with
+//! `cargo run --release -p wfomc-bench --bin fo2_time [-- quick]`.
+
+use std::env;
+use std::time::Instant;
+
+use wfomc::core::fo2::wfomc_fo2_with_stats;
+use wfomc::prelude::*;
+use wfomc_bench::{fo2_scaling_workload, standard_weights};
+
+fn time_one(name: &str, sentence: &Formula, n: usize, weights: &Weights) {
+    let voc = sentence.vocabulary();
+    let start = Instant::now();
+    let (_, stats) = wfomc_fo2_with_stats(sentence, &voc, n, weights).unwrap();
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "{{\"workload\": \"{name}\", \"n\": {n}, \"ms\": {ms:.2}, \"cells\": {}, \"compositions\": {}}}",
+        stats.total_valid_cells, stats.compositions_summed
+    );
+}
+
+fn main() {
+    let quick = env::args().nth(1).as_deref() == Some("quick");
+    let weights = standard_weights();
+    time_one(
+        "forall-exists",
+        &catalog::forall_exists_edge(),
+        30,
+        &weights,
+    );
+    time_one("spouse", &catalog::spouse_constraint(), 20, &weights);
+    time_one("smokers", &catalog::smokers_constraint(), 30, &weights);
+    time_one("table1", &catalog::table1_sentence(), 12, &weights);
+    if !quick {
+        time_one("table1", &catalog::table1_sentence(), 30, &weights);
+        time_one(
+            "forall-exists",
+            &catalog::forall_exists_edge(),
+            100,
+            &weights,
+        );
+        time_one("partition-12cell", &fo2_scaling_workload(), 100, &weights);
+    }
+}

@@ -2,20 +2,27 @@
 //! figure of the paper. Run a single experiment with e.g.
 //! `cargo run --release -p wfomc-bench --bin repro -- table1`, or everything
 //! with `-- all`. `EXPERIMENTS.md` records the expected output.
+//! `-- smoke` runs a fast cross-section (including the FO² scaling
+//! experiment at a reduced domain size) as the CI smoke test.
 
 use std::env;
+use std::time::Instant;
 
 use wfomc::core::closed_form;
-use wfomc::core::fo2::wfomc_fo2;
+use wfomc::core::fo2::{wfomc_fo2, wfomc_fo2_with_stats};
 use wfomc::core::qs4::wfomc_qs4;
 use wfomc::ground::GroundSolver;
 use wfomc::mln::ground_semantics::partition_function_brute;
 use wfomc::prelude::*;
 use wfomc::reductions::theta1::theta1;
-use wfomc_bench::{approx, short, smokers_mln, standard_weights};
+use wfomc_bench::{approx, fo2_scaling_workload, short, smokers_mln, standard_weights};
 
 fn main() {
     let which = env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if which == "smoke" {
+        smoke();
+        return;
+    }
     let all = which == "all";
     if all || which == "table1" {
         table1();
@@ -34,6 +41,9 @@ fn main() {
     }
     if all || which == "fo2" {
         fo2();
+    }
+    if all || which == "fo2-scaling" {
+        fo2_scaling();
     }
     if all || which == "mln" {
         mln();
@@ -199,6 +209,46 @@ fn fo2() {
         }
         println!();
     }
+}
+
+/// E6b — scaling of the prefix-sharing cell-sum engine with the domain size.
+fn fo2_scaling() {
+    fo2_scaling_with_sizes(&[25, 50, 100]);
+}
+
+fn fo2_scaling_with_sizes(sizes: &[usize]) {
+    header("E6b  FO² scaling: prefix-sharing cell-sum engine");
+    let weights = standard_weights();
+    println!(
+        "{:<18} {:>4} {:>6} {:>12} {:>12} {:>10}",
+        "sentence", "n", "cells", "terms", "pruned", "ms"
+    );
+    for (name, sentence) in [
+        ("forall-exists", catalog::forall_exists_edge()),
+        ("partition-12cell", fo2_scaling_workload()),
+    ] {
+        let voc = sentence.vocabulary();
+        for &n in sizes {
+            let start = Instant::now();
+            let (_, stats) = wfomc_fo2_with_stats(&sentence, &voc, n, &weights).unwrap();
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "{name:<18} {n:>4} {:>6} {:>12} {:>12} {ms:>10.1}",
+                stats.total_valid_cells, stats.compositions_summed, stats.compositions_pruned
+            );
+        }
+    }
+}
+
+/// The CI smoke test: every lifted pipeline once, at sizes that finish in
+/// well under a minute, with cross-checks against closed forms / grounding.
+fn smoke() {
+    table1();
+    qs4();
+    fo2();
+    fo2_scaling_with_sizes(&[25]);
+    closed_forms();
+    println!("\nsmoke: ok");
 }
 
 /// E8 — Examples 1.1/1.2.

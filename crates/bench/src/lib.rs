@@ -57,6 +57,20 @@ pub fn table2_workload() -> Vec<(&'static str, Formula)> {
     catalog::table2_open_problems()
 }
 
+/// E6b (`fo2_scaling`): an FO² sentence with 12 valid cells (3 unary bits
+/// from `A`, `B` and the Skolem predicate, 1 reflexive bit from `R`) whose
+/// hard partition constraints `A(x) ↔ A(y)` and `B(x) ↔ B(y)` zero out every
+/// cross-cell pair entry between different (A, B)-classes. The prefix-sharing
+/// cell-sum engine prunes those subtrees instead of summing zero terms, which
+/// is what makes n = 100 with this many cells finish in seconds.
+pub fn fo2_scaling_workload() -> Formula {
+    and(vec![
+        forall(["x"], exists(["y"], atom("R", &["x", "y"]))),
+        forall(["x", "y"], iff(atom("A", &["x"]), atom("A", &["y"]))),
+        forall(["x", "y"], iff(atom("B", &["x"]), atom("B", &["y"]))),
+    ])
+}
+
 /// E8: the smokers-and-friends MLN.
 pub fn smokers_mln() -> MarkovLogicNetwork {
     let mut mln = MarkovLogicNetwork::new();

@@ -1,5 +1,6 @@
 //! The FO² counting algorithm: Shannon expansion over nullary predicates plus
-//! the cell-decomposition sum of Appendix C.
+//! the cell-decomposition sum of Appendix C, evaluated by the prefix-sharing
+//! DFS engine in [`super::cellsum`].
 
 use std::collections::BTreeSet;
 
@@ -11,14 +12,14 @@ use wfomc_logic::syntax::Formula;
 use wfomc_logic::vocabulary::{Predicate, Vocabulary};
 use wfomc_logic::weights::{weight_pow, Weight, Weights};
 
-use super::cells::{build_cells, build_pair_table, CellSpace};
+use super::cells::CellSpace;
+use super::cellsum::{cell_sum, CellSumStats};
 use super::normalize::{fo2_normal_form, Fo2Shape};
-use crate::combinatorics::{compositions, multinomial_weight};
 use crate::error::LiftError;
 
 /// Statistics reported by [`wfomc_fo2`], used by the benchmarks and the
 /// `repro` harness to explain the cost profile (number of cells, number of
-/// compositions summed, number of Shannon branches).
+/// compositions summed and pruned, number of Shannon branches).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Fo2Stats {
     /// Number of fresh predicates introduced by normalization.
@@ -27,8 +28,34 @@ pub struct Fo2Stats {
     pub shannon_branches: usize,
     /// Valid cells per Shannon branch (summed over branches).
     pub total_valid_cells: usize,
-    /// Compositions summed over all branches.
+    /// Compositions whose term was evaluated, over all branches.
     pub compositions_summed: usize,
+    /// Compositions skipped by the engine's zero-term subtree cutoffs.
+    pub compositions_pruned: usize,
+    /// All compositions over the branches' non-zero cells
+    /// (`summed + pruned`, saturating).
+    pub compositions_total: usize,
+    /// Valid cells dropped before the sum because their weight is zero.
+    pub zero_weight_cells_pruned: usize,
+}
+
+impl Fo2Stats {
+    /// All counters saturate, so `summed + pruned = total` may degrade to an
+    /// inequality only when every involved count has already pinned at
+    /// `usize::MAX`.
+    fn absorb_cell_sum(&mut self, s: &CellSumStats) {
+        self.total_valid_cells = self.total_valid_cells.saturating_add(s.valid_cells);
+        self.compositions_summed = self
+            .compositions_summed
+            .saturating_add(s.compositions_summed);
+        self.compositions_pruned = self
+            .compositions_pruned
+            .saturating_add(s.compositions_pruned);
+        self.compositions_total = self.compositions_total.saturating_add(s.compositions_total);
+        self.zero_weight_cells_pruned = self
+            .zero_weight_cells_pruned
+            .saturating_add(s.zero_weight_cells_pruned);
+    }
 }
 
 /// Computes the symmetric WFOMC of an FO² sentence in time polynomial in `n`.
@@ -101,88 +128,107 @@ pub fn wfomc_fo2_with_stats(
         }
     }
 
-    // Shannon expansion over the nullary predicates.
-    let mut total = Weight::zero();
+    // Shannon expansion over the nullary predicates: substitute all nullary
+    // truth values in a single bottom-up pass per mask, then evaluate the
+    // surviving branches (independent, hence parallelizable) with the
+    // prefix-sharing cell-sum engine.
     stats.shannon_branches = 1 << nullary.len();
+    let pairs: Vec<_> = nullary.iter().map(|p| shape.weights.pair_of(p)).collect();
+    let mut branches: Vec<(Weight, Formula)> = Vec::new();
     for mask in 0u64..(1u64 << nullary.len()) {
         let mut factor = Weight::one();
-        let mut branch_matrix = shape.matrix.clone();
-        for (i, p) in nullary.iter().enumerate() {
-            let value = mask >> i & 1 == 1;
-            let pair = shape.weights.pair_of(p);
-            factor *= if value { pair.pos } else { pair.neg };
-            branch_matrix = branch_matrix.map_bottom_up(&mut |node| match &node {
-                Formula::Atom(a) if &a.predicate == p => {
-                    if value {
-                        Formula::Top
-                    } else {
-                        Formula::Bottom
-                    }
-                }
-                _ => node,
-            });
-        }
-        branch_matrix = wfomc_logic::transform::simplify(&branch_matrix);
-        if branch_matrix == Formula::Bottom {
-            continue;
+        for (i, pair) in pairs.iter().enumerate() {
+            factor *= if mask >> i & 1 == 1 {
+                &pair.pos
+            } else {
+                &pair.neg
+            };
         }
         if factor.is_zero() {
             continue;
         }
-        let (branch_total, branch_stats) = cell_sum(&branch_matrix, &space, &shape, n)?;
-        stats.total_valid_cells += branch_stats.0;
-        stats.compositions_summed += branch_stats.1;
+        let branch_matrix = if nullary.is_empty() {
+            shape.matrix.clone()
+        } else {
+            shape.matrix.map_bottom_up(&mut |node| match &node {
+                Formula::Atom(a) if a.args.is_empty() => {
+                    match nullary.iter().position(|p| p == &a.predicate) {
+                        Some(i) if mask >> i & 1 == 1 => Formula::Top,
+                        Some(_) => Formula::Bottom,
+                        None => node,
+                    }
+                }
+                _ => node,
+            })
+        };
+        let branch_matrix = wfomc_logic::transform::simplify(&branch_matrix);
+        if branch_matrix == Formula::Bottom {
+            continue;
+        }
+        branches.push((factor, branch_matrix));
+    }
+
+    let mut total = Weight::zero();
+    for (factor, branch_total, branch_stats) in evaluate_branches(branches, &space, &shape, n)? {
+        stats.absorb_cell_sum(&branch_stats);
         total += factor * branch_total;
     }
 
     Ok((leftover * total, stats))
 }
 
-/// The cell-decomposition sum for one Shannon branch. Returns the branch's
-/// WFOMC together with (valid cell count, compositions summed).
-fn cell_sum(
-    matrix: &Formula,
+/// Evaluates the surviving Shannon branches. Multiple branches run on scoped
+/// threads; when fewer branches than cores exist, each branch's cell sum may
+/// additionally parallelize its own top-level cell split.
+#[allow(clippy::type_complexity)]
+fn evaluate_branches(
+    branches: Vec<(Weight, Formula)>,
     space: &CellSpace,
     shape: &Fo2Shape,
     n: usize,
-) -> Result<(Weight, (usize, usize)), LiftError> {
-    let cells = build_cells(matrix, space, &shape.weights)?;
-    if cells.is_empty() {
-        return Ok((Weight::zero(), (0, 0)));
+) -> Result<Vec<(Weight, Weight, CellSumStats)>, LiftError> {
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let workers = if branches.len() > 1 && n >= 8 {
+        cores.min(branches.len())
+    } else {
+        1
+    };
+    if workers <= 1 {
+        return branches
+            .into_iter()
+            .map(|(factor, matrix)| {
+                let (value, s) = cell_sum(&matrix, space, shape, n, true)?;
+                Ok((factor, value, s))
+            })
+            .collect();
     }
-    let table = build_pair_table(matrix, space, &cells, &shape.weights)?;
-
-    let k = cells.len();
-    let mut total = Weight::zero();
-    let mut num_compositions = 0usize;
-    for comp in compositions(n, k) {
-        num_compositions += 1;
-        let mut term = multinomial_weight(n, &comp);
-        for (c, &count) in comp.iter().enumerate() {
-            if count == 0 {
-                continue;
-            }
-            term *= weight_pow(&cells[c].weight, count);
-            // Pairs within the same cell.
-            term *= weight_pow(&table[c][c], count * (count - 1) / 2);
+    // With fewer branch workers than cores, let each branch's engine split
+    // its top level too (its own composition-count threshold still applies).
+    let parallel_within = workers < cores;
+    let branches = &branches;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for (factor, matrix) in branches.iter().skip(t).step_by(workers) {
+                        let (value, s) = cell_sum(matrix, space, shape, n, parallel_within)?;
+                        out.push((factor.clone(), value, s));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for handle in handles {
+            let partial: Result<Vec<_>, LiftError> =
+                handle.join().expect("Shannon-branch worker panicked");
+            all.extend(partial?);
         }
-        if term.is_zero() {
-            continue;
-        }
-        for i in 0..k {
-            if comp[i] == 0 {
-                continue;
-            }
-            for j in (i + 1)..k {
-                if comp[j] == 0 {
-                    continue;
-                }
-                term *= weight_pow(&table[i][j], comp[i] * comp[j]);
-            }
-        }
-        total += term;
-    }
-    Ok((total, (k, num_compositions)))
+        Ok(all)
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,628 @@
+//! Prefix-sharing DFS engine for the FO² cell-decomposition sum.
+//!
+//! The sum of Appendix C has one term per composition `(m₁, …, m_k)` of the
+//! domain size `n` into the `k` valid cells:
+//!
+//! `Σ (n; m₁…m_k) · Π_c u_c^{m_c} · Π_c r_{cc}^{C(m_c,2)} · Π_{i<j} r_{ij}^{m_i·m_j}`
+//!
+//! Enumerating compositions and evaluating each term from scratch costs
+//! `O(k²)` big-rational exponentiations per term. This engine instead
+//! recurses over the cells, fixing the counts one cell at a time, and
+//! maintains per prefix:
+//!
+//! * the partial term (multinomial factor as a product of binomials,
+//!   cell-weight powers, within-cell pair powers, cross pairs among fixed
+//!   cells), and
+//! * for every not-yet-fixed cell `j` the running cross product
+//!   `R_j = Π_{i fixed} r_{ij}^{m_i}`,
+//!
+//! so extending a prefix by one cell costs O(k) multiplications and all
+//! compositions sharing a prefix share its work. Powers of the per-cell bases
+//! come from [`PowCache`]s (dense tables up to `n`, memoized
+//! square-and-multiply beyond). Cells with zero weight are dropped up front,
+//! and a whole subtree is cut as soon as the running term hits zero, which is
+//! what makes hard constraints (zero-weight pair entries) collapse the search
+//! space instead of merely zeroing terms late. Independent top-level cell
+//! splits run on scoped threads.
+//!
+//! The legacy term-by-term enumeration is kept behind `cfg(test)` /
+//! the `legacy-cellsum` feature as the differential-testing oracle.
+
+use num_bigint::BigInt;
+use num_traits::{One, Zero};
+
+use wfomc_logic::syntax::Formula;
+use wfomc_logic::weights::{weight_pow, PowCache, Weight};
+
+use super::cells::{build_cells, build_pair_table, CellSpace};
+use super::normalize::Fo2Shape;
+use crate::combinatorics::{binomial_weight_triangle, num_compositions, weight_from_bigint};
+use crate::error::LiftError;
+
+/// Cost statistics for one cell-decomposition sum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CellSumStats {
+    /// Valid cells (1-types satisfying the diagonal constraint).
+    pub valid_cells: usize,
+    /// Valid cells dropped up front because their weight `u_c` is zero.
+    pub zero_weight_cells_pruned: usize,
+    /// Compositions whose term was actually evaluated (leaves reached).
+    pub compositions_summed: usize,
+    /// Compositions skipped by zero-term subtree cutoffs.
+    pub compositions_pruned: usize,
+    /// All compositions over the non-zero cells: `summed + pruned` (saturating).
+    pub compositions_total: usize,
+}
+
+/// The cell-decomposition sum for one Shannon branch, computed by the
+/// prefix-sharing DFS engine. `parallel` allows the engine to fan the
+/// top-level cell split out over scoped threads (callers that already run
+/// branches concurrently pass `false`).
+pub fn cell_sum(
+    matrix: &Formula,
+    space: &CellSpace,
+    shape: &Fo2Shape,
+    n: usize,
+    parallel: bool,
+) -> Result<(Weight, CellSumStats), LiftError> {
+    let cells = build_cells(matrix, space, &shape.weights)?;
+    if cells.is_empty() {
+        return Ok((Weight::zero(), CellSumStats::default()));
+    }
+    let table = build_pair_table(matrix, space, &cells, &shape.weights)?;
+    let engine = Engine::new(&cells, &table, n);
+
+    let mut stats = CellSumStats {
+        valid_cells: cells.len(),
+        zero_weight_cells_pruned: cells.len() - engine.k,
+        compositions_total: num_compositions(n, engine.k),
+        ..CellSumStats::default()
+    };
+
+    if engine.k == 0 {
+        // Every cell has zero weight: only the empty domain has a (single,
+        // empty) composition.
+        let total = if n == 0 {
+            Weight::one()
+        } else {
+            Weight::zero()
+        };
+        stats.compositions_summed = usize::from(n == 0);
+        return Ok((total, stats));
+    }
+
+    let threads = engine.thread_count(parallel);
+    let (total, summed, pruned) = if threads > 1 {
+        engine.sum_parallel(threads)
+    } else {
+        let mut worker = Worker::new(&engine);
+        let top: Vec<Weight> = vec![Weight::one(); engine.k];
+        worker.dfs(0, n, &Weight::one(), &top);
+        (worker.total, worker.summed, worker.pruned)
+    };
+    stats.compositions_summed = summed;
+    stats.compositions_pruned = pruned;
+    let total = if engine.denominator_correction.is_one() {
+        total
+    } else {
+        total / &engine.denominator_correction
+    };
+    Ok((total, stats))
+}
+
+/// Immutable per-branch state shared by all DFS workers.
+struct Engine {
+    /// Domain size.
+    n: usize,
+    /// Number of cells with non-zero weight (the cells the DFS ranges over).
+    k: usize,
+    /// Cell weights `u_c`, re-indexed over the non-zero cells.
+    u: Vec<Weight>,
+    /// Within-cell pair entries `r_{cc}`.
+    diag: Vec<Weight>,
+    /// The full symmetric cross table `r_{ij}` over the non-zero cells.
+    cross: Vec<Vec<Weight>>,
+    /// Pascal's triangle covering rows `0..=n`, as weights (shared memo).
+    binom: std::sync::Arc<Vec<Vec<Weight>>>,
+    /// `D_u^n · D_r^{C(n,2)}` where `D_u`/`D_r` are the common denominators
+    /// cleared out of `u`/`diag`+`cross`. Every composition uses exactly `n`
+    /// cell-weight factors and `C(n,2)` pair factors, so the sum computed on
+    /// the scaled integer values divided by this constant is exact — and the
+    /// scaled hot loop runs entirely on denominator-1 rationals, which
+    /// multiply without any gcd reduction.
+    denominator_correction: Weight,
+}
+
+/// Least common multiple of the denominators of `values`.
+fn lcm_of_denominators<'a>(values: impl Iterator<Item = &'a Weight>) -> BigInt {
+    let mut acc = BigInt::one();
+    for v in values {
+        let d = v.denom();
+        let g = BigInt::from(acc.magnitude().gcd(d.magnitude()));
+        acc = &acc / &g * d;
+    }
+    acc
+}
+
+impl Engine {
+    fn new(cells: &[super::cells::Cell], table: &[Vec<Weight>], n: usize) -> Engine {
+        let keep: Vec<usize> = (0..cells.len())
+            .filter(|&i| !cells[i].weight.is_zero())
+            .collect();
+        // Visit cells whose table row has many zeros first: a zero running
+        // cross product or zero diagonal kills a subtree as soon as the DFS
+        // reaches it, so front-loading constrained cells maximizes sharing of
+        // the cutoff. The sum itself is symmetric in the cell order.
+        let mut order = keep.clone();
+        order.sort_by_key(|&i| {
+            let zeros = keep.iter().filter(|&&j| table[i][j].is_zero()).count();
+            std::cmp::Reverse(zeros)
+        });
+
+        // Clear denominators (see `denominator_correction`).
+        let d_u = lcm_of_denominators(order.iter().map(|&i| &cells[i].weight));
+        let d_r = lcm_of_denominators(
+            order
+                .iter()
+                .flat_map(|&i| order.iter().map(move |&j| &table[i][j])),
+        );
+        let scale_u = weight_from_bigint(d_u);
+        let scale_r = weight_from_bigint(d_r);
+        let denominator_correction =
+            weight_pow(&scale_u, n) * weight_pow(&scale_r, n * n.saturating_sub(1) / 2);
+
+        Engine {
+            n,
+            k: order.len(),
+            u: order.iter().map(|&i| &cells[i].weight * &scale_u).collect(),
+            diag: order.iter().map(|&i| &table[i][i] * &scale_r).collect(),
+            cross: order
+                .iter()
+                .map(|&i| order.iter().map(|&j| &table[i][j] * &scale_r).collect())
+                .collect(),
+            binom: binomial_weight_triangle(n),
+            denominator_correction,
+        }
+    }
+
+    /// How many scoped threads the top-level cell split should use.
+    fn thread_count(&self, parallel: bool) -> usize {
+        if !parallel || self.k < 2 || self.n < 2 {
+            return 1;
+        }
+        // Below a few thousand compositions the spawn overhead dominates.
+        if num_compositions(self.n, self.k) < 4096 {
+            return 1;
+        }
+        std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1)
+            .min(self.n + 1)
+    }
+
+    /// Splits the top-level choice of `m₁` over `threads` scoped workers.
+    /// Exact rational addition is associative, so the split does not change
+    /// the result.
+    fn sum_parallel(&self, threads: usize) -> (Weight, usize, usize) {
+        let n = self.n;
+        let partials = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut worker = Worker::new(self);
+                        let mut row0: Vec<PowCache> = (1..self.k)
+                            .map(|j| PowCache::new(self.cross[0][j].clone(), n))
+                            .collect();
+                        for m0 in (t..=n).step_by(threads) {
+                            worker.top_level(m0, &mut row0);
+                        }
+                        (worker.total, worker.summed, worker.pruned)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cell-sum worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut total = Weight::zero();
+        let mut summed = 0usize;
+        let mut pruned = 0usize;
+        for (t, s, p) in partials {
+            total += t;
+            summed = summed.saturating_add(s);
+            pruned = pruned.saturating_add(p);
+        }
+        (total, summed, pruned)
+    }
+}
+
+/// One DFS worker: owns the mutable power caches and accumulators.
+struct Worker<'e> {
+    eng: &'e Engine,
+    /// Per-cell power caches for `u_c`.
+    u_pows: Vec<PowCache>,
+    /// Per-cell power caches for `r_{cc}` (exponents `C(m,2)` can exceed `n`,
+    /// where the caches fall back to memoized square-and-multiply).
+    diag_pows: Vec<PowCache>,
+    /// Power cache for `r_{ab}` of the two cells fixed last, whose exponents
+    /// `m_a · m_b` the fused bottom loop looks up directly.
+    last_pair_pows: Option<PowCache>,
+    /// Scratch buffer for `R_b^t`, `t = 0..=rem`, in the fused bottom loop.
+    tail_pows: Vec<Weight>,
+    total: Weight,
+    summed: usize,
+    pruned: usize,
+}
+
+impl<'e> Worker<'e> {
+    fn new(eng: &'e Engine) -> Worker<'e> {
+        Worker {
+            u_pows: eng
+                .u
+                .iter()
+                .map(|u| PowCache::new(u.clone(), eng.n))
+                .collect(),
+            diag_pows: eng
+                .diag
+                .iter()
+                .map(|d| PowCache::new(d.clone(), eng.n))
+                .collect(),
+            last_pair_pows: (eng.k >= 2)
+                .then(|| PowCache::new(eng.cross[eng.k - 2][eng.k - 1].clone(), eng.n)),
+            tail_pows: Vec::new(),
+            eng,
+            total: Weight::zero(),
+            summed: 0,
+            pruned: 0,
+        }
+    }
+
+    /// The factor a single cell contributes for count `m`: `u^m · r_cc^{C(m,2)}`.
+    fn own_factor(&mut self, cell: usize, m: usize) -> Weight {
+        let mut f = self.u_pows[cell].pow(m);
+        if !f.is_zero() && m >= 2 {
+            f *= self.diag_pows[cell].pow_ref(m * (m - 1) / 2);
+        }
+        f
+    }
+
+    /// Handles one top-level count `m₀` (the unit of parallel work): cells
+    /// `1..k` then run through the ordinary DFS.
+    fn top_level(&mut self, m0: usize, row0: &mut [PowCache]) {
+        let n = self.eng.n;
+        let factor = self.own_factor(0, m0);
+        if factor.is_zero() {
+            self.pruned = self
+                .pruned
+                .saturating_add(num_compositions(n - m0, self.eng.k - 1));
+            return;
+        }
+        let term = factor * &self.eng.binom[n][m0];
+        let child: Vec<Weight> = row0.iter_mut().map(|c| c.pow(m0)).collect();
+        self.dfs(1, n - m0, &term, &child);
+    }
+
+    /// Fixes the count of cell `i`, with `rem` elements left to distribute.
+    /// `term` is the partial term of the prefix and `r[d]` the running cross
+    /// product `R_{i+d}` of cell `i+d` against all fixed cells.
+    fn dfs(&mut self, i: usize, rem: usize, term: &Weight, r: &[Weight]) {
+        debug_assert_eq!(r.len(), self.eng.k - i);
+        if i + 2 == self.eng.k {
+            self.last_two(i, rem, term, r);
+            return;
+        }
+        if i + 1 == self.eng.k {
+            // Last cell: its count is forced to `rem`.
+            self.summed += 1;
+            let mut leaf = self.own_factor(i, rem);
+            if !leaf.is_zero() {
+                leaf *= weight_pow(&r[0], rem);
+            }
+            if !leaf.is_zero() {
+                self.total += term * leaf;
+            }
+            return;
+        }
+        let cells_after = self.eng.k - i - 1;
+        // R_i^m and the children's cross products, maintained incrementally:
+        // one multiplication each per extra element in cell i.
+        let mut rpow = Weight::one();
+        let mut child: Vec<Weight> = r[1..].to_vec();
+        for m in 0..=rem {
+            if m > 0 {
+                rpow *= &r[0];
+                for (d, slot) in child.iter_mut().enumerate() {
+                    *slot *= &self.eng.cross[i][i + 1 + d];
+                }
+            }
+            let mut factor = self.own_factor(i, m);
+            if !factor.is_zero() {
+                factor *= &rpow;
+            }
+            if factor.is_zero() {
+                // u^m, r_cc^{C(m,2)} and R^m each stay zero as m grows, so
+                // every composition with a larger count for this cell is zero
+                // too: cut the whole tail of the loop.
+                self.pruned = self
+                    .pruned
+                    .saturating_add(num_compositions(rem - m, cells_after + 1));
+                return;
+            }
+            factor *= &self.eng.binom[rem][m];
+            self.dfs(i + 1, rem - m, &(term * &factor), &child);
+        }
+    }
+
+    /// Fused loop over the counts of the last two cells `a = k−2`, `b = k−1`
+    /// (`m_a = m`, `m_b = rem − m`). Every composition ending here is one
+    /// iteration: `R_a^m` is maintained incrementally, `R_b^t` is tabulated
+    /// once per call (one multiplication per composition, amortized), and
+    /// `r_{ab}^{m·t}` comes from a memoized per-pair power cache — no
+    /// per-leaf square-and-multiply.
+    fn last_two(&mut self, a: usize, rem: usize, term: &Weight, r: &[Weight]) {
+        let b = a + 1;
+        // tail_pows[t] = R_b^t.
+        let mut tail_pows = std::mem::take(&mut self.tail_pows);
+        tail_pows.clear();
+        tail_pows.push(Weight::one());
+        for t in 1..=rem {
+            let next = &tail_pows[t - 1] * &r[1];
+            tail_pows.push(next);
+        }
+        let mut a_pow = Weight::one(); // R_a^m
+        for m in 0..=rem {
+            if m > 0 {
+                a_pow *= &r[0];
+            }
+            let t = rem - m;
+            let mut a_side = self.own_factor(a, m);
+            if !a_side.is_zero() {
+                a_side *= &a_pow;
+            }
+            if a_side.is_zero() {
+                // Zero persists as m grows: every remaining composition
+                // (one per larger m) is zero too.
+                self.pruned = self.pruned.saturating_add(rem - m + 1);
+                break;
+            }
+            self.summed += 1;
+            let mut leaf = self.own_factor(b, t);
+            if !leaf.is_zero() {
+                leaf *= &tail_pows[t];
+            }
+            if !leaf.is_zero() && m > 0 && t > 0 {
+                let pair = self
+                    .last_pair_pows
+                    .as_mut()
+                    .expect("pair cache exists when k >= 2");
+                leaf *= pair.pow_ref(m * t);
+            }
+            if !leaf.is_zero() {
+                leaf *= a_side * &self.eng.binom[rem][m];
+                self.total += term * leaf;
+            }
+        }
+        self.tail_pows = tail_pows; // hand the scratch buffer back
+    }
+}
+
+/// The seed implementation — term-by-term enumeration over all compositions —
+/// kept as the differential-testing oracle for the DFS engine.
+#[cfg(any(test, feature = "legacy-cellsum"))]
+pub fn cell_sum_enumeration(
+    matrix: &Formula,
+    space: &CellSpace,
+    shape: &Fo2Shape,
+    n: usize,
+) -> Result<(Weight, CellSumStats), LiftError> {
+    use crate::combinatorics::{compositions, multinomial_weight};
+
+    let cells = build_cells(matrix, space, &shape.weights)?;
+    if cells.is_empty() {
+        return Ok((Weight::zero(), CellSumStats::default()));
+    }
+    let table = build_pair_table(matrix, space, &cells, &shape.weights)?;
+
+    let k = cells.len();
+    let mut total = Weight::zero();
+    let mut num_terms = 0usize;
+    for comp in compositions(n, k) {
+        num_terms += 1;
+        let mut term = multinomial_weight(n, &comp);
+        for (c, &count) in comp.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            term *= weight_pow(&cells[c].weight, count);
+            // Pairs within the same cell.
+            term *= weight_pow(&table[c][c], count * (count - 1) / 2);
+        }
+        if term.is_zero() {
+            continue;
+        }
+        for i in 0..k {
+            if comp[i] == 0 {
+                continue;
+            }
+            for j in (i + 1)..k {
+                if comp[j] == 0 {
+                    continue;
+                }
+                term *= weight_pow(&table[i][j], comp[i] * comp[j]);
+            }
+        }
+        total += term;
+    }
+    let stats = CellSumStats {
+        valid_cells: k,
+        zero_weight_cells_pruned: 0,
+        compositions_summed: num_terms,
+        compositions_pruned: 0,
+        compositions_total: num_terms,
+    };
+    Ok((total, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wfomc_ground::wfomc as ground_wfomc;
+    use wfomc_logic::builders::*;
+    use wfomc_logic::catalog;
+    use wfomc_logic::weights::{weight_ratio, Weights};
+
+    use crate::fo2::normalize::fo2_normal_form;
+    use crate::fo2::wfomc_fo2;
+
+    /// Runs both cell-sum engines on every Shannon-free sentence shape and
+    /// checks value equality plus the stats invariants.
+    fn check_engines_agree(sentence: &Formula, weights: &Weights, n: usize) {
+        let voc = sentence.vocabulary();
+        let shape = fo2_normal_form(sentence, &voc, weights).expect("normalizable");
+        let mut counted: Vec<_> = shape.matrix.vocabulary().predicates().to_vec();
+        for p in &shape.introduced {
+            if !counted.contains(p) {
+                counted.push(p.clone());
+            }
+        }
+        let space = CellSpace {
+            unary: counted.iter().filter(|p| p.arity() == 1).cloned().collect(),
+            binary: counted.iter().filter(|p| p.arity() == 2).cloned().collect(),
+        };
+        if counted.iter().any(|p| p.arity() == 0) {
+            // Shannon branches are exercised through `wfomc_fo2` instead.
+            return;
+        }
+        let (dfs_total, dfs_stats) = cell_sum(&shape.matrix, &space, &shape, n, true).unwrap();
+        let (legacy_total, legacy_stats) =
+            cell_sum_enumeration(&shape.matrix, &space, &shape, n).unwrap();
+        assert_eq!(
+            dfs_total, legacy_total,
+            "value mismatch for {sentence} at n={n}"
+        );
+        assert_eq!(dfs_stats.valid_cells, legacy_stats.valid_cells);
+        // The DFS ranges over the non-zero cells only; evaluated plus pruned
+        // compositions must exactly tile that space.
+        assert_eq!(
+            dfs_stats.compositions_summed + dfs_stats.compositions_pruned,
+            dfs_stats.compositions_total,
+            "composition accounting for {sentence} at n={n}"
+        );
+        assert_eq!(
+            dfs_stats.compositions_total,
+            crate::combinatorics::num_compositions(
+                n,
+                dfs_stats.valid_cells - dfs_stats.zero_weight_cells_pruned
+            )
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_catalog_sentences() {
+        let weight_sets = [
+            Weights::ones(),
+            Weights::from_ints([("R", 2, 1), ("S", 1, 3), ("T", 5, 1)]),
+            // Zero weights: whole cells drop out.
+            Weights::from_ints([("R", 0, 1), ("S", 1, 0), ("T", 2, 2)]),
+            // Negative weights.
+            Weights::from_ints([("R", -1, 2), ("S", 3, -2), ("T", 1, 1)]),
+        ];
+        for weights in &weight_sets {
+            for n in 0..=5 {
+                check_engines_agree(&catalog::table1_sentence(), weights, n);
+                check_engines_agree(&catalog::forall_exists_edge(), weights, n);
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_equality_matrix() {
+        let f = forall(["x", "y"], or(vec![eq("x", "y"), atom("R", &["x", "y"])]));
+        for n in 0..=5 {
+            check_engines_agree(&f, &Weights::from_ints([("R", 2, 3)]), n);
+            check_engines_agree(&f, &Weights::from_ints([("R", 0, 3)]), n);
+        }
+    }
+
+    #[test]
+    fn parallel_split_matches_serial() {
+        // Large enough to clear the engine's parallelism threshold.
+        let f = catalog::table1_sentence();
+        let voc = f.vocabulary();
+        let weights = Weights::from_ints([("R", 2, 1), ("S", 1, 3), ("T", 5, 1)]);
+        let n = 13;
+        let shape = fo2_normal_form(&f, &voc, &weights).unwrap();
+        let counted: Vec<_> = shape.matrix.vocabulary().predicates().to_vec();
+        let space = CellSpace {
+            unary: counted.iter().filter(|p| p.arity() == 1).cloned().collect(),
+            binary: counted.iter().filter(|p| p.arity() == 2).cloned().collect(),
+        };
+        let (par, par_stats) = cell_sum(&shape.matrix, &space, &shape, n, true).unwrap();
+        let (ser, ser_stats) = cell_sum(&shape.matrix, &space, &shape, n, false).unwrap();
+        assert_eq!(par, ser);
+        assert_eq!(par_stats, ser_stats);
+    }
+
+    #[test]
+    fn zero_weight_cells_are_pruned_up_front() {
+        // With w(R) = 0 every cell containing R(x) drops out before the DFS.
+        let f = catalog::table1_sentence();
+        let voc = f.vocabulary();
+        let weights = Weights::from_ints([("R", 0, 1), ("S", 1, 1), ("T", 1, 1)]);
+        let shape = fo2_normal_form(&f, &voc, &weights).unwrap();
+        let counted: Vec<_> = shape.matrix.vocabulary().predicates().to_vec();
+        let space = CellSpace {
+            unary: counted.iter().filter(|p| p.arity() == 1).cloned().collect(),
+            binary: counted.iter().filter(|p| p.arity() == 2).cloned().collect(),
+        };
+        let (_, stats) = cell_sum(&shape.matrix, &space, &shape, 4, false).unwrap();
+        assert!(stats.zero_weight_cells_pruned > 0);
+        assert_eq!(
+            stats.compositions_summed + stats.compositions_pruned,
+            stats.compositions_total
+        );
+    }
+
+    /// Deterministic pseudo-random weight triples including zero and negative
+    /// rationals, derived from a seed.
+    fn seeded_weights(seed: u64) -> Weights {
+        let mut s = seed as i64 + 1;
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            weight_ratio((s % 5) - 1, 1 + (s % 3).unsigned_abs() as i64)
+        };
+        let mut w = Weights::ones();
+        for name in ["R", "S", "T"] {
+            let pos = next();
+            let neg = next();
+            w.set(name, pos, neg);
+        }
+        w
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The DFS engine, the legacy enumeration and grounding agree on
+        /// random weights (including zero and negative rationals).
+        #[test]
+        fn differential_dfs_vs_legacy_vs_ground(seed in 0u64..5000, n in 0usize..4) {
+            let weights = seeded_weights(seed);
+            for sentence in [
+                catalog::table1_sentence(),
+                catalog::forall_exists_edge(),
+                catalog::exists_unary(),
+            ] {
+                let voc = sentence.vocabulary();
+                check_engines_agree(&sentence, &weights, n);
+                let lifted = wfomc_fo2(&sentence, &voc, n, &weights).unwrap();
+                let grounded = ground_wfomc(&sentence, &voc, n, &weights);
+                prop_assert_eq!(lifted, grounded, "ground mismatch for {} at n={}", sentence, n);
+            }
+        }
+    }
+}

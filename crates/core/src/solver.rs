@@ -21,7 +21,7 @@ use wfomc_prop::WmcBackend;
 
 use crate::cq::gamma_acyclic::gamma_acyclic_wfomc;
 use crate::error::LiftError;
-use crate::fo2::wfomc_fo2;
+use crate::fo2::{wfomc_fo2_with_stats, Fo2Stats};
 use crate::qs4::{is_qs4, wfomc_qs4};
 
 /// Which algorithm produced a result.
@@ -60,6 +60,9 @@ pub struct SolverReport {
     /// The propositional backend, when the grounded fallback produced the
     /// result (`None` for lifted methods, which never touch a counter).
     pub backend: Option<WmcBackend>,
+    /// Cost statistics of the FO² cell-sum engine, when [`Method::Fo2`]
+    /// produced the result (`None` for every other method).
+    pub fo2_stats: Option<Fo2Stats>,
 }
 
 /// The dispatching solver.
@@ -139,16 +142,18 @@ impl Solver {
                     value,
                     method: Method::Qs4,
                     backend: None,
+                    fo2_stats: None,
                 });
             }
 
             // 2. The FO² algorithm.
-            match wfomc_fo2(sentence, &full_voc, n, weights) {
-                Ok(value) => {
+            match wfomc_fo2_with_stats(sentence, &full_voc, n, weights) {
+                Ok((value, stats)) => {
                     return Ok(SolverReport {
                         value,
                         method: Method::Fo2,
                         backend: None,
+                        fo2_stats: Some(stats),
                     })
                 }
                 Err(LiftError::Internal(msg)) => return Err(LiftError::Internal(msg)),
@@ -164,6 +169,7 @@ impl Solver {
                         value,
                         method: Method::GammaAcyclicCq,
                         backend: None,
+                        fo2_stats: None,
                     });
                 }
             }
@@ -182,6 +188,7 @@ impl Solver {
             value,
             method: Method::Ground,
             backend: Some(self.ground_backend),
+            fo2_stats: None,
         })
     }
 
@@ -211,6 +218,7 @@ impl Solver {
             value: report.value / normalization,
             method: report.method,
             backend: report.backend,
+            fo2_stats: report.fo2_stats,
         })
     }
 }
@@ -326,6 +334,26 @@ mod tests {
         // Lifted methods never report a propositional backend.
         let lifted = Solver::new().fomc(&catalog::table1_sentence(), 2).unwrap();
         assert_eq!(lifted.backend, None);
+    }
+
+    #[test]
+    fn fo2_reports_engine_statistics() {
+        let solver = Solver::new();
+        let report = solver.fomc(&catalog::table1_sentence(), 4).unwrap();
+        assert_eq!(report.method, Method::Fo2);
+        let stats = report.fo2_stats.expect("FO² reports its stats");
+        assert!(stats.total_valid_cells > 0);
+        assert_eq!(
+            stats.compositions_summed + stats.compositions_pruned,
+            stats.compositions_total
+        );
+        // Other methods never carry FO² statistics.
+        assert!(solver.fomc(&catalog::qs4(), 2).unwrap().fo2_stats.is_none());
+        assert!(Solver::ground_only()
+            .fomc(&catalog::table1_sentence(), 2)
+            .unwrap()
+            .fo2_stats
+            .is_none());
     }
 
     #[test]

@@ -52,6 +52,62 @@ pub fn weight_pow(base: &Weight, exp: usize) -> Weight {
     result
 }
 
+/// A per-base cache of integer powers of a [`Weight`].
+///
+/// The hot loops of the lifted algorithms (notably the FO² cell-sum engine)
+/// raise a small, fixed set of bases to many different exponents. A dense
+/// table `base⁰ … base^cap` is grown incrementally — each new entry is one
+/// multiplication — and exponents beyond `cap` fall back to square-and-multiply
+/// ([`weight_pow`]) with the results memoized sparsely, so every distinct
+/// power of a base is computed at most once per cache.
+#[derive(Clone, Debug)]
+pub struct PowCache {
+    base: Weight,
+    dense: Vec<Weight>,
+    cap: usize,
+    sparse: BTreeMap<usize, Weight>,
+}
+
+impl PowCache {
+    /// Creates a cache for `base` whose dense table grows up to exponent
+    /// `cap` (inclusive).
+    pub fn new(base: Weight, cap: usize) -> Self {
+        PowCache {
+            dense: vec![Weight::one()],
+            base,
+            cap,
+            sparse: BTreeMap::new(),
+        }
+    }
+
+    /// The cached base.
+    pub fn base(&self) -> &Weight {
+        &self.base
+    }
+
+    /// `base^exp`, from the dense table when `exp ≤ cap`, otherwise by
+    /// memoized square-and-multiply.
+    pub fn pow(&mut self, exp: usize) -> Weight {
+        self.pow_ref(exp).clone()
+    }
+
+    /// Like [`pow`](Self::pow) but borrows the cached value — hot loops that
+    /// immediately `*=` the power avoid cloning a big rational per lookup.
+    pub fn pow_ref(&mut self, exp: usize) -> &Weight {
+        if exp <= self.cap {
+            while self.dense.len() <= exp {
+                let next = self.dense.last().expect("dense table is non-empty") * &self.base;
+                self.dense.push(next);
+            }
+            return &self.dense[exp];
+        }
+        let base = &self.base;
+        self.sparse
+            .entry(exp)
+            .or_insert_with(|| weight_pow(base, exp))
+    }
+}
+
 /// The pair of weights attached to one predicate: `w` for present tuples,
 /// `w̄` ("negative weight" in the WFOMC literature) for absent tuples.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -234,6 +290,22 @@ mod tests {
         }
         assert_eq!(weight_pow(&w, 7), naive);
         assert_eq!(weight_pow(&w, 0), Weight::one());
+    }
+
+    #[test]
+    fn pow_cache_matches_weight_pow() {
+        let base = weight_ratio(-3, 2);
+        let mut cache = PowCache::new(base.clone(), 8);
+        assert_eq!(cache.base(), &base);
+        // Dense range, out of order; sparse fallback beyond the cap; repeats.
+        for e in [0usize, 3, 1, 8, 5, 20, 100, 20, 8] {
+            assert_eq!(cache.pow(e), weight_pow(&base, e), "e = {e}");
+        }
+        // Zero base: 0⁰ = 1, 0^e = 0.
+        let mut zero = PowCache::new(Weight::zero(), 4);
+        assert_eq!(zero.pow(0), Weight::one());
+        assert!(zero.pow(3).is_zero());
+        assert!(zero.pow(9).is_zero());
     }
 
     #[test]
