@@ -7,6 +7,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use wfomc::core::normal::{
     remove_equality, remove_negation, skolemize, wfomc_via_equality_removal,
+    wfomc_via_equality_removal_with_oracle,
 };
 use wfomc::ground::wfomc as ground_wfomc;
 use wfomc::prelude::*;
@@ -44,10 +45,13 @@ fn bench_lemmas(c: &mut Criterion) {
     });
     group.bench_function("equality-removal/interpolation-n2", |b| {
         b.iter(|| {
-            wfomc_via_equality_removal(&eq_sentence, &eq_voc, 2, &weights, |g, v, n, w| {
-                ground_wfomc(g, v, n, w)
-            })
+            wfomc_via_equality_removal_with_oracle(&eq_sentence, &eq_voc, 2, &weights, ground_wfomc)
         })
+    });
+    // The planned variant analyzes the rewritten sentence once (FO² here)
+    // and evaluates all n² + 1 points on that plan.
+    group.bench_function("equality-removal/planned-n2", |b| {
+        b.iter(|| wfomc_via_equality_removal(&eq_sentence, &eq_voc, 2, &weights))
     });
     group.finish();
 }

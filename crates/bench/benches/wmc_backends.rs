@@ -121,9 +121,13 @@ fn bench_wmc_backends(c: &mut Criterion) {
     let eq_voc = eq_sentence.vocabulary();
     group.bench_function("equality-removal/oracle-n2", |b| {
         b.iter(|| {
-            wfomc_via_equality_removal(&eq_sentence, &eq_voc, 2, &Weights::ones(), |g, v, n, w| {
-                wfomc::ground::wfomc(g, v, n, w)
-            })
+            wfomc_via_equality_removal_with_oracle(
+                &eq_sentence,
+                &eq_voc,
+                2,
+                &Weights::ones(),
+                wfomc::ground::wfomc,
+            )
         })
     });
     group.bench_function("equality-removal/compiled-n2", |b| {

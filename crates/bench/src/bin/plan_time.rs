@@ -1,0 +1,44 @@
+//! Wall-clock snapshot tool for the plan-then-execute API. For every
+//! repeated-query workload it times `k` one-shot `Solver::wfomc` calls
+//! against one `Solver::plan` plus `k` `Plan::count` calls (plan creation
+//! included), and prints one JSON object per workload so the numbers can be
+//! recorded in `BENCH_plan.json`. Run with
+//! `cargo run --release -p wfomc-bench --bin plan_time [-- quick]`.
+
+use std::env;
+use std::time::Instant;
+
+use wfomc::prelude::*;
+use wfomc_bench::plan_reuse_workloads;
+
+fn main() {
+    let quick = env::args().nth(1).as_deref() == Some("quick");
+    let k = if quick { 4 } else { 16 };
+    for (name, solver, sentence, points) in plan_reuse_workloads(k) {
+        let voc = sentence.vocabulary();
+
+        let start = Instant::now();
+        let one_shot: Vec<Weight> = points
+            .iter()
+            .map(|(n, w)| solver.wfomc(&sentence, &voc, *n, w).unwrap().value)
+            .collect();
+        let one_shot_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let plan = solver.plan(&Problem::new(sentence.clone())).unwrap();
+        let planned: Vec<Weight> = points
+            .iter()
+            .map(|(n, w)| plan.count(*n, w).unwrap().value)
+            .collect();
+        let plan_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(one_shot, planned, "plan and one-shot disagree on {name}");
+        println!(
+            "{{\"workload\": \"{name}\", \"k\": {k}, \"method\": \"{}\", \
+             \"one_shot_ms\": {one_shot_ms:.2}, \"plan_ms\": {plan_ms:.2}, \
+             \"speedup\": {:.2}}}",
+            plan.method(),
+            one_shot_ms / plan_ms
+        );
+    }
+}

@@ -15,7 +15,9 @@ use wfomc::ground::GroundSolver;
 use wfomc::mln::ground_semantics::partition_function_brute;
 use wfomc::prelude::*;
 use wfomc::reductions::theta1::theta1;
-use wfomc_bench::{approx, fo2_scaling_workload, short, smokers_mln, standard_weights};
+use wfomc_bench::{
+    approx, fo2_scaling_workload, plan_reuse_workloads, short, smokers_mln, standard_weights,
+};
 
 fn main() {
     let which = env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -47,6 +49,9 @@ fn main() {
     }
     if all || which == "mln" {
         mln();
+    }
+    if all || which == "plan-reuse" {
+        plan_reuse_with_k(16);
     }
     if all || which == "theta1" {
         theta1_experiment();
@@ -240,6 +245,43 @@ fn fo2_scaling_with_sizes(sizes: &[usize]) {
     }
 }
 
+/// E11 — the plan-then-execute API: `k` repeated queries per sentence,
+/// one-shot `Solver::wfomc` per point vs one plan reused for every point
+/// (plan creation included; values are cross-checked for equality).
+fn plan_reuse_with_k(k: usize) {
+    header("E11  Plan-then-execute: analyze once, count many");
+    println!(
+        "{:<34} {:>18} {:>12} {:>10} {:>8}",
+        format!("workload (k = {k})"),
+        "method",
+        "one-shot ms",
+        "plan ms",
+        "speedup"
+    );
+    for (name, solver, sentence, points) in plan_reuse_workloads(k) {
+        let voc = sentence.vocabulary();
+        let start = Instant::now();
+        let one_shot: Vec<_> = points
+            .iter()
+            .map(|(n, w)| solver.wfomc(&sentence, &voc, *n, w).unwrap().value)
+            .collect();
+        let one_shot_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let plan = solver.plan(&Problem::new(sentence.clone())).unwrap();
+        let planned: Vec<_> = points
+            .iter()
+            .map(|(n, w)| plan.count(*n, w).unwrap().value)
+            .collect();
+        let plan_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(one_shot, planned, "plan and one-shot disagree on {name}");
+        println!(
+            "{name:<34} {:>18} {one_shot_ms:>12.1} {plan_ms:>10.1} {:>7.1}×",
+            plan.method().to_string(),
+            one_shot_ms / plan_ms
+        );
+    }
+}
+
 /// The CI smoke test: every lifted pipeline once, at sizes that finish in
 /// well under a minute, with cross-checks against closed forms / grounding.
 fn smoke() {
@@ -247,6 +289,7 @@ fn smoke() {
     qs4();
     fo2();
     fo2_scaling_with_sizes(&[25]);
+    plan_reuse_with_k(4);
     closed_forms();
     println!("\nsmoke: ok");
 }

@@ -71,6 +71,99 @@ pub fn fo2_scaling_workload() -> Formula {
     ])
 }
 
+/// Repeated-query workloads for the plan-reuse experiment: per solver
+/// method, one sentence plus `k` query points (`(n, weights)` pairs) of the
+/// shapes real workloads produce — domain-size sweeps (growing networks,
+/// interpolation) and weight sweeps (MLN queries, learning loops). The
+/// `plan_reuse` Criterion bench, the `plan_time` snapshot bin and the repro
+/// harness's `plan-reuse` experiment all measure exactly these inputs.
+#[allow(clippy::type_complexity)]
+pub fn plan_reuse_workloads(
+    k: usize,
+) -> Vec<(&'static str, Solver, Formula, Vec<(usize, Weights)>)> {
+    let weights = standard_weights();
+    // Four binary predicates make the analysis the dominant cost: the pair
+    // tables check 4⁴ cross assignments per cell pair (each a matrix
+    // evaluation), while evaluation at small n is a handful of compositions —
+    // the shape where re-analyzing per call hurts most.
+    let quad_binary = and(vec![
+        forall(["x"], atom("R", &["x", "x"])),
+        forall(
+            ["x", "y"],
+            or(vec![
+                atom("R", &["x", "y"]),
+                atom("S", &["x", "y"]),
+                atom("T", &["x", "y"]),
+                atom("U", &["x", "y"]),
+            ]),
+        ),
+    ]);
+    vec![
+        // FO²: one sentence asked at k (small, cycling) domain sizes.
+        (
+            "fo2/quad-binary-n-sweep",
+            Solver::new(),
+            quad_binary.clone(),
+            (0..k).map(|i| (1 + i % 6, weights.clone())).collect(),
+        ),
+        // FO²: a weight sweep at fixed n (the interpolation / MLN pattern).
+        (
+            "fo2/quad-binary-weight-sweep",
+            Solver::new(),
+            quad_binary,
+            (0..k)
+                .map(|i| {
+                    (
+                        3,
+                        Weights::from_ints([("R", i as i64 + 1, 1), ("S", 1, 3), ("T", 2, 2)]),
+                    )
+                })
+                .collect(),
+        ),
+        // FO²: the running example's weight sweep, cheap analysis and all.
+        (
+            "fo2/table1-weight-sweep",
+            Solver::new(),
+            catalog::table1_sentence(),
+            (0..k)
+                .map(|i| {
+                    (
+                        4,
+                        Weights::from_ints([("R", i as i64 + 1, 1), ("S", 1, 3), ("T", 2, 2)]),
+                    )
+                })
+                .collect(),
+        ),
+        // QS4: weight sweep on the dynamic program.
+        (
+            "qs4/weight-sweep",
+            Solver::new(),
+            catalog::qs4(),
+            (0..k)
+                .map(|i| (10, Weights::from_ints([("S", i as i64 + 1, 2)])))
+                .collect(),
+        ),
+        // γ-acyclic CQ: domain-size sweep sharing one reduction memo.
+        (
+            "cq/chain3-n-sweep",
+            Solver::new(),
+            catalog::chain_query(3).to_formula(),
+            (0..k).map(|i| (4 + i, weights.clone())).collect(),
+        ),
+        // Ground (circuit backend): weight sweep on one compiled circuit.
+        (
+            "ground/transitivity-weight-sweep",
+            Solver::builder()
+                .ground_backend(WmcBackend::Circuit)
+                .build(),
+            catalog::transitivity(),
+            (0..k)
+                .map(|i| (3, Weights::from_ints([("R", i as i64 + 1, 1)])))
+                .collect(),
+        ),
+    ]
+}
+
 /// E8: the smokers-and-friends MLN.
 pub fn smokers_mln() -> MarkovLogicNetwork {
     let mut mln = MarkovLogicNetwork::new();
@@ -116,5 +209,22 @@ mod tests {
         assert_eq!(smokers_mln().len(), 2);
         assert_eq!(approx(&weight_ratio(1, 2)), 0.5);
         assert!(short(&weight_int(7)).contains('7'));
+    }
+
+    #[test]
+    fn plan_reuse_workloads_plan_to_their_advertised_methods() {
+        for (name, solver, sentence, points) in plan_reuse_workloads(3) {
+            assert_eq!(points.len(), 3, "{name}");
+            let plan = solver.plan(&Problem::new(sentence)).unwrap();
+            let method = name.split('/').next().unwrap();
+            let expected = match method {
+                "fo2" => Method::Fo2,
+                "qs4" => Method::Qs4,
+                "cq" => Method::GammaAcyclicCq,
+                "ground" => Method::Ground,
+                other => panic!("unknown workload family {other}"),
+            };
+            assert_eq!(plan.method(), expected, "{name}");
+        }
     }
 }

@@ -16,7 +16,7 @@
 //!
 //! * [`ir`] — an arena-based NNF circuit IR ([`Circuit`]) with True/False/
 //!   literal/And/decision nodes and structural hashing;
-//! * [`compile`] — a top-down compiler mirroring the weighted DPLL search of
+//! * [`mod@compile`] — a top-down compiler mirroring the weighted DPLL search of
 //!   `wfomc-prop` (unit propagation, connected-component decomposition, and a
 //!   component cache keyed by circuit node ids) that emits d-DNNF;
 //! * [`smooth`] — the smoothing pass that makes every decision node's

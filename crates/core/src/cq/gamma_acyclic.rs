@@ -41,6 +41,22 @@ pub fn gamma_acyclic_wfomc(
     n: usize,
     weights: &Weights,
 ) -> Result<Weight, LiftError> {
+    gamma_acyclic_wfomc_memo(query, n, weights, &mut CqMemo::default())
+}
+
+/// As [`gamma_acyclic_wfomc`], with an externally owned memo table.
+///
+/// The memo key captures the residual query shape *including* the tuple
+/// probabilities and domain sizes, so one [`CqMemo`] is sound to share across
+/// calls at different domain sizes and weight functions — this is what a
+/// [`crate::plan::Plan`] holds so repeated counts on one query share the
+/// reduction work of rule (b)'s recursion.
+pub fn gamma_acyclic_wfomc_memo(
+    query: &ConjunctiveQuery,
+    n: usize,
+    weights: &Weights,
+    memo: &mut CqMemo,
+) -> Result<Weight, LiftError> {
     let mut probabilities = BTreeMap::new();
     let mut normalization = Weight::one();
     for p in query.vocabulary().iter() {
@@ -54,7 +70,12 @@ pub fn gamma_acyclic_wfomc(
         probabilities.insert(p.name().to_string(), &pair.pos / &total);
         normalization *= weight_pow(&total, p.num_ground_tuples(n));
     }
-    let prob = gamma_acyclic_probability(query, n, &probabilities)?;
+    let domains = query
+        .variables()
+        .into_iter()
+        .map(|v| (v, n))
+        .collect::<BTreeMap<_, _>>();
+    let prob = gamma_acyclic_probability_multi_memo(query, &domains, &probabilities, memo)?;
     Ok(prob * normalization)
 }
 
@@ -81,6 +102,17 @@ pub fn gamma_acyclic_probability_multi(
     query: &ConjunctiveQuery,
     domains: &BTreeMap<Variable, usize>,
     probabilities: &BTreeMap<String, Weight>,
+) -> Result<Weight, LiftError> {
+    gamma_acyclic_probability_multi_memo(query, domains, probabilities, &mut CqMemo::default())
+}
+
+/// As [`gamma_acyclic_probability_multi`], with an externally owned memo
+/// table (see [`gamma_acyclic_wfomc_memo`] for why sharing it is sound).
+pub fn gamma_acyclic_probability_multi_memo(
+    query: &ConjunctiveQuery,
+    domains: &BTreeMap<Variable, usize>,
+    probabilities: &BTreeMap<String, Weight>,
+    memo: &mut CqMemo,
 ) -> Result<Weight, LiftError> {
     if !query.is_self_join_free() {
         return Err(LiftError::HasSelfJoin);
@@ -115,8 +147,26 @@ pub fn gamma_acyclic_probability_multi(
             vars: vars_of_atom,
         });
     }
-    let mut memo = HashMap::new();
-    reduce(&state, &mut memo)
+    reduce(&state, &mut memo.map)
+}
+
+/// A memo table for the γ-acyclic reduction, reusable across calls (the key
+/// includes probabilities and domain sizes, so no invalidation is needed).
+#[derive(Clone, Debug, Default)]
+pub struct CqMemo {
+    map: HashMap<Key, Weight>,
+}
+
+impl CqMemo {
+    /// Number of memoized residual query shapes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -133,7 +183,7 @@ struct State {
 
 /// Memoization key: edges with variables renumbered by first occurrence,
 /// paired with the domain sizes of those variables in that order.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct Key {
     edges: Vec<(Weight, Vec<usize>)>,
     domains: Vec<usize>,

@@ -1,20 +1,22 @@
 //! The FO² counting algorithm: Shannon expansion over nullary predicates plus
 //! the cell-decomposition sum of Appendix C, evaluated by the prefix-sharing
 //! DFS engine in [`super::cellsum`].
-
-use std::collections::BTreeSet;
+//!
+//! The entry points here are one-shot wrappers around
+//! [`super::prepare::Fo2Prepared`], which holds the n-independent analysis;
+//! repeated-query callers should prepare once through a
+//! [`crate::plan::Plan`] instead.
 
 use num_traits::{One, Zero};
 
 use wfomc_ground::evaluate::evaluate;
 use wfomc_ground::structure::Structure;
 use wfomc_logic::syntax::Formula;
-use wfomc_logic::vocabulary::{Predicate, Vocabulary};
-use wfomc_logic::weights::{weight_pow, Weight, Weights};
+use wfomc_logic::vocabulary::Vocabulary;
+use wfomc_logic::weights::{Weight, Weights};
 
-use super::cells::CellSpace;
-use super::cellsum::{cell_sum, CellSumStats};
-use super::normalize::{fo2_normal_form, Fo2Shape};
+use super::cellsum::CellSumStats;
+use super::prepare::Fo2Prepared;
 use crate::error::LiftError;
 
 /// Statistics reported by [`wfomc_fo2`], used by the benchmarks and the
@@ -43,7 +45,7 @@ impl Fo2Stats {
     /// All counters saturate, so `summed + pruned = total` may degrade to an
     /// inequality only when every involved count has already pinned at
     /// `usize::MAX`.
-    fn absorb_cell_sum(&mut self, s: &CellSumStats) {
+    pub(crate) fn absorb_cell_sum(&mut self, s: &CellSumStats) {
         self.total_valid_cells = self.total_valid_cells.saturating_add(s.valid_cells);
         self.compositions_summed = self
             .compositions_summed
@@ -84,7 +86,9 @@ pub fn wfomc_fo2_with_stats(
         return Err(LiftError::NotASentence);
     }
 
-    // n = 0: there is exactly one (empty) structure; its weight is 1.
+    // n = 0: there is exactly one (empty) structure; its weight is 1. This
+    // happens before the FO² analysis, so any sentence — even one outside
+    // the fragment — is answered directly at n = 0.
     if n == 0 {
         let value = if evaluate(sentence, &Structure::empty(0)) {
             Weight::one()
@@ -94,141 +98,7 @@ pub fn wfomc_fo2_with_stats(
         return Ok((value, Fo2Stats::default()));
     }
 
-    let shape = fo2_normal_form(sentence, vocabulary, weights)?;
-    let mut stats = Fo2Stats {
-        introduced_predicates: shape.introduced.len(),
-        ..Fo2Stats::default()
-    };
-
-    // Predicates the cell decomposition must account for: everything in the
-    // normalized matrix plus every introduced predicate (even if it got
-    // simplified out of the matrix, its ground atoms still exist).
-    let mut counted: Vec<Predicate> = shape.matrix.vocabulary().predicates().to_vec();
-    for p in &shape.introduced {
-        if !counted.contains(p) {
-            counted.push(p.clone());
-        }
-    }
-
-    let space = CellSpace {
-        unary: counted.iter().filter(|p| p.arity() == 1).cloned().collect(),
-        binary: counted.iter().filter(|p| p.arity() == 2).cloned().collect(),
-    };
-    let nullary: Vec<Predicate> = counted.iter().filter(|p| p.arity() == 0).cloned().collect();
-
-    // Predicates of the user vocabulary (and the sentence) not covered above
-    // contribute (w + w̄)^{n^arity}.
-    let mut leftover = Weight::one();
-    let user_voc = vocabulary.extended_with(&sentence.vocabulary());
-    let counted_names: BTreeSet<&str> = counted.iter().map(|p| p.name()).collect();
-    for p in user_voc.iter() {
-        if !counted_names.contains(p.name()) {
-            let pair = shape.weights.pair_of(p);
-            leftover *= weight_pow(&pair.total(), p.num_ground_tuples(n));
-        }
-    }
-
-    // Shannon expansion over the nullary predicates: substitute all nullary
-    // truth values in a single bottom-up pass per mask, then evaluate the
-    // surviving branches (independent, hence parallelizable) with the
-    // prefix-sharing cell-sum engine.
-    stats.shannon_branches = 1 << nullary.len();
-    let pairs: Vec<_> = nullary.iter().map(|p| shape.weights.pair_of(p)).collect();
-    let mut branches: Vec<(Weight, Formula)> = Vec::new();
-    for mask in 0u64..(1u64 << nullary.len()) {
-        let mut factor = Weight::one();
-        for (i, pair) in pairs.iter().enumerate() {
-            factor *= if mask >> i & 1 == 1 {
-                &pair.pos
-            } else {
-                &pair.neg
-            };
-        }
-        if factor.is_zero() {
-            continue;
-        }
-        let branch_matrix = if nullary.is_empty() {
-            shape.matrix.clone()
-        } else {
-            shape.matrix.map_bottom_up(&mut |node| match &node {
-                Formula::Atom(a) if a.args.is_empty() => {
-                    match nullary.iter().position(|p| p == &a.predicate) {
-                        Some(i) if mask >> i & 1 == 1 => Formula::Top,
-                        Some(_) => Formula::Bottom,
-                        None => node,
-                    }
-                }
-                _ => node,
-            })
-        };
-        let branch_matrix = wfomc_logic::transform::simplify(&branch_matrix);
-        if branch_matrix == Formula::Bottom {
-            continue;
-        }
-        branches.push((factor, branch_matrix));
-    }
-
-    let mut total = Weight::zero();
-    for (factor, branch_total, branch_stats) in evaluate_branches(branches, &space, &shape, n)? {
-        stats.absorb_cell_sum(&branch_stats);
-        total += factor * branch_total;
-    }
-
-    Ok((leftover * total, stats))
-}
-
-/// Evaluates the surviving Shannon branches. Multiple branches run on scoped
-/// threads; when fewer branches than cores exist, each branch's cell sum may
-/// additionally parallelize its own top-level cell split.
-#[allow(clippy::type_complexity)]
-fn evaluate_branches(
-    branches: Vec<(Weight, Formula)>,
-    space: &CellSpace,
-    shape: &Fo2Shape,
-    n: usize,
-) -> Result<Vec<(Weight, Weight, CellSumStats)>, LiftError> {
-    let cores = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
-    let workers = if branches.len() > 1 && n >= 8 {
-        cores.min(branches.len())
-    } else {
-        1
-    };
-    if workers <= 1 {
-        return branches
-            .into_iter()
-            .map(|(factor, matrix)| {
-                let (value, s) = cell_sum(&matrix, space, shape, n, true)?;
-                Ok((factor, value, s))
-            })
-            .collect();
-    }
-    // With fewer branch workers than cores, let each branch's engine split
-    // its top level too (its own composition-count threshold still applies).
-    let parallel_within = workers < cores;
-    let branches = &branches;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|t| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    for (factor, matrix) in branches.iter().skip(t).step_by(workers) {
-                        let (value, s) = cell_sum(matrix, space, shape, n, parallel_within)?;
-                        out.push((factor.clone(), value, s));
-                    }
-                    Ok(out)
-                })
-            })
-            .collect();
-        let mut all = Vec::new();
-        for handle in handles {
-            let partial: Result<Vec<_>, LiftError> =
-                handle.join().expect("Shannon-branch worker panicked");
-            all.extend(partial?);
-        }
-        Ok(all)
-    })
+    Ok(Fo2Prepared::prepare(sentence, vocabulary)?.count(n, weights, true))
 }
 
 #[cfg(test)]
@@ -237,7 +107,7 @@ mod tests {
     use wfomc_ground::{brute_force_wfomc, wfomc as ground_wfomc};
     use wfomc_logic::builders::*;
     use wfomc_logic::catalog;
-    use wfomc_logic::weights::{weight_int, weight_ratio};
+    use wfomc_logic::weights::{weight_int, weight_pow, weight_ratio};
 
     fn check_against_ground(f: &Formula, weights: &Weights, max_n: usize) {
         let voc = f.vocabulary();

@@ -57,12 +57,48 @@ struct CrossAssign {
     bwd: Vec<bool>,
 }
 
-/// Enumerates the valid cells of a matrix.
-pub fn build_cells(
-    matrix: &Formula,
-    space: &CellSpace,
-    weights: &Weights,
-) -> Result<Vec<Cell>, LiftError> {
+/// The weight-independent part of the pair table: for every unordered pair of
+/// valid cells `i ≤ j`, the multiset of *signatures* of the cross assignments
+/// satisfying `Ψ(x,y) ∧ Ψ(y,x)`.
+///
+/// A satisfying assignment to the `2b` cross atoms contributes
+/// `Π_t w_t^{a_t} · w̄_t^{2 − a_t}` where `a_t ∈ {0, 1, 2}` counts how many of
+/// `B_t(x,y)`, `B_t(y,x)` are true — so only the signature `(a_1, …, a_b)`
+/// matters, and the up-to-`4^b` assignments collapse into at most `3^b`
+/// signatures with multiplicities.
+///
+/// Finding the satisfying assignments is the expensive part of building the
+/// table (it evaluates the matrix `2^{2b}` times per cell pair); summing the
+/// signature weights ([`bind_pair_table`]) is cheap and can be redone per
+/// weight function, which is what lets a [`crate::plan::Plan`] analyze a
+/// sentence once and re-weight it many times.
+#[derive(Clone, Debug)]
+pub struct PairStructure {
+    /// `sat[i][j - i]` holds the signature multiset of the pair `(i, j)`,
+    /// `i ≤ j`.
+    sat: Vec<Vec<SignatureMultiset>>,
+}
+
+/// The satisfying cross assignments of one cell pair, grouped by signature:
+/// `(per-predicate true-counts, multiplicity)` in increasing signature order.
+type SignatureMultiset = Vec<(Vec<u8>, u64)>;
+
+impl PairStructure {
+    /// Total number of satisfying cross assignments over all cell pairs.
+    pub fn num_satisfying(&self) -> usize {
+        self.sat
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|(_, count)| *count as usize)
+            .sum()
+    }
+}
+
+/// Enumerates the valid cell *shapes* of a matrix: the truth assignments
+/// satisfying the diagonal constraint `Ψ(x, x)`, with every weight left at 1.
+/// [`bind_cell_weights`] turns shapes into weighted [`Cell`]s.
+pub fn build_cell_shapes(matrix: &Formula, space: &CellSpace) -> Result<Vec<Cell>, LiftError> {
     let bits = space.cell_bits();
     if bits > 24 {
         return Err(LiftError::Internal(format!(
@@ -84,38 +120,57 @@ pub fn build_cells(
         if !eval_matrix(matrix, space, &candidate, &candidate, None, true)? {
             continue;
         }
-        let mut weight = Weight::one();
-        for (i, p) in space.unary.iter().enumerate() {
-            let pair = weights.pair_of(p);
-            weight *= if candidate.unary[i] {
-                pair.pos
-            } else {
-                pair.neg
-            };
-        }
-        for (i, p) in space.binary.iter().enumerate() {
-            let pair = weights.pair_of(p);
-            weight *= if candidate.reflexive[i] {
-                pair.pos
-            } else {
-                pair.neg
-            };
-        }
-        cells.push(Cell {
-            weight,
-            ..candidate
-        });
+        cells.push(candidate);
     }
     Ok(cells)
 }
 
-/// Builds the symmetric table `r_{ij}` over the valid cells.
-pub fn build_pair_table(
+/// Computes the cell weights `u_c` for a slice of (structural) cells under a
+/// weight function: the product of `w` / `w̄` over the cell's unary and
+/// reflexive atoms.
+pub fn bind_cell_weights(shapes: &[Cell], space: &CellSpace, weights: &Weights) -> Vec<Cell> {
+    let unary_pairs: Vec<_> = space.unary.iter().map(|p| weights.pair_of(p)).collect();
+    let binary_pairs: Vec<_> = space.binary.iter().map(|p| weights.pair_of(p)).collect();
+    shapes
+        .iter()
+        .map(|shape| {
+            let mut weight = Weight::one();
+            for (i, pair) in unary_pairs.iter().enumerate() {
+                weight *= if shape.unary[i] { &pair.pos } else { &pair.neg };
+            }
+            for (i, pair) in binary_pairs.iter().enumerate() {
+                weight *= if shape.reflexive[i] {
+                    &pair.pos
+                } else {
+                    &pair.neg
+                };
+            }
+            Cell {
+                unary: shape.unary.clone(),
+                reflexive: shape.reflexive.clone(),
+                weight,
+            }
+        })
+        .collect()
+}
+
+/// Enumerates the valid cells of a matrix.
+pub fn build_cells(
+    matrix: &Formula,
+    space: &CellSpace,
+    weights: &Weights,
+) -> Result<Vec<Cell>, LiftError> {
+    let shapes = build_cell_shapes(matrix, space)?;
+    Ok(bind_cell_weights(&shapes, space, weights))
+}
+
+/// Finds, for every unordered pair of cells, the cross assignments satisfying
+/// `Ψ(x,y) ∧ Ψ(y,x)` — the weight-independent part of [`build_pair_table`].
+pub fn build_pair_structure(
     matrix: &Formula,
     space: &CellSpace,
     cells: &[Cell],
-    weights: &Weights,
-) -> Result<Vec<Vec<Weight>>, LiftError> {
+) -> Result<PairStructure, LiftError> {
     let b = space.binary.len();
     if 2 * b > 24 {
         return Err(LiftError::Internal(format!(
@@ -123,14 +178,13 @@ pub fn build_pair_table(
             2 * b
         )));
     }
-    // Precompute weight pairs for the binary predicates.
-    let pairs: Vec<_> = space.binary.iter().map(|p| weights.pair_of(p)).collect();
-
     let k = cells.len();
-    let mut table = vec![vec![Weight::zero(); k]; k];
+    let mut sat = Vec::with_capacity(k);
     for i in 0..k {
+        let mut row = Vec::with_capacity(k - i);
         for j in i..k {
-            let mut total = Weight::zero();
+            let mut signatures: std::collections::BTreeMap<Vec<u8>, u64> =
+                std::collections::BTreeMap::new();
             for code in 0u64..(1u64 << (2 * b)) {
                 let fwd: Vec<bool> = (0..b).map(|t| code >> t & 1 == 1).collect();
                 let bwd: Vec<bool> = (0..b).map(|t| code >> (b + t) & 1 == 1).collect();
@@ -155,10 +209,53 @@ pub fn build_pair_table(
                 if !backward_ok {
                     continue;
                 }
-                let mut weight = Weight::one();
-                for (t, pair) in pairs.iter().enumerate() {
-                    weight *= if cross.fwd[t] { &pair.pos } else { &pair.neg };
-                    weight *= if cross.bwd[t] { &pair.pos } else { &pair.neg };
+                let signature: Vec<u8> = (0..b)
+                    .map(|t| (code >> t & 1) as u8 + (code >> (b + t) & 1) as u8)
+                    .collect();
+                *signatures.entry(signature).or_insert(0) += 1;
+            }
+            row.push(signatures.into_iter().collect());
+        }
+        sat.push(row);
+    }
+    Ok(PairStructure { sat })
+}
+
+/// Sums the weights of the satisfying cross assignments of every cell pair,
+/// producing the symmetric table `r_{ij}` for a weight function. Per binary
+/// predicate only the three products `w̄²`, `w·w̄`, `w²` exist, so each
+/// signature costs `b` multiplications instead of `2b` per raw assignment.
+pub fn bind_pair_table(
+    structure: &PairStructure,
+    space: &CellSpace,
+    weights: &Weights,
+) -> Vec<Vec<Weight>> {
+    let pows: Vec<[Weight; 3]> = space
+        .binary
+        .iter()
+        .map(|p| {
+            let pair = weights.pair_of(p);
+            [
+                &pair.neg * &pair.neg,
+                &pair.pos * &pair.neg,
+                &pair.pos * &pair.pos,
+            ]
+        })
+        .collect();
+    let k = structure.sat.len();
+    let mut table = vec![vec![Weight::zero(); k]; k];
+    for (i, row) in structure.sat.iter().enumerate() {
+        for (d, signatures) in row.iter().enumerate() {
+            let j = i + d;
+            let mut total = Weight::zero();
+            for (signature, count) in signatures {
+                let mut weight = if *count == 1 {
+                    Weight::one()
+                } else {
+                    Weight::from_integer((*count).into())
+                };
+                for (t, pow) in pows.iter().enumerate() {
+                    weight *= &pow[signature[t] as usize];
                 }
                 total += weight;
             }
@@ -166,7 +263,18 @@ pub fn build_pair_table(
             table[j][i] = total;
         }
     }
-    Ok(table)
+    table
+}
+
+/// Builds the symmetric table `r_{ij}` over the valid cells.
+pub fn build_pair_table(
+    matrix: &Formula,
+    space: &CellSpace,
+    cells: &[Cell],
+    weights: &Weights,
+) -> Result<Vec<Vec<Weight>>, LiftError> {
+    let structure = build_pair_structure(matrix, space, cells)?;
+    Ok(bind_pair_table(&structure, space, weights))
 }
 
 /// Evaluates the matrix under a cell assignment for `x` and `y`.

@@ -70,7 +70,23 @@ pub fn cell_sum(
         return Ok((Weight::zero(), CellSumStats::default()));
     }
     let table = build_pair_table(matrix, space, &cells, &shape.weights)?;
-    let engine = Engine::new(&cells, &table, n);
+    Ok(cell_sum_bound(&cells, &table, n, parallel))
+}
+
+/// The cell-decomposition sum over already-built weighted cells and pair
+/// table — the n-dependent half of [`cell_sum`], used by prepared plans
+/// ([`crate::fo2::prepare::Fo2Prepared`]) that build the cells once and sum
+/// at many domain sizes and weight functions.
+pub fn cell_sum_bound(
+    cells: &[super::cells::Cell],
+    table: &[Vec<Weight>],
+    n: usize,
+    parallel: bool,
+) -> (Weight, CellSumStats) {
+    if cells.is_empty() {
+        return (Weight::zero(), CellSumStats::default());
+    }
+    let engine = Engine::new(cells, table, n);
 
     let mut stats = CellSumStats {
         valid_cells: cells.len(),
@@ -88,7 +104,7 @@ pub fn cell_sum(
             Weight::zero()
         };
         stats.compositions_summed = usize::from(n == 0);
-        return Ok((total, stats));
+        return (total, stats);
     }
 
     let threads = engine.thread_count(parallel);
@@ -107,7 +123,7 @@ pub fn cell_sum(
     } else {
         total / &engine.denominator_correction
     };
-    Ok((total, stats))
+    (total, stats)
 }
 
 /// Immutable per-branch state shared by all DFS workers.

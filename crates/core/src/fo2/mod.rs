@@ -21,7 +21,9 @@ pub mod algorithm;
 pub mod cells;
 pub mod cellsum;
 pub mod normalize;
+pub mod prepare;
 
 pub use algorithm::{wfomc_fo2, wfomc_fo2_with_stats, Fo2Stats};
-pub use cellsum::{cell_sum, CellSumStats};
+pub use cellsum::{cell_sum, cell_sum_bound, CellSumStats};
 pub use normalize::{fo2_normal_form, Fo2Shape, VAR_X, VAR_Y};
+pub use prepare::Fo2Prepared;

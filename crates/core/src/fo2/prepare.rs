@@ -1,0 +1,408 @@
+//! The n-independent half of the FO² algorithm, prepared once and evaluated
+//! many times.
+//!
+//! [`Fo2Prepared::prepare`] runs everything that does not depend on the domain
+//! size or the weight function: Scott normalization, Shannon expansion of the
+//! nullary predicates into branch matrices, valid-cell enumeration and the
+//! satisfying cross-assignment sets of every pair table
+//! ([`super::cells::PairStructure`]). [`Fo2Prepared::count`] then *binds* a
+//! weight function (cheap: products and sums over the prepared structures,
+//! cached for the most recent weights) and runs the prefix-sharing cell-sum
+//! engine at the requested `n`.
+//!
+//! This is the prepared state behind [`crate::plan::Plan`] for
+//! [`crate::solver::Method::Fo2`]; the one-shot
+//! [`super::algorithm::wfomc_fo2`] is a thin prepare-then-count wrapper.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+use num_traits::{One, Zero};
+
+use wfomc_ground::evaluate::evaluate;
+use wfomc_ground::structure::Structure;
+use wfomc_logic::syntax::Formula;
+use wfomc_logic::vocabulary::{Predicate, Vocabulary};
+use wfomc_logic::weights::{weight_pow, Weight, Weights};
+
+use super::algorithm::Fo2Stats;
+use super::cells::{
+    bind_cell_weights, bind_pair_table, build_cell_shapes, build_pair_structure, Cell, CellSpace,
+    PairStructure,
+};
+use super::cellsum::{cell_sum_bound, CellSumStats};
+use super::normalize::fo2_normal_form;
+use crate::error::LiftError;
+
+/// One Shannon branch with its weight-independent structure.
+#[derive(Clone, Debug)]
+struct PreparedBranch {
+    /// Truth assignment to the nullary predicates (bit `i` is the `i`-th
+    /// nullary predicate).
+    mask: u64,
+    /// Valid cells of the branch matrix (weights left at 1).
+    shapes: Vec<Cell>,
+    /// Satisfying cross assignments of every cell pair.
+    pairs: PairStructure,
+}
+
+/// A weight-bound evaluation state: the prepared structures with one weight
+/// function multiplied in.
+#[derive(Clone, Debug)]
+struct Fo2Bound {
+    /// Branches whose nullary factor is non-zero, ready for the engine.
+    branches: Vec<BoundBranch>,
+    /// `(predicate, w + w̄)` for the vocabulary predicates the cell
+    /// decomposition does not cover.
+    leftover: Vec<(Predicate, Weight)>,
+}
+
+#[derive(Clone, Debug)]
+struct BoundBranch {
+    factor: Weight,
+    cells: Vec<Cell>,
+    table: Vec<Vec<Weight>>,
+}
+
+/// The FO² sentence analysis, fully independent of the domain size and the
+/// weight function. Prepare once, [`count`](Fo2Prepared::count) many times.
+#[derive(Debug)]
+pub struct Fo2Prepared {
+    /// The original sentence (used for the `n = 0` special case).
+    sentence: Formula,
+    /// The cell space (unary/binary predicates of the normalized matrix).
+    space: CellSpace,
+    /// Nullary predicates removed by Shannon expansion.
+    nullary: Vec<Predicate>,
+    /// Predicates introduced by normalization (definition + Skolem).
+    introduced: Vec<Predicate>,
+    /// The fixed weight pairs of the introduced predicates.
+    introduced_weights: Weights,
+    /// Vocabulary predicates the cell decomposition does not account for;
+    /// they contribute `(w + w̄)^{n^arity}`.
+    leftover: Vec<Predicate>,
+    /// The surviving (non-`Bottom`) Shannon branches.
+    branches: Vec<PreparedBranch>,
+    /// The most recent weight binding, reused when the weights repeat
+    /// (the common case: one plan evaluated at many domain sizes).
+    bound: Mutex<Option<(Weights, Arc<Fo2Bound>)>>,
+}
+
+impl Fo2Prepared {
+    /// Runs the full n-independent analysis of an FO² sentence.
+    ///
+    /// Fails exactly when [`super::algorithm::wfomc_fo2`] would: the sentence
+    /// is not FO², uses predicates of arity > 2, or contains constants.
+    pub fn prepare(sentence: &Formula, vocabulary: &Vocabulary) -> Result<Fo2Prepared, LiftError> {
+        if !sentence.is_sentence() {
+            return Err(LiftError::NotASentence);
+        }
+        // Normalization is weight-independent; the introduced predicates get
+        // their fixed pairs ((1,1) for Def*, (1,−1) for Sk*) regardless of the
+        // user weights, which we splice back in at bind time.
+        let shape = fo2_normal_form(sentence, vocabulary, &Weights::ones())?;
+
+        let mut counted: Vec<Predicate> = shape.matrix.vocabulary().predicates().to_vec();
+        for p in &shape.introduced {
+            if !counted.contains(p) {
+                counted.push(p.clone());
+            }
+        }
+        let space = CellSpace {
+            unary: counted.iter().filter(|p| p.arity() == 1).cloned().collect(),
+            binary: counted.iter().filter(|p| p.arity() == 2).cloned().collect(),
+        };
+        let nullary: Vec<Predicate> = counted.iter().filter(|p| p.arity() == 0).cloned().collect();
+
+        let mut introduced_weights = Weights::ones();
+        for p in &shape.introduced {
+            let pair = shape.weights.pair_of(p);
+            introduced_weights.set(p.name(), pair.pos, pair.neg);
+        }
+
+        let user_voc = vocabulary.extended_with(&sentence.vocabulary());
+        let counted_names: BTreeSet<&str> = counted.iter().map(|p| p.name()).collect();
+        let leftover: Vec<Predicate> = user_voc
+            .iter()
+            .filter(|p| !counted_names.contains(p.name()))
+            .cloned()
+            .collect();
+
+        // Shannon expansion: one branch matrix per truth assignment to the
+        // nullary predicates, each analyzed into cells and pair structures.
+        let mut branches = Vec::new();
+        for mask in 0u64..(1u64 << nullary.len()) {
+            let branch_matrix = if nullary.is_empty() {
+                shape.matrix.clone()
+            } else {
+                shape.matrix.map_bottom_up(&mut |node| match &node {
+                    Formula::Atom(a) if a.args.is_empty() => {
+                        match nullary.iter().position(|p| p == &a.predicate) {
+                            Some(i) if mask >> i & 1 == 1 => Formula::Top,
+                            Some(_) => Formula::Bottom,
+                            None => node,
+                        }
+                    }
+                    _ => node,
+                })
+            };
+            let branch_matrix = wfomc_logic::transform::simplify(&branch_matrix);
+            if branch_matrix == Formula::Bottom {
+                continue;
+            }
+            let shapes = build_cell_shapes(&branch_matrix, &space)?;
+            let pairs = build_pair_structure(&branch_matrix, &space, &shapes)?;
+            branches.push(PreparedBranch {
+                mask,
+                shapes,
+                pairs,
+            });
+        }
+
+        Ok(Fo2Prepared {
+            sentence: sentence.clone(),
+            space,
+            nullary,
+            introduced: shape.introduced,
+            introduced_weights,
+            leftover,
+            branches,
+            bound: Mutex::new(None),
+        })
+    }
+
+    /// Number of predicates introduced by normalization.
+    pub fn introduced_predicates(&self) -> usize {
+        self.introduced.len()
+    }
+
+    /// Number of Shannon branches prepared (the non-`Bottom` ones).
+    pub fn branches_prepared(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Total number of Shannon branches (`2^#nullary`).
+    pub fn shannon_branches(&self) -> usize {
+        1 << self.nullary.len()
+    }
+
+    /// Total number of valid cells over the prepared branches.
+    pub fn total_cells(&self) -> usize {
+        self.branches.iter().map(|b| b.shapes.len()).sum()
+    }
+
+    /// Total number of satisfying cross assignments captured by the prepared
+    /// pair structures (what each weight binding sums over, grouped by
+    /// signature).
+    pub fn satisfying_pair_assignments(&self) -> usize {
+        self.branches.iter().map(|b| b.pairs.num_satisfying()).sum()
+    }
+
+    /// Multiplies one weight function into the prepared structures, reusing
+    /// the cached binding when the weights repeat.
+    fn bind(&self, weights: &Weights) -> Arc<Fo2Bound> {
+        {
+            let cache = self.bound.lock().expect("fo2 bind cache poisoned");
+            if let Some((cached, bound)) = &*cache {
+                if cached == weights {
+                    return bound.clone();
+                }
+            }
+        }
+        let mut effective = weights.clone();
+        for p in &self.introduced {
+            let pair = self.introduced_weights.pair_of(p);
+            effective.set(p.name(), pair.pos, pair.neg);
+        }
+        let nullary_pairs: Vec<_> = self.nullary.iter().map(|p| effective.pair_of(p)).collect();
+        let mut branches = Vec::new();
+        for branch in &self.branches {
+            let mut factor = Weight::one();
+            for (i, pair) in nullary_pairs.iter().enumerate() {
+                factor *= if branch.mask >> i & 1 == 1 {
+                    &pair.pos
+                } else {
+                    &pair.neg
+                };
+            }
+            if factor.is_zero() {
+                continue;
+            }
+            branches.push(BoundBranch {
+                factor,
+                cells: bind_cell_weights(&branch.shapes, &self.space, &effective),
+                table: bind_pair_table(&branch.pairs, &self.space, &effective),
+            });
+        }
+        let leftover = self
+            .leftover
+            .iter()
+            .map(|p| (p.clone(), effective.pair_of(p).total()))
+            .collect();
+        let bound = Arc::new(Fo2Bound { branches, leftover });
+        *self.bound.lock().expect("fo2 bind cache poisoned") =
+            Some((weights.clone(), bound.clone()));
+        bound
+    }
+
+    /// `WFOMC` of the prepared sentence at domain size `n` under `weights`,
+    /// together with the engine's cost statistics. `allow_parallel` lets the
+    /// Shannon branches / top-level cell splits fan out over scoped threads
+    /// (callers that already parallelize across evaluation points pass
+    /// `false`).
+    pub fn count(&self, n: usize, weights: &Weights, allow_parallel: bool) -> (Weight, Fo2Stats) {
+        // n = 0: there is exactly one (empty) structure; its weight is 1.
+        if n == 0 {
+            let value = if evaluate(&self.sentence, &Structure::empty(0)) {
+                Weight::one()
+            } else {
+                Weight::zero()
+            };
+            return (value, Fo2Stats::default());
+        }
+
+        let bound = self.bind(weights);
+        let mut stats = Fo2Stats {
+            introduced_predicates: self.introduced.len(),
+            shannon_branches: self.shannon_branches(),
+            ..Fo2Stats::default()
+        };
+        let mut leftover = Weight::one();
+        for (p, total) in &bound.leftover {
+            leftover *= weight_pow(total, p.num_ground_tuples(n));
+        }
+
+        let mut total = Weight::zero();
+        for (branch, (value, branch_stats)) in
+            bound
+                .branches
+                .iter()
+                .zip(evaluate_bound(&bound.branches, n, allow_parallel))
+        {
+            stats.absorb_cell_sum(&branch_stats);
+            total += &branch.factor * value;
+        }
+        (leftover * total, stats)
+    }
+}
+
+/// Evaluates the bound Shannon branches, fanning them over scoped threads
+/// when allowed and worthwhile. Results are aligned with the input order.
+fn evaluate_bound(
+    branches: &[BoundBranch],
+    n: usize,
+    allow_parallel: bool,
+) -> Vec<(Weight, CellSumStats)> {
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let workers = if allow_parallel && branches.len() > 1 && n >= 8 {
+        cores.min(branches.len())
+    } else {
+        1
+    };
+    if workers <= 1 {
+        return branches
+            .iter()
+            .map(|b| cell_sum_bound(&b.cells, &b.table, n, allow_parallel))
+            .collect();
+    }
+    // With fewer branch workers than cores, let each branch's engine split
+    // its top level too (its own composition-count threshold still applies).
+    let parallel_within = workers < cores;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
+                scope.spawn(move || {
+                    branches
+                        .iter()
+                        .enumerate()
+                        .skip(t)
+                        .step_by(workers)
+                        .map(|(i, b)| (i, cell_sum_bound(&b.cells, &b.table, n, parallel_within)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut out: Vec<Option<(Weight, CellSumStats)>> = vec![None; branches.len()];
+        for handle in handles {
+            for (i, result) in handle.join().expect("Shannon-branch worker panicked") {
+                out[i] = Some(result);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every branch evaluated"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfomc_ground::wfomc as ground_wfomc;
+    use wfomc_logic::catalog;
+
+    #[test]
+    fn prepared_count_matches_one_shot_across_n_and_weights() {
+        for sentence in [
+            catalog::table1_sentence(),
+            catalog::forall_exists_edge(),
+            catalog::exists_unary(),
+            catalog::smokers_constraint(),
+        ] {
+            let voc = sentence.vocabulary();
+            let prepared = Fo2Prepared::prepare(&sentence, &voc).expect("FO² applies");
+            for weights in [
+                Weights::ones(),
+                Weights::from_ints([("R", 2, 1), ("S", 1, 3), ("T", 5, 1)]),
+                Weights::from_ints([("R", 0, 1), ("S", -1, 2), ("T", 2, 2)]),
+            ] {
+                for n in 0..=4 {
+                    let (value, stats) = prepared.count(n, &weights, true);
+                    let (one_shot, one_shot_stats) =
+                        super::super::wfomc_fo2_with_stats(&sentence, &voc, n, &weights)
+                            .expect("FO² applies");
+                    assert_eq!(value, one_shot, "{sentence} at n={n}");
+                    assert_eq!(stats, one_shot_stats, "{sentence} stats at n={n}");
+                    assert_eq!(
+                        value,
+                        ground_wfomc(&sentence, &voc, n, &weights),
+                        "{sentence} vs ground at n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binding_is_cached_per_weight_function() {
+        let sentence = catalog::table1_sentence();
+        let voc = sentence.vocabulary();
+        let prepared = Fo2Prepared::prepare(&sentence, &voc).unwrap();
+        let w = Weights::from_ints([("R", 2, 1)]);
+        let first = prepared.bind(&w);
+        let second = prepared.bind(&w);
+        assert!(Arc::ptr_eq(&first, &second), "same weights reuse binding");
+        let other = prepared.bind(&Weights::ones());
+        assert!(!Arc::ptr_eq(&first, &other), "new weights rebind");
+    }
+
+    #[test]
+    fn prepare_rejects_non_fo2_sentences() {
+        let f = catalog::transitivity();
+        assert!(matches!(
+            Fo2Prepared::prepare(&f, &f.vocabulary()),
+            Err(LiftError::TooManyVariables { .. })
+        ));
+    }
+
+    #[test]
+    fn prepared_summary_counters() {
+        let f = catalog::forall_exists_edge();
+        let prepared = Fo2Prepared::prepare(&f, &f.vocabulary()).unwrap();
+        assert_eq!(prepared.introduced_predicates(), 1);
+        assert_eq!(prepared.shannon_branches(), 1);
+        assert_eq!(prepared.branches_prepared(), 1);
+        assert!(prepared.total_cells() >= 3);
+    }
+}

@@ -23,7 +23,12 @@
 //! * [`solver`] — a front-door [`solver::Solver`] that inspects a sentence,
 //!   picks the best applicable method and falls back to grounded WFOMC when no
 //!   lifted method applies (which is exactly what the paper's hardness results
-//!   predict for Table 2's open problems).
+//!   predict for Table 2's open problems);
+//! * [`plan`] — the plan-then-execute API: a [`plan::Problem`] is analyzed
+//!   *once* by [`solver::Solver::plan`] into a [`plan::Plan`] (method
+//!   selection, FO² normalization + cell decomposition, CQ recognition, a
+//!   domain-size-keyed grounding/circuit cache), and then evaluated cheaply
+//!   at any number of `(n, weights)` points.
 //!
 //! Every lifted path is cross-validated against brute-force structure
 //! enumeration and the grounded lineage pipeline in this crate's tests and in
@@ -38,8 +43,10 @@ pub mod cq;
 pub mod error;
 pub mod fo2;
 pub mod normal;
+pub mod plan;
 pub mod qs4;
 pub mod solver;
 
 pub use error::LiftError;
-pub use solver::{Method, Solver, SolverReport};
+pub use plan::{Plan, PlanReport, Problem};
+pub use solver::{Method, Solver, SolverBuilder, SolverReport};

@@ -18,6 +18,9 @@ use wfomc_logic::term::Term;
 use wfomc_logic::vocabulary::{Predicate, Vocabulary};
 use wfomc_logic::weights::{weight_int, Weight, Weights};
 
+use crate::plan::Problem;
+use crate::solver::Solver;
+
 /// The equality-free rewriting of a sentence.
 #[derive(Clone, Debug)]
 pub struct EqualityFree {
@@ -37,7 +40,14 @@ pub fn remove_equality(formula: &Formula, vocabulary: &Vocabulary) -> EqualityFr
         Formula::Equals(a, b) => Formula::atom(e.clone(), vec![a, b]),
         other => other,
     });
-    let x = wfomc_logic::term::Variable::new("eq_x");
+    // The reflexivity axiom is a closed conjunct, so its bound variable can
+    // reuse any name the sentence already employs — keeping an FO² input
+    // inside FO² so the rewritten sentence stays liftable.
+    let x = formula
+        .all_variables()
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| wfomc_logic::term::Variable::new("eq_x"));
     let reflexivity = Formula::forall(
         x.clone(),
         Formula::atom(e.clone(), vec![Term::Var(x.clone()), Term::Var(x)]),
@@ -49,13 +59,70 @@ pub fn remove_equality(formula: &Formula, vocabulary: &Vocabulary) -> EqualityFr
     }
 }
 
+/// Computes `WFOMC(Φ, n, w, w̄)` for a sentence Φ *with* equality through the
+/// plan-then-execute solver: the rewritten sentence is analyzed **once** into
+/// a [`crate::Plan`] and the `n² + 1` interpolation points are evaluated as a
+/// batch on that plan.
+///
+/// When the rewritten sentence is FO² this reuses one FO² analysis (normal
+/// form, cells, pair structures) across all points, rebinding only the
+/// weights; when it is not, the plan's grounded path compiles one d-DNNF
+/// circuit and evaluates it `n² + 1` times (for the circuit backend), exactly
+/// like [`wfomc_via_equality_removal_compiled`].
+pub fn wfomc_via_equality_removal(
+    formula: &Formula,
+    vocabulary: &Vocabulary,
+    n: usize,
+    weights: &Weights,
+) -> Weight {
+    let rewritten = remove_equality(formula, vocabulary);
+    let problem = Problem::new(rewritten.formula.clone())
+        .with_vocabulary(rewritten.vocabulary.clone())
+        .with_weights(weights.clone());
+    // The circuit backend makes the grounded path compile-once too: plans
+    // cache one d-DNNF per domain size, so a non-FO² rewrite costs one
+    // compilation plus n² + 1 linear evaluations.
+    let plan = Solver::builder()
+        .ground_backend(wfomc_prop::WmcBackend::Circuit)
+        .build()
+        .plan(&problem)
+        .expect("the rewritten sentence is closed and the grounded fallback always applies");
+
+    let degree = n * n;
+    let points: Vec<(usize, Weights)> = (0..=degree)
+        .map(|z| {
+            let mut w = weights.clone();
+            w.set(
+                rewritten.equality_predicate.name(),
+                weight_int(z as i64),
+                weight_int(1),
+            );
+            (n, w)
+        })
+        .collect();
+    let reports = plan
+        .count_batch(&points)
+        .expect("plan evaluation cannot fail after planning succeeded");
+    let samples: Vec<(Weight, Weight)> = reports
+        .into_iter()
+        .enumerate()
+        .map(|(z, report)| (weight_int(z as i64), report.value))
+        .collect();
+    interpolate(&samples)
+        .get(n)
+        .cloned()
+        .unwrap_or_else(Weight::zero)
+}
+
 /// Computes `WFOMC(Φ, n, w, w̄)` for a sentence Φ *with* equality, using an
 /// oracle that can only count sentences *without* equality.
 ///
 /// The oracle is called `n² + 1` times, once per interpolation point, with the
 /// rewritten sentence, the extended vocabulary and the weights extended by
-/// `w(E) = z`, `w̄(E) = 1`.
-pub fn wfomc_via_equality_removal(
+/// `w(E) = z`, `w̄(E) = 1`. Prefer [`wfomc_via_equality_removal`], which
+/// analyzes the rewritten sentence once; this variant exists for custom
+/// oracles (and as the literal Lemma 3.5 protocol).
+pub fn wfomc_via_equality_removal_with_oracle(
     formula: &Formula,
     vocabulary: &Vocabulary,
     n: usize,
@@ -186,11 +253,32 @@ mod tests {
         let weights = Weights::from_ints([("R", 2, 3)]);
         for n in 0..=2 {
             let direct = brute_force_wfomc(&f, &voc, n, &weights);
-            let via_removal = wfomc_via_equality_removal(&f, &voc, n, &weights, |g, v, n, w| {
-                ground_wfomc(g, v, n, w)
-            });
+            let via_removal =
+                wfomc_via_equality_removal_with_oracle(&f, &voc, n, &weights, |g, v, n, w| {
+                    ground_wfomc(g, v, n, w)
+                });
             assert_eq!(direct, via_removal, "n = {n}");
         }
+    }
+
+    #[test]
+    fn planned_equality_removal_matches_the_oracle_protocol() {
+        // The rewritten sentence is FO² here, so the planned variant
+        // evaluates one FO² analysis at all n² + 1 points.
+        let f = forall(["x", "y"], or(vec![atom("R", &["x", "y"]), eq("x", "y")]));
+        let voc = f.vocabulary();
+        let weights = Weights::from_ints([("R", 2, 3)]);
+        for n in 0..=3 {
+            let direct = brute_force_wfomc(&f, &voc, n, &weights);
+            let planned = wfomc_via_equality_removal(&f, &voc, n, &weights);
+            assert_eq!(direct, planned, "n = {n}");
+        }
+        // A lifted plan answers the rewritten sentence (it is FO²).
+        let rewritten = remove_equality(&f, &voc);
+        let plan = crate::Solver::new()
+            .plan(&crate::Problem::new(rewritten.formula.clone()))
+            .unwrap();
+        assert_eq!(plan.method(), crate::Method::Fo2);
     }
 
     #[test]
@@ -203,10 +291,14 @@ mod tests {
         let weights = Weights::ones();
         let n = 2;
         let direct = brute_force_wfomc(&f, &voc, n, &weights);
-        let via_removal = wfomc_via_equality_removal(&f, &voc, n, &weights, |g, v, n, w| {
-            ground_wfomc(g, v, n, w)
-        });
+        let via_removal =
+            wfomc_via_equality_removal_with_oracle(&f, &voc, n, &weights, |g, v, n, w| {
+                ground_wfomc(g, v, n, w)
+            });
         assert_eq!(direct, via_removal);
+        // The planned variant grounds (the axiom is FO³) through one cached
+        // lineage per domain size.
+        assert_eq!(wfomc_via_equality_removal(&f, &voc, n, &weights), direct);
         // Sanity: 16 structures over E/2 at n=2, all satisfy the axiom.
         assert_eq!(direct, weight_int(16));
     }
@@ -230,9 +322,10 @@ mod tests {
         let f = catalog::extension_axiom();
         let voc = f.vocabulary();
         let n = 2;
-        let via_oracle = wfomc_via_equality_removal(&f, &voc, n, &Weights::ones(), |g, v, n, w| {
-            ground_wfomc(g, v, n, w)
-        });
+        let via_oracle =
+            wfomc_via_equality_removal_with_oracle(&f, &voc, n, &Weights::ones(), |g, v, n, w| {
+                ground_wfomc(g, v, n, w)
+            });
         let via_circuit = wfomc_via_equality_removal_compiled(&f, &voc, n, &Weights::ones());
         assert_eq!(via_oracle, via_circuit);
         assert_eq!(via_circuit, weight_int(16));
@@ -244,10 +337,11 @@ mod tests {
         let voc = f.vocabulary();
         let mut calls = 0usize;
         let n = 2;
-        let _ = wfomc_via_equality_removal(&f, &voc, n, &Weights::ones(), |g, v, n, w| {
-            calls += 1;
-            ground_wfomc(g, v, n, w)
-        });
+        let _ =
+            wfomc_via_equality_removal_with_oracle(&f, &voc, n, &Weights::ones(), |g, v, n, w| {
+                calls += 1;
+                ground_wfomc(g, v, n, w)
+            });
         assert_eq!(calls, n * n + 1);
     }
 }

@@ -19,7 +19,8 @@ pub mod negation;
 pub mod skolem;
 
 pub use equality::{
-    remove_equality, wfomc_via_equality_removal, wfomc_via_equality_removal_compiled, EqualityFree,
+    remove_equality, wfomc_via_equality_removal, wfomc_via_equality_removal_compiled,
+    wfomc_via_equality_removal_with_oracle, EqualityFree,
 };
 pub use negation::{remove_negation, NegationFree};
 pub use skolem::{skolemize, Skolemized};

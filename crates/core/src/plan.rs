@@ -1,0 +1,828 @@
+//! Plan-then-execute solving: analyze a sentence once, count many times.
+//!
+//! The expensive part of symmetric WFOMC is the *sentence analysis* — method
+//! selection, Skolemization and cell decomposition for FO², query-structure
+//! recognition, grounding and knowledge compilation for the fallback — while
+//! evaluating at a given domain size `n` and weight function is the cheap,
+//! repeatable part. This module makes that split the shape of the API:
+//!
+//! ```
+//! use wfomc_core::{Problem, Solver};
+//! use wfomc_logic::catalog;
+//! use wfomc_logic::weights::Weights;
+//!
+//! let problem = Problem::new(catalog::table1_sentence());
+//! let plan = Solver::new().plan(&problem).unwrap();
+//! for n in 1..=8 {
+//!     let report = plan.count(n, &Weights::ones()).unwrap();
+//!     assert_eq!(report.method, plan.method());
+//! }
+//! ```
+//!
+//! A [`Plan`] captures per-method prepared state:
+//!
+//! * **QS4** — the recognized sentence shape plus the factor for unused
+//!   vocabulary predicates; each count runs the `O(n²)` dynamic program.
+//! * **FO²** — the normalized sentence, Shannon branch matrices, valid cells
+//!   and satisfying cross-assignment sets ([`crate::fo2::Fo2Prepared`]);
+//!   each count binds the weights (cached) and runs the cell-sum engine.
+//! * **γ-acyclic CQ** — the recognized query plus a shared reduction memo
+//!   ([`crate::cq::CqMemo`]) reused across domain sizes and weights.
+//! * **Ground** — a domain-size-keyed cache of groundings, each with a
+//!   lazily compiled d-DNNF circuit for the circuit backend.
+//!
+//! [`crate::Solver::wfomc`] is a one-shot plan-then-count, so the dispatch
+//! logic lives here exactly once.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use num_traits::{One, Zero};
+
+use wfomc_ground::{CompiledWfomc, Lineage};
+use wfomc_logic::cq::ConjunctiveQuery;
+use wfomc_logic::syntax::Formula;
+use wfomc_logic::vocabulary::{Predicate, Vocabulary};
+use wfomc_logic::weights::{weight_pow, Weight, Weights};
+use wfomc_prop::counter::wmc_formula_via;
+use wfomc_prop::WmcBackend;
+
+use crate::cq::gamma_acyclic::{gamma_acyclic_probability, gamma_acyclic_wfomc_memo, CqMemo};
+use crate::error::LiftError;
+use crate::fo2::Fo2Prepared;
+use crate::qs4::{is_qs4, wfomc_qs4};
+use crate::solver::{Method, Solver, SolverReport};
+
+/// A counting problem: a sentence, the vocabulary it is counted over, and a
+/// default weight function (used by [`Plan::probability`]; every count can
+/// still override the weights).
+///
+/// Built in builder style:
+///
+/// ```
+/// use wfomc_core::Problem;
+/// use wfomc_logic::catalog;
+/// use wfomc_logic::weights::Weights;
+///
+/// let problem = Problem::new(catalog::table1_sentence())
+///     .with_weights(Weights::from_ints([("R", 2, 1)]));
+/// let plan = problem.plan().unwrap();
+/// assert!(plan.count(3, problem.weights()).is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Problem {
+    sentence: Formula,
+    vocabulary: Vocabulary,
+    weights: Weights,
+}
+
+impl Problem {
+    /// A problem over the sentence's own vocabulary with all-ones weights.
+    pub fn new(sentence: Formula) -> Problem {
+        let vocabulary = sentence.vocabulary();
+        Problem {
+            sentence,
+            vocabulary,
+            weights: Weights::ones(),
+        }
+    }
+
+    /// Counts over this vocabulary instead of the sentence's own (predicates
+    /// beyond the sentence contribute the usual `(w + w̄)^{n^arity}` factor;
+    /// the sentence's predicates are always included).
+    pub fn with_vocabulary(mut self, vocabulary: Vocabulary) -> Problem {
+        self.vocabulary = vocabulary;
+        self
+    }
+
+    /// Sets the default weight function.
+    pub fn with_weights(mut self, weights: Weights) -> Problem {
+        self.weights = weights;
+        self
+    }
+
+    /// The sentence to count.
+    pub fn sentence(&self) -> &Formula {
+        &self.sentence
+    }
+
+    /// The vocabulary the problem was declared over (not yet extended with
+    /// the sentence's own predicates).
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// The default weight function.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// Plans this problem with the default solver configuration.
+    pub fn plan(&self) -> Result<Plan, LiftError> {
+        Solver::new().plan(self)
+    }
+}
+
+/// The per-method prepared state of a plan.
+#[derive(Debug)]
+enum PlanState {
+    /// Theorem 3.7's sentence, recognized syntactically.
+    Qs4 {
+        /// Vocabulary predicates the dynamic program does not cover.
+        extra: Vec<Predicate>,
+    },
+    /// The FO² analysis, prepared once.
+    Fo2(Fo2Prepared),
+    /// A recognized γ-acyclic conjunctive query.
+    Cq {
+        query: ConjunctiveQuery,
+        /// Vocabulary predicates outside the query.
+        extra: Vec<Predicate>,
+        /// Reduction memo shared across all counts of this plan.
+        memo: Mutex<CqMemo>,
+    },
+    /// No lifted method applies: every count grounds (with caching).
+    Ground,
+}
+
+/// One cached grounding: the lineage at a fixed domain size, with the d-DNNF
+/// circuit compiled lazily on the first circuit-backend evaluation.
+#[derive(Debug)]
+struct GroundInstance {
+    lineage: Lineage,
+    compiled: OnceLock<CompiledWfomc>,
+}
+
+/// The domain-size-keyed grounding cache (used by the Ground method and as
+/// the weight-dependent fallback of the CQ method).
+#[derive(Debug, Default)]
+struct GroundPrep {
+    instances: Mutex<HashMap<usize, Arc<GroundInstance>>>,
+}
+
+/// An analyzed counting problem, ready to be evaluated at many domain sizes
+/// and weight functions. Built by [`Solver::plan`]; all the n-independent
+/// work (method selection, normalization, cell decomposition, query
+/// recognition) has already happened.
+///
+/// A `Plan` is `Sync`: [`Plan::count_batch`] fans independent points over
+/// scoped threads, and the internal caches (FO² weight binding, CQ memo,
+/// groundings and compiled circuits per domain size) are shared behind locks.
+#[must_use = "a Plan only pays off when its count/probability methods are called"]
+#[derive(Debug)]
+pub struct Plan {
+    sentence: Formula,
+    /// The problem vocabulary extended with the sentence's own predicates.
+    vocabulary: Vocabulary,
+    default_weights: Weights,
+    solver: Solver,
+    state: PlanState,
+    ground: GroundPrep,
+}
+
+impl Solver {
+    /// Analyzes a problem once: runs method selection and all n-independent
+    /// preprocessing, returning a [`Plan`] whose counts are cheap to repeat.
+    ///
+    /// Fails with [`LiftError::NotASentence`] on open formulas, with
+    /// [`LiftError::PatternMismatch`] when no lifted method applies and the
+    /// grounded fallback is disabled, and propagates internal errors of the
+    /// FO² analysis.
+    pub fn plan(&self, problem: &Problem) -> Result<Plan, LiftError> {
+        Plan::new(*self, problem)
+    }
+}
+
+impl Plan {
+    /// Runs method selection and preprocessing (see [`Solver::plan`]).
+    fn new(solver: Solver, problem: &Problem) -> Result<Plan, LiftError> {
+        let sentence = problem.sentence().clone();
+        if !sentence.is_sentence() {
+            return Err(LiftError::NotASentence);
+        }
+        let vocabulary = problem.vocabulary().extended_with(&sentence.vocabulary());
+
+        let state = Self::select_method(&solver, &sentence, &vocabulary)?;
+        Ok(Plan {
+            sentence,
+            vocabulary,
+            default_weights: problem.weights().clone(),
+            solver,
+            state,
+            ground: GroundPrep::default(),
+        })
+    }
+
+    /// The dispatch order of the paper's tractability landscape: QS4 → FO² →
+    /// γ-acyclic CQ → grounding. Applicability of every lifted method is a
+    /// property of the sentence alone, so it is decided here, once.
+    fn select_method(
+        solver: &Solver,
+        sentence: &Formula,
+        vocabulary: &Vocabulary,
+    ) -> Result<PlanState, LiftError> {
+        if solver.use_lifted {
+            // 1. The QS4 special case.
+            if is_qs4(sentence) {
+                return Ok(PlanState::Qs4 {
+                    extra: extra_predicates(vocabulary, &sentence.vocabulary()),
+                });
+            }
+
+            // 2. The FO² algorithm.
+            match Fo2Prepared::prepare(sentence, vocabulary) {
+                Ok(prepared) => return Ok(PlanState::Fo2(prepared)),
+                Err(LiftError::Internal(msg)) => return Err(LiftError::Internal(msg)),
+                Err(_) => {}
+            }
+
+            // 3. The γ-acyclic CQ algorithm. Reducibility is structural, so a
+            // probe at a tiny domain size decides applicability for every n;
+            // weight pathologies (w + w̄ = 0) are handled per count.
+            if let Some(query) = ConjunctiveQuery::from_formula(sentence) {
+                let probe =
+                    gamma_acyclic_probability(&query, 2, &std::collections::BTreeMap::new());
+                if probe.is_ok() {
+                    let extra = extra_predicates(vocabulary, &query.vocabulary());
+                    return Ok(PlanState::Cq {
+                        query,
+                        extra,
+                        memo: Mutex::new(CqMemo::default()),
+                    });
+                }
+            }
+        }
+
+        // 4. Ground.
+        if !solver.allow_ground_fallback {
+            return Err(no_lifted_method());
+        }
+        Ok(PlanState::Ground)
+    }
+
+    /// The method the plan selected. Individual counts normally use it; the
+    /// CQ method falls back to grounding for weight functions that admit no
+    /// tuple probabilities (`w + w̄ = 0`), in which case the returned
+    /// [`SolverReport::method`] records what actually ran.
+    pub fn method(&self) -> Method {
+        match &self.state {
+            PlanState::Qs4 { .. } => Method::Qs4,
+            PlanState::Fo2(_) => Method::Fo2,
+            PlanState::Cq { .. } => Method::GammaAcyclicCq,
+            PlanState::Ground => Method::Ground,
+        }
+    }
+
+    /// The sentence this plan counts.
+    pub fn sentence(&self) -> &Formula {
+        &self.sentence
+    }
+
+    /// The full vocabulary (problem vocabulary extended with the sentence's).
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// The problem's default weight function.
+    pub fn default_weights(&self) -> &Weights {
+        &self.default_weights
+    }
+
+    /// Symmetric WFOMC at domain size `n` under `weights` — the cheap,
+    /// repeatable half of the solve.
+    pub fn count(&self, n: usize, weights: &Weights) -> Result<SolverReport, LiftError> {
+        self.count_inner(n, weights, true)
+    }
+
+    /// [`count`](Self::count) with the problem's default weights.
+    pub fn count_default(&self, n: usize) -> Result<SolverReport, LiftError> {
+        self.count(n, &self.default_weights)
+    }
+
+    /// Evaluates many independent `(n, weights)` points, fanning them over
+    /// scoped threads (each point then evaluates serially, so the machine is
+    /// not oversubscribed). Results are in input order.
+    pub fn count_batch(&self, points: &[(usize, Weights)]) -> Result<Vec<SolverReport>, LiftError> {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let workers = cores.min(points.len());
+        if workers <= 1 {
+            return points
+                .iter()
+                .map(|(n, w)| self.count_inner(*n, w, true))
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|t| {
+                    scope.spawn(move || {
+                        points
+                            .iter()
+                            .enumerate()
+                            .skip(t)
+                            .step_by(workers)
+                            .map(|(i, (n, w))| (i, self.count_inner(*n, w, false)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<Result<SolverReport, LiftError>>> =
+                (0..points.len()).map(|_| None).collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("count_batch worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+            slots
+                .into_iter()
+                .map(|r| r.expect("every point evaluated"))
+                .collect()
+        })
+    }
+
+    /// The probability of the sentence at domain size `n` under the problem's
+    /// default weights: `Pr(Φ) = WFOMC(Φ) / WFOMC(true)`.
+    pub fn probability(&self, n: usize) -> Result<SolverReport, LiftError> {
+        let report = self.count_default(n)?;
+        let normalization = self.default_weights.wfomc_of_true(&self.vocabulary, n);
+        if normalization.is_zero() {
+            return Err(LiftError::NoProbabilityNormalization {
+                predicate: "<vocabulary>".to_string(),
+            });
+        }
+        Ok(SolverReport {
+            value: report.value / normalization,
+            method: report.method,
+            backend: report.backend,
+            fo2_stats: report.fo2_stats,
+        })
+    }
+
+    /// A report of what was prepared and why, for humans.
+    pub fn explain(&self) -> PlanReport {
+        let mut details = vec![format!("sentence: {}", self.sentence)];
+        match &self.state {
+            PlanState::Qs4 { extra } => {
+                details.push(
+                    "sentence is syntactically QS4 (Theorem 3.7); each count runs the O(n²) \
+                     dynamic program"
+                        .to_string(),
+                );
+                if !extra.is_empty() {
+                    details.push(format!(
+                        "{} vocabulary predicate(s) outside the sentence contribute \
+                         (w + w̄)^(n^arity) factors",
+                        extra.len()
+                    ));
+                }
+            }
+            PlanState::Fo2(prepared) => {
+                details.push(format!(
+                    "FO² normal form prepared once: {} introduced predicate(s), {}/{} Shannon \
+                     branch(es) survive, {} valid cell(s), {} satisfying pair assignment(s)",
+                    prepared.introduced_predicates(),
+                    prepared.branches_prepared(),
+                    prepared.shannon_branches(),
+                    prepared.total_cells(),
+                    prepared.satisfying_pair_assignments(),
+                ));
+                details.push(
+                    "each count binds the weight function (cached) and runs the prefix-sharing \
+                     cell-sum engine"
+                        .to_string(),
+                );
+            }
+            PlanState::Cq { query, memo, .. } => {
+                details.push(format!(
+                    "γ-acyclic conjunctive query with {} atom(s); counts share one reduction \
+                     memo ({} residual shape(s) cached so far)",
+                    query.atoms.len(),
+                    memo.lock().expect("cq memo poisoned").len(),
+                ));
+                details.push(
+                    "weight functions with w + w̄ = 0 fall back to the grounded pipeline"
+                        .to_string(),
+                );
+            }
+            PlanState::Ground => {
+                details.push(
+                    "no lifted method applies (consistent with the paper's hardness results)"
+                        .to_string(),
+                );
+                details.push(format!(
+                    "counts ground per domain size with backend {:?}; {} grounding(s) cached, \
+                     circuit-backend evaluations compile one d-DNNF per domain size",
+                    self.solver.ground_backend,
+                    self.ground
+                        .instances
+                        .lock()
+                        .expect("ground cache poisoned")
+                        .len(),
+                ));
+            }
+        }
+        PlanReport {
+            method: self.method(),
+            details,
+        }
+    }
+
+    fn count_inner(
+        &self,
+        n: usize,
+        weights: &Weights,
+        allow_parallel: bool,
+    ) -> Result<SolverReport, LiftError> {
+        match &self.state {
+            PlanState::Qs4 { extra } => {
+                let value = wfomc_qs4(n, weights) * predicate_factor(extra, n, weights);
+                Ok(SolverReport {
+                    value,
+                    method: Method::Qs4,
+                    backend: None,
+                    fo2_stats: None,
+                })
+            }
+            PlanState::Fo2(prepared) => {
+                let (value, stats) = prepared.count(n, weights, allow_parallel);
+                Ok(SolverReport {
+                    value,
+                    method: Method::Fo2,
+                    backend: None,
+                    fo2_stats: Some(stats),
+                })
+            }
+            PlanState::Cq { query, extra, memo } => {
+                let result = {
+                    let mut memo = memo.lock().expect("cq memo poisoned");
+                    gamma_acyclic_wfomc_memo(query, n, weights, &mut memo)
+                };
+                match result {
+                    Ok(value) => Ok(SolverReport {
+                        value: value * predicate_factor(extra, n, weights),
+                        method: Method::GammaAcyclicCq,
+                        backend: None,
+                        fo2_stats: None,
+                    }),
+                    // Weight pathologies (w + w̄ = 0) make the probability
+                    // space undefined; mirror the one-shot dispatch and fall
+                    // back to grounding.
+                    Err(_) if self.solver.allow_ground_fallback => {
+                        Ok(self.ground_count(n, weights))
+                    }
+                    Err(_) => Err(no_lifted_method()),
+                }
+            }
+            PlanState::Ground => Ok(self.ground_count(n, weights)),
+        }
+    }
+
+    /// One grounded evaluation: the lineage is cached per domain size, and
+    /// the circuit backend additionally caches a compiled d-DNNF per `n`, so
+    /// repeated counts cost one linear circuit pass each.
+    fn ground_count(&self, n: usize, weights: &Weights) -> SolverReport {
+        let instance = {
+            let mut map = self.ground.instances.lock().expect("ground cache poisoned");
+            map.entry(n)
+                .or_insert_with(|| {
+                    Arc::new(GroundInstance {
+                        lineage: Lineage::build(&self.sentence, &self.vocabulary, n),
+                        compiled: OnceLock::new(),
+                    })
+                })
+                .clone()
+        };
+        let backend = self.solver.ground_backend;
+        let value = match backend {
+            WmcBackend::Circuit => instance
+                .compiled
+                .get_or_init(|| CompiledWfomc::from_lineage(instance.lineage.clone()))
+                .wfomc(weights),
+            backend => wmc_formula_via(
+                &instance.lineage.prop,
+                &instance.lineage.symmetric_weights(weights),
+                backend,
+            ),
+        };
+        SolverReport {
+            value,
+            method: Method::Ground,
+            backend: Some(backend),
+            fo2_stats: None,
+        }
+    }
+}
+
+/// The human-readable output of [`Plan::explain`].
+#[derive(Clone, Debug)]
+pub struct PlanReport {
+    /// The method the plan selected.
+    pub method: Method,
+    /// One line per prepared-state fact.
+    pub details: Vec<String>,
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan: {}", self.method)?;
+        for line in &self.details {
+            write!(f, "\n  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The error returned when no lifted method applies and grounding is
+/// disabled (identical to the one-shot solver's).
+fn no_lifted_method() -> LiftError {
+    LiftError::PatternMismatch {
+        expected: "a sentence covered by a lifted algorithm (QS4, FO², γ-acyclic CQ)".to_string(),
+    }
+}
+
+/// Predicates of `full` that `counted` does not cover.
+fn extra_predicates(full: &Vocabulary, counted: &Vocabulary) -> Vec<Predicate> {
+    full.iter()
+        .filter(|p| !counted.contains(p.name()))
+        .cloned()
+        .collect()
+}
+
+/// `(w + w̄)^{n^arity}` for predicates a lifted method did not account for.
+fn predicate_factor(extra: &[Predicate], n: usize, weights: &Weights) -> Weight {
+    let mut factor = Weight::one();
+    for p in extra {
+        factor *= weight_pow(&weights.pair_of(p).total(), p.num_ground_tuples(n));
+    }
+    factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wfomc_logic::catalog;
+    use wfomc_logic::weights::{weight_int, weight_ratio};
+
+    /// The four-method workload: one sentence per dispatch target, with the
+    /// largest domain size the test should use for it.
+    fn four_methods() -> Vec<(Formula, Method, usize)> {
+        vec![
+            (catalog::qs4(), Method::Qs4, 4),
+            (catalog::table1_sentence(), Method::Fo2, 4),
+            (
+                catalog::chain_query(3).to_formula(),
+                Method::GammaAcyclicCq,
+                2,
+            ),
+            (catalog::transitivity(), Method::Ground, 2),
+        ]
+    }
+
+    #[test]
+    fn plan_selects_the_one_shot_method() {
+        let solver = Solver::new();
+        for (sentence, method, n) in four_methods() {
+            let plan = solver.plan(&Problem::new(sentence.clone())).unwrap();
+            assert_eq!(plan.method(), method, "plan method for {sentence}");
+            let one_shot = solver.fomc(&sentence, n).unwrap();
+            assert_eq!(one_shot.method, method, "one-shot method for {sentence}");
+        }
+    }
+
+    #[test]
+    fn plan_count_matches_one_shot_across_n() {
+        let solver = Solver::new();
+        for (sentence, _, max_n) in four_methods() {
+            let plan = solver.plan(&Problem::new(sentence.clone())).unwrap();
+            for n in 0..=max_n {
+                let planned = plan.count(n, &Weights::ones()).unwrap();
+                let one_shot = solver.fomc(&sentence, n).unwrap();
+                assert_eq!(planned.value, one_shot.value, "{sentence} at n={n}");
+                if n > 0 {
+                    assert_eq!(planned.method, one_shot.method, "{sentence} at n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_plan_serves_many_weight_functions() {
+        let solver = Solver::new();
+        let weight_sets = [
+            Weights::ones(),
+            Weights::from_ints([("R", 2, 1), ("S", 1, 3), ("T", 5, 1)]),
+            Weights::from_ints([("R", 0, 1), ("S", -1, 2), ("T", 2, 2)]),
+            Weights::from_ints([("R", 1, -1), ("S", 2, 1), ("T", 1, 1)]),
+        ];
+        for (sentence, _, max_n) in four_methods() {
+            let plan = solver.plan(&Problem::new(sentence.clone())).unwrap();
+            for weights in &weight_sets {
+                for n in 0..=max_n {
+                    let planned = plan.count(n, weights).unwrap();
+                    let one_shot = solver
+                        .wfomc(&sentence, &sentence.vocabulary(), n, weights)
+                        .unwrap();
+                    assert_eq!(planned.value, one_shot.value, "{sentence} at n={n}");
+                    if n > 0 {
+                        assert_eq!(planned.method, one_shot.method, "{sentence} at n={n}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_batch_matches_sequential_counts_in_order() {
+        let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+        let points: Vec<(usize, Weights)> = (0..=6)
+            .map(|n| (n, Weights::from_ints([("R", n as i64, 1)])))
+            .collect();
+        let batch = plan.count_batch(&points).unwrap();
+        assert_eq!(batch.len(), points.len());
+        for (report, (n, w)) in batch.iter().zip(&points) {
+            assert_eq!(report.value, plan.count(*n, w).unwrap().value, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn cq_plans_fall_back_to_ground_on_zero_total_weights() {
+        let sentence = catalog::chain_query(2).to_formula();
+        let solver = Solver::new();
+        let plan = solver.plan(&Problem::new(sentence.clone())).unwrap();
+        assert_eq!(plan.method(), Method::GammaAcyclicCq);
+        // Skolem-style weights make tuple probabilities undefined; both the
+        // plan and the one-shot dispatch must ground instead.
+        let weights = Weights::from_ints([("R1", 1, -1)]);
+        let planned = plan.count(2, &weights).unwrap();
+        let one_shot = solver
+            .wfomc(&sentence, &sentence.vocabulary(), 2, &weights)
+            .unwrap();
+        assert_eq!(planned.method, Method::Ground);
+        assert_eq!(one_shot.method, Method::Ground);
+        assert_eq!(planned.value, one_shot.value);
+    }
+
+    #[test]
+    fn ground_plan_reuses_one_circuit_per_domain_size() {
+        let solver = Solver::builder()
+            .ground_backend(WmcBackend::Circuit)
+            .build();
+        let plan = solver.plan(&Problem::new(catalog::transitivity())).unwrap();
+        let w1 = Weights::from_ints([("R", 2, 1)]);
+        let w2 = Weights::from_ints([("R", 1, 3)]);
+        let a = plan.count(2, &w1).unwrap();
+        let b = plan.count(2, &w2).unwrap();
+        assert_eq!(a.backend, Some(WmcBackend::Circuit));
+        assert_eq!(
+            a.value,
+            Solver::ground_only()
+                .wfomc(
+                    &catalog::transitivity(),
+                    &catalog::transitivity().vocabulary(),
+                    2,
+                    &w1
+                )
+                .unwrap()
+                .value
+        );
+        assert_eq!(
+            b.value,
+            Solver::ground_only()
+                .wfomc(
+                    &catalog::transitivity(),
+                    &catalog::transitivity().vocabulary(),
+                    2,
+                    &w2
+                )
+                .unwrap()
+                .value
+        );
+        let explain = plan.explain().to_string();
+        assert!(explain.contains("grounded-wmc"), "{explain}");
+        assert!(explain.contains("1 grounding(s) cached"), "{explain}");
+    }
+
+    #[test]
+    fn plan_probability_matches_solver_probability() {
+        let sentence = catalog::exists_unary();
+        let voc = sentence.vocabulary();
+        let mut weights = Weights::ones();
+        weights.set_probability("S", weight_ratio(1, 3));
+        let problem = Problem::new(sentence.clone())
+            .with_vocabulary(voc.clone())
+            .with_weights(weights.clone());
+        let plan = Solver::new().plan(&problem).unwrap();
+        for n in 1..=3 {
+            let planned = plan.probability(n).unwrap();
+            let one_shot = Solver::new()
+                .probability(&sentence, &voc, n, &weights)
+                .unwrap();
+            assert_eq!(planned.value, one_shot.value, "n = {n}");
+            assert_eq!(planned.method, one_shot.method, "n = {n}");
+        }
+        assert_eq!(plan.probability(2).unwrap().value, weight_ratio(5, 9));
+    }
+
+    #[test]
+    fn lifted_only_plans_error_at_plan_time() {
+        let solver = Solver::builder().ground_fallback(false).build();
+        let err = solver
+            .plan(&Problem::new(catalog::transitivity()))
+            .unwrap_err();
+        assert!(matches!(err, LiftError::PatternMismatch { .. }));
+        // But FO² sentences still plan fine.
+        assert!(solver
+            .plan(&Problem::new(catalog::table1_sentence()))
+            .is_ok());
+    }
+
+    #[test]
+    fn open_formulas_are_rejected_at_plan_time() {
+        let open = wfomc_logic::builders::atom("R", &["x"]);
+        assert!(matches!(
+            Problem::new(open).plan(),
+            Err(LiftError::NotASentence)
+        ));
+    }
+
+    #[test]
+    fn extra_vocabulary_predicates_multiply_through_plans() {
+        let problem = Problem::new(catalog::qs4())
+            .with_vocabulary(Vocabulary::from_pairs([("S", 2), ("Unused", 1)]));
+        let plan = problem.plan().unwrap();
+        // 14 · 2² (for the unused unary predicate).
+        assert_eq!(
+            plan.count(2, &Weights::ones()).unwrap().value,
+            weight_int(56)
+        );
+    }
+
+    #[test]
+    fn explain_mentions_the_prepared_state() {
+        let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+        let report = plan.explain();
+        assert_eq!(report.method, Method::Fo2);
+        let text = report.to_string();
+        assert!(text.contains("fo2-cells"), "{text}");
+        assert!(text.contains("valid cell"), "{text}");
+
+        let cq = Problem::new(catalog::chain_query(3).to_formula())
+            .plan()
+            .unwrap();
+        assert!(cq.explain().to_string().contains("γ-acyclic"), "cq explain");
+    }
+
+    /// Deterministic pseudo-random weights including zero and negative
+    /// rationals, over the predicate names the test sentences use.
+    fn seeded_weights(seed: u64) -> Weights {
+        let mut s = seed as i64 + 1;
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            weight_ratio((s % 5) - 1, 1 + (s % 3).unsigned_abs() as i64)
+        };
+        let mut w = Weights::ones();
+        for name in ["R", "S", "T", "R1", "R2", "R3"] {
+            let pos = next();
+            let neg = next();
+            w.set(name, pos, neg);
+        }
+        w
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// One plan reused across all domain sizes and a random weight
+        /// function (including zero and negative rationals) matches fresh
+        /// one-shot solves, for all four methods.
+        #[test]
+        fn differential_plan_vs_one_shot(seed in 0u64..5000) {
+            let solver = Solver::new();
+            let weights = seeded_weights(seed);
+            for (sentence, _, max_n) in four_methods() {
+                let plan = solver.plan(&Problem::new(sentence.clone())).unwrap();
+                for n in 0..=max_n {
+                    let planned = plan.count(n, &weights).unwrap();
+                    let one_shot = solver
+                        .wfomc(&sentence, &sentence.vocabulary(), n, &weights)
+                        .unwrap();
+                    prop_assert_eq!(
+                        &planned.value, &one_shot.value,
+                        "value mismatch for {} at n={}", sentence, n
+                    );
+                    if n > 0 {
+                        prop_assert_eq!(
+                            planned.method, one_shot.method,
+                            "method mismatch for {} at n={}", sentence, n
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -9,20 +9,22 @@
 //! 4. grounding + weighted model counting — always correct, exponential in
 //!    `n`, and exactly what the paper's hardness results (Theorem 3.1,
 //!    Corollary 3.2, Table 2) say cannot be avoided in general.
+//!
+//! Since the analysis is independent of the domain size and the weights, the
+//! selection lives in [`crate::plan`]: [`Solver::plan`] analyzes a
+//! [`crate::Problem`] once into a [`crate::Plan`] whose counts are cheap to
+//! repeat, and [`Solver::wfomc`] is the one-shot plan-then-count wrapper.
 
 use num_traits::Zero;
 
-use wfomc_ground::GroundSolver;
-use wfomc_logic::cq::ConjunctiveQuery;
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::vocabulary::Vocabulary;
-use wfomc_logic::weights::{weight_pow, Weight, Weights};
+use wfomc_logic::weights::{Weight, Weights};
 use wfomc_prop::WmcBackend;
 
-use crate::cq::gamma_acyclic::gamma_acyclic_wfomc;
 use crate::error::LiftError;
-use crate::fo2::{wfomc_fo2_with_stats, Fo2Stats};
-use crate::qs4::{is_qs4, wfomc_qs4};
+use crate::fo2::Fo2Stats;
+use crate::plan::Problem;
 
 /// Which algorithm produced a result.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,6 +52,7 @@ impl std::fmt::Display for Method {
 }
 
 /// A solver result: the count and the method that produced it.
+#[must_use = "a SolverReport carries the computed count"]
 #[derive(Clone, Debug)]
 pub struct SolverReport {
     /// The weighted model count (or probability, for the probability entry
@@ -63,6 +66,28 @@ pub struct SolverReport {
     /// Cost statistics of the FO² cell-sum engine, when [`Method::Fo2`]
     /// produced the result (`None` for every other method).
     pub fo2_stats: Option<Fo2Stats>,
+}
+
+impl std::fmt::Display for SolverReport {
+    /// `value [method]`, extended with the propositional backend for
+    /// grounded answers and the composition prune ratio for FO² answers —
+    /// everything callers used to hand-format.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}", self.value, self.method)?;
+        if let Some(backend) = self.backend {
+            write!(f, ", backend {backend:?}")?;
+        }
+        if let Some(stats) = &self.fo2_stats {
+            if stats.compositions_total > 0 {
+                write!(
+                    f,
+                    ", pruned {}/{} compositions",
+                    stats.compositions_pruned, stats.compositions_total
+                )?;
+            }
+        }
+        write!(f, "]")
+    }
 }
 
 /// The dispatching solver.
@@ -87,6 +112,57 @@ impl Default for Solver {
     }
 }
 
+/// Chainable configuration for a [`Solver`] — the one construction surface
+/// behind all the former ad-hoc constructors.
+///
+/// ```
+/// use wfomc_core::Solver;
+/// use wfomc_prop::WmcBackend;
+///
+/// let solver = Solver::builder()
+///     .ground_backend(WmcBackend::Circuit)
+///     .build();
+/// assert_eq!(solver.ground_backend, WmcBackend::Circuit);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverBuilder {
+    solver: Solver,
+}
+
+impl SolverBuilder {
+    /// Starts from the default configuration (lifted methods first, grounded
+    /// fallback enabled, DPLL backend).
+    pub fn new() -> Self {
+        SolverBuilder::default()
+    }
+
+    /// Whether lifted methods are tried at all (disable to force grounding,
+    /// used by the benchmark baselines).
+    pub fn lifted(mut self, enabled: bool) -> Self {
+        self.solver.use_lifted = enabled;
+        self
+    }
+
+    /// Whether to fall back to grounding when no lifted method applies
+    /// (disable to make the solver error instead).
+    pub fn ground_fallback(mut self, enabled: bool) -> Self {
+        self.solver.allow_ground_fallback = enabled;
+        self
+    }
+
+    /// The propositional backend for grounded evaluations (e.g.
+    /// [`WmcBackend::Circuit`] for knowledge compilation).
+    pub fn ground_backend(mut self, backend: WmcBackend) -> Self {
+        self.solver.ground_backend = backend;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> Solver {
+        self.solver
+    }
+}
+
 impl Solver {
     /// A solver with the default configuration (lifted methods first, grounded
     /// fallback enabled).
@@ -94,33 +170,38 @@ impl Solver {
         Solver::default()
     }
 
+    /// Chainable configuration: `Solver::builder().lifted(false).build()`.
+    pub fn builder() -> SolverBuilder {
+        SolverBuilder::new()
+    }
+
     /// A solver that only uses lifted methods (errors if none applies).
+    ///
+    /// Deprecated shim: prefer `Solver::builder().ground_fallback(false).build()`.
     pub fn lifted_only() -> Self {
-        Solver {
-            allow_ground_fallback: false,
-            ..Solver::default()
-        }
+        Solver::builder().ground_fallback(false).build()
     }
 
     /// A solver that always grounds (the baseline in the benchmarks).
+    ///
+    /// Deprecated shim: prefer `Solver::builder().lifted(false).build()`.
     pub fn ground_only() -> Self {
-        Solver {
-            use_lifted: false,
-            ..Solver::default()
-        }
+        Solver::builder().lifted(false).build()
     }
 
     /// A solver whose grounded fallback uses the chosen propositional
     /// backend (e.g. [`WmcBackend::Circuit`] for knowledge compilation).
+    ///
+    /// Deprecated shim: prefer `Solver::builder().ground_backend(backend).build()`.
     pub fn with_ground_backend(backend: WmcBackend) -> Self {
-        Solver {
-            ground_backend: backend,
-            ..Solver::default()
-        }
+        Solver::builder().ground_backend(backend).build()
     }
 
     /// Symmetric WFOMC of a sentence over `vocabulary` and a domain of size
-    /// `n`.
+    /// `n` — a one-shot [`Solver::plan`] + [`crate::Plan::count`].
+    ///
+    /// Callers that evaluate the same sentence at several `(n, weights)`
+    /// points should plan once themselves and reuse the [`crate::Plan`].
     pub fn wfomc(
         &self,
         sentence: &Formula,
@@ -128,68 +209,27 @@ impl Solver {
         n: usize,
         weights: &Weights,
     ) -> Result<SolverReport, LiftError> {
-        if !sentence.is_sentence() {
-            return Err(LiftError::NotASentence);
-        }
-        let full_voc = vocabulary.extended_with(&sentence.vocabulary());
-
-        if self.use_lifted {
-            // 1. The QS4 special case.
-            if is_qs4(sentence) {
-                let value = wfomc_qs4(n, weights)
-                    * extra_vocabulary_factor(&full_voc, &sentence.vocabulary(), n, weights);
-                return Ok(SolverReport {
+        let problem = Problem::new(sentence.clone())
+            .with_vocabulary(vocabulary.clone())
+            .with_weights(weights.clone());
+        match self.plan(&problem) {
+            Ok(plan) => plan.count(n, weights),
+            // Method selection is n-independent, but `n = 0` is not: the
+            // empty domain has exactly one (empty) structure, so the lifted
+            // dispatch answers *any* sentence there — preserve that for
+            // lifted-only solvers on sentences no lifted method covers.
+            Err(LiftError::PatternMismatch { .. }) if n == 0 && self.use_lifted => {
+                let (value, stats) =
+                    crate::fo2::wfomc_fo2_with_stats(sentence, vocabulary, 0, weights)?;
+                Ok(SolverReport {
                     value,
-                    method: Method::Qs4,
+                    method: Method::Fo2,
                     backend: None,
-                    fo2_stats: None,
-                });
+                    fo2_stats: Some(stats),
+                })
             }
-
-            // 2. The FO² algorithm.
-            match wfomc_fo2_with_stats(sentence, &full_voc, n, weights) {
-                Ok((value, stats)) => {
-                    return Ok(SolverReport {
-                        value,
-                        method: Method::Fo2,
-                        backend: None,
-                        fo2_stats: Some(stats),
-                    })
-                }
-                Err(LiftError::Internal(msg)) => return Err(LiftError::Internal(msg)),
-                Err(_) => {}
-            }
-
-            // 3. The γ-acyclic CQ algorithm.
-            if let Some(query) = ConjunctiveQuery::from_formula(sentence) {
-                if let Ok(value) = gamma_acyclic_wfomc(&query, n, weights) {
-                    let value =
-                        value * extra_vocabulary_factor(&full_voc, &query.vocabulary(), n, weights);
-                    return Ok(SolverReport {
-                        value,
-                        method: Method::GammaAcyclicCq,
-                        backend: None,
-                        fo2_stats: None,
-                    });
-                }
-            }
+            Err(e) => Err(e),
         }
-
-        // 4. Ground.
-        if !self.allow_ground_fallback {
-            return Err(LiftError::PatternMismatch {
-                expected: "a sentence covered by a lifted algorithm (QS4, FO², γ-acyclic CQ)"
-                    .to_string(),
-            });
-        }
-        let value =
-            GroundSolver::with_backend(self.ground_backend).wfomc(sentence, &full_voc, n, weights);
-        Ok(SolverReport {
-            value,
-            method: Method::Ground,
-            backend: Some(self.ground_backend),
-            fo2_stats: None,
-        })
     }
 
     /// FOMC (all weights 1) over the sentence's own vocabulary.
@@ -221,23 +261,6 @@ impl Solver {
             fo2_stats: report.fo2_stats,
         })
     }
-}
-
-/// `(w + w̄)^{n^arity}` for predicates in the full vocabulary that the lifted
-/// method did not account for.
-fn extra_vocabulary_factor(
-    full: &Vocabulary,
-    counted: &Vocabulary,
-    n: usize,
-    weights: &Weights,
-) -> Weight {
-    let mut factor = Weight::from_integer(1.into());
-    for p in full.iter() {
-        if !counted.contains(p.name()) {
-            factor *= weight_pow(&weights.pair_of(p).total(), p.num_ground_tuples(n));
-        }
-    }
-    factor
 }
 
 #[cfg(test)]
@@ -311,6 +334,18 @@ mod tests {
     }
 
     #[test]
+    fn lifted_only_solver_still_answers_any_sentence_at_n_zero() {
+        // The empty domain has exactly one structure, so even sentences
+        // outside every lifted fragment are answered without grounding.
+        let solver = Solver::lifted_only();
+        let report = solver.fomc(&catalog::transitivity(), 0).unwrap();
+        assert_eq!(report.value, weight_int(1));
+        // An existential sentence is false on the empty domain.
+        let exists = catalog::exists_unary();
+        assert_eq!(solver.fomc(&exists, 0).unwrap().value, weight_int(0));
+    }
+
+    #[test]
     fn ground_only_solver_always_grounds() {
         let solver = Solver::ground_only();
         let report = solver.fomc(&catalog::table1_sentence(), 2).unwrap();
@@ -354,6 +389,43 @@ mod tests {
             .unwrap()
             .fo2_stats
             .is_none());
+    }
+
+    #[test]
+    fn builder_matches_the_legacy_constructor_shims() {
+        let lifted = Solver::builder().ground_fallback(false).build();
+        assert_eq!(
+            lifted.allow_ground_fallback,
+            Solver::lifted_only().allow_ground_fallback
+        );
+        let ground = Solver::builder().lifted(false).build();
+        assert_eq!(ground.use_lifted, Solver::ground_only().use_lifted);
+        let circuit = Solver::builder()
+            .ground_backend(WmcBackend::Circuit)
+            .build();
+        assert_eq!(
+            circuit.ground_backend,
+            Solver::with_ground_backend(WmcBackend::Circuit).ground_backend
+        );
+        // Defaults are preserved by the builder.
+        let default = Solver::builder().build();
+        assert!(default.use_lifted && default.allow_ground_fallback);
+        assert_eq!(default.ground_backend, WmcBackend::Dpll);
+    }
+
+    #[test]
+    fn report_display_names_method_backend_and_prune_ratio() {
+        let fo2 = Solver::new().fomc(&catalog::table1_sentence(), 4).unwrap();
+        let text = fo2.to_string();
+        assert!(text.contains("fo2-cells"), "{text}");
+        assert!(text.contains("compositions"), "{text}");
+        let ground = Solver::ground_only()
+            .fomc(&catalog::table1_sentence(), 2)
+            .unwrap();
+        let text = ground.to_string();
+        assert!(text.starts_with("161 ["), "{text}");
+        assert!(text.contains("grounded-wmc"), "{text}");
+        assert!(text.contains("Dpll"), "{text}");
     }
 
     #[test]

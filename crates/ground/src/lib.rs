@@ -7,7 +7,7 @@
 //! 1. **Brute-force structure enumeration** ([`enumerate`]) — iterate over all
 //!    `2^{|Tup(n)|}` structures, check the sentence on each, and sum weights.
 //!    Obviously correct, hopelessly exponential; the ground truth for tests.
-//! 2. **Grounded WFOMC via the lineage** ([`lineage`] + [`wfomc`]) — build the
+//! 2. **Grounded WFOMC via the lineage** ([`lineage`] + [`mod@wfomc`]) — build the
 //!    propositional lineage `F_{Φ,n}` of §2 and hand it to the weighted model
 //!    counters of `wfomc-prop`. Still exponential in the worst case but far
 //!    more scalable than enumeration, and the only generally-applicable method

@@ -110,7 +110,12 @@ impl CompiledWfomc {
     /// Grounds the sentence over a domain of size `n` and compiles its
     /// lineage CNF to a circuit.
     pub fn compile(formula: &Formula, vocabulary: &Vocabulary, n: usize) -> CompiledWfomc {
-        let lineage = Lineage::build(formula, vocabulary, n);
+        Self::from_lineage(Lineage::build(formula, vocabulary, n))
+    }
+
+    /// Compiles an already-built lineage to a circuit, for callers (such as
+    /// plan-then-execute solvers) that cache the grounding separately.
+    pub fn from_lineage(lineage: Lineage) -> CompiledWfomc {
         let tseitin = to_cnf(&lineage.prop, &VarWeights::ones(lineage.num_vars()));
         let compiled = CompiledWmc::compile(&tseitin.cnf);
         CompiledWfomc {

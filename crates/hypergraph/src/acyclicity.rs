@@ -10,7 +10,7 @@
 //! * **γ-acyclic** — Fagin's reduction rules (a)–(e), listed verbatim in the
 //!   proof of Theorem 3.6, reduce the hypergraph to the empty graph. These
 //!   are exactly the steps the PTIME counting algorithm follows, so
-//!   [`gamma_reduction_trace`] returns the step sequence for reuse by
+//!   [`Hypergraph::gamma_reduction_trace`] returns the step sequence for reuse by
 //!   `wfomc-core`.
 //!
 //! The inclusions γ-acyclic ⊆ β-acyclic ⊆ α-acyclic are property-tested.

@@ -1,10 +1,13 @@
-//! Exact MLN inference through the WFOMC reduction and the lifted solver.
+//! Exact MLN inference through the WFOMC reduction and the plan-then-execute
+//! solver: one query = one plan, evaluated at any number of domain sizes.
+
+use std::sync::{Arc, Mutex};
 
 use num_traits::Zero;
 
-use wfomc_core::{LiftError, Method, Solver};
+use wfomc_core::{LiftError, Method, Plan, Problem, Solver};
 use wfomc_logic::syntax::Formula;
-use wfomc_logic::weights::Weight;
+use wfomc_logic::weights::{weight_pow, Weight};
 
 use crate::network::{MarkovLogicNetwork, MlnError};
 use crate::reduction::{reduce_to_wfomc, WfomcReduction};
@@ -12,19 +15,34 @@ use crate::reduction::{reduce_to_wfomc, WfomcReduction};
 /// An exact inference engine for an MLN, backed by the Example 1.2 reduction
 /// and the `wfomc-core` solver (which uses a lifted algorithm whenever the
 /// reduced constraints allow, and grounded WMC otherwise).
-#[derive(Clone, Debug)]
+///
+/// Every distinct sentence the engine counts — the hard-constraint
+/// conjunction Γ and each `query ∧ Γ` — is analyzed **once** into a
+/// [`Plan`] and cached, so the typical MLN workload (one query asked at many
+/// domain sizes, or many queries against one network) amortizes the sentence
+/// analysis instead of redoing it per call.
+#[derive(Debug)]
 pub struct MlnEngine {
     reduction: WfomcReduction,
     solver: Solver,
+    /// Plans keyed by the exact sentence counted (Γ or `query ∧ Γ`).
+    plans: Mutex<Vec<(Formula, Arc<Plan>)>>,
+}
+
+impl Clone for MlnEngine {
+    fn clone(&self) -> Self {
+        MlnEngine {
+            reduction: self.reduction.clone(),
+            solver: self.solver,
+            plans: Mutex::new(self.plans.lock().expect("plan cache poisoned").clone()),
+        }
+    }
 }
 
 impl MlnEngine {
     /// Builds the engine (applies the reduction once).
     pub fn new(mln: &MarkovLogicNetwork) -> Result<Self, MlnError> {
-        Ok(MlnEngine {
-            reduction: reduce_to_wfomc(mln)?,
-            solver: Solver::new(),
-        })
+        Self::with_solver(mln, Solver::new())
     }
 
     /// Builds the engine with a custom solver configuration (e.g. the
@@ -33,6 +51,7 @@ impl MlnEngine {
         Ok(MlnEngine {
             reduction: reduce_to_wfomc(mln)?,
             solver,
+            plans: Mutex::new(Vec::new()),
         })
     }
 
@@ -41,14 +60,35 @@ impl MlnEngine {
         &self.reduction
     }
 
+    /// The cached plan for a sentence over the reduction's vocabulary and
+    /// weights, analyzing it on first use.
+    fn plan_for(&self, sentence: &Formula) -> Result<Arc<Plan>, LiftError> {
+        {
+            let plans = self.plans.lock().expect("plan cache poisoned");
+            if let Some((_, plan)) = plans.iter().find(|(s, _)| s == sentence) {
+                return Ok(plan.clone());
+            }
+        }
+        let problem = Problem::new(sentence.clone())
+            .with_vocabulary(self.reduction.vocabulary.clone())
+            .with_weights(self.reduction.weights.clone());
+        let plan = Arc::new(self.solver.plan(&problem)?);
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        // A concurrent caller may have planned the same sentence while the
+        // lock was released; keep the first entry so the cache stays
+        // duplicate-free and everyone shares one plan (and its caches).
+        if let Some((_, existing)) = plans.iter().find(|(s, _)| s == sentence) {
+            return Ok(existing.clone());
+        }
+        plans.push((sentence.clone(), plan.clone()));
+        Ok(plan)
+    }
+
     /// The MLN partition function `Z(n) = Σ_D W(D)`.
     pub fn partition_function(&self, n: usize) -> Result<Weight, LiftError> {
-        let report = self.solver.wfomc(
-            &self.reduction.hard_sentence,
-            &self.reduction.vocabulary,
-            n,
-            &self.reduction.weights,
-        )?;
+        let report = self
+            .plan_for(&self.reduction.hard_sentence)?
+            .count(n, &self.reduction.weights)?;
         Ok(self.reduction.scaling_factor(n) * report.value)
     }
 
@@ -69,30 +109,40 @@ impl MlnEngine {
         if !query.is_sentence() {
             return Err(LiftError::NotASentence);
         }
-        let vocabulary = self.reduction.vocabulary.extended_with(&query.vocabulary());
-        let denominator = self.solver.wfomc(
-            &self.reduction.hard_sentence,
-            &vocabulary,
-            n,
-            &self.reduction.weights,
-        )?;
-        if denominator.value.is_zero() {
+        // Denominator: the cached Γ plan, times `(w + w̄)^{n^arity}` for any
+        // query predicate Γ's plan does not cover (both counts must range
+        // over the same vocabulary for the ratio to be a probability).
+        let hard_plan = self.plan_for(&self.reduction.hard_sentence)?;
+        let denominator = hard_plan.count(n, &self.reduction.weights)?;
+        let mut denominator_value = denominator.value;
+        for p in query.vocabulary().iter() {
+            if !hard_plan.vocabulary().contains(p.name()) {
+                let pair = self.reduction.weights.pair_of(p);
+                denominator_value *= weight_pow(&pair.total(), p.num_ground_tuples(n));
+            }
+        }
+        if denominator_value.is_zero() {
             return Err(LiftError::Internal(format!(
                 "the MLN's hard constraints are unsatisfiable over a domain of size {n}"
             )));
         }
         let numerator_sentence = Formula::and(query.clone(), self.reduction.hard_sentence.clone());
-        let numerator =
-            self.solver
-                .wfomc(&numerator_sentence, &vocabulary, n, &self.reduction.weights)?;
+        let numerator = self
+            .plan_for(&numerator_sentence)?
+            .count(n, &self.reduction.weights)?;
         Ok((
-            numerator.value / denominator.value,
+            numerator.value / denominator_value,
             numerator.method,
             denominator.method,
         ))
     }
-}
 
+    /// Number of sentence plans currently cached (Γ plus one per distinct
+    /// query asked so far).
+    pub fn cached_plans(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +246,23 @@ mod tests {
         let engine = MlnEngine::new(&mln).unwrap();
         let q = exists(["x"], atom("Smokes", &["x"]));
         assert_eq!(engine.probability(&q, 2).unwrap(), weight_ratio(3, 4));
+    }
+
+    #[test]
+    fn one_plan_per_distinct_sentence_is_cached() {
+        let engine = MlnEngine::new(&spouse_mln()).unwrap();
+        let q = exists(["x"], atom("Female", &["x"]));
+        assert_eq!(engine.cached_plans(), 0);
+        // Repeated inference at many n reuses the Γ plan and the query plan.
+        for n in 1..=3 {
+            let _ = engine.probability(&q, n).unwrap();
+        }
+        assert_eq!(engine.cached_plans(), 2, "Γ plus one query plan");
+        let _ = engine.partition_function(4).unwrap();
+        assert_eq!(engine.cached_plans(), 2, "partition function reuses Γ");
+        let q2 = exists(["x", "y"], atom("Spouse", &["x", "y"]));
+        let _ = engine.probability(&q2, 2).unwrap();
+        assert_eq!(engine.cached_plans(), 3, "a new query adds one plan");
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod enumerate;
 
 pub use circuit::{wmc_circuit, CompiledWmc};
 pub use dpll::wmc_dpll;
-pub use enumerate::{wmc_enumerate, wmc_formula};
+pub use enumerate::{wmc_enumerate, wmc_formula, MAX_ENUMERATION_VARS};
 
 use crate::cnf::Cnf;
 use crate::formula::PropFormula;

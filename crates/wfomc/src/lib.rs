@@ -22,16 +22,41 @@
 //! * the complexity reductions: counting Turing machines, the Θ₁ FO³
 //!   encoding, #SAT → FO² FOMC, spectrum deciders ([`reductions`]).
 //!
-//! ## Quick start
+//! ## Quick start: plan once, count many
+//!
+//! The expensive part of symmetric WFOMC is analyzing the *sentence*
+//! (Skolemization, cell decomposition, method selection); evaluating at a
+//! domain size `n` and a weight function is the cheap, repeatable part. The
+//! API is shaped around that split: describe a [`core::Problem`], let the
+//! [`core::Solver`] analyze it **once** into a [`core::Plan`], then evaluate
+//! the plan at as many `(n, weights)` points as you like.
 //!
 //! ```
 //! use wfomc::prelude::*;
 //!
 //! // Φ = ∀x ∃y R(x,y): the introduction's example with (2ⁿ − 1)ⁿ models.
 //! let phi = parse("forall x. exists y. R(x,y)").unwrap();
-//! let solver = Solver::new();
-//! let report = solver.fomc(&phi, 4).unwrap();
-//! assert_eq!(report.value, weight_int((16 - 1) * (16 - 1) * (16 - 1) * (16 - 1)));
+//! let problem = Problem::new(phi);
+//! let plan = Solver::new().plan(&problem).unwrap();   // analysis happens here, once
+//! assert_eq!(plan.method(), Method::Fo2);
+//!
+//! for n in 1..=8 {
+//!     let report = plan.count(n, &Weights::ones()).unwrap();   // cheap per point
+//!     let expected = weight_pow(&(weight_pow(&weight_int(2), n) - weight_int(1)), n);
+//!     assert_eq!(report.value, expected);
+//! }
+//! println!("{}", plan.explain());   // what was prepared, and why
+//! ```
+//!
+//! One-shot counting is still one call — [`core::Solver::wfomc`] /
+//! [`core::Solver::fomc`] plan-then-count internally:
+//!
+//! ```
+//! use wfomc::prelude::*;
+//!
+//! let phi = parse("forall x. exists y. R(x,y)").unwrap();
+//! let report = Solver::new().fomc(&phi, 4).unwrap();
+//! assert_eq!(report.value, weight_int(15 * 15 * 15 * 15));
 //! assert_eq!(report.method, Method::Fo2);
 //! ```
 
@@ -51,21 +76,25 @@ pub use wfomc_reductions as reductions;
 pub mod prelude {
     pub use wfomc_circuit::{CompileStats, CompiledCnf};
     pub use wfomc_core::closed_form;
+    pub use wfomc_core::cq::CqMemo;
     pub use wfomc_core::cq::{chain_probability, gamma_acyclic_wfomc, query_hypergraph};
     pub use wfomc_core::fo2::wfomc_fo2;
+    pub use wfomc_core::fo2::Fo2Prepared;
     pub use wfomc_core::normal::{
         remove_equality, remove_negation, skolemize, wfomc_via_equality_removal,
-        wfomc_via_equality_removal_compiled,
+        wfomc_via_equality_removal_compiled, wfomc_via_equality_removal_with_oracle,
     };
     pub use wfomc_core::qs4::wfomc_qs4;
-    pub use wfomc_core::{LiftError, Method, Solver, SolverReport};
+    pub use wfomc_core::{
+        LiftError, Method, Plan, PlanReport, Problem, Solver, SolverBuilder, SolverReport,
+    };
     pub use wfomc_ground::{brute_force_fomc, brute_force_wfomc, CompiledWfomc, GroundSolver};
     pub use wfomc_hypergraph::{AcyclicityClass, Hypergraph};
     pub use wfomc_logic::builders::*;
     pub use wfomc_logic::catalog;
     pub use wfomc_logic::cq::ConjunctiveQuery;
     pub use wfomc_logic::parser::parse;
-    pub use wfomc_logic::weights::{weight_int, weight_ratio, Weight, Weights};
+    pub use wfomc_logic::weights::{weight_int, weight_pow, weight_ratio, Weight, Weights};
     pub use wfomc_logic::{Formula, Predicate, Vocabulary};
     pub use wfomc_mln::{MarkovLogicNetwork, MlnEngine};
     pub use wfomc_prop::counter::CompiledWmc;
@@ -85,6 +114,25 @@ mod tests {
         let report = Solver::new().fomc(&phi, 3).unwrap();
         assert_eq!(report.value, weight_int(343));
         assert_eq!(report.method, Method::Fo2);
+    }
+
+    #[test]
+    fn plan_then_execute_through_the_prelude() {
+        let phi = parse("forall x. exists y. R(x,y)").unwrap();
+        let plan = Problem::new(phi).plan().unwrap();
+        assert_eq!(plan.method(), Method::Fo2);
+        // One plan, a batch of (n, weights) points.
+        let points: Vec<(usize, Weights)> = (1..=4)
+            .map(|n| (n, Weights::from_ints([("R", n as i64, 1)])))
+            .collect();
+        let reports = plan.count_batch(&points).unwrap();
+        for ((n, w), report) in points.iter().zip(&reports) {
+            let one_shot = Solver::new()
+                .wfomc(plan.sentence(), plan.vocabulary(), *n, w)
+                .unwrap();
+            assert_eq!(report.value, one_shot.value, "n = {n}");
+        }
+        assert!(plan.explain().to_string().contains("fo2-cells"));
     }
 
     #[test]

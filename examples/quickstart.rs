@@ -1,5 +1,5 @@
-//! Quickstart: parse a sentence, count its models three different ways, and
-//! turn weights into probabilities.
+//! Quickstart: plan a sentence once, count it many times, and turn weights
+//! into probabilities.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -7,18 +7,25 @@ use wfomc::prelude::*;
 
 fn main() {
     // -----------------------------------------------------------------------
-    // 1. FOMC of the introduction's example Φ = ∀x ∃y R(x, y).
+    // 1. Plan-then-execute on the introduction's example Φ = ∀x ∃y R(x, y):
+    //    the sentence analysis (method selection, Skolemization, cell
+    //    decomposition) runs once; each domain size is then a cheap count.
     // -----------------------------------------------------------------------
     let phi = parse("forall x. exists y. R(x,y)").expect("valid syntax");
     let solver = Solver::new();
+    let problem = Problem::new(phi.clone());
+    let plan = solver.plan(&problem).expect("closed sentence");
 
     println!("Φ = {phi}");
+    println!("{}\n", plan.explain());
     println!(
         "{:>4} {:>28} {:>28} {:>12}",
         "n", "lifted FOMC", "closed form (2^n-1)^n", "method"
     );
     for n in 0..=8 {
-        let report = solver.fomc(&phi, n).expect("solver always answers");
+        let report = plan
+            .count(n, &Weights::ones())
+            .expect("plan always answers");
         let closed = closed_form::fomc_forall_exists_edge(n);
         assert_eq!(
             report.value, closed,
@@ -57,12 +64,20 @@ fn main() {
 
     // -----------------------------------------------------------------------
     // 4. A sentence outside every lifted fragment falls back to grounding —
-    //    exactly what the paper's hardness results predict.
+    //    exactly what the paper's hardness results predict. The report's
+    //    Display carries the value, method and backend.
     // -----------------------------------------------------------------------
     let transitivity = catalog::transitivity();
     let report = solver.fomc(&transitivity, 3).unwrap();
-    println!(
-        "\n{transitivity}\n  n = 3: {} models, method = {} (Table 2: open problem)",
-        report.value, report.method
-    );
+    println!("\n{transitivity}\n  n = 3: {report} (Table 2: open problem)");
+
+    // -----------------------------------------------------------------------
+    // 5. Batch evaluation: one plan, many (n, weights) points at once.
+    // -----------------------------------------------------------------------
+    let points: Vec<(usize, Weights)> = (1..=6).map(|n| (n, Weights::ones())).collect();
+    let reports = plan.count_batch(&points).expect("plan always answers");
+    println!("\nbatched counts of Φ at n = 1..6:");
+    for ((n, _), report) in points.iter().zip(&reports) {
+        println!("  n = {n}: {report}");
+    }
 }
