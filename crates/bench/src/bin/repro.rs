@@ -50,6 +50,9 @@ fn main() {
     if all || which == "mln" {
         mln();
     }
+    if all || which == "algebra" {
+        algebra_with_sizes(&[8, 12], &[4, 6]);
+    }
     if all || which == "plan-reuse" {
         plan_reuse_with_k(16);
     }
@@ -290,6 +293,7 @@ fn smoke() {
     fo2();
     fo2_scaling_with_sizes(&[25]);
     plan_reuse_with_k(4);
+    algebra_with_sizes(&[8], &[4]);
     closed_forms();
     println!("\nsmoke: ok");
 }
@@ -322,6 +326,62 @@ fn mln() {
             short(&z),
             check,
             approx(&p)
+        );
+    }
+}
+
+/// E12 — the generic evaluation algebra: one plan, three rings. Exact vs
+/// log-space-float MLN inference, and Poly-symbolic vs interpolated
+/// equality removal, with cross-checks.
+fn algebra_with_sizes(mln_sizes: &[usize], eq_sizes: &[usize]) {
+    header("E12  Evaluation algebras: exact · log-float · polynomial");
+    let engine = MlnEngine::new(&smokers_mln()).unwrap();
+    let q = exists(["x"], atom("Smokes", &["x"]));
+    println!(
+        "{:<26} {:>4} {:>12} {:>12} {:>9}",
+        "workload", "n", "exact ms", "log-f64 ms", "speedup"
+    );
+    for &n in mln_sizes {
+        // Warm the plan cache so both timings measure evaluation only.
+        let _ = engine.probability(&q, 1).unwrap();
+        let start = Instant::now();
+        let exact = engine.probability(&q, n).unwrap();
+        let exact_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let log = engine.probability_in(&q, n, &LogF64).unwrap();
+        let log_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            (approx(&exact) - log.to_f64()).abs() < 1e-6,
+            "log-f64 marginal diverged at n = {n}"
+        );
+        println!(
+            "{:<26} {n:>4} {exact_ms:>12.2} {log_ms:>12.3} {:>8.1}×",
+            "mln marginal (smokers)",
+            exact_ms / log_ms
+        );
+    }
+    let sentence = forall(["x", "y"], or(vec![atom("R", &["x", "y"]), eq("x", "y")]));
+    let voc = sentence.vocabulary();
+    let weights = Weights::from_ints([("R", 2, 3)]);
+    println!(
+        "{:<26} {:>4} {:>12} {:>12} {:>9}",
+        "workload", "n", "interp ms", "poly ms", "speedup"
+    );
+    for &n in eq_sizes {
+        let start = Instant::now();
+        let interpolated = wfomc_via_equality_removal_interpolated(&sentence, &voc, n, &weights);
+        let interp_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let symbolic = wfomc_via_equality_removal(&sentence, &voc, n, &weights);
+        let poly_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            symbolic, interpolated,
+            "equality removal diverged at n = {n}"
+        );
+        println!(
+            "{:<26} {n:>4} {interp_ms:>12.2} {poly_ms:>12.2} {:>8.1}×",
+            "equality removal (Lemma 3.5)",
+            interp_ms / poly_ms
         );
     }
 }

@@ -21,9 +21,10 @@
 
 use std::collections::HashMap;
 
+use wfomc_logic::algebra::{Algebra, VarPairs};
 use wfomc_logic::weights::Weight;
 
-use crate::eval::{evaluate, LitWeights};
+use crate::eval::{evaluate, evaluate_in, LitWeights};
 use crate::ir::{CLit, Circuit, NodeId, Var};
 use crate::smooth::smooth;
 
@@ -58,6 +59,12 @@ impl CompiledCnf {
     /// of times with different weight vectors.
     pub fn wmc<W: LitWeights>(&self, weights: &W) -> Weight {
         evaluate(&self.circuit, self.root, weights)
+    }
+
+    /// [`wmc`](Self::wmc) in an arbitrary [`Algebra`] — one compilation
+    /// serves any number of weight vectors in any number of algebras.
+    pub fn wmc_in<A: Algebra, W: VarPairs<A> + ?Sized>(&self, algebra: &A, weights: &W) -> A::Elem {
+        evaluate_in(&self.circuit, self.root, algebra, weights)
     }
 
     /// The underlying circuit.

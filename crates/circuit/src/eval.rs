@@ -6,8 +6,13 @@
 //! weighted model count over the circuit's full universe — the
 //! compile-once / evaluate-many payoff: the pass costs `O(|circuit|)`
 //! arithmetic operations per weight vector, with no search.
+//!
+//! The pass only adds and multiplies, so [`evaluate_in`] runs it in any
+//! [`Algebra`]; [`evaluate`] is the exact-rational instance behind the
+//! original [`LitWeights`]-based API.
 
-use num_traits::{One, Zero};
+use num_traits::One;
+use wfomc_logic::algebra::{Algebra, Exact, VarPairs};
 use wfomc_logic::weights::Weight;
 
 use crate::ir::{Circuit, Node, NodeId};
@@ -82,32 +87,65 @@ impl LitWeights for SliceWeights {
 ///
 /// [`compile`]: crate::compile::compile
 pub fn evaluate<W: LitWeights + ?Sized>(circuit: &Circuit, root: NodeId, weights: &W) -> Weight {
-    let mut values: Vec<Weight> = vec![Weight::zero(); circuit.len()];
+    evaluate_in(circuit, root, &Exact, &ExactPairs(weights))
+}
+
+/// Adapts the original [`LitWeights`] lookup to the algebra-generic
+/// [`VarPairs`] interface (in the [`Exact`] algebra).
+struct ExactPairs<'w, W: LitWeights + ?Sized>(&'w W);
+
+impl<W: LitWeights + ?Sized> VarPairs<Exact> for ExactPairs<'_, W> {
+    fn var_weight(&self, _algebra: &Exact, var: usize, value: bool) -> Weight {
+        self.0.weight(var, value)
+    }
+
+    fn var_total(&self, _algebra: &Exact, var: usize) -> Weight {
+        self.0.total(var)
+    }
+
+    fn table_len(&self) -> usize {
+        // `LitWeights` has no length; the evaluator never asks for one.
+        0
+    }
+}
+
+/// [`evaluate`] in an arbitrary [`Algebra`]: the same bottom-up pass with
+/// `+`/`·` replaced by the algebra's operations. Zero short-circuiting stays
+/// sound in any ring because `0 · x = 0`.
+pub fn evaluate_in<A: Algebra, W: VarPairs<A> + ?Sized>(
+    circuit: &Circuit,
+    root: NodeId,
+    algebra: &A,
+    weights: &W,
+) -> A::Elem {
+    let mut values: Vec<A::Elem> = vec![algebra.zero(); circuit.len()];
     for (index, node) in circuit.nodes().iter().enumerate() {
         values[index] = match node {
-            Node::False => Weight::zero(),
-            Node::True => Weight::one(),
-            Node::Lit(lit) => weights.weight(lit.var, lit.positive),
+            Node::False => algebra.zero(),
+            Node::True => algebra.one(),
+            Node::Lit(lit) => weights.var_weight(algebra, lit.var, lit.positive),
             Node::And(children) => {
-                let mut product = Weight::one();
+                let mut product = algebra.one();
                 for child in children.iter() {
-                    if values[child.index()].is_zero() {
-                        product = Weight::zero();
+                    if algebra.is_zero(&values[child.index()]) {
+                        product = algebra.zero();
                         break;
                     }
-                    product *= &values[child.index()];
+                    algebra.mul_assign(&mut product, &values[child.index()]);
                 }
                 product
             }
             Node::Decision { var, hi, lo } => {
                 let hi_value = &values[hi.index()];
                 let lo_value = &values[lo.index()];
-                let mut acc = Weight::zero();
-                if !hi_value.is_zero() {
-                    acc += weights.weight(*var, true) * hi_value;
+                let mut acc = algebra.zero();
+                if !algebra.is_zero(hi_value) {
+                    let w = weights.var_weight(algebra, *var, true);
+                    algebra.add_assign(&mut acc, &algebra.mul(&w, hi_value));
                 }
-                if !lo_value.is_zero() {
-                    acc += weights.weight(*var, false) * lo_value;
+                if !algebra.is_zero(lo_value) {
+                    let w = weights.var_weight(algebra, *var, false);
+                    algebra.add_assign(&mut acc, &algebra.mul(&w, lo_value));
                 }
                 acc
             }

@@ -53,5 +53,5 @@ pub mod ir;
 pub mod smooth;
 
 pub use compile::{compile, CompileStats, CompiledCnf};
-pub use eval::{LitWeights, SliceWeights};
+pub use eval::{evaluate_in, LitWeights, SliceWeights};
 pub use ir::{CLit, Circuit, Node, NodeId};

@@ -11,6 +11,7 @@
 
 use num_traits::One;
 
+use wfomc_logic::algebra::{Algebra, AlgebraWeights};
 use wfomc_logic::weights::{weight_int, weight_pow, Weight, Weights};
 
 use crate::combinatorics::binomial_weight;
@@ -30,6 +31,35 @@ pub fn wfomc_forall_exists_edge(n: usize, w: &Weight, w_bar: &Weight) -> Weight 
 /// `WFOMC(∃y S(y), n, w, w̄) = (w + w̄)ⁿ − w̄ⁿ` (§2).
 pub fn wfomc_exists_unary(n: usize, w: &Weight, w_bar: &Weight) -> Weight {
     weight_pow(&(w + w_bar), n) - weight_pow(w_bar, n)
+}
+
+/// [`wfomc_forall_exists_edge`] in an arbitrary [`Algebra`] — the closed
+/// forms are ring identities, so they hold verbatim over any commutative
+/// ring.
+pub fn wfomc_forall_exists_edge_in<A: Algebra>(
+    n: usize,
+    algebra: &A,
+    w: &A::Elem,
+    w_bar: &A::Elem,
+) -> A::Elem {
+    let per_row = algebra.sub(
+        &algebra.pow(&algebra.add(w, w_bar), n),
+        &algebra.pow(w_bar, n),
+    );
+    algebra.pow(&per_row, n)
+}
+
+/// [`wfomc_exists_unary`] in an arbitrary [`Algebra`].
+pub fn wfomc_exists_unary_in<A: Algebra>(
+    n: usize,
+    algebra: &A,
+    w: &A::Elem,
+    w_bar: &A::Elem,
+) -> A::Elem {
+    algebra.sub(
+        &algebra.pow(&algebra.add(w, w_bar), n),
+        &algebra.pow(w_bar, n),
+    )
 }
 
 /// Table 1, symmetric FOMC row:
@@ -66,6 +96,29 @@ pub fn wfomc_table1(n: usize, weights: &Weights) -> Weight {
                 * weight_pow(&t.pos, n - m)
                 * weight_pow(&t.neg, m);
             total += binomial_weight(n, k) * binomial_weight(n, m) * w_km;
+        }
+    }
+    total
+}
+
+/// [`wfomc_table1`] in an arbitrary [`Algebra`].
+pub fn wfomc_table1_in<A: Algebra>(n: usize, algebra: &A, weights: &AlgebraWeights<A>) -> A::Elem {
+    let (r_pos, r_neg) = weights.pair(algebra, "R");
+    let (s_pos, s_neg) = weights.pair(algebra, "S");
+    let (t_pos, t_neg) = weights.pair(algebra, "T");
+    let s_total = algebra.add(&s_pos, &s_neg);
+    let mut total = algebra.zero();
+    for k in 0..=n {
+        for m in 0..=n {
+            let mut w_km = algebra.pow(&r_pos, n - k);
+            algebra.mul_assign(&mut w_km, &algebra.pow(&r_neg, k));
+            algebra.mul_assign(&mut w_km, &algebra.pow(&s_pos, k * m));
+            algebra.mul_assign(&mut w_km, &algebra.pow(&s_total, n * n - k * m));
+            algebra.mul_assign(&mut w_km, &algebra.pow(&t_pos, n - m));
+            algebra.mul_assign(&mut w_km, &algebra.pow(&t_neg, m));
+            let binom = binomial_weight(n, k) * binomial_weight(n, m);
+            algebra.mul_assign(&mut w_km, &algebra.from_weight(&binom));
+            algebra.add_assign(&mut total, &w_km);
         }
     }
     total
@@ -157,6 +210,58 @@ mod tests {
         // FOMC formula.
         for n in 0..=4 {
             assert_eq!(wfomc_table1(n, &Weights::ones()), fomc_table1(n));
+        }
+    }
+
+    #[test]
+    fn generic_closed_forms_match_exact_in_every_algebra() {
+        use num_traits::Zero;
+        use wfomc_logic::algebra::{AlgebraWeights, Exact, LogF64, Poly};
+        use wfomc_logic::poly::Polynomial;
+
+        let w = weight_int(3);
+        let w_bar = weight_int(-2);
+        let weights = Weights::from_ints([("R", 3, -2), ("S", 1, 2), ("T", 5, 1)]);
+        for n in 0..=4 {
+            // Exact instances reproduce the rational formulas verbatim.
+            assert_eq!(
+                wfomc_forall_exists_edge_in(n, &Exact, &w, &w_bar),
+                wfomc_forall_exists_edge(n, &w, &w_bar),
+                "edge n={n}"
+            );
+            assert_eq!(
+                wfomc_exists_unary_in(n, &Exact, &w, &w_bar),
+                wfomc_exists_unary(n, &w, &w_bar),
+                "unary n={n}"
+            );
+            assert_eq!(
+                wfomc_table1_in(n, &Exact, &AlgebraWeights::lift(&Exact, &weights)),
+                wfomc_table1(n, &weights),
+                "table1 n={n}"
+            );
+            // LogF64 tracks the exact values (compare in log space; the
+            // closed forms subtract, so signs matter).
+            let exact = wfomc_table1(n, &weights);
+            let log = wfomc_table1_in(n, &LogF64, &AlgebraWeights::lift(&LogF64, &weights));
+            let expected = LogF64.from_weight(&exact);
+            assert_eq!(log.signum(), expected.signum(), "table1 log n={n}");
+            if !exact.is_zero() {
+                assert!(
+                    (log.ln_abs() - expected.ln_abs()).abs() < 1e-9,
+                    "table1 log n={n}"
+                );
+            }
+            // Poly with a symbolic w: the closed form as a polynomial,
+            // evaluated at the rational point.
+            let x = Polynomial::x();
+            let f = wfomc_exists_unary_in(n, &Poly, &x, &Poly.from_weight(&w_bar));
+            assert_eq!(f.eval(&w), wfomc_exists_unary(n, &w, &w_bar), "poly n={n}");
+            let f = wfomc_forall_exists_edge_in(n, &Poly, &x, &Poly.from_weight(&w_bar));
+            assert_eq!(
+                f.eval(&w),
+                wfomc_forall_exists_edge(n, &w, &w_bar),
+                "poly edge n={n}"
+            );
         }
     }
 

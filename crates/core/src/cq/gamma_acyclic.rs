@@ -167,6 +167,19 @@ impl CqMemo {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// Merges another memo's entries into this one. Keys are pure functions
+    /// of the residual query shape (probabilities and domain sizes included),
+    /// so divergent entries cannot exist and the merge is a plain union —
+    /// this is what lets batch evaluation clone a memo into each worker and
+    /// fold the workers' discoveries back in at the end.
+    pub fn absorb(&mut self, other: CqMemo) {
+        if self.map.is_empty() {
+            self.map = other.map;
+        } else {
+            self.map.extend(other.map);
+        }
+    }
 }
 
 #[derive(Clone, Debug)]

@@ -12,6 +12,7 @@
 
 use num_traits::{One, Zero};
 
+use wfomc_logic::algebra::{Algebra, AlgebraWeights};
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::term::Term;
 use wfomc_logic::vocabulary::Predicate;
@@ -154,6 +155,41 @@ pub fn bind_cell_weights(shapes: &[Cell], space: &CellSpace, weights: &Weights) 
         .collect()
 }
 
+/// Computes the cell weights `u_c` of a slice of (structural) cells in an
+/// arbitrary [`Algebra`]: the same product of `w` / `w̄` elements over the
+/// cell's unary and reflexive atoms, returned as a bare weight vector
+/// aligned with `shapes` (the shapes themselves are weight-free structure).
+pub fn bind_cell_weights_in<A: Algebra>(
+    shapes: &[Cell],
+    space: &CellSpace,
+    algebra: &A,
+    weights: &AlgebraWeights<A>,
+) -> Vec<A::Elem> {
+    let unary_pairs: Vec<_> = space
+        .unary
+        .iter()
+        .map(|p| weights.pair_of(algebra, p))
+        .collect();
+    let binary_pairs: Vec<_> = space
+        .binary
+        .iter()
+        .map(|p| weights.pair_of(algebra, p))
+        .collect();
+    shapes
+        .iter()
+        .map(|shape| {
+            let mut weight = algebra.one();
+            for (i, (pos, neg)) in unary_pairs.iter().enumerate() {
+                algebra.mul_assign(&mut weight, if shape.unary[i] { pos } else { neg });
+            }
+            for (i, (pos, neg)) in binary_pairs.iter().enumerate() {
+                algebra.mul_assign(&mut weight, if shape.reflexive[i] { pos } else { neg });
+            }
+            weight
+        })
+        .collect()
+}
+
 /// Enumerates the valid cells of a matrix.
 pub fn build_cells(
     matrix: &Formula,
@@ -258,6 +294,51 @@ pub fn bind_pair_table(
                     weight *= &pow[signature[t] as usize];
                 }
                 total += weight;
+            }
+            table[i][j] = total.clone();
+            table[j][i] = total;
+        }
+    }
+    table
+}
+
+/// Sums the signature weights of every cell pair in an arbitrary
+/// [`Algebra`] — the generic counterpart of [`bind_pair_table`], with ring
+/// elements in place of rationals.
+pub fn bind_pair_table_in<A: Algebra>(
+    structure: &PairStructure,
+    space: &CellSpace,
+    algebra: &A,
+    weights: &AlgebraWeights<A>,
+) -> Vec<Vec<A::Elem>> {
+    let pows: Vec<[A::Elem; 3]> = space
+        .binary
+        .iter()
+        .map(|p| {
+            let (pos, neg) = weights.pair_of(algebra, p);
+            [
+                algebra.mul(&neg, &neg),
+                algebra.mul(&pos, &neg),
+                algebra.mul(&pos, &pos),
+            ]
+        })
+        .collect();
+    let k = structure.sat.len();
+    let mut table = vec![vec![algebra.zero(); k]; k];
+    for (i, row) in structure.sat.iter().enumerate() {
+        for (d, signatures) in row.iter().enumerate() {
+            let j = i + d;
+            let mut total = algebra.zero();
+            for (signature, count) in signatures {
+                let mut weight = if *count == 1 {
+                    algebra.one()
+                } else {
+                    algebra.from_weight(&Weight::from_integer((*count).into()))
+                };
+                for (t, pow) in pows.iter().enumerate() {
+                    algebra.mul_assign(&mut weight, &pow[signature[t] as usize]);
+                }
+                algebra.add_assign(&mut total, &weight);
             }
             table[i][j] = total.clone();
             table[j][i] = total;

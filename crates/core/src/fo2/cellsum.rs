@@ -18,21 +18,31 @@
 //!
 //! so extending a prefix by one cell costs O(k) multiplications and all
 //! compositions sharing a prefix share its work. Powers of the per-cell bases
-//! come from [`PowCache`]s (dense tables up to `n`, memoized
+//! come from [`Powers`] caches (dense tables up to `n`, memoized
 //! square-and-multiply beyond). Cells with zero weight are dropped up front,
 //! and a whole subtree is cut as soon as the running term hits zero, which is
 //! what makes hard constraints (zero-weight pair entries) collapse the search
 //! space instead of merely zeroing terms late. Independent top-level cell
 //! splits run on scoped threads.
 //!
-//! The legacy term-by-term enumeration is kept behind `cfg(test)` /
-//! the `legacy-cellsum` feature as the differential-testing oracle.
+//! The engine itself ([`cell_sum_elems`]) only adds and multiplies, so it is
+//! generic over the evaluation [`Algebra`] — the zero-subtree cutoff is
+//! sound in any ring because `0 · x = 0`. The exact entry point
+//! ([`cell_sum_bound`]) additionally clears the rational denominators out of
+//! the bases before running the engine (so the hot loop multiplies gcd-free
+//! integers) and divides the correction back out at the end; that trick is
+//! specific to `BigRational` and lives in the wrapper, not the engine.
+//!
+//! The seed implementation's term-by-term enumeration is kept behind
+//! `cfg(test)` / the `legacy-cellsum` feature as the differential-testing
+//! oracle.
 
 use num_bigint::BigInt;
 use num_traits::{One, Zero};
 
+use wfomc_logic::algebra::{Algebra, Exact, Powers};
 use wfomc_logic::syntax::Formula;
-use wfomc_logic::weights::{weight_pow, PowCache, Weight};
+use wfomc_logic::weights::{weight_pow, Weight};
 
 use super::cells::{build_cells, build_pair_table, CellSpace};
 use super::normalize::Fo2Shape;
@@ -77,20 +87,77 @@ pub fn cell_sum(
 /// table — the n-dependent half of [`cell_sum`], used by prepared plans
 /// ([`crate::fo2::prepare::Fo2Prepared`]) that build the cells once and sum
 /// at many domain sizes and weight functions.
+///
+/// This is the exact-rational fast path: it clears the common denominators
+/// out of the cell weights and pair entries (every composition uses exactly
+/// `n` cell-weight factors and `C(n,2)` pair factors, so one division by
+/// `D_u^n · D_r^{C(n,2)}` at the end restores the exact value), then runs
+/// the algebra-generic engine over denominator-1 rationals.
 pub fn cell_sum_bound(
     cells: &[super::cells::Cell],
     table: &[Vec<Weight>],
     n: usize,
     parallel: bool,
 ) -> (Weight, CellSumStats) {
-    if cells.is_empty() {
-        return (Weight::zero(), CellSumStats::default());
+    let u: Vec<Weight> = cells.iter().map(|c| c.weight.clone()).collect();
+    cell_sum_weights(&u, table, n, parallel)
+}
+
+/// [`cell_sum_bound`] over bare cell-weight vectors (what prepared plans
+/// store): the exact-rational entry point with denominator clearing.
+pub fn cell_sum_weights(
+    u: &[Weight],
+    table: &[Vec<Weight>],
+    n: usize,
+    parallel: bool,
+) -> (Weight, CellSumStats) {
+    // Clear denominators over the cells the engine will actually visit (the
+    // non-zero-weight ones), so the scaling never inflates for weights that
+    // are dropped anyway.
+    let keep: Vec<usize> = (0..u.len()).filter(|&i| !u[i].is_zero()).collect();
+    let d_u = lcm_of_denominators(keep.iter().map(|&i| &u[i]));
+    let d_r = lcm_of_denominators(
+        keep.iter()
+            .flat_map(|&i| keep.iter().map(move |&j| &table[i][j])),
+    );
+    let scale_u = weight_from_bigint(d_u);
+    let scale_r = weight_from_bigint(d_r);
+    let correction = weight_pow(&scale_u, n) * weight_pow(&scale_r, n * n.saturating_sub(1) / 2);
+
+    let scaled_u: Vec<Weight> = u.iter().map(|w| w * &scale_u).collect();
+    let scaled_table: Vec<Vec<Weight>> = table
+        .iter()
+        .map(|row| row.iter().map(|w| w * &scale_r).collect())
+        .collect();
+
+    let (total, stats) = cell_sum_elems(&Exact, &scaled_u, &scaled_table, n, parallel);
+    let total = if correction.is_one() {
+        total
+    } else {
+        total / correction
+    };
+    (total, stats)
+}
+
+/// The cell-decomposition sum in an arbitrary [`Algebra`]: `u[c]` are the
+/// cell weights, `table` the symmetric pair table, both as ring elements.
+/// This is the engine itself — no denominator tricks, no weight binding —
+/// shared by every algebra including [`Exact`].
+pub fn cell_sum_elems<A: Algebra>(
+    algebra: &A,
+    u: &[A::Elem],
+    table: &[Vec<A::Elem>],
+    n: usize,
+    parallel: bool,
+) -> (A::Elem, CellSumStats) {
+    if u.is_empty() {
+        return (algebra.zero(), CellSumStats::default());
     }
-    let engine = Engine::new(cells, table, n);
+    let engine = Engine::new(algebra, u, table, n);
 
     let mut stats = CellSumStats {
-        valid_cells: cells.len(),
-        zero_weight_cells_pruned: cells.len() - engine.k,
+        valid_cells: u.len(),
+        zero_weight_cells_pruned: u.len() - engine.k,
         compositions_total: num_compositions(n, engine.k),
         ..CellSumStats::default()
     };
@@ -99,9 +166,9 @@ pub fn cell_sum_bound(
         // Every cell has zero weight: only the empty domain has a (single,
         // empty) composition.
         let total = if n == 0 {
-            Weight::one()
+            algebra.one()
         } else {
-            Weight::zero()
+            algebra.zero()
         };
         stats.compositions_summed = usize::from(n == 0);
         return (total, stats);
@@ -112,41 +179,30 @@ pub fn cell_sum_bound(
         engine.sum_parallel(threads)
     } else {
         let mut worker = Worker::new(&engine);
-        let top: Vec<Weight> = vec![Weight::one(); engine.k];
-        worker.dfs(0, n, &Weight::one(), &top);
+        let top: Vec<A::Elem> = vec![algebra.one(); engine.k];
+        worker.dfs(0, n, &algebra.one(), &top);
         (worker.total, worker.summed, worker.pruned)
     };
     stats.compositions_summed = summed;
     stats.compositions_pruned = pruned;
-    let total = if engine.denominator_correction.is_one() {
-        total
-    } else {
-        total / &engine.denominator_correction
-    };
     (total, stats)
 }
 
 /// Immutable per-branch state shared by all DFS workers.
-struct Engine {
+struct Engine<'a, A: Algebra> {
+    algebra: &'a A,
     /// Domain size.
     n: usize,
     /// Number of cells with non-zero weight (the cells the DFS ranges over).
     k: usize,
     /// Cell weights `u_c`, re-indexed over the non-zero cells.
-    u: Vec<Weight>,
+    u: Vec<A::Elem>,
     /// Within-cell pair entries `r_{cc}`.
-    diag: Vec<Weight>,
+    diag: Vec<A::Elem>,
     /// The full symmetric cross table `r_{ij}` over the non-zero cells.
-    cross: Vec<Vec<Weight>>,
-    /// Pascal's triangle covering rows `0..=n`, as weights (shared memo).
-    binom: std::sync::Arc<Vec<Vec<Weight>>>,
-    /// `D_u^n · D_r^{C(n,2)}` where `D_u`/`D_r` are the common denominators
-    /// cleared out of `u`/`diag`+`cross`. Every composition uses exactly `n`
-    /// cell-weight factors and `C(n,2)` pair factors, so the sum computed on
-    /// the scaled integer values divided by this constant is exact — and the
-    /// scaled hot loop runs entirely on denominator-1 rationals, which
-    /// multiply without any gcd reduction.
-    denominator_correction: Weight,
+    cross: Vec<Vec<A::Elem>>,
+    /// Pascal's triangle covering rows `0..=n`, injected into the algebra.
+    binom: Vec<Vec<A::Elem>>,
 }
 
 /// Least common multiple of the denominators of `values`.
@@ -160,44 +216,37 @@ fn lcm_of_denominators<'a>(values: impl Iterator<Item = &'a Weight>) -> BigInt {
     acc
 }
 
-impl Engine {
-    fn new(cells: &[super::cells::Cell], table: &[Vec<Weight>], n: usize) -> Engine {
-        let keep: Vec<usize> = (0..cells.len())
-            .filter(|&i| !cells[i].weight.is_zero())
-            .collect();
+impl<'a, A: Algebra> Engine<'a, A> {
+    fn new(algebra: &'a A, u: &[A::Elem], table: &[Vec<A::Elem>], n: usize) -> Engine<'a, A> {
+        let keep: Vec<usize> = (0..u.len()).filter(|&i| !algebra.is_zero(&u[i])).collect();
         // Visit cells whose table row has many zeros first: a zero running
         // cross product or zero diagonal kills a subtree as soon as the DFS
         // reaches it, so front-loading constrained cells maximizes sharing of
         // the cutoff. The sum itself is symmetric in the cell order.
         let mut order = keep.clone();
         order.sort_by_key(|&i| {
-            let zeros = keep.iter().filter(|&&j| table[i][j].is_zero()).count();
+            let zeros = keep
+                .iter()
+                .filter(|&&j| algebra.is_zero(&table[i][j]))
+                .count();
             std::cmp::Reverse(zeros)
         });
 
-        // Clear denominators (see `denominator_correction`).
-        let d_u = lcm_of_denominators(order.iter().map(|&i| &cells[i].weight));
-        let d_r = lcm_of_denominators(
-            order
-                .iter()
-                .flat_map(|&i| order.iter().map(move |&j| &table[i][j])),
-        );
-        let scale_u = weight_from_bigint(d_u);
-        let scale_r = weight_from_bigint(d_r);
-        let denominator_correction =
-            weight_pow(&scale_u, n) * weight_pow(&scale_r, n * n.saturating_sub(1) / 2);
-
+        let binom_triangle = binomial_weight_triangle(n);
         Engine {
+            algebra,
             n,
             k: order.len(),
-            u: order.iter().map(|&i| &cells[i].weight * &scale_u).collect(),
-            diag: order.iter().map(|&i| &table[i][i] * &scale_r).collect(),
+            u: order.iter().map(|&i| u[i].clone()).collect(),
+            diag: order.iter().map(|&i| table[i][i].clone()).collect(),
             cross: order
                 .iter()
-                .map(|&i| order.iter().map(|&j| &table[i][j] * &scale_r).collect())
+                .map(|&i| order.iter().map(|&j| table[i][j].clone()).collect())
                 .collect(),
-            binom: binomial_weight_triangle(n),
-            denominator_correction,
+            binom: binom_triangle
+                .iter()
+                .map(|row| row.iter().map(|w| algebra.from_weight(w)).collect())
+                .collect(),
         }
     }
 
@@ -217,17 +266,18 @@ impl Engine {
     }
 
     /// Splits the top-level choice of `m₁` over `threads` scoped workers.
-    /// Exact rational addition is associative, so the split does not change
-    /// the result.
-    fn sum_parallel(&self, threads: usize) -> (Weight, usize, usize) {
+    /// Ring addition is associative and commutative, so the split does not
+    /// change the result (up to rounding, for approximate algebras).
+    fn sum_parallel(&self, threads: usize) -> (A::Elem, usize, usize) {
         let n = self.n;
+        let algebra = self.algebra;
         let partials = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     scope.spawn(move || {
                         let mut worker = Worker::new(self);
-                        let mut row0: Vec<PowCache> = (1..self.k)
-                            .map(|j| PowCache::new(self.cross[0][j].clone(), n))
+                        let mut row0: Vec<Powers<A>> = (1..self.k)
+                            .map(|j| Powers::new(algebra, self.cross[0][j].clone(), n))
                             .collect();
                         for m0 in (t..=n).step_by(threads) {
                             worker.top_level(m0, &mut row0);
@@ -241,11 +291,11 @@ impl Engine {
                 .map(|h| h.join().expect("cell-sum worker panicked"))
                 .collect::<Vec<_>>()
         });
-        let mut total = Weight::zero();
+        let mut total = algebra.zero();
         let mut summed = 0usize;
         let mut pruned = 0usize;
         for (t, s, p) in partials {
-            total += t;
+            algebra.add_assign(&mut total, &t);
             summed = summed.saturating_add(s);
             pruned = pruned.saturating_add(p);
         }
@@ -254,76 +304,81 @@ impl Engine {
 }
 
 /// One DFS worker: owns the mutable power caches and accumulators.
-struct Worker<'e> {
-    eng: &'e Engine,
+struct Worker<'e, A: Algebra> {
+    eng: &'e Engine<'e, A>,
     /// Per-cell power caches for `u_c`.
-    u_pows: Vec<PowCache>,
+    u_pows: Vec<Powers<A>>,
     /// Per-cell power caches for `r_{cc}` (exponents `C(m,2)` can exceed `n`,
     /// where the caches fall back to memoized square-and-multiply).
-    diag_pows: Vec<PowCache>,
+    diag_pows: Vec<Powers<A>>,
     /// Power cache for `r_{ab}` of the two cells fixed last, whose exponents
     /// `m_a · m_b` the fused bottom loop looks up directly.
-    last_pair_pows: Option<PowCache>,
+    last_pair_pows: Option<Powers<A>>,
     /// Scratch buffer for `R_b^t`, `t = 0..=rem`, in the fused bottom loop.
-    tail_pows: Vec<Weight>,
-    total: Weight,
+    tail_pows: Vec<A::Elem>,
+    total: A::Elem,
     summed: usize,
     pruned: usize,
 }
 
-impl<'e> Worker<'e> {
-    fn new(eng: &'e Engine) -> Worker<'e> {
+impl<'e, A: Algebra> Worker<'e, A> {
+    fn new(eng: &'e Engine<'e, A>) -> Worker<'e, A> {
+        let algebra = eng.algebra;
         Worker {
             u_pows: eng
                 .u
                 .iter()
-                .map(|u| PowCache::new(u.clone(), eng.n))
+                .map(|u| Powers::new(algebra, u.clone(), eng.n))
                 .collect(),
             diag_pows: eng
                 .diag
                 .iter()
-                .map(|d| PowCache::new(d.clone(), eng.n))
+                .map(|d| Powers::new(algebra, d.clone(), eng.n))
                 .collect(),
             last_pair_pows: (eng.k >= 2)
-                .then(|| PowCache::new(eng.cross[eng.k - 2][eng.k - 1].clone(), eng.n)),
+                .then(|| Powers::new(algebra, eng.cross[eng.k - 2][eng.k - 1].clone(), eng.n)),
             tail_pows: Vec::new(),
             eng,
-            total: Weight::zero(),
+            total: algebra.zero(),
             summed: 0,
             pruned: 0,
         }
     }
 
     /// The factor a single cell contributes for count `m`: `u^m · r_cc^{C(m,2)}`.
-    fn own_factor(&mut self, cell: usize, m: usize) -> Weight {
-        let mut f = self.u_pows[cell].pow(m);
-        if !f.is_zero() && m >= 2 {
-            f *= self.diag_pows[cell].pow_ref(m * (m - 1) / 2);
+    fn own_factor(&mut self, cell: usize, m: usize) -> A::Elem {
+        let algebra = self.eng.algebra;
+        let mut f = self.u_pows[cell].pow(algebra, m);
+        if !algebra.is_zero(&f) && m >= 2 {
+            let d = self.diag_pows[cell].pow_ref(algebra, m * (m - 1) / 2);
+            algebra.mul_assign(&mut f, d);
         }
         f
     }
 
     /// Handles one top-level count `m₀` (the unit of parallel work): cells
     /// `1..k` then run through the ordinary DFS.
-    fn top_level(&mut self, m0: usize, row0: &mut [PowCache]) {
+    fn top_level(&mut self, m0: usize, row0: &mut [Powers<A>]) {
+        let algebra = self.eng.algebra;
         let n = self.eng.n;
-        let factor = self.own_factor(0, m0);
-        if factor.is_zero() {
+        let mut factor = self.own_factor(0, m0);
+        if algebra.is_zero(&factor) {
             self.pruned = self
                 .pruned
                 .saturating_add(num_compositions(n - m0, self.eng.k - 1));
             return;
         }
-        let term = factor * &self.eng.binom[n][m0];
-        let child: Vec<Weight> = row0.iter_mut().map(|c| c.pow(m0)).collect();
-        self.dfs(1, n - m0, &term, &child);
+        algebra.mul_assign(&mut factor, &self.eng.binom[n][m0]);
+        let child: Vec<A::Elem> = row0.iter_mut().map(|c| c.pow(algebra, m0)).collect();
+        self.dfs(1, n - m0, &factor, &child);
     }
 
     /// Fixes the count of cell `i`, with `rem` elements left to distribute.
     /// `term` is the partial term of the prefix and `r[d]` the running cross
     /// product `R_{i+d}` of cell `i+d` against all fixed cells.
-    fn dfs(&mut self, i: usize, rem: usize, term: &Weight, r: &[Weight]) {
+    fn dfs(&mut self, i: usize, rem: usize, term: &A::Elem, r: &[A::Elem]) {
         debug_assert_eq!(r.len(), self.eng.k - i);
+        let algebra = self.eng.algebra;
         if i + 2 == self.eng.k {
             self.last_two(i, rem, term, r);
             return;
@@ -332,31 +387,31 @@ impl<'e> Worker<'e> {
             // Last cell: its count is forced to `rem`.
             self.summed += 1;
             let mut leaf = self.own_factor(i, rem);
-            if !leaf.is_zero() {
-                leaf *= weight_pow(&r[0], rem);
+            if !algebra.is_zero(&leaf) {
+                algebra.mul_assign(&mut leaf, &algebra.pow(&r[0], rem));
             }
-            if !leaf.is_zero() {
-                self.total += term * leaf;
+            if !algebra.is_zero(&leaf) {
+                algebra.add_assign(&mut self.total, &algebra.mul(term, &leaf));
             }
             return;
         }
         let cells_after = self.eng.k - i - 1;
         // R_i^m and the children's cross products, maintained incrementally:
         // one multiplication each per extra element in cell i.
-        let mut rpow = Weight::one();
-        let mut child: Vec<Weight> = r[1..].to_vec();
+        let mut rpow = algebra.one();
+        let mut child: Vec<A::Elem> = r[1..].to_vec();
         for m in 0..=rem {
             if m > 0 {
-                rpow *= &r[0];
+                algebra.mul_assign(&mut rpow, &r[0]);
                 for (d, slot) in child.iter_mut().enumerate() {
-                    *slot *= &self.eng.cross[i][i + 1 + d];
+                    algebra.mul_assign(slot, &self.eng.cross[i][i + 1 + d]);
                 }
             }
             let mut factor = self.own_factor(i, m);
-            if !factor.is_zero() {
-                factor *= &rpow;
+            if !algebra.is_zero(&factor) {
+                algebra.mul_assign(&mut factor, &rpow);
             }
-            if factor.is_zero() {
+            if algebra.is_zero(&factor) {
                 // u^m, r_cc^{C(m,2)} and R^m each stay zero as m grows, so
                 // every composition with a larger count for this cell is zero
                 // too: cut the whole tail of the loop.
@@ -365,8 +420,8 @@ impl<'e> Worker<'e> {
                     .saturating_add(num_compositions(rem - m, cells_after + 1));
                 return;
             }
-            factor *= &self.eng.binom[rem][m];
-            self.dfs(i + 1, rem - m, &(term * &factor), &child);
+            algebra.mul_assign(&mut factor, &self.eng.binom[rem][m]);
+            self.dfs(i + 1, rem - m, &algebra.mul(term, &factor), &child);
         }
     }
 
@@ -376,27 +431,28 @@ impl<'e> Worker<'e> {
     /// once per call (one multiplication per composition, amortized), and
     /// `r_{ab}^{m·t}` comes from a memoized per-pair power cache — no
     /// per-leaf square-and-multiply.
-    fn last_two(&mut self, a: usize, rem: usize, term: &Weight, r: &[Weight]) {
+    fn last_two(&mut self, a: usize, rem: usize, term: &A::Elem, r: &[A::Elem]) {
+        let algebra = self.eng.algebra;
         let b = a + 1;
         // tail_pows[t] = R_b^t.
         let mut tail_pows = std::mem::take(&mut self.tail_pows);
         tail_pows.clear();
-        tail_pows.push(Weight::one());
+        tail_pows.push(algebra.one());
         for t in 1..=rem {
-            let next = &tail_pows[t - 1] * &r[1];
+            let next = algebra.mul(&tail_pows[t - 1], &r[1]);
             tail_pows.push(next);
         }
-        let mut a_pow = Weight::one(); // R_a^m
+        let mut a_pow = algebra.one(); // R_a^m
         for m in 0..=rem {
             if m > 0 {
-                a_pow *= &r[0];
+                algebra.mul_assign(&mut a_pow, &r[0]);
             }
             let t = rem - m;
             let mut a_side = self.own_factor(a, m);
-            if !a_side.is_zero() {
-                a_side *= &a_pow;
+            if !algebra.is_zero(&a_side) {
+                algebra.mul_assign(&mut a_side, &a_pow);
             }
-            if a_side.is_zero() {
+            if algebra.is_zero(&a_side) {
                 // Zero persists as m grows: every remaining composition
                 // (one per larger m) is zero too.
                 self.pruned = self.pruned.saturating_add(rem - m + 1);
@@ -404,19 +460,20 @@ impl<'e> Worker<'e> {
             }
             self.summed += 1;
             let mut leaf = self.own_factor(b, t);
-            if !leaf.is_zero() {
-                leaf *= &tail_pows[t];
+            if !algebra.is_zero(&leaf) {
+                algebra.mul_assign(&mut leaf, &tail_pows[t]);
             }
-            if !leaf.is_zero() && m > 0 && t > 0 {
+            if !algebra.is_zero(&leaf) && m > 0 && t > 0 {
                 let pair = self
                     .last_pair_pows
                     .as_mut()
                     .expect("pair cache exists when k >= 2");
-                leaf *= pair.pow_ref(m * t);
+                algebra.mul_assign(&mut leaf, pair.pow_ref(algebra, m * t));
             }
-            if !leaf.is_zero() {
-                leaf *= a_side * &self.eng.binom[rem][m];
-                self.total += term * leaf;
+            if !algebra.is_zero(&leaf) {
+                algebra.mul_assign(&mut leaf, &a_side);
+                algebra.mul_assign(&mut leaf, &self.eng.binom[rem][m]);
+                algebra.add_assign(&mut self.total, &algebra.mul(term, &leaf));
             }
         }
         self.tail_pows = tail_pows; // hand the scratch buffer back
@@ -485,6 +542,7 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use wfomc_ground::wfomc as ground_wfomc;
+    use wfomc_logic::algebra::{AlgebraWeights, LogF64, Poly};
     use wfomc_logic::builders::*;
     use wfomc_logic::catalog;
     use wfomc_logic::weights::{weight_ratio, Weights};
@@ -599,6 +657,55 @@ mod tests {
             stats.compositions_summed + stats.compositions_pruned,
             stats.compositions_total
         );
+    }
+
+    /// The generic engine instantiated at [`LogF64`] and [`Poly`] agrees
+    /// with the exact instantiation on the same bound cells/tables.
+    #[test]
+    fn generic_engine_matches_exact_instantiation() {
+        let f = catalog::table1_sentence();
+        let voc = f.vocabulary();
+        let weights = Weights::from_ints([("R", 2, 1), ("S", 1, 3), ("T", 5, -1)]);
+        let shape = fo2_normal_form(&f, &voc, &weights).unwrap();
+        let counted: Vec<_> = shape.matrix.vocabulary().predicates().to_vec();
+        let space = CellSpace {
+            unary: counted.iter().filter(|p| p.arity() == 1).cloned().collect(),
+            binary: counted.iter().filter(|p| p.arity() == 2).cloned().collect(),
+        };
+        let cells = build_cells(&shape.matrix, &space, &shape.weights).unwrap();
+        let table = build_pair_table(&shape.matrix, &space, &cells, &shape.weights).unwrap();
+        let n = 5;
+        let (exact, exact_stats) = cell_sum_bound(&cells, &table, n, false);
+
+        // LogF64: same engine, log-space floats.
+        let log = LogF64;
+        let lu: Vec<_> = cells.iter().map(|c| log.from_weight(&c.weight)).collect();
+        let lt: Vec<Vec<_>> = table
+            .iter()
+            .map(|row| row.iter().map(|w| log.from_weight(w)).collect())
+            .collect();
+        let (log_total, log_stats) = cell_sum_elems(&log, &lu, &lt, n, false);
+        let expected = log.from_weight(&exact);
+        assert_eq!(log_total.signum(), expected.signum());
+        assert!(
+            (log_total.ln_abs() - expected.ln_abs()).abs() < 1e-9,
+            "{log_total} vs {expected}"
+        );
+        assert_eq!(log_stats, exact_stats);
+
+        // Poly with constant polynomials: a degree-0 result equal to exact.
+        // `shape.weights` already includes the introduced predicates' pairs,
+        // so the generic binding reproduces the exact cells and table.
+        let poly = Poly;
+        let pw = AlgebraWeights::lift(&poly, &shape.weights);
+        let pu = super::super::cells::bind_cell_weights_in(&cells, &space, &poly, &pw);
+        let structure =
+            super::super::cells::build_pair_structure(&shape.matrix, &space, &cells).unwrap();
+        let pt = super::super::cells::bind_pair_table_in(&structure, &space, &poly, &pw);
+        let (poly_total, poly_stats) = cell_sum_elems(&poly, &pu, &pt, n, false);
+        assert_eq!(poly_total.coeff(0), exact);
+        assert_eq!(poly_total.degree(), 0);
+        assert_eq!(poly_stats, exact_stats);
     }
 
     /// Deterministic pseudo-random weight triples including zero and negative

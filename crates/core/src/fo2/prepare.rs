@@ -21,18 +21,25 @@ use num_traits::{One, Zero};
 
 use wfomc_ground::evaluate::evaluate;
 use wfomc_ground::structure::Structure;
+use wfomc_logic::algebra::{Algebra, AlgebraWeights, Exact};
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::vocabulary::{Predicate, Vocabulary};
-use wfomc_logic::weights::{weight_pow, Weight, Weights};
+use wfomc_logic::weights::{Weight, Weights};
 
 use super::algorithm::Fo2Stats;
 use super::cells::{
-    bind_cell_weights, bind_pair_table, build_cell_shapes, build_pair_structure, Cell, CellSpace,
-    PairStructure,
+    bind_cell_weights_in, bind_pair_table_in, build_cell_shapes, build_pair_structure, Cell,
+    CellSpace, PairStructure,
 };
-use super::cellsum::{cell_sum_bound, CellSumStats};
+use super::cellsum::{cell_sum_elems, cell_sum_weights, CellSumStats};
 use super::normalize::fo2_normal_form;
 use crate::error::LiftError;
+
+/// Capacity of the keyed weight-binding cache: large enough that an
+/// alternating sweep over a handful of weight functions (the equality-removal
+/// sweep, MLN learning loops) never thrashes, small enough that long-running
+/// processes don't accumulate bindings without bound.
+const BIND_CACHE_CAPACITY: usize = 8;
 
 /// One Shannon branch with its weight-independent structure.
 #[derive(Clone, Debug)]
@@ -47,22 +54,26 @@ struct PreparedBranch {
 }
 
 /// A weight-bound evaluation state: the prepared structures with one weight
-/// function multiplied in.
+/// function multiplied in, as elements of some algebra.
 #[derive(Clone, Debug)]
-struct Fo2Bound {
+struct Fo2BoundIn<E> {
     /// Branches whose nullary factor is non-zero, ready for the engine.
-    branches: Vec<BoundBranch>,
+    branches: Vec<BoundBranchIn<E>>,
     /// `(predicate, w + w̄)` for the vocabulary predicates the cell
     /// decomposition does not cover.
-    leftover: Vec<(Predicate, Weight)>,
+    leftover: Vec<(Predicate, E)>,
 }
 
 #[derive(Clone, Debug)]
-struct BoundBranch {
-    factor: Weight,
-    cells: Vec<Cell>,
-    table: Vec<Vec<Weight>>,
+struct BoundBranchIn<E> {
+    factor: E,
+    /// Cell weights `u_c`, aligned with the branch's valid cells.
+    u: Vec<E>,
+    table: Vec<Vec<E>>,
 }
+
+/// The exact binding the keyed cache stores.
+type Fo2Bound = Fo2BoundIn<Weight>;
 
 /// The FO² sentence analysis, fully independent of the domain size and the
 /// weight function. Prepare once, [`count`](Fo2Prepared::count) many times.
@@ -83,9 +94,10 @@ pub struct Fo2Prepared {
     leftover: Vec<Predicate>,
     /// The surviving (non-`Bottom`) Shannon branches.
     branches: Vec<PreparedBranch>,
-    /// The most recent weight binding, reused when the weights repeat
-    /// (the common case: one plan evaluated at many domain sizes).
-    bound: Mutex<Option<(Weights, Arc<Fo2Bound>)>>,
+    /// A small keyed LRU of exact weight bindings (most recent first), so
+    /// alternating weight sweeps reuse their bindings instead of thrashing a
+    /// single slot. Capacity [`BIND_CACHE_CAPACITY`].
+    bound: Mutex<Vec<(Weights, Arc<Fo2Bound>)>>,
 }
 
 impl Fo2Prepared {
@@ -167,7 +179,7 @@ impl Fo2Prepared {
             introduced_weights,
             leftover,
             branches,
-            bound: Mutex::new(None),
+            bound: Mutex::new(Vec::new()),
         })
     }
 
@@ -198,51 +210,77 @@ impl Fo2Prepared {
         self.branches.iter().map(|b| b.pairs.num_satisfying()).sum()
     }
 
-    /// Multiplies one weight function into the prepared structures, reusing
-    /// the cached binding when the weights repeat.
-    fn bind(&self, weights: &Weights) -> Arc<Fo2Bound> {
-        {
-            let cache = self.bound.lock().expect("fo2 bind cache poisoned");
-            if let Some((cached, bound)) = &*cache {
-                if cached == weights {
-                    return bound.clone();
-                }
-            }
-        }
+    /// Multiplies one weight function into the prepared structures in an
+    /// arbitrary algebra. This is the cheap, per-count half: products and
+    /// sums over the prepared signature multisets, no matrix evaluation.
+    fn bind_in<A: Algebra>(&self, algebra: &A, weights: &AlgebraWeights<A>) -> Fo2BoundIn<A::Elem> {
         let mut effective = weights.clone();
         for p in &self.introduced {
             let pair = self.introduced_weights.pair_of(p);
-            effective.set(p.name(), pair.pos, pair.neg);
+            effective.set(
+                p.name(),
+                algebra.from_weight(&pair.pos),
+                algebra.from_weight(&pair.neg),
+            );
         }
-        let nullary_pairs: Vec<_> = self.nullary.iter().map(|p| effective.pair_of(p)).collect();
+        let nullary_pairs: Vec<_> = self
+            .nullary
+            .iter()
+            .map(|p| effective.pair_of(algebra, p))
+            .collect();
         let mut branches = Vec::new();
         for branch in &self.branches {
-            let mut factor = Weight::one();
-            for (i, pair) in nullary_pairs.iter().enumerate() {
-                factor *= if branch.mask >> i & 1 == 1 {
-                    &pair.pos
-                } else {
-                    &pair.neg
-                };
+            let mut factor = algebra.one();
+            for (i, (pos, neg)) in nullary_pairs.iter().enumerate() {
+                algebra.mul_assign(
+                    &mut factor,
+                    if branch.mask >> i & 1 == 1 { pos } else { neg },
+                );
             }
-            if factor.is_zero() {
+            if algebra.is_zero(&factor) {
                 continue;
             }
-            branches.push(BoundBranch {
+            branches.push(BoundBranchIn {
                 factor,
-                cells: bind_cell_weights(&branch.shapes, &self.space, &effective),
-                table: bind_pair_table(&branch.pairs, &self.space, &effective),
+                u: bind_cell_weights_in(&branch.shapes, &self.space, algebra, &effective),
+                table: bind_pair_table_in(&branch.pairs, &self.space, algebra, &effective),
             });
         }
         let leftover = self
             .leftover
             .iter()
-            .map(|p| (p.clone(), effective.pair_of(p).total()))
+            .map(|p| (p.clone(), effective.total(algebra, p.name())))
             .collect();
-        let bound = Arc::new(Fo2Bound { branches, leftover });
-        *self.bound.lock().expect("fo2 bind cache poisoned") =
-            Some((weights.clone(), bound.clone()));
+        Fo2BoundIn { branches, leftover }
+    }
+
+    /// The exact binding for a weight function, through the keyed LRU cache
+    /// (capacity [`BIND_CACHE_CAPACITY`], most recently used first).
+    fn bind(&self, weights: &Weights) -> Arc<Fo2Bound> {
+        {
+            let mut cache = self.bound.lock().expect("fo2 bind cache poisoned");
+            if let Some(at) = cache.iter().position(|(cached, _)| cached == weights) {
+                let hit = cache.remove(at);
+                let bound = hit.1.clone();
+                cache.insert(0, hit);
+                return bound;
+            }
+        }
+        let bound = Arc::new(self.bind_in(&Exact, &AlgebraWeights::lift(&Exact, weights)));
+        let mut cache = self.bound.lock().expect("fo2 bind cache poisoned");
+        // A concurrent binder may have inserted the same key while the lock
+        // was released; keep the cache duplicate-free.
+        if !cache.iter().any(|(cached, _)| cached == weights) {
+            cache.insert(0, (weights.clone(), bound.clone()));
+            cache.truncate(BIND_CACHE_CAPACITY);
+        }
         bound
+    }
+
+    /// Number of weight bindings currently cached (bounded by the keyed
+    /// LRU's capacity of 8).
+    pub fn cached_bindings(&self) -> usize {
+        self.bound.lock().expect("fo2 bind cache poisoned").len()
     }
 
     /// `WFOMC` of the prepared sentence at domain size `n` under `weights`,
@@ -262,37 +300,87 @@ impl Fo2Prepared {
         }
 
         let bound = self.bind(weights);
+        // The exact engine clears rational denominators before the DFS.
+        self.sum_bound(&Exact, bound.as_ref(), n, allow_parallel, |b, parallel| {
+            cell_sum_weights(&b.u, &b.table, n, parallel)
+        })
+    }
+
+    /// [`count`](Self::count) in an arbitrary [`Algebra`]: binds the weight
+    /// function in the ring and runs the same prefix-sharing engine.
+    ///
+    /// Exact-rational callers should prefer [`count`](Self::count): this
+    /// generic path neither caches bindings (only the exact path keeps the
+    /// keyed LRU — its `Weights` keys are comparable and its bindings
+    /// dominate repeat workloads) nor clears rational denominators before
+    /// the DFS (a `BigRational`-specific optimization the exact wrapper
+    /// applies), so `count_in(&Exact, …)` returns identical values slower.
+    pub fn count_in<A: Algebra>(
+        &self,
+        n: usize,
+        algebra: &A,
+        weights: &AlgebraWeights<A>,
+        allow_parallel: bool,
+    ) -> (A::Elem, Fo2Stats) {
+        // n = 0: there is exactly one (empty) structure; its weight is 1.
+        if n == 0 {
+            let value = if evaluate(&self.sentence, &Structure::empty(0)) {
+                algebra.one()
+            } else {
+                algebra.zero()
+            };
+            return (value, Fo2Stats::default());
+        }
+
+        let bound = self.bind_in(algebra, weights);
+        self.sum_bound(algebra, &bound, n, allow_parallel, |b, parallel| {
+            cell_sum_elems(algebra, &b.u, &b.table, n, parallel)
+        })
+    }
+
+    /// Shared evaluation tail of [`count`](Self::count) and
+    /// [`count_in`](Self::count_in): leftover-predicate factors, branch
+    /// evaluation (parallel when allowed), stats accumulation.
+    fn sum_bound<A: Algebra>(
+        &self,
+        algebra: &A,
+        bound: &Fo2BoundIn<A::Elem>,
+        n: usize,
+        allow_parallel: bool,
+        eval: impl Fn(&BoundBranchIn<A::Elem>, bool) -> (A::Elem, CellSumStats) + Sync,
+    ) -> (A::Elem, Fo2Stats) {
         let mut stats = Fo2Stats {
             introduced_predicates: self.introduced.len(),
             shannon_branches: self.shannon_branches(),
             ..Fo2Stats::default()
         };
-        let mut leftover = Weight::one();
+        let mut leftover = algebra.one();
         for (p, total) in &bound.leftover {
-            leftover *= weight_pow(total, p.num_ground_tuples(n));
+            algebra.mul_assign(&mut leftover, &algebra.pow(total, p.num_ground_tuples(n)));
         }
 
-        let mut total = Weight::zero();
+        let mut total = algebra.zero();
         for (branch, (value, branch_stats)) in
             bound
                 .branches
                 .iter()
-                .zip(evaluate_bound(&bound.branches, n, allow_parallel))
+                .zip(evaluate_bound(&bound.branches, n, allow_parallel, &eval))
         {
             stats.absorb_cell_sum(&branch_stats);
-            total += &branch.factor * value;
+            algebra.add_assign(&mut total, &algebra.mul(&branch.factor, &value));
         }
-        (leftover * total, stats)
+        (algebra.mul(&leftover, &total), stats)
     }
 }
 
 /// Evaluates the bound Shannon branches, fanning them over scoped threads
 /// when allowed and worthwhile. Results are aligned with the input order.
-fn evaluate_bound(
-    branches: &[BoundBranch],
+fn evaluate_bound<E: Clone + Send + Sync, S: Send>(
+    branches: &[BoundBranchIn<E>],
     n: usize,
     allow_parallel: bool,
-) -> Vec<(Weight, CellSumStats)> {
+    eval: &(impl Fn(&BoundBranchIn<E>, bool) -> S + Sync),
+) -> Vec<S> {
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
@@ -302,10 +390,7 @@ fn evaluate_bound(
         1
     };
     if workers <= 1 {
-        return branches
-            .iter()
-            .map(|b| cell_sum_bound(&b.cells, &b.table, n, allow_parallel))
-            .collect();
+        return branches.iter().map(|b| eval(b, allow_parallel)).collect();
     }
     // With fewer branch workers than cores, let each branch's engine split
     // its top level too (its own composition-count threshold still applies).
@@ -319,12 +404,12 @@ fn evaluate_bound(
                         .enumerate()
                         .skip(t)
                         .step_by(workers)
-                        .map(|(i, b)| (i, cell_sum_bound(&b.cells, &b.table, n, parallel_within)))
+                        .map(|(i, b)| (i, eval(b, parallel_within)))
                         .collect::<Vec<_>>()
                 })
             })
             .collect();
-        let mut out: Vec<Option<(Weight, CellSumStats)>> = vec![None; branches.len()];
+        let mut out: Vec<Option<S>> = branches.iter().map(|_| None).collect();
         for handle in handles {
             for (i, result) in handle.join().expect("Shannon-branch worker panicked") {
                 out[i] = Some(result);
@@ -385,6 +470,70 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second), "same weights reuse binding");
         let other = prepared.bind(&Weights::ones());
         assert!(!Arc::ptr_eq(&first, &other), "new weights rebind");
+    }
+
+    #[test]
+    fn binding_cache_is_a_keyed_lru() {
+        // An alternating sweep over several weight functions must not thrash:
+        // every function in a working set of ≤ capacity keeps its binding.
+        let sentence = catalog::table1_sentence();
+        let voc = sentence.vocabulary();
+        let prepared = Fo2Prepared::prepare(&sentence, &voc).unwrap();
+        let sweep: Vec<Weights> = (0..4)
+            .map(|i| Weights::from_ints([("R", i + 2, 1)]))
+            .collect();
+        let firsts: Vec<_> = sweep.iter().map(|w| prepared.bind(w)).collect();
+        // Second pass, alternating order: all hits.
+        for (w, first) in sweep.iter().zip(&firsts).rev() {
+            assert!(
+                Arc::ptr_eq(first, &prepared.bind(w)),
+                "alternating sweep must hit the LRU"
+            );
+        }
+        assert_eq!(prepared.cached_bindings(), sweep.len());
+        // Overflowing the capacity evicts the least recently used binding
+        // (the last re-bound entry of the sweep is the most recent).
+        for i in 0..super::BIND_CACHE_CAPACITY {
+            let _ = prepared.bind(&Weights::from_ints([("T", i as i64 + 2, 1)]));
+        }
+        assert_eq!(prepared.cached_bindings(), super::BIND_CACHE_CAPACITY);
+        assert!(
+            !Arc::ptr_eq(&firsts[3], &prepared.bind(&sweep[3])),
+            "evicted weights rebind"
+        );
+    }
+
+    #[test]
+    fn count_in_exact_matches_count_and_other_algebras_track_it() {
+        use wfomc_logic::algebra::{AlgebraWeights, Exact, LogF64, Poly};
+
+        let sentence = catalog::smokers_constraint();
+        let voc = sentence.vocabulary();
+        let prepared = Fo2Prepared::prepare(&sentence, &voc).unwrap();
+        let weights = Weights::from_ints([("Smokes", 3, 1), ("Friends", 1, 2)]);
+        for n in 0..=5 {
+            let (exact, exact_stats) = prepared.count(n, &weights, false);
+            // Exact algebra through the generic path: identical values.
+            let (generic, generic_stats) =
+                prepared.count_in(n, &Exact, &AlgebraWeights::lift(&Exact, &weights), false);
+            assert_eq!(exact, generic, "n = {n}");
+            assert_eq!(exact_stats, generic_stats, "n = {n}");
+            // LogF64 tracks the exact value within floating tolerance.
+            let (log, _) =
+                prepared.count_in(n, &LogF64, &AlgebraWeights::lift(&LogF64, &weights), false);
+            let expected = LogF64.from_weight(&exact);
+            assert_eq!(log.signum(), expected.signum(), "n = {n}");
+            if !exact.is_zero() {
+                assert!(
+                    (log.ln_abs() - expected.ln_abs()).abs() < 1e-9,
+                    "n = {n}: {log} vs {expected}"
+                );
+            }
+            // Poly with constant weights is a degree-0 polynomial.
+            let (poly, _) =
+                prepared.count_in(n, &Poly, &AlgebraWeights::lift(&Poly, &weights), false);
+            assert_eq!(poly.coeff(0), exact, "n = {n}");
+        }
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! * [`normal`] — the three weight-preserving transformations of §3.1:
 //!   Skolemization (Lemma 3.3, existential quantifiers removed with a fresh
 //!   predicate of weight (1, −1)), negation removal (Lemma 3.4) and equality
-//!   removal (Lemma 3.5, via polynomial interpolation over an oracle);
+//!   removal (Lemma 3.5 — by default one symbolic evaluation in the
+//!   polynomial algebra, with the interpolation protocol kept as a
+//!   differential oracle);
 //! * [`fo2`] — the PTIME data-complexity algorithm for FO² (Appendix C):
 //!   Scott normal form, Skolemization, Shannon expansion over nullary
 //!   predicates and the 1-type / cell decomposition sum;
@@ -28,7 +30,10 @@
 //!   *once* by [`solver::Solver::plan`] into a [`plan::Plan`] (method
 //!   selection, FO² normalization + cell decomposition, CQ recognition, a
 //!   domain-size-keyed grounding/circuit cache), and then evaluated cheaply
-//!   at any number of `(n, weights)` points.
+//!   at any number of `(n, weights)` points — in any evaluation algebra
+//!   (exact rationals, log-space floats, polynomials) via
+//!   [`plan::Plan::count_in`], since plan-time analysis is weight- and
+//!   algebra-independent.
 //!
 //! Every lifted path is cross-validated against brute-force structure
 //! enumeration and the grounded lineage pipeline in this crate's tests and in

@@ -6,13 +6,26 @@
 //! polynomial `f(z)` of degree at most `n²` whose monomials all have degree
 //! ≥ n (the diagonal is forced). Worlds where `|E| = n` are exactly those
 //! interpreting `E` as true equality, so the coefficient of `zⁿ` equals
-//! `WFOMC(Φ, n, w, w̄)`. The coefficient is recovered by evaluating `f` at
-//! polynomially many points and interpolating; we use `n² + 1` evaluation
-//! points, which pins the whole polynomial down exactly.
+//! `WFOMC(Φ, n, w, w̄)`.
+//!
+//! Two ways to get at that coefficient:
+//!
+//! * **Symbolically** (the default, [`wfomc_via_equality_removal`]): give
+//!   `E` the indeterminate [`wfomc_logic::poly::Polynomial::x`] as its
+//!   weight and evaluate the
+//!   rewritten sentence **once** in the [`Poly`] algebra — every lifted (or
+//!   grounded) algorithm then computes `f` itself, coefficient-exactly, in
+//!   a single run.
+//! * **By interpolation** (the literal Lemma 3.5 protocol,
+//!   [`wfomc_via_equality_removal_interpolated`] and the oracle/compiled
+//!   variants): evaluate `f` at `n² + 1` rational points and Lagrange-
+//!   interpolate. Kept as the differential oracle for the symbolic path.
 
 use num_traits::{One, Zero};
 
 use wfomc_ground::CompiledWfomc;
+use wfomc_logic::algebra::Poly;
+use wfomc_logic::poly::lift_with_indeterminate;
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::term::Term;
 use wfomc_logic::vocabulary::{Predicate, Vocabulary};
@@ -59,17 +72,50 @@ pub fn remove_equality(formula: &Formula, vocabulary: &Vocabulary) -> EqualityFr
     }
 }
 
-/// Computes `WFOMC(Φ, n, w, w̄)` for a sentence Φ *with* equality through the
-/// plan-then-execute solver: the rewritten sentence is analyzed **once** into
-/// a [`crate::Plan`] and the `n² + 1` interpolation points are evaluated as a
-/// batch on that plan.
+/// Computes `WFOMC(Φ, n, w, w̄)` for a sentence Φ *with* equality by **one**
+/// lifted evaluation in the [`Poly`] algebra: the fresh predicate `E` gets
+/// the indeterminate `z` as its weight (`w(E) = z`, `w̄(E) = 1`), the
+/// plan-then-execute solver computes the Eq-weight polynomial `f(z)`
+/// symbolically, and the answer is the coefficient of `zⁿ`.
 ///
-/// When the rewritten sentence is FO² this reuses one FO² analysis (normal
-/// form, cells, pair structures) across all points, rebinding only the
-/// weights; when it is not, the plan's grounded path compiles one d-DNNF
-/// circuit and evaluates it `n² + 1` times (for the circuit backend), exactly
-/// like [`wfomc_via_equality_removal_compiled`].
+/// When the rewritten sentence is FO² this is one run of the cell-sum engine
+/// over polynomial-valued cells; when it is not, the plan's grounded path
+/// compiles one d-DNNF circuit and evaluates it once over polynomial
+/// weights. Either way there are no interpolation points on this path — the
+/// `n² + 1`-point Lagrange protocol survives as
+/// [`wfomc_via_equality_removal_interpolated`], the differential oracle.
 pub fn wfomc_via_equality_removal(
+    formula: &Formula,
+    vocabulary: &Vocabulary,
+    n: usize,
+    weights: &Weights,
+) -> Weight {
+    let rewritten = remove_equality(formula, vocabulary);
+    let problem = Problem::new(rewritten.formula.clone())
+        .with_vocabulary(rewritten.vocabulary.clone())
+        .with_weights(weights.clone());
+    let plan = Solver::builder()
+        .ground_backend(wfomc_prop::WmcBackend::Circuit)
+        .build()
+        .plan(&problem)
+        .expect("the rewritten sentence is closed and the grounded fallback always applies");
+
+    let poly_weights = lift_with_indeterminate(weights, rewritten.equality_predicate.name());
+    let f = plan
+        .count_in(n, &Poly, &poly_weights)
+        .expect("plan evaluation cannot fail after planning succeeded");
+    f.coeff(n)
+}
+
+/// Computes `WFOMC(Φ, n, w, w̄)` through the literal Lemma 3.5 protocol: the
+/// rewritten sentence is analyzed **once** into a [`crate::Plan`] and the
+/// `n² + 1` interpolation points `w(E) = 0, 1, …, n²` are evaluated as a
+/// batch on that plan, then Lagrange-interpolated.
+///
+/// This was the default path before the [`Poly`] algebra existed; it is kept
+/// as the differential-testing oracle for [`wfomc_via_equality_removal`]
+/// (and because it is the protocol the paper states).
+pub fn wfomc_via_equality_removal_interpolated(
     formula: &Formula,
     vocabulary: &Vocabulary,
     n: usize,
@@ -263,8 +309,8 @@ mod tests {
 
     #[test]
     fn planned_equality_removal_matches_the_oracle_protocol() {
-        // The rewritten sentence is FO² here, so the planned variant
-        // evaluates one FO² analysis at all n² + 1 points.
+        // The rewritten sentence is FO² here, so the symbolic variant is one
+        // FO² evaluation over polynomial-valued cells.
         let f = forall(["x", "y"], or(vec![atom("R", &["x", "y"]), eq("x", "y")]));
         let voc = f.vocabulary();
         let weights = Weights::from_ints([("R", 2, 3)]);
@@ -329,6 +375,30 @@ mod tests {
         let via_circuit = wfomc_via_equality_removal_compiled(&f, &voc, n, &Weights::ones());
         assert_eq!(via_oracle, via_circuit);
         assert_eq!(via_circuit, weight_int(16));
+    }
+
+    #[test]
+    fn symbolic_path_matches_the_interpolation_oracle() {
+        // The Poly-algebra default against the n² + 1-point Lagrange
+        // protocol, on an FO² rewrite and on a grounded (FO³) rewrite, with
+        // zero and negative weights in the mix.
+        let fo2 = forall(["x", "y"], or(vec![atom("R", &["x", "y"]), eq("x", "y")]));
+        let fo3 = catalog::extension_axiom();
+        for (f, max_n) in [(fo2, 3), (fo3, 2)] {
+            let voc = f.vocabulary();
+            for weights in [
+                Weights::ones(),
+                Weights::from_ints([("R", 2, 3), ("E", 1, 1)]),
+                Weights::from_ints([("R", 0, -2), ("E", -1, 2)]),
+            ] {
+                for n in 0..=max_n {
+                    let symbolic = wfomc_via_equality_removal(&f, &voc, n, &weights);
+                    let interpolated =
+                        wfomc_via_equality_removal_interpolated(&f, &voc, n, &weights);
+                    assert_eq!(symbolic, interpolated, "{f} at n = {n}");
+                }
+            }
+        }
     }
 
     #[test]

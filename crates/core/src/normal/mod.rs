@@ -20,7 +20,7 @@ pub mod skolem;
 
 pub use equality::{
     remove_equality, wfomc_via_equality_removal, wfomc_via_equality_removal_compiled,
-    wfomc_via_equality_removal_with_oracle, EqualityFree,
+    wfomc_via_equality_removal_interpolated, wfomc_via_equality_removal_with_oracle, EqualityFree,
 };
 pub use negation::{remove_negation, NegationFree};
 pub use skolem::{skolemize, Skolemized};

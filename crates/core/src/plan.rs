@@ -41,17 +41,18 @@ use std::sync::{Arc, Mutex, OnceLock};
 use num_traits::{One, Zero};
 
 use wfomc_ground::{CompiledWfomc, Lineage};
+use wfomc_logic::algebra::{Algebra, AlgebraWeights};
 use wfomc_logic::cq::ConjunctiveQuery;
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::vocabulary::{Predicate, Vocabulary};
 use wfomc_logic::weights::{weight_pow, Weight, Weights};
-use wfomc_prop::counter::wmc_formula_via;
+use wfomc_prop::counter::{wmc_formula_via, wmc_formula_via_in};
 use wfomc_prop::WmcBackend;
 
 use crate::cq::gamma_acyclic::{gamma_acyclic_probability, gamma_acyclic_wfomc_memo, CqMemo};
 use crate::error::LiftError;
 use crate::fo2::Fo2Prepared;
-use crate::qs4::{is_qs4, wfomc_qs4};
+use crate::qs4::{is_qs4, wfomc_qs4, wfomc_qs4_in};
 use crate::solver::{Method, Solver, SolverReport};
 
 /// A counting problem: a sentence, the vocabulary it is counted over, and a
@@ -155,10 +156,63 @@ struct GroundInstance {
 }
 
 /// The domain-size-keyed grounding cache (used by the Ground method and as
-/// the weight-dependent fallback of the CQ method).
+/// the weight-dependent fallback of the CQ method), with optional LRU
+/// eviction for long-lived sweep processes
+/// ([`crate::SolverBuilder::ground_cache_capacity`]).
 #[derive(Debug, Default)]
 struct GroundPrep {
-    instances: Mutex<HashMap<usize, Arc<GroundInstance>>>,
+    instances: Mutex<GroundCache>,
+}
+
+#[derive(Debug, Default)]
+struct GroundCache {
+    /// Instance plus last-use stamp, keyed by domain size.
+    map: HashMap<usize, (Arc<GroundInstance>, u64)>,
+    /// Monotone use counter backing the LRU stamps.
+    clock: u64,
+}
+
+impl GroundPrep {
+    /// The cached instance for domain size `n`, building (inside the lock,
+    /// so concurrent callers never ground twice) and evicting the least
+    /// recently used entries beyond `capacity` on a miss.
+    fn instance(
+        &self,
+        n: usize,
+        capacity: Option<usize>,
+        build: impl FnOnce() -> GroundInstance,
+    ) -> Arc<GroundInstance> {
+        let mut cache = self.instances.lock().expect("ground cache poisoned");
+        cache.clock += 1;
+        let now = cache.clock;
+        if let Some((instance, stamp)) = cache.map.get_mut(&n) {
+            *stamp = now;
+            return instance.clone();
+        }
+        let instance = Arc::new(build());
+        cache.map.insert(n, (instance.clone(), now));
+        if let Some(capacity) = capacity {
+            while cache.map.len() > capacity.max(1) {
+                let evict = cache
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .map(|(&k, _)| k)
+                    .expect("non-empty cache has an LRU entry");
+                cache.map.remove(&evict);
+            }
+        }
+        instance
+    }
+
+    /// Number of groundings currently cached.
+    fn len(&self) -> usize {
+        self.instances
+            .lock()
+            .expect("ground cache poisoned")
+            .map
+            .len()
+    }
 }
 
 /// An analyzed counting problem, ready to be evaluated at many domain sizes
@@ -303,6 +357,11 @@ impl Plan {
     /// Evaluates many independent `(n, weights)` points, fanning them over
     /// scoped threads (each point then evaluates serially, so the machine is
     /// not oversubscribed). Results are in input order.
+    ///
+    /// CQ-method plans give each worker its own clone of the shared
+    /// reduction memo and fold the workers' discoveries back in afterwards,
+    /// so the points run truly concurrently instead of serializing on one
+    /// memo lock.
     pub fn count_batch(&self, points: &[(usize, Weights)]) -> Result<Vec<SolverReport>, LiftError> {
         let cores = std::thread::available_parallelism()
             .map(|c| c.get())
@@ -314,32 +373,53 @@ impl Plan {
                 .map(|(n, w)| self.count_inner(*n, w, true))
                 .collect();
         }
-        std::thread::scope(|scope| {
+        let shared_memo = match &self.state {
+            PlanState::Cq { memo, .. } => Some(memo),
+            _ => None,
+        };
+        let (results, worker_memos) = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|t| {
+                    // Clone-in: a private memo snapshot per worker.
+                    let mut local: Option<CqMemo> =
+                        shared_memo.map(|memo| memo.lock().expect("cq memo poisoned").clone());
                     scope.spawn(move || {
-                        points
+                        let results = points
                             .iter()
                             .enumerate()
                             .skip(t)
                             .step_by(workers)
-                            .map(|(i, (n, w))| (i, self.count_inner(*n, w, false)))
-                            .collect::<Vec<_>>()
+                            .map(|(i, (n, w))| (i, self.count_point(*n, w, false, local.as_mut())))
+                            .collect::<Vec<_>>();
+                        (results, local)
                     })
                 })
                 .collect();
             let mut slots: Vec<Option<Result<SolverReport, LiftError>>> =
                 (0..points.len()).map(|_| None).collect();
+            let mut locals = Vec::new();
             for handle in handles {
-                for (i, result) in handle.join().expect("count_batch worker panicked") {
+                let (results, local) = handle.join().expect("count_batch worker panicked");
+                for (i, result) in results {
                     slots[i] = Some(result);
                 }
+                locals.extend(local);
             }
-            slots
+            let results: Result<Vec<SolverReport>, LiftError> = slots
                 .into_iter()
                 .map(|r| r.expect("every point evaluated"))
-                .collect()
-        })
+                .collect();
+            (results, locals)
+        });
+        // Merge-out: every residual shape any worker discovered becomes
+        // available to future counts.
+        if let Some(memo) = shared_memo {
+            let mut memo = memo.lock().expect("cq memo poisoned");
+            for local in worker_memos {
+                memo.absorb(local);
+            }
+        }
+        results
     }
 
     /// The probability of the sentence at domain size `n` under the problem's
@@ -415,11 +495,7 @@ impl Plan {
                     "counts ground per domain size with backend {:?}; {} grounding(s) cached, \
                      circuit-backend evaluations compile one d-DNNF per domain size",
                     self.solver.ground_backend,
-                    self.ground
-                        .instances
-                        .lock()
-                        .expect("ground cache poisoned")
-                        .len(),
+                    self.ground.len(),
                 ));
             }
         }
@@ -434,6 +510,19 @@ impl Plan {
         n: usize,
         weights: &Weights,
         allow_parallel: bool,
+    ) -> Result<SolverReport, LiftError> {
+        self.count_point(n, weights, allow_parallel, None)
+    }
+
+    /// One evaluation point. `cq_memo` optionally overrides the plan's
+    /// shared CQ memo with a caller-private one (the batch workers' clone-in
+    /// memos); `None` uses the shared memo behind its lock.
+    fn count_point(
+        &self,
+        n: usize,
+        weights: &Weights,
+        allow_parallel: bool,
+        cq_memo: Option<&mut CqMemo>,
     ) -> Result<SolverReport, LiftError> {
         match &self.state {
             PlanState::Qs4 { extra } => {
@@ -455,9 +544,12 @@ impl Plan {
                 })
             }
             PlanState::Cq { query, extra, memo } => {
-                let result = {
-                    let mut memo = memo.lock().expect("cq memo poisoned");
-                    gamma_acyclic_wfomc_memo(query, n, weights, &mut memo)
+                let result = match cq_memo {
+                    Some(local) => gamma_acyclic_wfomc_memo(query, n, weights, local),
+                    None => {
+                        let mut memo = memo.lock().expect("cq memo poisoned");
+                        gamma_acyclic_wfomc_memo(query, n, weights, &mut memo)
+                    }
                 };
                 match result {
                     Ok(value) => Ok(SolverReport {
@@ -479,21 +571,21 @@ impl Plan {
         }
     }
 
+    /// The cached grounding for domain size `n` (built on first use, LRU
+    /// eviction when the solver bounds the cache).
+    fn ground_instance(&self, n: usize) -> Arc<GroundInstance> {
+        self.ground
+            .instance(n, self.solver.ground_cache_capacity, || GroundInstance {
+                lineage: Lineage::build(&self.sentence, &self.vocabulary, n),
+                compiled: OnceLock::new(),
+            })
+    }
+
     /// One grounded evaluation: the lineage is cached per domain size, and
     /// the circuit backend additionally caches a compiled d-DNNF per `n`, so
     /// repeated counts cost one linear circuit pass each.
     fn ground_count(&self, n: usize, weights: &Weights) -> SolverReport {
-        let instance = {
-            let mut map = self.ground.instances.lock().expect("ground cache poisoned");
-            map.entry(n)
-                .or_insert_with(|| {
-                    Arc::new(GroundInstance {
-                        lineage: Lineage::build(&self.sentence, &self.vocabulary, n),
-                        compiled: OnceLock::new(),
-                    })
-                })
-                .clone()
-        };
+        let instance = self.ground_instance(n);
         let backend = self.solver.ground_backend;
         let value = match backend {
             WmcBackend::Circuit => instance
@@ -511,6 +603,159 @@ impl Plan {
             method: Method::Ground,
             backend: Some(backend),
             fo2_stats: None,
+        }
+    }
+
+    /// Symmetric WFOMC at domain size `n` in an arbitrary [`Algebra`] — the
+    /// same plan, the same prepared analysis, a different ring:
+    ///
+    /// * **QS4** runs its dynamic program over the ring;
+    /// * **FO²** binds the algebra-valued weights to the prepared cells and
+    ///   signature multisets and runs the prefix-sharing engine;
+    /// * **Ground** evaluates the cached lineage (or compiled d-DNNF, for
+    ///   the circuit backend) in the ring;
+    /// * **γ-acyclic CQ** plans ground here: the CQ reduction's probability
+    ///   bookkeeping needs divisions an arbitrary ring may not have, while
+    ///   grounded evaluation is fully ring-generic. (Exact counts keep using
+    ///   the lifted CQ algorithm through [`count`](Self::count).) This
+    ///   requires the solver's grounded fallback, which is on by default.
+    ///
+    /// For exact-rational evaluation prefer [`count`](Self::count): it keeps
+    /// the FO² weight-binding LRU and the denominator-clearing fast path,
+    /// which this generic entry point bypasses (identical values, slower).
+    ///
+    /// ```
+    /// use wfomc_core::Problem;
+    /// use wfomc_logic::algebra::{Algebra, AlgebraWeights, LogF64};
+    /// use wfomc_logic::{catalog, weights::Weights};
+    ///
+    /// let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+    /// let exact = plan.count(4, &Weights::ones()).unwrap().value;
+    /// let log = plan
+    ///     .count_in(4, &LogF64, &AlgebraWeights::lift(&LogF64, &Weights::ones()))
+    ///     .unwrap();
+    /// assert!((log.ln_abs() - LogF64.from_weight(&exact).ln_abs()).abs() < 1e-9);
+    /// ```
+    pub fn count_in<A: Algebra>(
+        &self,
+        n: usize,
+        algebra: &A,
+        weights: &AlgebraWeights<A>,
+    ) -> Result<A::Elem, LiftError> {
+        self.count_in_inner(n, algebra, weights, true)
+    }
+
+    fn count_in_inner<A: Algebra>(
+        &self,
+        n: usize,
+        algebra: &A,
+        weights: &AlgebraWeights<A>,
+        allow_parallel: bool,
+    ) -> Result<A::Elem, LiftError> {
+        match &self.state {
+            PlanState::Qs4 { extra } => Ok(algebra.mul(
+                &wfomc_qs4_in(n, algebra, weights),
+                &predicate_factor_in(extra, n, algebra, weights),
+            )),
+            PlanState::Fo2(prepared) => {
+                Ok(prepared.count_in(n, algebra, weights, allow_parallel).0)
+            }
+            PlanState::Cq { .. } if !self.solver.allow_ground_fallback => Err(no_lifted_method()),
+            PlanState::Cq { .. } | PlanState::Ground => {
+                Ok(self.ground_count_in(n, algebra, weights))
+            }
+        }
+    }
+
+    /// [`count_batch`](Self::count_batch) in an arbitrary [`Algebra`]:
+    /// results are ring elements in input order.
+    pub fn count_batch_in<A: Algebra>(
+        &self,
+        points: &[(usize, AlgebraWeights<A>)],
+        algebra: &A,
+    ) -> Result<Vec<A::Elem>, LiftError> {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let workers = cores.min(points.len());
+        if workers <= 1 {
+            return points
+                .iter()
+                .map(|(n, w)| self.count_in_inner(*n, algebra, w, true))
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|t| {
+                    scope.spawn(move || {
+                        points
+                            .iter()
+                            .enumerate()
+                            .skip(t)
+                            .step_by(workers)
+                            .map(|(i, (n, w))| (i, self.count_in_inner(*n, algebra, w, false)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<Result<A::Elem, LiftError>>> =
+                (0..points.len()).map(|_| None).collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("count_batch_in worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+            slots
+                .into_iter()
+                .map(|r| r.expect("every point evaluated"))
+                .collect()
+        })
+    }
+
+    /// [`probability`](Self::probability) in an arbitrary [`Algebra`] with
+    /// division (e.g. [`wfomc_logic::algebra::LogF64`] for serving-speed
+    /// marginals): `WFOMC(Φ) / WFOMC(true)` under the given weights.
+    ///
+    /// Fails with [`LiftError::NoProbabilityNormalization`] when the
+    /// normalization constant is zero or the algebra cannot divide by it
+    /// (e.g. a non-constant polynomial in the [`wfomc_logic::algebra::Poly`]
+    /// algebra that does not divide the numerator).
+    pub fn probability_in<A: Algebra>(
+        &self,
+        n: usize,
+        algebra: &A,
+        weights: &AlgebraWeights<A>,
+    ) -> Result<A::Elem, LiftError> {
+        let count = self.count_in(n, algebra, weights)?;
+        let normalization = weights.wfomc_of_true(algebra, &self.vocabulary, n);
+        algebra.try_div(&count, &normalization).ok_or_else(|| {
+            LiftError::NoProbabilityNormalization {
+                predicate: "<vocabulary>".to_string(),
+            }
+        })
+    }
+
+    /// One grounded evaluation in an arbitrary algebra, against the same
+    /// per-domain-size lineage / d-DNNF cache as the exact path — compiling
+    /// once serves every ring.
+    fn ground_count_in<A: Algebra>(
+        &self,
+        n: usize,
+        algebra: &A,
+        weights: &AlgebraWeights<A>,
+    ) -> A::Elem {
+        let instance = self.ground_instance(n);
+        match self.solver.ground_backend {
+            WmcBackend::Circuit => instance
+                .compiled
+                .get_or_init(|| CompiledWfomc::from_lineage(instance.lineage.clone()))
+                .wfomc_in(algebra, weights),
+            backend => wmc_formula_via_in(
+                &instance.lineage.prop,
+                algebra,
+                &instance.lineage.weights_in(algebra, weights),
+                backend,
+            ),
         }
     }
 }
@@ -555,6 +800,21 @@ fn predicate_factor(extra: &[Predicate], n: usize, weights: &Weights) -> Weight 
     let mut factor = Weight::one();
     for p in extra {
         factor *= weight_pow(&weights.pair_of(p).total(), p.num_ground_tuples(n));
+    }
+    factor
+}
+
+/// [`predicate_factor`] in an arbitrary algebra.
+fn predicate_factor_in<A: Algebra>(
+    extra: &[Predicate],
+    n: usize,
+    algebra: &A,
+    weights: &AlgebraWeights<A>,
+) -> A::Elem {
+    let mut factor = algebra.one();
+    for p in extra {
+        let total = weights.total(algebra, p.name());
+        algebra.mul_assign(&mut factor, &algebra.pow(&total, p.num_ground_tuples(n)));
     }
     factor
 }
@@ -775,6 +1035,170 @@ mod tests {
         assert!(cq.explain().to_string().contains("γ-acyclic"), "cq explain");
     }
 
+    #[test]
+    fn count_in_matches_exact_across_all_methods() {
+        use wfomc_logic::algebra::{Algebra, AlgebraWeights, Exact, LogF64, Poly};
+
+        let solver = Solver::new();
+        let weights = Weights::from_ints([("R", 2, 1), ("S", 1, 3), ("T", 5, 1), ("R1", 2, 1)]);
+        for (sentence, method, max_n) in four_methods() {
+            let plan = solver.plan(&Problem::new(sentence.clone())).unwrap();
+            for n in 0..=max_n {
+                let exact = plan.count(n, &weights).unwrap().value;
+                // Exact algebra through the generic entry point.
+                let generic = plan
+                    .count_in(n, &Exact, &AlgebraWeights::lift(&Exact, &weights))
+                    .unwrap();
+                assert_eq!(exact, generic, "{sentence} ({method:?}) at n={n}");
+                // Log-space floats track the exact value.
+                let log = plan
+                    .count_in(n, &LogF64, &AlgebraWeights::lift(&LogF64, &weights))
+                    .unwrap();
+                let expected = LogF64.from_weight(&exact);
+                assert_eq!(log.signum(), expected.signum(), "{sentence} at n={n}");
+                if !exact.is_zero() {
+                    assert!(
+                        (log.ln_abs() - expected.ln_abs()).abs() < 1e-9,
+                        "{sentence} at n={n}"
+                    );
+                }
+                // Constant polynomials give a degree-0 polynomial.
+                let poly = plan
+                    .count_in(n, &Poly, &AlgebraWeights::lift(&Poly, &weights))
+                    .unwrap();
+                assert_eq!(poly.coeff(0), exact, "{sentence} at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_batch_in_matches_count_in() {
+        use wfomc_logic::algebra::{AlgebraWeights, Poly};
+        use wfomc_logic::poly::Polynomial;
+
+        let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+        // Polynomial weight sweeps: R's weight is the indeterminate.
+        let points: Vec<(usize, AlgebraWeights<Poly>)> = (0..=5)
+            .map(|n| {
+                let mut w = AlgebraWeights::lift(&Poly, &Weights::ones());
+                w.set("R", Polynomial::x(), Polynomial::one());
+                (n, w)
+            })
+            .collect();
+        let batch = plan.count_batch_in(&points, &Poly).unwrap();
+        assert_eq!(batch.len(), points.len());
+        for (result, (n, w)) in batch.iter().zip(&points) {
+            assert_eq!(result, &plan.count_in(*n, &Poly, w).unwrap(), "n = {n}");
+        }
+        // The polynomial evaluated at a sample point matches an exact count
+        // with that weight.
+        let at_three = batch[4].eval(&weight_int(3));
+        let exact = plan
+            .count(4, &Weights::from_ints([("R", 3, 1)]))
+            .unwrap()
+            .value;
+        assert_eq!(at_three, exact);
+    }
+
+    #[test]
+    fn probability_in_divides_by_the_normalization() {
+        use wfomc_logic::algebra::{AlgebraWeights, Exact, LogF64};
+
+        let sentence = catalog::exists_unary();
+        let mut weights = Weights::ones();
+        weights.set_probability("S", weight_ratio(1, 3));
+        let plan = Problem::new(sentence)
+            .with_weights(weights.clone())
+            .plan()
+            .unwrap();
+        let exact = plan
+            .probability_in(2, &Exact, &AlgebraWeights::lift(&Exact, &weights))
+            .unwrap();
+        assert_eq!(exact, weight_ratio(5, 9));
+        let log = plan
+            .probability_in(2, &LogF64, &AlgebraWeights::lift(&LogF64, &weights))
+            .unwrap();
+        assert!((log.to_f64() - 5.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cq_plans_ground_under_generic_algebras() {
+        use wfomc_logic::algebra::{AlgebraWeights, Exact, LogF64};
+
+        let sentence = catalog::chain_query(3).to_formula();
+        let plan = Solver::new().plan(&Problem::new(sentence.clone())).unwrap();
+        assert_eq!(plan.method(), Method::GammaAcyclicCq);
+        let weights = Weights::from_ints([("R1", 2, 1), ("R2", 1, 3)]);
+        let exact = plan.count(2, &weights).unwrap().value;
+        let generic = plan
+            .count_in(2, &Exact, &AlgebraWeights::lift(&Exact, &weights))
+            .unwrap();
+        assert_eq!(exact, generic);
+        let log = plan
+            .count_in(2, &LogF64, &AlgebraWeights::lift(&LogF64, &weights))
+            .unwrap();
+        let expected = LogF64.from_weight(&exact);
+        assert_eq!(log.signum(), expected.signum());
+        assert!((log.ln_abs() - expected.ln_abs()).abs() < 1e-9);
+        // Lifted-only solvers refuse: the generic CQ path needs grounding.
+        let lifted_only = Solver::builder().ground_fallback(false).build();
+        let plan = lifted_only.plan(&Problem::new(sentence)).unwrap();
+        assert!(plan
+            .count_in(2, &LogF64, &AlgebraWeights::lift(&LogF64, &weights))
+            .is_err());
+    }
+
+    #[test]
+    fn ground_cache_capacity_bounds_and_evicts_lru() {
+        let solver = Solver::builder().ground_cache_capacity(2).build();
+        let plan = solver.plan(&Problem::new(catalog::transitivity())).unwrap();
+        for n in [1usize, 2, 3] {
+            let _ = plan.count(n, &Weights::ones()).unwrap();
+        }
+        assert_eq!(plan.ground.len(), 2, "capacity bounds the cache");
+        // n = 1 was the least recently used, so it was evicted; touching
+        // n = 3 then adding n = 1 must evict n = 2.
+        let _ = plan.count(3, &Weights::ones()).unwrap();
+        let _ = plan.count(1, &Weights::ones()).unwrap();
+        assert_eq!(plan.ground.len(), 2);
+        let cached: Vec<usize> = {
+            let cache = plan.ground.instances.lock().unwrap();
+            let mut keys: Vec<usize> = cache.map.keys().copied().collect();
+            keys.sort_unstable();
+            keys
+        };
+        assert_eq!(cached, vec![1, 3]);
+        // Unbounded by default.
+        let unbounded = Solver::new()
+            .plan(&Problem::new(catalog::transitivity()))
+            .unwrap();
+        for n in [1usize, 2, 3] {
+            let _ = unbounded.count(n, &Weights::ones()).unwrap();
+        }
+        assert_eq!(unbounded.ground.len(), 3);
+    }
+
+    #[test]
+    fn cq_count_batch_merges_worker_memos() {
+        let plan = Problem::new(catalog::chain_query(3).to_formula())
+            .plan()
+            .unwrap();
+        assert_eq!(plan.method(), Method::GammaAcyclicCq);
+        let points: Vec<(usize, Weights)> = (1..=6)
+            .map(|n| (n, Weights::from_ints([("R1", n as i64, 1)])))
+            .collect();
+        let batch = plan.count_batch(&points).unwrap();
+        for (report, (n, w)) in batch.iter().zip(&points) {
+            assert_eq!(report.value, plan.count(*n, w).unwrap().value, "n = {n}");
+        }
+        // The workers' discoveries were folded back into the shared memo.
+        let memo_len = match &plan.state {
+            PlanState::Cq { memo, .. } => memo.lock().unwrap().len(),
+            _ => unreachable!(),
+        };
+        assert!(memo_len > 0, "batch evaluation populates the shared memo");
+    }
+
     /// Deterministic pseudo-random weights including zero and negative
     /// rationals, over the predicate names the test sentences use.
     fn seeded_weights(seed: u64) -> Weights {
@@ -794,8 +1218,109 @@ mod tests {
         w
     }
 
+    /// `ln Π_R (|w_R| + |w̄_R| + 1)^{n^arity}` — an upper bound on the log
+    /// magnitude of any intermediate term a count over `vocabulary` can
+    /// produce, used to calibrate the LogF64 comparison tolerance (float
+    /// cancellation is relative to the *terms*, not the final sum).
+    fn ln_term_scale(vocabulary: &Vocabulary, weights: &Weights, n: usize) -> f64 {
+        use num_traits::Signed;
+        use wfomc_logic::algebra::{Algebra, LogF64};
+        let mut scale = 0.0f64;
+        for p in vocabulary.iter() {
+            let pair = weights.pair_of(p);
+            let bound = pair.pos.abs() + pair.neg.abs() + Weight::one();
+            scale += LogF64.from_weight(&bound).ln_abs() * p.num_ground_tuples(n) as f64;
+        }
+        scale
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// LogF64 evaluation of one plan matches exact evaluation within
+        /// relative tolerance, for all four methods, under random weights
+        /// including zeros and negatives.
+        #[test]
+        fn differential_logf64_vs_exact(seed in 0u64..5000) {
+            use wfomc_logic::algebra::{Algebra, AlgebraWeights, LogF64};
+            let solver = Solver::new();
+            let weights = seeded_weights(seed);
+            for (sentence, _, max_n) in four_methods() {
+                let plan = solver.plan(&Problem::new(sentence.clone())).unwrap();
+                let lifted = AlgebraWeights::lift(&LogF64, &weights);
+                for n in 0..=max_n {
+                    let exact = plan.count(n, &weights).unwrap().value;
+                    let log = plan.count_in(n, &LogF64, &lifted).unwrap();
+                    let expected = LogF64.from_weight(&exact);
+                    let scale = ln_term_scale(plan.vocabulary(), &weights, n);
+                    if exact.is_zero() || expected.ln_abs() < scale - 26.0 {
+                        // Exactly (or relatively) zero: floating cancellation
+                        // may leave noise, but it must be noise — many orders
+                        // of magnitude below the term scale.
+                        prop_assert!(
+                            log.is_zero() || log.ln_abs() < scale - 13.0,
+                            "{} at n={}: residue {} vs scale {}",
+                            sentence, n, log, scale
+                        );
+                    } else {
+                        prop_assert_eq!(
+                            log.signum(), expected.signum(),
+                            "sign mismatch for {} at n={}", sentence, n
+                        );
+                        prop_assert!(
+                            (log.ln_abs() - expected.ln_abs()).abs() < 1e-6,
+                            "{} at n={}: {} vs {}", sentence, n, log, expected
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Poly evaluation with one predicate's weight left symbolic equals
+        /// exact evaluation at sampled points, for all four methods, under
+        /// random weights including zeros and negatives.
+        #[test]
+        fn differential_poly_vs_exact_at_sampled_points(seed in 0u64..5000) {
+            use wfomc_logic::algebra::{AlgebraWeights, Poly};
+            use wfomc_logic::poly::Polynomial;
+            let solver = Solver::new();
+            let weights = seeded_weights(seed);
+            // Sample points including zero and a negative rational.
+            let samples = [weight_int(0), weight_int(2), weight_ratio(-3, 2)];
+            for (sentence, _, max_n) in four_methods() {
+                let plan = solver.plan(&Problem::new(sentence.clone())).unwrap();
+                // Leave the first vocabulary predicate's present-weight
+                // symbolic: w(P) = z, w̄(P) unchanged.
+                let symbolic = plan
+                    .vocabulary()
+                    .iter()
+                    .next()
+                    .expect("test sentences have predicates")
+                    .clone();
+                let mut poly_weights = AlgebraWeights::lift(&Poly, &weights);
+                poly_weights.set(
+                    symbolic.name(),
+                    Polynomial::x(),
+                    Poly.from_weight(&weights.pair(symbolic.name()).neg),
+                );
+                for n in 0..=max_n {
+                    let f = plan.count_in(n, &Poly, &poly_weights).unwrap();
+                    for point in &samples {
+                        let mut at_point = weights.clone();
+                        at_point.set(
+                            symbolic.name(),
+                            point.clone(),
+                            weights.pair(symbolic.name()).neg,
+                        );
+                        let exact = plan.count(n, &at_point).unwrap().value;
+                        prop_assert_eq!(
+                            f.eval(point), exact,
+                            "{} at n={} with w({})={}", sentence, n, symbolic.name(), point
+                        );
+                    }
+                }
+            }
+        }
 
         /// One plan reused across all domain sizes and a random weight
         /// function (including zero and negative rationals) matches fresh

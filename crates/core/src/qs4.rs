@@ -19,9 +19,10 @@
 
 use num_traits::One;
 
+use wfomc_logic::algebra::{Algebra, AlgebraWeights, Exact};
 use wfomc_logic::catalog;
 use wfomc_logic::syntax::Formula;
-use wfomc_logic::weights::{weight_pow, Weight, Weights};
+use wfomc_logic::weights::{Weight, Weights};
 
 use crate::combinatorics::binomial_weight;
 use crate::error::LiftError;
@@ -41,6 +42,19 @@ pub fn is_qs4(sentence: &Formula) -> bool {
 pub fn wfomc_qs4(n: usize, weights: &Weights) -> Weight {
     let pair = weights.pair("S");
     wfomc_qs4_weights(n, &pair.pos, &pair.neg)
+}
+
+/// [`wfomc_qs4`] in an arbitrary [`Algebra`]: the recurrences of
+/// Theorem 3.7 only add and multiply, so the same `O(n²)` dynamic program
+/// runs over any ring.
+pub fn wfomc_qs4_in<A: Algebra>(n: usize, algebra: &A, weights: &AlgebraWeights<A>) -> A::Elem {
+    let (w, w_bar) = weights.pair(algebra, "S");
+    if n == 0 {
+        // A single empty structure of weight 1.
+        return algebra.one();
+    }
+    let (f, g) = qs4_tables_in(n, n, algebra, &w, &w_bar);
+    algebra.add(&f[n][n], &g[n][n])
 }
 
 /// As [`wfomc_qs4`], with the weight pair for `S` given explicitly.
@@ -78,33 +92,47 @@ pub fn wfomc_qs4_sentence(
     Ok(wfomc_qs4(n, weights))
 }
 
-/// Fills the `f` and `g` tables bottom-up.
+/// Fills the `f` and `g` tables bottom-up (the [`Exact`] instance of
+/// [`qs4_tables_in`]).
 fn qs4_tables(
     max1: usize,
     max2: usize,
     w: &Weight,
     w_bar: &Weight,
 ) -> (Vec<Vec<Weight>>, Vec<Vec<Weight>>) {
-    let mut f = vec![vec![Weight::one(); max2 + 1]; max1 + 1];
-    let mut g = vec![vec![Weight::one(); max2 + 1]; max1 + 1];
+    qs4_tables_in(max1, max2, &Exact, w, w_bar)
+}
+
+/// Fills the `f` and `g` tables bottom-up in an arbitrary algebra.
+#[allow(clippy::needless_range_loop, clippy::type_complexity)]
+fn qs4_tables_in<A: Algebra>(
+    max1: usize,
+    max2: usize,
+    algebra: &A,
+    w: &A::Elem,
+    w_bar: &A::Elem,
+) -> (Vec<Vec<A::Elem>>, Vec<Vec<A::Elem>>) {
+    let mut f = vec![vec![algebra.one(); max2 + 1]; max1 + 1];
+    let mut g = vec![vec![algebra.one(); max2 + 1]; max1 + 1];
     for n1 in 0..=max1 {
         for n2 in 0..=max2 {
-            if n2 == 0 {
-                f[n1][n2] = Weight::one();
-            } else {
-                let mut total = Weight::from_integer(0.into());
+            if n2 > 0 {
+                let mut total = algebra.zero();
                 for k in 1..=n1 {
-                    total += binomial_weight(n1, k) * weight_pow(w, k * n2) * g[n1 - k][n2].clone();
+                    let mut term = algebra.from_weight(&binomial_weight(n1, k));
+                    algebra.mul_assign(&mut term, &algebra.pow(w, k * n2));
+                    algebra.mul_assign(&mut term, &g[n1 - k][n2]);
+                    algebra.add_assign(&mut total, &term);
                 }
                 f[n1][n2] = total;
             }
-            if n1 == 0 {
-                g[n1][n2] = Weight::one();
-            } else {
-                let mut total = Weight::from_integer(0.into());
+            if n1 > 0 {
+                let mut total = algebra.zero();
                 for l in 1..=n2 {
-                    total +=
-                        binomial_weight(n2, l) * weight_pow(w_bar, n1 * l) * f[n1][n2 - l].clone();
+                    let mut term = algebra.from_weight(&binomial_weight(n2, l));
+                    algebra.mul_assign(&mut term, &algebra.pow(w_bar, n1 * l));
+                    algebra.mul_assign(&mut term, &f[n1][n2 - l]);
+                    algebra.add_assign(&mut total, &term);
                 }
                 g[n1][n2] = total;
             }

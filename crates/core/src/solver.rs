@@ -100,6 +100,11 @@ pub struct Solver {
     /// Whether lifted methods are tried at all (disable to force grounding,
     /// used by the benchmark baselines).
     pub use_lifted: bool,
+    /// Bound on the plan's per-domain-size grounding cache (lineage plus
+    /// lazily compiled d-DNNF): `Some(k)` keeps the `k` most recently used
+    /// domain sizes and evicts the rest, `None` (the default) never evicts.
+    /// Long-lived processes sweeping many domain sizes should set a bound.
+    pub ground_cache_capacity: Option<usize>,
 }
 
 impl Default for Solver {
@@ -108,6 +113,7 @@ impl Default for Solver {
             allow_ground_fallback: true,
             ground_backend: WmcBackend::Dpll,
             use_lifted: true,
+            ground_cache_capacity: None,
         }
     }
 }
@@ -154,6 +160,13 @@ impl SolverBuilder {
     /// [`WmcBackend::Circuit`] for knowledge compilation).
     pub fn ground_backend(mut self, backend: WmcBackend) -> Self {
         self.solver.ground_backend = backend;
+        self
+    }
+
+    /// Bounds the plan's per-domain-size grounding cache to the `capacity`
+    /// most recently used domain sizes (LRU eviction). Unbounded by default.
+    pub fn ground_cache_capacity(mut self, capacity: usize) -> Self {
+        self.solver.ground_cache_capacity = Some(capacity);
         self
     }
 

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use wfomc_logic::algebra::{Algebra, AlgebraWeights, ElemWeights};
 use wfomc_logic::term::{Term, Variable};
 use wfomc_logic::weights::{Weight, Weights};
 use wfomc_logic::{Formula, Vocabulary};
@@ -107,6 +108,21 @@ impl Lineage {
             vw.push(pair.pos, pair.neg);
         }
         vw
+    }
+
+    /// Symmetric per-variable weights in an arbitrary [`Algebra`]: every
+    /// ground atom of relation `R` receives `R`'s pair of ring elements.
+    pub fn weights_in<A: Algebra>(
+        &self,
+        algebra: &A,
+        weights: &AlgebraWeights<A>,
+    ) -> ElemWeights<A> {
+        let mut ew = ElemWeights::new();
+        for atom in &self.atoms {
+            let (pos, neg) = weights.pair(algebra, &atom.predicate);
+            ew.push(pos, neg);
+        }
+        ew
     }
 
     /// Asymmetric per-variable weights: each ground tuple gets its own pair,

@@ -6,9 +6,10 @@
 //! algorithms in `wfomc-core` beat it asymptotically whenever they apply; the
 //! Figure 1 / Figure 2 / Table 2 benchmarks measure exactly that gap.
 
+use wfomc_logic::algebra::{Algebra, AlgebraWeights};
 use wfomc_logic::weights::{Weight, Weights};
 use wfomc_logic::{Formula, Vocabulary};
-use wfomc_prop::counter::{wmc_formula_via, CompiledWmc, WmcBackend};
+use wfomc_prop::counter::{wmc_formula_via, wmc_formula_via_in, CompiledWmc, WmcBackend};
 use wfomc_prop::tseitin::{to_cnf, TseitinCnf};
 use wfomc_prop::VarWeights;
 
@@ -44,6 +45,22 @@ impl GroundSolver {
         let lineage = Lineage::build(formula, vocabulary, n);
         let var_weights = lineage.symmetric_weights(weights);
         wmc_formula_via(&lineage.prop, &var_weights, self.backend)
+    }
+
+    /// [`wfomc`](Self::wfomc) in an arbitrary [`Algebra`]: the grounding is
+    /// identical (it never looks at a weight); only the propositional count
+    /// runs in the ring.
+    pub fn wfomc_in<A: Algebra>(
+        &self,
+        formula: &Formula,
+        vocabulary: &Vocabulary,
+        n: usize,
+        algebra: &A,
+        weights: &AlgebraWeights<A>,
+    ) -> A::Elem {
+        let lineage = Lineage::build(formula, vocabulary, n);
+        let var_weights = lineage.weights_in(algebra, weights);
+        wmc_formula_via_in(&lineage.prop, algebra, &var_weights, self.backend)
     }
 
     /// FOMC (all weights 1) of a sentence over its own vocabulary.
@@ -130,6 +147,15 @@ impl CompiledWfomc {
     pub fn wfomc(&self, weights: &Weights) -> Weight {
         let var_weights = self.lineage.symmetric_weights(weights);
         self.compiled.wmc(&self.tseitin.weights_for(&var_weights))
+    }
+
+    /// [`wfomc`](Self::wfomc) in an arbitrary [`Algebra`] — the same
+    /// compiled circuit evaluated in the ring. Tseitin definition variables
+    /// lie beyond the per-atom weight table and therefore default to the
+    /// pair `(1, 1)`, which is exactly the count-preserving weighting.
+    pub fn wfomc_in<A: Algebra>(&self, algebra: &A, weights: &AlgebraWeights<A>) -> A::Elem {
+        let var_weights = self.lineage.weights_in(algebra, weights);
+        self.compiled.wmc_in(algebra, &var_weights)
     }
 
     /// Asymmetric WFOMC: every ground tuple gets its own weight pair from

@@ -14,6 +14,11 @@
 //! * [`weights::Weights`] — symmetric weight functions (w, w̄) over a vocabulary,
 //!   with exact arbitrary-precision rational arithmetic (negative weights are
 //!   first-class citizens: Lemma 3.3 of the paper requires w̄ = −1);
+//! * [`algebra`] — the generic evaluation algebra: a commutative-ring trait
+//!   ([`algebra::Algebra`]) the whole evaluation pipeline is parameterized
+//!   over, with exact-rational ([`algebra::Exact`]), log-space float
+//!   ([`algebra::LogF64`]) and polynomial ([`algebra::Poly`], over
+//!   [`poly::Polynomial`]) instances;
 //! * [`transform`] — simplification, negation normal form, prenex normal form,
 //!   substitution, variable counting (the FOᵏ fragments), renaming;
 //! * [`clause`] — universally quantified clauses and clausal sentences;
@@ -29,11 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algebra;
 pub mod builders;
 pub mod catalog;
 pub mod clause;
 pub mod cq;
 pub mod parser;
+pub mod poly;
 pub mod printer;
 pub mod syntax;
 pub mod term;
@@ -41,6 +48,8 @@ pub mod transform;
 pub mod vocabulary;
 pub mod weights;
 
+pub use algebra::{Algebra, AlgebraWeights, ElemWeights, Exact, LogF64, LogWeight, Poly, VarPairs};
+pub use poly::Polynomial;
 pub use syntax::{Atom, Formula};
 pub use term::{Constant, Term, Variable};
 pub use vocabulary::{Predicate, Vocabulary};
@@ -48,9 +57,13 @@ pub use weights::{PowCache, Weight, Weights};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
+    pub use crate::algebra::{
+        Algebra, AlgebraWeights, ElemWeights, Exact, LogF64, LogWeight, Poly, VarPairs,
+    };
     pub use crate::builders::*;
     pub use crate::clause::{ClausalSentence, Clause, Literal};
     pub use crate::cq::ConjunctiveQuery;
+    pub use crate::poly::Polynomial;
     pub use crate::syntax::{Atom, Formula};
     pub use crate::term::{Constant, Term, Variable};
     pub use crate::vocabulary::{Predicate, Vocabulary};

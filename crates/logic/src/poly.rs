@@ -1,0 +1,284 @@
+//! Dense univariate polynomials over the exact rationals.
+//!
+//! The equality-removal argument of Lemma 3.5 turns a WFOMC question into a
+//! question about a *polynomial*: with `w(E) = z`, `WFOMC(Φ′, n)` is a
+//! polynomial `f(z)` of degree ≤ n², and the answer is one of its
+//! coefficients. The seed implementation recovered `f` by evaluating at
+//! `n² + 1` points and interpolating; with the [`crate::algebra::Poly`]
+//! evaluation algebra the same lifted algorithms compute `f` *symbolically*
+//! in a single run, because every step of the algorithms is a ring operation.
+//!
+//! Coefficients are stored low-degree-first with no trailing zeros, so the
+//! zero polynomial is the empty coefficient vector and `degree` is
+//! `coeffs.len() − 1` for non-zero polynomials.
+
+use std::fmt;
+
+use num_traits::{One, Zero};
+
+use crate::weights::{Weight, Weights};
+
+/// A dense univariate polynomial over [`Weight`] (exact rationals),
+/// low-degree-first, normalized to have no trailing zero coefficients.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Polynomial {
+    coeffs: Vec<Weight>,
+}
+
+impl Polynomial {
+    /// The zero polynomial.
+    pub fn zero() -> Polynomial {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Polynomial {
+        Polynomial::constant(Weight::one())
+    }
+
+    /// The indeterminate `z` — the polynomial with coefficients `[0, 1]`.
+    ///
+    /// This is the weight to give the fresh equality predicate of Lemma 3.5
+    /// so a single lifted evaluation computes the whole Eq-weight polynomial.
+    pub fn x() -> Polynomial {
+        Polynomial {
+            coeffs: vec![Weight::zero(), Weight::one()],
+        }
+    }
+
+    /// A constant (degree-0) polynomial.
+    pub fn constant(c: Weight) -> Polynomial {
+        if c.is_zero() {
+            Polynomial::zero()
+        } else {
+            Polynomial { coeffs: vec![c] }
+        }
+    }
+
+    /// Builds a polynomial from low-degree-first coefficients, trimming
+    /// trailing zeros.
+    pub fn from_coeffs(mut coeffs: Vec<Weight>) -> Polynomial {
+        while coeffs.last().is_some_and(Zero::is_zero) {
+            coeffs.pop();
+        }
+        Polynomial { coeffs }
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The degree, with the convention `degree(0) = 0`.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// The coefficient of `z^k` (zero beyond the stored degree).
+    pub fn coeff(&self, k: usize) -> Weight {
+        self.coeffs.get(k).cloned().unwrap_or_else(Weight::zero)
+    }
+
+    /// The coefficients, low degree first (empty for the zero polynomial).
+    pub fn coeffs(&self) -> &[Weight] {
+        &self.coeffs
+    }
+
+    /// Pointwise sum.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let (longer, shorter) = if self.coeffs.len() >= other.coeffs.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut coeffs = longer.coeffs.clone();
+        for (slot, c) in coeffs.iter_mut().zip(&shorter.coeffs) {
+            *slot += c;
+        }
+        Polynomial::from_coeffs(coeffs)
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self) -> Polynomial {
+        Polynomial {
+            coeffs: self.coeffs.iter().map(|c| -c).collect(),
+        }
+    }
+
+    /// Difference `self − other`.
+    pub fn sub(&self, other: &Polynomial) -> Polynomial {
+        self.add(&other.neg())
+    }
+
+    /// Schoolbook product (the degrees in the WFOMC workloads stay small
+    /// enough — at most `n²` — that no FFT is warranted).
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        if self.is_zero() || other.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![Weight::zero(); self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, b) in other.coeffs.iter().enumerate() {
+                if b.is_zero() {
+                    continue;
+                }
+                coeffs[i + j] += a * b;
+            }
+        }
+        Polynomial::from_coeffs(coeffs)
+    }
+
+    /// Exact division: `Some(q)` with `self = q · divisor` when the division
+    /// leaves no remainder, `None` otherwise (or when `divisor` is zero).
+    pub fn div_exact(&self, divisor: &Polynomial) -> Option<Polynomial> {
+        if divisor.is_zero() {
+            return None;
+        }
+        if self.is_zero() {
+            return Some(Polynomial::zero());
+        }
+        if self.coeffs.len() < divisor.coeffs.len() {
+            return None;
+        }
+        let lead = divisor.coeffs.last().expect("non-zero divisor has a lead");
+        let mut rem = self.coeffs.clone();
+        let qlen = rem.len() - divisor.coeffs.len() + 1;
+        let mut quot = vec![Weight::zero(); qlen];
+        for k in (0..qlen).rev() {
+            let q = &rem[k + divisor.coeffs.len() - 1] / lead;
+            if !q.is_zero() {
+                for (j, d) in divisor.coeffs.iter().enumerate() {
+                    rem[k + j] -= &q * d;
+                }
+            }
+            quot[k] = q;
+        }
+        if rem.iter().any(|c| !c.is_zero()) {
+            return None;
+        }
+        Some(Polynomial::from_coeffs(quot))
+    }
+
+    /// Evaluates the polynomial at a rational point (Horner's scheme).
+    pub fn eval(&self, at: &Weight) -> Weight {
+        let mut acc = Weight::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = acc * at + c;
+        }
+        acc
+    }
+}
+
+impl From<Weight> for Polynomial {
+    fn from(c: Weight) -> Polynomial {
+        Polynomial::constant(c)
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (k, c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match k {
+                0 => write!(f, "{c}")?,
+                1 => write!(f, "{c}·z")?,
+                _ => write!(f, "{c}·z^{k}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A weight function whose entries may be polynomials: what
+/// [`crate::algebra::AlgebraWeights`] specializes to under the
+/// [`crate::algebra::Poly`] algebra. Provided as a convenience constructor
+/// for the common "lift the rationals, make one predicate the indeterminate"
+/// pattern of equality removal and weight sweeps.
+pub fn lift_with_indeterminate(
+    weights: &Weights,
+    indeterminate_predicate: &str,
+) -> crate::algebra::AlgebraWeights<crate::algebra::Poly> {
+    let algebra = crate::algebra::Poly;
+    let mut lifted = crate::algebra::AlgebraWeights::lift(&algebra, weights);
+    lifted.set(indeterminate_predicate, Polynomial::x(), Polynomial::one());
+    lifted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::{weight_int, weight_ratio};
+
+    fn poly(cs: &[i64]) -> Polynomial {
+        Polynomial::from_coeffs(cs.iter().map(|&c| weight_int(c)).collect())
+    }
+
+    #[test]
+    fn normalization_trims_trailing_zeros() {
+        let p = poly(&[1, 2, 0, 0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeff(1), weight_int(2));
+        assert_eq!(p.coeff(5), weight_int(0));
+        assert!(Polynomial::from_coeffs(vec![Weight::zero()]).is_zero());
+    }
+
+    #[test]
+    fn ring_operations() {
+        let p = poly(&[1, 2]); // 1 + 2z
+        let q = poly(&[3, 0, 1]); // 3 + z²
+        assert_eq!(p.add(&q), poly(&[4, 2, 1]));
+        assert_eq!(p.sub(&p), Polynomial::zero());
+        // (1 + 2z)(3 + z²) = 3 + 6z + z² + 2z³.
+        assert_eq!(p.mul(&q), poly(&[3, 6, 1, 2]));
+        assert_eq!(p.mul(&Polynomial::zero()), Polynomial::zero());
+    }
+
+    #[test]
+    fn evaluation_matches_expansion() {
+        let p = poly(&[2, -3, 0, 1]); // 2 − 3z + z³
+        assert_eq!(p.eval(&weight_int(0)), weight_int(2));
+        assert_eq!(p.eval(&weight_int(2)), weight_int(4));
+        assert_eq!(
+            p.eval(&weight_ratio(1, 2)),
+            weight_ratio(2 * 8 - 3 * 4 + 1, 8)
+        );
+    }
+
+    #[test]
+    fn exact_division() {
+        let p = poly(&[3, 6, 1, 2]);
+        let q = poly(&[1, 2]);
+        assert_eq!(p.div_exact(&q).unwrap(), poly(&[3, 0, 1]));
+        // Non-divisible: remainder left over.
+        assert!(poly(&[1, 1]).div_exact(&poly(&[0, 1])).is_none());
+        // Division by zero.
+        assert!(p.div_exact(&Polynomial::zero()).is_none());
+        // Zero divided by anything non-zero is zero.
+        assert_eq!(
+            Polynomial::zero().div_exact(&q).unwrap(),
+            Polynomial::zero()
+        );
+        // Constant divisor scales every coefficient.
+        assert_eq!(poly(&[2, 4]).div_exact(&poly(&[2])).unwrap(), poly(&[1, 2]));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(poly(&[0, 0, 5]).to_string(), "5·z^2");
+        assert_eq!(poly(&[1, 2]).to_string(), "1 + 2·z");
+        assert_eq!(Polynomial::zero().to_string(), "0");
+    }
+}

@@ -60,12 +60,14 @@ pub fn weight_pow(base: &Weight, exp: usize) -> Weight {
 /// multiplication — and exponents beyond `cap` fall back to square-and-multiply
 /// ([`weight_pow`]) with the results memoized sparsely, so every distinct
 /// power of a base is computed at most once per cache.
+///
+/// This is the exact-rational instance of the algebra-generic
+/// [`crate::algebra::Powers`] cache (one implementation, two entry points:
+/// the generic engines use `Powers` directly, exact-only callers keep this
+/// algebra-free signature).
 #[derive(Clone, Debug)]
 pub struct PowCache {
-    base: Weight,
-    dense: Vec<Weight>,
-    cap: usize,
-    sparse: BTreeMap<usize, Weight>,
+    inner: crate::algebra::Powers<crate::algebra::Exact>,
 }
 
 impl PowCache {
@@ -73,38 +75,25 @@ impl PowCache {
     /// `cap` (inclusive).
     pub fn new(base: Weight, cap: usize) -> Self {
         PowCache {
-            dense: vec![Weight::one()],
-            base,
-            cap,
-            sparse: BTreeMap::new(),
+            inner: crate::algebra::Powers::new(&crate::algebra::Exact, base, cap),
         }
     }
 
     /// The cached base.
     pub fn base(&self) -> &Weight {
-        &self.base
+        self.inner.base()
     }
 
     /// `base^exp`, from the dense table when `exp ≤ cap`, otherwise by
     /// memoized square-and-multiply.
     pub fn pow(&mut self, exp: usize) -> Weight {
-        self.pow_ref(exp).clone()
+        self.inner.pow(&crate::algebra::Exact, exp)
     }
 
     /// Like [`pow`](Self::pow) but borrows the cached value — hot loops that
     /// immediately `*=` the power avoid cloning a big rational per lookup.
     pub fn pow_ref(&mut self, exp: usize) -> &Weight {
-        if exp <= self.cap {
-            while self.dense.len() <= exp {
-                let next = self.dense.last().expect("dense table is non-empty") * &self.base;
-                self.dense.push(next);
-            }
-            return &self.dense[exp];
-        }
-        let base = &self.base;
-        self.sparse
-            .entry(exp)
-            .or_insert_with(|| weight_pow(base, exp))
+        self.inner.pow_ref(&crate::algebra::Exact, exp)
     }
 }
 

@@ -6,6 +6,7 @@ use std::sync::{Arc, Mutex};
 use num_traits::Zero;
 
 use wfomc_core::{LiftError, Method, Plan, Problem, Solver};
+use wfomc_logic::algebra::{Algebra, AlgebraWeights};
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::weights::{weight_pow, Weight};
 
@@ -135,6 +136,66 @@ impl MlnEngine {
             numerator.method,
             denominator.method,
         ))
+    }
+
+    /// [`partition_function`](Self::partition_function) in an arbitrary
+    /// [`Algebra`] — e.g. [`wfomc_logic::algebra::LogF64`] for float-speed
+    /// partition functions at domain sizes where the exact integers have
+    /// thousands of digits.
+    pub fn partition_function_in<A: Algebra>(
+        &self,
+        n: usize,
+        algebra: &A,
+    ) -> Result<A::Elem, LiftError> {
+        let weights = AlgebraWeights::lift(algebra, &self.reduction.weights);
+        let count = self
+            .plan_for(&self.reduction.hard_sentence)?
+            .count_in(n, algebra, &weights)?;
+        let scaling = algebra.from_weight(&self.reduction.scaling_factor(n));
+        Ok(algebra.mul(&scaling, &count))
+    }
+
+    /// [`probability`](Self::probability) in an arbitrary [`Algebra`] with
+    /// division. The same cached plans serve every algebra: under
+    /// [`wfomc_logic::algebra::LogF64`] this turns exact MLN inference into
+    /// serving-speed approximate inference without changing any algorithm.
+    ///
+    /// Fails with [`LiftError::Internal`] when the normalizing count is zero
+    /// (unsatisfiable hard constraints) or not a unit in the algebra.
+    pub fn probability_in<A: Algebra>(
+        &self,
+        query: &Formula,
+        n: usize,
+        algebra: &A,
+    ) -> Result<A::Elem, LiftError> {
+        if !query.is_sentence() {
+            return Err(LiftError::NotASentence);
+        }
+        let weights = AlgebraWeights::lift(algebra, &self.reduction.weights);
+        // Denominator: the cached Γ plan, times `(w + w̄)^{n^arity}` for any
+        // query predicate Γ's plan does not cover.
+        let hard_plan = self.plan_for(&self.reduction.hard_sentence)?;
+        let mut denominator = hard_plan.count_in(n, algebra, &weights)?;
+        for p in query.vocabulary().iter() {
+            if !hard_plan.vocabulary().contains(p.name()) {
+                let total = weights.total(algebra, p.name());
+                algebra.mul_assign(
+                    &mut denominator,
+                    &algebra.pow(&total, p.num_ground_tuples(n)),
+                );
+            }
+        }
+        let numerator_sentence = Formula::and(query.clone(), self.reduction.hard_sentence.clone());
+        let numerator = self
+            .plan_for(&numerator_sentence)?
+            .count_in(n, algebra, &weights)?;
+        algebra.try_div(&numerator, &denominator).ok_or_else(|| {
+            LiftError::Internal(format!(
+                "the MLN's normalizing count over a domain of size {n} is zero or not \
+                 invertible in the {} algebra",
+                algebra.name()
+            ))
+        })
     }
 
     /// Number of sentence plans currently cached (Γ plus one per distinct
@@ -272,5 +333,57 @@ mod tests {
             engine.probability(&atom("Female", &["x"]), 2),
             Err(LiftError::NotASentence)
         ));
+        assert!(matches!(
+            engine.probability_in(&atom("Female", &["x"]), 2, &wfomc_logic::algebra::LogF64),
+            Err(LiftError::NotASentence)
+        ));
+    }
+
+    #[test]
+    fn log_space_inference_tracks_exact_inference() {
+        use num_traits::ToPrimitive;
+        use wfomc_logic::algebra::{Algebra, LogF64};
+
+        for mln in [spouse_mln(), smokers_mln()] {
+            let engine = MlnEngine::new(&mln).unwrap();
+            let q = exists(["x"], atom("Smokes", &["x"]));
+            let q = if mln.len() == 1 {
+                exists(["x"], atom("Female", &["x"]))
+            } else {
+                q
+            };
+            for n in 1..=4 {
+                // Partition function: compare in log space (the exact value
+                // overflows f64 quickly).
+                let z_exact = engine.partition_function(n).unwrap();
+                let z_log = engine.partition_function_in(n, &LogF64).unwrap();
+                let expected = LogF64.from_weight(&z_exact);
+                assert_eq!(z_log.signum(), expected.signum(), "n = {n}");
+                assert!(
+                    (z_log.ln_abs() - expected.ln_abs()).abs() < 1e-9,
+                    "n = {n}: {z_log} vs {expected}"
+                );
+                // Marginals are in [0, 1]: compare as plain floats.
+                let p_exact = engine.probability(&q, n).unwrap().to_f64().unwrap();
+                let p_log = engine.probability_in(&q, n, &LogF64).unwrap().to_f64();
+                assert!(
+                    (p_exact - p_log).abs() < 1e-9,
+                    "n = {n}: {p_exact} vs {p_log}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generic_inference_reuses_the_same_plans() {
+        use wfomc_logic::algebra::LogF64;
+
+        let engine = MlnEngine::new(&spouse_mln()).unwrap();
+        let q = exists(["x"], atom("Female", &["x"]));
+        let _ = engine.probability(&q, 2).unwrap();
+        let cached = engine.cached_plans();
+        // The log-space evaluation hits the same cached plans.
+        let _ = engine.probability_in(&q, 3, &LogF64).unwrap();
+        assert_eq!(engine.cached_plans(), cached);
     }
 }

@@ -8,6 +8,7 @@
 //! any repeated-query serving path build on this type.
 
 use wfomc_circuit::{CLit, CompileStats, CompiledCnf, LitWeights};
+use wfomc_logic::algebra::{Algebra, VarPairs};
 use wfomc_logic::weights::Weight;
 
 use crate::cnf::{Cnf, Lit};
@@ -58,6 +59,17 @@ impl CompiledWmc {
         // tables extend the universe with unconstrained variables.
         for v in self.inner.num_vars()..weights.len() {
             result *= weights.total(v);
+        }
+        result
+    }
+
+    /// [`wmc`](Self::wmc) in an arbitrary [`Algebra`], under the same
+    /// universe contract — the compile-once circuit serves weight vectors in
+    /// any ring.
+    pub fn wmc_in<A: Algebra, W: VarPairs<A> + ?Sized>(&self, algebra: &A, weights: &W) -> A::Elem {
+        let mut result = self.inner.wmc_in(algebra, weights);
+        for v in self.inner.num_vars()..weights.table_len() {
+            algebra.mul_assign(&mut result, &weights.var_total(algebra, v));
         }
         result
     }

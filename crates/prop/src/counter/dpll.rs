@@ -10,7 +10,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use num_traits::{One, Zero};
+use wfomc_logic::algebra::{Algebra, Exact, VarPairs};
 use wfomc_logic::weights::Weight;
 
 use crate::cnf::{Cnf, Lit};
@@ -28,15 +28,22 @@ type ClauseSet = Vec<Vec<Lit>>;
 /// variables contributing `w + w̄` each. This matches the enumeration
 /// backend's contract exactly.
 pub fn wmc_dpll(cnf: &Cnf, weights: &VarWeights) -> Weight {
-    let universe = cnf.num_vars.max(weights.len());
+    wmc_dpll_in(cnf, &Exact, weights)
+}
+
+/// [`wmc_dpll`] in an arbitrary [`Algebra`]: the identical search (the
+/// branching order, propagation and component decomposition never look at a
+/// weight), with every accumulation done by the algebra's ring operations.
+pub fn wmc_dpll_in<A: Algebra, W: VarPairs<A> + ?Sized>(
+    cnf: &Cnf,
+    algebra: &A,
+    weights: &W,
+) -> A::Elem {
+    let universe = cnf.num_vars.max(weights.table_len());
 
     // Normalize clauses: dedupe literals, drop tautological clauses.
-    let mut mentioned_before: BTreeSet<Var> = BTreeSet::new();
     let mut clauses: ClauseSet = Vec::with_capacity(cnf.clauses.len());
     for clause in &cnf.clauses {
-        for l in clause {
-            mentioned_before.insert(l.var);
-        }
         let mut lits: Vec<Lit> = clause.clone();
         lits.sort();
         lits.dedup();
@@ -51,17 +58,17 @@ pub fn wmc_dpll(cnf: &Cnf, weights: &VarWeights) -> Weight {
     // Variables never mentioned (or only mentioned in tautological clauses)
     // contribute w + w̄ each.
     let mentioned_after: BTreeSet<Var> = clauses.iter().flatten().map(|l| l.var).collect();
-    let mut factor = Weight::one();
+    let mut factor = algebra.one();
     for v in 0..universe {
         if !mentioned_after.contains(&v) {
-            factor *= weights.total(v);
+            algebra.mul_assign(&mut factor, &weights.var_total(algebra, v));
         }
     }
 
     canonicalize(&mut clauses);
-    let mut cache: HashMap<ClauseSet, Weight> = HashMap::new();
-    let inner = count(&clauses, weights, &mut cache);
-    factor * inner
+    let mut cache: HashMap<ClauseSet, A::Elem> = HashMap::new();
+    let inner = count(&clauses, algebra, weights, &mut cache);
+    algebra.mul(&factor, &inner)
 }
 
 fn canonicalize(clauses: &mut ClauseSet) {
@@ -95,16 +102,17 @@ fn condition(clauses: &[Vec<Lit>], var: Var, value: bool) -> Option<ClauseSet> {
 /// Weighted model count of `clauses` over exactly the variables mentioned in
 /// `clauses`. `clauses` must be canonical (sorted clauses, sorted literal
 /// lists, no tautologies, no duplicate literals).
-fn count(
+fn count<A: Algebra, W: VarPairs<A> + ?Sized>(
     clauses: &ClauseSet,
-    weights: &VarWeights,
-    cache: &mut HashMap<ClauseSet, Weight>,
-) -> Weight {
+    algebra: &A,
+    weights: &W,
+    cache: &mut HashMap<ClauseSet, A::Elem>,
+) -> A::Elem {
     if clauses.is_empty() {
-        return Weight::one();
+        return algebra.one();
     }
     if clauses.iter().any(Vec::is_empty) {
-        return Weight::zero();
+        return algebra.zero();
     }
     if let Some(hit) = cache.get(clauses) {
         return hit.clone();
@@ -114,26 +122,29 @@ fn count(
 
     // Unit propagation, with bookkeeping of which variables got assigned (as
     // opposed to freed because every clause containing them was satisfied).
-    let mut factor = Weight::one();
+    let mut factor = algebra.one();
     let mut current: ClauseSet = clauses.clone();
     let mut assigned_vars: BTreeSet<Var> = BTreeSet::new();
     loop {
         let unit = current.iter().find(|c| c.len() == 1).map(|c| c[0]);
         let Some(lit) = unit else { break };
-        factor *= weights.literal_weight(lit.var, lit.positive);
+        algebra.mul_assign(
+            &mut factor,
+            &weights.var_weight(algebra, lit.var, lit.positive),
+        );
         assigned_vars.insert(lit.var);
         match condition(&current, lit.var, lit.positive) {
             Some(next) => current = next,
             None => {
-                cache.insert(clauses.clone(), Weight::zero());
-                return Weight::zero();
+                cache.insert(clauses.clone(), algebra.zero());
+                return algebra.zero();
             }
         }
     }
     let remaining_vars = clause_vars(&current);
     for v in scope.iter() {
         if !assigned_vars.contains(v) && !remaining_vars.contains(v) {
-            factor *= weights.total(*v);
+            algebra.mul_assign(&mut factor, &weights.var_total(algebra, *v));
         }
     }
 
@@ -145,7 +156,8 @@ fn count(
         let mut product = factor;
         for mut comp in components {
             canonicalize(&mut comp);
-            product *= count_component(&comp, weights, cache);
+            let c = count_component(&comp, algebra, weights, cache);
+            algebra.mul_assign(&mut product, &c);
         }
         product
     };
@@ -155,13 +167,14 @@ fn count(
 }
 
 /// Counts a single connected component by branching on a variable.
-fn count_component(
+fn count_component<A: Algebra, W: VarPairs<A> + ?Sized>(
     comp: &ClauseSet,
-    weights: &VarWeights,
-    cache: &mut HashMap<ClauseSet, Weight>,
-) -> Weight {
+    algebra: &A,
+    weights: &W,
+    cache: &mut HashMap<ClauseSet, A::Elem>,
+) -> A::Elem {
     if comp.is_empty() {
-        return Weight::one();
+        return algebra.one();
     }
     if let Some(hit) = cache.get(comp) {
         return hit.clone();
@@ -180,20 +193,22 @@ fn count_component(
         .max_by_key(|(v, count)| (**count, usize::MAX - **v))
         .expect("non-empty component has variables");
 
-    let mut total = Weight::zero();
+    let mut total = algebra.zero();
     for value in [true, false] {
-        let weight = weights.literal_weight(branch_var, value);
+        let weight = weights.var_weight(algebra, branch_var, value);
         if let Some(mut cond) = condition(comp, branch_var, value) {
             canonicalize(&mut cond);
             // Variables freed by this conditioning step.
             let cond_vars = clause_vars(&cond);
-            let mut freed_factor = Weight::one();
+            let mut branch = weight;
             for v in scope.iter() {
                 if *v != branch_var && !cond_vars.contains(v) {
-                    freed_factor *= weights.total(*v);
+                    algebra.mul_assign(&mut branch, &weights.var_total(algebra, *v));
                 }
             }
-            total += weight * freed_factor * count(&cond, weights, cache);
+            let sub = count(&cond, algebra, weights, cache);
+            algebra.mul_assign(&mut branch, &sub);
+            algebra.add_assign(&mut total, &branch);
         }
     }
     cache.insert(comp.clone(), total.clone());

@@ -4,7 +4,7 @@
 //! counter and by tests on tiny instances. Guarded by a hard cap so an
 //! accidental call on a large instance fails fast instead of hanging.
 
-use num_traits::Zero;
+use wfomc_logic::algebra::{Algebra, Exact, VarPairs};
 use wfomc_logic::weights::Weight;
 
 use crate::cnf::Cnf;
@@ -20,19 +20,34 @@ pub const MAX_ENUMERATION_VARS: usize = 30;
 /// # Panics
 /// Panics if `cnf.num_vars > MAX_ENUMERATION_VARS`.
 pub fn wmc_enumerate(cnf: &Cnf, weights: &VarWeights) -> Weight {
-    let n = cnf.num_vars.max(weights.len());
+    wmc_enumerate_in(cnf, &Exact, weights)
+}
+
+/// [`wmc_enumerate`] in an arbitrary [`Algebra`].
+///
+/// # Panics
+/// Panics if the universe exceeds [`MAX_ENUMERATION_VARS`].
+pub fn wmc_enumerate_in<A: Algebra, W: VarPairs<A> + ?Sized>(
+    cnf: &Cnf,
+    algebra: &A,
+    weights: &W,
+) -> A::Elem {
+    let n = cnf.num_vars.max(weights.table_len());
     assert!(
         n <= MAX_ENUMERATION_VARS,
         "refusing to enumerate 2^{n} assignments; use the DPLL backend"
     );
-    let mut total = Weight::zero();
+    let mut total = algebra.zero();
     let mut assignment = vec![false; n];
     for bits in 0u64..(1u64 << n) {
         for (v, slot) in assignment.iter_mut().enumerate() {
             *slot = (bits >> v) & 1 == 1;
         }
         if cnf.evaluate(&assignment) {
-            total += weights.assignment_weight(&assignment);
+            algebra.add_assign(
+                &mut total,
+                &assignment_weight(algebra, weights, &assignment),
+            );
         }
     }
     total
@@ -47,28 +62,57 @@ pub fn wmc_enumerate(cnf: &Cnf, weights: &VarWeights) -> Weight {
 /// Panics if the universe exceeds [`MAX_ENUMERATION_VARS`] or the formula
 /// mentions a variable outside the universe.
 pub fn wmc_formula(formula: &PropFormula, weights: &VarWeights) -> Weight {
-    let n = weights.len();
     assert!(
-        formula.num_vars() <= n,
+        formula.num_vars() <= weights.len(),
         "formula mentions variable {} but the universe has {} variables",
         formula.num_vars().saturating_sub(1),
-        n
+        weights.len()
     );
+    wmc_formula_in(formula, &Exact, weights)
+}
+
+/// [`wmc_formula`] in an arbitrary [`Algebra`]; the universe is
+/// `max(formula.num_vars(), weights.table_len())`.
+///
+/// # Panics
+/// Panics if the universe exceeds [`MAX_ENUMERATION_VARS`].
+pub fn wmc_formula_in<A: Algebra, W: VarPairs<A> + ?Sized>(
+    formula: &PropFormula,
+    algebra: &A,
+    weights: &W,
+) -> A::Elem {
+    let n = formula.num_vars().max(weights.table_len());
     assert!(
         n <= MAX_ENUMERATION_VARS,
         "refusing to enumerate 2^{n} assignments; use the DPLL backend"
     );
-    let mut total = Weight::zero();
+    let mut total = algebra.zero();
     let mut assignment = vec![false; n];
     for bits in 0u64..(1u64 << n) {
         for (v, slot) in assignment.iter_mut().enumerate() {
             *slot = (bits >> v) & 1 == 1;
         }
         if formula.evaluate(&assignment) {
-            total += weights.assignment_weight(&assignment);
+            algebra.add_assign(
+                &mut total,
+                &assignment_weight(algebra, weights, &assignment),
+            );
         }
     }
     total
+}
+
+/// The weight of a complete assignment in the algebra (Eq. (3) of §2).
+fn assignment_weight<A: Algebra, W: VarPairs<A> + ?Sized>(
+    algebra: &A,
+    weights: &W,
+    assignment: &[bool],
+) -> A::Elem {
+    let mut w = algebra.one();
+    for (v, &value) in assignment.iter().enumerate() {
+        algebra.mul_assign(&mut w, &weights.var_weight(algebra, v, value));
+    }
+    w
 }
 
 #[cfg(test)]

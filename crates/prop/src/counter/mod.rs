@@ -27,13 +27,16 @@ mod dpll;
 mod enumerate;
 
 pub use circuit::{wmc_circuit, CompiledWmc};
-pub use dpll::wmc_dpll;
-pub use enumerate::{wmc_enumerate, wmc_formula, MAX_ENUMERATION_VARS};
+pub use dpll::{wmc_dpll, wmc_dpll_in};
+pub use enumerate::{
+    wmc_enumerate, wmc_enumerate_in, wmc_formula, wmc_formula_in, MAX_ENUMERATION_VARS,
+};
 
 use crate::cnf::Cnf;
 use crate::formula::PropFormula;
 use crate::tseitin::to_cnf;
 use crate::weights::VarWeights;
+use wfomc_logic::algebra::{Algebra, VarPairs};
 use wfomc_logic::weights::Weight;
 
 /// Selects a weighted model counting backend.
@@ -81,6 +84,46 @@ pub fn wmc_formula_via(formula: &PropFormula, weights: &VarWeights, backend: Wmc
 /// Unweighted model count of a CNF (all weights 1).
 pub fn count_models(cnf: &Cnf, backend: WmcBackend) -> Weight {
     wmc(cnf, &VarWeights::ones(cnf.num_vars), backend)
+}
+
+/// [`wmc`] in an arbitrary [`Algebra`]: every backend runs the identical
+/// weight-independent search/compilation and accumulates in the ring.
+pub fn wmc_in<A: Algebra, W: VarPairs<A> + ?Sized>(
+    cnf: &Cnf,
+    algebra: &A,
+    weights: &W,
+    backend: WmcBackend,
+) -> A::Elem {
+    match backend {
+        WmcBackend::Enumerate => wmc_enumerate_in(cnf, algebra, weights),
+        WmcBackend::Dpll => wmc_dpll_in(cnf, algebra, weights),
+        WmcBackend::Circuit => CompiledWmc::compile(cnf).wmc_in(algebra, weights),
+    }
+}
+
+/// [`wmc_formula_via`] in an arbitrary [`Algebra`].
+///
+/// The Tseitin transform is weight-independent (definition variables carry
+/// the pair `(1, 1)`, which is exactly what variables beyond the weight
+/// table default to), so the encoding runs once on the formula alone and the
+/// counters evaluate it in the ring.
+pub fn wmc_formula_via_in<A: Algebra, W: VarPairs<A> + ?Sized>(
+    formula: &PropFormula,
+    algebra: &A,
+    weights: &W,
+    backend: WmcBackend,
+) -> A::Elem {
+    match backend {
+        WmcBackend::Enumerate => wmc_formula_in(formula, algebra, weights),
+        WmcBackend::Dpll | WmcBackend::Circuit => {
+            let universe = formula.num_vars().max(weights.table_len());
+            let t = to_cnf(formula, &VarWeights::ones(universe));
+            match backend {
+                WmcBackend::Dpll => wmc_dpll_in(&t.cnf, algebra, weights),
+                _ => CompiledWmc::compile(&t.cnf).wmc_in(algebra, weights),
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! and may be negative.
 
 use num_traits::One;
+use wfomc_logic::algebra::{Exact, VarPairs};
 use wfomc_logic::weights::Weight;
 
 /// Weight pairs for a dense block of variables `0..len`.
@@ -114,6 +115,23 @@ impl VarWeights {
             w *= self.total(v);
         }
         w
+    }
+}
+
+/// [`VarWeights`] is the [`Exact`]-algebra instance of the generic
+/// per-variable weight-pair interface, so the exact counters and the
+/// algebra-generic `_in` counters share one implementation.
+impl VarPairs<Exact> for VarWeights {
+    fn var_weight(&self, _algebra: &Exact, var: usize, value: bool) -> Weight {
+        self.literal_weight(var, value)
+    }
+
+    fn var_total(&self, _algebra: &Exact, var: usize) -> Weight {
+        self.total(var)
+    }
+
+    fn table_len(&self) -> usize {
+        self.len()
     }
 }
 

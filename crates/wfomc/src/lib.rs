@@ -8,7 +8,9 @@
 //! ## What you get
 //!
 //! * a first-order logic toolkit with exact rational weights
-//!   ([`logic`], re-exported from `wfomc-logic`);
+//!   ([`logic`], re-exported from `wfomc-logic`), plus a generic evaluation
+//!   algebra (`logic::algebra`): every pipeline evaluates in exact
+//!   rationals, sign-tracked log-space floats, or dense polynomials;
 //! * propositional weighted model counting with three backends —
 //!   enumeration, weighted DPLL, and d-DNNF knowledge compilation ([`prop`],
 //!   [`circuit`]);
@@ -82,7 +84,8 @@ pub mod prelude {
     pub use wfomc_core::fo2::Fo2Prepared;
     pub use wfomc_core::normal::{
         remove_equality, remove_negation, skolemize, wfomc_via_equality_removal,
-        wfomc_via_equality_removal_compiled, wfomc_via_equality_removal_with_oracle,
+        wfomc_via_equality_removal_compiled, wfomc_via_equality_removal_interpolated,
+        wfomc_via_equality_removal_with_oracle,
     };
     pub use wfomc_core::qs4::wfomc_qs4;
     pub use wfomc_core::{
@@ -90,10 +93,14 @@ pub mod prelude {
     };
     pub use wfomc_ground::{brute_force_fomc, brute_force_wfomc, CompiledWfomc, GroundSolver};
     pub use wfomc_hypergraph::{AcyclicityClass, Hypergraph};
+    pub use wfomc_logic::algebra::{
+        Algebra, AlgebraWeights, ElemWeights, Exact, LogF64, LogWeight, Poly, VarPairs,
+    };
     pub use wfomc_logic::builders::*;
     pub use wfomc_logic::catalog;
     pub use wfomc_logic::cq::ConjunctiveQuery;
     pub use wfomc_logic::parser::parse;
+    pub use wfomc_logic::poly::Polynomial;
     pub use wfomc_logic::weights::{weight_int, weight_pow, weight_ratio, Weight, Weights};
     pub use wfomc_logic::{Formula, Predicate, Vocabulary};
     pub use wfomc_mln::{MarkovLogicNetwork, MlnEngine};

@@ -73,15 +73,33 @@ fn main() {
     ];
 
     println!();
-    for (label, query) in queries {
+    for (label, query) in &queries {
         println!("Pr[{label}]:");
         for n in 1..=5 {
             let (p, num_method, _) = engine
-                .probability_with_methods(&query, n)
+                .probability_with_methods(query, n)
                 .expect("exact inference");
             let approx = rational_to_f64(&p);
             println!("  n = {n}: {approx:.6}  (exact {p}, via {num_method})");
         }
+    }
+
+    // Serving-speed inference: the same cached plans evaluated in the
+    // log-space float algebra instead of exact rationals. At n = 40 the
+    // exact partition function has thousands of digits; the log-space
+    // evaluation stays one machine word per value.
+    println!();
+    println!("== LogF64 algebra: large-n serving ==");
+    let (_, somebody_smokes) = &queries[0];
+    println!("{:>4} {:>18} {:>22}", "n", "ln Z(n)", "Pr[somebody smokes]");
+    for n in [10usize, 20, 40] {
+        let z = engine
+            .partition_function_in(n, &LogF64)
+            .expect("log-space inference");
+        let p = engine
+            .probability_in(somebody_smokes, n, &LogF64)
+            .expect("log-space inference");
+        println!("{n:>4} {:>18.3} {:>22.9}", z.ln_abs(), p.to_f64());
     }
 }
 
