@@ -1,0 +1,74 @@
+//! Wall-clock snapshot tool for the bignum-bound hot paths. Prints one JSON
+//! object per workload (`{"workload": ..., "ms": ...}`) so before/after
+//! numbers can be recorded in `BENCH_bignum.json`. Run with
+//! `cargo run --release -p wfomc-bench --bin bignum_time [-- quick]`.
+//!
+//! Every exact evaluation path in the workspace bottoms out in the vendored
+//! `num-bigint`: the FO² cell-sum engine's huge-exponent products, circuit
+//! evaluation, the `Poly` algebra's coefficient arithmetic, and rational
+//! normalization (gcd). The workloads here cover each of those plus pure
+//! big-integer microbenchmarks (balanced squaring for Karatsuba, a factorial
+//! chain for big×small, a harmonic sum for gcd/normalization).
+
+use std::env;
+
+use wfomc::core::fo2::wfomc_fo2;
+use wfomc::prelude::*;
+use wfomc_bench::{
+    bignum_factorial_chain, bignum_harmonic, bignum_square_chain, standard_weights, time_ms,
+};
+
+fn report(name: &str, ms: f64) {
+    println!("{{\"workload\": \"{name}\", \"ms\": {ms:.2}}}");
+}
+
+fn main() {
+    let quick = env::args().nth(1).as_deref() == Some("quick");
+    let weights = standard_weights();
+
+    // Pure bignum microbenchmarks.
+    report("square-chain-10", time_ms(|| drop(bignum_square_chain(10))));
+    report(
+        "factorial-3000",
+        time_ms(|| drop(bignum_factorial_chain(3000))),
+    );
+    report("harmonic-500", time_ms(|| drop(bignum_harmonic(500))));
+
+    // Circuit evaluation: one compiled d-DNNF, a weight sweep of exact
+    // rational evaluations (allocation-heavy small values).
+    let solver = Solver::builder()
+        .ground_backend(WmcBackend::Circuit)
+        .build();
+    let plan = solver
+        .plan(&Problem::new(catalog::transitivity()))
+        .expect("transitivity plans");
+    let points: Vec<(usize, Weights)> = (0..32)
+        .map(|i| (3, Weights::from_ints([("R", i + 1, 1)])))
+        .collect();
+    report(
+        "circuit-eval-sweep",
+        time_ms(|| {
+            for (n, w) in &points {
+                let _ = plan.count(*n, w).expect("circuit eval");
+            }
+        }),
+    );
+
+    // FO² cell-sum engine: the multiplication-heavy exact workloads.
+    let fo2 = |sentence: &Formula, n: usize| {
+        let voc = sentence.vocabulary();
+        let w = weights.clone();
+        let sentence = sentence.clone();
+        time_ms(move || {
+            wfomc_fo2(&sentence, &voc, n, &w).expect("fo2 workload lifts");
+        })
+    };
+    report("fo2-smokers-30", fo2(&catalog::smokers_constraint(), 30));
+    if !quick {
+        report(
+            "fo2-forall-exists-100",
+            fo2(&catalog::forall_exists_edge(), 100),
+        );
+        report("fo2-table1-30", fo2(&catalog::table1_sentence(), 30));
+    }
+}

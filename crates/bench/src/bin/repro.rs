@@ -3,7 +3,14 @@
 //! `cargo run --release -p wfomc-bench --bin repro -- table1`, or everything
 //! with `-- all`. `EXPERIMENTS.md` records the expected output.
 //! `-- smoke` runs a fast cross-section (including the FO² scaling
-//! experiment at a reduced domain size) as the CI smoke test.
+//! experiment at a reduced domain size) as the CI smoke test and writes
+//! machine-readable per-phase timings to `target/smoke-timings.json`
+//! (override the path with `SMOKE_TIMINGS_JSON`).
+//! `-- perf-gate` re-times a curated set of workloads and fails (exit 1)
+//! when any of them regresses more than `PERF_GATE_FACTOR` (default 2×,
+//! plus `PERF_GATE_SLACK_MS` of absolute headroom for runner noise) against
+//! the baselines committed in the `BENCH_*.json` snapshots; set
+//! `PERF_GATE_SKIP=1` to bypass it.
 
 use std::env;
 use std::time::Instant;
@@ -16,13 +23,18 @@ use wfomc::mln::ground_semantics::partition_function_brute;
 use wfomc::prelude::*;
 use wfomc::reductions::theta1::theta1;
 use wfomc_bench::{
-    approx, fo2_scaling_workload, plan_reuse_workloads, short, smokers_mln, standard_weights,
+    approx, bignum_factorial_chain, bignum_harmonic, bignum_square_chain, fo2_scaling_workload,
+    plan_reuse_workloads, short, smokers_mln, standard_weights, time_ms,
 };
 
 fn main() {
     let which = env::args().nth(1).unwrap_or_else(|| "all".to_string());
     if which == "smoke" {
         smoke();
+        return;
+    }
+    if which == "perf-gate" {
+        perf_gate();
         return;
     }
     let all = which == "all";
@@ -55,6 +67,9 @@ fn main() {
     }
     if all || which == "plan-reuse" {
         plan_reuse_with_k(16);
+    }
+    if all || which == "bignum" {
+        bignum();
     }
     if all || which == "theta1" {
         theta1_experiment();
@@ -285,17 +300,261 @@ fn plan_reuse_with_k(k: usize) {
     }
 }
 
+/// E13 — the vendored bignum's hot paths: inline small values, Karatsuba
+/// multiplication, Euclid gcd, the balanced sum-tree accumulator. Pure
+/// microbenchmarks plus the lifted workloads that bottom out in them
+/// (snapshot and before/after numbers in `BENCH_bignum.json`).
+fn bignum() {
+    header("E13  Bignum: inline small values + Karatsuba");
+    println!("{:<26} {:>10}", "workload", "ms");
+    let weights = standard_weights();
+    let row = |name: &str, f: &mut dyn FnMut()| {
+        println!("{name:<26} {:>10.2}", time_ms(&mut *f));
+    };
+    row("square-chain-10", &mut || drop(bignum_square_chain(10)));
+    row("factorial-3000", &mut || drop(bignum_factorial_chain(3000)));
+    row("harmonic-500", &mut || drop(bignum_harmonic(500)));
+    let smokers = catalog::smokers_constraint();
+    let voc = smokers.vocabulary();
+    row("fo2-smokers-30", &mut || {
+        wfomc_fo2(&smokers, &voc, 30, &weights).expect("smokers lifts");
+    });
+}
+
 /// The CI smoke test: every lifted pipeline once, at sizes that finish in
 /// well under a minute, with cross-checks against closed forms / grounding.
+/// Emits machine-readable per-phase timings (JSON) so CI artifacts keep a
+/// perf history alongside the textual output.
 fn smoke() {
-    table1();
-    qs4();
-    fo2();
-    fo2_scaling_with_sizes(&[25]);
-    plan_reuse_with_k(4);
-    algebra_with_sizes(&[8], &[4]);
-    closed_forms();
-    println!("\nsmoke: ok");
+    let mut timings: Vec<(&str, f64)> = Vec::new();
+    let mut phase = |name: &'static str, f: &mut dyn FnMut()| {
+        timings.push((name, time_ms(&mut *f)));
+    };
+    phase("table1", &mut table1);
+    phase("qs4", &mut qs4);
+    phase("fo2", &mut fo2);
+    phase("fo2-scaling-25", &mut || fo2_scaling_with_sizes(&[25]));
+    phase("plan-reuse-k4", &mut || plan_reuse_with_k(4));
+    phase("algebra-8-4", &mut || algebra_with_sizes(&[8], &[4]));
+    phase("bignum", &mut bignum);
+    phase("closed-forms", &mut closed_forms);
+
+    let path =
+        env::var("SMOKE_TIMINGS_JSON").unwrap_or_else(|_| "target/smoke-timings.json".to_string());
+    let rows: Vec<String> = timings
+        .iter()
+        .map(|(name, ms)| format!("  {{\"phase\": \"{name}\", \"ms\": {ms:.2}}}"))
+        .collect();
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nsmoke timings written to {path}"),
+        Err(e) => eprintln!("\nsmoke: could not write timings to {path}: {e}"),
+    }
+    println!("smoke: ok");
+}
+
+// ---------------------------------------------------------------------------
+// CI perf-regression gate
+// ---------------------------------------------------------------------------
+
+/// Extracts the number following `"field":` after all `anchors` have been
+/// matched in order — a deliberately tiny scanner for this repository's own
+/// `BENCH_*.json` snapshots (no JSON dependency in the workspace). The field
+/// lookup is bounded to the anchored object (it stops at the next `}`), so a
+/// baseline row that loses its field is a hard `None` rather than a silent
+/// read from the following row.
+fn json_number_after(content: &str, anchors: &[&str], field: &str) -> Option<f64> {
+    let mut pos = 0usize;
+    for anchor in anchors {
+        pos += content[pos..].find(anchor)? + anchor.len();
+    }
+    let end = content[pos..].find('}').map_or(content.len(), |e| pos + e);
+    let scope = &content[pos..end];
+    let key = format!("\"{field}\":");
+    let at = scope.find(&key)? + key.len();
+    let number: String = scope[at..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    number.parse().ok()
+}
+
+/// One gated workload: where its baseline lives and how to re-measure it.
+struct GateWorkload<'a> {
+    name: &'static str,
+    baseline_file: &'static str,
+    anchors: &'static [&'static str],
+    field: &'static str,
+    run: Box<dyn FnMut() + 'a>,
+}
+
+/// Re-times the curated workloads and compares each against its committed
+/// `BENCH_*.json` baseline. A workload fails the gate when its best-of-3
+/// time exceeds `baseline × PERF_GATE_FACTOR + PERF_GATE_SLACK_MS`
+/// (defaults 2.0 and 50 ms — tolerant of runner noise but loud about real
+/// regressions). Results are also written as JSON to
+/// `target/perf-gate.json`.
+fn perf_gate() {
+    if env::var("PERF_GATE_SKIP").is_ok_and(|v| v == "1") {
+        println!("perf-gate: skipped (PERF_GATE_SKIP=1)");
+        return;
+    }
+    let factor: f64 = env::var("PERF_GATE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let slack_ms: f64 = env::var("PERF_GATE_SLACK_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50.0);
+
+    // Setup (formula construction, vocabularies, workload tables) happens
+    // here, outside the timed closures, so measured_ms times the same work
+    // as the committed fo2_time / plan_time baselines.
+    let weights = standard_weights();
+    let fo2_run = |sentence: Formula, n: usize| {
+        let w = weights.clone();
+        let voc = sentence.vocabulary();
+        move || {
+            wfomc_fo2(&sentence, &voc, n, &w).expect("gate workload lifts");
+        }
+    };
+    let plan_run = |workload: &'static str| {
+        let (name, solver, sentence, points) = plan_reuse_workloads(16)
+            .into_iter()
+            .find(|(name, ..)| *name == workload)
+            .expect("gate references a known plan-reuse workload");
+        move || {
+            let plan = solver
+                .plan(&Problem::new(sentence.clone()))
+                .unwrap_or_else(|e| panic!("{name} plans: {e:?}"));
+            for (n, w) in &points {
+                let _ = plan.count(*n, w).expect("gate count succeeds");
+            }
+        }
+    };
+    let engine = MlnEngine::new(&smokers_mln()).expect("smokers MLN builds");
+    let smokes_query = exists(["x"], atom("Smokes", &["x"]));
+
+    let mut gates: Vec<GateWorkload> = vec![
+        GateWorkload {
+            name: "fo2/forall-exists-30",
+            baseline_file: "BENCH_fo2.json",
+            anchors: &["\"workload\": \"forall-exists\", \"n\": 30"],
+            field: "after_ms",
+            run: Box::new(fo2_run(catalog::forall_exists_edge(), 30)),
+        },
+        GateWorkload {
+            name: "fo2/smokers-30",
+            baseline_file: "BENCH_fo2.json",
+            anchors: &["\"workload\": \"smokers\", \"n\": 30"],
+            field: "after_ms",
+            run: Box::new(fo2_run(catalog::smokers_constraint(), 30)),
+        },
+        GateWorkload {
+            name: "fo2/table1-12",
+            baseline_file: "BENCH_fo2.json",
+            anchors: &["\"workload\": \"table1\", \"n\": 12"],
+            field: "after_ms",
+            run: Box::new(fo2_run(catalog::table1_sentence(), 12)),
+        },
+        GateWorkload {
+            name: "plan/quad-binary-n-sweep",
+            baseline_file: "BENCH_plan.json",
+            anchors: &["\"workload\": \"fo2/quad-binary-n-sweep\""],
+            field: "plan_ms",
+            run: Box::new(plan_run("fo2/quad-binary-n-sweep")),
+        },
+        GateWorkload {
+            name: "plan/ground-circuit-sweep",
+            baseline_file: "BENCH_plan.json",
+            anchors: &["\"workload\": \"ground/transitivity-weight-sweep\""],
+            field: "plan_ms",
+            run: Box::new(plan_run("ground/transitivity-weight-sweep")),
+        },
+        GateWorkload {
+            name: "algebra/mln-marginal-log-8",
+            baseline_file: "BENCH_algebra.json",
+            anchors: &["\"mln-marginal\"", "\"n=8\""],
+            field: "log_f64_ms",
+            run: Box::new(|| {
+                let _ = engine
+                    .probability_in(&smokes_query, 8, &LogF64)
+                    .expect("marginal evaluates");
+            }),
+        },
+        GateWorkload {
+            name: "bignum/square-chain-10",
+            baseline_file: "BENCH_bignum.json",
+            anchors: &["\"workload\": \"square-chain-10\""],
+            field: "after_ms",
+            run: Box::new(|| drop(bignum_square_chain(10))),
+        },
+        GateWorkload {
+            name: "bignum/harmonic-500",
+            baseline_file: "BENCH_bignum.json",
+            anchors: &["\"workload\": \"harmonic-500\""],
+            field: "after_ms",
+            run: Box::new(|| drop(bignum_harmonic(500))),
+        },
+    ];
+
+    header("Perf-regression gate (baselines: committed BENCH_*.json)");
+    println!("tolerance: measured ≤ baseline × {factor} + {slack_ms} ms   (best of 3 runs)");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}  status",
+        "workload", "baseline ms", "measured ms", "allowed ms"
+    );
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let mut rows: Vec<String> = Vec::new();
+    let mut failed = false;
+    for gate in &mut gates {
+        let path = format!("{manifest_dir}/../../{}", gate.baseline_file);
+        let content = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", gate.baseline_file));
+        let Some(baseline) = json_number_after(&content, gate.anchors, gate.field) else {
+            panic!(
+                "no baseline for {} in {} (anchors {:?}, field {})",
+                gate.name, gate.baseline_file, gate.anchors, gate.field
+            );
+        };
+        (gate.run)(); // warm-up: thread-local memos, lazily compiled plans
+        let measured = (0..3)
+            .map(|_| time_ms(|| (gate.run)()))
+            .fold(f64::INFINITY, f64::min);
+        let allowed = baseline * factor + slack_ms;
+        let ok = measured <= allowed;
+        failed |= !ok;
+        println!(
+            "{:<28} {baseline:>12.2} {measured:>12.2} {allowed:>12.2}  {}",
+            gate.name,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        rows.push(format!(
+            "  {{\"workload\": \"{}\", \"baseline_ms\": {baseline:.2}, \"measured_ms\": {measured:.2}, \
+             \"allowed_ms\": {allowed:.2}, \"ok\": {ok}}}",
+            gate.name
+        ));
+    }
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    let _ = std::fs::create_dir_all("target");
+    if let Err(e) = std::fs::write("target/perf-gate.json", &json) {
+        eprintln!("perf-gate: could not write target/perf-gate.json: {e}");
+    }
+    if failed {
+        eprintln!(
+            "perf-gate: FAILED — a workload regressed beyond {factor}× its committed baseline. \
+             If the regression is expected (e.g. a slower but more capable path), update the \
+             BENCH_*.json baselines in the same change; for a noisy runner, raise \
+             PERF_GATE_FACTOR / PERF_GATE_SLACK_MS or set PERF_GATE_SKIP=1."
+        );
+        std::process::exit(1);
+    }
+    println!("perf-gate: ok");
 }
 
 /// E8 — Examples 1.1/1.2.

@@ -164,6 +164,50 @@ pub fn plan_reuse_workloads(
     ]
 }
 
+/// Wall-clock time of one closure call in milliseconds — the shared
+/// measurement primitive of the snapshot bins, the repro harness's timed
+/// experiments and the perf gate.
+pub fn time_ms(f: impl FnOnce()) -> f64 {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Bignum microbenchmark: balanced big×big multiplication — square a 2-limb
+/// seed repeatedly, so the final squarings run far above the Karatsuba
+/// threshold. Shared by the `bignum` Criterion bench, the `bignum_time`
+/// snapshot bin and the repro harness's perf gate.
+pub fn bignum_square_chain(doublings: u32) -> num_bigint::BigUint {
+    let mut x = num_bigint::BigUint::from(0xfeed_face_cafe_f00du64)
+        * num_bigint::BigUint::from(u64::MAX - 11);
+    for _ in 0..doublings {
+        x = &x * &x;
+    }
+    x
+}
+
+/// Bignum microbenchmark: big×small multiplication with many word-sized
+/// intermediates (`n!` — the inline small-value fast path).
+pub fn bignum_factorial_chain(n: u64) -> num_bigint::BigUint {
+    let mut acc = num_traits::One::one();
+    for i in 1..=n {
+        acc = acc * num_bigint::BigUint::from(i);
+    }
+    acc
+}
+
+/// Bignum microbenchmark: rational normalization and gcd (`Σ 1/k`).
+pub fn bignum_harmonic(n: i64) -> num_rational::BigRational {
+    let mut acc = num_rational::BigRational::from_integer(num_bigint::BigInt::from(0));
+    for k in 1..=n {
+        acc += num_rational::BigRational::new(
+            num_bigint::BigInt::from(1),
+            num_bigint::BigInt::from(k),
+        );
+    }
+    acc
+}
+
 /// E8: the smokers-and-friends MLN.
 pub fn smokers_mln() -> MarkovLogicNetwork {
     let mut mln = MarkovLogicNetwork::new();

@@ -92,9 +92,14 @@ thread_local! {
 ///
 /// The FO² cell-sum engine consumes binomials as rationals on its hot path;
 /// the rows are computed once per thread (each entry a single big-integer
-/// addition), grown on demand, and handed out as a shared `Arc` — far cheaper
-/// than re-deriving multinomials per composition. The returned triangle may
-/// contain rows beyond `n` from earlier, larger requests.
+/// addition), grown on demand, and handed out as a shared `Arc` — no
+/// per-hit clone of the rows, far cheaper than re-deriving multinomials per
+/// composition. Entries that do get cloned downstream (an engine lifting
+/// the rows into its evaluation algebra) are allocation-free for every
+/// binomial that fits a machine word, thanks to the vendored bignum's
+/// inline small-value representation — `C(n, k)` for `n ≤ 62` never touches
+/// the heap. The returned triangle may contain rows beyond `n` from
+/// earlier, larger requests.
 pub fn binomial_weight_triangle(n: usize) -> Arc<Vec<Vec<Weight>>> {
     TRIANGLE.with(|cell| {
         let mut shared = cell.borrow_mut();

@@ -23,7 +23,10 @@
 //! and a whole subtree is cut as soon as the running term hits zero, which is
 //! what makes hard constraints (zero-weight pair entries) collapse the search
 //! space instead of merely zeroing terms late. Independent top-level cell
-//! splits run on scoped threads.
+//! splits run on scoped threads. The `term × leaf` products at the bottom of
+//! the DFS accumulate through a balanced sum tree ([`BalancedSum`]) rather
+//! than a running `+=`, so each exact-rational addition combines operands of
+//! comparable size instead of adding a small term to an ever-growing total.
 //!
 //! The engine itself ([`cell_sum_elems`]) only adds and multiplies, so it is
 //! generic over the evaluation [`Algebra`] — the zero-subtree cutoff is
@@ -181,7 +184,7 @@ pub fn cell_sum_elems<A: Algebra>(
         let mut worker = Worker::new(&engine);
         let top: Vec<A::Elem> = vec![algebra.one(); engine.k];
         worker.dfs(0, n, &algebra.one(), &top);
-        (worker.total, worker.summed, worker.pruned)
+        (worker.total.finish(algebra), worker.summed, worker.pruned)
     };
     stats.compositions_summed = summed;
     stats.compositions_pruned = pruned;
@@ -282,7 +285,7 @@ impl<'a, A: Algebra> Engine<'a, A> {
                         for m0 in (t..=n).step_by(threads) {
                             worker.top_level(m0, &mut row0);
                         }
-                        (worker.total, worker.summed, worker.pruned)
+                        (worker.total.finish(algebra), worker.summed, worker.pruned)
                     })
                 })
                 .collect();
@@ -303,6 +306,79 @@ impl<'a, A: Algebra> Engine<'a, A> {
     }
 }
 
+/// A balanced sum-tree accumulator over a ring.
+///
+/// A running `total += term` adds every new term to the full accumulated
+/// sum, so with exact big-rational arithmetic each addition costs the *size
+/// of the total* — the dominant cost once the cell-sum total grows to
+/// thousands of limbs while individual `term × leaf` products stay small.
+/// This accumulator instead keeps a binary counter of partial sums: slot `i`
+/// holds the sum of exactly `2^i` pushed terms, and a push carries upward
+/// like binary increment. Every addition therefore combines operands of
+/// comparable size, and each term participates in only `O(log N)` additions
+/// of geometrically growing operands — the classic balanced-reduction
+/// argument. The total number of ring additions is the same as for a running
+/// total; only the operand sizes change.
+///
+/// The tree only pays off when addition cost grows with the operand — for
+/// constant-size elements ([`Algebra::growing_elements`] is `false`, e.g.
+/// log-space floats) the accumulator degrades gracefully to a plain running
+/// total in slot 0, keeping the counter bookkeeping off that hot path.
+pub struct BalancedSum<A: Algebra> {
+    /// `slots[i]` is either empty or the sum of exactly `2^i` terms
+    /// (balanced mode); in running mode only slot 0 is used.
+    slots: Vec<Option<A::Elem>>,
+    balanced: bool,
+}
+
+impl<A: Algebra> BalancedSum<A> {
+    /// An empty accumulator, balanced exactly when the algebra's elements
+    /// grow with their magnitude.
+    pub fn new(algebra: &A) -> Self {
+        BalancedSum {
+            slots: Vec::new(),
+            balanced: algebra.growing_elements(),
+        }
+    }
+
+    /// Adds one term (binary-counter carry: merge equal-weight partial sums
+    /// until an empty slot absorbs the carry).
+    pub fn push(&mut self, algebra: &A, mut value: A::Elem) {
+        if !self.balanced {
+            match self.slots.first_mut().and_then(Option::as_mut) {
+                Some(total) => algebra.add_assign(total, &value),
+                None => self.slots = vec![Some(value)],
+            }
+            return;
+        }
+        for slot in &mut self.slots {
+            match slot.take() {
+                None => {
+                    *slot = Some(value);
+                    return;
+                }
+                Some(other) => algebra.add_assign(&mut value, &other),
+            }
+        }
+        self.slots.push(Some(value));
+    }
+
+    /// Folds the remaining partial sums, smallest first, into the total.
+    pub fn finish(self, algebra: &A) -> A::Elem {
+        let mut acc: Option<A::Elem> = None;
+        for value in self.slots.into_iter().flatten() {
+            acc = Some(match acc {
+                None => value,
+                Some(mut sum) => {
+                    algebra.add_assign(&mut sum, &value);
+                    sum
+                }
+            });
+        }
+        acc.unwrap_or_else(|| algebra.zero())
+    }
+}
+
 /// One DFS worker: owns the mutable power caches and accumulators.
 struct Worker<'e, A: Algebra> {
     eng: &'e Engine<'e, A>,
@@ -316,7 +392,10 @@ struct Worker<'e, A: Algebra> {
     last_pair_pows: Option<Powers<A>>,
     /// Scratch buffer for `R_b^t`, `t = 0..=rem`, in the fused bottom loop.
     tail_pows: Vec<A::Elem>,
-    total: A::Elem,
+    /// `term × leaf` products accumulate through a balanced sum tree so the
+    /// operands of each addition stay comparable in size (see
+    /// [`BalancedSum`]).
+    total: BalancedSum<A>,
     summed: usize,
     pruned: usize,
 }
@@ -339,21 +418,24 @@ impl<'e, A: Algebra> Worker<'e, A> {
                 .then(|| Powers::new(algebra, eng.cross[eng.k - 2][eng.k - 1].clone(), eng.n)),
             tail_pows: Vec::new(),
             eng,
-            total: algebra.zero(),
+            total: BalancedSum::new(algebra),
             summed: 0,
             pruned: 0,
         }
     }
 
     /// The factor a single cell contributes for count `m`: `u^m · r_cc^{C(m,2)}`.
+    /// Multiplies two borrowed cache entries instead of cloning one and
+    /// multiplying in place — the caches hand out references, so the only
+    /// allocation is the product itself.
     fn own_factor(&mut self, cell: usize, m: usize) -> A::Elem {
         let algebra = self.eng.algebra;
-        let mut f = self.u_pows[cell].pow(algebra, m);
-        if !algebra.is_zero(&f) && m >= 2 {
-            let d = self.diag_pows[cell].pow_ref(algebra, m * (m - 1) / 2);
-            algebra.mul_assign(&mut f, d);
+        let u = self.u_pows[cell].pow_ref(algebra, m);
+        if m < 2 || algebra.is_zero(u) {
+            return u.clone();
         }
-        f
+        let d = self.diag_pows[cell].pow_ref(algebra, m * (m - 1) / 2);
+        algebra.mul(u, d)
     }
 
     /// Handles one top-level count `m₀` (the unit of parallel work): cells
@@ -391,7 +473,7 @@ impl<'e, A: Algebra> Worker<'e, A> {
                 algebra.mul_assign(&mut leaf, &algebra.pow(&r[0], rem));
             }
             if !algebra.is_zero(&leaf) {
-                algebra.add_assign(&mut self.total, &algebra.mul(term, &leaf));
+                self.total.push(algebra, algebra.mul(term, &leaf));
             }
             return;
         }
@@ -473,7 +555,7 @@ impl<'e, A: Algebra> Worker<'e, A> {
             if !algebra.is_zero(&leaf) {
                 algebra.mul_assign(&mut leaf, &a_side);
                 algebra.mul_assign(&mut leaf, &self.eng.binom[rem][m]);
-                algebra.add_assign(&mut self.total, &algebra.mul(term, &leaf));
+                self.total.push(algebra, algebra.mul(term, &leaf));
             }
         }
         self.tail_pows = tail_pows; // hand the scratch buffer back
@@ -591,6 +673,38 @@ mod tests {
                 dfs_stats.valid_cells - dfs_stats.zero_weight_cells_pruned
             )
         );
+    }
+
+    #[test]
+    fn balanced_sum_matches_sequential_addition() {
+        // Exact ring: reassociation cannot change the value.
+        let mut tree = BalancedSum::new(&Exact);
+        let mut seq = Weight::zero();
+        for i in 0..=100i64 {
+            let term = weight_ratio(i * i - 7, 1 + i);
+            seq += &term;
+            tree.push(&Exact, term);
+        }
+        assert_eq!(tree.finish(&Exact), seq);
+        // Empty and single-element accumulators.
+        assert_eq!(BalancedSum::new(&Exact).finish(&Exact), Weight::zero());
+        let mut one = BalancedSum::new(&Exact);
+        one.push(&Exact, weight_ratio(3, 4));
+        assert_eq!(one.finish(&Exact), weight_ratio(3, 4));
+        // Non-power-of-two counts leave a mixed set of filled slots.
+        for count in [2usize, 3, 5, 31, 33] {
+            let mut tree = BalancedSum::new(&Exact);
+            for _ in 0..count {
+                tree.push(&Exact, Weight::one());
+            }
+            assert_eq!(tree.finish(&Exact), weight_ratio(count as i64, 1));
+        }
+        // Running mode (LogF64 has constant-size elements) still sums.
+        let mut log_tree = BalancedSum::new(&LogF64);
+        for i in 1..=10i64 {
+            log_tree.push(&LogF64, LogF64.from_weight(&weight_ratio(i, 1)));
+        }
+        assert!((log_tree.finish(&LogF64).to_f64() - 55.0).abs() < 1e-9);
     }
 
     #[test]

@@ -137,6 +137,17 @@ pub trait Algebra: Send + Sync {
     /// non-zero `b`; [`Poly`] returns `Some` exactly for remainder-free
     /// divisions.
     fn try_div(&self, a: &Self::Elem, b: &Self::Elem) -> Option<Self::Elem>;
+
+    /// True when the size of an element — and so the cost of adding two —
+    /// grows with the magnitude (or degree) of the value it represents, as
+    /// for exact rationals and polynomials. Accumulators use this to choose
+    /// between a balanced sum tree (operands of comparable size; the
+    /// asymptotic win for growing elements) and a plain running total
+    /// (optimal for constant-size elements such as log-space floats, where
+    /// the tree's bookkeeping is pure overhead).
+    fn growing_elements(&self) -> bool {
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -411,6 +422,12 @@ impl Algebra for LogF64 {
             sign: a.sign * b.sign,
             ln: a.ln - b.ln,
         })
+    }
+
+    fn growing_elements(&self) -> bool {
+        // A LogWeight is two machine words regardless of magnitude; adding
+        // through a balanced tree would only add bookkeeping.
+        false
     }
 }
 

@@ -111,10 +111,23 @@ impl Polynomial {
     }
 
     /// Schoolbook product (the degrees in the WFOMC workloads stay small
-    /// enough — at most `n²` — that no FFT is warranted).
+    /// enough — at most `n²` — that no FFT is warranted). Constant factors —
+    /// the binomials and cell weights that dominate the cell-sum engine's
+    /// `Poly` runs — scale coefficientwise without the convolution loop, and
+    /// the coefficient arithmetic itself rides the bignum's inline
+    /// small-value representation.
     pub fn mul(&self, other: &Polynomial) -> Polynomial {
         if self.is_zero() || other.is_zero() {
             return Polynomial::zero();
+        }
+        let scale = |p: &Polynomial, c: &Weight| {
+            Polynomial::from_coeffs(p.coeffs.iter().map(|a| a * c).collect())
+        };
+        if self.coeffs.len() == 1 {
+            return scale(other, &self.coeffs[0]);
+        }
+        if other.coeffs.len() == 1 {
+            return scale(self, &other.coeffs[0]);
         }
         let mut coeffs = vec![Weight::zero(); self.coeffs.len() + other.coeffs.len() - 1];
         for (i, a) in self.coeffs.iter().enumerate() {
@@ -244,6 +257,10 @@ mod tests {
         // (1 + 2z)(3 + z²) = 3 + 6z + z² + 2z³.
         assert_eq!(p.mul(&q), poly(&[3, 6, 1, 2]));
         assert_eq!(p.mul(&Polynomial::zero()), Polynomial::zero());
+        // Constant factors take the coefficientwise fast path (both sides).
+        assert_eq!(q.mul(&poly(&[-2])), poly(&[-6, 0, -2]));
+        assert_eq!(poly(&[-2]).mul(&q), poly(&[-6, 0, -2]));
+        assert_eq!(poly(&[0]).mul(&q), Polynomial::zero());
     }
 
     #[test]

@@ -86,12 +86,18 @@ impl PowCache {
 
     /// `base^exp`, from the dense table when `exp ≤ cap`, otherwise by
     /// memoized square-and-multiply.
+    ///
+    /// Returns a clone; prefer [`pow_ref`](Self::pow_ref) on hot paths.
+    /// (Word-sized powers clone allocation-free since the bignum's inline
+    /// small-value representation, so the distinction only matters for
+    /// genuinely large values.)
     pub fn pow(&mut self, exp: usize) -> Weight {
         self.inner.pow(&crate::algebra::Exact, exp)
     }
 
-    /// Like [`pow`](Self::pow) but borrows the cached value — hot loops that
-    /// immediately `*=` the power avoid cloning a big rational per lookup.
+    /// Like [`pow`](Self::pow) but borrows the cached value — hot loops
+    /// multiply two borrowed powers (or `*=` one) without ever cloning a
+    /// heap-sized rational per lookup.
     pub fn pow_ref(&mut self, exp: usize) -> &Weight {
         self.inner.pow_ref(&crate::algebra::Exact, exp)
     }

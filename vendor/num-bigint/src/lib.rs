@@ -1,10 +1,13 @@
 //! Offline stand-in for the `num-bigint` crate.
 //!
 //! Arbitrary-precision integers with the subset of the real crate's API that
-//! this workspace uses: [`BigUint`] (little-endian `u32` limbs) and the
-//! sign-magnitude [`BigInt`], with exact add/sub/mul, truncating div/rem,
-//! left shift, comparison, decimal parsing and formatting, and the
-//! `num-traits` trait implementations.
+//! this workspace uses: [`BigUint`] (inline `u64` below `2⁶⁴`, little-endian
+//! `u32` limbs above — see the `biguint` module docs for the representation
+//! and the Karatsuba multiplication dispatch) and the sign-magnitude
+//! [`BigInt`], with exact add/sub/mul, truncating div/rem, left shift,
+//! comparison, decimal parsing and formatting, and the `num-traits` trait
+//! implementations. The API mirrors the real crate so swapping back to
+//! crates.io remains a one-line change in the workspace manifest.
 
 #![forbid(unsafe_code)]
 

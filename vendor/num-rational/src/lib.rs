@@ -46,7 +46,14 @@ impl BigRational {
                 denom: BigInt::one(),
             };
         }
+        // Integers are already canonical — skip the gcd entirely.
+        if denom.is_one() {
+            return BigRational { numer, denom };
+        }
         let g = gcd(&numer, &denom);
+        if g.is_one() {
+            return BigRational { numer, denom };
+        }
         BigRational {
             numer: numer / &g,
             denom: denom / &g,
@@ -94,6 +101,17 @@ impl BigRational {
     // sum can share with the denominator divides g, so the final reduction
     // works on small numbers instead of the full cross products.
     fn add_sub(&self, other: &BigRational, negate: bool) -> BigRational {
+        // Zero operands (pruned terms, empty accumulators) skip the gcds.
+        if other.numer.is_zero() {
+            return self.clone();
+        }
+        if self.numer.is_zero() {
+            return if negate {
+                -other.clone()
+            } else {
+                other.clone()
+            };
+        }
         let rhs_numer = if negate {
             -&other.numer
         } else {
@@ -129,10 +147,22 @@ impl BigRational {
 
     // Multiplication with cross-reduction: cancel gcd(n1, d2) and
     // gcd(n2, d1) first so the result is canonical without a gcd of the full
-    // products.
+    // products. Zero and ±1 operands — the overwhelmingly common factors in
+    // the counting hot loops (pruned terms, unweighted predicates, binomial
+    // edges) — skip the gcds entirely.
     fn mul_rat(&self, other: &BigRational) -> BigRational {
-        if self.denom.is_one() && other.denom.is_one() {
-            return BigRational::from_integer(&self.numer * &other.numer);
+        if self.numer.is_zero() || other.numer.is_zero() {
+            return BigRational::zero();
+        }
+        if self.is_integer() {
+            if self.numer.is_one() {
+                return other.clone();
+            }
+            if other.denom.is_one() {
+                return BigRational::from_integer(&self.numer * &other.numer);
+            }
+        } else if other.is_integer() && other.numer.is_one() {
+            return self.clone();
         }
         let g1 = gcd(&self.numer, &other.denom);
         let g2 = gcd(&other.numer, &self.denom);
@@ -168,7 +198,11 @@ impl PartialOrd for BigRational {
 
 impl Ord for BigRational {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Denominators are positive by the canonical-form invariant.
+        // Denominators are positive by the canonical-form invariant; equal
+        // denominators (integers in particular) need no cross products.
+        if self.denom == other.denom {
+            return self.numer.cmp(&other.numer);
+        }
         (&self.numer * &other.denom).cmp(&(&other.numer * &self.denom))
     }
 }

@@ -6,15 +6,21 @@
 //! [`test_runner::ProptestConfig`], and the [`proptest!`], [`prop_assert!`]
 //! and [`prop_assert_eq!`] macros.
 //!
-//! Semantics: each `proptest!` test runs `config.cases` iterations of seeded
-//! random generation (deterministic per test name), and `prop_assert*` is a
-//! plain assertion. There is **no shrinking** — a failing case reports the
-//! generated values via the panic message only.
+//! Semantics: each `proptest!` test replays the seeds stored in its
+//! `proptest-regressions/<test>.txt` file (if any), then runs `config.cases`
+//! iterations of seeded random generation — one fresh `u64` seed per case,
+//! drawn deterministically from the test name, so runs are reproducible.
+//! `config.cases` defaults to 256 and honors the `PROPTEST_CASES`
+//! environment variable. A failing case persists its seed to the regression
+//! file (commit it — see [`regressions`]) and re-raises the panic. There is
+//! **no shrinking** — a failing case reports the generated values via the
+//! panic message only.
 
 #![forbid(unsafe_code)]
 
 pub mod arbitrary;
 pub mod collection;
+pub mod regressions;
 pub mod strategy;
 pub mod test_runner;
 
@@ -47,11 +53,41 @@ macro_rules! __proptest_impl {
         $(
             $(#[$meta])+
             fn $name() {
-                let config: $crate::test_runner::ProptestConfig = $config;
-                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
-                for __case in 0..config.cases {
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                    $body
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                // The regression file lives under the crate being tested
+                // (env! and module_path! resolve at the expansion site).
+                let __regression_path = $crate::regressions::regression_file(
+                    env!("CARGO_MANIFEST_DIR"),
+                    module_path!(),
+                    stringify!($name),
+                );
+                let __stored = $crate::regressions::load_seeds(&__regression_path);
+                let mut __seed_rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..(__stored.len() + __config.cases as usize) {
+                    // Stored counterexample seeds replay before fresh cases.
+                    let __seed = if __case < __stored.len() {
+                        __stored[__case]
+                    } else {
+                        __seed_rng.next_u64()
+                    };
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+                            $(let $arg =
+                                $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                            $body
+                        }),
+                    );
+                    if let Err(__panic) = __outcome {
+                        $crate::regressions::save_seed(&__regression_path, __seed);
+                        eprintln!(
+                            "proptest: test {} failed with seed {} (persisted to {})",
+                            stringify!($name),
+                            __seed,
+                            __regression_path.display(),
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
                 }
             }
         )*

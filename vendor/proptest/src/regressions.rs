@@ -1,0 +1,123 @@
+//! Persistence of failing-case seeds, mirroring the real proptest's
+//! `proptest-regressions/` files.
+//!
+//! Every `proptest!` case is generated from one `u64` seed. When a case
+//! fails, its seed is appended (best-effort) to
+//! `<CARGO_MANIFEST_DIR>/proptest-regressions/<test_name>.txt`; on the next
+//! run the stored seeds are replayed *before* fresh random cases, so a
+//! once-found counterexample keeps guarding the code after the fix — commit
+//! the files to source control to share that protection across machines and
+//! CI.
+//!
+//! File format: `#`-prefixed comment lines plus one `cc <seed>` line per
+//! stored case (the `cc` prefix matches the real crate's files; the payload
+//! here is the raw case seed rather than a strategy digest).
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The regression file for one test:
+/// `proptest-regressions/<module__path__test>.txt` under the crate being
+/// tested. The module path is part of the key so that same-named `proptest!`
+/// tests in different modules of one crate keep separate seed files (the
+/// real crate disambiguates via the source file path).
+pub fn regression_file(manifest_dir: &str, module_path: &str, test_name: &str) -> PathBuf {
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!(
+            "{}__{test_name}.txt",
+            module_path.replace("::", "__")
+        ))
+}
+
+/// Reads the stored seeds (missing or unreadable files mean no seeds).
+pub fn load_seeds(path: &Path) -> Vec<u64> {
+    let Ok(content) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    content
+        .lines()
+        .filter_map(|line| line.trim().strip_prefix("cc ")?.trim().parse().ok())
+        .collect()
+}
+
+/// Appends a failing seed, creating the directory and a comment header on
+/// first use. Persistence is best-effort: an unwritable tree only degrades
+/// to an eprintln (the test is failing anyway, and the seed is in its
+/// output).
+pub fn save_seed(path: &Path, seed: u64) {
+    if load_seeds(path).contains(&seed) {
+        return;
+    }
+    let result = (|| -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        if file.metadata()?.len() == 0 {
+            writeln!(
+                file,
+                "# Seeds for failure cases proptest has generated in the past."
+            )?;
+            writeln!(
+                file,
+                "# It is recommended to check this file in to source control so"
+            )?;
+            writeln!(
+                file,
+                "# that everyone who runs the test benefits from these saved cases."
+            )?;
+        }
+        writeln!(file, "cc {seed}")
+    })();
+    if let Err(e) = result {
+        eprintln!("proptest: could not persist regression seed {seed} to {path:?}: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_file_is_module_qualified() {
+        let path = regression_file("/crate", "my_crate::arith::tests", "roundtrip");
+        assert_eq!(
+            path,
+            Path::new("/crate/proptest-regressions/my_crate__arith__tests__roundtrip.txt")
+        );
+    }
+
+    #[test]
+    fn seeds_round_trip_through_the_file() {
+        let dir =
+            std::env::temp_dir().join(format!("proptest-regressions-test-{}", std::process::id()));
+        let path = dir.join("proptest-regressions").join("some_test.txt");
+        assert!(load_seeds(&path).is_empty());
+        save_seed(&path, 42);
+        save_seed(&path, 7);
+        save_seed(&path, 42); // duplicates are not stored twice
+        assert_eq!(load_seeds(&path), vec![42, 7]);
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with('#'), "header comment present");
+        assert_eq!(content.matches("cc ").count(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_are_ignored() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-regressions-malformed-{}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.txt");
+        fs::write(&path, "# comment\ncc 9\nnot a seed\ncc nonsense\n").unwrap();
+        assert_eq!(load_seeds(&path), vec![9]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -15,8 +15,15 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable through the `PROPTEST_CASES` environment
+    /// variable (matching the real crate) so CI can pin an explicit budget
+    /// and local runs can crank it up without editing tests.
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
     }
 }
 
@@ -37,6 +44,12 @@ impl TestRng {
             hash = hash.wrapping_mul(0x100000001b3);
         }
         TestRng { state: hash }
+    }
+
+    /// An RNG with an explicit seed — one stored case in a
+    /// `proptest-regressions/` file is exactly one such seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
     }
 
     /// Next raw 64-bit value (SplitMix64).
