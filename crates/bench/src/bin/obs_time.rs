@@ -1,0 +1,81 @@
+//! Wall-clock snapshot tool for the observability layer's overhead. Prints
+//! one JSON object per (workload, runtime-toggle) pair so before/after
+//! numbers can be recorded in `BENCH_obs.json`. Run **twice** — once per
+//! compile configuration — to get the A/B:
+//!
+//! ```text
+//! cargo run --release -p wfomc-bench --bin obs_time                  # feature off
+//! cargo run --release -p wfomc-bench --features obs --bin obs_time   # feature on
+//! ```
+//!
+//! With the `obs` feature compiled out, every counter/span call in the hot
+//! paths is a no-op ZST the optimizer deletes — those rows are the "is the
+//! instrumentation really free?" guard, compared against the pre-obs
+//! `BENCH_fo2.json` / `BENCH_plan.json` baselines. With the feature on, the
+//! `runtime: disabled` rows cost one relaxed atomic load per call site and
+//! the `runtime: enabled` rows pay the full price (atomic increments plus
+//! thread-local span accounting).
+
+use wfomc::core::fo2::wfomc_fo2;
+use wfomc::prelude::*;
+use wfomc_bench::{plan_reuse_workloads, standard_weights, time_ms};
+
+/// A named, repeatable measurement target.
+type Workload = (&'static str, Box<dyn FnMut()>);
+
+fn main() {
+    let feature = if cfg!(feature = "obs") { "on" } else { "off" };
+    let weights = standard_weights();
+
+    let fo2 = |sentence: Formula, n: usize| {
+        let voc = sentence.vocabulary();
+        let w = weights.clone();
+        move || {
+            wfomc_fo2(&sentence, &voc, n, &w).expect("obs_time workload lifts");
+        }
+    };
+    let plan_sweep = || {
+        let (name, solver, sentence, points) = plan_reuse_workloads(16)
+            .into_iter()
+            .find(|(name, ..)| *name == "fo2/quad-binary-n-sweep")
+            .expect("known workload");
+        move || {
+            let plan = solver
+                .plan(&Problem::new(sentence.clone()))
+                .unwrap_or_else(|e| panic!("{name} plans: {e:?}"));
+            for (n, w) in &points {
+                let _ = plan.count(*n, w).expect("obs_time count succeeds");
+            }
+        }
+    };
+
+    let mut workloads: Vec<Workload> = vec![
+        (
+            "fo2-smokers-30",
+            Box::new(fo2(catalog::smokers_constraint(), 30)),
+        ),
+        (
+            "fo2-table1-30",
+            Box::new(fo2(catalog::table1_sentence(), 30)),
+        ),
+        ("plan-quad-binary-n-sweep", Box::new(plan_sweep())),
+    ];
+
+    for (name, run) in &mut workloads {
+        for enabled in [false, true] {
+            // A no-op without the feature: both rows then measure the same
+            // compiled-out path, which keeps the output schema uniform.
+            wfomc_obs::set_enabled(enabled);
+            run(); // warm-up
+            let ms = (0..3)
+                .map(|_| time_ms(&mut *run))
+                .fold(f64::INFINITY, f64::min);
+            let runtime = if enabled { "enabled" } else { "disabled" };
+            println!(
+                "{{\"workload\": \"{name}\", \"obs_feature\": \"{feature}\", \
+                 \"runtime\": \"{runtime}\", \"ms\": {ms:.2}}}"
+            );
+        }
+    }
+    wfomc_obs::set_enabled(false);
+}

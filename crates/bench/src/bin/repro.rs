@@ -10,7 +10,17 @@
 //! when any of them regresses more than `PERF_GATE_FACTOR` (default 2×,
 //! plus `PERF_GATE_SLACK_MS` of absolute headroom for runner noise) against
 //! the baselines committed in the `BENCH_*.json` snapshots; set
-//! `PERF_GATE_SKIP=1` to bypass it.
+//! `PERF_GATE_SKIP=1` to bypass it. The gate also checks cache
+//! effectiveness: the plan-reuse workloads must hit their weight-binding /
+//! grounding caches at least `PERF_GATE_MIN_HIT_RATE` (default 90%) of the
+//! time.
+//! `-- trace --experiment <name>` times one experiment phase by phase
+//! (parse / plan / bind / evaluate) and writes `target/trace.json`
+//! (override with `TRACE_JSON`).
+//! Both `smoke` and `perf-gate` also write a `wfomc-obs/v1` metrics
+//! snapshot (`target/metrics-smoke.json` / `target/metrics-perf-gate.json`)
+//! for CI artifacts; the counters are live when the harness is built with
+//! `--features obs` and all zeros otherwise.
 
 use std::env;
 use std::time::Instant;
@@ -24,10 +34,13 @@ use wfomc::prelude::*;
 use wfomc::reductions::theta1::theta1;
 use wfomc_bench::{
     approx, bignum_factorial_chain, bignum_harmonic, bignum_square_chain, fo2_scaling_workload,
-    plan_reuse_workloads, short, smokers_mln, standard_weights, time_ms,
+    plan_reuse_workloads, run_trace, short, smokers_mln, standard_weights, time_ms,
 };
 
 fn main() {
+    // No-op unless the harness is built with `--features obs`; with it, every
+    // experiment below feeds the counter registry and the span table.
+    wfomc_obs::set_enabled(true);
     let which = env::args().nth(1).unwrap_or_else(|| "all".to_string());
     if which == "smoke" {
         smoke();
@@ -35,6 +48,16 @@ fn main() {
     }
     if which == "perf-gate" {
         perf_gate();
+        return;
+    }
+    if which == "trace" {
+        let args: Vec<String> = env::args().skip(2).collect();
+        let experiment = args
+            .iter()
+            .position(|a| a == "--experiment")
+            .and_then(|i| args.get(i + 1))
+            .map_or("plan-reuse", String::as_str);
+        trace_experiment(experiment);
         return;
     }
     let all = which == "all";
@@ -353,7 +376,54 @@ fn smoke() {
         Ok(()) => println!("\nsmoke timings written to {path}"),
         Err(e) => eprintln!("\nsmoke: could not write timings to {path}: {e}"),
     }
+    write_metrics_snapshot("smoke", "SMOKE_METRICS_JSON", "target/metrics-smoke.json");
     println!("smoke: ok");
+}
+
+/// Writes the current `wfomc-obs/v1` metrics snapshot for CI artifacts.
+/// Counters are live under `--features obs` and all zeros otherwise — the
+/// file exists either way, so artifact uploads never dangle.
+fn write_metrics_snapshot(run: &str, env_override: &str, default_path: &str) {
+    wfomc_obs::flush_thread();
+    let path = env::var(env_override).unwrap_or_else(|_| default_path.to_string());
+    let json = wfomc_obs::snapshot()
+        .label("run", run)
+        .label(
+            "obs_feature",
+            if cfg!(feature = "obs") { "on" } else { "off" },
+        )
+        .to_json();
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("metrics snapshot written to {path}"),
+        Err(e) => eprintln!("{run}: could not write metrics snapshot to {path}: {e}"),
+    }
+}
+
+/// The `trace` subcommand: per-phase timings of one experiment, printed and
+/// written to `target/trace.json` (override with `TRACE_JSON`).
+fn trace_experiment(experiment: &str) {
+    header(&format!("Trace: {experiment}, phase by phase"));
+    let trace = run_trace(experiment);
+    println!("{:<12} {:>10}", "phase", "ms");
+    for (phase, ms) in &trace.phases {
+        println!("{phase:<12} {ms:>10.3}");
+    }
+    let sum: f64 = trace.phases.iter().map(|(_, ms)| ms).sum();
+    println!(
+        "{:<12} {sum:>10.3}   (wall {:.3} ms)",
+        "total", trace.wall_ms
+    );
+    let path = env::var("TRACE_JSON").unwrap_or_else(|_| "target/trace.json".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, trace.to_json()) {
+        Ok(()) => println!("trace written to {path}"),
+        Err(e) => eprintln!("trace: could not write {path}: {e}"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -540,17 +610,84 @@ fn perf_gate() {
             gate.name
         ));
     }
+    // Cache-effectiveness gate: the whole point of plan-then-execute is that
+    // repeated counts hit the prepared caches. Re-run two plan-reuse
+    // workloads on fresh plans and require their cache hit rates (always-on
+    // accounting, no obs feature needed) to clear the bar: 16 points with
+    // one distinct weight function / domain size ⇒ 15/16 = 93.75% ≥ 90%.
+    let min_rate: f64 = env::var("PERF_GATE_MIN_HIT_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.90);
+    println!(
+        "\n{:<28} {:>12} {:>12}  status",
+        "cache gate", "hit rate", "required"
+    );
+    for (gate_name, workload, family) in [
+        (
+            "cache/fo2-bind-hit-rate",
+            "fo2/quad-binary-n-sweep",
+            Method::Fo2,
+        ),
+        (
+            "cache/ground-hit-rate",
+            "ground/transitivity-weight-sweep",
+            Method::Ground,
+        ),
+    ] {
+        let (name, solver, sentence, points) = plan_reuse_workloads(16)
+            .into_iter()
+            .find(|(name, ..)| *name == workload)
+            .expect("cache gate references a known plan-reuse workload");
+        let plan = solver
+            .plan(&Problem::new(sentence))
+            .unwrap_or_else(|e| panic!("{name} plans: {e:?}"));
+        assert_eq!(
+            plan.method(),
+            family,
+            "{name} planned to an unexpected method"
+        );
+        for (n, w) in &points {
+            let _ = plan.count(*n, w).expect("cache gate count succeeds");
+        }
+        let stats = plan.cache_stats();
+        let rate = match family {
+            Method::Fo2 => stats.fo2_bind_hit_rate(),
+            _ => stats.ground_hit_rate(),
+        }
+        .unwrap_or(0.0);
+        let ok = rate >= min_rate;
+        failed |= !ok;
+        println!(
+            "{gate_name:<28} {:>11.1}% {:>11.1}%  {}",
+            rate * 100.0,
+            min_rate * 100.0,
+            if ok { "ok" } else { "LOW" }
+        );
+        rows.push(format!(
+            "  {{\"workload\": \"{gate_name}\", \"hit_rate\": {rate:.4}, \
+             \"required\": {min_rate:.4}, \"ok\": {ok}}}"
+        ));
+    }
+
     let json = format!("[\n{}\n]\n", rows.join(",\n"));
     let _ = std::fs::create_dir_all("target");
     if let Err(e) = std::fs::write("target/perf-gate.json", &json) {
         eprintln!("perf-gate: could not write target/perf-gate.json: {e}");
     }
+    write_metrics_snapshot(
+        "perf-gate",
+        "PERF_GATE_METRICS_JSON",
+        "target/metrics-perf-gate.json",
+    );
     if failed {
         eprintln!(
-            "perf-gate: FAILED — a workload regressed beyond {factor}× its committed baseline. \
-             If the regression is expected (e.g. a slower but more capable path), update the \
-             BENCH_*.json baselines in the same change; for a noisy runner, raise \
-             PERF_GATE_FACTOR / PERF_GATE_SLACK_MS or set PERF_GATE_SKIP=1."
+            "perf-gate: FAILED — a workload regressed beyond {factor}× its committed baseline \
+             or a plan-reuse cache hit rate fell below {:.0}%. If the regression is expected \
+             (e.g. a slower but more capable path), update the BENCH_*.json baselines in the \
+             same change; for a noisy runner, raise PERF_GATE_FACTOR / PERF_GATE_SLACK_MS or \
+             set PERF_GATE_SKIP=1.",
+            min_rate * 100.0
         );
         std::process::exit(1);
     }

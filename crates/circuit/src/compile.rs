@@ -97,6 +97,7 @@ impl CompiledCnf {
 /// # Panics
 /// Panics if a clause mentions a variable `>= num_vars`.
 pub fn compile(num_vars: usize, clauses: &[Vec<CLit>]) -> CompiledCnf {
+    let _span = wfomc_obs::span("circuit.compile");
     // Normalize: dedupe literals, drop tautological clauses.
     let mut normalized: ClauseSet = Vec::with_capacity(clauses.len());
     for clause in clauses {
@@ -136,6 +137,10 @@ pub fn compile(num_vars: usize, clauses: &[Vec<CLit>]) -> CompiledCnf {
         decisions: compiler.decisions,
         cache_hits: compiler.cache_hits,
     };
+    wfomc_obs::metrics::CIRCUIT_COMPILES.inc();
+    wfomc_obs::metrics::CIRCUIT_NODES.add(stats.nodes as u64);
+    wfomc_obs::metrics::CIRCUIT_EDGES.add(stats.edges as u64);
+    wfomc_obs::metrics::CIRCUIT_CACHE_HITS.add(stats.cache_hits as u64);
     CompiledCnf {
         circuit,
         root,

@@ -147,7 +147,7 @@ pub fn gamma_acyclic_probability_multi_memo(
             vars: vars_of_atom,
         });
     }
-    reduce(&state, &mut memo.map)
+    reduce(&state, memo)
 }
 
 /// A memo table for the γ-acyclic reduction, reusable across calls (the key
@@ -155,6 +155,11 @@ pub fn gamma_acyclic_probability_multi_memo(
 #[derive(Clone, Debug, Default)]
 pub struct CqMemo {
     map: HashMap<Key, Weight>,
+    /// Lifetime lookup hits — always-on accounting (the memo is only touched
+    /// under `&mut`, so these are plain integers, not atomics).
+    hits: u64,
+    /// Lifetime lookup misses (each one ran a reduction rule).
+    misses: u64,
 }
 
 impl CqMemo {
@@ -168,12 +173,32 @@ impl CqMemo {
         self.map.is_empty()
     }
 
-    /// Merges another memo's entries into this one. Keys are pure functions
-    /// of the residual query shape (probabilities and domain sizes included),
-    /// so divergent entries cannot exist and the merge is a plain union —
-    /// this is what lets batch evaluation clone a memo into each worker and
-    /// fold the workers' discoveries back in at the end.
+    /// Lifetime `(hits, misses)` of the memo's lookups. Always-on — no `obs`
+    /// feature needed.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// A copy sharing this memo's entries but with zeroed hit/miss tallies —
+    /// what batch workers clone in, so folding their tallies back through
+    /// [`absorb`](Self::absorb) counts each lookup exactly once.
+    pub fn clone_for_worker(&self) -> CqMemo {
+        CqMemo {
+            map: self.map.clone(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Merges another memo's entries and hit/miss tallies into this one.
+    /// Keys are pure functions of the residual query shape (probabilities
+    /// and domain sizes included), so divergent entries cannot exist and the
+    /// merge is a plain union — this is what lets batch evaluation clone a
+    /// memo into each worker and fold the workers' discoveries back in at
+    /// the end.
     pub fn absorb(&mut self, other: CqMemo) {
+        self.hits += other.hits;
+        self.misses += other.misses;
         if self.map.is_empty() {
             self.map = other.map;
         } else {
@@ -241,7 +266,7 @@ impl State {
     }
 }
 
-fn reduce(state: &State, memo: &mut HashMap<Key, Weight>) -> Result<Weight, LiftError> {
+fn reduce(state: &State, memo: &mut CqMemo) -> Result<Weight, LiftError> {
     if state.edges.is_empty() {
         return Ok(Weight::one());
     }
@@ -251,16 +276,20 @@ fn reduce(state: &State, memo: &mut HashMap<Key, Weight>) -> Result<Weight, Lift
         return Ok(Weight::zero());
     }
     let key = state.key();
-    if let Some(hit) = memo.get(&key) {
+    if let Some(hit) = memo.map.get(&key) {
+        memo.hits += 1;
+        wfomc_obs::metrics::CQ_MEMO_HITS.inc();
         return Ok(hit.clone());
     }
+    memo.misses += 1;
+    wfomc_obs::metrics::CQ_MEMO_MISSES.inc();
 
     let result = apply_rule(state, memo)?;
-    memo.insert(key, result.clone());
+    memo.map.insert(key, result.clone());
     Ok(result)
 }
 
-fn apply_rule(state: &State, memo: &mut HashMap<Key, Weight>) -> Result<Weight, LiftError> {
+fn apply_rule(state: &State, memo: &mut CqMemo) -> Result<Weight, LiftError> {
     // Rule (c): empty edge.
     if let Some(i) = state.edges.iter().position(|e| e.vars.is_empty()) {
         let mut next = state.clone();

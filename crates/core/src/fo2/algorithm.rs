@@ -41,6 +41,29 @@ pub struct Fo2Stats {
     pub zero_weight_cells_pruned: usize,
 }
 
+impl std::fmt::Display for Fo2Stats {
+    /// The full human-readable cost profile. Earlier formatting only showed
+    /// the composition prune ratio and silently dropped the cell-level
+    /// accounting; this surfaces every collected field, in particular the
+    /// zero-weight cells dropped before the sum ("zero cells" — there is no
+    /// cell *merging* yet; when ROADMAP item 4 lands its `cells_merged`
+    /// count joins this line).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cells ({} zero cells dropped), {} summed + {} pruned of {} compositions, \
+             {} Shannon branch(es), {} introduced predicate(s)",
+            self.total_valid_cells,
+            self.zero_weight_cells_pruned,
+            self.compositions_summed,
+            self.compositions_pruned,
+            self.compositions_total,
+            self.shannon_branches,
+            self.introduced_predicates,
+        )
+    }
+}
+
 impl Fo2Stats {
     /// All counters saturate, so `summed + pruned = total` may degrade to an
     /// inequality only when every involved count has already pinned at
@@ -257,6 +280,18 @@ mod tests {
         assert_eq!(stats.shannon_branches, 1);
         assert!(stats.total_valid_cells >= 3);
         assert!(stats.compositions_summed > 0);
+    }
+
+    #[test]
+    fn stats_display_surfaces_the_cell_accounting() {
+        let f = catalog::forall_exists_edge();
+        let (_, stats) = wfomc_fo2_with_stats(&f, &f.vocabulary(), 5, &Weights::ones()).unwrap();
+        let text = stats.to_string();
+        assert!(text.contains("cells ("), "{text}");
+        assert!(text.contains("zero cells dropped"), "{text}");
+        assert!(text.contains("summed"), "{text}");
+        assert!(text.contains("Shannon branch(es)"), "{text}");
+        assert!(text.contains("introduced predicate(s)"), "{text}");
     }
 
     #[test]

@@ -329,6 +329,10 @@ pub struct BalancedSum<A: Algebra> {
     /// (balanced mode); in running mode only slot 0 is used.
     slots: Vec<Option<A::Elem>>,
     balanced: bool,
+    /// Ring additions performed so far — a plain local tally, flushed to the
+    /// `fo2.cellsum.balanced_sum_merges` counter once in [`finish`], so the
+    /// hot push loop never touches an atomic.
+    merges: u64,
 }
 
 impl<A: Algebra> BalancedSum<A> {
@@ -338,6 +342,7 @@ impl<A: Algebra> BalancedSum<A> {
         BalancedSum {
             slots: Vec::new(),
             balanced: algebra.growing_elements(),
+            merges: 0,
         }
     }
 
@@ -346,7 +351,10 @@ impl<A: Algebra> BalancedSum<A> {
     pub fn push(&mut self, algebra: &A, mut value: A::Elem) {
         if !self.balanced {
             match self.slots.first_mut().and_then(Option::as_mut) {
-                Some(total) => algebra.add_assign(total, &value),
+                Some(total) => {
+                    algebra.add_assign(total, &value);
+                    self.merges += 1;
+                }
                 None => self.slots = vec![Some(value)],
             }
             return;
@@ -357,24 +365,29 @@ impl<A: Algebra> BalancedSum<A> {
                     *slot = Some(value);
                     return;
                 }
-                Some(other) => algebra.add_assign(&mut value, &other),
+                Some(other) => {
+                    algebra.add_assign(&mut value, &other);
+                    self.merges += 1;
+                }
             }
         }
         self.slots.push(Some(value));
     }
 
     /// Folds the remaining partial sums, smallest first, into the total.
-    pub fn finish(self, algebra: &A) -> A::Elem {
+    pub fn finish(mut self, algebra: &A) -> A::Elem {
         let mut acc: Option<A::Elem> = None;
-        for value in self.slots.into_iter().flatten() {
+        for value in self.slots.drain(..).flatten() {
             acc = Some(match acc {
                 None => value,
                 Some(mut sum) => {
                     algebra.add_assign(&mut sum, &value);
+                    self.merges += 1;
                     sum
                 }
             });
         }
+        wfomc_obs::metrics::BALANCED_SUM_MERGES.add(self.merges);
         acc.unwrap_or_else(|| algebra.zero())
     }
 }

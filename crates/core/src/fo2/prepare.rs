@@ -15,6 +15,7 @@
 //! [`super::algorithm::wfomc_fo2`] is a thin prepare-then-count wrapper.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use num_traits::{One, Zero};
@@ -98,6 +99,12 @@ pub struct Fo2Prepared {
     /// alternating weight sweeps reuse their bindings instead of thrashing a
     /// single slot. Capacity [`BIND_CACHE_CAPACITY`].
     bound: Mutex<Vec<(Weights, Arc<Fo2Bound>)>>,
+    /// Lifetime hits of the binding LRU. Always-on (one relaxed add next to
+    /// a lock the cache takes anyway) so reports and the CI hit-rate gate
+    /// see cache behavior without the `obs` feature.
+    bind_hits: AtomicU64,
+    /// Lifetime misses of the binding LRU (each one ran a full bind).
+    bind_misses: AtomicU64,
 }
 
 impl Fo2Prepared {
@@ -180,6 +187,8 @@ impl Fo2Prepared {
             leftover,
             branches,
             bound: Mutex::new(Vec::new()),
+            bind_hits: AtomicU64::new(0),
+            bind_misses: AtomicU64::new(0),
         })
     }
 
@@ -263,10 +272,17 @@ impl Fo2Prepared {
                 let hit = cache.remove(at);
                 let bound = hit.1.clone();
                 cache.insert(0, hit);
+                self.bind_hits.fetch_add(1, Ordering::Relaxed);
+                wfomc_obs::metrics::FO2_BIND_HITS.inc();
                 return bound;
             }
         }
-        let bound = Arc::new(self.bind_in(&Exact, &AlgebraWeights::lift(&Exact, weights)));
+        self.bind_misses.fetch_add(1, Ordering::Relaxed);
+        wfomc_obs::metrics::FO2_BIND_MISSES.inc();
+        let bound = {
+            let _span = wfomc_obs::span("fo2.bind");
+            Arc::new(self.bind_in(&Exact, &AlgebraWeights::lift(&Exact, weights)))
+        };
         let mut cache = self.bound.lock().expect("fo2 bind cache poisoned");
         // A concurrent binder may have inserted the same key while the lock
         // was released; keep the cache duplicate-free.
@@ -274,6 +290,7 @@ impl Fo2Prepared {
             cache.insert(0, (weights.clone(), bound.clone()));
             cache.truncate(BIND_CACHE_CAPACITY);
         }
+        wfomc_obs::metrics::FO2_BIND_CACHED.set(cache.len() as u64);
         bound
     }
 
@@ -281,6 +298,15 @@ impl Fo2Prepared {
     /// LRU's capacity of 8).
     pub fn cached_bindings(&self) -> usize {
         self.bound.lock().expect("fo2 bind cache poisoned").len()
+    }
+
+    /// Lifetime `(hits, misses)` of the binding LRU. Always-on — no `obs`
+    /// feature needed.
+    pub fn bind_cache_stats(&self) -> (u64, u64) {
+        (
+            self.bind_hits.load(Ordering::Relaxed),
+            self.bind_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// `WFOMC` of the prepared sentence at domain size `n` under `weights`,
@@ -349,6 +375,7 @@ impl Fo2Prepared {
         allow_parallel: bool,
         eval: impl Fn(&BoundBranchIn<A::Elem>, bool) -> (A::Elem, CellSumStats) + Sync,
     ) -> (A::Elem, Fo2Stats) {
+        let _span = wfomc_obs::span("fo2.cellsum");
         let mut stats = Fo2Stats {
             introduced_predicates: self.introduced.len(),
             shannon_branches: self.shannon_branches(),
@@ -369,6 +396,8 @@ impl Fo2Prepared {
             stats.absorb_cell_sum(&branch_stats);
             algebra.add_assign(&mut total, &algebra.mul(&branch.factor, &value));
         }
+        wfomc_obs::metrics::CELLSUM_SUMMED.add(stats.compositions_summed as u64);
+        wfomc_obs::metrics::CELLSUM_PRUNED.add(stats.compositions_pruned as u64);
         (algebra.mul(&leftover, &total), stats)
     }
 }

@@ -53,7 +53,7 @@ use crate::cq::gamma_acyclic::{gamma_acyclic_probability, gamma_acyclic_wfomc_me
 use crate::error::LiftError;
 use crate::fo2::Fo2Prepared;
 use crate::qs4::{is_qs4, wfomc_qs4, wfomc_qs4_in};
-use crate::solver::{Method, Solver, SolverReport};
+use crate::solver::{Method, PlanCacheStats, Solver, SolverReport};
 
 /// A counting problem: a sentence, the vocabulary it is counted over, and a
 /// default weight function (used by [`Plan::probability`]; every count can
@@ -170,6 +170,11 @@ struct GroundCache {
     map: HashMap<usize, (Arc<GroundInstance>, u64)>,
     /// Monotone use counter backing the LRU stamps.
     clock: u64,
+    /// Lifetime lookup hits — always-on accounting inside the lock the cache
+    /// takes anyway, so reports see cache behavior without the `obs` feature.
+    hits: u64,
+    /// Lifetime lookup misses (each one ground the sentence).
+    misses: u64,
 }
 
 impl GroundPrep {
@@ -187,9 +192,17 @@ impl GroundPrep {
         let now = cache.clock;
         if let Some((instance, stamp)) = cache.map.get_mut(&n) {
             *stamp = now;
-            return instance.clone();
+            let instance = instance.clone();
+            cache.hits += 1;
+            wfomc_obs::metrics::GROUND_CACHE_HITS.inc();
+            return instance;
         }
-        let instance = Arc::new(build());
+        cache.misses += 1;
+        wfomc_obs::metrics::GROUND_CACHE_MISSES.inc();
+        let instance = {
+            let _span = wfomc_obs::span("plan.ground_build");
+            Arc::new(build())
+        };
         cache.map.insert(n, (instance.clone(), now));
         if let Some(capacity) = capacity {
             while cache.map.len() > capacity.max(1) {
@@ -202,6 +215,7 @@ impl GroundPrep {
                 cache.map.remove(&evict);
             }
         }
+        wfomc_obs::metrics::GROUND_CACHE_LEN.set(cache.map.len() as u64);
         instance
     }
 
@@ -212,6 +226,12 @@ impl GroundPrep {
             .expect("ground cache poisoned")
             .map
             .len()
+    }
+
+    /// Lifetime `(hits, misses, currently cached)` of the grounding cache.
+    fn stats(&self) -> (u64, u64, usize) {
+        let cache = self.instances.lock().expect("ground cache poisoned");
+        (cache.hits, cache.misses, cache.map.len())
     }
 }
 
@@ -380,9 +400,12 @@ impl Plan {
         let (results, worker_memos) = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|t| {
-                    // Clone-in: a private memo snapshot per worker.
-                    let mut local: Option<CqMemo> =
-                        shared_memo.map(|memo| memo.lock().expect("cq memo poisoned").clone());
+                    // Clone-in: a private memo snapshot per worker. The
+                    // worker clone starts with zeroed hit/miss tallies so
+                    // that `absorb` can sum them back without double
+                    // counting the shared memo's own history.
+                    let mut local: Option<CqMemo> = shared_memo
+                        .map(|memo| memo.lock().expect("cq memo poisoned").clone_for_worker());
                     scope.spawn(move || {
                         let results = points
                             .iter()
@@ -391,6 +414,9 @@ impl Plan {
                             .step_by(workers)
                             .map(|(i, (n, w))| (i, self.count_point(*n, w, false, local.as_mut())))
                             .collect::<Vec<_>>();
+                        // Scope joins can outrun TLS destructors; push this
+                        // worker's span stats to the global table explicitly.
+                        wfomc_obs::flush_thread();
                         (results, local)
                     })
                 })
@@ -437,7 +463,61 @@ impl Plan {
             method: report.method,
             backend: report.backend,
             fo2_stats: report.fo2_stats,
+            cache: report.cache,
         })
+    }
+
+    /// The plan's lifetime cache accounting: FO² weight-binding LRU,
+    /// per-domain-size grounding LRU, and γ-acyclic CQ reduction memo.
+    ///
+    /// Always on — these tallies ride inside locks the caches already take,
+    /// so they cost nothing measurable and work without the `obs` feature.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        let mut stats = PlanCacheStats::default();
+        match &self.state {
+            PlanState::Fo2(prepared) => {
+                let (hits, misses) = prepared.bind_cache_stats();
+                stats.fo2_bind_hits = hits;
+                stats.fo2_bind_misses = misses;
+                stats.fo2_cached_bindings = prepared.cached_bindings();
+            }
+            PlanState::Cq { memo, .. } => {
+                let memo = memo.lock().expect("cq memo poisoned");
+                let (hits, misses) = memo.hit_stats();
+                stats.cq_memo_hits = hits;
+                stats.cq_memo_misses = misses;
+                stats.cq_memo_len = memo.len();
+            }
+            PlanState::Qs4 { .. } | PlanState::Ground => {}
+        }
+        let (hits, misses, cached) = self.ground.stats();
+        stats.ground_hits = hits;
+        stats.ground_misses = misses;
+        stats.ground_cached = cached;
+        stats
+    }
+
+    /// A structured [`wfomc_obs::MetricsSnapshot`] for this plan: the
+    /// process-global metric registry (all zeros unless the `obs` feature is
+    /// enabled and [`wfomc_obs::set_enabled`] was called) overlaid with the
+    /// plan's always-on cache accounting, labelled with the planned method.
+    ///
+    /// The cache-related entries are authoritative per plan rather than
+    /// process-global, so two plans report their own hit rates even in one
+    /// process.
+    pub fn metrics(&self) -> wfomc_obs::MetricsSnapshot {
+        let mut snap = wfomc_obs::snapshot().label("method", &self.method().to_string());
+        let cache = self.cache_stats();
+        snap.set_counter("fo2.bind.hits", cache.fo2_bind_hits);
+        snap.set_counter("fo2.bind.misses", cache.fo2_bind_misses);
+        snap.set_gauge("fo2.bind.cached", cache.fo2_cached_bindings as u64);
+        snap.set_counter("plan.ground_cache.hits", cache.ground_hits);
+        snap.set_counter("plan.ground_cache.misses", cache.ground_misses);
+        snap.set_gauge("plan.ground_cache.len", cache.ground_cached as u64);
+        snap.set_counter("cq.memo.hits", cache.cq_memo_hits);
+        snap.set_counter("cq.memo.misses", cache.cq_memo_misses);
+        snap.set_gauge("cq.memo.len", cache.cq_memo_len as u64);
+        snap
     }
 
     /// A report of what was prepared and why, for humans.
@@ -524,24 +604,28 @@ impl Plan {
         allow_parallel: bool,
         cq_memo: Option<&mut CqMemo>,
     ) -> Result<SolverReport, LiftError> {
-        match &self.state {
+        wfomc_obs::metrics::PLAN_COUNTS.inc();
+        let _span = wfomc_obs::span("plan.count");
+        let mut report = match &self.state {
             PlanState::Qs4 { extra } => {
                 let value = wfomc_qs4(n, weights) * predicate_factor(extra, n, weights);
-                Ok(SolverReport {
+                SolverReport {
                     value,
                     method: Method::Qs4,
                     backend: None,
                     fo2_stats: None,
-                })
+                    cache: None,
+                }
             }
             PlanState::Fo2(prepared) => {
                 let (value, stats) = prepared.count(n, weights, allow_parallel);
-                Ok(SolverReport {
+                SolverReport {
                     value,
                     method: Method::Fo2,
                     backend: None,
                     fo2_stats: Some(stats),
-                })
+                    cache: None,
+                }
             }
             PlanState::Cq { query, extra, memo } => {
                 let result = match cq_memo {
@@ -552,23 +636,24 @@ impl Plan {
                     }
                 };
                 match result {
-                    Ok(value) => Ok(SolverReport {
+                    Ok(value) => SolverReport {
                         value: value * predicate_factor(extra, n, weights),
                         method: Method::GammaAcyclicCq,
                         backend: None,
                         fo2_stats: None,
-                    }),
+                        cache: None,
+                    },
                     // Weight pathologies (w + w̄ = 0) make the probability
                     // space undefined; mirror the one-shot dispatch and fall
                     // back to grounding.
-                    Err(_) if self.solver.allow_ground_fallback => {
-                        Ok(self.ground_count(n, weights))
-                    }
-                    Err(_) => Err(no_lifted_method()),
+                    Err(_) if self.solver.allow_ground_fallback => self.ground_count(n, weights),
+                    Err(_) => return Err(no_lifted_method()),
                 }
             }
-            PlanState::Ground => Ok(self.ground_count(n, weights)),
-        }
+            PlanState::Ground => self.ground_count(n, weights),
+        };
+        report.cache = Some(self.cache_stats());
+        Ok(report)
     }
 
     /// The cached grounding for domain size `n` (built on first use, LRU
@@ -603,6 +688,7 @@ impl Plan {
             method: Method::Ground,
             backend: Some(backend),
             fo2_stats: None,
+            cache: None,
         }
     }
 
@@ -688,13 +774,17 @@ impl Plan {
             let handles: Vec<_> = (0..workers)
                 .map(|t| {
                     scope.spawn(move || {
-                        points
+                        let results = points
                             .iter()
                             .enumerate()
                             .skip(t)
                             .step_by(workers)
                             .map(|(i, (n, w))| (i, self.count_in_inner(*n, algebra, w, false)))
-                            .collect::<Vec<_>>()
+                            .collect::<Vec<_>>();
+                        // Scope joins can outrun TLS destructors; push this
+                        // worker's span stats to the global table explicitly.
+                        wfomc_obs::flush_thread();
+                        results
                     })
                 })
                 .collect();

@@ -51,6 +51,51 @@ impl std::fmt::Display for Method {
     }
 }
 
+/// Hit/miss accounting of a plan's internal caches at the time a count
+/// returned. Maintained unconditionally (plain integers updated inside locks
+/// the caches already take), so one-shot runs print cache behavior without
+/// the `obs` feature and the CI hit-rate gate works on default builds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// FO² weight-binding LRU hits across the plan's lifetime.
+    pub fo2_bind_hits: u64,
+    /// FO² weight-binding LRU misses (each one ran a full bind).
+    pub fo2_bind_misses: u64,
+    /// Weight bindings currently cached by the FO² keyed LRU.
+    pub fo2_cached_bindings: usize,
+    /// Ground-plan LRU hits (a cached lineage/d-DNNF was reused).
+    pub ground_hits: u64,
+    /// Ground-plan LRU misses (each one ground the sentence).
+    pub ground_misses: u64,
+    /// Groundings currently cached per domain size.
+    pub ground_cached: usize,
+    /// γ-acyclic reduction memo hits across the plan's lifetime.
+    pub cq_memo_hits: u64,
+    /// γ-acyclic reduction memo misses (each one ran a reduction rule).
+    pub cq_memo_misses: u64,
+    /// Residual query shapes currently memoized.
+    pub cq_memo_len: usize,
+}
+
+impl PlanCacheStats {
+    /// Hit rate of the FO² binding LRU in `[0, 1]`, or `None` before the
+    /// first bind.
+    pub fn fo2_bind_hit_rate(&self) -> Option<f64> {
+        hit_rate(self.fo2_bind_hits, self.fo2_bind_misses)
+    }
+
+    /// Hit rate of the ground-plan LRU in `[0, 1]`, or `None` before the
+    /// first grounding.
+    pub fn ground_hit_rate(&self) -> Option<f64> {
+        hit_rate(self.ground_hits, self.ground_misses)
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> Option<f64> {
+    let total = hits + misses;
+    (total > 0).then(|| hits as f64 / total as f64)
+}
+
 /// A solver result: the count and the method that produced it.
 #[must_use = "a SolverReport carries the computed count"]
 #[derive(Clone, Debug)]
@@ -66,11 +111,15 @@ pub struct SolverReport {
     /// Cost statistics of the FO² cell-sum engine, when [`Method::Fo2`]
     /// produced the result (`None` for every other method).
     pub fo2_stats: Option<Fo2Stats>,
+    /// Cache accounting of the plan that served this count (`None` for
+    /// reports produced outside a plan).
+    pub cache: Option<PlanCacheStats>,
 }
 
 impl std::fmt::Display for SolverReport {
     /// `value [method]`, extended with the propositional backend for
-    /// grounded answers and the composition prune ratio for FO² answers —
+    /// grounded answers, the composition prune ratio for FO² answers, and
+    /// the plan's cache behavior (binding LRU, ground-plan LRU, CQ memo) —
     /// everything callers used to hand-format.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{} [{}", self.value, self.method)?;
@@ -83,6 +132,35 @@ impl std::fmt::Display for SolverReport {
                     f,
                     ", pruned {}/{} compositions",
                     stats.compositions_pruned, stats.compositions_total
+                )?;
+            }
+        }
+        if let Some(cache) = &self.cache {
+            if cache.fo2_bind_hits + cache.fo2_bind_misses > 0 {
+                write!(
+                    f,
+                    ", bind cache {}/{} hits ({} cached)",
+                    cache.fo2_bind_hits,
+                    cache.fo2_bind_hits + cache.fo2_bind_misses,
+                    cache.fo2_cached_bindings
+                )?;
+            }
+            if cache.ground_hits + cache.ground_misses > 0 {
+                write!(
+                    f,
+                    ", ground cache {}/{} hits ({} cached)",
+                    cache.ground_hits,
+                    cache.ground_hits + cache.ground_misses,
+                    cache.ground_cached
+                )?;
+            }
+            if cache.cq_memo_hits + cache.cq_memo_misses > 0 {
+                write!(
+                    f,
+                    ", cq memo {}/{} hits ({} shapes)",
+                    cache.cq_memo_hits,
+                    cache.cq_memo_hits + cache.cq_memo_misses,
+                    cache.cq_memo_len
                 )?;
             }
         }
@@ -239,6 +317,7 @@ impl Solver {
                     method: Method::Fo2,
                     backend: None,
                     fo2_stats: Some(stats),
+                    cache: None,
                 })
             }
             Err(e) => Err(e),
@@ -272,6 +351,7 @@ impl Solver {
             method: report.method,
             backend: report.backend,
             fo2_stats: report.fo2_stats,
+            cache: report.cache,
         })
     }
 }

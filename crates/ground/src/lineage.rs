@@ -61,6 +61,7 @@ impl Lineage {
     /// Panics if the formula mentions predicates outside the vocabulary, has
     /// free variables, or uses constants outside the domain.
     pub fn build(formula: &Formula, vocabulary: &Vocabulary, n: usize) -> Lineage {
+        let _span = wfomc_obs::span("ground.lineage");
         assert!(
             formula.is_sentence(),
             "lineage construction requires a sentence"
@@ -82,6 +83,9 @@ impl Lineage {
             }
         }
         let prop = ground(formula, n, &index, &HashMap::new());
+        wfomc_obs::metrics::LINEAGE_BUILT.inc();
+        wfomc_obs::metrics::LINEAGE_VARS.add(atoms.len() as u64);
+        wfomc_obs::metrics::LINEAGE_PROP_NODES.add(prop.size() as u64);
         Lineage {
             prop,
             atoms,

@@ -769,9 +769,10 @@ impl<A: Algebra> Powers<A> {
             return &self.dense[exp];
         }
         let base = &self.base;
-        self.sparse
-            .entry(exp)
-            .or_insert_with(|| algebra.pow(base, exp))
+        self.sparse.entry(exp).or_insert_with(|| {
+            wfomc_obs::metrics::POWERS_SPARSE.inc();
+            algebra.pow(base, exp)
+        })
     }
 }
 

@@ -192,6 +192,7 @@ fn count_component<A: Algebra, W: VarPairs<A> + ?Sized>(
         .iter()
         .max_by_key(|(v, count)| (**count, usize::MAX - **v))
         .expect("non-empty component has variables");
+    wfomc_obs::metrics::DPLL_DECISIONS.inc();
 
     let mut total = algebra.zero();
     for value in [true, false] {

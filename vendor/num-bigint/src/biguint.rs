@@ -245,9 +245,13 @@ impl BigUint {
             0 => BigUint::small(0),
             1 => BigUint::small(u64::from(limbs[0])),
             2 => BigUint::small(u64::from(limbs[0]) | (u64::from(limbs[1]) << 32)),
-            _ => BigUint {
-                repr: Repr::Heap(limbs),
-            },
+            _ => {
+                #[cfg(feature = "obs")]
+                wfomc_obs::metrics::BIGNUM_HEAP_SPILLS.inc();
+                BigUint {
+                    repr: Repr::Heap(limbs),
+                }
+            }
         }
     }
 
