@@ -13,7 +13,11 @@
 //! `PERF_GATE_SKIP=1` to bypass it. The gate also checks cache
 //! effectiveness: the plan-reuse workloads must hit their weight-binding /
 //! grounding caches at least `PERF_GATE_MIN_HIT_RATE` (default 90%) of the
-//! time.
+//! time, and the resource-governance layer's budget-off contract: on
+//! fo2/table1-30, `Plan::count_with_limits` with no limits armed must stay
+//! within `GUARD_GATE_FACTOR` (default 1.01 = ≤1% overhead) plus
+//! `GUARD_GATE_SLACK_MS` of the ungoverned `Plan::count` (the `guard_time`
+//! bin records the full three-mode A/B in `BENCH_guard.json`).
 //! `-- trace --experiment <name>` times one experiment phase by phase
 //! (parse / plan / bind / evaluate) and writes `target/trace.json`
 //! (override with `TRACE_JSON`).
@@ -670,6 +674,61 @@ fn perf_gate() {
         ));
     }
 
+    // Budget-off guard gate: governing a solve must be free when no limits
+    // are armed. Time the same warm plan through the ungoverned
+    // `Plan::count` and through `Plan::count_with_limits` with
+    // `ExecutionLimits::none()` (guard constructed, nothing armed) and
+    // require the governed path within GUARD_GATE_FACTOR (default 1.01,
+    // i.e. ≤1% relative overhead) plus GUARD_GATE_SLACK_MS of absolute
+    // headroom for runner noise.
+    let guard_factor: f64 = env::var("GUARD_GATE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.01);
+    let guard_slack_ms: f64 = env::var("GUARD_GATE_SLACK_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50.0);
+    let guard_weights = standard_weights();
+    let guard_plan = Solver::new()
+        .plan(&Problem::new(catalog::table1_sentence()))
+        .expect("table1 plans");
+    let no_limits = ExecutionLimits::none();
+    let ungoverned = || {
+        let _ = guard_plan
+            .count(30, &guard_weights)
+            .expect("guard gate count succeeds");
+    };
+    let governed = || {
+        let _ = guard_plan
+            .count_with_limits(30, &guard_weights, &no_limits, None)
+            .expect("guard gate governed count succeeds");
+    };
+    ungoverned(); // warm-up: both paths then share the same warm caches
+    governed();
+    let base_ms = (0..3)
+        .map(|_| time_ms(ungoverned))
+        .fold(f64::INFINITY, f64::min);
+    let governed_ms = (0..3)
+        .map(|_| time_ms(governed))
+        .fold(f64::INFINITY, f64::min);
+    let allowed = base_ms * guard_factor + guard_slack_ms;
+    let ok = governed_ms <= allowed;
+    failed |= !ok;
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>12}  status",
+        "guard gate (fo2/table1-30)", "ungoverned", "governed", "allowed ms"
+    );
+    println!(
+        "{:<28} {base_ms:>12.2} {governed_ms:>12.2} {allowed:>12.2}  {}",
+        "guard/budget-off-overhead",
+        if ok { "ok" } else { "SLOW" }
+    );
+    rows.push(format!(
+        "  {{\"workload\": \"guard/budget-off-overhead\", \"ungoverned_ms\": {base_ms:.2}, \
+         \"governed_ms\": {governed_ms:.2}, \"allowed_ms\": {allowed:.2}, \"ok\": {ok}}}"
+    ));
+
     let json = format!("[\n{}\n]\n", rows.join(",\n"));
     let _ = std::fs::create_dir_all("target");
     if let Err(e) = std::fs::write("target/perf-gate.json", &json) {
@@ -682,11 +741,12 @@ fn perf_gate() {
     );
     if failed {
         eprintln!(
-            "perf-gate: FAILED — a workload regressed beyond {factor}× its committed baseline \
-             or a plan-reuse cache hit rate fell below {:.0}%. If the regression is expected \
+            "perf-gate: FAILED — a workload regressed beyond {factor}× its committed baseline, \
+             a plan-reuse cache hit rate fell below {:.0}%, or the budget-off governed path \
+             exceeded {guard_factor}× the ungoverned time. If the regression is expected \
              (e.g. a slower but more capable path), update the BENCH_*.json baselines in the \
-             same change; for a noisy runner, raise PERF_GATE_FACTOR / PERF_GATE_SLACK_MS or \
-             set PERF_GATE_SKIP=1.",
+             same change; for a noisy runner, raise PERF_GATE_FACTOR / PERF_GATE_SLACK_MS / \
+             GUARD_GATE_SLACK_MS or set PERF_GATE_SKIP=1.",
             min_rate * 100.0
         );
         std::process::exit(1);

@@ -21,6 +21,7 @@
 
 use std::collections::HashMap;
 
+use wfomc_guard::{Guard, Interrupt};
 use wfomc_logic::algebra::{Algebra, VarPairs};
 use wfomc_logic::weights::Weight;
 
@@ -29,6 +30,9 @@ use crate::ir::{CLit, Circuit, NodeId, Var};
 use crate::smooth::smooth;
 
 type ClauseSet = Vec<Vec<CLit>>;
+
+/// Guard phase name for the compiler's search loops.
+const PHASE: &str = "circuit.compile";
 
 /// Counters describing one compilation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -97,7 +101,24 @@ impl CompiledCnf {
 /// # Panics
 /// Panics if a clause mentions a variable `>= num_vars`.
 pub fn compile(num_vars: usize, clauses: &[Vec<CLit>]) -> CompiledCnf {
+    compile_guarded(num_vars, clauses, &Guard::unarmed())
+        .expect("an unarmed guard cannot interrupt")
+}
+
+/// [`compile`] under a resource [`Guard`]: the identical trace-based
+/// compilation, ticking the guard once per sub-problem and per decision. An
+/// interrupt abandons the partial arena (nothing is shared), so callers can
+/// simply retry with a larger budget.
+///
+/// # Panics
+/// Panics if a clause mentions a variable `>= num_vars`.
+pub fn compile_guarded(
+    num_vars: usize,
+    clauses: &[Vec<CLit>],
+    guard: &Guard,
+) -> Result<CompiledCnf, Interrupt> {
     let _span = wfomc_obs::span("circuit.compile");
+    wfomc_guard::failpoint(PHASE)?;
     // Normalize: dedupe literals, drop tautological clauses.
     let mut normalized: ClauseSet = Vec::with_capacity(clauses.len());
     for clause in clauses {
@@ -125,8 +146,9 @@ pub fn compile(num_vars: usize, clauses: &[Vec<CLit>]) -> CompiledCnf {
         cache: HashMap::new(),
         decisions: 0,
         cache_hits: 0,
+        guard,
     };
-    let raw_root = compiler.compile_set(&normalized);
+    let raw_root = compiler.compile_set(&normalized)?;
     let smoothed = smooth(&mut compiler.circuit, raw_root, num_vars);
     // Compilation and smoothing leave superseded nodes in the arena; keep
     // only the live circuit so every evaluation is a plain arena scan.
@@ -141,20 +163,21 @@ pub fn compile(num_vars: usize, clauses: &[Vec<CLit>]) -> CompiledCnf {
     wfomc_obs::metrics::CIRCUIT_NODES.add(stats.nodes as u64);
     wfomc_obs::metrics::CIRCUIT_EDGES.add(stats.edges as u64);
     wfomc_obs::metrics::CIRCUIT_CACHE_HITS.add(stats.cache_hits as u64);
-    CompiledCnf {
+    Ok(CompiledCnf {
         circuit,
         root,
         num_vars,
         stats,
-    }
+    })
 }
 
-struct Compiler {
+struct Compiler<'a> {
     circuit: Circuit,
     /// Component cache: canonical clause set → compiled sub-circuit.
     cache: HashMap<ClauseSet, NodeId>,
     decisions: usize,
     cache_hits: usize,
+    guard: &'a Guard,
 }
 
 fn canonicalize(clauses: &mut ClauseSet) {
@@ -180,19 +203,20 @@ fn condition(clauses: &[Vec<CLit>], var: Var, value: bool) -> Option<ClauseSet> 
     Some(out)
 }
 
-impl Compiler {
+impl Compiler<'_> {
     /// Compiles a canonical clause set (the analogue of the DPLL `count`).
-    fn compile_set(&mut self, clauses: &ClauseSet) -> NodeId {
+    fn compile_set(&mut self, clauses: &ClauseSet) -> Result<NodeId, Interrupt> {
         if clauses.is_empty() {
-            return self.circuit.tt();
+            return Ok(self.circuit.tt());
         }
         if clauses.iter().any(Vec::is_empty) {
-            return self.circuit.ff();
+            return Ok(self.circuit.ff());
         }
         if let Some(&hit) = self.cache.get(clauses) {
             self.cache_hits += 1;
-            return hit;
+            return Ok(hit);
         }
+        self.guard.tick(PHASE, 1)?;
 
         // Unit propagation; each propagated literal becomes a conjunct.
         let mut parts: Vec<NodeId> = Vec::new();
@@ -207,7 +231,7 @@ impl Compiler {
                 None => {
                     let ff = self.circuit.ff();
                     self.cache.insert(clauses.clone(), ff);
-                    return ff;
+                    return Ok(ff);
                 }
             }
         }
@@ -217,25 +241,26 @@ impl Compiler {
         if !current.is_empty() {
             for mut comp in split_components(&current) {
                 canonicalize(&mut comp);
-                let node = self.compile_component(&comp);
+                let node = self.compile_component(&comp)?;
                 parts.push(node);
             }
         }
         let result = self.circuit.mk_and(parts);
         self.cache.insert(clauses.clone(), result);
-        result
+        Ok(result)
     }
 
     /// Compiles one connected component by branching (the analogue of the
     /// DPLL `count_component`).
-    fn compile_component(&mut self, comp: &ClauseSet) -> NodeId {
+    fn compile_component(&mut self, comp: &ClauseSet) -> Result<NodeId, Interrupt> {
         if comp.is_empty() {
-            return self.circuit.tt();
+            return Ok(self.circuit.tt());
         }
         if let Some(&hit) = self.cache.get(comp) {
             self.cache_hits += 1;
-            return hit;
+            return Ok(hit);
         }
+        self.guard.tick(PHASE, 1)?;
 
         // Branch on the most frequently occurring variable (same heuristic
         // and tie-break as the DPLL counter, so the search trees coincide).
@@ -251,20 +276,20 @@ impl Compiler {
             .expect("non-empty component has variables");
         self.decisions += 1;
 
-        let mut branch = |value: bool| -> NodeId {
+        let mut branch = |value: bool| -> Result<NodeId, Interrupt> {
             match condition(comp, branch_var, value) {
-                None => self.circuit.ff(),
+                None => Ok(self.circuit.ff()),
                 Some(mut cond) => {
                     canonicalize(&mut cond);
                     self.compile_set(&cond)
                 }
             }
         };
-        let hi = branch(true);
-        let lo = branch(false);
+        let hi = branch(true)?;
+        let lo = branch(false)?;
         let result = self.circuit.mk_decision(branch_var, hi, lo);
         self.cache.insert(comp.clone(), result);
-        result
+        Ok(result)
     }
 }
 

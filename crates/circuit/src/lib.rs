@@ -52,6 +52,6 @@ pub mod eval;
 pub mod ir;
 pub mod smooth;
 
-pub use compile::{compile, CompileStats, CompiledCnf};
+pub use compile::{compile, compile_guarded, CompileStats, CompiledCnf};
 pub use eval::{evaluate_in, LitWeights, SliceWeights};
 pub use ir::{CLit, Circuit, Node, NodeId};

@@ -24,12 +24,25 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use num_traits::{One, Zero};
 
+use wfomc_guard::Guard;
 use wfomc_logic::cq::ConjunctiveQuery;
 use wfomc_logic::term::Variable;
 use wfomc_logic::weights::{weight_pow, Weight, Weights};
 
 use crate::combinatorics::binomial_weight;
-use crate::error::LiftError;
+use crate::error::{LiftError, SolveError};
+
+/// Guard phase name for the reduction loops.
+const PHASE: &str = "cq.reduce";
+
+/// Demotes a [`SolveError`] produced under an unarmed guard back to the
+/// [`LiftError`] it wraps (an unarmed guard cannot interrupt).
+fn demote(e: SolveError) -> LiftError {
+    match e {
+        SolveError::Lift(err) => err,
+        _ => unreachable!("an unarmed guard cannot interrupt"),
+    }
+}
 
 /// Symmetric WFOMC of a γ-acyclic conjunctive query over a domain of size `n`.
 ///
@@ -57,6 +70,21 @@ pub fn gamma_acyclic_wfomc_memo(
     weights: &Weights,
     memo: &mut CqMemo,
 ) -> Result<Weight, LiftError> {
+    gamma_acyclic_wfomc_memo_guarded(query, n, weights, memo, &Guard::unarmed()).map_err(demote)
+}
+
+/// As [`gamma_acyclic_wfomc_memo`], under a resource [`Guard`]: the guard is
+/// ticked once per reduction step, so deadlines, work caps and cancellation
+/// interrupt rule (b)'s recursion. An interrupted call leaves the memo
+/// holding only *completed* sub-reductions, so retrying on the same memo is
+/// sound and resumes the saved work.
+pub fn gamma_acyclic_wfomc_memo_guarded(
+    query: &ConjunctiveQuery,
+    n: usize,
+    weights: &Weights,
+    memo: &mut CqMemo,
+    guard: &Guard,
+) -> Result<Weight, SolveError> {
     let mut probabilities = BTreeMap::new();
     let mut normalization = Weight::one();
     for p in query.vocabulary().iter() {
@@ -65,7 +93,8 @@ pub fn gamma_acyclic_wfomc_memo(
         if total.is_zero() {
             return Err(LiftError::NoProbabilityNormalization {
                 predicate: p.name().to_string(),
-            });
+            }
+            .into());
         }
         probabilities.insert(p.name().to_string(), &pair.pos / &total);
         normalization *= weight_pow(&total, p.num_ground_tuples(n));
@@ -75,7 +104,8 @@ pub fn gamma_acyclic_wfomc_memo(
         .into_iter()
         .map(|v| (v, n))
         .collect::<BTreeMap<_, _>>();
-    let prob = gamma_acyclic_probability_multi_memo(query, &domains, &probabilities, memo)?;
+    let prob =
+        gamma_acyclic_probability_multi_memo_guarded(query, &domains, &probabilities, memo, guard)?;
     Ok(prob * normalization)
 }
 
@@ -114,11 +144,31 @@ pub fn gamma_acyclic_probability_multi_memo(
     probabilities: &BTreeMap<String, Weight>,
     memo: &mut CqMemo,
 ) -> Result<Weight, LiftError> {
+    gamma_acyclic_probability_multi_memo_guarded(
+        query,
+        domains,
+        probabilities,
+        memo,
+        &Guard::unarmed(),
+    )
+    .map_err(demote)
+}
+
+/// As [`gamma_acyclic_probability_multi_memo`], under a resource [`Guard`]
+/// (see [`gamma_acyclic_wfomc_memo_guarded`] for the interrupt contract).
+pub fn gamma_acyclic_probability_multi_memo_guarded(
+    query: &ConjunctiveQuery,
+    domains: &BTreeMap<Variable, usize>,
+    probabilities: &BTreeMap<String, Weight>,
+    memo: &mut CqMemo,
+    guard: &Guard,
+) -> Result<Weight, SolveError> {
+    wfomc_guard::failpoint(PHASE)?;
     if !query.is_self_join_free() {
-        return Err(LiftError::HasSelfJoin);
+        return Err(LiftError::HasSelfJoin.into());
     }
     if !query.is_constant_free() {
-        return Err(LiftError::NotAConjunctiveQuery);
+        return Err(LiftError::NotAConjunctiveQuery.into());
     }
     let vars = query.variables();
     let mut state = State {
@@ -147,7 +197,7 @@ pub fn gamma_acyclic_probability_multi_memo(
             vars: vars_of_atom,
         });
     }
-    reduce(&state, memo)
+    reduce(&state, memo, guard)
 }
 
 /// A memo table for the γ-acyclic reduction, reusable across calls (the key
@@ -266,7 +316,7 @@ impl State {
     }
 }
 
-fn reduce(state: &State, memo: &mut CqMemo) -> Result<Weight, LiftError> {
+fn reduce(state: &State, memo: &mut CqMemo, guard: &Guard) -> Result<Weight, SolveError> {
     if state.edges.is_empty() {
         return Ok(Weight::one());
     }
@@ -283,18 +333,22 @@ fn reduce(state: &State, memo: &mut CqMemo) -> Result<Weight, LiftError> {
     }
     memo.misses += 1;
     wfomc_obs::metrics::CQ_MEMO_MISSES.inc();
+    guard.tick(PHASE, 1)?;
 
-    let result = apply_rule(state, memo)?;
+    // The memo only ever records *completed* reductions: an interrupt below
+    // propagates before this insert, so a cancelled solve leaves the memo
+    // consistent and a retry resumes from the finished sub-problems.
+    let result = apply_rule(state, memo, guard)?;
     memo.map.insert(key, result.clone());
     Ok(result)
 }
 
-fn apply_rule(state: &State, memo: &mut CqMemo) -> Result<Weight, LiftError> {
+fn apply_rule(state: &State, memo: &mut CqMemo, guard: &Guard) -> Result<Weight, SolveError> {
     // Rule (c): empty edge.
     if let Some(i) = state.edges.iter().position(|e| e.vars.is_empty()) {
         let mut next = state.clone();
         let edge = next.edges.remove(i);
-        return Ok(edge.prob * reduce(&next, memo)?);
+        return Ok(edge.prob * reduce(&next, memo, guard)?);
     }
 
     // Rule (d): duplicate edges.
@@ -304,7 +358,7 @@ fn apply_rule(state: &State, memo: &mut CqMemo) -> Result<Weight, LiftError> {
                 let mut next = state.clone();
                 let removed = next.edges.remove(j);
                 next.edges[i].prob = &next.edges[i].prob * &removed.prob;
-                return reduce(&next, memo);
+                return reduce(&next, memo, guard);
             }
         }
     }
@@ -319,7 +373,7 @@ fn apply_rule(state: &State, memo: &mut CqMemo) -> Result<Weight, LiftError> {
             let p = next.edges[e].prob.clone();
             let absent = weight_pow(&(Weight::one() - &p), state.domains[v]);
             next.edges[e].prob = Weight::one() - absent;
-            return reduce(&next, memo);
+            return reduce(&next, memo, guard);
         }
     }
 
@@ -335,7 +389,7 @@ fn apply_rule(state: &State, memo: &mut CqMemo) -> Result<Weight, LiftError> {
                     e.vars.remove(&b);
                 }
                 next.domains[a] = state.domains[a] * state.domains[b];
-                return reduce(&next, memo);
+                return reduce(&next, memo, guard);
             }
         }
     }
@@ -351,7 +405,7 @@ fn apply_rule(state: &State, memo: &mut CqMemo) -> Result<Weight, LiftError> {
         for k in 0..=n_v {
             let mut branch = residual.clone();
             branch.domains[v] = k;
-            let sub = reduce(&branch, memo)?;
+            let sub = reduce(&branch, memo, guard)?;
             if sub.is_zero() {
                 continue;
             }
@@ -363,7 +417,7 @@ fn apply_rule(state: &State, memo: &mut CqMemo) -> Result<Weight, LiftError> {
         return Ok(total);
     }
 
-    Err(LiftError::NotGammaAcyclic)
+    Err(LiftError::NotGammaAcyclic.into())
 }
 
 #[cfg(test)]

@@ -1,6 +1,9 @@
-//! Error types for the lifted algorithms.
+//! Error types for the lifted algorithms and the governed solve surface.
 
 use std::fmt;
+use std::time::Duration;
+
+use wfomc_guard::{ExhaustKind, Interrupt};
 
 /// Why a lifted algorithm declined (or failed) to handle an input.
 ///
@@ -93,6 +96,136 @@ impl fmt::Display for LiftError {
 }
 
 impl std::error::Error for LiftError {}
+
+/// Why a governed solve ([`crate::plan::Plan::count_with_limits`] and
+/// friends) failed: either an ordinary [`LiftError`], or a structured
+/// resource-exhaustion report.
+///
+/// Exhaustion is not corruption — the plan and all of its caches remain
+/// consistent, so retrying the same point with larger (or no) limits
+/// succeeds and agrees with an unbudgeted solve.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SolveError {
+    /// The underlying algorithm declined or failed (see [`LiftError`]).
+    Lift(LiftError),
+    /// The wall-clock deadline expired inside `phase`.
+    DeadlineExceeded {
+        /// The pipeline loop that observed the expiry.
+        phase: &'static str,
+        /// Time since the solve started when the expiry was observed.
+        elapsed: Duration,
+    },
+    /// The work cap was exhausted inside `phase`.
+    WorkCapExceeded {
+        /// The pipeline loop that observed the exhaustion.
+        phase: &'static str,
+        /// Work units recorded when the cap tripped.
+        work: u64,
+        /// The armed cap.
+        cap: u64,
+    },
+    /// An up-front memory estimate exceeded the cap in `phase`.
+    MemEstimateExceeded {
+        /// The phase whose allocation estimate tripped the cap.
+        phase: &'static str,
+        /// The a-priori estimate.
+        estimate: u64,
+        /// The armed cap.
+        cap: u64,
+    },
+    /// The [`wfomc_guard::CancelToken`] was raised; observed inside `phase`.
+    Cancelled {
+        /// The pipeline loop that observed the cancellation.
+        phase: &'static str,
+    },
+    /// A batch worker panicked while evaluating one point. The panic was
+    /// contained with `catch_unwind`; other points are unaffected.
+    WorkerPanicked {
+        /// Best-effort panic payload (the `&str`/`String` message if any).
+        message: String,
+    },
+}
+
+impl SolveError {
+    /// True when the error reports resource exhaustion or cancellation (as
+    /// opposed to an algorithmic [`LiftError`] or a contained panic) — the
+    /// cases where retrying with a larger budget can succeed.
+    pub fn is_exhaustion(&self) -> bool {
+        matches!(
+            self,
+            SolveError::DeadlineExceeded { .. }
+                | SolveError::WorkCapExceeded { .. }
+                | SolveError::MemEstimateExceeded { .. }
+                | SolveError::Cancelled { .. }
+        )
+    }
+}
+
+impl From<LiftError> for SolveError {
+    fn from(e: LiftError) -> SolveError {
+        SolveError::Lift(e)
+    }
+}
+
+impl From<Interrupt> for SolveError {
+    fn from(i: Interrupt) -> SolveError {
+        match i.kind {
+            ExhaustKind::Deadline { elapsed } => SolveError::DeadlineExceeded {
+                phase: i.phase,
+                elapsed,
+            },
+            ExhaustKind::WorkCap { work, cap } => SolveError::WorkCapExceeded {
+                phase: i.phase,
+                work,
+                cap,
+            },
+            ExhaustKind::MemEstimate { estimate, cap } => SolveError::MemEstimateExceeded {
+                phase: i.phase,
+                estimate,
+                cap,
+            },
+            ExhaustKind::Cancelled => SolveError::Cancelled { phase: i.phase },
+        }
+    }
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Lift(e) => write!(f, "{e}"),
+            SolveError::DeadlineExceeded { phase, elapsed } => write!(
+                f,
+                "deadline exceeded in phase `{phase}` after {:.1}ms",
+                elapsed.as_secs_f64() * 1e3
+            ),
+            SolveError::WorkCapExceeded { phase, work, cap } => write!(
+                f,
+                "work cap exceeded in phase `{phase}` ({work} of {cap} units)"
+            ),
+            SolveError::MemEstimateExceeded {
+                phase,
+                estimate,
+                cap,
+            } => write!(
+                f,
+                "memory estimate {estimate} exceeds cap {cap} in phase `{phase}`"
+            ),
+            SolveError::Cancelled { phase } => write!(f, "cancelled in phase `{phase}`"),
+            SolveError::WorkerPanicked { message } => {
+                write!(f, "a batch worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Lift(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -43,6 +43,7 @@
 use num_bigint::BigInt;
 use num_traits::{One, Zero};
 
+use wfomc_guard::{Gate, Guard, Interrupt, Meter, Ungated};
 use wfomc_logic::algebra::{Algebra, Exact, Powers};
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::weights::{weight_pow, Weight};
@@ -51,6 +52,9 @@ use super::cells::{build_cells, build_pair_table, CellSpace};
 use super::normalize::Fo2Shape;
 use crate::combinatorics::{binomial_weight_triangle, num_compositions, weight_from_bigint};
 use crate::error::LiftError;
+
+/// Guard phase name for the DFS engine.
+const PHASE: &str = "fo2.cellsum";
 
 /// Cost statistics for one cell-decomposition sum.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -114,6 +118,36 @@ pub fn cell_sum_weights(
     n: usize,
     parallel: bool,
 ) -> (Weight, CellSumStats) {
+    // The default path is gated by the zero-sized `Ungated` gate, so the DFS
+    // monomorphizes with no budget checks at all — by construction the same
+    // machine code as before the guard layer existed.
+    cell_sum_weights_impl(u, table, n, parallel, &mut || Ungated)
+        .expect("an ungated cell sum cannot interrupt")
+}
+
+/// [`cell_sum_weights`] under a resource [`Guard`]: every DFS worker meters
+/// its compositions against the guard (batched, checked every
+/// [`wfomc_guard::CHECK_PERIOD`] units), so deadlines, work caps and
+/// cancellation interrupt the sum mid-search. The partial accumulators are
+/// discarded; retrying simply restarts the sum.
+pub fn cell_sum_weights_gated(
+    u: &[Weight],
+    table: &[Vec<Weight>],
+    n: usize,
+    parallel: bool,
+    guard: &Guard,
+) -> Result<(Weight, CellSumStats), Interrupt> {
+    wfomc_guard::failpoint(PHASE)?;
+    cell_sum_weights_impl(u, table, n, parallel, &mut || Meter::new(guard, PHASE))
+}
+
+fn cell_sum_weights_impl<G: Gate + Send>(
+    u: &[Weight],
+    table: &[Vec<Weight>],
+    n: usize,
+    parallel: bool,
+    make_gate: &mut dyn FnMut() -> G,
+) -> Result<(Weight, CellSumStats), Interrupt> {
     // Clear denominators over the cells the engine will actually visit (the
     // non-zero-weight ones), so the scaling never inflates for weights that
     // are dropped anyway.
@@ -133,13 +167,14 @@ pub fn cell_sum_weights(
         .map(|row| row.iter().map(|w| w * &scale_r).collect())
         .collect();
 
-    let (total, stats) = cell_sum_elems(&Exact, &scaled_u, &scaled_table, n, parallel);
+    let (total, stats) =
+        cell_sum_elems_gated(&Exact, &scaled_u, &scaled_table, n, parallel, make_gate)?;
     let total = if correction.is_one() {
         total
     } else {
         total / correction
     };
-    (total, stats)
+    Ok((total, stats))
 }
 
 /// The cell-decomposition sum in an arbitrary [`Algebra`]: `u[c]` are the
@@ -153,8 +188,24 @@ pub fn cell_sum_elems<A: Algebra>(
     n: usize,
     parallel: bool,
 ) -> (A::Elem, CellSumStats) {
+    cell_sum_elems_gated(algebra, u, table, n, parallel, &mut || Ungated)
+        .expect("an ungated cell sum cannot interrupt")
+}
+
+/// [`cell_sum_elems`] through an explicit [`Gate`] factory: each DFS worker
+/// (one per scoped thread in the parallel split) gets its own gate from
+/// `make_gate`. Pass `&mut || Ungated` for the zero-overhead default or
+/// `&mut || Meter::new(&guard, ...)` to meter against a [`Guard`].
+pub fn cell_sum_elems_gated<A: Algebra, G: Gate + Send>(
+    algebra: &A,
+    u: &[A::Elem],
+    table: &[Vec<A::Elem>],
+    n: usize,
+    parallel: bool,
+    make_gate: &mut dyn FnMut() -> G,
+) -> Result<(A::Elem, CellSumStats), Interrupt> {
     if u.is_empty() {
-        return (algebra.zero(), CellSumStats::default());
+        return Ok((algebra.zero(), CellSumStats::default()));
     }
     let engine = Engine::new(algebra, u, table, n);
 
@@ -174,21 +225,21 @@ pub fn cell_sum_elems<A: Algebra>(
             algebra.zero()
         };
         stats.compositions_summed = usize::from(n == 0);
-        return (total, stats);
+        return Ok((total, stats));
     }
 
     let threads = engine.thread_count(parallel);
     let (total, summed, pruned) = if threads > 1 {
-        engine.sum_parallel(threads)
+        engine.sum_parallel(threads, make_gate)?
     } else {
-        let mut worker = Worker::new(&engine);
+        let mut worker = Worker::new(&engine, make_gate());
         let top: Vec<A::Elem> = vec![algebra.one(); engine.k];
-        worker.dfs(0, n, &algebra.one(), &top);
+        worker.dfs(0, n, &algebra.one(), &top)?;
         (worker.total.finish(algebra), worker.summed, worker.pruned)
     };
     stats.compositions_summed = summed;
     stats.compositions_pruned = pruned;
-    (total, stats)
+    Ok((total, stats))
 }
 
 /// Immutable per-branch state shared by all DFS workers.
@@ -270,22 +321,30 @@ impl<'a, A: Algebra> Engine<'a, A> {
 
     /// Splits the top-level choice of `m₁` over `threads` scoped workers.
     /// Ring addition is associative and commutative, so the split does not
-    /// change the result (up to rounding, for approximate algebras).
-    fn sum_parallel(&self, threads: usize) -> (A::Elem, usize, usize) {
+    /// change the result (up to rounding, for approximate algebras). Every
+    /// worker gets its own gate; if any worker is interrupted, the whole sum
+    /// reports that interrupt (the other workers trip on the same shared
+    /// guard state within one check period).
+    fn sum_parallel<G: Gate + Send>(
+        &self,
+        threads: usize,
+        make_gate: &mut dyn FnMut() -> G,
+    ) -> Result<(A::Elem, usize, usize), Interrupt> {
         let n = self.n;
         let algebra = self.algebra;
         let partials = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
-                    scope.spawn(move || {
-                        let mut worker = Worker::new(self);
+                    let gate = make_gate();
+                    scope.spawn(move || -> Result<(A::Elem, usize, usize), Interrupt> {
+                        let mut worker = Worker::new(self, gate);
                         let mut row0: Vec<Powers<A>> = (1..self.k)
                             .map(|j| Powers::new(algebra, self.cross[0][j].clone(), n))
                             .collect();
                         for m0 in (t..=n).step_by(threads) {
-                            worker.top_level(m0, &mut row0);
+                            worker.top_level(m0, &mut row0)?;
                         }
-                        (worker.total.finish(algebra), worker.summed, worker.pruned)
+                        Ok((worker.total.finish(algebra), worker.summed, worker.pruned))
                     })
                 })
                 .collect();
@@ -297,12 +356,13 @@ impl<'a, A: Algebra> Engine<'a, A> {
         let mut total = algebra.zero();
         let mut summed = 0usize;
         let mut pruned = 0usize;
-        for (t, s, p) in partials {
+        for partial in partials {
+            let (t, s, p) = partial?;
             algebra.add_assign(&mut total, &t);
             summed = summed.saturating_add(s);
             pruned = pruned.saturating_add(p);
         }
-        (total, summed, pruned)
+        Ok((total, summed, pruned))
     }
 }
 
@@ -392,9 +452,12 @@ impl<A: Algebra> BalancedSum<A> {
     }
 }
 
-/// One DFS worker: owns the mutable power caches and accumulators.
-struct Worker<'e, A: Algebra> {
+/// One DFS worker: owns the mutable power caches, accumulators and its gate.
+struct Worker<'e, A: Algebra, G: Gate> {
     eng: &'e Engine<'e, A>,
+    /// Budget gate, ticked once per DFS node and per evaluated composition.
+    /// [`Ungated`] monomorphizes every check away.
+    gate: G,
     /// Per-cell power caches for `u_c`.
     u_pows: Vec<Powers<A>>,
     /// Per-cell power caches for `r_{cc}` (exponents `C(m,2)` can exceed `n`,
@@ -413,10 +476,11 @@ struct Worker<'e, A: Algebra> {
     pruned: usize,
 }
 
-impl<'e, A: Algebra> Worker<'e, A> {
-    fn new(eng: &'e Engine<'e, A>) -> Worker<'e, A> {
+impl<'e, A: Algebra, G: Gate> Worker<'e, A, G> {
+    fn new(eng: &'e Engine<'e, A>, gate: G) -> Worker<'e, A, G> {
         let algebra = eng.algebra;
         Worker {
+            gate,
             u_pows: eng
                 .u
                 .iter()
@@ -453,7 +517,7 @@ impl<'e, A: Algebra> Worker<'e, A> {
 
     /// Handles one top-level count `m₀` (the unit of parallel work): cells
     /// `1..k` then run through the ordinary DFS.
-    fn top_level(&mut self, m0: usize, row0: &mut [Powers<A>]) {
+    fn top_level(&mut self, m0: usize, row0: &mut [Powers<A>]) -> Result<(), Interrupt> {
         let algebra = self.eng.algebra;
         let n = self.eng.n;
         let mut factor = self.own_factor(0, m0);
@@ -461,22 +525,28 @@ impl<'e, A: Algebra> Worker<'e, A> {
             self.pruned = self
                 .pruned
                 .saturating_add(num_compositions(n - m0, self.eng.k - 1));
-            return;
+            return Ok(());
         }
         algebra.mul_assign(&mut factor, &self.eng.binom[n][m0]);
         let child: Vec<A::Elem> = row0.iter_mut().map(|c| c.pow(algebra, m0)).collect();
-        self.dfs(1, n - m0, &factor, &child);
+        self.dfs(1, n - m0, &factor, &child)
     }
 
     /// Fixes the count of cell `i`, with `rem` elements left to distribute.
     /// `term` is the partial term of the prefix and `r[d]` the running cross
     /// product `R_{i+d}` of cell `i+d` against all fixed cells.
-    fn dfs(&mut self, i: usize, rem: usize, term: &A::Elem, r: &[A::Elem]) {
+    fn dfs(
+        &mut self,
+        i: usize,
+        rem: usize,
+        term: &A::Elem,
+        r: &[A::Elem],
+    ) -> Result<(), Interrupt> {
         debug_assert_eq!(r.len(), self.eng.k - i);
         let algebra = self.eng.algebra;
+        self.gate.tick(1)?;
         if i + 2 == self.eng.k {
-            self.last_two(i, rem, term, r);
-            return;
+            return self.last_two(i, rem, term, r);
         }
         if i + 1 == self.eng.k {
             // Last cell: its count is forced to `rem`.
@@ -488,7 +558,7 @@ impl<'e, A: Algebra> Worker<'e, A> {
             if !algebra.is_zero(&leaf) {
                 self.total.push(algebra, algebra.mul(term, &leaf));
             }
-            return;
+            return Ok(());
         }
         let cells_after = self.eng.k - i - 1;
         // R_i^m and the children's cross products, maintained incrementally:
@@ -513,11 +583,12 @@ impl<'e, A: Algebra> Worker<'e, A> {
                 self.pruned = self
                     .pruned
                     .saturating_add(num_compositions(rem - m, cells_after + 1));
-                return;
+                return Ok(());
             }
             algebra.mul_assign(&mut factor, &self.eng.binom[rem][m]);
-            self.dfs(i + 1, rem - m, &algebra.mul(term, &factor), &child);
+            self.dfs(i + 1, rem - m, &algebra.mul(term, &factor), &child)?;
         }
+        Ok(())
     }
 
     /// Fused loop over the counts of the last two cells `a = k−2`, `b = k−1`
@@ -526,7 +597,13 @@ impl<'e, A: Algebra> Worker<'e, A> {
     /// once per call (one multiplication per composition, amortized), and
     /// `r_{ab}^{m·t}` comes from a memoized per-pair power cache — no
     /// per-leaf square-and-multiply.
-    fn last_two(&mut self, a: usize, rem: usize, term: &A::Elem, r: &[A::Elem]) {
+    fn last_two(
+        &mut self,
+        a: usize,
+        rem: usize,
+        term: &A::Elem,
+        r: &[A::Elem],
+    ) -> Result<(), Interrupt> {
         let algebra = self.eng.algebra;
         let b = a + 1;
         // tail_pows[t] = R_b^t.
@@ -539,6 +616,10 @@ impl<'e, A: Algebra> Worker<'e, A> {
         }
         let mut a_pow = algebra.one(); // R_a^m
         for m in 0..=rem {
+            if let Err(stop) = self.gate.tick(1) {
+                self.tail_pows = tail_pows;
+                return Err(stop);
+            }
             if m > 0 {
                 algebra.mul_assign(&mut a_pow, &r[0]);
             }
@@ -572,6 +653,7 @@ impl<'e, A: Algebra> Worker<'e, A> {
             }
         }
         self.tail_pows = tail_pows; // hand the scratch buffer back
+        Ok(())
     }
 }
 

@@ -22,6 +22,7 @@ use num_traits::{One, Zero};
 
 use wfomc_ground::evaluate::evaluate;
 use wfomc_ground::structure::Structure;
+use wfomc_guard::{Guard, Interrupt};
 use wfomc_logic::algebra::{Algebra, AlgebraWeights, Exact};
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::vocabulary::{Predicate, Vocabulary};
@@ -32,9 +33,12 @@ use super::cells::{
     bind_cell_weights_in, bind_pair_table_in, build_cell_shapes, build_pair_structure, Cell,
     CellSpace, PairStructure,
 };
-use super::cellsum::{cell_sum_elems, cell_sum_weights, CellSumStats};
+use super::cellsum::{cell_sum_elems, cell_sum_weights, cell_sum_weights_gated, CellSumStats};
 use super::normalize::fo2_normal_form;
 use crate::error::LiftError;
+
+/// Guard phase name for the n-independent pair-structure analysis.
+const PREPARE_PHASE: &str = "fo2.prepare";
 
 /// Capacity of the keyed weight-binding cache: large enough that an
 /// alternating sweep over a handful of weight functions (the equality-removal
@@ -113,8 +117,24 @@ impl Fo2Prepared {
     /// Fails exactly when [`super::algorithm::wfomc_fo2`] would: the sentence
     /// is not FO², uses predicates of arity > 2, or contains constants.
     pub fn prepare(sentence: &Formula, vocabulary: &Vocabulary) -> Result<Fo2Prepared, LiftError> {
+        Self::prepare_guarded(sentence, vocabulary, &Guard::unarmed()).map_err(|e| match e {
+            crate::error::SolveError::Lift(err) => err,
+            _ => unreachable!("an unarmed guard cannot interrupt"),
+        })
+    }
+
+    /// [`prepare`](Self::prepare) under a resource [`Guard`]: the Shannon
+    /// expansion ticks the guard once per branch (the loop is `2^#nullary`
+    /// long), so deadlines, work caps and cancellation interrupt the
+    /// n-independent analysis. The partial analysis is discarded.
+    pub fn prepare_guarded(
+        sentence: &Formula,
+        vocabulary: &Vocabulary,
+        guard: &Guard,
+    ) -> Result<Fo2Prepared, crate::error::SolveError> {
+        wfomc_guard::failpoint(PREPARE_PHASE)?;
         if !sentence.is_sentence() {
-            return Err(LiftError::NotASentence);
+            return Err(LiftError::NotASentence.into());
         }
         // Normalization is weight-independent; the introduced predicates get
         // their fixed pairs ((1,1) for Def*, (1,−1) for Sk*) regardless of the
@@ -151,6 +171,7 @@ impl Fo2Prepared {
         // nullary predicates, each analyzed into cells and pair structures.
         let mut branches = Vec::new();
         for mask in 0u64..(1u64 << nullary.len()) {
+            guard.tick(PREPARE_PHASE, 1)?;
             let branch_matrix = if nullary.is_empty() {
                 shape.matrix.clone()
             } else {
@@ -178,6 +199,7 @@ impl Fo2Prepared {
             });
         }
 
+        guard.check(PREPARE_PHASE)?;
         Ok(Fo2Prepared {
             sentence: sentence.clone(),
             space,
@@ -328,7 +350,40 @@ impl Fo2Prepared {
         let bound = self.bind(weights);
         // The exact engine clears rational denominators before the DFS.
         self.sum_bound(&Exact, bound.as_ref(), n, allow_parallel, |b, parallel| {
-            cell_sum_weights(&b.u, &b.table, n, parallel)
+            Ok(cell_sum_weights(&b.u, &b.table, n, parallel))
+        })
+        .expect("an ungated cell sum cannot interrupt")
+    }
+
+    /// [`count`](Self::count) under a resource [`Guard`]: the weight binding
+    /// and every branch's cell sum are metered, so deadlines, work caps and
+    /// cancellation interrupt mid-count. The binding LRU only ever stores
+    /// *completed* bindings and the engine's accumulators are call-local, so
+    /// an interrupted count leaves the prepared state fully reusable —
+    /// retrying (with or without limits) gives the same answer as a fresh
+    /// solve.
+    pub fn count_guarded(
+        &self,
+        n: usize,
+        weights: &Weights,
+        allow_parallel: bool,
+        guard: &Guard,
+    ) -> Result<(Weight, Fo2Stats), Interrupt> {
+        // n = 0: there is exactly one (empty) structure; its weight is 1.
+        if n == 0 {
+            let value = if evaluate(&self.sentence, &Structure::empty(0)) {
+                Weight::one()
+            } else {
+                Weight::zero()
+            };
+            return Ok((value, Fo2Stats::default()));
+        }
+
+        wfomc_guard::failpoint("fo2.bind")?;
+        guard.check("fo2.bind")?;
+        let bound = self.bind(weights);
+        self.sum_bound(&Exact, bound.as_ref(), n, allow_parallel, |b, parallel| {
+            cell_sum_weights_gated(&b.u, &b.table, n, parallel, guard)
         })
     }
 
@@ -360,8 +415,9 @@ impl Fo2Prepared {
 
         let bound = self.bind_in(algebra, weights);
         self.sum_bound(algebra, &bound, n, allow_parallel, |b, parallel| {
-            cell_sum_elems(algebra, &b.u, &b.table, n, parallel)
+            Ok(cell_sum_elems(algebra, &b.u, &b.table, n, parallel))
         })
+        .expect("an ungated cell sum cannot interrupt")
     }
 
     /// Shared evaluation tail of [`count`](Self::count) and
@@ -373,8 +429,9 @@ impl Fo2Prepared {
         bound: &Fo2BoundIn<A::Elem>,
         n: usize,
         allow_parallel: bool,
-        eval: impl Fn(&BoundBranchIn<A::Elem>, bool) -> (A::Elem, CellSumStats) + Sync,
-    ) -> (A::Elem, Fo2Stats) {
+        eval: impl Fn(&BoundBranchIn<A::Elem>, bool) -> Result<(A::Elem, CellSumStats), Interrupt>
+            + Sync,
+    ) -> Result<(A::Elem, Fo2Stats), Interrupt> {
         let _span = wfomc_obs::span("fo2.cellsum");
         let mut stats = Fo2Stats {
             introduced_predicates: self.introduced.len(),
@@ -387,18 +444,19 @@ impl Fo2Prepared {
         }
 
         let mut total = algebra.zero();
-        for (branch, (value, branch_stats)) in
+        for (branch, result) in
             bound
                 .branches
                 .iter()
                 .zip(evaluate_bound(&bound.branches, n, allow_parallel, &eval))
         {
+            let (value, branch_stats) = result?;
             stats.absorb_cell_sum(&branch_stats);
             algebra.add_assign(&mut total, &algebra.mul(&branch.factor, &value));
         }
         wfomc_obs::metrics::CELLSUM_SUMMED.add(stats.compositions_summed as u64);
         wfomc_obs::metrics::CELLSUM_PRUNED.add(stats.compositions_pruned as u64);
-        (algebra.mul(&leftover, &total), stats)
+        Ok((algebra.mul(&leftover, &total), stats))
     }
 }
 

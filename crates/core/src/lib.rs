@@ -52,6 +52,10 @@ pub mod plan;
 pub mod qs4;
 pub mod solver;
 
-pub use error::LiftError;
-pub use plan::{Plan, PlanReport, Problem};
-pub use solver::{Method, Solver, SolverBuilder, SolverReport};
+pub use error::{LiftError, SolveError};
+pub use plan::{DegradePolicy, Plan, PlanReport, Problem};
+pub use solver::{LimitsReport, Method, PlanCacheStats, Solver, SolverBuilder, SolverReport};
+// The guard substrate is part of the governed API surface: callers build
+// `ExecutionLimits`/`CancelToken` values to pass into
+// [`Plan::count_with_limits`] without depending on `wfomc-guard` directly.
+pub use wfomc_guard::{CancelToken, ExecutionLimits};

@@ -36,24 +36,28 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use num_traits::{One, Zero};
 
 use wfomc_ground::{CompiledWfomc, Lineage};
+use wfomc_guard::{CancelToken, ExecutionLimits, Guard, Interrupt};
 use wfomc_logic::algebra::{Algebra, AlgebraWeights};
 use wfomc_logic::cq::ConjunctiveQuery;
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::vocabulary::{Predicate, Vocabulary};
 use wfomc_logic::weights::{weight_pow, Weight, Weights};
-use wfomc_prop::counter::{wmc_formula_via, wmc_formula_via_in};
+use wfomc_prop::counter::{wmc_formula_via_guarded, wmc_formula_via_in};
 use wfomc_prop::WmcBackend;
 
-use crate::cq::gamma_acyclic::{gamma_acyclic_probability, gamma_acyclic_wfomc_memo, CqMemo};
-use crate::error::LiftError;
+use crate::cq::gamma_acyclic::{
+    gamma_acyclic_probability, gamma_acyclic_wfomc_memo_guarded, CqMemo,
+};
+use crate::error::{LiftError, SolveError};
 use crate::fo2::Fo2Prepared;
 use crate::qs4::{is_qs4, wfomc_qs4, wfomc_qs4_in};
-use crate::solver::{Method, PlanCacheStats, Solver, SolverReport};
+use crate::solver::{LimitsReport, Method, PlanCacheStats, Solver, SolverReport};
 
 /// A counting problem: a sentence, the vocabulary it is counted over, and a
 /// default weight function (used by [`Plan::probability`]; every count can
@@ -180,13 +184,15 @@ struct GroundCache {
 impl GroundPrep {
     /// The cached instance for domain size `n`, building (inside the lock,
     /// so concurrent callers never ground twice) and evicting the least
-    /// recently used entries beyond `capacity` on a miss.
-    fn instance(
+    /// recently used entries beyond `capacity` on a miss. A build interrupted
+    /// by an armed guard inserts *nothing*: the cache only ever holds
+    /// completed groundings, so a retry after exhaustion rebuilds cleanly.
+    fn try_instance(
         &self,
         n: usize,
         capacity: Option<usize>,
-        build: impl FnOnce() -> GroundInstance,
-    ) -> Arc<GroundInstance> {
+        build: impl FnOnce() -> Result<GroundInstance, Interrupt>,
+    ) -> Result<Arc<GroundInstance>, Interrupt> {
         let mut cache = self.instances.lock().expect("ground cache poisoned");
         cache.clock += 1;
         let now = cache.clock;
@@ -195,13 +201,13 @@ impl GroundPrep {
             let instance = instance.clone();
             cache.hits += 1;
             wfomc_obs::metrics::GROUND_CACHE_HITS.inc();
-            return instance;
+            return Ok(instance);
         }
         cache.misses += 1;
         wfomc_obs::metrics::GROUND_CACHE_MISSES.inc();
         let instance = {
             let _span = wfomc_obs::span("plan.ground_build");
-            Arc::new(build())
+            Arc::new(build()?)
         };
         cache.map.insert(n, (instance.clone(), now));
         if let Some(capacity) = capacity {
@@ -216,7 +222,7 @@ impl GroundPrep {
             }
         }
         wfomc_obs::metrics::GROUND_CACHE_LEN.set(cache.map.len() as u64);
-        instance
+        Ok(instance)
     }
 
     /// Number of groundings currently cached.
@@ -374,6 +380,54 @@ impl Plan {
         self.count(n, &self.default_weights)
     }
 
+    /// [`count`](Self::count) under [`ExecutionLimits`] and an optional
+    /// [`CancelToken`] — the governed entry point.
+    ///
+    /// The limits are cooperative: every long-running loop in the pipeline
+    /// (FO² cell-sum DFS and pair-structure preparation, DPLL, d-DNNF
+    /// compilation, grounding, CQ reduction) consults a shared
+    /// [`wfomc_guard::Guard`] built here, and exhaustion surfaces as a
+    /// structured [`SolveError`] naming the phase that stopped. Exhaustion
+    /// is not corruption — the plan's caches only ever hold completed
+    /// entries, so retrying the same point with larger (or no) limits
+    /// succeeds and agrees with an unbudgeted solve.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use wfomc_core::{ExecutionLimits, Problem, SolveError};
+    /// use wfomc_logic::catalog;
+    /// use wfomc_logic::weights::Weights;
+    ///
+    /// let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+    /// let generous = ExecutionLimits::none().with_deadline(Duration::from_secs(600));
+    /// let report = plan
+    ///     .count_with_limits(4, &Weights::ones(), &generous, None)
+    ///     .unwrap();
+    /// assert!(report.limits.is_some(), "armed solves report their budget");
+    /// // An already-expired deadline cannot finish; the plan stays reusable.
+    /// let expired = ExecutionLimits::none().with_deadline(Duration::ZERO);
+    /// let err = plan
+    ///     .count_with_limits(4, &Weights::ones(), &expired, None)
+    ///     .unwrap_err();
+    /// assert!(matches!(err, SolveError::DeadlineExceeded { .. }));
+    /// assert_eq!(
+    ///     plan.count(4, &Weights::ones()).unwrap().value,
+    ///     report.value,
+    /// );
+    /// ```
+    pub fn count_with_limits(
+        &self,
+        n: usize,
+        weights: &Weights,
+        limits: &ExecutionLimits,
+        cancel: Option<CancelToken>,
+    ) -> Result<SolverReport, SolveError> {
+        let guard = Guard::new(limits, cancel);
+        let mut report = self.count_point_guarded(n, weights, true, None, &guard)?;
+        report.limits = limits_report(&guard, limits);
+        Ok(report)
+    }
+
     /// Evaluates many independent `(n, weights)` points, fanning them over
     /// scoped threads (each point then evaluates serially, so the machine is
     /// not oversubscribed). Results are in input order.
@@ -382,17 +436,80 @@ impl Plan {
     /// reduction memo and fold the workers' discoveries back in afterwards,
     /// so the points run truly concurrently instead of serializing on one
     /// memo lock.
+    ///
+    /// All-or-nothing shim over
+    /// [`count_batch_results`][Self::count_batch_results]: the first
+    /// per-point error loses the
+    /// other points' reports. A panic while evaluating a point is resurfaced
+    /// here (the per-point API reports it as [`SolveError::WorkerPanicked`]
+    /// instead).
     pub fn count_batch(&self, points: &[(usize, Weights)]) -> Result<Vec<SolverReport>, LiftError> {
+        self.count_batch_results(points)
+            .into_iter()
+            .map(|r| {
+                r.map_err(|e| match e {
+                    SolveError::Lift(e) => e,
+                    SolveError::WorkerPanicked { message } => {
+                        panic!("count_batch worker panicked: {message}")
+                    }
+                    other => unreachable!("an unarmed batch cannot report exhaustion: {other}"),
+                })
+            })
+            .collect()
+    }
+
+    /// [`count_batch`](Self::count_batch) with per-point outcomes: each point
+    /// gets its own `Result`, so one pathological point (an algorithmic
+    /// error, or — contained via `catch_unwind` — a panic) no longer takes
+    /// the whole batch down with it. Results are in input order.
+    pub fn count_batch_results(
+        &self,
+        points: &[(usize, Weights)],
+    ) -> Vec<Result<SolverReport, SolveError>> {
+        self.count_batch_with_limits(points, &ExecutionLimits::none(), None)
+    }
+
+    /// [`count_batch_results`](Self::count_batch_results) under a *shared*
+    /// budget: all points draw from one work/deadline pool, so the batch as
+    /// a whole is bounded. Points evaluated after the pool is exhausted
+    /// report exhaustion individually; completed points keep their reports.
+    ///
+    /// Worker panics are contained per point ([`SolveError::WorkerPanicked`])
+    /// and never poison the plan's caches or the other points.
+    pub fn count_batch_with_limits(
+        &self,
+        points: &[(usize, Weights)],
+        limits: &ExecutionLimits,
+        cancel: Option<CancelToken>,
+    ) -> Vec<Result<SolverReport, SolveError>> {
+        let guard = Guard::new(limits, cancel);
         let cores = std::thread::available_parallelism()
             .map(|c| c.get())
             .unwrap_or(1);
         let workers = cores.min(points.len());
-        if workers <= 1 {
-            return points
+        let mut results = if workers <= 1 {
+            points
                 .iter()
-                .map(|(n, w)| self.count_inner(*n, w, true))
-                .collect();
+                .map(|(n, w)| self.count_point_contained(*n, w, true, None, &guard))
+                .collect()
+        } else {
+            self.count_batch_parallel(points, workers, &guard)
+        };
+        if let Some(limits) = limits_report(&guard, limits) {
+            for report in results.iter_mut().flatten() {
+                report.limits = Some(limits);
+            }
         }
+        results
+    }
+
+    /// The scoped-thread fan-out behind the batch entry points.
+    fn count_batch_parallel(
+        &self,
+        points: &[(usize, Weights)],
+        workers: usize,
+        guard: &Guard,
+    ) -> Vec<Result<SolverReport, SolveError>> {
         let shared_memo = match &self.state {
             PlanState::Cq { memo, .. } => Some(memo),
             _ => None,
@@ -412,7 +529,12 @@ impl Plan {
                             .enumerate()
                             .skip(t)
                             .step_by(workers)
-                            .map(|(i, (n, w))| (i, self.count_point(*n, w, false, local.as_mut())))
+                            .map(|(i, (n, w))| {
+                                (
+                                    i,
+                                    self.count_point_contained(*n, w, false, local.as_mut(), guard),
+                                )
+                            })
                             .collect::<Vec<_>>();
                         // Scope joins can outrun TLS destructors; push this
                         // worker's span stats to the global table explicitly.
@@ -421,7 +543,7 @@ impl Plan {
                     })
                 })
                 .collect();
-            let mut slots: Vec<Option<Result<SolverReport, LiftError>>> =
+            let mut slots: Vec<Option<Result<SolverReport, SolveError>>> =
                 (0..points.len()).map(|_| None).collect();
             let mut locals = Vec::new();
             for handle in handles {
@@ -431,14 +553,15 @@ impl Plan {
                 }
                 locals.extend(local);
             }
-            let results: Result<Vec<SolverReport>, LiftError> = slots
+            let results: Vec<Result<SolverReport, SolveError>> = slots
                 .into_iter()
                 .map(|r| r.expect("every point evaluated"))
                 .collect();
             (results, locals)
         });
         // Merge-out: every residual shape any worker discovered becomes
-        // available to future counts.
+        // available to future counts. Panics were contained per point, so
+        // worker memos hold only completed reductions.
         if let Some(memo) = shared_memo {
             let mut memo = memo.lock().expect("cq memo poisoned");
             for local in worker_memos {
@@ -446,6 +569,28 @@ impl Plan {
             }
         }
         results
+    }
+
+    /// One point with panic containment: a panic anywhere inside the
+    /// evaluation becomes [`SolveError::WorkerPanicked`] for this point
+    /// alone. Sound to contain because every plan cache inserts only
+    /// completed entries — an unwinding evaluation leaves them consistent.
+    fn count_point_contained(
+        &self,
+        n: usize,
+        weights: &Weights,
+        allow_parallel: bool,
+        cq_memo: Option<&mut CqMemo>,
+        guard: &Guard,
+    ) -> Result<SolverReport, SolveError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.count_point_guarded(n, weights, allow_parallel, cq_memo, guard)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(SolveError::WorkerPanicked {
+                message: panic_message(payload.as_ref()),
+            })
+        })
     }
 
     /// The probability of the sentence at domain size `n` under the problem's
@@ -460,10 +605,7 @@ impl Plan {
         }
         Ok(SolverReport {
             value: report.value / normalization,
-            method: report.method,
-            backend: report.backend,
-            fo2_stats: report.fo2_stats,
-            cache: report.cache,
+            ..report
         })
     }
 
@@ -594,9 +736,9 @@ impl Plan {
         self.count_point(n, weights, allow_parallel, None)
     }
 
-    /// One evaluation point. `cq_memo` optionally overrides the plan's
-    /// shared CQ memo with a caller-private one (the batch workers' clone-in
-    /// memos); `None` uses the shared memo behind its lock.
+    /// One evaluation point through the ungoverned public API: the guarded
+    /// path with nothing armed, so there is exactly one evaluation code path
+    /// to test and benchmark.
     fn count_point(
         &self,
         n: usize,
@@ -604,8 +746,27 @@ impl Plan {
         allow_parallel: bool,
         cq_memo: Option<&mut CqMemo>,
     ) -> Result<SolverReport, LiftError> {
+        self.count_point_guarded(n, weights, allow_parallel, cq_memo, &Guard::unarmed())
+            .map_err(demote)
+    }
+
+    /// One evaluation point. `cq_memo` optionally overrides the plan's
+    /// shared CQ memo with a caller-private one (the batch workers' clone-in
+    /// memos); `None` uses the shared memo behind its lock. The guard is
+    /// consulted by every long-running loop underneath.
+    fn count_point_guarded(
+        &self,
+        n: usize,
+        weights: &Weights,
+        allow_parallel: bool,
+        cq_memo: Option<&mut CqMemo>,
+        guard: &Guard,
+    ) -> Result<SolverReport, SolveError> {
         wfomc_obs::metrics::PLAN_COUNTS.inc();
         let _span = wfomc_obs::span("plan.count");
+        // An already-expired deadline or raised token fails fast, before any
+        // method-specific work.
+        guard.check("plan.count")?;
         let mut report = match &self.state {
             PlanState::Qs4 { extra } => {
                 let value = wfomc_qs4(n, weights) * predicate_factor(extra, n, weights);
@@ -615,24 +776,30 @@ impl Plan {
                     backend: None,
                     fo2_stats: None,
                     cache: None,
+                    degraded: false,
+                    limits: None,
                 }
             }
             PlanState::Fo2(prepared) => {
-                let (value, stats) = prepared.count(n, weights, allow_parallel);
+                let (value, stats) = prepared.count_guarded(n, weights, allow_parallel, guard)?;
                 SolverReport {
                     value,
                     method: Method::Fo2,
                     backend: None,
                     fo2_stats: Some(stats),
                     cache: None,
+                    degraded: false,
+                    limits: None,
                 }
             }
             PlanState::Cq { query, extra, memo } => {
                 let result = match cq_memo {
-                    Some(local) => gamma_acyclic_wfomc_memo(query, n, weights, local),
+                    Some(local) => {
+                        gamma_acyclic_wfomc_memo_guarded(query, n, weights, local, guard)
+                    }
                     None => {
                         let mut memo = memo.lock().expect("cq memo poisoned");
-                        gamma_acyclic_wfomc_memo(query, n, weights, &mut memo)
+                        gamma_acyclic_wfomc_memo_guarded(query, n, weights, &mut memo, guard)
                     }
                 };
                 match result {
@@ -642,15 +809,24 @@ impl Plan {
                         backend: None,
                         fo2_stats: None,
                         cache: None,
+                        degraded: false,
+                        limits: None,
                     },
+                    // Exhaustion propagates: grounding after burning the
+                    // budget on the reduction would only exhaust again.
+                    Err(e) if e.is_exhaustion() => return Err(e),
                     // Weight pathologies (w + w̄ = 0) make the probability
                     // space undefined; mirror the one-shot dispatch and fall
                     // back to grounding.
-                    Err(_) if self.solver.allow_ground_fallback => self.ground_count(n, weights),
-                    Err(_) => return Err(no_lifted_method()),
+                    Err(_) if self.solver.allow_ground_fallback => {
+                        self.ground_count_guarded(n, weights, self.solver.ground_backend, guard)?
+                    }
+                    Err(_) => return Err(no_lifted_method().into()),
                 }
             }
-            PlanState::Ground => self.ground_count(n, weights),
+            PlanState::Ground => {
+                self.ground_count_guarded(n, weights, self.solver.ground_backend, guard)?
+            }
         };
         report.cache = Some(self.cache_stats());
         Ok(report)
@@ -658,38 +834,118 @@ impl Plan {
 
     /// The cached grounding for domain size `n` (built on first use, LRU
     /// eviction when the solver bounds the cache).
-    fn ground_instance(&self, n: usize) -> Arc<GroundInstance> {
+    fn ground_instance_guarded(
+        &self,
+        n: usize,
+        guard: &Guard,
+    ) -> Result<Arc<GroundInstance>, Interrupt> {
         self.ground
-            .instance(n, self.solver.ground_cache_capacity, || GroundInstance {
-                lineage: Lineage::build(&self.sentence, &self.vocabulary, n),
-                compiled: OnceLock::new(),
+            .try_instance(n, self.solver.ground_cache_capacity, || {
+                Ok(GroundInstance {
+                    lineage: Lineage::build_guarded(&self.sentence, &self.vocabulary, n, guard)?,
+                    compiled: OnceLock::new(),
+                })
             })
     }
 
     /// One grounded evaluation: the lineage is cached per domain size, and
     /// the circuit backend additionally caches a compiled d-DNNF per `n`, so
-    /// repeated counts cost one linear circuit pass each.
-    fn ground_count(&self, n: usize, weights: &Weights) -> SolverReport {
-        let instance = self.ground_instance(n);
-        let backend = self.solver.ground_backend;
+    /// repeated counts cost one linear circuit pass each. `backend` is
+    /// explicit (rather than read from the solver) so the degradation chain
+    /// can force cheaper backends through the same caches.
+    fn ground_count_guarded(
+        &self,
+        n: usize,
+        weights: &Weights,
+        backend: WmcBackend,
+        guard: &Guard,
+    ) -> Result<SolverReport, SolveError> {
+        // Fail fast on an expired budget even when everything below is
+        // cached, so the degradation stages honor their sub-budgets the
+        // same way `count_point_guarded` honors the solve budget.
+        guard.check("plan.ground")?;
+        let instance = self.ground_instance_guarded(n, guard)?;
         let value = match backend {
-            WmcBackend::Circuit => instance
-                .compiled
-                .get_or_init(|| CompiledWfomc::from_lineage(instance.lineage.clone()))
-                .wfomc(weights),
-            backend => wmc_formula_via(
+            WmcBackend::Circuit => {
+                // `OnceLock::get_or_init` cannot carry the interrupt out, so
+                // compile first and publish only a *completed* circuit; a
+                // concurrent winner's circuit is identical, so dropping the
+                // loser is just wasted work, never wrong.
+                let compiled = match instance.compiled.get() {
+                    Some(compiled) => compiled,
+                    None => {
+                        let built =
+                            CompiledWfomc::from_lineage_guarded(instance.lineage.clone(), guard)?;
+                        instance.compiled.get_or_init(|| built)
+                    }
+                };
+                compiled.wfomc(weights)
+            }
+            backend => wmc_formula_via_guarded(
                 &instance.lineage.prop,
                 &instance.lineage.symmetric_weights(weights),
                 backend,
-            ),
+                guard,
+            )?,
         };
-        SolverReport {
+        Ok(SolverReport {
             value,
             method: Method::Ground,
             backend: Some(backend),
             fo2_stats: None,
             cache: None,
+            degraded: false,
+            limits: None,
+        })
+    }
+
+    /// [`count_with_limits`](Self::count_with_limits) with graceful
+    /// degradation: when the planned method exhausts its sub-budget, cheaper
+    /// stages of `policy` (grounded d-DNNF compilation, then plain DPLL) are
+    /// tried in turn, each under its own sub-budget and the same optional
+    /// cancellation token. A degraded answer is still *exact* — the stages
+    /// trade the plan's preferred asymptotics for predictable worst-case
+    /// behavior at small `n` — and is flagged via
+    /// [`SolverReport::degraded`].
+    ///
+    /// Algorithmic errors (and a raised token) abort the chain immediately;
+    /// only exhaustion degrades. When every stage exhausts, the error of the
+    /// last stage tried is returned.
+    pub fn count_degraded(
+        &self,
+        n: usize,
+        weights: &Weights,
+        policy: &DegradePolicy,
+        cancel: Option<CancelToken>,
+    ) -> Result<SolverReport, SolveError> {
+        let primary = self.count_with_limits(n, weights, &policy.primary, cancel.clone());
+        let mut last = match primary {
+            Ok(report) => return Ok(report),
+            Err(e) if e.is_exhaustion() && !matches!(e, SolveError::Cancelled { .. }) => e,
+            Err(e) => return Err(e),
+        };
+        let stages = [
+            (WmcBackend::Circuit, policy.circuit.as_ref()),
+            (WmcBackend::Dpll, policy.dpll.as_ref()),
+        ];
+        for (backend, limits) in stages {
+            let Some(limits) = limits else { continue };
+            let guard = Guard::new(limits, cancel.clone());
+            match self.ground_count_guarded(n, weights, backend, &guard) {
+                Ok(mut report) => {
+                    report.degraded = true;
+                    report.cache = Some(self.cache_stats());
+                    report.limits = limits_report(&guard, limits);
+                    wfomc_obs::metrics::GUARD_DEGRADED_SOLVES.inc();
+                    return Ok(report);
+                }
+                Err(e) if e.is_exhaustion() && !matches!(e, SolveError::Cancelled { .. }) => {
+                    last = e;
+                }
+                Err(e) => return Err(e),
+            }
         }
+        Err(last)
     }
 
     /// Symmetric WFOMC at domain size `n` in an arbitrary [`Algebra`] — the
@@ -834,7 +1090,9 @@ impl Plan {
         algebra: &A,
         weights: &AlgebraWeights<A>,
     ) -> A::Elem {
-        let instance = self.ground_instance(n);
+        let instance = self
+            .ground_instance_guarded(n, &Guard::unarmed())
+            .expect("an unarmed guard cannot interrupt");
         match self.solver.ground_backend {
             WmcBackend::Circuit => instance
                 .compiled
@@ -866,6 +1124,85 @@ impl fmt::Display for PlanReport {
             write!(f, "\n  {line}")?;
         }
         Ok(())
+    }
+}
+
+/// A graceful-degradation chain for [`Plan::count_degraded`]: the planned
+/// method first, then progressively simpler grounded backends, each under
+/// its own sub-budget.
+///
+/// The default chain gives each stage the same limits:
+///
+/// ```
+/// use std::time::Duration;
+/// use wfomc_core::DegradePolicy;
+/// use wfomc_guard::ExecutionLimits;
+///
+/// let per_stage = ExecutionLimits::none().with_deadline(Duration::from_millis(250));
+/// let policy = DegradePolicy::uniform(per_stage);
+/// assert_eq!(policy.circuit, Some(per_stage));
+/// assert_eq!(policy.dpll, Some(per_stage));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Sub-budget for the plan's own (usually lifted) method.
+    pub primary: ExecutionLimits,
+    /// Sub-budget for the grounded d-DNNF stage; `None` skips the stage.
+    pub circuit: Option<ExecutionLimits>,
+    /// Sub-budget for the grounded DPLL stage; `None` skips the stage.
+    pub dpll: Option<ExecutionLimits>,
+}
+
+impl DegradePolicy {
+    /// The full chain with the same sub-budget per stage.
+    pub fn uniform(limits: ExecutionLimits) -> DegradePolicy {
+        DegradePolicy {
+            primary: limits,
+            circuit: Some(limits),
+            dpll: Some(limits),
+        }
+    }
+
+    /// Only the planned method, no fallback stages (equivalent to
+    /// [`Plan::count_with_limits`]).
+    pub fn primary_only(limits: ExecutionLimits) -> DegradePolicy {
+        DegradePolicy {
+            primary: limits,
+            circuit: None,
+            dpll: None,
+        }
+    }
+}
+
+/// Unwraps a [`SolveError`] coming back through an *unarmed* guard, where
+/// exhaustion is impossible by construction.
+fn demote(e: SolveError) -> LiftError {
+    match e {
+        SolveError::Lift(e) => e,
+        other => unreachable!("an unarmed guard cannot interrupt: {other}"),
+    }
+}
+
+/// The [`LimitsReport`] for a finished governed solve, or `None` when
+/// nothing was armed (so ungoverned reports stay bit-identical to the
+/// pre-governance ones).
+fn limits_report(guard: &Guard, limits: &ExecutionLimits) -> Option<LimitsReport> {
+    guard.is_armed().then(|| LimitsReport {
+        deadline: limits.deadline,
+        work_cap: limits.work_cap,
+        work_done: guard.work_done(),
+        elapsed: guard.elapsed(),
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -1289,6 +1626,202 @@ mod tests {
         assert!(memo_len > 0, "batch evaluation populates the shared memo");
     }
 
+    #[test]
+    fn unarmed_limits_report_nothing_and_match_plain_counts() {
+        let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+        let plain = plan.count(4, &Weights::ones()).unwrap();
+        let governed = plan
+            .count_with_limits(4, &Weights::ones(), &ExecutionLimits::none(), None)
+            .unwrap();
+        assert_eq!(plain.value, governed.value);
+        assert!(governed.limits.is_none(), "nothing armed, nothing reported");
+        assert!(!governed.degraded);
+    }
+
+    #[test]
+    fn armed_limits_are_reported_and_displayed() {
+        let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+        let limits = ExecutionLimits::none()
+            .with_deadline(std::time::Duration::from_secs(600))
+            .with_work_cap(u64::MAX);
+        let report = plan
+            .count_with_limits(5, &Weights::ones(), &limits, None)
+            .unwrap();
+        let recorded = report.limits.expect("armed solves report their budget");
+        assert_eq!(recorded.work_cap, Some(u64::MAX));
+        assert!(recorded.deadline.is_some());
+        let text = report.to_string();
+        assert!(text.contains("limits"), "{text}");
+        assert!(text.contains("work="), "{text}");
+        assert!(text.contains("elapsed="), "{text}");
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_every_method_and_leaves_the_plan_reusable() {
+        let expired = ExecutionLimits::none().with_deadline(std::time::Duration::ZERO);
+        for (sentence, _, n) in four_methods() {
+            let plan = Problem::new(sentence.clone()).plan().unwrap();
+            let err = plan
+                .count_with_limits(n, &Weights::ones(), &expired, None)
+                .unwrap_err();
+            assert!(
+                matches!(err, SolveError::DeadlineExceeded { .. }),
+                "{sentence}: {err}"
+            );
+            // Retrying without limits agrees with a fresh plan's solve.
+            let retried = plan.count(n, &Weights::ones()).unwrap().value;
+            let fresh = Problem::new(sentence.clone())
+                .plan()
+                .unwrap()
+                .count(n, &Weights::ones())
+                .unwrap()
+                .value;
+            assert_eq!(retried, fresh, "{sentence}");
+        }
+    }
+
+    #[test]
+    fn cancellation_interrupts_and_a_fresh_token_recovers() {
+        let plan = Problem::new(catalog::transitivity()).plan().unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = plan
+            .count_with_limits(2, &Weights::ones(), &ExecutionLimits::none(), Some(token))
+            .unwrap_err();
+        assert!(matches!(err, SolveError::Cancelled { .. }), "{err}");
+        // Same plan, fresh token: succeeds and matches the ungoverned count.
+        let report = plan
+            .count_with_limits(
+                2,
+                &Weights::ones(),
+                &ExecutionLimits::none(),
+                Some(CancelToken::new()),
+            )
+            .unwrap();
+        assert_eq!(report.value, plan.count(2, &Weights::ones()).unwrap().value);
+    }
+
+    #[test]
+    fn a_100ms_deadline_cuts_a_multi_second_workload_off_quickly() {
+        // fo2-table1-30 (the perf-gate workload) runs ~2s uncapped; the
+        // acceptance bar is an error within 150ms of the 100ms deadline.
+        let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+        let limits = ExecutionLimits::none().with_deadline(std::time::Duration::from_millis(100));
+        let started = std::time::Instant::now();
+        let result = plan.count_with_limits(30, &Weights::ones(), &limits, None);
+        let elapsed = started.elapsed();
+        let err = result.expect_err("30-domain table1 cannot finish in 100ms");
+        assert!(matches!(err, SolveError::DeadlineExceeded { .. }), "{err}");
+        assert!(
+            elapsed < std::time::Duration::from_millis(150),
+            "deadline honored within 150ms, took {elapsed:?}"
+        );
+        // The interrupted plan still answers smaller points correctly.
+        assert_eq!(
+            plan.count(3, &Weights::ones()).unwrap().value,
+            Problem::new(catalog::table1_sentence())
+                .plan()
+                .unwrap()
+                .count(3, &Weights::ones())
+                .unwrap()
+                .value
+        );
+    }
+
+    #[test]
+    fn count_batch_results_matches_count_batch_on_clean_points() {
+        let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+        let points: Vec<(usize, Weights)> = (0..=6)
+            .map(|n| (n, Weights::from_ints([("R", n as i64, 1)])))
+            .collect();
+        let all = plan.count_batch(&points).unwrap();
+        let per_point = plan.count_batch_results(&points);
+        assert_eq!(all.len(), per_point.len());
+        for (a, b) in all.iter().zip(&per_point) {
+            assert_eq!(a.value, b.as_ref().unwrap().value);
+        }
+    }
+
+    #[test]
+    fn batch_under_a_shared_expired_deadline_fails_per_point_not_wholesale() {
+        let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+        let points: Vec<(usize, Weights)> = (2..=5).map(|n| (n, Weights::ones())).collect();
+        let expired = ExecutionLimits::none().with_deadline(std::time::Duration::ZERO);
+        let results = plan.count_batch_with_limits(&points, &expired, None);
+        assert_eq!(results.len(), points.len());
+        for result in &results {
+            let err = result.as_ref().unwrap_err();
+            assert!(matches!(err, SolveError::DeadlineExceeded { .. }), "{err}");
+        }
+        // The batch pool being exhausted never corrupts the plan.
+        let clean = plan.count_batch_results(&points);
+        for (result, (n, w)) in clean.iter().zip(&points) {
+            assert_eq!(
+                result.as_ref().unwrap().value,
+                plan.count(*n, w).unwrap().value
+            );
+        }
+    }
+
+    #[test]
+    fn count_degraded_falls_back_to_ground_and_flags_the_report() {
+        // Starve the lifted FO² method at a size it cannot finish instantly,
+        // but give the grounded stages room at a small n: use a plan whose
+        // primary deadline is already expired, so degradation is forced
+        // deterministically.
+        let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+        let policy = DegradePolicy {
+            primary: ExecutionLimits::none().with_deadline(std::time::Duration::ZERO),
+            circuit: Some(ExecutionLimits::none()),
+            dpll: Some(ExecutionLimits::none()),
+        };
+        let report = plan
+            .count_degraded(3, &Weights::ones(), &policy, None)
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.method, Method::Ground);
+        assert_eq!(report.backend, Some(WmcBackend::Circuit));
+        assert_eq!(report.value, plan.count(3, &Weights::ones()).unwrap().value);
+        assert!(report.to_string().contains("degraded"));
+        // When every stage is starved, the last stage's error surfaces.
+        let starved = DegradePolicy::uniform(
+            ExecutionLimits::none().with_deadline(std::time::Duration::ZERO),
+        );
+        let err = plan
+            .count_degraded(3, &Weights::ones(), &starved, None)
+            .unwrap_err();
+        assert!(err.is_exhaustion(), "{err}");
+        // A clean primary never degrades.
+        let clean = plan
+            .count_degraded(3, &Weights::ones(), &DegradePolicy::default(), None)
+            .unwrap();
+        assert!(!clean.degraded);
+        assert_eq!(clean.method, Method::Fo2);
+    }
+
+    #[test]
+    fn mem_estimate_cap_stops_grounding_before_allocation() {
+        let plan = Problem::new(catalog::transitivity()).plan().unwrap();
+        let limits = ExecutionLimits::none().with_mem_estimate_cap(1);
+        let err = plan
+            .count_with_limits(3, &Weights::ones(), &limits, None)
+            .unwrap_err();
+        assert!(
+            matches!(err, SolveError::MemEstimateExceeded { .. }),
+            "{err}"
+        );
+        // Retry uncapped: the cache holds no partial grounding.
+        assert_eq!(
+            plan.count(3, &Weights::ones()).unwrap().value,
+            Problem::new(catalog::transitivity())
+                .plan()
+                .unwrap()
+                .count(3, &Weights::ones())
+                .unwrap()
+                .value
+        );
+    }
+
     /// Deterministic pseudo-random weights including zero and negative
     /// rationals, over the predicate names the test sentences use.
     fn seeded_weights(seed: u64) -> Weights {
@@ -1409,6 +1942,57 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+
+        /// Cache consistency under exhaustion: a governed solve under a
+        /// random (often hopeless) budget either agrees with an unbudgeted
+        /// solve or reports exhaustion — and in *both* cases the same plan
+        /// retried uncapped matches a fresh plan's answer, for all four
+        /// methods under random weights including zeros and negatives.
+        #[test]
+        fn interrupted_plans_stay_consistent_and_retry_clean(
+            seed in 0u64..5000,
+            // Values past the sentinel mean "this limit unarmed", so the
+            // cases cover caps alone, deadlines alone, both, and neither.
+            work_cap in 0u64..5120,
+            deadline_us in 0u64..640,
+        ) {
+            let solver = Solver::new();
+            let weights = seeded_weights(seed);
+            let mut limits = ExecutionLimits::none();
+            if work_cap < 4096 {
+                limits = limits.with_work_cap(work_cap);
+            }
+            if deadline_us < 512 {
+                limits = limits.with_deadline(std::time::Duration::from_micros(deadline_us));
+            }
+            for (sentence, _, max_n) in four_methods() {
+                let plan = solver.plan(&Problem::new(sentence.clone())).unwrap();
+                let fresh = solver
+                    .plan(&Problem::new(sentence.clone()))
+                    .unwrap()
+                    .count(max_n, &weights)
+                    .unwrap()
+                    .value;
+                match plan.count_with_limits(max_n, &weights, &limits, None) {
+                    Ok(report) => prop_assert_eq!(
+                        &report.value, &fresh,
+                        "governed solve disagrees for {}", sentence
+                    ),
+                    Err(e) => prop_assert!(
+                        e.is_exhaustion(),
+                        "{}: unexpected error {}", sentence, e
+                    ),
+                }
+                // The retry contract: uncapped re-run on the *same* plan
+                // (same caches, possibly warmed or interrupted) matches a
+                // fresh plan's solve.
+                let retried = plan.count(max_n, &weights).unwrap().value;
+                prop_assert_eq!(
+                    &retried, &fresh,
+                    "retry after budgeted run disagrees for {}", sentence
+                );
             }
         }
 

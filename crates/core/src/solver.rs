@@ -96,6 +96,26 @@ fn hit_rate(hits: u64, misses: u64) -> Option<f64> {
     (total > 0).then(|| hits as f64 / total as f64)
 }
 
+/// Resource accounting of a governed solve: what was armed and what it cost.
+///
+/// Attached to [`SolverReport::limits`] by [`crate::Plan::count_with_limits`]
+/// and friends whenever any limit or cancellation token was armed (`None` on
+/// ungoverned counts and when [`wfomc_guard::ExecutionLimits::is_unlimited`]
+/// held with no token).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LimitsReport {
+    /// The armed wall-clock budget, if any.
+    pub deadline: Option<std::time::Duration>,
+    /// The armed work cap (abstract loop-iteration units), if any.
+    pub work_cap: Option<u64>,
+    /// Work units the solve recorded against the budget. For batch entry
+    /// points this is the shared pool across all points, not a per-point
+    /// figure.
+    pub work_done: u64,
+    /// Wall-clock time from arming the guard to the report.
+    pub elapsed: std::time::Duration,
+}
+
 /// A solver result: the count and the method that produced it.
 #[must_use = "a SolverReport carries the computed count"]
 #[derive(Clone, Debug)]
@@ -114,6 +134,12 @@ pub struct SolverReport {
     /// Cache accounting of the plan that served this count (`None` for
     /// reports produced outside a plan).
     pub cache: Option<PlanCacheStats>,
+    /// True when a [`crate::plan::DegradePolicy`] exhausted the planned
+    /// method's sub-budget and a cheaper fallback produced this value.
+    pub degraded: bool,
+    /// Resource accounting when the solve ran under armed
+    /// [`wfomc_guard::ExecutionLimits`] or a cancellation token.
+    pub limits: Option<LimitsReport>,
 }
 
 impl std::fmt::Display for SolverReport {
@@ -134,6 +160,20 @@ impl std::fmt::Display for SolverReport {
                     stats.compositions_pruned, stats.compositions_total
                 )?;
             }
+        }
+        if self.degraded {
+            write!(f, ", degraded")?;
+        }
+        if let Some(limits) = &self.limits {
+            write!(f, ", limits")?;
+            if let Some(deadline) = limits.deadline {
+                write!(f, " deadline={:.0}ms", deadline.as_secs_f64() * 1e3)?;
+            }
+            match limits.work_cap {
+                Some(cap) => write!(f, " work={}/{}", limits.work_done, cap)?,
+                None => write!(f, " work={}", limits.work_done)?,
+            }
+            write!(f, " elapsed={:.1}ms", limits.elapsed.as_secs_f64() * 1e3)?;
         }
         if let Some(cache) = &self.cache {
             if cache.fo2_bind_hits + cache.fo2_bind_misses > 0 {
@@ -318,6 +358,8 @@ impl Solver {
                     backend: None,
                     fo2_stats: Some(stats),
                     cache: None,
+                    degraded: false,
+                    limits: None,
                 })
             }
             Err(e) => Err(e),
@@ -348,10 +390,7 @@ impl Solver {
         }
         Ok(SolverReport {
             value: report.value / normalization,
-            method: report.method,
-            backend: report.backend,
-            fo2_stats: report.fo2_stats,
-            cache: report.cache,
+            ..report
         })
     }
 }

@@ -1,0 +1,170 @@
+//! Fault injection across the governed pipeline: each instrumented loop is
+//! forced to expire (and, for the batch fan-out, to panic) via the
+//! feature-gated failpoints in `wfomc-guard`, proving the failure paths are
+//! real code that surfaces the right `SolveError` and leaves every cache
+//! retryable. Compiled (and run in CI) only with `--features failpoints`.
+#![cfg(feature = "failpoints")]
+
+use std::sync::Mutex;
+
+use wfomc_core::{ExecutionLimits, Problem, SolveError, Solver};
+use wfomc_guard::{arm_failpoint, clear_failpoints, FailAction};
+use wfomc_logic::catalog;
+use wfomc_logic::weights::Weights;
+use wfomc_prop::WmcBackend;
+
+/// The failpoint registry is process-global, so these tests serialize on one
+/// lock and disarm everything on the way out (even on assertion failure).
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+struct Armed;
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        clear_failpoints();
+    }
+}
+
+fn serialized() -> (std::sync::MutexGuard<'static, ()>, Armed) {
+    let guard = REGISTRY_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner());
+    clear_failpoints();
+    (guard, Armed)
+}
+
+/// Forces `phase` to expire, runs `solve`, and checks the structured error
+/// names the phase; then disarms and checks the *same plan* recovers with a
+/// value equal to `expected`.
+fn assert_expires_then_recovers(
+    phase: &str,
+    solve: impl Fn() -> Result<wfomc_core::SolverReport, SolveError>,
+) {
+    arm_failpoint(phase, FailAction::Expire);
+    match solve() {
+        Err(SolveError::DeadlineExceeded { phase: hit, .. }) => {
+            assert_eq!(hit, phase, "interrupt names the instrumented loop")
+        }
+        other => panic!("armed `{phase}` must expire, got {other:?}"),
+    }
+    clear_failpoints();
+    let _ = solve().unwrap_or_else(|e| panic!("retry after disarming `{phase}` failed: {e}"));
+}
+
+#[test]
+fn fo2_phases_expire_and_recover() {
+    let (_lock, _armed) = serialized();
+    let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+    let expected = plan.count(3, &Weights::ones()).unwrap().value;
+    for phase in ["fo2.bind", "fo2.cellsum"] {
+        assert_expires_then_recovers(phase, || {
+            plan.count_with_limits(3, &Weights::ones(), &ExecutionLimits::none(), None)
+        });
+    }
+    assert_eq!(plan.count(3, &Weights::ones()).unwrap().value, expected);
+}
+
+#[test]
+fn fo2_preparation_expires_and_recovers() {
+    let (_lock, _armed) = serialized();
+    let sentence = catalog::table1_sentence();
+    let vocabulary = sentence.vocabulary();
+    arm_failpoint("fo2.prepare", FailAction::Expire);
+    let err = wfomc_core::fo2::Fo2Prepared::prepare_guarded(
+        &sentence,
+        &vocabulary,
+        &wfomc_guard::Guard::unarmed(),
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SolveError::DeadlineExceeded {
+                phase: "fo2.prepare",
+                ..
+            }
+        ),
+        "{err}"
+    );
+    clear_failpoints();
+    assert!(wfomc_core::fo2::Fo2Prepared::prepare_guarded(
+        &sentence,
+        &vocabulary,
+        &wfomc_guard::Guard::unarmed(),
+    )
+    .is_ok());
+}
+
+#[test]
+fn grounded_phases_expire_and_recover() {
+    let (_lock, _armed) = serialized();
+    let cases = [
+        (WmcBackend::Dpll, "ground.lineage"),
+        (WmcBackend::Dpll, "prop.dpll"),
+        (WmcBackend::Enumerate, "prop.enumerate"),
+        (WmcBackend::Circuit, "circuit.compile"),
+    ];
+    for (backend, phase) in cases {
+        let solver = Solver::builder()
+            .lifted(false)
+            .ground_backend(backend)
+            .build();
+        let plan = solver.plan(&Problem::new(catalog::transitivity())).unwrap();
+        assert_expires_then_recovers(phase, || {
+            plan.count_with_limits(2, &Weights::ones(), &ExecutionLimits::none(), None)
+        });
+        // The recovered value matches a never-faulted plan.
+        let clean = Solver::builder()
+            .lifted(false)
+            .ground_backend(backend)
+            .build()
+            .plan(&Problem::new(catalog::transitivity()))
+            .unwrap()
+            .count(2, &Weights::ones())
+            .unwrap()
+            .value;
+        assert_eq!(plan.count(2, &Weights::ones()).unwrap().value, clean);
+    }
+}
+
+#[test]
+fn cq_reduction_expires_and_recovers() {
+    let (_lock, _armed) = serialized();
+    // Plan *before* arming: method selection probes the CQ reduction.
+    let plan = Problem::new(catalog::chain_query(3).to_formula())
+        .plan()
+        .unwrap();
+    let expected = plan.count(2, &Weights::ones()).unwrap().value;
+    assert_expires_then_recovers("cq.reduce", || {
+        plan.count_with_limits(2, &Weights::ones(), &ExecutionLimits::none(), None)
+    });
+    assert_eq!(plan.count(2, &Weights::ones()).unwrap().value, expected);
+}
+
+#[test]
+fn forced_worker_panics_are_contained_per_point() {
+    let (_lock, _armed) = serialized();
+    let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+    let points: Vec<(usize, Weights)> = (2..=5).map(|n| (n, Weights::ones())).collect();
+    arm_failpoint("fo2.cellsum", FailAction::Panic);
+    let results = plan.count_batch_results(&points);
+    assert_eq!(results.len(), points.len());
+    for result in &results {
+        match result {
+            Err(SolveError::WorkerPanicked { message }) => {
+                assert!(message.contains("fo2.cellsum"), "{message}")
+            }
+            other => panic!("forced panic must be contained per point, got {other:?}"),
+        }
+    }
+    // Containment never poisons the plan: disarm and the same batch is clean.
+    clear_failpoints();
+    let clean = plan.count_batch_results(&points);
+    for (result, (n, w)) in clean.iter().zip(&points) {
+        assert_eq!(
+            result.as_ref().unwrap().value,
+            plan.count(*n, w).unwrap().value
+        );
+    }
+}

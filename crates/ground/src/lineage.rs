@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use wfomc_guard::{Guard, Interrupt};
 use wfomc_logic::algebra::{Algebra, AlgebraWeights, ElemWeights};
 use wfomc_logic::term::{Term, Variable};
 use wfomc_logic::weights::{Weight, Weights};
@@ -61,7 +62,26 @@ impl Lineage {
     /// Panics if the formula mentions predicates outside the vocabulary, has
     /// free variables, or uses constants outside the domain.
     pub fn build(formula: &Formula, vocabulary: &Vocabulary, n: usize) -> Lineage {
+        Self::build_guarded(formula, vocabulary, n, &Guard::unarmed())
+            .expect("an unarmed guard cannot interrupt")
+    }
+
+    /// [`build`](Self::build) under a resource [`Guard`]: the guard is
+    /// ticked per ground-atom expansion, its memory-estimate cap is checked
+    /// against `|Tup(n)|` before allocating the atom universe, and an
+    /// interrupt abandons the partial grounding (nothing is shared).
+    ///
+    /// # Panics
+    /// Same contract as [`build`](Self::build).
+    pub fn build_guarded(
+        formula: &Formula,
+        vocabulary: &Vocabulary,
+        n: usize,
+        guard: &Guard,
+    ) -> Result<Lineage, Interrupt> {
+        const PHASE: &str = "ground.lineage";
         let _span = wfomc_obs::span("ground.lineage");
+        wfomc_guard::failpoint(PHASE)?;
         assert!(
             formula.is_sentence(),
             "lineage construction requires a sentence"
@@ -70,6 +90,13 @@ impl Lineage {
             formula.vocabulary().is_subvocabulary_of(vocabulary),
             "the sentence mentions predicates outside the supplied vocabulary"
         );
+        // |Tup(n)| = Σ_R n^arity(R); refuse before allocating when the
+        // caller bounded the grounding's footprint.
+        let universe: u64 = vocabulary
+            .iter()
+            .map(|p| (n as u64).saturating_pow(p.arity() as u32))
+            .fold(0u64, u64::saturating_add);
+        guard.check_mem(PHASE, universe)?;
         let mut atoms = Vec::new();
         let mut index: HashMap<GroundAtom, usize> = HashMap::new();
         for p in vocabulary.iter() {
@@ -82,15 +109,15 @@ impl Lineage {
                 atoms.push(atom);
             }
         }
-        let prop = ground(formula, n, &index, &HashMap::new());
+        let prop = ground(formula, n, &index, &HashMap::new(), guard)?;
         wfomc_obs::metrics::LINEAGE_BUILT.inc();
         wfomc_obs::metrics::LINEAGE_VARS.add(atoms.len() as u64);
         wfomc_obs::metrics::LINEAGE_PROP_NODES.add(prop.size() as u64);
-        Lineage {
+        Ok(Lineage {
             prop,
             atoms,
             domain_size: n,
-        }
+        })
     }
 
     /// Number of propositional variables (`|Tup(n)|`).
@@ -149,8 +176,10 @@ fn ground(
     n: usize,
     index: &HashMap<GroundAtom, usize>,
     env: &HashMap<Variable, usize>,
-) -> PropFormula {
-    match formula {
+    guard: &Guard,
+) -> Result<PropFormula, Interrupt> {
+    guard.tick("ground.lineage", 1)?;
+    Ok(match formula {
         Formula::Top => PropFormula::Top,
         Formula::Bottom => PropFormula::Bottom,
         Formula::Atom(a) => {
@@ -171,24 +200,50 @@ fn ground(
                 PropFormula::Bottom
             }
         }
-        Formula::Not(g) => PropFormula::not(ground(g, n, index, env)),
-        Formula::And(gs) => PropFormula::and_all(gs.iter().map(|g| ground(g, n, index, env))),
-        Formula::Or(gs) => PropFormula::or_all(gs.iter().map(|g| ground(g, n, index, env))),
-        Formula::Implies(a, b) => {
-            PropFormula::implies(ground(a, n, index, env), ground(b, n, index, env))
+        Formula::Not(g) => PropFormula::not(ground(g, n, index, env, guard)?),
+        Formula::And(gs) => {
+            let parts: Vec<PropFormula> = gs
+                .iter()
+                .map(|g| ground(g, n, index, env, guard))
+                .collect::<Result<_, _>>()?;
+            PropFormula::and_all(parts)
         }
-        Formula::Iff(a, b) => PropFormula::iff(ground(a, n, index, env), ground(b, n, index, env)),
-        Formula::Forall(v, g) => PropFormula::and_all((0..n).map(|c| {
-            let mut ext = env.clone();
-            ext.insert(v.clone(), c);
-            ground(g, n, index, &ext)
-        })),
-        Formula::Exists(v, g) => PropFormula::or_all((0..n).map(|c| {
-            let mut ext = env.clone();
-            ext.insert(v.clone(), c);
-            ground(g, n, index, &ext)
-        })),
-    }
+        Formula::Or(gs) => {
+            let parts: Vec<PropFormula> = gs
+                .iter()
+                .map(|g| ground(g, n, index, env, guard))
+                .collect::<Result<_, _>>()?;
+            PropFormula::or_all(parts)
+        }
+        Formula::Implies(a, b) => PropFormula::implies(
+            ground(a, n, index, env, guard)?,
+            ground(b, n, index, env, guard)?,
+        ),
+        Formula::Iff(a, b) => PropFormula::iff(
+            ground(a, n, index, env, guard)?,
+            ground(b, n, index, env, guard)?,
+        ),
+        Formula::Forall(v, g) => {
+            let parts: Vec<PropFormula> = (0..n)
+                .map(|c| {
+                    let mut ext = env.clone();
+                    ext.insert(v.clone(), c);
+                    ground(g, n, index, &ext, guard)
+                })
+                .collect::<Result<_, _>>()?;
+            PropFormula::and_all(parts)
+        }
+        Formula::Exists(v, g) => {
+            let parts: Vec<PropFormula> = (0..n)
+                .map(|c| {
+                    let mut ext = env.clone();
+                    ext.insert(v.clone(), c);
+                    ground(g, n, index, &ext, guard)
+                })
+                .collect::<Result<_, _>>()?;
+            PropFormula::or_all(parts)
+        }
+    })
 }
 
 fn resolve(term: &Term, env: &HashMap<Variable, usize>, n: usize) -> usize {

@@ -133,13 +133,25 @@ impl CompiledWfomc {
     /// Compiles an already-built lineage to a circuit, for callers (such as
     /// plan-then-execute solvers) that cache the grounding separately.
     pub fn from_lineage(lineage: Lineage) -> CompiledWfomc {
+        Self::from_lineage_guarded(lineage, &wfomc_guard::Guard::unarmed())
+            .expect("an unarmed guard cannot interrupt")
+    }
+
+    /// [`from_lineage`](Self::from_lineage) under a resource
+    /// [`Guard`](wfomc_guard::Guard): the circuit compilation ticks the
+    /// guard, so deadlines, work caps and cancellation interrupt it; the
+    /// partial circuit is discarded and the call can be retried.
+    pub fn from_lineage_guarded(
+        lineage: Lineage,
+        guard: &wfomc_guard::Guard,
+    ) -> Result<CompiledWfomc, wfomc_guard::Interrupt> {
         let tseitin = to_cnf(&lineage.prop, &VarWeights::ones(lineage.num_vars()));
-        let compiled = CompiledWmc::compile(&tseitin.cnf);
-        CompiledWfomc {
+        let compiled = CompiledWmc::compile_guarded(&tseitin.cnf, guard)?;
+        Ok(CompiledWfomc {
             lineage,
             tseitin,
             compiled,
-        }
+        })
     }
 
     /// Symmetric WFOMC under a weight function — one circuit evaluation, no

@@ -54,9 +54,17 @@ pub fn parse(input: &str) -> Result<Formula, ParseError> {
     Ok(f)
 }
 
+/// Maximum formula nesting depth the parser accepts. Each level of
+/// parenthesization, negation, quantification, or implication recursion
+/// costs one stack frame, so adversarial inputs like `"((((…"` or
+/// `"!!!!…"` must be cut off before they overflow the stack; 200 levels is
+/// far beyond any sentence the solver can usefully evaluate.
+const MAX_DEPTH: usize = 200;
+
 struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -64,7 +72,23 @@ impl<'a> Parser<'a> {
         Parser {
             input: input.as_bytes(),
             pos: 0,
+            depth: 0,
         }
+    }
+
+    /// Bumps the recursion depth, rejecting inputs nested beyond
+    /// [`MAX_DEPTH`]. Paired with [`Parser::leave`] so sibling subformulas
+    /// do not accumulate.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("formula nesting too deep"));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn error(&self, msg: &str) -> ParseError {
@@ -155,6 +179,15 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_implies(&mut self) -> Result<Formula, ParseError> {
+        // Right associativity makes this the one binary production that
+        // recurses per operator, so it counts against the nesting depth.
+        self.enter()?;
+        let result = self.parse_implies_inner();
+        self.leave();
+        result
+    }
+
+    fn parse_implies_inner(&mut self) -> Result<Formula, ParseError> {
         let left = self.parse_or()?;
         if self.starts_with("->") {
             self.eat("->");
@@ -202,6 +235,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_unary(&mut self) -> Result<Formula, ParseError> {
+        self.enter()?;
+        let result = self.parse_unary_inner();
+        self.leave();
+        result
+    }
+
+    fn parse_unary_inner(&mut self) -> Result<Formula, ParseError> {
         self.skip_ws();
         match self.peek() {
             Some(b'!') => {
@@ -441,5 +481,106 @@ mod tests {
         assert!(err.to_string().contains("expected"));
         assert!(parse("R(x) extra").is_err());
         assert!(parse("x").is_err(), "bare variable is not a formula");
+    }
+
+    #[test]
+    fn adversarial_nesting_is_rejected_not_overflowed() {
+        // Each of these would previously recurse once per character/token and
+        // blow the stack; now they fail fast with a depth error.
+        let deep_parens = format!("{}P{}", "(".repeat(100_000), ")".repeat(100_000));
+        let err = parse(&deep_parens).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+
+        let deep_negation = format!("{}P", "!".repeat(100_000));
+        let err = parse(&deep_negation).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+
+        let deep_quantifiers = format!("{}P", "forall x. ".repeat(100_000));
+        let err = parse(&deep_quantifiers).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+
+        let deep_implications = format!("P{}", " -> P".repeat(100_000));
+        let err = parse(&deep_implications).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        // Well below the cap: 50 nested levels of everything.
+        let f = format!("{}R(x){}", "(".repeat(50), ")".repeat(50));
+        assert!(parse(&f).is_ok());
+        let f = format!("{}R(x)", "!".repeat(50));
+        assert!(parse(&f).is_ok());
+        let f = format!("{}R(x)", "forall x. ".repeat(50));
+        assert!(parse(&f).is_ok());
+        let f = format!("P{}", " -> P".repeat(50));
+        assert!(parse(&f).is_ok());
+        // Iterative productions are unbounded by design: wide, not deep.
+        let wide = (0..10_000).map(|_| "P").collect::<Vec<_>>().join(" & ");
+        assert!(parse(&wide).is_ok());
+    }
+
+    mod no_panic {
+        use super::super::parse;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        /// Fragments that compose into near-miss formula syntax — much more
+        /// likely to reach deep parser states than raw bytes.
+        const FRAGMENTS: &[&str] = &[
+            "forall",
+            "exists",
+            "x",
+            "y",
+            "R(x)",
+            "S(x,y)",
+            "P",
+            ".",
+            ",",
+            "(",
+            ")",
+            "!",
+            "~",
+            "&",
+            "|",
+            "->",
+            "<->",
+            "=",
+            "!=",
+            "#0",
+            "#18446744073709551616",
+            "true",
+            "false",
+            " ",
+            "_",
+            "'",
+            "R(",
+            "))",
+            "forall .",
+            "#",
+        ];
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// The parser returns `Ok` or `Err` on arbitrary fragment
+            /// soup — never panics, never overflows.
+            #[test]
+            fn fragment_soup_never_panics(picks in vec(0usize..27, 0..64)) {
+                let input: String = picks
+                    .iter()
+                    .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+                    .collect::<Vec<_>>()
+                    .join("");
+                let _ = parse(&input);
+            }
+
+            /// Raw (possibly invalid UTF-8 lossy) byte soup never panics.
+            #[test]
+            fn byte_soup_never_panics(bytes in vec(0u8..255, 0..256)) {
+                let input = String::from_utf8_lossy(&bytes).into_owned();
+                let _ = parse(&input);
+            }
+        }
     }
 }

@@ -434,6 +434,11 @@ pub mod metrics {
             pub LINEAGE_BUILT => "ground.lineage.built";
             pub LINEAGE_VARS => "ground.lineage.vars";
             pub LINEAGE_PROP_NODES => "ground.lineage.prop_nodes";
+            // Resource governance (wfomc-guard).
+            pub GUARD_CANCELLED => "guard.cancelled";
+            pub GUARD_DEADLINE_HITS => "guard.deadline_hits";
+            pub GUARD_WORK_CAP_HITS => "guard.work_cap_hits";
+            pub GUARD_DEGRADED_SOLVES => "guard.degraded_solves";
         }
         gauges {
             pub FO2_BIND_CACHED => "fo2.bind.cached";

@@ -38,14 +38,25 @@ impl CompiledWmc {
     /// step — it performs the same search as [`wmc_dpll`](super::wmc_dpll)
     /// once.
     pub fn compile(cnf: &Cnf) -> CompiledWmc {
+        Self::compile_guarded(cnf, &wfomc_guard::Guard::unarmed())
+            .expect("an unarmed guard cannot interrupt")
+    }
+
+    /// [`compile`](Self::compile) under a resource
+    /// [`Guard`](wfomc_guard::Guard): deadlines, work caps and cancellation
+    /// interrupt the compilation search; the partial circuit is discarded.
+    pub fn compile_guarded(
+        cnf: &Cnf,
+        guard: &wfomc_guard::Guard,
+    ) -> Result<CompiledWmc, wfomc_guard::Interrupt> {
         let clauses: Vec<Vec<CLit>> = cnf
             .clauses
             .iter()
             .map(|c| c.iter().copied().map(to_clit).collect())
             .collect();
-        CompiledWmc {
-            inner: wfomc_circuit::compile(cnf.num_vars, &clauses),
-        }
+        Ok(CompiledWmc {
+            inner: wfomc_circuit::compile_guarded(cnf.num_vars, &clauses, guard)?,
+        })
     }
 
     /// Weighted model count over the universe

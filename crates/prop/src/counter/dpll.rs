@@ -10,6 +10,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
+use wfomc_guard::{Guard, Interrupt};
 use wfomc_logic::algebra::{Algebra, Exact, VarPairs};
 use wfomc_logic::weights::Weight;
 
@@ -18,6 +19,9 @@ use crate::formula::Var;
 use crate::weights::VarWeights;
 
 type ClauseSet = Vec<Vec<Lit>>;
+
+/// Guard phase name for the DPLL search loops.
+const PHASE: &str = "prop.dpll";
 
 /// Weighted model count of a CNF over the universe `0..max(cnf.num_vars,
 /// weights.len())`.
@@ -39,6 +43,29 @@ pub fn wmc_dpll_in<A: Algebra, W: VarPairs<A> + ?Sized>(
     algebra: &A,
     weights: &W,
 ) -> A::Elem {
+    wmc_dpll_guarded_in(cnf, algebra, weights, &Guard::unarmed())
+        .expect("an unarmed guard cannot interrupt")
+}
+
+/// [`wmc_dpll`] under a resource [`Guard`]: the identical search, ticking
+/// the guard once per sub-problem and per decision so deadlines, work caps
+/// and cancellation are honored mid-search. An interrupt leaves no shared
+/// state behind (the component cache is call-local), so retrying is safe.
+pub fn wmc_dpll_guarded(
+    cnf: &Cnf,
+    weights: &VarWeights,
+    guard: &Guard,
+) -> Result<Weight, Interrupt> {
+    wmc_dpll_guarded_in(cnf, &Exact, weights, guard)
+}
+
+/// [`wmc_dpll_guarded`] in an arbitrary [`Algebra`].
+pub fn wmc_dpll_guarded_in<A: Algebra, W: VarPairs<A> + ?Sized>(
+    cnf: &Cnf,
+    algebra: &A,
+    weights: &W,
+    guard: &Guard,
+) -> Result<A::Elem, Interrupt> {
     let universe = cnf.num_vars.max(weights.table_len());
 
     // Normalize clauses: dedupe literals, drop tautological clauses.
@@ -66,9 +93,10 @@ pub fn wmc_dpll_in<A: Algebra, W: VarPairs<A> + ?Sized>(
     }
 
     canonicalize(&mut clauses);
+    wfomc_guard::failpoint(PHASE)?;
     let mut cache: HashMap<ClauseSet, A::Elem> = HashMap::new();
-    let inner = count(&clauses, algebra, weights, &mut cache);
-    algebra.mul(&factor, &inner)
+    let inner = count(&clauses, algebra, weights, &mut cache, guard)?;
+    Ok(algebra.mul(&factor, &inner))
 }
 
 fn canonicalize(clauses: &mut ClauseSet) {
@@ -107,16 +135,18 @@ fn count<A: Algebra, W: VarPairs<A> + ?Sized>(
     algebra: &A,
     weights: &W,
     cache: &mut HashMap<ClauseSet, A::Elem>,
-) -> A::Elem {
+    guard: &Guard,
+) -> Result<A::Elem, Interrupt> {
     if clauses.is_empty() {
-        return algebra.one();
+        return Ok(algebra.one());
     }
     if clauses.iter().any(Vec::is_empty) {
-        return algebra.zero();
+        return Ok(algebra.zero());
     }
     if let Some(hit) = cache.get(clauses) {
-        return hit.clone();
+        return Ok(hit.clone());
     }
+    guard.tick(PHASE, 1)?;
 
     let scope = clause_vars(clauses);
 
@@ -137,7 +167,7 @@ fn count<A: Algebra, W: VarPairs<A> + ?Sized>(
             Some(next) => current = next,
             None => {
                 cache.insert(clauses.clone(), algebra.zero());
-                return algebra.zero();
+                return Ok(algebra.zero());
             }
         }
     }
@@ -156,14 +186,14 @@ fn count<A: Algebra, W: VarPairs<A> + ?Sized>(
         let mut product = factor;
         for mut comp in components {
             canonicalize(&mut comp);
-            let c = count_component(&comp, algebra, weights, cache);
+            let c = count_component(&comp, algebra, weights, cache, guard)?;
             algebra.mul_assign(&mut product, &c);
         }
         product
     };
 
     cache.insert(clauses.clone(), result.clone());
-    result
+    Ok(result)
 }
 
 /// Counts a single connected component by branching on a variable.
@@ -172,13 +202,15 @@ fn count_component<A: Algebra, W: VarPairs<A> + ?Sized>(
     algebra: &A,
     weights: &W,
     cache: &mut HashMap<ClauseSet, A::Elem>,
-) -> A::Elem {
+    guard: &Guard,
+) -> Result<A::Elem, Interrupt> {
     if comp.is_empty() {
-        return algebra.one();
+        return Ok(algebra.one());
     }
     if let Some(hit) = cache.get(comp) {
-        return hit.clone();
+        return Ok(hit.clone());
     }
+    guard.tick(PHASE, 1)?;
     let scope = clause_vars(comp);
 
     // Branch on the most frequently occurring variable.
@@ -207,13 +239,13 @@ fn count_component<A: Algebra, W: VarPairs<A> + ?Sized>(
                     algebra.mul_assign(&mut branch, &weights.var_total(algebra, *v));
                 }
             }
-            let sub = count(&cond, algebra, weights, cache);
+            let sub = count(&cond, algebra, weights, cache, guard)?;
             algebra.mul_assign(&mut branch, &sub);
             algebra.add_assign(&mut total, &branch);
         }
     }
     cache.insert(comp.clone(), total.clone());
-    total
+    Ok(total)
 }
 
 /// Splits a clause set into connected components of its primal graph

@@ -102,6 +102,41 @@ pub fn wmc_formula_in<A: Algebra, W: VarPairs<A> + ?Sized>(
     total
 }
 
+/// [`wmc_formula`] under a resource [`Guard`](wfomc_guard::Guard): the
+/// identical enumeration, ticking once per assignment so deadlines, work
+/// caps and cancellation interrupt mid-sweep.
+///
+/// # Panics
+/// Panics if the universe exceeds [`MAX_ENUMERATION_VARS`].
+pub fn wmc_formula_guarded(
+    formula: &PropFormula,
+    weights: &VarWeights,
+    guard: &wfomc_guard::Guard,
+) -> Result<Weight, wfomc_guard::Interrupt> {
+    let algebra = &Exact;
+    let n = formula.num_vars().max(weights.len());
+    assert!(
+        n <= MAX_ENUMERATION_VARS,
+        "refusing to enumerate 2^{n} assignments; use the DPLL backend"
+    );
+    wfomc_guard::failpoint("prop.enumerate")?;
+    let mut total = algebra.zero();
+    let mut assignment = vec![false; n];
+    for bits in 0u64..(1u64 << n) {
+        guard.tick("prop.enumerate", 1)?;
+        for (v, slot) in assignment.iter_mut().enumerate() {
+            *slot = (bits >> v) & 1 == 1;
+        }
+        if formula.evaluate(&assignment) {
+            algebra.add_assign(
+                &mut total,
+                &assignment_weight(algebra, weights, &assignment),
+            );
+        }
+    }
+    Ok(total)
+}
+
 /// The weight of a complete assignment in the algebra (Eq. (3) of §2).
 fn assignment_weight<A: Algebra, W: VarPairs<A> + ?Sized>(
     algebra: &A,

@@ -27,15 +27,17 @@ mod dpll;
 mod enumerate;
 
 pub use circuit::{wmc_circuit, CompiledWmc};
-pub use dpll::{wmc_dpll, wmc_dpll_in};
+pub use dpll::{wmc_dpll, wmc_dpll_guarded, wmc_dpll_guarded_in, wmc_dpll_in};
 pub use enumerate::{
-    wmc_enumerate, wmc_enumerate_in, wmc_formula, wmc_formula_in, MAX_ENUMERATION_VARS,
+    wmc_enumerate, wmc_enumerate_in, wmc_formula, wmc_formula_guarded, wmc_formula_in,
+    MAX_ENUMERATION_VARS,
 };
 
 use crate::cnf::Cnf;
 use crate::formula::PropFormula;
 use crate::tseitin::to_cnf;
 use crate::weights::VarWeights;
+use wfomc_guard::{Guard, Interrupt};
 use wfomc_logic::algebra::{Algebra, VarPairs};
 use wfomc_logic::weights::Weight;
 
@@ -77,6 +79,29 @@ pub fn wmc_formula_via(formula: &PropFormula, weights: &VarWeights, backend: Wmc
         WmcBackend::Circuit => {
             let t = to_cnf(formula, weights);
             wmc_circuit(&t.cnf, &t.weights)
+        }
+    }
+}
+
+/// [`wmc_formula_via`] under a resource [`Guard`]: every backend ticks the
+/// guard from its innermost loop, so deadlines, work caps and cancellation
+/// interrupt mid-count. The guard's work unit is backend-specific
+/// (assignments enumerated, DPLL sub-problems, compiler sub-problems).
+pub fn wmc_formula_via_guarded(
+    formula: &PropFormula,
+    weights: &VarWeights,
+    backend: WmcBackend,
+    guard: &Guard,
+) -> Result<Weight, Interrupt> {
+    match backend {
+        WmcBackend::Enumerate => wmc_formula_guarded(formula, weights, guard),
+        WmcBackend::Dpll => {
+            let t = to_cnf(formula, weights);
+            wmc_dpll_guarded(&t.cnf, &t.weights, guard)
+        }
+        WmcBackend::Circuit => {
+            let t = to_cnf(formula, weights);
+            Ok(CompiledWmc::compile_guarded(&t.cnf, guard)?.wmc(&t.weights))
         }
     }
 }

@@ -89,7 +89,8 @@ pub mod prelude {
     };
     pub use wfomc_core::qs4::wfomc_qs4;
     pub use wfomc_core::{
-        LiftError, Method, Plan, PlanReport, Problem, Solver, SolverBuilder, SolverReport,
+        CancelToken, DegradePolicy, ExecutionLimits, LiftError, LimitsReport, Method, Plan,
+        PlanReport, Problem, SolveError, Solver, SolverBuilder, SolverReport,
     };
     pub use wfomc_ground::{brute_force_fomc, brute_force_wfomc, CompiledWfomc, GroundSolver};
     pub use wfomc_hypergraph::{AcyclicityClass, Hypergraph};
