@@ -38,7 +38,8 @@ use wfomc::prelude::*;
 use wfomc::reductions::theta1::theta1;
 use wfomc_bench::{
     approx, bignum_factorial_chain, bignum_harmonic, bignum_square_chain, fo2_scaling_workload,
-    plan_reuse_workloads, run_trace, short, smokers_mln, standard_weights, time_ms,
+    plan_reuse_workloads, run_trace, short, smokers_mln, standard_weights, table1_workload,
+    time_ms,
 };
 
 fn main() {
@@ -381,6 +382,22 @@ fn smoke() {
         Err(e) => eprintln!("\nsmoke: could not write timings to {path}: {e}"),
     }
     write_metrics_snapshot("smoke", "SMOKE_METRICS_JSON", "target/metrics-smoke.json");
+
+    // One canonical `wfomc-report/v1` object as a CI artifact — the same
+    // `SolverReport::to_json` serialization the query service returns for
+    // every count, so wire-format drift shows up as an artifact diff.
+    let report = Problem::new(table1_workload())
+        .plan()
+        .expect("table1 plans")
+        .count_default(12)
+        .expect("table1 counts")
+        .to_json();
+    let path =
+        env::var("SMOKE_REPORT_JSON").unwrap_or_else(|_| "target/report-smoke.json".to_string());
+    match std::fs::write(&path, format!("{report}\n")) {
+        Ok(()) => println!("solver report written to {path}"),
+        Err(e) => eprintln!("smoke: could not write solver report to {path}: {e}"),
+    }
     println!("smoke: ok");
 }
 
@@ -729,6 +746,115 @@ fn perf_gate() {
          \"governed_ms\": {governed_ms:.2}, \"allowed_ms\": {allowed:.2}, \"ok\": {ok}}}"
     ));
 
+    // Serve overhead gate: k counts through an in-process wfomc-serve
+    // daemon over loopback HTTP must stay within SERVE_GATE_FACTOR
+    // (default 1.5, the serve PR's amortized-latency acceptance bar) of
+    // the same k counts through a bare warm `Plan::count_default` loop,
+    // plus SERVE_GATE_SLACK_MS of absolute headroom. The served time is
+    // additionally held against the committed BENCH_serve.json baseline
+    // (same k, same sentence, same n) under the standard factor/slack.
+    let serve_factor: f64 = env::var("SERVE_GATE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+    let serve_slack_ms: f64 = env::var("SERVE_GATE_SLACK_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+    let (serve_k, serve_n) = (32usize, 12usize);
+    let serve_sentence = table1_workload();
+    let serve_plan = Problem::new(serve_sentence.clone())
+        .plan()
+        .expect("serve gate: table1 plans");
+    let _ = serve_plan
+        .count_default(serve_n)
+        .expect("serve gate warm-up");
+    let serve_bare = || {
+        for _ in 0..serve_k {
+            let _ = serve_plan
+                .count_default(serve_n)
+                .expect("serve gate bare count");
+        }
+    };
+    let server = wfomc_serve::Server::bind(&wfomc_serve::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        capacity: 8,
+        registry_path: None,
+    })
+    .expect("serve gate binds loopback");
+    let serve_handle = server.handle();
+    let serve_addr = server.local_addr();
+    let serve_daemon = std::thread::spawn(move || server.run());
+    let reply = wfomc_serve::client::post(
+        serve_addr,
+        "/v1/plans",
+        &format!("{{\"sentence\": \"{serve_sentence}\"}}"),
+    )
+    .expect("serve gate registers");
+    assert_eq!(reply.status, 201, "serve gate register: {}", reply.body);
+    let serve_id = reply
+        .json()
+        .expect("register body parses")
+        .get("id")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .expect("register returns an id");
+    let count_path = format!("/v1/plans/{serve_id}/count");
+    let count_body = format!("{{\"n\": {serve_n}}}");
+    let serve_request = || {
+        let reply = wfomc_serve::client::post(serve_addr, &count_path, &count_body)
+            .expect("serve gate count request");
+        assert_eq!(reply.status, 200, "serve gate count: {}", reply.body);
+    };
+    serve_request(); // warm-up: binds the served plan's weights once
+    let serve_loop = || {
+        for _ in 0..serve_k {
+            serve_request();
+        }
+    };
+    let serve_bare_ms = (0..3)
+        .map(|_| time_ms(serve_bare))
+        .fold(f64::INFINITY, f64::min);
+    let served_ms = (0..3)
+        .map(|_| time_ms(serve_loop))
+        .fold(f64::INFINITY, f64::min);
+    serve_handle.shutdown();
+    serve_daemon
+        .join()
+        .expect("serve gate daemon thread")
+        .expect("serve gate clean drain");
+    let serve_allowed = serve_bare_ms * serve_factor + serve_slack_ms;
+    let serve_baseline = {
+        let path = format!("{manifest_dir}/../../BENCH_serve.json");
+        let content = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline BENCH_serve.json: {e}"));
+        json_number_after(
+            &content,
+            &["\"workload\": \"serve/table1-n12\", \"workers\": 1"],
+            "served_ms",
+        )
+        .expect("BENCH_serve.json has the workers=1 served_ms baseline")
+    };
+    let baseline_allowed = serve_baseline * factor + slack_ms;
+    let ok = served_ms <= serve_allowed && served_ms <= baseline_allowed;
+    failed |= !ok;
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>12}  status",
+        "serve gate (table1-n12 k32)", "bare ms", "served ms", "allowed ms"
+    );
+    println!(
+        "{:<28} {serve_bare_ms:>12.2} {served_ms:>12.2} {:>12.2}  {}",
+        "serve/amortized-overhead",
+        serve_allowed.min(baseline_allowed),
+        if ok { "ok" } else { "SLOW" }
+    );
+    rows.push(format!(
+        "  {{\"workload\": \"serve/amortized-overhead\", \"bare_ms\": {serve_bare_ms:.2}, \
+         \"served_ms\": {served_ms:.2}, \"baseline_ms\": {serve_baseline:.2}, \
+         \"allowed_ms\": {:.2}, \"ok\": {ok}}}",
+        serve_allowed.min(baseline_allowed)
+    ));
+
     let json = format!("[\n{}\n]\n", rows.join(",\n"));
     let _ = std::fs::create_dir_all("target");
     if let Err(e) = std::fs::write("target/perf-gate.json", &json) {
@@ -742,11 +868,13 @@ fn perf_gate() {
     if failed {
         eprintln!(
             "perf-gate: FAILED — a workload regressed beyond {factor}× its committed baseline, \
-             a plan-reuse cache hit rate fell below {:.0}%, or the budget-off governed path \
-             exceeded {guard_factor}× the ungoverned time. If the regression is expected \
-             (e.g. a slower but more capable path), update the BENCH_*.json baselines in the \
-             same change; for a noisy runner, raise PERF_GATE_FACTOR / PERF_GATE_SLACK_MS / \
-             GUARD_GATE_SLACK_MS or set PERF_GATE_SKIP=1.",
+             a plan-reuse cache hit rate fell below {:.0}%, \
+             the budget-off governed path exceeded {guard_factor}× the ungoverned time, or \
+             the serve path exceeded {serve_factor}× the bare count loop. If the regression \
+             is expected (e.g. a slower but more capable path), update the BENCH_*.json \
+             baselines in the same change; for a noisy runner, raise PERF_GATE_FACTOR / \
+             PERF_GATE_SLACK_MS / GUARD_GATE_SLACK_MS / SERVE_GATE_SLACK_MS or set \
+             PERF_GATE_SKIP=1.",
             min_rate * 100.0
         );
         std::process::exit(1);

@@ -183,6 +183,10 @@ pub struct Trace {
     pub wall_ms: f64,
     /// `(phase, ms)` in execution order: parse, plan, bind, evaluate.
     pub phases: Vec<(&'static str, f64)>,
+    /// The final evaluation's `wfomc-report/v1` object
+    /// ([`SolverReport::to_json`]), pre-serialized, so the trace artifact
+    /// carries the solved value and cache accounting alongside the timings.
+    pub report: Option<String>,
 }
 
 impl Trace {
@@ -194,9 +198,13 @@ impl Trace {
             .iter()
             .map(|(name, ms)| format!("    {{\"phase\": \"{name}\", \"ms\": {ms:.3}}}"))
             .collect();
+        let report = match &self.report {
+            Some(raw) => format!(",\n  \"report\": {raw}"),
+            None => String::new(),
+        };
         format!(
             "{{\n  \"schema\": \"wfomc-trace/v1\",\n  \"experiment\": \"{}\",\n  \
-             \"wall_ms\": {:.3},\n  \"phases\": [\n{}\n  ]\n}}\n",
+             \"wall_ms\": {:.3},\n  \"phases\": [\n{}\n  ]{report}\n}}\n",
             self.experiment,
             self.wall_ms,
             phases.join(",\n")
@@ -218,6 +226,7 @@ impl Trace {
 pub fn run_trace(experiment: &str) -> Trace {
     let wall = std::time::Instant::now();
     let mut phases: Vec<(&'static str, f64)> = Vec::new();
+    let mut report: Option<String> = None;
     match experiment {
         "plan-reuse" => {
             let mut workloads = Vec::new();
@@ -252,9 +261,10 @@ pub fn run_trace(experiment: &str) -> Trace {
                 time_ms(|| {
                     for (plan, (name, _, _, points)) in plans.iter().zip(&workloads) {
                         for (n, w) in points {
-                            let _ = plan
+                            let point_report = plan
                                 .count(*n, w)
                                 .unwrap_or_else(|e| panic!("{name} evaluates: {e:?}"));
+                            report = Some(point_report.to_json());
                         }
                     }
                 }),
@@ -287,7 +297,8 @@ pub fn run_trace(experiment: &str) -> Trace {
                 "evaluate",
                 time_ms(|| {
                     for n in [10usize, 20, 30] {
-                        let _ = plan.count(n, &weights).expect("fo2-scaling evaluates");
+                        let point_report = plan.count(n, &weights).expect("fo2-scaling evaluates");
+                        report = Some(point_report.to_json());
                     }
                 }),
             ));
@@ -298,6 +309,7 @@ pub fn run_trace(experiment: &str) -> Trace {
         experiment: experiment.to_string(),
         wall_ms: wall.elapsed().as_secs_f64() * 1e3,
         phases,
+        report,
     }
 }
 
@@ -401,6 +413,8 @@ mod tests {
         assert!(json.starts_with("{\n  \"schema\": \"wfomc-trace/v1\""));
         assert!(json.contains("\"experiment\": \"plan-reuse\""));
         assert!(json.contains("\"phase\": \"evaluate\""));
+        // The evaluate phase embeds the final report as wfomc-report/v1.
+        assert!(json.contains("\"report\": {\"schema\":\"wfomc-report/v1\""));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use num_traits::Zero;
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::vocabulary::Vocabulary;
 use wfomc_logic::weights::{Weight, Weights};
+use wfomc_obs::json::JsonObject;
 use wfomc_prop::WmcBackend;
 
 use crate::error::LiftError;
@@ -91,6 +92,24 @@ impl PlanCacheStats {
     }
 }
 
+impl PlanCacheStats {
+    /// The stats as a JSON object (keys sorted), the form embedded in both
+    /// `wfomc-report/v1` documents and the `wfomc-serve` stats endpoint.
+    pub fn to_json(&self) -> String {
+        let mut c = JsonObject::new();
+        c.field_u64("cq_memo_hits", self.cq_memo_hits);
+        c.field_u64("cq_memo_len", self.cq_memo_len as u64);
+        c.field_u64("cq_memo_misses", self.cq_memo_misses);
+        c.field_u64("fo2_bind_hits", self.fo2_bind_hits);
+        c.field_u64("fo2_bind_misses", self.fo2_bind_misses);
+        c.field_u64("fo2_cached_bindings", self.fo2_cached_bindings as u64);
+        c.field_u64("ground_cached", self.ground_cached as u64);
+        c.field_u64("ground_hits", self.ground_hits);
+        c.field_u64("ground_misses", self.ground_misses);
+        c.finish()
+    }
+}
+
 fn hit_rate(hits: u64, misses: u64) -> Option<f64> {
     let total = hits + misses;
     (total > 0).then(|| hits as f64 / total as f64)
@@ -140,6 +159,68 @@ pub struct SolverReport {
     /// Resource accounting when the solve ran under armed
     /// [`wfomc_guard::ExecutionLimits`] or a cancellation token.
     pub limits: Option<LimitsReport>,
+}
+
+impl SolverReport {
+    /// Machine-readable JSON under the stable `wfomc-report/v1` schema — the
+    /// one report format shared by the `repro` harness, `repro trace`, and
+    /// the `wfomc-serve` wire protocol (instead of three ad-hoc layouts).
+    ///
+    /// Layout: `schema` first (mirroring `wfomc-obs/v1`), then every other
+    /// key in sorted order. Optional sections serialize as `null` when
+    /// absent, so two reports of identical solves compare byte-for-byte.
+    /// The count itself is a *string* (`"161"`, `"5/9"`): the exact
+    /// rationals exceed any JSON number range.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_str("schema", "wfomc-report/v1");
+        match self.backend {
+            Some(backend) => obj.field_str("backend", &format!("{backend:?}")),
+            None => obj.field_null("backend"),
+        }
+        match &self.cache {
+            Some(cache) => obj.field_raw("cache", &cache.to_json()),
+            None => obj.field_null("cache"),
+        }
+        obj.field_bool("degraded", self.degraded);
+        match &self.fo2_stats {
+            Some(stats) => {
+                let mut s = JsonObject::new();
+                s.field_u64("compositions_pruned", stats.compositions_pruned as u64);
+                s.field_u64("compositions_summed", stats.compositions_summed as u64);
+                s.field_u64("compositions_total", stats.compositions_total as u64);
+                s.field_u64("introduced_predicates", stats.introduced_predicates as u64);
+                s.field_u64("shannon_branches", stats.shannon_branches as u64);
+                s.field_u64("total_valid_cells", stats.total_valid_cells as u64);
+                s.field_u64(
+                    "zero_weight_cells_pruned",
+                    stats.zero_weight_cells_pruned as u64,
+                );
+                obj.field_raw("fo2_stats", &s.finish());
+            }
+            None => obj.field_null("fo2_stats"),
+        }
+        match &self.limits {
+            Some(limits) => {
+                let mut l = JsonObject::new();
+                match limits.deadline {
+                    Some(d) => l.field_f64("deadline_ms", d.as_secs_f64() * 1e3, 3),
+                    None => l.field_null("deadline_ms"),
+                }
+                l.field_f64("elapsed_ms", limits.elapsed.as_secs_f64() * 1e3, 3);
+                match limits.work_cap {
+                    Some(cap) => l.field_u64("work_cap", cap),
+                    None => l.field_null("work_cap"),
+                }
+                l.field_u64("work_done", limits.work_done);
+                obj.field_raw("limits", &l.finish());
+            }
+            None => obj.field_null("limits"),
+        }
+        obj.field_str("method", &self.method.to_string());
+        obj.field_str("value", &self.value.to_string());
+        obj.finish()
+    }
 }
 
 impl std::fmt::Display for SolverReport {
@@ -558,6 +639,36 @@ mod tests {
         assert!(text.starts_with("161 ["), "{text}");
         assert!(text.contains("grounded-wmc"), "{text}");
         assert!(text.contains("Dpll"), "{text}");
+    }
+
+    #[test]
+    fn report_to_json_is_stable_and_typed() {
+        let report = Solver::new().fomc(&catalog::table1_sentence(), 4).unwrap();
+        let json = report.to_json();
+        assert!(
+            json.starts_with("{\"schema\":\"wfomc-report/v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"method\":\"fo2-cells\""), "{json}");
+        assert!(json.contains("\"backend\":null"), "{json}");
+        assert!(json.contains("\"degraded\":false"), "{json}");
+        assert!(json.contains("\"compositions_total\""), "{json}");
+        assert!(
+            json.contains(&format!("\"value\":\"{}\"", report.value)),
+            "{json}"
+        );
+        // Identical solves serialize byte-for-byte identically (limits are
+        // None on ungoverned counts, so no wall-clock noise leaks in).
+        let again = Solver::new().fomc(&catalog::table1_sentence(), 4).unwrap();
+        assert_eq!(json, again.to_json());
+        // Grounded reports carry the backend and a rational-valued string.
+        let ground = Solver::ground_only()
+            .fomc(&catalog::table1_sentence(), 2)
+            .unwrap();
+        let gjson = ground.to_json();
+        assert!(gjson.contains("\"backend\":\"Dpll\""), "{gjson}");
+        assert!(gjson.contains("\"fo2_stats\":null"), "{gjson}");
+        assert!(gjson.contains("\"value\":\"161\""), "{gjson}");
     }
 
     #[test]

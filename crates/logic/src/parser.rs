@@ -456,16 +456,12 @@ mod tests {
     fn round_trips_with_printer() {
         for text in [
             "forall x. forall y. R(x) | !S(x,y) | T(y)",
-            "exists x. R(x,c0) & S(x)",
+            "exists x. R(x,#0) & S(x)",
+            "#0 = x | R(#1,#2)",
             "forall x. R(x) -> S(x)",
             "A <-> B",
             "forall x. exists y. Spouse(x,y) & Female(x) -> Male(y)",
         ] {
-            // Replace the printed constant syntax `c0` back to `#0` on parse,
-            // so use a formula without constants for exact round trips.
-            if text.contains("c0") {
-                continue;
-            }
             let f = parse(text).unwrap();
             let printed = f.to_string();
             let g = parse(&printed).unwrap();
@@ -518,6 +514,114 @@ mod tests {
         // Iterative productions are unbounded by design: wide, not deep.
         let wide = (0..10_000).map(|_| "P").collect::<Vec<_>>().join(" & ");
         assert!(parse(&wide).is_ok());
+    }
+
+    mod round_trip {
+        use super::super::parse;
+        use crate::syntax::Formula;
+        use crate::term::Term;
+        use crate::vocabulary::Predicate;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        /// A byte-driven structural generator: every formula it returns is
+        /// built through the normalizing `Formula` constructors (the same
+        /// ones the parser uses), so `parse(format(f)) == f` must hold
+        /// *exactly* — this is the invariant the JSONL registry replay and
+        /// the sentence-hash registry key stand on.
+        struct Gen<'a> {
+            bytes: &'a [u8],
+            pos: usize,
+        }
+
+        impl Gen<'_> {
+            fn next(&mut self) -> u8 {
+                let b = self.bytes.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                b
+            }
+
+            fn term(&mut self) -> Term {
+                match self.next() % 5 {
+                    0 => Term::var("x"),
+                    1 => Term::var("y"),
+                    2 => Term::var("z"),
+                    3 => Term::constant(0),
+                    _ => Term::constant(17),
+                }
+            }
+
+            fn leaf(&mut self) -> Formula {
+                match self.next() % 7 {
+                    0 => Formula::Top,
+                    1 => Formula::Bottom,
+                    2 => Formula::atom(Predicate::new("P", 0), vec![]),
+                    3 => {
+                        let t = self.term();
+                        Formula::atom(Predicate::new("R", 1), vec![t])
+                    }
+                    4 | 5 => {
+                        let (a, b) = (self.term(), self.term());
+                        Formula::atom(Predicate::new("S", 2), vec![a, b])
+                    }
+                    _ => {
+                        let (a, b) = (self.term(), self.term());
+                        Formula::Equals(a, b)
+                    }
+                }
+            }
+
+            fn formula(&mut self, depth: usize) -> Formula {
+                if depth == 0 {
+                    return self.leaf();
+                }
+                match self.next() % 12 {
+                    0..=4 => self.leaf(),
+                    5 => Formula::not(self.formula(depth - 1)),
+                    6 => {
+                        let (a, b) = (self.formula(depth - 1), self.formula(depth - 1));
+                        Formula::and_all([a, b])
+                    }
+                    7 => {
+                        let (a, b) = (self.formula(depth - 1), self.formula(depth - 1));
+                        Formula::or_all([a, b])
+                    }
+                    8 => {
+                        let (a, b) = (self.formula(depth - 1), self.formula(depth - 1));
+                        Formula::implies(a, b)
+                    }
+                    9 => {
+                        let (a, b) = (self.formula(depth - 1), self.formula(depth - 1));
+                        Formula::iff(a, b)
+                    }
+                    10 => {
+                        let v = ["x", "y", "z"][(self.next() % 3) as usize];
+                        Formula::forall(v, self.formula(depth - 1))
+                    }
+                    _ => {
+                        let v = ["x", "y", "z"][(self.next() % 3) as usize];
+                        Formula::exists(v, self.formula(depth - 1))
+                    }
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// `parse(format(f)) == f` for normalized formulas, and printing
+            /// is a fixpoint (the canonical text of a formula is stable).
+            #[test]
+            fn parse_format_round_trips_exactly(bytes in vec(0u8..255, 0..96)) {
+                let mut gen = Gen { bytes: &bytes, pos: 0 };
+                let f = gen.formula(5);
+                let printed = f.to_string();
+                let reparsed = parse(&printed)
+                    .unwrap_or_else(|e| panic!("`{printed}` failed to parse: {e}"));
+                prop_assert_eq!(&reparsed, &f, "printed: {}", &printed);
+                prop_assert_eq!(reparsed.to_string(), printed);
+            }
+        }
     }
 
     mod no_panic {

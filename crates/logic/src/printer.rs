@@ -61,9 +61,12 @@ fn print(f: &Formula, out: &mut fmt::Formatter<'_>, parent: Prec) -> fmt::Result
             print(b, out, Prec::Implies)?;
         }
         Formula::Iff(a, b) => {
+            // `<->` parses left-associatively, so a nested `Iff` (or a
+            // quantifier, which swallows everything to its right) on the
+            // right-hand side must be parenthesized to round-trip.
             print(a, out, next_level(Prec::Iff))?;
             write!(out, " <-> ")?;
-            print(b, out, Prec::Iff)?;
+            print(b, out, next_level(Prec::Iff))?;
         }
         Formula::Forall(v, g) => {
             write!(out, "forall {v}. ")?;
@@ -136,7 +139,7 @@ mod tests {
     #[test]
     fn displays_constants_and_quantifier_bodies() {
         let f = exists(["x"], and(vec![atom("R", &["x", "#0"]), eq("x", "y")]));
-        assert_eq!(f.to_string(), "exists x. R(x,c0) & x = y");
+        assert_eq!(f.to_string(), "exists x. R(x,#0) & x = y");
         assert_eq!(Formula::Top.to_string(), "true");
         assert_eq!(Formula::Bottom.to_string(), "false");
     }

@@ -75,8 +75,13 @@ impl Constant {
 }
 
 impl fmt::Display for Constant {
+    /// Prints the parser's own constant syntax (`#k`), so formatting a
+    /// formula and parsing it back round-trips. (Earlier versions printed
+    /// `c0`, which the parser read as a *variable* named `c0` — fatal for
+    /// anything keyed on the canonical sentence text, like the serve
+    /// registry.)
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "c{}", self.0)
+        write!(f, "#{}", self.0)
     }
 }
 
@@ -207,7 +212,7 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Term::var("x").to_string(), "x");
-        assert_eq!(Term::constant(2).to_string(), "c2");
+        assert_eq!(Term::constant(2).to_string(), "#2");
         assert_eq!(format!("{:?}", Variable::new("z")), "?z");
     }
 

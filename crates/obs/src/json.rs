@@ -1,0 +1,212 @@
+//! Shared hand-written JSON building blocks.
+//!
+//! The workspace serializes everything by hand (no serde, consistent with the
+//! vendored-deps-only policy), and by PR 8 three subsystems were each growing
+//! their own copy of the same two idioms: escaping strings for embedding in a
+//! JSON literal, and comma-tracked `{"k":v,...}` assembly. This module is the
+//! one shared home — [`crate::MetricsSnapshot::to_json`] (the `wfomc-obs/v1`
+//! schema), `SolverReport::to_json` (`wfomc-report/v1`) and the `wfomc-serve`
+//! wire protocol (`wfomc-serve/v1`) all build on it.
+//!
+//! The writers emit deterministic output: fields appear exactly in the order
+//! they are added, so schema producers sort their keys once at the call site
+//! and two identical inputs serialize byte-for-byte identically.
+//!
+//! ```
+//! use wfomc_obs::json::JsonObject;
+//!
+//! let mut obj = JsonObject::new();
+//! obj.field_str("schema", "example/v1");
+//! obj.field_u64("count", 3);
+//! obj.field_bool("done", true);
+//! assert_eq!(obj.finish(), r#"{"schema":"example/v1","count":3,"done":true}"#);
+//! ```
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A complete JSON string literal: `"` + [`json_escape`] + `"`.
+pub fn json_string(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+/// An incremental `{...}` builder that tracks the separating commas so call
+/// sites only state keys and values. Values are either primitives (with a
+/// typed `field_*` method each) or pre-serialized JSON spliced in verbatim
+/// via [`JsonObject::field_raw`] — which is how objects nest.
+#[derive(Debug)]
+pub struct JsonObject {
+    out: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// An empty object, ready for fields.
+    pub fn new() -> JsonObject {
+        JsonObject {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.out, "\"{}\":", json_escape(key));
+    }
+
+    /// Adds a string field (escaped).
+    pub fn field_str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        let _ = write!(self.out, "\"{}\"", json_escape(value));
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Adds a float field rendered with a fixed number of decimals (JSON has
+    /// no float-precision notion of its own; fixing it keeps output stable).
+    pub fn field_f64(&mut self, key: &str, value: f64, decimals: usize) {
+        self.key(key);
+        let _ = write!(self.out, "{value:.decimals$}");
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Adds a `null` field.
+    pub fn field_null(&mut self, key: &str) {
+        self.key(key);
+        self.out.push_str("null");
+    }
+
+    /// Splices a pre-serialized JSON value (an object, array, or other
+    /// already-valid JSON text) under `key` verbatim.
+    pub fn field_raw(&mut self, key: &str, raw: &str) {
+        self.key(key);
+        self.out.push_str(raw);
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        JsonObject::new()
+    }
+}
+
+/// The matching `[...]` builder: elements are pre-serialized JSON values.
+#[derive(Debug)]
+pub struct JsonArray {
+    out: String,
+    first: bool,
+}
+
+impl JsonArray {
+    /// An empty array, ready for elements.
+    pub fn new() -> JsonArray {
+        JsonArray {
+            out: String::from("["),
+            first: true,
+        }
+    }
+
+    /// Appends a pre-serialized JSON value.
+    pub fn push_raw(&mut self, raw: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push_str(raw);
+    }
+
+    /// Appends a string element (escaped).
+    pub fn push_str(&mut self, value: &str) {
+        let quoted = json_string(value);
+        self.push_raw(&quoted);
+    }
+
+    /// Closes the array and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.out.push(']');
+        self.out
+    }
+}
+
+impl Default for JsonArray {
+    fn default() -> Self {
+        JsonArray::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_and_control_characters() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn object_builder_tracks_commas_and_types() {
+        let mut obj = JsonObject::new();
+        obj.field_str("s", "v\"q");
+        obj.field_u64("n", 42);
+        obj.field_f64("f", 1.5, 3);
+        obj.field_bool("b", false);
+        obj.field_null("z");
+        obj.field_raw("o", "{\"inner\":1}");
+        assert_eq!(
+            obj.finish(),
+            r#"{"s":"v\"q","n":42,"f":1.500,"b":false,"z":null,"o":{"inner":1}}"#
+        );
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn array_builder_tracks_commas() {
+        let mut arr = JsonArray::new();
+        arr.push_raw("1");
+        arr.push_str("two");
+        arr.push_raw("[3]");
+        assert_eq!(arr.finish(), r#"[1,"two",[3]]"#);
+        assert_eq!(JsonArray::new().finish(), "[]");
+    }
+}

@@ -53,8 +53,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
+
+pub use json::json_escape;
 
 #[cfg(feature = "enabled")]
 mod live {
@@ -439,10 +442,17 @@ pub mod metrics {
             pub GUARD_DEADLINE_HITS => "guard.deadline_hits";
             pub GUARD_WORK_CAP_HITS => "guard.work_cap_hits";
             pub GUARD_DEGRADED_SOLVES => "guard.degraded_solves";
+            // The wfomc-serve HTTP front end.
+            pub SERVE_REQUESTS => "serve.requests";
+            pub SERVE_ERRORS => "serve.errors";
+            pub SERVE_LATENCY_NS => "serve.latency_ns";
+            pub SERVE_PLANS_REGISTERED => "serve.plans_registered";
+            pub SERVE_REGISTRY_EVICTIONS => "serve.registry.evictions";
         }
         gauges {
             pub FO2_BIND_CACHED => "fo2.bind.cached";
             pub GROUND_CACHE_LEN => "plan.ground_cache.len";
+            pub SERVE_REGISTRY_LEN => "serve.registry.len";
         }
     }
 }
@@ -525,43 +535,37 @@ impl MetricsSnapshot {
     /// Hand-rolled JSON under the `wfomc-obs/v1` schema (see the type-level
     /// docs). Deterministic: all sections sorted by key.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"schema\":\"wfomc-obs/v1\"");
-        out.push_str(",\"labels\":{");
-        for (i, (k, v)) in self.labels.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+        let mut root = json::JsonObject::new();
+        root.field_str("schema", "wfomc-obs/v1");
+
+        let mut labels = json::JsonObject::new();
+        for (k, v) in &self.labels {
+            labels.field_str(k, v);
         }
-        out.push_str("},\"counters\":{");
-        for (i, (k, v)) in self.counters.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "\"{}\":{}", json_escape(k), v);
+        root.field_raw("labels", &labels.finish());
+
+        let mut counters = json::JsonObject::new();
+        for (k, v) in &self.counters {
+            counters.field_u64(k, *v);
         }
-        out.push_str("},\"gauges\":{");
-        for (i, (k, v)) in self.gauges.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "\"{}\":{}", json_escape(k), v);
+        root.field_raw("counters", &counters.finish());
+
+        let mut gauges = json::JsonObject::new();
+        for (k, v) in &self.gauges {
+            gauges.field_u64(k, *v);
         }
-        out.push_str("},\"spans\":{");
-        for (i, (k, s)) in self.spans.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(
-                out,
-                "\"{}\":{{\"count\":{},\"total_ms\":{:.3}}}",
-                json_escape(k),
-                s.count,
-                s.total_ms()
-            );
+        root.field_raw("gauges", &gauges.finish());
+
+        let mut spans = json::JsonObject::new();
+        for (k, s) in &self.spans {
+            let mut span = json::JsonObject::new();
+            span.field_u64("count", s.count);
+            span.field_f64("total_ms", s.total_ms(), 3);
+            spans.field_raw(k, &span.finish());
         }
-        out.push_str("}}");
-        out
+        root.field_raw("spans", &spans.finish());
+
+        root.finish()
     }
 }
 
@@ -593,26 +597,6 @@ pub fn reset() {
         gauge.reset();
     }
     live::clear_spans();
-}
-
-/// Escapes a string for embedding in a JSON string literal (quotes,
-/// backslashes, control characters).
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,480 @@
+//! A small JSON *reader* for request bodies.
+//!
+//! The workspace's shared [`wfomc_obs::json`] module covers the writing
+//! side; the service is the first subsystem that must also accept JSON from
+//! untrusted clients, so this module adds the matching recursive-descent
+//! parser — std-only, with a nesting cap (the same defensive posture as the
+//! formula parser's `MAX_DEPTH`) and byte-offset error reporting.
+//!
+//! Numbers keep their integer identity: `10` parses as [`Value::Int`], and
+//! fractional or exponent forms are preserved as [`Value::Float`] so schema
+//! code can reject them with a typed message where an integer is required
+//! (domain sizes, budgets). Arbitrary-precision weight values travel as
+//! strings (`"22/7"`), never as JSON numbers.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number with no fraction or exponent part, within `i64`.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order (duplicate keys keep the last entry).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object (`None` on other variants or missing key).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's object fields, in source order.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON syntax error with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset at which it was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum value nesting the parser accepts — requests are shallow
+/// (objects of scalars, one level of weight-pair arrays), so anything deep
+/// is adversarial.
+const MAX_DEPTH: usize = 64;
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.error("trailing input after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("value nesting too deep"));
+        }
+        let result = self.value_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn value_inner(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') | Some(b'f') => {
+                if self.eat_word("true") {
+                    Ok(Value::Bool(true))
+                } else if self.eat_word("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.error("expected a JSON value"))
+                }
+            }
+            Some(b'n') => {
+                if self.eat_word("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.error("expected a JSON value"))
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            return Ok(Value::Obj(fields));
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(Value::Arr(items));
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&first) {
+                                // A high surrogate must pair with `\uXXXX`.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let second = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&second) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(first)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                // Raw control characters are invalid inside JSON strings.
+                0x00..=0x1f => return Err(self.error("control character in string")),
+                _ => {
+                    // Collect the full UTF-8 sequence the byte starts.
+                    let start = self.pos - 1;
+                    while let Some(next) = self.peek() {
+                        if next & 0xc0 == 0x80 {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.error("invalid UTF-8 in string")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.error("truncated unicode escape"));
+            };
+            let digit = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => return Err(self.error("invalid hex digit in unicode escape")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        self.eat(b'-');
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.error("expected digits in number"));
+        }
+        let mut integral = true;
+        if self.eat(b'.') {
+            integral = false;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if integral {
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                Err(_) => Err(JsonError {
+                    message: "integer out of range (send large values as strings)".to_string(),
+                    offset: start,
+                }),
+            }
+        } else {
+            match text.parse::<f64>() {
+                Ok(f) => Ok(Value::Float(f)),
+                Err(_) => Err(JsonError {
+                    message: "malformed number".to_string(),
+                    offset: start,
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_and_objects() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("-42").unwrap(), Value::Int(-42));
+        assert_eq!(parse("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".to_string()));
+        assert_eq!(
+            parse("[1, 2, [3]]").unwrap(),
+            Value::Arr(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Arr(vec![Value::Int(3)])
+            ])
+        );
+        let obj = parse(r#"{"n": 10, "weights": {"R": [1, 2]}}"#).unwrap();
+        assert_eq!(obj.get("n").unwrap().as_u64(), Some(10));
+        assert_eq!(
+            obj.get("weights").unwrap().get("R").unwrap().as_arr(),
+            Some(&[Value::Int(1), Value::Int(2)][..])
+        );
+        assert!(obj.get("missing").is_none());
+    }
+
+    #[test]
+    fn decodes_escapes_and_unicode() {
+        assert_eq!(
+            parse(r#""\"\\\/\b\f\n\r\t""#).unwrap(),
+            Value::Str("\"\\/\u{8}\u{c}\n\r\t".to_string())
+        );
+        assert_eq!(parse(r#""é""#).unwrap(), Value::Str("é".to_string()));
+        // A surrogate pair.
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::Str("😀".to_string()));
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert_eq!(parse("\"héllo\"").unwrap(), Value::Str("héllo".to_string()));
+    }
+
+    #[test]
+    fn reports_typed_errors_with_offsets() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"\u{1}\"").is_err(), "raw control char rejected");
+        let err = parse("99999999999999999999999999").unwrap_err();
+        assert!(err.message.contains("integer out of range"), "{err}");
+        let deep = format!("{}1{}", "[".repeat(1000), "]".repeat(1000));
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last_entry() {
+        let obj = parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(obj.get("k").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn round_trips_obs_writer_output() {
+        // The two halves of the shared JSON story agree: what the workspace
+        // writers emit, this reader accepts.
+        let mut obj = wfomc_obs::json::JsonObject::new();
+        obj.field_str("s", "quote \" backslash \\ tab\t");
+        obj.field_u64("n", i64::MAX as u64);
+        obj.field_bool("b", true);
+        obj.field_null("z");
+        let text = obj.finish();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("s").unwrap().as_str(),
+            Some("quote \" backslash \\ tab\t")
+        );
+        assert_eq!(parsed.get("n").unwrap().as_i64(), Some(i64::MAX));
+        assert_eq!(parsed.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(parsed.get("z"), Some(&Value::Null));
+    }
+}

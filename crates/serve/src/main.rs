@@ -1,0 +1,231 @@
+//! The `wfomc-serve` binary: run the daemon, or talk to one.
+//!
+//! ```text
+//! wfomc-serve serve [--addr 127.0.0.1:7171] [--registry PATH | --no-registry]
+//!                   [--workers N] [--capacity N]
+//! wfomc-serve register [--addr A] [--weights JSON] <sentence>
+//! wfomc-serve query    [--addr A] <id> --n N [--timeout-ms MS] [--work-cap W]
+//!                      [--mem-cap M] [--weights JSON]
+//! wfomc-serve stats    [--addr A] <id>
+//! wfomc-serve list     [--addr A]
+//! wfomc-serve metrics  [--addr A]
+//! wfomc-serve shutdown [--addr A]
+//! ```
+//!
+//! Client subcommands print the server's JSON body to stdout and exit
+//! non-zero when the response status is an error — so shell scripts (and
+//! the CI smoke test) can gate on the exit code alone.
+
+use std::net::{SocketAddr, ToSocketAddrs as _};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wfomc_obs::json::JsonObject;
+use wfomc_serve::client::{self, Reply};
+use wfomc_serve::http::{Server, ServerConfig};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+fn usage() -> &'static str {
+    "usage: wfomc-serve <serve|register|query|stats|list|metrics|shutdown> [options]\n\
+     \n\
+     serve     --addr A --registry PATH | --no-registry --workers N --capacity N\n\
+     register  --addr A [--weights JSON] <sentence>\n\
+     query     --addr A <id> --n N [--timeout-ms MS] [--work-cap W] [--mem-cap M]\n\
+     \x20         [--weights JSON]\n\
+     stats     --addr A <id>\n\
+     list      --addr A\n\
+     metrics   --addr A\n\
+     shutdown  --addr A\n"
+}
+
+/// Flag-style argument cursor: `--name value` pairs plus positionals.
+struct Args {
+    flags: Vec<(String, String)>,
+    positionals: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut positionals = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let arg = &raw[i];
+            if arg == "--no-registry" {
+                flags.push((arg.clone(), String::new()));
+                i += 1;
+            } else if let Some(name) = arg.strip_prefix("--") {
+                let value = raw
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.push((format!("--{name}"), value.clone()));
+                i += 2;
+            } else {
+                positionals.push(arg.clone());
+                i += 1;
+            }
+        }
+        Ok(Args { flags, positionals })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("{name} must be a number")),
+            None => Ok(default),
+        }
+    }
+
+    fn addr(&self) -> Result<SocketAddr, String> {
+        let text = self.get("--addr").unwrap_or(DEFAULT_ADDR);
+        text.to_socket_addrs()
+            .map_err(|e| format!("cannot resolve `{text}`: {e}"))?
+            .next()
+            .ok_or_else(|| format!("`{text}` resolves to no address"))
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(rest) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("wfomc-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "serve" => cmd_serve(&args),
+        "register" => cmd_register(&args),
+        "query" => cmd_query(&args),
+        "stats" => cmd_stats(&args),
+        "list" => client_get(&args, "/v1/plans"),
+        "metrics" => client_get(&args, "/v1/metrics"),
+        "shutdown" => client_post(&args, "/v1/shutdown", "{}"),
+        "--help" | "-h" | "help" => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wfomc-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let registry_path = if args.has("--no-registry") {
+        None
+    } else {
+        Some(PathBuf::from(
+            args.get("--registry").unwrap_or(".wfomc/registry.jsonl"),
+        ))
+    };
+    let config = ServerConfig {
+        addr: args.get("--addr").unwrap_or(DEFAULT_ADDR).to_string(),
+        workers: args.get_usize("--workers", 4)?,
+        capacity: args.get_usize("--capacity", 256)?,
+        registry_path,
+    };
+    let server = Server::bind(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    // The CI smoke script (and anything else supervising the daemon) waits
+    // for this line before sending requests.
+    println!(
+        "wfomc-serve listening on {} ({} workers, {} plans registered)",
+        server.local_addr(),
+        config.workers.max(1),
+        server.handle().plans()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// Validates user-supplied JSON before splicing it into a request body.
+fn raw_json(name: &str, text: &str) -> Result<String, String> {
+    wfomc_serve::json::parse(text).map_err(|e| format!("{name}: {e}"))?;
+    Ok(text.to_string())
+}
+
+fn cmd_register(args: &Args) -> Result<(), String> {
+    let [sentence] = args.positionals.as_slice() else {
+        return Err("register takes exactly one <sentence>".into());
+    };
+    let mut body = JsonObject::new();
+    body.field_str("sentence", sentence);
+    if let Some(weights) = args.get("--weights") {
+        body.field_raw("weights", &raw_json("--weights", weights)?);
+    }
+    finish(client::post(args.addr()?, "/v1/plans", &body.finish()))
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let [id] = args.positionals.as_slice() else {
+        return Err("query takes exactly one <id>".into());
+    };
+    let n: u64 = args
+        .get("--n")
+        .ok_or("query needs --n")?
+        .parse()
+        .map_err(|_| "--n must be a non-negative integer")?;
+    let mut body = JsonObject::new();
+    body.field_u64("n", n);
+    for flag in ["--timeout-ms", "--work-cap", "--mem-cap"] {
+        if let Some(value) = args.get(flag) {
+            let value: u64 = value
+                .parse()
+                .map_err(|_| format!("{flag} must be a number"))?;
+            body.field_u64(&flag[2..].replace('-', "_"), value);
+        }
+    }
+    if let Some(weights) = args.get("--weights") {
+        body.field_raw("weights", &raw_json("--weights", weights)?);
+    }
+    let path = format!("/v1/plans/{id}/count");
+    finish(client::post(args.addr()?, &path, &body.finish()))
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let [id] = args.positionals.as_slice() else {
+        return Err("stats takes exactly one <id>".into());
+    };
+    finish(client::get(args.addr()?, &format!("/v1/plans/{id}/stats")))
+}
+
+fn client_get(args: &Args, path: &str) -> Result<(), String> {
+    finish(client::get(args.addr()?, path))
+}
+
+fn client_post(args: &Args, path: &str, body: &str) -> Result<(), String> {
+    finish(client::post(args.addr()?, path, body))
+}
+
+fn finish(reply: std::io::Result<Reply>) -> Result<(), String> {
+    let reply = reply.map_err(|e| format!("request failed: {e}"))?;
+    println!("{}", reply.body);
+    if reply.status >= 400 {
+        Err(format!("server answered {}", reply.status))
+    } else {
+        Ok(())
+    }
+}

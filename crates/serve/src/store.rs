@@ -1,0 +1,271 @@
+//! JSONL persistence for the plan registry.
+//!
+//! Every *fresh* registration appends one line to the registry log
+//! (default `.wfomc/registry.jsonl`); on boot the log is replayed through
+//! [`PlanRegistry::register`](crate::registry::PlanRegistry::register), so
+//! a restarted daemon serves the same plan ids it did before the restart
+//! (ids are content hashes, so they are stable across replays by
+//! construction).
+//!
+//! Crash tolerance follows the usual append-only-log contract: a torn or
+//! corrupt line can only be the *tail* of the file (lines are written with
+//! a single flushed write), so replay stops at the first line that fails
+//! to parse and truncates the file there. A line that parses but no longer
+//! *plans* (e.g. a registry written by a build with different dispatch
+//! rules) is skipped with a warning instead — the file is not the thing
+//! that is wrong.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use wfomc_logic::weights::Weights;
+use wfomc_obs::json::JsonObject;
+
+use crate::json::{parse, Value};
+use crate::wire::{weights_from_json, weights_to_json, SCHEMA};
+
+/// One replayable registration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogRecord {
+    /// Canonical sentence text.
+    pub sentence: String,
+    /// Default weights registered with it.
+    pub weights: Weights,
+}
+
+/// What [`RegistryLog::replay`] found.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplayOutcome {
+    /// Well-formed records, in file order.
+    pub records: Vec<LogRecord>,
+    /// Byte offset the file was truncated to, when a corrupt tail was cut.
+    pub truncated_at: Option<u64>,
+}
+
+/// An append-only JSONL registry log.
+#[derive(Debug)]
+pub struct RegistryLog {
+    path: PathBuf,
+    file: Option<File>,
+}
+
+impl RegistryLog {
+    /// A log at `path`; nothing is opened or created until the first
+    /// append (so read-only replays of a missing file stay side-effect
+    /// free).
+    pub fn new(path: impl Into<PathBuf>) -> RegistryLog {
+        RegistryLog {
+            path: path.into(),
+            file: None,
+        }
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Serializes one registration as a single JSONL line (no trailing
+    /// newline; the appender adds it).
+    pub fn encode_record(sentence: &str, weights: &Weights) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_str("schema", SCHEMA);
+        obj.field_str("kind", "register");
+        obj.field_str("sentence", sentence);
+        obj.field_raw("weights", &weights_to_json(weights));
+        obj.finish()
+    }
+
+    fn decode_record(line: &str) -> Result<LogRecord, String> {
+        let value = parse(line).map_err(|e| e.to_string())?;
+        let obj = match &value {
+            Value::Obj(_) => &value,
+            _ => return Err("record is not a JSON object".into()),
+        };
+        match obj.get("kind").and_then(Value::as_str) {
+            Some("register") => {}
+            Some(other) => return Err(format!("unknown record kind `{other}`")),
+            None => return Err("record has no `kind`".into()),
+        }
+        let sentence = obj
+            .get("sentence")
+            .and_then(Value::as_str)
+            .ok_or("record has no `sentence` string")?
+            .to_string();
+        let weights = match obj.get("weights") {
+            Some(w) => weights_from_json(w).map_err(|e| e.message)?,
+            None => Weights::ones(),
+        };
+        Ok(LogRecord { sentence, weights })
+    }
+
+    /// Replays the log. Returns the well-formed prefix of records; if a
+    /// corrupt line is found, the file is truncated at that line's byte
+    /// offset (dropping it and everything after) and the offset is
+    /// reported in the outcome.
+    pub fn replay(&self) -> io::Result<ReplayOutcome> {
+        let mut outcome = ReplayOutcome::default();
+        let mut bytes = Vec::new();
+        match File::open(&self.path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(outcome),
+            Err(e) => return Err(e),
+        }
+
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let rest = &bytes[offset..];
+            let line_len = rest.iter().position(|&b| b == b'\n').unwrap_or(rest.len());
+            let line_bytes = &rest[..line_len];
+            let next_offset = offset + line_len + 1; // +1 skips the newline
+            let parsed = std::str::from_utf8(line_bytes)
+                .map_err(|_| "line is not UTF-8".to_string())
+                .and_then(|s| {
+                    if s.trim().is_empty() {
+                        Ok(None)
+                    } else {
+                        Self::decode_record(s).map(Some)
+                    }
+                });
+            match parsed {
+                Ok(Some(record)) => outcome.records.push(record),
+                Ok(None) => {}
+                Err(message) => {
+                    // Corrupt tail: cut the file back to the last good line.
+                    eprintln!(
+                        "wfomc-serve: registry log {}: corrupt line at byte {offset} \
+                         ({message}); truncating",
+                        self.path.display()
+                    );
+                    OpenOptions::new()
+                        .write(true)
+                        .open(&self.path)?
+                        .set_len(offset as u64)?;
+                    outcome.truncated_at = Some(offset as u64);
+                    return Ok(outcome);
+                }
+            }
+            offset = next_offset;
+        }
+        Ok(outcome)
+    }
+
+    /// Appends one registration and flushes it (one `write` call per line,
+    /// so a crash can tear at most the final line).
+    pub fn append(&mut self, sentence: &str, weights: &Weights) -> io::Result<()> {
+        if self.file.is_none() {
+            if let Some(dir) = self.path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    fs::create_dir_all(dir)?;
+                }
+            }
+            self.file = Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)?,
+            );
+        }
+        let file = self.file.as_mut().expect("file opened above");
+        let mut line = Self::encode_record(sentence, weights);
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use wfomc_logic::weights::{weight_int, weight_ratio};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "wfomc-serve-store-{tag}-{}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let path = temp_path("roundtrip");
+        let mut log = RegistryLog::new(&path);
+        let mut w = Weights::ones();
+        w.set("R", weight_int(2), weight_ratio(1, 3));
+        log.append("forall x. R(x)", &w).unwrap();
+        log.append("forall x. exists y. S(x,y)", &Weights::ones())
+            .unwrap();
+
+        let outcome = RegistryLog::new(&path).replay().unwrap();
+        assert_eq!(outcome.truncated_at, None);
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(outcome.records[0].sentence, "forall x. R(x)");
+        assert_eq!(outcome.records[0].weights, w);
+        assert_eq!(outcome.records[1].weights, Weights::ones());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let outcome = RegistryLog::new(temp_path("missing")).replay().unwrap();
+        assert_eq!(outcome, ReplayOutcome::default());
+    }
+
+    #[test]
+    fn corrupt_tail_is_truncated_and_prefix_kept() {
+        let path = temp_path("corrupt");
+        let mut log = RegistryLog::new(&path);
+        log.append("forall x. R(x)", &Weights::ones()).unwrap();
+        log.append("forall x. P()", &Weights::ones()).unwrap();
+        drop(log);
+        let good_len = fs::metadata(&path).unwrap().len();
+        // Simulate a torn write: half a JSON object, no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"schema\":\"wfomc-serve/v1\",\"kind\":\"regi")
+            .unwrap();
+        drop(f);
+
+        let outcome = RegistryLog::new(&path).replay().unwrap();
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(outcome.truncated_at, Some(good_len));
+        assert_eq!(fs::metadata(&path).unwrap().len(), good_len);
+        // A second replay is clean.
+        let again = RegistryLog::new(&path).replay().unwrap();
+        assert_eq!(again.records.len(), 2);
+        assert_eq!(again.truncated_at, None);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unplannable_but_well_formed_lines_are_not_truncation() {
+        // decode_record accepts any parseable sentence string; whether it
+        // plans is the registry's concern. A wrong `kind` is corruption.
+        let record = RegistryLog::decode_record(
+            "{\"schema\":\"wfomc-serve/v1\",\"kind\":\"register\",\
+             \"sentence\":\"R(x) & S(x,y)\",\"weights\":{}}",
+        )
+        .unwrap();
+        assert_eq!(record.sentence, "R(x) & S(x,y)");
+        assert!(RegistryLog::decode_record("{\"kind\":\"nope\"}").is_err());
+        assert!(RegistryLog::decode_record("not json").is_err());
+    }
+
+    #[test]
+    fn encode_is_stable() {
+        let mut w = Weights::ones();
+        w.set("R", weight_int(2), weight_int(1));
+        let line = RegistryLog::encode_record("forall x. R(x)", &w);
+        assert_eq!(
+            line,
+            "{\"schema\":\"wfomc-serve/v1\",\"kind\":\"register\",\
+             \"sentence\":\"forall x. R(x)\",\"weights\":{\"R\":[\"2\",\"1\"]}}"
+        );
+        assert_eq!(RegistryLog::decode_record(&line).unwrap().weights, w);
+    }
+}

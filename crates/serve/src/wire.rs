@@ -1,0 +1,390 @@
+//! The `wfomc-serve/v1` wire schema: typed errors, the weights codec, and
+//! the request-limits mapping.
+//!
+//! Everything the service writes goes through [`wfomc_obs::json`] (the
+//! workspace's shared hand-written JSON home) with `schema` first and the
+//! remaining keys in a fixed documented order, mirroring `wfomc-obs/v1` and
+//! `wfomc-report/v1`. Everything it reads comes through [`crate::json`].
+//!
+//! ## Weights on the wire
+//!
+//! A weight table is an object keyed by predicate name; each value is the
+//! pair `[w, w̄]` (positive and negative literal weight). Each component may
+//! be written as
+//!
+//! * an integer: `3`,
+//! * a two-element integer array `[num, den]`: `[1, 3]`,
+//! * or a string in `num` / `num/den` form: `"22/7"` — the only form with
+//!   arbitrary precision, and the one the service itself always emits
+//!   (responses and the JSONL registry log), because exact rationals
+//!   overflow JSON numbers.
+//!
+//! ## Limits on the wire
+//!
+//! Untrusted queries buy PR-7 governance with three optional body keys:
+//! `timeout_ms` → [`ExecutionLimits::with_deadline`], `work_cap` →
+//! [`ExecutionLimits::with_work_cap`], `mem_cap` →
+//! [`ExecutionLimits::with_mem_estimate_cap`]. Exhaustion surfaces as a
+//! typed `422` error naming the structured [`SolveError`] variant.
+
+use std::time::Duration;
+
+use wfomc_core::error::{LiftError, SolveError};
+use wfomc_guard::ExecutionLimits;
+use wfomc_logic::weights::{Weight, Weights};
+use wfomc_obs::json::{json_string, JsonObject};
+
+use crate::json::Value;
+
+/// The schema tag stamped on every response body.
+pub const SCHEMA: &str = "wfomc-serve/v1";
+
+/// A typed service error: an HTTP status plus the JSON error body.
+#[derive(Clone, Debug)]
+pub struct ApiError {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The stable error discriminator (`deadline_exceeded`, …).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// Extra typed fields (`key`, pre-serialized JSON value).
+    pub extra: Vec<(&'static str, String)>,
+}
+
+impl ApiError {
+    /// 400: the request body or path could not be understood.
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            kind: "bad_request",
+            message: message.into(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// 404: no plan is registered under the id.
+    pub fn unknown_plan(id: &str) -> ApiError {
+        ApiError {
+            status: 404,
+            kind: "unknown_plan",
+            message: format!("no plan registered under id `{id}`"),
+            extra: vec![("id", json_string(id))],
+        }
+    }
+
+    /// 404: no route matches the path.
+    pub fn not_found(path: &str) -> ApiError {
+        ApiError {
+            status: 404,
+            kind: "not_found",
+            message: format!("no route matches `{path}`"),
+            extra: Vec::new(),
+        }
+    }
+
+    /// 405: the route exists but not under this HTTP method.
+    pub fn method_not_allowed(method: &str, path: &str) -> ApiError {
+        ApiError {
+            status: 405,
+            kind: "method_not_allowed",
+            message: format!("`{method}` is not supported on `{path}`"),
+            extra: Vec::new(),
+        }
+    }
+
+    /// 413: the request body exceeds the server's cap.
+    pub fn payload_too_large(limit: usize) -> ApiError {
+        ApiError {
+            status: 413,
+            kind: "payload_too_large",
+            message: format!("request body exceeds the {limit}-byte limit"),
+            extra: Vec::new(),
+        }
+    }
+
+    /// 422: the sentence parsed but no implemented method can plan it.
+    pub fn plan_failed(err: &LiftError) -> ApiError {
+        ApiError {
+            status: 422,
+            kind: "plan_failed",
+            message: err.to_string(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// 503: the daemon is draining after a shutdown request.
+    pub fn shutting_down() -> ApiError {
+        ApiError {
+            status: 503,
+            kind: "shutting_down",
+            message: "the server is draining and no longer accepts work".to_string(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// 422 with the structured [`SolveError`] variant as the error kind —
+    /// how per-request governance outcomes reach the client without losing
+    /// their type.
+    pub fn from_solve(err: &SolveError) -> ApiError {
+        let mut extra: Vec<(&'static str, String)> = Vec::new();
+        let kind = match err {
+            SolveError::Lift(_) => "lift_error",
+            SolveError::DeadlineExceeded { phase, elapsed } => {
+                extra.push(("phase", json_string(phase)));
+                extra.push(("elapsed_ms", format!("{:.3}", elapsed.as_secs_f64() * 1e3)));
+                "deadline_exceeded"
+            }
+            SolveError::WorkCapExceeded { phase, work, cap } => {
+                extra.push(("phase", json_string(phase)));
+                extra.push(("work", work.to_string()));
+                extra.push(("cap", cap.to_string()));
+                "work_cap_exceeded"
+            }
+            SolveError::MemEstimateExceeded {
+                phase,
+                estimate,
+                cap,
+            } => {
+                extra.push(("phase", json_string(phase)));
+                extra.push(("estimate", estimate.to_string()));
+                extra.push(("cap", cap.to_string()));
+                "mem_estimate_exceeded"
+            }
+            SolveError::Cancelled { phase } => {
+                extra.push(("phase", json_string(phase)));
+                "cancelled"
+            }
+            SolveError::WorkerPanicked { .. } => "worker_panicked",
+        };
+        ApiError {
+            status: 422,
+            kind,
+            message: err.to_string(),
+            extra,
+        }
+    }
+
+    /// The error object alone (`{"kind":…,"message":…,…}`), for embedding
+    /// in per-point batch results.
+    pub fn to_error_object(&self) -> String {
+        let mut err = JsonObject::new();
+        err.field_str("kind", self.kind);
+        err.field_str("message", &self.message);
+        for (key, raw) in &self.extra {
+            err.field_raw(key, raw);
+        }
+        err.finish()
+    }
+
+    /// The full response body: `{"schema":…,"error":{…}}`.
+    pub fn to_body(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_str("schema", SCHEMA);
+        obj.field_raw("error", &self.to_error_object());
+        obj.finish()
+    }
+}
+
+/// Parses one weight component (see the module docs for the three forms).
+fn weight_from_json(v: &Value) -> Result<Weight, String> {
+    match v {
+        Value::Int(i) => Ok(wfomc_logic::weights::weight_int(*i)),
+        Value::Arr(pair) => match pair.as_slice() {
+            [num, den] => {
+                let num = num
+                    .as_i64()
+                    .ok_or("rational numerator must be an integer")?;
+                let den = den
+                    .as_i64()
+                    .ok_or("rational denominator must be an integer")?;
+                if den == 0 {
+                    return Err("rational denominator must be non-zero".to_string());
+                }
+                Ok(wfomc_logic::weights::weight_ratio(num, den))
+            }
+            _ => Err("a rational array must be exactly [num, den]".to_string()),
+        },
+        Value::Str(s) => weight_from_str(s),
+        Value::Float(_) => Err(
+            "floating-point weights are not exact; send an integer, [num, den], or \
+                 a \"num/den\" string"
+                .to_string(),
+        ),
+        _ => Err("a weight must be an integer, [num, den], or a \"num/den\" string".to_string()),
+    }
+}
+
+/// Parses `"num"` / `"num/den"` with arbitrary precision.
+fn weight_from_str(s: &str) -> Result<Weight, String> {
+    use std::str::FromStr;
+    let (num, den) = match s.split_once('/') {
+        Some((num, den)) => (num.trim(), den.trim()),
+        None => (s.trim(), "1"),
+    };
+    let num = num_bigint::BigInt::from_str(num)
+        .map_err(|_| format!("`{s}` is not a valid rational numerator"))?;
+    let den = num_bigint::BigInt::from_str(den)
+        .map_err(|_| format!("`{s}` is not a valid rational denominator"))?;
+    if den == num_bigint::BigInt::from(0) {
+        return Err(format!("`{s}` has a zero denominator"));
+    }
+    Ok(num_rational::BigRational::new(num, den))
+}
+
+/// Parses a full weight table from the request's `weights` member.
+pub fn weights_from_json(v: &Value) -> Result<Weights, ApiError> {
+    let fields = v
+        .as_obj()
+        .ok_or_else(|| ApiError::bad_request("`weights` must be an object of [w, w̄] pairs"))?;
+    let mut weights = Weights::ones();
+    for (name, pair) in fields {
+        let items = pair
+            .as_arr()
+            .filter(|items| items.len() == 2)
+            .ok_or_else(|| {
+                ApiError::bad_request(format!("`weights.{name}` must be a [w, w̄] pair"))
+            })?;
+        let pos = weight_from_json(&items[0])
+            .map_err(|e| ApiError::bad_request(format!("`weights.{name}[0]`: {e}")))?;
+        let neg = weight_from_json(&items[1])
+            .map_err(|e| ApiError::bad_request(format!("`weights.{name}[1]`: {e}")))?;
+        weights.set(name.clone(), pos, neg);
+    }
+    Ok(weights)
+}
+
+/// Serializes a weight table in the service's canonical form: predicate
+/// names sorted (the underlying map is ordered), every component a
+/// `"num/den"` string.
+pub fn weights_to_json(weights: &Weights) -> String {
+    let mut obj = JsonObject::new();
+    for (name, pair) in weights.iter() {
+        let mut arr = wfomc_obs::json::JsonArray::new();
+        arr.push_str(&pair.pos.to_string());
+        arr.push_str(&pair.neg.to_string());
+        obj.field_raw(name, &arr.finish());
+    }
+    obj.finish()
+}
+
+/// Maps the optional request budget keys onto [`ExecutionLimits`].
+pub fn limits_from_json(body: &Value) -> Result<ExecutionLimits, ApiError> {
+    let mut limits = ExecutionLimits::none();
+    if let Some(v) = body.get("timeout_ms") {
+        let ms = v
+            .as_u64()
+            .ok_or_else(|| ApiError::bad_request("`timeout_ms` must be a non-negative integer"))?;
+        limits = limits.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(v) = body.get("work_cap") {
+        let cap = v
+            .as_u64()
+            .ok_or_else(|| ApiError::bad_request("`work_cap` must be a non-negative integer"))?;
+        limits = limits.with_work_cap(cap);
+    }
+    if let Some(v) = body.get("mem_cap") {
+        let cap = v
+            .as_u64()
+            .ok_or_else(|| ApiError::bad_request("`mem_cap` must be a non-negative integer"))?;
+        limits = limits.with_mem_estimate_cap(cap);
+    }
+    Ok(limits)
+}
+
+/// Reads the required domain size `n` from a request or batch-point object.
+pub fn n_from_json(body: &Value) -> Result<usize, ApiError> {
+    body.get("n")
+        .and_then(Value::as_u64)
+        .map(|n| n as usize)
+        .ok_or_else(|| ApiError::bad_request("`n` must be present and a non-negative integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use wfomc_logic::weights::{weight_int, weight_ratio};
+
+    #[test]
+    fn weights_accept_all_three_component_forms() {
+        let v = parse(r#"{"R": [3, 1], "S": [[1, 3], "2/7"], "T": ["-4", [2, -6]]}"#).unwrap();
+        let w = weights_from_json(&v).unwrap();
+        assert_eq!(w.pair("R").pos, weight_int(3));
+        assert_eq!(w.pair("S").pos, weight_ratio(1, 3));
+        assert_eq!(w.pair("S").neg, weight_ratio(2, 7));
+        assert_eq!(w.pair("T").pos, weight_int(-4));
+        assert_eq!(w.pair("T").neg, weight_ratio(-1, 3));
+        // Unmentioned predicates default to (1, 1).
+        assert_eq!(w.pair("Unmentioned").pos, weight_int(1));
+    }
+
+    #[test]
+    fn weights_round_trip_through_the_canonical_string_form() {
+        let v = parse(r#"{"R": [[1, 3], 2], "S": ["100000000000000000000000", 1]}"#).unwrap();
+        let w = weights_from_json(&v).unwrap();
+        let text = weights_to_json(&w);
+        let back = weights_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(w, back);
+        assert!(text.contains("\"R\":[\"1/3\",\"2\"]"), "{text}");
+        assert!(text.contains("100000000000000000000000"), "{text}");
+    }
+
+    #[test]
+    fn weights_reject_floats_and_zero_denominators() {
+        for bad in [
+            r#"{"R": [1.5, 1]}"#,
+            r#"{"R": [[1, 0], 1]}"#,
+            r#"{"R": ["1/0", 1]}"#,
+            r#"{"R": [1]}"#,
+            r#"{"R": 1}"#,
+            r#"[1]"#,
+        ] {
+            let v = parse(bad).unwrap();
+            let err = weights_from_json(&v).unwrap_err();
+            assert_eq!(err.status, 400, "{bad} should be a 400");
+        }
+    }
+
+    #[test]
+    fn limits_map_all_three_budget_keys() {
+        let body =
+            parse(r#"{"n": 5, "timeout_ms": 250, "work_cap": 1000, "mem_cap": 4096}"#).unwrap();
+        let limits = limits_from_json(&body).unwrap();
+        assert_eq!(limits.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(limits.work_cap, Some(1000));
+        assert_eq!(limits.mem_estimate_cap, Some(4096));
+        assert_eq!(n_from_json(&body).unwrap(), 5);
+
+        let none = parse(r#"{"n": 5}"#).unwrap();
+        assert!(limits_from_json(&none).unwrap().is_unlimited());
+        assert!(limits_from_json(&parse(r#"{"timeout_ms": -1}"#).unwrap()).is_err());
+        assert!(n_from_json(&parse(r#"{"n": "five"}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn solve_errors_become_typed_422_bodies() {
+        let err = ApiError::from_solve(&SolveError::DeadlineExceeded {
+            phase: "fo2.cellsum",
+            elapsed: Duration::from_millis(125),
+        });
+        assert_eq!(err.status, 422);
+        assert_eq!(err.kind, "deadline_exceeded");
+        let body = err.to_body();
+        assert!(
+            body.starts_with("{\"schema\":\"wfomc-serve/v1\",\"error\":{"),
+            "{body}"
+        );
+        assert!(body.contains("\"kind\":\"deadline_exceeded\""), "{body}");
+        assert!(body.contains("\"phase\":\"fo2.cellsum\""), "{body}");
+        assert!(body.contains("\"elapsed_ms\":125.000"), "{body}");
+
+        let cap = ApiError::from_solve(&SolveError::WorkCapExceeded {
+            phase: "prop.dpll",
+            work: 2048,
+            cap: 1000,
+        });
+        assert_eq!(cap.kind, "work_cap_exceeded");
+        assert!(cap.to_body().contains("\"work\":2048"), "{}", cap.to_body());
+    }
+}

@@ -1,0 +1,318 @@
+//! End-to-end tests over a real loopback socket: concurrent clients,
+//! bit-identical values, typed limit errors, and JSONL crash recovery.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+
+use wfomc_core::Problem;
+use wfomc_logic::parser::parse;
+use wfomc_serve::client::{self, Reply};
+use wfomc_serve::http::{Server, ServerConfig, ServerHandle};
+use wfomc_serve::json::Value;
+
+/// FO² sentence (independent-set style) used throughout: every count is
+/// checked against a direct `Plan::count` on the same build.
+const SENTENCE: &str = "forall x. forall y. S(x) | N(x,y) | S(y)";
+
+fn boot(
+    registry_path: Option<PathBuf>,
+) -> (ServerHandle, SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        capacity: 32,
+        registry_path,
+    })
+    .expect("bind loopback");
+    let handle = server.handle();
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+    (handle, addr, daemon)
+}
+
+fn temp_registry(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "wfomc-serve-it-{tag}-{}-{n}/registry.jsonl",
+        std::process::id()
+    ))
+}
+
+fn direct_value(sentence: &str, n: usize) -> String {
+    Problem::new(parse(sentence).unwrap())
+        .plan()
+        .unwrap()
+        .count_default(n)
+        .unwrap()
+        .value
+        .to_string()
+}
+
+fn json_of(reply: &Reply) -> Value {
+    reply
+        .json()
+        .unwrap_or_else(|e| panic!("body is not JSON ({e}): {}", reply.body))
+}
+
+fn str_field(value: &Value, key: &str) -> String {
+    value
+        .get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("missing string `{key}` in {value:?}"))
+        .to_string()
+}
+
+fn register(addr: SocketAddr, sentence: &str) -> String {
+    let mut escaped = String::new();
+    // Sentences here contain no JSON-special characters.
+    escaped.push_str(sentence);
+    let reply = client::post(
+        addr,
+        "/v1/plans",
+        &format!(r#"{{"sentence": "{escaped}"}}"#),
+    )
+    .expect("register request");
+    assert!(
+        reply.status == 200 || reply.status == 201,
+        "register failed: {} {}",
+        reply.status,
+        reply.body
+    );
+    str_field(&json_of(&reply), "id")
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_values() {
+    let (handle, addr, daemon) = boot(None);
+    let id = register(addr, SENTENCE);
+
+    // Ground truth from the library, computed once up front.
+    let expected: Vec<(usize, String)> = (0..=8).map(|n| (n, direct_value(SENTENCE, n))).collect();
+
+    let clients: Vec<_> = (0..8)
+        .map(|worker| {
+            let id = id.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for round in 0..3 {
+                    let (n, want) = &expected[(worker + round * 3) % expected.len()];
+                    let reply = client::post(
+                        addr,
+                        &format!("/v1/plans/{id}/count"),
+                        &format!(r#"{{"n": {n}}}"#),
+                    )
+                    .expect("count request");
+                    assert_eq!(reply.status, 200, "{}", reply.body);
+                    let body = reply.json().expect("count body parses");
+                    assert_eq!(
+                        &body
+                            .get("value")
+                            .and_then(Value::as_str)
+                            .unwrap()
+                            .to_string(),
+                        want,
+                        "served count for n={n} must be bit-identical to Plan::count"
+                    );
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    assert_eq!(handle.stats().errors(), 0);
+    assert!(handle.stats().requests() >= 25); // register + 24 counts
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn deadline_capped_request_fails_typed_and_plan_stays_usable() {
+    let (handle, addr, daemon) = boot(None);
+    let id = register(addr, SENTENCE);
+    let path = format!("/v1/plans/{id}/count");
+
+    // timeout_ms: 0 trips the deadline on the first guard check.
+    let reply = client::post(addr, &path, r#"{"n": 400, "timeout_ms": 0}"#).unwrap();
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    let body = json_of(&reply);
+    let error = body.get("error").expect("error object");
+    assert_eq!(str_field(error, "kind"), "deadline_exceeded");
+    assert!(
+        error.get("phase").is_some(),
+        "typed error carries the phase"
+    );
+
+    // A work cap trips deterministically too.
+    let reply = client::post(addr, &path, r#"{"n": 400, "work_cap": 1}"#).unwrap();
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    assert_eq!(
+        str_field(json_of(&reply).get("error").unwrap(), "kind"),
+        "work_cap_exceeded"
+    );
+
+    // The plan is not poisoned: the same id immediately serves real counts.
+    let reply = client::post(addr, &path, r#"{"n": 6}"#).unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(
+        str_field(&json_of(&reply), "value"),
+        direct_value(SENTENCE, 6)
+    );
+
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn batch_shares_one_budget_and_reports_per_point() {
+    let (handle, addr, daemon) = boot(None);
+    let id = register(addr, SENTENCE);
+
+    let reply = client::post(
+        addr,
+        &format!("/v1/plans/{id}/batch"),
+        r#"{"points": [{"n": 2}, {"n": 4}, {"n": 6}]}"#,
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let body = json_of(&reply);
+    let results = body.get("results").and_then(Value::as_arr).unwrap();
+    assert_eq!(results.len(), 3);
+    for (result, n) in results.iter().zip([2usize, 4, 6]) {
+        assert_eq!(str_field(result, "value"), direct_value(SENTENCE, n));
+    }
+
+    // A zero deadline over the whole batch fails every point, typed.
+    let reply = client::post(
+        addr,
+        &format!("/v1/plans/{id}/batch"),
+        r#"{"points": [{"n": 300}, {"n": 400}], "timeout_ms": 0}"#,
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200, "batch itself succeeds: {}", reply.body);
+    let body = json_of(&reply);
+    let results = body.get("results").and_then(Value::as_arr).unwrap();
+    assert_eq!(results.len(), 2);
+    for result in results {
+        let error = result.get("error").expect("per-point typed error");
+        assert_eq!(str_field(error, "kind"), "deadline_exceeded");
+    }
+
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn registry_log_survives_restart_and_truncates_corrupt_tail() {
+    let path = temp_registry("restart");
+
+    // First daemon: register, query, shut down.
+    let (handle, addr, daemon) = boot(Some(path.clone()));
+    let id = register(addr, SENTENCE);
+    let want = direct_value(SENTENCE, 5);
+    let reply = client::post(addr, &format!("/v1/plans/{id}/count"), r#"{"n": 5}"#).unwrap();
+    assert_eq!(str_field(&json_of(&reply), "value"), want);
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+
+    // Simulate a crash mid-append: torn garbage at the tail.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"schema\":\"wfomc-serve/v1\",\"kind\":\"regis")
+            .unwrap();
+    }
+
+    // Second daemon boots from the same log: same id, same value, and the
+    // torn tail is gone from disk.
+    let (handle, addr, daemon) = boot(Some(path.clone()));
+    assert_eq!(handle.plans(), 1, "replayed exactly the good prefix");
+    let reply = client::post(addr, &format!("/v1/plans/{id}/count"), r#"{"n": 5}"#).unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(str_field(&json_of(&reply), "value"), want);
+    let logged = std::fs::read_to_string(&path).unwrap();
+    assert!(logged.ends_with('\n'), "torn tail truncated: {logged:?}");
+    assert_eq!(logged.lines().count(), 1);
+
+    // Re-registering the same sentence is recognized, not duplicated.
+    let reply = client::post(
+        addr,
+        "/v1/plans",
+        &format!(r#"{{"sentence": "{SENTENCE}"}}"#),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let body = json_of(&reply);
+    assert_eq!(str_field(&body, "id"), id);
+    assert_eq!(body.get("created").and_then(Value::as_bool), Some(false));
+
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn error_paths_are_typed() {
+    let (handle, addr, daemon) = boot(None);
+
+    // Unknown plan id.
+    let reply = client::post(addr, "/v1/plans/00000000deadbeef/count", r#"{"n": 2}"#).unwrap();
+    assert_eq!(reply.status, 404);
+    assert_eq!(
+        str_field(json_of(&reply).get("error").unwrap(), "kind"),
+        "unknown_plan"
+    );
+
+    // Wrong method on a known route.
+    let reply = client::get(addr, "/v1/plans/00000000deadbeef/count").unwrap();
+    assert_eq!(reply.status, 405);
+
+    // Unknown route.
+    let reply = client::get(addr, "/v2/anything").unwrap();
+    assert_eq!(reply.status, 404);
+
+    // Malformed JSON body.
+    let reply = client::post(addr, "/v1/plans", "{not json").unwrap();
+    assert_eq!(reply.status, 400);
+    assert_eq!(
+        str_field(json_of(&reply).get("error").unwrap(), "kind"),
+        "bad_request"
+    );
+
+    // Unplannable sentence (parses, cannot be lifted or grounded: open).
+    let reply = client::post(addr, "/v1/plans", r#"{"sentence": "R(x) & S(x,y)"}"#).unwrap();
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    assert_eq!(
+        str_field(json_of(&reply).get("error").unwrap(), "kind"),
+        "plan_failed"
+    );
+
+    // Health and metrics respond while all of the above was going on.
+    let reply = client::get(addr, "/v1/healthz").unwrap();
+    assert_eq!(reply.status, 200);
+    let reply = client::get(addr, "/v1/metrics").unwrap();
+    assert_eq!(reply.status, 200);
+    let body = json_of(&reply);
+    assert_eq!(str_field(&body, "schema"), "wfomc-obs/v1");
+
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_drains_and_rejects_new_work() {
+    let (handle, addr, daemon) = boot(None);
+    let id = register(addr, SENTENCE);
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+
+    // The listener is gone; new connections are refused outright.
+    assert!(client::post(addr, &format!("/v1/plans/{id}/count"), r#"{"n": 2}"#).is_err());
+}
