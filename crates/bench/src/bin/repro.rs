@@ -30,7 +30,7 @@ use std::env;
 use std::time::Instant;
 
 use wfomc::core::closed_form;
-use wfomc::core::fo2::{wfomc_fo2, wfomc_fo2_with_stats};
+use wfomc::core::fo2::{wfomc_fo2, wfomc_fo2_with_stats, Fo2Prepared};
 use wfomc::core::qs4::wfomc_qs4;
 use wfomc::ground::GroundSolver;
 use wfomc::mln::ground_semantics::partition_function_brute;
@@ -38,8 +38,8 @@ use wfomc::prelude::*;
 use wfomc::reductions::theta1::theta1;
 use wfomc_bench::{
     approx, bignum_factorial_chain, bignum_harmonic, bignum_square_chain, fo2_scaling_workload,
-    plan_reuse_workloads, run_trace, short, smokers_mln, standard_weights, table1_workload,
-    time_ms,
+    lane_sweep_points, plan_reuse_workloads, run_trace, short, smokers_mln, standard_weights,
+    table1_workload, time_ms,
 };
 
 fn main() {
@@ -436,6 +436,17 @@ fn trace_experiment(experiment: &str) {
     println!(
         "{:<12} {sum:>10.3}   (wall {:.3} ms)",
         "total", trace.wall_ms
+    );
+    // Steal balance of the work-stealing fan-outs under the trace (live
+    // under `--features obs`, all zeros otherwise): how many queue transfers
+    // rebalanced uneven subtrees, and how many lane batches the run packed.
+    wfomc_obs::flush_thread();
+    println!(
+        "steal balance: {} steals, {} lane batches ({} lane points) across {} cores",
+        wfomc_obs::metrics::CELLSUM_STEALS.get(),
+        wfomc_obs::metrics::CELLSUM_LANE_BATCHES.get(),
+        wfomc_obs::metrics::BATCH_LANE_POINTS.get(),
+        std::thread::available_parallelism().map_or(1, |c| c.get())
     );
     let path = env::var("TRACE_JSON").unwrap_or_else(|_| "target/trace.json".to_string());
     if let Some(dir) = std::path::Path::new(&path).parent() {
@@ -855,6 +866,107 @@ fn perf_gate() {
         serve_allowed.min(baseline_allowed)
     ));
 
+    // Lane-batching gate: the k=32 same-`n` weight sweep through
+    // `Plan::count_batch_log` must stay ≥3× faster than the committed
+    // per-point `count_batch` baseline (BENCH_lanes.json; the 32 exact n=30
+    // traversals are NOT re-run — they would dominate the gate's wall
+    // clock) and must not regress beyond the standard factor against the
+    // committed lane time itself.
+    let lane_points = lane_sweep_points(30, 32);
+    let lane_plan = Problem::new(table1_workload())
+        .plan()
+        .expect("lane gate: table1 plans");
+    let lane_run = || {
+        for result in lane_plan.count_batch_log(&lane_points) {
+            let _ = result.expect("lane gate point counts");
+        }
+    };
+    lane_run(); // warm-up: binds the lane weight tables once
+    let lane_ms = (0..3)
+        .map(|_| time_ms(lane_run))
+        .fold(f64::INFINITY, f64::min);
+    let lanes_path = format!("{manifest_dir}/../../BENCH_lanes.json");
+    let lanes_content = std::fs::read_to_string(&lanes_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline BENCH_lanes.json: {e}"));
+    let lane_anchors: &[&str] = &["\"workload\": \"fo2-table1-30\", \"k\": 32"];
+    let per_point_baseline = json_number_after(&lanes_content, lane_anchors, "per_point_ms")
+        .expect("BENCH_lanes.json has the k=32 per_point_ms baseline");
+    let lane_baseline = json_number_after(&lanes_content, lane_anchors, "lane_ms")
+        .expect("BENCH_lanes.json has the k=32 lane_ms baseline");
+    let speedup_allowed = per_point_baseline / 3.0 + slack_ms;
+    let regress_allowed = lane_baseline * factor + slack_ms;
+    let lane_allowed = speedup_allowed.min(regress_allowed);
+    let ok = lane_ms <= lane_allowed;
+    failed |= !ok;
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>12}  status",
+        "lane gate (table1-30 k32)", "per-pt base", "lane ms", "allowed ms"
+    );
+    println!(
+        "{:<28} {per_point_baseline:>12.2} {lane_ms:>12.2} {lane_allowed:>12.2}  {}",
+        "lanes/batch-speedup",
+        if ok { "ok" } else { "SLOW" }
+    );
+    rows.push(format!(
+        "  {{\"workload\": \"lanes/batch-speedup\", \"per_point_baseline_ms\": {per_point_baseline:.2}, \
+         \"lane_baseline_ms\": {lane_baseline:.2}, \"lane_ms\": {lane_ms:.2}, \
+         \"allowed_ms\": {lane_allowed:.2}, \"ok\": {ok}}}"
+    ));
+
+    // Scaling-efficiency check: with ≥2 cores, the work-stealing top-level
+    // cell split must actually buy wall clock — the parallel exact count on
+    // fo2/table1-30 must beat the serial one by SCALE_GATE_MIN_SPEEDUP
+    // (default 1.05×) after SCALE_GATE_SLACK_MS of noise headroom. On a
+    // 1-core container the comparison is meaningless, so it auto-skips with
+    // a logged notice and the gate stays green.
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if cores < 2 {
+        println!("\nscaling check skipped: available_parallelism() = {cores}");
+        rows.push(format!(
+            "  {{\"workload\": \"scaling/fo2-table1-30\", \"skipped\": true, \
+             \"available_parallelism\": {cores}}}"
+        ));
+    } else {
+        let min_speedup: f64 = env::var("SCALE_GATE_MIN_SPEEDUP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.05);
+        let scale_slack_ms: f64 = env::var("SCALE_GATE_SLACK_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50.0);
+        let prepared = Fo2Prepared::prepare(&table1_workload(), &table1_workload().vocabulary())
+            .expect("scaling check: table1 prepares");
+        let scale_weights = standard_weights();
+        let _ = prepared.count(30, &scale_weights, false); // warm the binding
+        let serial_ms = (0..3)
+            .map(|_| time_ms(|| drop(prepared.count(30, &scale_weights, false))))
+            .fold(f64::INFINITY, f64::min);
+        let parallel_ms = (0..3)
+            .map(|_| time_ms(|| drop(prepared.count(30, &scale_weights, true))))
+            .fold(f64::INFINITY, f64::min);
+        let allowed = serial_ms / min_speedup + scale_slack_ms;
+        let ok = parallel_ms <= allowed;
+        failed |= !ok;
+        println!(
+            "\n{:<28} {:>12} {:>12} {:>12}  status",
+            format!("scaling gate ({cores} cores)"),
+            "serial ms",
+            "parallel ms",
+            "allowed ms"
+        );
+        println!(
+            "{:<28} {serial_ms:>12.2} {parallel_ms:>12.2} {allowed:>12.2}  {}",
+            "scaling/fo2-table1-30",
+            if ok { "ok" } else { "NO SCALING" }
+        );
+        rows.push(format!(
+            "  {{\"workload\": \"scaling/fo2-table1-30\", \"cores\": {cores}, \
+             \"serial_ms\": {serial_ms:.2}, \"parallel_ms\": {parallel_ms:.2}, \
+             \"allowed_ms\": {allowed:.2}, \"ok\": {ok}}}"
+        ));
+    }
+
     let json = format!("[\n{}\n]\n", rows.join(",\n"));
     let _ = std::fs::create_dir_all("target");
     if let Err(e) = std::fs::write("target/perf-gate.json", &json) {
@@ -869,12 +981,13 @@ fn perf_gate() {
         eprintln!(
             "perf-gate: FAILED — a workload regressed beyond {factor}× its committed baseline, \
              a plan-reuse cache hit rate fell below {:.0}%, \
-             the budget-off governed path exceeded {guard_factor}× the ungoverned time, or \
-             the serve path exceeded {serve_factor}× the bare count loop. If the regression \
-             is expected (e.g. a slower but more capable path), update the BENCH_*.json \
-             baselines in the same change; for a noisy runner, raise PERF_GATE_FACTOR / \
-             PERF_GATE_SLACK_MS / GUARD_GATE_SLACK_MS / SERVE_GATE_SLACK_MS or set \
-             PERF_GATE_SKIP=1.",
+             the budget-off governed path exceeded {guard_factor}× the ungoverned time, \
+             the serve path exceeded {serve_factor}× the bare count loop, the lane batch \
+             fell below 3× the committed per-point baseline, or the parallel cell split \
+             stopped scaling. If the regression is expected (e.g. a slower but more capable \
+             path), update the BENCH_*.json baselines in the same change; for a noisy \
+             runner, raise PERF_GATE_FACTOR / PERF_GATE_SLACK_MS / GUARD_GATE_SLACK_MS / \
+             SERVE_GATE_SLACK_MS / SCALE_GATE_SLACK_MS or set PERF_GATE_SKIP=1.",
             min_rate * 100.0
         );
         std::process::exit(1);

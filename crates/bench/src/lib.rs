@@ -164,6 +164,23 @@ pub fn plan_reuse_workloads(
     ]
 }
 
+/// The lane-batching workload: a same-`n` weight sweep over the Table 1
+/// sentence, the shape `Plan::count_batch_log` turns into one `LogF64xN`
+/// traversal per eight points. The `lane_time` snapshot bin and the perf
+/// gate's lane check measure exactly these points, so the committed
+/// `BENCH_lanes.json` per-point baseline and the gate's re-measured lane
+/// time stay comparable.
+pub fn lane_sweep_points(n: usize, k: usize) -> Vec<(usize, Weights)> {
+    (0..k)
+        .map(|i| {
+            (
+                n,
+                Weights::from_ints([("R", i as i64 + 1, 1), ("S", 1, 3), ("T", 2, 2)]),
+            )
+        })
+        .collect()
+}
+
 /// Wall-clock time of one closure call in milliseconds — the shared
 /// measurement primitive of the snapshot bins, the repro harness's timed
 /// experiments and the perf gate.

@@ -94,6 +94,50 @@ impl PairStructure {
             .map(|(_, count)| *count as usize)
             .sum()
     }
+
+    /// Per-cell count of *structural* zeros: pairs `(i, j)` with no
+    /// satisfying cross assignment at all, whose bound table entry is zero
+    /// for every weight function. Unlike the bound entries these counts are
+    /// weight-independent, so a cell order derived from them is shared by
+    /// every weight vector — which is what lets order-sensitive (float)
+    /// algebras front-load constrained cells without breaking bit-for-bit
+    /// lane/scalar agreement.
+    pub fn structural_zero_counts(&self) -> Vec<usize> {
+        let k = self.sat.len();
+        let mut zeros = vec![0usize; k];
+        for (i, row) in self.sat.iter().enumerate() {
+            for (d, signatures) in row.iter().enumerate() {
+                if signatures.is_empty() {
+                    zeros[i] += 1;
+                    if d > 0 {
+                        zeros[i + d] += 1;
+                    }
+                }
+            }
+        }
+        zeros
+    }
+
+    /// Reindexes the structure by `perm` (new index `a` maps to old cell
+    /// `perm[a]`), preserving the triangular `i ≤ j` layout.
+    pub fn permute(&self, perm: &[usize]) -> PairStructure {
+        let k = self.sat.len();
+        debug_assert_eq!(perm.len(), k);
+        let mut sat = Vec::with_capacity(k);
+        for a in 0..k {
+            let mut row = Vec::with_capacity(k - a);
+            for b in a..k {
+                let (i, j) = if perm[a] <= perm[b] {
+                    (perm[a], perm[b])
+                } else {
+                    (perm[b], perm[a])
+                };
+                row.push(self.sat[i][j - i].clone());
+            }
+            sat.push(row);
+        }
+        PairStructure { sat }
+    }
 }
 
 /// Enumerates the valid cell *shapes* of a matrix: the truth assignments

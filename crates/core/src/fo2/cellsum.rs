@@ -192,6 +192,23 @@ pub fn cell_sum_elems<A: Algebra>(
         .expect("an ungated cell sum cannot interrupt")
 }
 
+/// [`cell_sum_elems`] under a resource [`Guard`] — the algebra-generic
+/// counterpart of [`cell_sum_weights_gated`], used by the lane-batched
+/// evaluation path so governed batches are metered per DFS worker.
+pub fn cell_sum_elems_guarded<A: Algebra>(
+    algebra: &A,
+    u: &[A::Elem],
+    table: &[Vec<A::Elem>],
+    n: usize,
+    parallel: bool,
+    guard: &Guard,
+) -> Result<(A::Elem, CellSumStats), Interrupt> {
+    wfomc_guard::failpoint(PHASE)?;
+    cell_sum_elems_gated(algebra, u, table, n, parallel, &mut || {
+        Meter::new(guard, PHASE)
+    })
+}
+
 /// [`cell_sum_elems`] through an explicit [`Gate`] factory: each DFS worker
 /// (one per scoped thread in the parallel split) gets its own gate from
 /// `make_gate`. Pass `&mut || Ungated` for the zero-overhead default or
@@ -257,6 +274,12 @@ struct Engine<'a, A: Algebra> {
     cross: Vec<Vec<A::Elem>>,
     /// Pascal's triangle covering rows `0..=n`, injected into the algebra.
     binom: Vec<Vec<A::Elem>>,
+    /// Which (re-indexed) cells have zero weight. Order-sensitive algebras
+    /// keep such cells in the traversal; the DFS skips their dead work
+    /// (running cross-product maintenance, tail power tables) since every
+    /// `m > 0` branch of a zero-weight cell is pruned before those values
+    /// are read.
+    zero_u: Vec<bool>,
 }
 
 /// Least common multiple of the denominators of `values`.
@@ -272,19 +295,33 @@ fn lcm_of_denominators<'a>(values: impl Iterator<Item = &'a Weight>) -> BigInt {
 
 impl<'a, A: Algebra> Engine<'a, A> {
     fn new(algebra: &'a A, u: &[A::Elem], table: &[Vec<A::Elem>], n: usize) -> Engine<'a, A> {
-        let keep: Vec<usize> = (0..u.len()).filter(|&i| !algebra.is_zero(&u[i])).collect();
-        // Visit cells whose table row has many zeros first: a zero running
-        // cross product or zero diagonal kills a subtree as soon as the DFS
-        // reaches it, so front-loading constrained cells maximizes sharing of
-        // the cutoff. The sum itself is symmetric in the cell order.
-        let mut order = keep.clone();
-        order.sort_by_key(|&i| {
-            let zeros = keep
-                .iter()
-                .filter(|&&j| algebra.is_zero(&table[i][j]))
-                .count();
-            std::cmp::Reverse(zeros)
-        });
+        let order: Vec<usize> = if algebra.order_sensitive() {
+            // Order-sensitive algebras need a weight-independent traversal:
+            // dropping zero-weight cells or reordering by zero pattern would
+            // regroup the floating-point sums and products, so two runs that
+            // differ only in which weights happen to be zero would no longer
+            // agree bit for bit (and a lane run could not match its scalar
+            // lanes). Zero-weight cells cost little here: their `m = 0`
+            // branch multiplies by an exact one and every `m > 0` branch is
+            // pruned (scalars) or contributes a canonical zero (lanes).
+            (0..u.len()).collect()
+        } else {
+            let keep: Vec<usize> = (0..u.len()).filter(|&i| !algebra.is_zero(&u[i])).collect();
+            // Visit cells whose table row has many zeros first: a zero running
+            // cross product or zero diagonal kills a subtree as soon as the
+            // DFS reaches it, so front-loading constrained cells maximizes
+            // sharing of the cutoff. The sum itself is symmetric in the cell
+            // order.
+            let mut order = keep.clone();
+            order.sort_by_key(|&i| {
+                let zeros = keep
+                    .iter()
+                    .filter(|&&j| algebra.is_zero(&table[i][j]))
+                    .count();
+                std::cmp::Reverse(zeros)
+            });
+            order
+        };
 
         let binom_triangle = binomial_weight_triangle(n);
         Engine {
@@ -301,6 +338,7 @@ impl<'a, A: Algebra> Engine<'a, A> {
                 .iter()
                 .map(|row| row.iter().map(|w| algebra.from_weight(w)).collect())
                 .collect(),
+            zero_u: order.iter().map(|&i| algebra.is_zero(&u[i])).collect(),
         }
     }
 
@@ -319,12 +357,21 @@ impl<'a, A: Algebra> Engine<'a, A> {
             .min(self.n + 1)
     }
 
-    /// Splits the top-level choice of `m₁` over `threads` scoped workers.
-    /// Ring addition is associative and commutative, so the split does not
-    /// change the result (up to rounding, for approximate algebras). Every
-    /// worker gets its own gate; if any worker is interrupted, the whole sum
-    /// reports that interrupt (the other workers trip on the same shared
-    /// guard state within one check period).
+    /// Splits the top-level choice of `m₁` over `threads` scoped workers
+    /// draining a work-stealing pool: subtree costs vary wildly with `m₀`
+    /// (a zero `u₀^{m₀}` prunes everything, small `m₀` leaves the most
+    /// elements to distribute), so a fixed round-robin split skews badly
+    /// while stealing rebalances as workers run dry. Ring addition is
+    /// associative and commutative, so the split does not change the result
+    /// (up to rounding, for approximate algebras); per-`m₀` partials are
+    /// merged in `m₀` order regardless of which worker computed them, so the
+    /// grouping — and with it any floating-point rounding — is deterministic
+    /// across runs and steal schedules. Every worker gets its own gate; if
+    /// any worker is interrupted, the whole sum reports that interrupt (the
+    /// other workers trip on the same shared guard state within one check
+    /// period). A worker panic is resumed on the joining thread, where the
+    /// plan layer's per-point containment turns it into
+    /// `SolveError::WorkerPanicked`.
     fn sum_parallel<G: Gate + Send>(
         &self,
         threads: usize,
@@ -332,35 +379,53 @@ impl<'a, A: Algebra> Engine<'a, A> {
     ) -> Result<(A::Elem, usize, usize), Interrupt> {
         let n = self.n;
         let algebra = self.algebra;
-        let partials = std::thread::scope(|scope| {
+        type WorkerResult<E> = Result<(Vec<(usize, E)>, usize, usize), Interrupt>;
+        let pool = stealer::Pool::new(threads);
+        pool.seed(0..=n);
+        let results = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let gate = make_gate();
-                    scope.spawn(move || -> Result<(A::Elem, usize, usize), Interrupt> {
+                    let mut queue = pool.worker(t);
+                    scope.spawn(move || -> WorkerResult<A::Elem> {
                         let mut worker = Worker::new(self, gate);
                         let mut row0: Vec<Powers<A>> = (1..self.k)
                             .map(|j| Powers::new(algebra, self.cross[0][j].clone(), n))
                             .collect();
-                        for m0 in (t..=n).step_by(threads) {
+                        let mut partials = Vec::new();
+                        while let Some(m0) = queue.pop() {
                             worker.top_level(m0, &mut row0)?;
+                            let sum =
+                                std::mem::replace(&mut worker.total, BalancedSum::new(algebra));
+                            partials.push((m0, sum.finish(algebra)));
                         }
-                        Ok((worker.total.finish(algebra), worker.summed, worker.pruned))
+                        Ok((partials, worker.summed, worker.pruned))
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("cell-sum worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
                 .collect::<Vec<_>>()
         });
-        let mut total = algebra.zero();
+        wfomc_obs::metrics::CELLSUM_STEALS.add(pool.steals());
+        let mut slots: Vec<Option<A::Elem>> = vec![None; n + 1];
         let mut summed = 0usize;
         let mut pruned = 0usize;
-        for partial in partials {
-            let (t, s, p) = partial?;
-            algebra.add_assign(&mut total, &t);
+        for result in results {
+            let (partials, s, p) = result?;
+            for (m0, value) in partials {
+                slots[m0] = Some(value);
+            }
             summed = summed.saturating_add(s);
             pruned = pruned.saturating_add(p);
+        }
+        let mut total = algebra.zero();
+        for value in slots.into_iter().flatten() {
+            algebra.add_assign(&mut total, &value);
         }
         Ok((total, summed, pruned))
     }
@@ -561,6 +626,22 @@ impl<'e, A: Algebra, G: Gate> Worker<'e, A, G> {
             return Ok(());
         }
         let cells_after = self.eng.k - i - 1;
+        if algebra.is_zero(self.u_pows[i].base()) {
+            // A zero-weight cell (kept, not dropped, by order-sensitive
+            // algebras): `u^m = 0` for every `m > 0`, so only the `m = 0`
+            // branch survives — and that branch multiplies the term by exact
+            // ones (`u⁰`, `R⁰`, `binom[rem][0]`), which float algebras
+            // preserve bit-for-bit. Recurse straight into it instead of
+            // paying a child cross-product update for the doomed `m = 1`
+            // probe; the pruned-composition accounting matches what the loop
+            // would have recorded on that probe.
+            if rem > 0 {
+                self.pruned = self
+                    .pruned
+                    .saturating_add(num_compositions(rem - 1, cells_after + 1));
+            }
+            return self.dfs(i + 1, rem, term, &r[1..]);
+        }
         // R_i^m and the children's cross products, maintained incrementally:
         // one multiplication each per extra element in cell i.
         let mut rpow = algebra.one();
@@ -569,6 +650,14 @@ impl<'e, A: Algebra, G: Gate> Worker<'e, A, G> {
             if m > 0 {
                 algebra.mul_assign(&mut rpow, &r[0]);
                 for (d, slot) in child.iter_mut().enumerate() {
+                    // A zero-weight child never reads its running cross
+                    // product: it recurses straight through its `m = 0`
+                    // branch (or, as the last cell, hits a zero leaf before
+                    // the product is consumed). Skipping the update leaves a
+                    // stale slot that is provably never observed.
+                    if self.eng.zero_u[i + 1 + d] {
+                        continue;
+                    }
                     algebra.mul_assign(slot, &self.eng.cross[i][i + 1 + d]);
                 }
             }
@@ -610,9 +699,14 @@ impl<'e, A: Algebra, G: Gate> Worker<'e, A, G> {
         let mut tail_pows = std::mem::take(&mut self.tail_pows);
         tail_pows.clear();
         tail_pows.push(algebra.one());
-        for t in 1..=rem {
-            let next = algebra.mul(&tail_pows[t - 1], &r[1]);
-            tail_pows.push(next);
+        if !self.eng.zero_u[b] {
+            // When cell `b` has zero weight, `tail_pows[t]` is only ever read
+            // at `t = 0` (every `t > 0` leaf dies on `u_b^t = 0` first), so
+            // the table stops at the exact one.
+            for t in 1..=rem {
+                let next = algebra.mul(&tail_pows[t - 1], &r[1]);
+                tail_pows.push(next);
+            }
         }
         let mut a_pow = algebra.one(); // R_a^m
         for m in 0..=rem {

@@ -33,7 +33,9 @@ use super::cells::{
     bind_cell_weights_in, bind_pair_table_in, build_cell_shapes, build_pair_structure, Cell,
     CellSpace, PairStructure,
 };
-use super::cellsum::{cell_sum_elems, cell_sum_weights, cell_sum_weights_gated, CellSumStats};
+use super::cellsum::{
+    cell_sum_elems, cell_sum_elems_guarded, cell_sum_weights, cell_sum_weights_gated, CellSumStats,
+};
 use super::normalize::fo2_normal_form;
 use crate::error::LiftError;
 
@@ -169,8 +171,11 @@ impl Fo2Prepared {
 
         // Shannon expansion: one branch matrix per truth assignment to the
         // nullary predicates, each analyzed into cells and pair structures.
-        let mut branches = Vec::new();
-        for mask in 0u64..(1u64 << nullary.len()) {
+        // The pair-structure build (`2^{2b}` cross assignments per cell
+        // pair) dominates and varies per branch, so many-branch expansions
+        // fan the masks over a work-stealing pool; the common zero-nullary
+        // case (one mask) stays on the caller's thread.
+        let build_branch = |mask: u64| -> Result<Option<PreparedBranch>, crate::error::SolveError> {
             guard.tick(PREPARE_PHASE, 1)?;
             let branch_matrix = if nullary.is_empty() {
                 shape.matrix.clone()
@@ -188,15 +193,81 @@ impl Fo2Prepared {
             };
             let branch_matrix = wfomc_logic::transform::simplify(&branch_matrix);
             if branch_matrix == Formula::Bottom {
-                continue;
+                return Ok(None);
             }
             let shapes = build_cell_shapes(&branch_matrix, &space)?;
             let pairs = build_pair_structure(&branch_matrix, &space, &shapes)?;
-            branches.push(PreparedBranch {
+            // Front-load structurally constrained cells (many pairs with no
+            // satisfying cross assignment) once, at prepare time. The counts
+            // are weight-independent, so this is the one cell order every
+            // binding shares — order-sensitive algebras keep it verbatim
+            // (bit-reproducible across weight vectors and lanes) while the
+            // exact engine may still refine it against the bound weights.
+            let zeros = pairs.structural_zero_counts();
+            let mut order: Vec<usize> = (0..shapes.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(zeros[i]));
+            let shapes = order.iter().map(|&i| shapes[i].clone()).collect();
+            let pairs = pairs.permute(&order);
+            Ok(Some(PreparedBranch {
                 mask,
                 shapes,
                 pairs,
+            }))
+        };
+        let total_masks = 1u64 << nullary.len();
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let workers = if total_masks >= 4 {
+            cores.min(total_masks as usize)
+        } else {
+            1
+        };
+        let mut branches = Vec::new();
+        if workers <= 1 {
+            for mask in 0..total_masks {
+                if let Some(branch) = build_branch(mask)? {
+                    branches.push(branch);
+                }
+            }
+        } else {
+            let pool = stealer::Pool::new(workers);
+            pool.seed(0..total_masks);
+            let mut slots: Vec<Option<Result<Option<PreparedBranch>, crate::error::SolveError>>> =
+                (0..total_masks).map(|_| None).collect();
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|t| {
+                        let mut queue = pool.worker(t);
+                        let build_branch = &build_branch;
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            while let Some(mask) = queue.pop() {
+                                out.push((mask, build_branch(mask)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| {
+                        h.join()
+                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                    })
+                    .collect::<Vec<_>>()
             });
+            wfomc_obs::metrics::CELLSUM_STEALS.add(pool.steals());
+            for (mask, result) in results {
+                slots[mask as usize] = Some(result);
+            }
+            // Surface the mask-order-first error so the parallel build fails
+            // exactly like the serial loop regardless of the steal schedule.
+            for slot in slots {
+                if let Some(branch) = slot.expect("every mask analyzed")? {
+                    branches.push(branch);
+                }
+            }
         }
 
         guard.check(PREPARE_PHASE)?;
@@ -420,6 +491,36 @@ impl Fo2Prepared {
         .expect("an ungated cell sum cannot interrupt")
     }
 
+    /// [`count_in`](Self::count_in) under a resource [`Guard`] — the
+    /// algebra-generic counterpart of [`count_guarded`](Self::count_guarded),
+    /// used by the lane-batched evaluation path so governed batches stay
+    /// interruptible mid-traversal.
+    pub fn count_in_guarded<A: Algebra>(
+        &self,
+        n: usize,
+        algebra: &A,
+        weights: &AlgebraWeights<A>,
+        allow_parallel: bool,
+        guard: &Guard,
+    ) -> Result<(A::Elem, Fo2Stats), Interrupt> {
+        // n = 0: there is exactly one (empty) structure; its weight is 1.
+        if n == 0 {
+            let value = if evaluate(&self.sentence, &Structure::empty(0)) {
+                algebra.one()
+            } else {
+                algebra.zero()
+            };
+            return Ok((value, Fo2Stats::default()));
+        }
+
+        wfomc_guard::failpoint("fo2.bind")?;
+        guard.check("fo2.bind")?;
+        let bound = self.bind_in(algebra, weights);
+        self.sum_bound(algebra, &bound, n, allow_parallel, |b, parallel| {
+            cell_sum_elems_guarded(algebra, &b.u, &b.table, n, parallel, guard)
+        })
+    }
+
     /// Shared evaluation tail of [`count`](Self::count) and
     /// [`count_in`](Self::count_in): leftover-predicate factors, branch
     /// evaluation (parallel when allowed), stats accumulation.
@@ -481,31 +582,43 @@ fn evaluate_bound<E: Clone + Send + Sync, S: Send>(
     }
     // With fewer branch workers than cores, let each branch's engine split
     // its top level too (its own composition-count threshold still applies).
+    // Branch costs are wildly uneven (a hard-constraint branch prunes to
+    // nothing, an unconstrained one sums every composition), so the branches
+    // go through a work-stealing pool instead of a fixed round-robin split.
+    // A worker panic is resumed here on the joining thread, where the plan
+    // layer's per-point containment turns it into
+    // `SolveError::WorkerPanicked`.
     let parallel_within = workers < cores;
-    std::thread::scope(|scope| {
+    let pool = stealer::Pool::new(workers);
+    pool.seed(0..branches.len());
+    let out = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|t| {
+                let mut queue = pool.worker(t);
                 scope.spawn(move || {
-                    branches
-                        .iter()
-                        .enumerate()
-                        .skip(t)
-                        .step_by(workers)
-                        .map(|(i, b)| (i, eval(b, parallel_within)))
-                        .collect::<Vec<_>>()
+                    let mut done = Vec::new();
+                    while let Some(i) = queue.pop() {
+                        done.push((i, eval(&branches[i], parallel_within)));
+                    }
+                    done
                 })
             })
             .collect();
         let mut out: Vec<Option<S>> = branches.iter().map(|_| None).collect();
         for handle in handles {
-            for (i, result) in handle.join().expect("Shannon-branch worker panicked") {
+            let done = handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            for (i, result) in done {
                 out[i] = Some(result);
             }
         }
         out.into_iter()
             .map(|r| r.expect("every branch evaluated"))
             .collect()
-    })
+    });
+    wfomc_obs::metrics::CELLSUM_STEALS.add(pool.steals());
+    out
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@ use num_traits::{One, Zero};
 
 use wfomc_ground::{CompiledWfomc, Lineage};
 use wfomc_guard::{CancelToken, ExecutionLimits, Guard, Interrupt};
-use wfomc_logic::algebra::{Algebra, AlgebraWeights};
+use wfomc_logic::algebra::{Algebra, AlgebraWeights, LogF64, LogF64xN, LogWeight, LOG_LANES};
 use wfomc_logic::cq::ConjunctiveQuery;
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::vocabulary::{Predicate, Vocabulary};
@@ -546,12 +546,29 @@ impl Plan {
             let mut slots: Vec<Option<Result<SolverReport, SolveError>>> =
                 (0..points.len()).map(|_| None).collect();
             let mut locals = Vec::new();
-            for handle in handles {
-                let (results, local) = handle.join().expect("count_batch worker panicked");
-                for (i, result) in results {
-                    slots[i] = Some(result);
+            for (t, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok((results, local)) => {
+                        for (i, result) in results {
+                            slots[i] = Some(result);
+                        }
+                        locals.extend(local);
+                    }
+                    // A panic that escaped the per-point containment (e.g.
+                    // in the memo clone or the obs flush) loses only this
+                    // worker's points, reported structurally instead of
+                    // tearing the whole batch down.
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        for slot in slots.iter_mut().skip(t).step_by(workers) {
+                            slot.get_or_insert_with(|| {
+                                Err(SolveError::WorkerPanicked {
+                                    message: message.clone(),
+                                })
+                            });
+                        }
+                    }
                 }
-                locals.extend(local);
             }
             let results: Vec<Result<SolverReport, SolveError>> = slots
                 .into_iter()
@@ -569,6 +586,181 @@ impl Plan {
             }
         }
         results
+    }
+
+    /// Lane-batched log-space batch evaluation: a same-`n` weight sweep
+    /// binds once and runs **one** traversal per [`LOG_LANES`] points, with
+    /// the weight vectors riding the lanes of the [`LogF64xN`] algebra
+    /// through the unmodified generic paths (cell-sum DFS, circuit
+    /// evaluation, DPLL, QS4 DP). Lane `i` of a chunk is bit-identical to a
+    /// scalar [`LogF64`] run of point `i` — the lane algebra delegates every
+    /// per-lane step to the scalar implementation — so this is a throughput
+    /// optimization, not an approximation change. Mixed-`n` batches fall
+    /// back to the per-point scoped-thread fan-out. Results are in input
+    /// order.
+    pub fn count_batch_log(
+        &self,
+        points: &[(usize, Weights)],
+    ) -> Vec<Result<LogWeight, SolveError>> {
+        self.count_batch_log_with_limits(points, &ExecutionLimits::none(), None)
+    }
+
+    /// [`count_batch_log`](Self::count_batch_log) under a *shared* budget
+    /// and optional cancellation, mirroring
+    /// [`count_batch_with_limits`](Self::count_batch_with_limits): all
+    /// chunks draw from one work/deadline pool, exhaustion and contained
+    /// panics surface per point, and completed points keep their values.
+    pub fn count_batch_log_with_limits(
+        &self,
+        points: &[(usize, Weights)],
+        limits: &ExecutionLimits,
+        cancel: Option<CancelToken>,
+    ) -> Vec<Result<LogWeight, SolveError>> {
+        let guard = Guard::new(limits, cancel);
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let n = points[0].0;
+        if points.iter().any(|(m, _)| *m != n) {
+            return self.count_batch_log_mixed(points, &guard);
+        }
+        wfomc_obs::metrics::BATCH_LANE_POINTS.add(points.len() as u64);
+        let mut out = Vec::with_capacity(points.len());
+        for chunk in points.chunks(LOG_LANES) {
+            wfomc_obs::metrics::CELLSUM_LANE_BATCHES.inc();
+            let lane_weights: Vec<&Weights> = chunk.iter().map(|(_, w)| w).collect();
+            // A ragged final chunk repeats its last point in the tail lanes
+            // (see `pack_weights`); only the real lanes are unpacked below.
+            let packed = LogF64xN::pack_weights(&lane_weights);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                self.count_in_guarded_point(n, &LogF64xN, &packed, true, &guard)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(SolveError::WorkerPanicked {
+                    message: panic_message(payload.as_ref()),
+                })
+            });
+            match result {
+                Ok(lanes) => out.extend((0..chunk.len()).map(|i| Ok(lanes.lane(i)))),
+                Err(e) => out.extend((0..chunk.len()).map(|_| Err(e.clone()))),
+            }
+        }
+        out
+    }
+
+    /// The mixed-`n` fallback of the lane batch: per-point scalar [`LogF64`]
+    /// evaluation over scoped threads (each lane of work is a whole point,
+    /// so nothing can share a traversal).
+    fn count_batch_log_mixed(
+        &self,
+        points: &[(usize, Weights)],
+        guard: &Guard,
+    ) -> Vec<Result<LogWeight, SolveError>> {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let workers = cores.min(points.len());
+        if workers <= 1 {
+            return points
+                .iter()
+                .map(|(n, w)| self.count_log_point_contained(*n, w, true, guard))
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let results = points
+                            .iter()
+                            .enumerate()
+                            .skip(t)
+                            .step_by(workers)
+                            .map(|(i, (n, w))| {
+                                (i, self.count_log_point_contained(*n, w, false, guard))
+                            })
+                            .collect::<Vec<_>>();
+                        wfomc_obs::flush_thread();
+                        results
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<Result<LogWeight, SolveError>>> =
+                (0..points.len()).map(|_| None).collect();
+            for (t, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(results) => {
+                        for (i, result) in results {
+                            slots[i] = Some(result);
+                        }
+                    }
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        for slot in slots.iter_mut().skip(t).step_by(workers) {
+                            slot.get_or_insert_with(|| {
+                                Err(SolveError::WorkerPanicked {
+                                    message: message.clone(),
+                                })
+                            });
+                        }
+                    }
+                }
+            }
+            slots
+                .into_iter()
+                .map(|r| r.expect("every point evaluated"))
+                .collect()
+        })
+    }
+
+    /// One scalar log-space point with panic containment, the per-point unit
+    /// of the mixed-`n` fallback.
+    fn count_log_point_contained(
+        &self,
+        n: usize,
+        weights: &Weights,
+        allow_parallel: bool,
+        guard: &Guard,
+    ) -> Result<LogWeight, SolveError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let lifted = AlgebraWeights::lift(&LogF64, weights);
+            self.count_in_guarded_point(n, &LogF64, &lifted, allow_parallel, guard)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(SolveError::WorkerPanicked {
+                message: panic_message(payload.as_ref()),
+            })
+        })
+    }
+
+    /// One governed evaluation point in an arbitrary algebra — the guarded
+    /// counterpart of [`count_in_inner`](Self::count_in_inner), shared by
+    /// the lane-batched path and its scalar fallback.
+    fn count_in_guarded_point<A: Algebra>(
+        &self,
+        n: usize,
+        algebra: &A,
+        weights: &AlgebraWeights<A>,
+        allow_parallel: bool,
+        guard: &Guard,
+    ) -> Result<A::Elem, SolveError> {
+        wfomc_obs::metrics::PLAN_COUNTS.inc();
+        let _span = wfomc_obs::span("plan.count");
+        guard.check("plan.count")?;
+        match &self.state {
+            PlanState::Qs4 { extra } => Ok(algebra.mul(
+                &wfomc_qs4_in(n, algebra, weights),
+                &predicate_factor_in(extra, n, algebra, weights),
+            )),
+            PlanState::Fo2(prepared) => Ok(prepared
+                .count_in_guarded(n, algebra, weights, allow_parallel, guard)?
+                .0),
+            PlanState::Cq { .. } if !self.solver.allow_ground_fallback => {
+                Err(no_lifted_method().into())
+            }
+            PlanState::Cq { .. } | PlanState::Ground => {
+                self.ground_count_in_guarded(n, algebra, weights, guard)
+            }
+        }
     }
 
     /// One point with panic containment: a panic anywhere inside the
@@ -1047,7 +1239,13 @@ impl Plan {
             let mut slots: Vec<Option<Result<A::Elem, LiftError>>> =
                 (0..points.len()).map(|_| None).collect();
             for handle in handles {
-                for (i, result) in handle.join().expect("count_batch_in worker panicked") {
+                // This API has no panic-shaped error (`LiftError` is purely
+                // algorithmic), so resume the original payload rather than
+                // replacing it with a generic join message.
+                let results = handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+                for (i, result) in results {
                     slots[i] = Some(result);
                 }
             }
@@ -1090,21 +1288,42 @@ impl Plan {
         algebra: &A,
         weights: &AlgebraWeights<A>,
     ) -> A::Elem {
-        let instance = self
-            .ground_instance_guarded(n, &Guard::unarmed())
-            .expect("an unarmed guard cannot interrupt");
-        match self.solver.ground_backend {
-            WmcBackend::Circuit => instance
-                .compiled
-                .get_or_init(|| CompiledWfomc::from_lineage(instance.lineage.clone()))
-                .wfomc_in(algebra, weights),
+        self.ground_count_in_guarded(n, algebra, weights, &Guard::unarmed())
+            .expect("an unarmed guard cannot interrupt")
+    }
+
+    /// [`ground_count_in`](Self::ground_count_in) under a resource [`Guard`]:
+    /// the grounding and d-DNNF compilation are metered (and only *completed*
+    /// circuits are published to the per-`n` cache), so governed lane
+    /// batches stay interruptible on ground-method plans too.
+    fn ground_count_in_guarded<A: Algebra>(
+        &self,
+        n: usize,
+        algebra: &A,
+        weights: &AlgebraWeights<A>,
+        guard: &Guard,
+    ) -> Result<A::Elem, SolveError> {
+        guard.check("plan.ground")?;
+        let instance = self.ground_instance_guarded(n, guard)?;
+        Ok(match self.solver.ground_backend {
+            WmcBackend::Circuit => {
+                let compiled = match instance.compiled.get() {
+                    Some(compiled) => compiled,
+                    None => {
+                        let built =
+                            CompiledWfomc::from_lineage_guarded(instance.lineage.clone(), guard)?;
+                        instance.compiled.get_or_init(|| built)
+                    }
+                };
+                compiled.wfomc_in(algebra, weights)
+            }
             backend => wmc_formula_via_in(
                 &instance.lineage.prop,
                 algebra,
                 &instance.lineage.weights_in(algebra, weights),
                 backend,
             ),
-        }
+        })
     }
 }
 
@@ -1332,6 +1551,48 @@ mod tests {
         for (report, (n, w)) in batch.iter().zip(&points) {
             assert_eq!(report.value, plan.count(*n, w).unwrap().value, "n = {n}");
         }
+    }
+
+    #[test]
+    fn count_batch_log_mixed_n_falls_back_and_matches_scalar() {
+        use wfomc_logic::algebra::LogF64;
+        let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+        // Mixed domain sizes force the per-point fallback path.
+        let points: Vec<(usize, Weights)> = (0..=5)
+            .map(|n| (n, Weights::from_ints([("R", n as i64 - 2, 1)])))
+            .collect();
+        let batch = plan.count_batch_log(&points);
+        assert_eq!(batch.len(), points.len());
+        for (i, ((n, w), lane)) in points.iter().zip(&batch).enumerate() {
+            let scalar = plan
+                .count_in(*n, &LogF64, &AlgebraWeights::lift(&LogF64, w))
+                .unwrap();
+            let lane = lane.as_ref().expect("mixed-n point");
+            assert_eq!(lane.signum(), scalar.signum(), "point {i}");
+            assert_eq!(
+                lane.ln_abs().to_bits(),
+                scalar.ln_abs().to_bits(),
+                "point {i}"
+            );
+        }
+        assert!(plan.count_batch_log(&[]).is_empty());
+    }
+
+    #[test]
+    fn count_batch_log_with_limits_reports_exhaustion_per_point() {
+        let plan = Problem::new(catalog::table1_sentence()).plan().unwrap();
+        let points: Vec<(usize, Weights)> = (0..12).map(|_| (6, Weights::ones())).collect();
+        let expired = ExecutionLimits::none().with_deadline(std::time::Duration::ZERO);
+        let results = plan.count_batch_log_with_limits(&points, &expired, None);
+        assert_eq!(results.len(), points.len());
+        for result in &results {
+            assert!(
+                matches!(result, Err(e) if e.is_exhaustion()),
+                "expired budget must exhaust every lane point"
+            );
+        }
+        // The plan stays reusable after an exhausted lane batch.
+        assert!(plan.count_batch_log(&points).iter().all(Result::is_ok));
     }
 
     #[test]
@@ -1895,6 +2156,39 @@ mod tests {
                             "{} at n={}: {} vs {}", sentence, n, log, expected
                         );
                     }
+                }
+            }
+        }
+
+        /// Lane-batched `LogF64xN` evaluation is **bit-identical** to scalar
+        /// `LogF64`, lane by lane, across all four methods — including zero
+        /// and negative weights (the seeded generator produces both) and
+        /// ragged final chunks (`k % LOG_LANES ≠ 0`).
+        #[test]
+        fn differential_lane_batch_vs_scalar_logf64(seed in 0u64..5000, k in 1usize..20) {
+            use wfomc_logic::algebra::LogF64;
+            let solver = Solver::new();
+            for (sentence, _, max_n) in four_methods() {
+                let plan = solver.plan(&Problem::new(sentence.clone())).unwrap();
+                let points: Vec<(usize, Weights)> = (0..k)
+                    .map(|i| (max_n, seeded_weights(seed.wrapping_add(i as u64))))
+                    .collect();
+                let lanes = plan.count_batch_log(&points);
+                prop_assert_eq!(lanes.len(), k);
+                for (i, ((n, w), lane)) in points.iter().zip(&lanes).enumerate() {
+                    let scalar = plan
+                        .count_in(*n, &LogF64, &AlgebraWeights::lift(&LogF64, w))
+                        .unwrap();
+                    let lane = lane.as_ref().expect("lane point");
+                    prop_assert_eq!(
+                        lane.signum(), scalar.signum(),
+                        "sign mismatch for {} lane {}", sentence, i
+                    );
+                    prop_assert_eq!(
+                        lane.ln_abs().to_bits(), scalar.ln_abs().to_bits(),
+                        "magnitude bits differ for {} lane {}: {} vs {}",
+                        sentence, i, lane, scalar
+                    );
                 }
             }
         }

@@ -41,7 +41,7 @@
 //! assert_eq!(poly.eval(&weight_int(2)), weight_int(-12));
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use num_bigint::{BigInt, BigUint};
@@ -147,6 +147,17 @@ pub trait Algebra: Send + Sync {
     /// the tree's bookkeeping is pure overhead).
     fn growing_elements(&self) -> bool {
         true
+    }
+
+    /// True when the grouping of ring operations is observable in the result,
+    /// as for floating-point algebras where addition and multiplication are
+    /// commutative but not associative. Engines must then evaluate sums in a
+    /// deterministic, weight-independent order — no dropping or reordering of
+    /// zero terms for speed — so repeated runs are bit-for-bit reproducible
+    /// and a lane algebra stays bit-identical to its scalar counterpart lane
+    /// by lane. Exact algebras return `false` and let engines reorder freely.
+    fn order_sensitive(&self) -> bool {
+        false
     }
 }
 
@@ -429,11 +440,233 @@ impl Algebra for LogF64 {
         // through a balanced tree would only add bookkeeping.
         false
     }
+
+    fn order_sensitive(&self) -> bool {
+        // f64 addition rounds, so grouping is observable; engines must keep
+        // a weight-independent traversal order for reproducibility.
+        true
+    }
 }
 
 /// Natural log of a [`BigInt`]'s magnitude.
 fn ln_bigint(x: &BigInt) -> f64 {
     ln_biguint(x.magnitude())
+}
+
+// ---------------------------------------------------------------------------
+// LogF64xN
+// ---------------------------------------------------------------------------
+
+/// Number of lanes in [`LogF64xN`]: eight sign/magnitude pairs per element,
+/// one AVX-512 register (or two AVX2 registers) of `f64` magnitudes.
+pub const LOG_LANES: usize = 8;
+
+/// [`LOG_LANES`] independent [`LogWeight`]s evaluated in lockstep.
+///
+/// Lane `i` of every operation is **bit-identical** to the corresponding
+/// scalar [`LogF64`] operation on lane `i` of the operands — each per-lane
+/// step delegates to the scalar implementation, so a lane-batched traversal
+/// reproduces `LOG_LANES` scalar traversals exactly (the differential
+/// proptests in `wfomc-core` pin this down across all four methods).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogWeightxN {
+    sign: [i8; LOG_LANES],
+    ln: [f64; LOG_LANES],
+}
+
+impl LogWeightxN {
+    /// All lanes zero.
+    pub fn zero() -> LogWeightxN {
+        LogWeightxN::splat(LogWeight::zero())
+    }
+
+    /// All lanes one.
+    pub fn one() -> LogWeightxN {
+        LogWeightxN::splat(LogWeight::one())
+    }
+
+    /// The same scalar in every lane.
+    pub fn splat(w: LogWeight) -> LogWeightxN {
+        LogWeightxN {
+            sign: [w.sign; LOG_LANES],
+            ln: [w.ln; LOG_LANES],
+        }
+    }
+
+    /// Builds an element from [`LOG_LANES`] independent scalars.
+    pub fn from_lanes(lanes: [LogWeight; LOG_LANES]) -> LogWeightxN {
+        let mut out = LogWeightxN::zero();
+        for (i, lane) in lanes.into_iter().enumerate() {
+            out.sign[i] = lane.sign;
+            out.ln[i] = lane.ln;
+        }
+        out
+    }
+
+    /// Extracts lane `i` as a scalar [`LogWeight`].
+    ///
+    /// # Panics
+    /// Panics if `i >= LOG_LANES`.
+    pub fn lane(&self, i: usize) -> LogWeight {
+        LogWeight {
+            sign: self.sign[i],
+            ln: self.ln[i],
+        }
+    }
+
+    /// Maps a scalar [`LogF64`] operation over paired lanes.
+    fn zip_with(
+        &self,
+        other: &LogWeightxN,
+        op: impl Fn(&LogWeight, &LogWeight) -> LogWeight,
+    ) -> LogWeightxN {
+        let mut out = LogWeightxN::zero();
+        for i in 0..LOG_LANES {
+            let r = op(&self.lane(i), &other.lane(i));
+            out.sign[i] = r.sign;
+            out.ln[i] = r.ln;
+        }
+        out
+    }
+
+    /// Maps a scalar [`LogF64`] operation over each lane.
+    fn map(&self, op: impl Fn(&LogWeight) -> LogWeight) -> LogWeightxN {
+        let mut out = LogWeightxN::zero();
+        for i in 0..LOG_LANES {
+            let r = op(&self.lane(i));
+            out.sign[i] = r.sign;
+            out.ln[i] = r.ln;
+        }
+        out
+    }
+}
+
+impl fmt::Display for LogWeightxN {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for i in 0..LOG_LANES {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.lane(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The lane-batched log-space algebra: [`LOG_LANES`] weight vectors run
+/// through one generic traversal (cell-sum DFS, circuit evaluation, DPLL,
+/// QS4 DP) in lockstep instead of [`LOG_LANES`] traversals.
+///
+/// The only semantic difference from running [`LogF64`] per lane is
+/// pruning: [`Algebra::is_zero`] holds only when *every* lane is zero, so a
+/// batch does the union of the per-lane work. That is sound and preserves
+/// bit-identity — a canonically-zero lane (`sign = 0`, `ln = −∞`) is
+/// absorbing under `mul`/`pow` and an exact identity under `add`, so extra
+/// un-pruned work contributes exact zeros to the zero lanes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LogF64xN;
+
+impl LogF64xN {
+    /// Packs up to [`LOG_LANES`] exact weight functions into one lane-valued
+    /// weight function: lane `i` carries `points[i]`, and a ragged batch
+    /// (`points.len() < LOG_LANES`) repeats the last point in the tail
+    /// lanes, so every lane is always a well-formed weight vector.
+    ///
+    /// Each lane of each pair is built with the scalar
+    /// [`LogF64::from_weight`] path, and predicates a point leaves unset
+    /// get the same `(1, 1)` default the scalar run would use — bitwise.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or longer than [`LOG_LANES`].
+    pub fn pack_weights(points: &[&Weights]) -> AlgebraWeights<LogF64xN> {
+        assert!(
+            !points.is_empty() && points.len() <= LOG_LANES,
+            "pack_weights takes 1..={LOG_LANES} points"
+        );
+        let mut names: BTreeSet<&str> = BTreeSet::new();
+        for point in points {
+            names.extend(point.iter().map(|(name, _)| name));
+        }
+        let mut packed = AlgebraWeights::ones();
+        for name in names {
+            let mut pos = [LogWeight::zero(); LOG_LANES];
+            let mut neg = [LogWeight::zero(); LOG_LANES];
+            for i in 0..LOG_LANES {
+                let pair = points[i.min(points.len() - 1)].pair(name);
+                pos[i] = LogF64.from_weight(&pair.pos);
+                neg[i] = LogF64.from_weight(&pair.neg);
+            }
+            packed.set(
+                name,
+                LogWeightxN::from_lanes(pos),
+                LogWeightxN::from_lanes(neg),
+            );
+        }
+        packed
+    }
+}
+
+impl Algebra for LogF64xN {
+    type Elem = LogWeightxN;
+
+    fn name(&self) -> &'static str {
+        "log-f64x8"
+    }
+
+    fn zero(&self) -> LogWeightxN {
+        LogWeightxN::zero()
+    }
+
+    fn one(&self) -> LogWeightxN {
+        LogWeightxN::one()
+    }
+
+    fn is_zero(&self, a: &LogWeightxN) -> bool {
+        a.sign == [0; LOG_LANES]
+    }
+
+    fn add(&self, a: &LogWeightxN, b: &LogWeightxN) -> LogWeightxN {
+        a.zip_with(b, |x, y| LogF64.add(x, y))
+    }
+
+    fn neg(&self, a: &LogWeightxN) -> LogWeightxN {
+        a.map(|x| LogF64.neg(x))
+    }
+
+    fn mul(&self, a: &LogWeightxN, b: &LogWeightxN) -> LogWeightxN {
+        a.zip_with(b, |x, y| LogF64.mul(x, y))
+    }
+
+    fn pow(&self, base: &LogWeightxN, exp: usize) -> LogWeightxN {
+        base.map(|x| LogF64.pow(x, exp))
+    }
+
+    fn from_weight(&self, w: &Weight) -> LogWeightxN {
+        LogWeightxN::splat(LogF64.from_weight(w))
+    }
+
+    fn try_div(&self, a: &LogWeightxN, b: &LogWeightxN) -> Option<LogWeightxN> {
+        // Division is all-or-nothing: any zero-divisor lane poisons the
+        // whole element, mirroring the scalar contract per lane.
+        if b.sign.contains(&0) {
+            return None;
+        }
+        Some(a.zip_with(b, |x, y| {
+            LogF64.try_div(x, y).expect("no lane divisor is zero")
+        }))
+    }
+
+    fn growing_elements(&self) -> bool {
+        // Fixed-size lanes, like the scalar LogF64.
+        false
+    }
+
+    fn order_sensitive(&self) -> bool {
+        // Lane-by-lane bit-identity with scalar LogF64 runs requires every
+        // lane to see the exact traversal order a scalar run would use.
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -817,6 +1050,126 @@ mod tests {
         assert!(LogF64.mul(&a, &LogF64.zero()).is_zero());
         assert_eq!(LogWeight::from_f64(0.0), LogWeight::zero());
         assert_eq!(LogWeight::from_f64(-2.5).signum(), -1);
+    }
+
+    #[test]
+    fn lane_algebra_ops_are_bit_identical_to_scalar_lanes() {
+        // A spread of magnitudes and signs, including zero, across the lanes.
+        let xs: [Weight; LOG_LANES] = [
+            weight_int(3),
+            weight_int(-5),
+            Weight::zero(),
+            weight_ratio(1, 7),
+            weight_int(1),
+            weight_ratio(-9, 4),
+            weight_int(1_000_000),
+            weight_ratio(-1, 1_000_000),
+        ];
+        let ys: [Weight; LOG_LANES] = [
+            weight_int(-3),
+            weight_int(5),
+            weight_int(2),
+            Weight::zero(),
+            weight_ratio(1, 7),
+            weight_ratio(9, 4),
+            weight_int(-1),
+            weight_int(42),
+        ];
+        let a = LogWeightxN::from_lanes(xs.clone().map(|w| LogF64.from_weight(&w)));
+        let b = LogWeightxN::from_lanes(ys.clone().map(|w| LogF64.from_weight(&w)));
+        let assert_lanes =
+            |lane_value: LogWeightxN, scalar: &dyn Fn(usize) -> LogWeight, op: &str| {
+                for i in 0..LOG_LANES {
+                    let got = lane_value.lane(i);
+                    let want = scalar(i);
+                    assert_eq!(got.signum(), want.signum(), "{op} lane {i} sign");
+                    assert_eq!(
+                        got.ln_abs().to_bits(),
+                        want.ln_abs().to_bits(),
+                        "{op} lane {i} magnitude"
+                    );
+                }
+            };
+        let sa: Vec<LogWeight> = xs.iter().map(|w| LogF64.from_weight(w)).collect();
+        let sb: Vec<LogWeight> = ys.iter().map(|w| LogF64.from_weight(w)).collect();
+        assert_lanes(LogF64xN.add(&a, &b), &|i| LogF64.add(&sa[i], &sb[i]), "add");
+        assert_lanes(LogF64xN.sub(&a, &b), &|i| LogF64.sub(&sa[i], &sb[i]), "sub");
+        assert_lanes(LogF64xN.mul(&a, &b), &|i| LogF64.mul(&sa[i], &sb[i]), "mul");
+        assert_lanes(LogF64xN.neg(&a), &|i| LogF64.neg(&sa[i]), "neg");
+        for exp in [0usize, 1, 2, 7, 100] {
+            assert_lanes(LogF64xN.pow(&a, exp), &|i| LogF64.pow(&sa[i], exp), "pow");
+        }
+        // try_div: poisoned by any zero-divisor lane, per-lane scalar otherwise.
+        assert!(LogF64xN.try_div(&a, &b).is_none(), "lane 3 divisor is zero");
+        let c = LogWeightxN::splat(LogF64.from_weight(&weight_ratio(-2, 3)));
+        assert_lanes(
+            LogF64xN.try_div(&a, &c).unwrap(),
+            &|i| LogF64.try_div(&sa[i], &c.lane(i)).unwrap(),
+            "div",
+        );
+    }
+
+    #[test]
+    fn lane_algebra_zero_and_pruning_contract() {
+        assert!(LogF64xN.is_zero(&LogF64xN.zero()));
+        assert!(!LogF64xN.is_zero(&LogF64xN.one()));
+        // A partially-zero element must NOT count as zero: pruning it would
+        // drop live lanes.
+        let mut lanes = [LogWeight::zero(); LOG_LANES];
+        lanes[LOG_LANES - 1] = LogWeight::one();
+        let partial = LogWeightxN::from_lanes(lanes);
+        assert!(!LogF64xN.is_zero(&partial));
+        // Zero lanes stay canonical through mul and pow (absorbing), and are
+        // exact identities under add.
+        let product = LogF64xN.mul(&partial, &LogF64xN.from_weight(&weight_int(-7)));
+        for i in 0..LOG_LANES - 1 {
+            assert_eq!(product.lane(i), LogWeight::zero(), "lane {i}");
+        }
+        let total = LogF64xN.add(&partial, &LogF64xN.from_weight(&weight_int(2)));
+        for i in 0..LOG_LANES - 1 {
+            assert_eq!(
+                total.lane(i).ln_abs().to_bits(),
+                LogF64.from_weight(&weight_int(2)).ln_abs().to_bits(),
+                "lane {i}"
+            );
+        }
+        assert!(!LogF64xN.growing_elements());
+    }
+
+    #[test]
+    fn pack_weights_matches_scalar_lift_per_lane() {
+        let points = [
+            Weights::from_ints([("R", 2, 1), ("S", 1, 3)]),
+            Weights::from_ints([("R", 0, 1), ("T", -1, 2)]),
+            Weights::ones(),
+        ];
+        let refs: Vec<&Weights> = points.iter().collect();
+        let packed = LogF64xN::pack_weights(&refs);
+        for (i, point) in points.iter().enumerate() {
+            let scalar = AlgebraWeights::lift(&LogF64, point);
+            for name in ["R", "S", "T", "Unset"] {
+                let (pos, neg) = packed.pair(&LogF64xN, name);
+                let (spos, sneg) = scalar.pair(&LogF64, name);
+                for (lane, want) in [(pos.lane(i), spos), (neg.lane(i), sneg)] {
+                    assert_eq!(lane.signum(), want.signum(), "{name} lane {i}");
+                    assert_eq!(
+                        lane.ln_abs().to_bits(),
+                        want.ln_abs().to_bits(),
+                        "{name} lane {i}"
+                    );
+                }
+            }
+        }
+        // Ragged tails repeat the last point.
+        let last = AlgebraWeights::lift(&LogF64, &points[2]);
+        let (pos, _) = packed.pair(&LogF64xN, "R");
+        for i in points.len()..LOG_LANES {
+            assert_eq!(
+                pos.lane(i).ln_abs().to_bits(),
+                last.pair(&LogF64, "R").0.ln_abs().to_bits(),
+                "tail lane {i}"
+            );
+        }
     }
 
     #[test]

@@ -412,6 +412,10 @@ pub mod metrics {
             pub CELLSUM_SUMMED => "fo2.cellsum.compositions_summed";
             pub CELLSUM_PRUNED => "fo2.cellsum.compositions_pruned";
             pub BALANCED_SUM_MERGES => "fo2.cellsum.balanced_sum_merges";
+            // Work-stealing fan-outs and lane-batched evaluation.
+            pub CELLSUM_STEALS => "cellsum.steals";
+            pub CELLSUM_LANE_BATCHES => "cellsum.lane_batches";
+            pub BATCH_LANE_POINTS => "batch.lane_points";
             // FO² weight-binding LRU.
             pub FO2_BIND_HITS => "fo2.bind.hits";
             pub FO2_BIND_MISSES => "fo2.bind.misses";

@@ -566,25 +566,62 @@ fn handle_batch(ctx: &ServerCtx, id: &str, body: &[u8]) -> Result<(u16, String),
     // One shared limits pool for the whole batch: a deadline or work cap in
     // the body bounds the batch as a unit, exactly like the library API.
     let limits = limits_from_json(&body)?;
-    let results =
-        registered
-            .plan
-            .count_batch_with_limits(&points, &limits, Some(ctx.cancel.clone()));
-
     let mut arr = JsonArray::new();
-    for ((n, _), result) in points.iter().zip(&results) {
-        let mut entry = JsonObject::new();
-        entry.field_u64("n", *n as u64);
-        match result {
-            Ok(report) => {
-                entry.field_str("value", &report.value.to_string());
-                entry.field_raw("report", &report.to_json());
-            }
-            Err(e) => {
-                entry.field_raw("error", &ApiError::from_solve(e).to_error_object());
+    match body.get("algebra").and_then(Value::as_str) {
+        None | Some("exact") => {
+            let results =
+                registered
+                    .plan
+                    .count_batch_with_limits(&points, &limits, Some(ctx.cancel.clone()));
+            for ((n, _), result) in points.iter().zip(&results) {
+                let mut entry = JsonObject::new();
+                entry.field_u64("n", *n as u64);
+                match result {
+                    Ok(report) => {
+                        entry.field_str("value", &report.value.to_string());
+                        entry.field_raw("report", &report.to_json());
+                    }
+                    Err(e) => {
+                        entry.field_raw("error", &ApiError::from_solve(e).to_error_object());
+                    }
+                }
+                arr.push_raw(&entry.finish());
             }
         }
-        arr.push_raw(&entry.finish());
+        // Opt-in lane mode: same-`n` weight sweeps run one DFS per eight
+        // points through the `LogF64xN` algebra, returning sign/ln pairs
+        // instead of exact rationals.
+        Some("log") => {
+            let results = registered.plan.count_batch_log_with_limits(
+                &points,
+                &limits,
+                Some(ctx.cancel.clone()),
+            );
+            for ((n, _), result) in points.iter().zip(&results) {
+                let mut entry = JsonObject::new();
+                entry.field_u64("n", *n as u64);
+                match result {
+                    Ok(value) => {
+                        entry.field_raw("sign", &i64::from(value.signum()).to_string());
+                        if value.signum() == 0 {
+                            // ln(|0|) is -inf, which JSON cannot carry.
+                            entry.field_null("ln");
+                        } else {
+                            entry.field_raw("ln", &format!("{:?}", value.ln_abs()));
+                        }
+                    }
+                    Err(e) => {
+                        entry.field_raw("error", &ApiError::from_solve(e).to_error_object());
+                    }
+                }
+                arr.push_raw(&entry.finish());
+            }
+        }
+        Some(other) => {
+            return Err(ApiError::bad_request(format!(
+                "`algebra` must be \"exact\" or \"log\", got \"{other}\""
+            )));
+        }
     }
     let mut obj = JsonObject::new();
     obj.field_str("schema", SCHEMA);

@@ -207,6 +207,65 @@ fn batch_shares_one_budget_and_reports_per_point() {
 }
 
 #[test]
+fn batch_log_algebra_matches_library_lanes_bitwise() {
+    let (handle, addr, daemon) = boot(None);
+    let id = register(addr, SENTENCE);
+
+    // Same-`n` sweep: the server routes this through the lane-batched
+    // `LogF64xN` path. The wire sign/ln pairs must round-trip bit-identical
+    // to the library's own lane evaluation.
+    let points: Vec<(usize, wfomc_logic::weights::Weights)> = (0..3)
+        .map(|_| (6usize, wfomc_logic::weights::Weights::ones()))
+        .collect();
+    let expected: Vec<_> = Problem::new(parse(SENTENCE).unwrap())
+        .plan()
+        .unwrap()
+        .count_batch_log(&points)
+        .into_iter()
+        .map(|r| r.expect("library lane count"))
+        .collect();
+
+    let reply = client::post(
+        addr,
+        &format!("/v1/plans/{id}/batch"),
+        r#"{"algebra": "log", "points": [{"n": 6}, {"n": 6}, {"n": 6}]}"#,
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let body = json_of(&reply);
+    let results = body.get("results").and_then(Value::as_arr).unwrap();
+    assert_eq!(results.len(), 3);
+    for (result, want) in results.iter().zip(&expected) {
+        assert_eq!(result.get("n").and_then(Value::as_u64), Some(6));
+        assert_eq!(
+            result.get("sign").and_then(Value::as_i64),
+            Some(i64::from(want.signum()))
+        );
+        let ln = result
+            .get("ln")
+            .and_then(Value::as_f64)
+            .expect("ln is a number for a nonzero count");
+        assert_eq!(
+            ln.to_bits(),
+            want.ln_abs().to_bits(),
+            "served ln must round-trip bit-identical"
+        );
+    }
+
+    // An unknown algebra is rejected up front, not silently exact.
+    let reply = client::post(
+        addr,
+        &format!("/v1/plans/{id}/batch"),
+        r#"{"algebra": "decimal", "points": [{"n": 2}]}"#,
+    )
+    .unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.body);
+
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
 fn registry_log_survives_restart_and_truncates_corrupt_tail() {
     let path = temp_registry("restart");
 

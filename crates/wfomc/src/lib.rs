@@ -95,7 +95,8 @@ pub mod prelude {
     pub use wfomc_ground::{brute_force_fomc, brute_force_wfomc, CompiledWfomc, GroundSolver};
     pub use wfomc_hypergraph::{AcyclicityClass, Hypergraph};
     pub use wfomc_logic::algebra::{
-        Algebra, AlgebraWeights, ElemWeights, Exact, LogF64, LogWeight, Poly, VarPairs,
+        Algebra, AlgebraWeights, ElemWeights, Exact, LogF64, LogF64xN, LogWeight, LogWeightxN,
+        Poly, VarPairs, LOG_LANES,
     };
     pub use wfomc_logic::builders::*;
     pub use wfomc_logic::catalog;

@@ -1,0 +1,265 @@
+//! A minimal work-stealing chunked deque for scoped-thread fan-outs.
+//!
+//! The build environment has no registry access, so this is a std-only
+//! stand-in for the usual `crossbeam-deque` shape, scoped to what the WFOMC
+//! engines need: a fixed set of workers draining a finite set of tasks whose
+//! costs vary wildly (DFS subtrees, Shannon branches). Each worker owns a
+//! [`Mutex`]-protected queue plus a lock-free local chunk buffer; when both
+//! run dry it steals *half* of a victim's queue in one lock acquisition, so
+//! imbalance halves per steal and lock traffic stays O(steals), not O(tasks).
+//!
+//! No `unsafe`, no spinning: an empty pool means the work is genuinely done
+//! (workers never block waiting for more), which matches the seed-then-drain
+//! usage of the cell-sum and prepare fan-outs. [`Pool::steals`] exposes a
+//! lifetime steal counter for observability.
+//!
+//! ```
+//! use stealer::Pool;
+//!
+//! let pool = Pool::new(2);
+//! pool.seed(0..100u32);
+//! let total: u32 = std::thread::scope(|scope| {
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|t| {
+//!             let mut worker = pool.worker(t);
+//!             scope.spawn(move || {
+//!                 let mut sum = 0;
+//!                 while let Some(item) = worker.pop() {
+//!                     sum += item;
+//!                 }
+//!                 sum
+//!             })
+//!         })
+//!         .collect();
+//!     handles.into_iter().map(|h| h.join().unwrap()).sum()
+//! });
+//! assert_eq!(total, (0..100).sum());
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How many tasks a worker moves from its shared queue into its private
+/// buffer per lock acquisition. Small enough that most of a queue stays
+/// visible to thieves, large enough to amortize the lock.
+const CHUNK: usize = 4;
+
+/// A fixed-width pool of work-stealing queues. Seed it with tasks, hand one
+/// [`Worker`] to each thread, and drain with [`Worker::pop`] until `None`.
+#[derive(Debug)]
+pub struct Pool<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+    steals: AtomicU64,
+}
+
+impl<T> Pool<T> {
+    /// Creates a pool with `workers` queues (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Pool {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of worker queues.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Distributes `items` round-robin across the worker queues. May be
+    /// called repeatedly; new items land behind existing ones.
+    pub fn seed<I: IntoIterator<Item = T>>(&self, items: I) {
+        for (i, item) in items.into_iter().enumerate() {
+            self.queues[i % self.queues.len()]
+                .lock()
+                .expect("stealer queue poisoned")
+                .push_back(item);
+        }
+    }
+
+    /// The worker handle for queue `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= self.workers()`.
+    pub fn worker(&self, index: usize) -> Worker<'_, T> {
+        assert!(index < self.queues.len(), "worker index out of range");
+        Worker {
+            pool: self,
+            index,
+            local: VecDeque::new(),
+        }
+    }
+
+    /// Lifetime count of successful steals (one per victim-queue transfer,
+    /// regardless of how many tasks moved).
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+/// One thread's handle into a [`Pool`]: a private chunk buffer plus the
+/// stealing protocol. Not `Sync` — each worker belongs to exactly one thread.
+#[derive(Debug)]
+pub struct Worker<'a, T> {
+    pool: &'a Pool<T>,
+    index: usize,
+    local: VecDeque<T>,
+}
+
+impl<T> Worker<'_, T> {
+    /// This worker's queue index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Pushes a task produced mid-drain. It lands on the worker's *shared*
+    /// queue, so idle workers can steal it immediately.
+    pub fn push(&mut self, item: T) {
+        self.pool.queues[self.index]
+            .lock()
+            .expect("stealer queue poisoned")
+            .push_back(item);
+    }
+
+    /// The next task: from the private buffer, then a chunk from the
+    /// worker's own queue, then half of the first non-empty victim queue.
+    /// `None` means every queue in the pool was empty at scan time — with
+    /// seed-then-drain usage, that the work is done.
+    pub fn pop(&mut self) -> Option<T> {
+        loop {
+            if let Some(item) = self.local.pop_front() {
+                return Some(item);
+            }
+            if self.refill_from_own() {
+                continue;
+            }
+            if self.steal() {
+                continue;
+            }
+            return None;
+        }
+    }
+
+    /// Moves up to [`CHUNK`] tasks from the shared queue into the private
+    /// buffer. Returns whether anything moved.
+    fn refill_from_own(&mut self) -> bool {
+        let mut queue = self.pool.queues[self.index]
+            .lock()
+            .expect("stealer queue poisoned");
+        let take = queue.len().min(CHUNK);
+        self.local.extend(queue.drain(..take));
+        take > 0
+    }
+
+    /// Scans the other queues from `index + 1` and takes half (rounding up)
+    /// of the first non-empty one. Returns whether anything was stolen.
+    fn steal(&mut self) -> bool {
+        let workers = self.pool.queues.len();
+        for offset in 1..workers {
+            let victim = (self.index + offset) % workers;
+            let mut queue = self.pool.queues[victim]
+                .lock()
+                .expect("stealer queue poisoned");
+            let len = queue.len();
+            if len == 0 {
+                continue;
+            }
+            let take = len.div_ceil(2);
+            self.local.extend(queue.drain(..take));
+            drop(queue);
+            self.pool.steals.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn drains_every_item_exactly_once() {
+        let pool = Pool::new(3);
+        pool.seed(0..1000u32);
+        let seen = StdMutex::new(BTreeSet::new());
+        std::thread::scope(|scope| {
+            for t in 0..3 {
+                let mut worker = pool.worker(t);
+                let seen = &seen;
+                scope.spawn(move || {
+                    while let Some(item) = worker.pop() {
+                        assert!(seen.lock().unwrap().insert(item), "duplicate {item}");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.into_inner().unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn imbalanced_seed_is_stolen() {
+        // Everything lands on queue 0; worker 1 must steal to see any work.
+        let pool = Pool::new(2);
+        pool.queues[0].lock().unwrap().extend(0..64u32);
+        let mut worker = pool.worker(1);
+        let mut got = 0;
+        while worker.pop().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 64);
+        assert!(pool.steals() > 0, "draining a victim queue counts steals");
+    }
+
+    #[test]
+    fn empty_pool_pops_none() {
+        let pool: Pool<u8> = Pool::new(2);
+        assert!(pool.worker(0).pop().is_none());
+        assert_eq!(pool.steals(), 0);
+    }
+
+    #[test]
+    fn pushed_items_are_drained_and_stealable() {
+        let pool = Pool::new(2);
+        let mut producer = pool.worker(0);
+        for i in 0..10u32 {
+            producer.push(i);
+        }
+        // A different worker can steal the pushed tasks.
+        let mut thief = pool.worker(1);
+        let mut got = Vec::new();
+        while let Some(item) = thief.pop() {
+            got.push(item);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seed_round_robins_across_queues() {
+        let pool = Pool::new(4);
+        pool.seed(0..8u32);
+        for q in &pool.queues {
+            assert_eq!(q.lock().unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn single_worker_pool_still_works() {
+        let pool = Pool::new(1);
+        pool.seed(0..9u32);
+        let mut worker = pool.worker(0);
+        let mut sum = 0;
+        while let Some(item) = worker.pop() {
+            sum += item;
+        }
+        assert_eq!(sum, 36);
+        assert_eq!(pool.steals(), 0);
+    }
+}
