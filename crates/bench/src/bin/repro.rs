@@ -967,6 +967,90 @@ fn perf_gate() {
         ));
     }
 
+    // Warm-restart gate: booting a 20-plan registry from its wfomc-snap/v1
+    // snapshots must be at least SNAP_GATE_FACTOR (default 10, the
+    // warm-restart PR's acceptance bar) faster than replanning the same
+    // registry from its JSONL log, plus SNAP_GATE_SLACK_MS of absolute
+    // headroom. The warm boot is additionally held against the committed
+    // BENCH_snap.json baseline under the standard factor/slack. The cold
+    // boot is timed once (its cost already averages over 20 replans); the
+    // warm boot is best of 3.
+    let snap_factor: f64 = env::var("SNAP_GATE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let snap_slack_ms: f64 = env::var("SNAP_GATE_SLACK_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+    let snap_plans = 20usize;
+    let snap_dir = std::env::temp_dir().join(format!("wfomc-repro-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let snap_registry = snap_dir.join("registry.jsonl");
+    {
+        // The snap_time workload: distinct FO² sentences whose pair tables
+        // enumerate 2^4 binary interpretations per cell pair when planned.
+        let mut log = wfomc_serve::RegistryLog::new(&snap_registry);
+        for k in 0..snap_plans {
+            log.append(
+                &format!(
+                    "forall x. forall y. (A{k}(x) & E{k}(x,y)) | (B{k}(y) & F{k}(x,y)) \
+                     | (C{k}(x) & G{k}(x,y)) | (A{k}(y) & H{k}(x,y))"
+                ),
+                &Weights::ones(),
+            )
+            .expect("snap gate: append registry log");
+        }
+    }
+    let snap_config = wfomc_serve::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        capacity: 256,
+        registry_path: Some(snap_registry.clone()),
+    };
+    let snap_bind = || {
+        let server = wfomc_serve::Server::bind(&snap_config).expect("snap gate binds loopback");
+        assert_eq!(
+            server.handle().plans(),
+            snap_plans,
+            "snap gate: boot replayed the whole log"
+        );
+    };
+    let snap_cold_ms = time_ms(snap_bind); // no snapshots yet: replans + writes
+    let snap_warm_ms = (0..3)
+        .map(|_| time_ms(snap_bind))
+        .fold(f64::INFINITY, f64::min);
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let snap_baseline = {
+        let path = format!("{manifest_dir}/../../BENCH_snap.json");
+        let content = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline BENCH_snap.json: {e}"));
+        json_number_after(
+            &content,
+            &["\"workload\": \"snap/registry-20\""],
+            "warm_boot_ms",
+        )
+        .expect("BENCH_snap.json has the registry-20 warm_boot_ms baseline")
+    };
+    let snap_allowed =
+        (snap_cold_ms / snap_factor + snap_slack_ms).min(snap_baseline * factor + slack_ms);
+    let ok = snap_warm_ms <= snap_allowed;
+    failed |= !ok;
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>12}  status",
+        "snap gate (registry-20)", "cold ms", "warm ms", "allowed ms"
+    );
+    println!(
+        "{:<28} {snap_cold_ms:>12.2} {snap_warm_ms:>12.2} {snap_allowed:>12.2}  {}",
+        "snap/warm-boot-speedup",
+        if ok { "ok" } else { "SLOW" }
+    );
+    rows.push(format!(
+        "  {{\"workload\": \"snap/warm-boot-speedup\", \"cold_boot_ms\": {snap_cold_ms:.2}, \
+         \"warm_boot_ms\": {snap_warm_ms:.2}, \"baseline_warm_ms\": {snap_baseline:.2}, \
+         \"allowed_ms\": {snap_allowed:.2}, \"ok\": {ok}}}"
+    ));
+
     let json = format!("[\n{}\n]\n", rows.join(",\n"));
     let _ = std::fs::create_dir_all("target");
     if let Err(e) = std::fs::write("target/perf-gate.json", &json) {
@@ -983,11 +1067,13 @@ fn perf_gate() {
              a plan-reuse cache hit rate fell below {:.0}%, \
              the budget-off governed path exceeded {guard_factor}× the ungoverned time, \
              the serve path exceeded {serve_factor}× the bare count loop, the lane batch \
-             fell below 3× the committed per-point baseline, or the parallel cell split \
-             stopped scaling. If the regression is expected (e.g. a slower but more capable \
+             fell below 3× the committed per-point baseline, the parallel cell split \
+             stopped scaling, or the snapshot-warm boot fell below {snap_factor}× the \
+             cold replan. If the regression is expected (e.g. a slower but more capable \
              path), update the BENCH_*.json baselines in the same change; for a noisy \
              runner, raise PERF_GATE_FACTOR / PERF_GATE_SLACK_MS / GUARD_GATE_SLACK_MS / \
-             SERVE_GATE_SLACK_MS / SCALE_GATE_SLACK_MS or set PERF_GATE_SKIP=1.",
+             SERVE_GATE_SLACK_MS / SCALE_GATE_SLACK_MS / SNAP_GATE_SLACK_MS or set \
+             PERF_GATE_SKIP=1.",
             min_rate * 100.0
         );
         std::process::exit(1);

@@ -1,0 +1,123 @@
+//! Cold-start versus warm-start boot of the query service: how much of a
+//! registry boot do `wfomc-snap/v1` snapshots actually save? Builds a
+//! JSONL registry log of `plans` distinct FO² sentences, then times
+//! `Server::bind` twice against the same log — once with no snapshot
+//! directory (every record replans, and writes its snapshot as a side
+//! effect: the true cold-boot cost), once with the snapshots in place
+//! (every record is a single read plus a validated decode). Both servers
+//! are briefly run to assert a served count is bit-identical across the
+//! two boots before any timing is reported. Prints one JSON object for
+//! `BENCH_snap.json`. Run with
+//! `cargo run --release -p wfomc-bench --bin snap_time [-- quick]`.
+
+use std::env;
+use std::time::Instant;
+
+use wfomc::logic::weights::Weights;
+use wfomc_serve::client;
+use wfomc_serve::http::{Server, ServerConfig};
+use wfomc_serve::{PlanRegistry, RegistryLog};
+
+/// Domain size of the bit-identity probe count (small on purpose: the
+/// probe checks equality across boots, the timing section is the boots).
+const N: usize = 3;
+
+/// Distinct FO² sentences (three unary + three binary predicates each) so
+/// every registry entry carries a real preparation cost: normal form,
+/// Shannon branch matrices, cell space, and pair tables that enumerate
+/// every binary interpretation per cell pair — the work a snapshot decode
+/// skips by reading the finished tables back.
+fn sentences(plans: usize) -> Vec<String> {
+    (0..plans)
+        .map(|k| {
+            format!(
+                "forall x. forall y. \
+                 (A{k}(x) & E{k}(x,y)) | (B{k}(y) & F{k}(x,y)) | (C{k}(x) & G{k}(x,y)) | (A{k}(y) & H{k}(x,y))"
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = env::args().nth(1).as_deref() == Some("quick");
+    let plans = if quick { 8 } else { 20 };
+    let sentences = sentences(plans);
+
+    let dir = std::env::temp_dir().join(format!("wfomc-snap-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let registry_path = dir.join("registry.jsonl");
+    let mut log = RegistryLog::new(&registry_path);
+    for s in &sentences {
+        log.append(s, &Weights::ones())
+            .expect("append registry log");
+    }
+    drop(log);
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        capacity: 256,
+        registry_path: Some(registry_path.clone()),
+    };
+    let probe = {
+        let canonical = PlanRegistry::canonicalize(&sentences[0]).expect("sentence parses");
+        PlanRegistry::format_id(PlanRegistry::hash_sentence(&canonical))
+    };
+
+    // Cold boot: replay replans every record from the log.
+    let start = Instant::now();
+    let server = Server::bind(&config).expect("cold bind");
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(server.handle().plans(), plans, "cold boot replayed the log");
+    let cold_value = serve_one_count(server, &probe);
+
+    // Warm boot: replay loads every record from its snapshot.
+    let start = Instant::now();
+    let server = Server::bind(&config).expect("warm bind");
+    let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(server.handle().plans(), plans, "warm boot replayed the log");
+    let warm_value = serve_one_count(server, &probe);
+    assert_eq!(
+        cold_value, warm_value,
+        "snapshot-warm boot must serve bit-identical counts"
+    );
+
+    println!(
+        "{{\"workload\": \"snap/registry-{plans}\", \"plans\": {plans}, \
+         \"cold_boot_ms\": {cold_ms:.2}, \"warm_boot_ms\": {warm_ms:.2}, \
+         \"per_plan_cold_ms\": {:.3}, \"per_plan_warm_ms\": {:.3}, \
+         \"speedup\": {:.1}}}",
+        cold_ms / plans as f64,
+        warm_ms / plans as f64,
+        cold_ms / warm_ms
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Runs a bound server just long enough to serve one count for `id`,
+/// then drains it and returns the value.
+fn serve_one_count(server: Server, id: &str) -> String {
+    let handle = server.handle();
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+    let reply = client::post(
+        addr,
+        &format!("/v1/plans/{id}/count"),
+        &format!("{{\"n\": {N}}}"),
+    )
+    .expect("count request");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    // Extract `"value"` textually: the embedded report can carry saturated
+    // u64 counters (compositions_total on wide cell spaces) that the
+    // i64-only client JSON parser rejects.
+    let value = reply
+        .body
+        .split("\"value\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("count returns a value")
+        .to_string();
+    handle.shutdown();
+    daemon.join().expect("daemon thread").expect("clean drain");
+    value
+}

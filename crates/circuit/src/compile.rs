@@ -58,6 +58,35 @@ pub struct CompiledCnf {
 }
 
 impl CompiledCnf {
+    /// Reassembles a compiled circuit from decoded parts, validating that
+    /// the root id lies inside the arena and that no node mentions a
+    /// variable outside the smoothed universe. Returns `None` on violation —
+    /// the snapshot decoder's last line of defense before evaluation.
+    pub fn from_parts(
+        circuit: Circuit,
+        root: NodeId,
+        num_vars: usize,
+        stats: CompileStats,
+    ) -> Option<CompiledCnf> {
+        if root.index() >= circuit.len() {
+            return None;
+        }
+        let in_universe = circuit.nodes().iter().all(|node| match node {
+            crate::ir::Node::Lit(lit) => lit.var < num_vars,
+            crate::ir::Node::Decision { var, .. } => *var < num_vars,
+            _ => true,
+        });
+        if !in_universe {
+            return None;
+        }
+        Some(CompiledCnf {
+            circuit,
+            root,
+            num_vars,
+            stats,
+        })
+    }
+
     /// Weighted model count over the circuit's `num_vars`-variable universe
     /// under the given weights. Linear in circuit size; callable any number
     /// of times with different weight vectors.

@@ -277,6 +277,37 @@ impl Circuit {
         (out, remap[root.index()])
     }
 
+    /// Rebuilds a circuit from a decoded arena, re-validating the invariants
+    /// the `mk_*` constructors normally guarantee: the two constants occupy
+    /// slots 0 and 1, every child id points at an earlier slot (topological
+    /// order), and no node is stored twice (structural hashing). Returns
+    /// `None` on any violation — used by the snapshot decoder, which must
+    /// reject corrupt arenas rather than evaluate them.
+    pub fn from_nodes(nodes: Vec<Node>) -> Option<Circuit> {
+        if nodes.len() < 2 || nodes[0] != Node::False || nodes[1] != Node::True {
+            return None;
+        }
+        let mut dedup = HashMap::with_capacity(nodes.len());
+        for (index, node) in nodes.iter().enumerate() {
+            let in_range = |child: NodeId| child.index() < index;
+            let ok = match node {
+                Node::False => index == 0,
+                Node::True => index == 1,
+                Node::Lit(_) => true,
+                Node::And(children) => children.len() >= 2 && children.iter().all(|&c| in_range(c)),
+                Node::Decision { hi, lo, .. } => in_range(*hi) && in_range(*lo),
+            };
+            if !ok {
+                return None;
+            }
+            let id = NodeId(u32::try_from(index).ok()?);
+            if dedup.insert(node.clone(), id).is_some() {
+                return None;
+            }
+        }
+        Some(Circuit { nodes, dedup })
+    }
+
     /// The set of nodes reachable from `root`, as a boolean mask in arena
     /// order.
     pub fn reachable(&self, root: NodeId) -> Vec<bool> {
@@ -436,6 +467,34 @@ mod tests {
             Node::Decision { var, .. } => assert_eq!(*var, 2),
             other => panic!("expected decision root, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn from_nodes_round_trips_and_rejects_corruption() {
+        let mut c = Circuit::new();
+        let x = c.mk_lit(CLit::pos(0));
+        let y = c.mk_lit(CLit::neg(1));
+        let a = c.mk_and([x, y]);
+        let d = c.mk_decision(2, a, x);
+
+        // A faithful copy round-trips and keeps structural hashing alive.
+        let mut rebuilt = Circuit::from_nodes(c.nodes().to_vec()).expect("valid arena");
+        assert_eq!(rebuilt.nodes(), c.nodes());
+        assert_eq!(rebuilt.mk_decision(2, a, x), d, "dedup map must be rebuilt");
+
+        // Missing constants.
+        assert!(Circuit::from_nodes(vec![]).is_none());
+        assert!(Circuit::from_nodes(vec![Node::True, Node::False]).is_none());
+
+        // Forward reference breaks topological order.
+        let mut bad = c.nodes().to_vec();
+        bad[a.index()] = Node::And(vec![x, NodeId(99)].into_boxed_slice());
+        assert!(Circuit::from_nodes(bad).is_none());
+
+        // Duplicate structural node breaks hashing.
+        let mut dup = c.nodes().to_vec();
+        dup.push(Node::Lit(CLit::pos(0)));
+        assert!(Circuit::from_nodes(dup).is_none());
     }
 
     #[test]

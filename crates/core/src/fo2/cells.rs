@@ -82,7 +82,7 @@ pub struct PairStructure {
 
 /// The satisfying cross assignments of one cell pair, grouped by signature:
 /// `(per-predicate true-counts, multiplicity)` in increasing signature order.
-type SignatureMultiset = Vec<(Vec<u8>, u64)>;
+pub(crate) type SignatureMultiset = Vec<(Vec<u8>, u64)>;
 
 impl PairStructure {
     /// Total number of satisfying cross assignments over all cell pairs.
@@ -137,6 +137,23 @@ impl PairStructure {
             sat.push(row);
         }
         PairStructure { sat }
+    }
+
+    /// The triangular signature table, row-major, for the snapshot codec.
+    pub(crate) fn sat_rows(&self) -> &[Vec<SignatureMultiset>] {
+        &self.sat
+    }
+
+    /// Rebuilds a structure from decoded rows, validating the triangular
+    /// layout (`sat[i].len() == k − i`). Returns `None` on violation.
+    pub(crate) fn from_rows(sat: Vec<Vec<SignatureMultiset>>) -> Option<PairStructure> {
+        let k = sat.len();
+        for (i, row) in sat.iter().enumerate() {
+            if row.len() != k - i {
+                return None;
+            }
+        }
+        Some(PairStructure { sat })
     }
 }
 

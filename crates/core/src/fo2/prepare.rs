@@ -24,6 +24,7 @@ use wfomc_ground::evaluate::evaluate;
 use wfomc_ground::structure::Structure;
 use wfomc_guard::{Guard, Interrupt};
 use wfomc_logic::algebra::{Algebra, AlgebraWeights, Exact};
+use wfomc_logic::snap;
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::vocabulary::{Predicate, Vocabulary};
 use wfomc_logic::weights::{Weight, Weights};
@@ -561,6 +562,173 @@ impl Fo2Prepared {
     }
 }
 
+// ---- Snapshot codec (wfomc-snap/v1) ---------------------------------------
+//
+// Everything prepare computes is serialized verbatim — normal-form cell
+// space, introduced predicates with their fixed weights, Shannon branches
+// with valid-cell shapes and pair-structure signature multisets (in their
+// structural-zero-sorted order, so decode skips the reordering pass too).
+// The binding LRU is deliberately *not* persisted: bindings are cheap,
+// weight-dependent, and the cache starts cold like a fresh prepare.
+
+fn snap_encode_cell(enc: &mut snap::Enc, cell: &Cell) {
+    enc.usize(cell.unary.len());
+    for &b in &cell.unary {
+        enc.bool(b);
+    }
+    enc.usize(cell.reflexive.len());
+    for &b in &cell.reflexive {
+        enc.bool(b);
+    }
+    snap::encode_weight(enc, &cell.weight);
+}
+
+fn snap_decode_cell(dec: &mut snap::Dec<'_>) -> snap::SnapResult<Cell> {
+    let n = dec.len()?;
+    let mut unary = Vec::with_capacity(n);
+    for _ in 0..n {
+        unary.push(dec.bool()?);
+    }
+    let n = dec.len()?;
+    let mut reflexive = Vec::with_capacity(n);
+    for _ in 0..n {
+        reflexive.push(dec.bool()?);
+    }
+    let weight = snap::decode_weight(dec)?;
+    Ok(Cell {
+        unary,
+        reflexive,
+        weight,
+    })
+}
+
+fn snap_encode_predicates(enc: &mut snap::Enc, predicates: &[Predicate]) {
+    enc.usize(predicates.len());
+    for p in predicates {
+        snap::encode_predicate(enc, p);
+    }
+}
+
+fn snap_decode_predicates(dec: &mut snap::Dec<'_>) -> snap::SnapResult<Vec<Predicate>> {
+    let n = dec.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(snap::decode_predicate(dec)?);
+    }
+    Ok(out)
+}
+
+fn snap_encode_pairs(enc: &mut snap::Enc, pairs: &PairStructure) {
+    let rows = pairs.sat_rows();
+    enc.usize(rows.len());
+    for row in rows {
+        enc.usize(row.len());
+        for multiset in row {
+            enc.usize(multiset.len());
+            for (signature, count) in multiset {
+                enc.bytes(signature);
+                enc.u64(*count);
+            }
+        }
+    }
+}
+
+fn snap_decode_pairs(dec: &mut snap::Dec<'_>) -> snap::SnapResult<PairStructure> {
+    let k = dec.len()?;
+    let mut rows = Vec::with_capacity(k);
+    for _ in 0..k {
+        let len = dec.len()?;
+        let mut row = Vec::with_capacity(len);
+        for _ in 0..len {
+            let sigs = dec.len()?;
+            let mut multiset = Vec::with_capacity(sigs);
+            for _ in 0..sigs {
+                let signature = dec.bytes()?.to_vec();
+                let count = dec.u64()?;
+                multiset.push((signature, count));
+            }
+            row.push(multiset);
+        }
+        rows.push(row);
+    }
+    PairStructure::from_rows(rows)
+        .ok_or_else(|| snap::SnapError::new("pair structure is not triangular"))
+}
+
+impl Fo2Prepared {
+    /// Serializes the full prepared state into the encoder.
+    pub(crate) fn snap_encode(&self, enc: &mut snap::Enc) {
+        snap::encode_formula(enc, &self.sentence);
+        snap_encode_predicates(enc, &self.space.unary);
+        snap_encode_predicates(enc, &self.space.binary);
+        snap_encode_predicates(enc, &self.nullary);
+        snap_encode_predicates(enc, &self.introduced);
+        snap::encode_weights(enc, &self.introduced_weights);
+        snap_encode_predicates(enc, &self.leftover);
+        enc.usize(self.branches.len());
+        for branch in &self.branches {
+            enc.u64(branch.mask);
+            enc.usize(branch.shapes.len());
+            for shape in &branch.shapes {
+                snap_encode_cell(enc, shape);
+            }
+            snap_encode_pairs(enc, &branch.pairs);
+        }
+    }
+
+    /// Rebuilds prepared state written by [`snap_encode`](Self::snap_encode).
+    /// The binding LRU starts empty and the hit counters at zero, exactly
+    /// like a fresh [`prepare`](Self::prepare).
+    pub(crate) fn snap_decode(dec: &mut snap::Dec<'_>) -> snap::SnapResult<Fo2Prepared> {
+        let sentence = snap::decode_formula(dec)?;
+        let space = CellSpace {
+            unary: snap_decode_predicates(dec)?,
+            binary: snap_decode_predicates(dec)?,
+        };
+        let nullary = snap_decode_predicates(dec)?;
+        let introduced = snap_decode_predicates(dec)?;
+        let introduced_weights = snap::decode_weights(dec)?;
+        let leftover = snap_decode_predicates(dec)?;
+        let num_branches = dec.len()?;
+        let mut branches = Vec::with_capacity(num_branches);
+        for _ in 0..num_branches {
+            let mask = dec.u64()?;
+            let num_shapes = dec.len()?;
+            let mut shapes = Vec::with_capacity(num_shapes);
+            for _ in 0..num_shapes {
+                let shape = snap_decode_cell(dec)?;
+                if shape.unary.len() != space.unary.len()
+                    || shape.reflexive.len() != space.binary.len()
+                {
+                    return Err(snap::SnapError::new("cell shape does not match cell space"));
+                }
+                shapes.push(shape);
+            }
+            let pairs = snap_decode_pairs(dec)?;
+            if pairs.sat_rows().len() != shapes.len() {
+                return Err(snap::SnapError::new("pair structure does not match cells"));
+            }
+            branches.push(PreparedBranch {
+                mask,
+                shapes,
+                pairs,
+            });
+        }
+        Ok(Fo2Prepared {
+            sentence,
+            space,
+            nullary,
+            introduced,
+            introduced_weights,
+            leftover,
+            branches,
+            bound: Mutex::new(Vec::new()),
+            bind_hits: AtomicU64::new(0),
+            bind_misses: AtomicU64::new(0),
+        })
+    }
+}
+
 /// Evaluates the bound Shannon branches, fanning them over scoped threads
 /// when allowed and worthwhile. Results are aligned with the input order.
 fn evaluate_bound<E: Clone + Send + Sync, S: Send>(
@@ -655,6 +823,31 @@ mod tests {
                         "{sentence} vs ground at n={n}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips_prepared_state() {
+        for sentence in [
+            catalog::table1_sentence(),
+            catalog::smokers_constraint(),
+            catalog::exists_unary(),
+        ] {
+            let voc = sentence.vocabulary();
+            let prepared = Fo2Prepared::prepare(&sentence, &voc).expect("FO² applies");
+            let mut enc = snap::Enc::new();
+            prepared.snap_encode(&mut enc);
+            let bytes = enc.into_bytes();
+            let mut dec = snap::Dec::new(&bytes);
+            let decoded = Fo2Prepared::snap_decode(&mut dec).expect("round trip");
+            dec.finish().expect("payload fully consumed");
+            let weights = Weights::from_ints([("R", 2, 1), ("S", 0, -3), ("T", 1, 3)]);
+            for n in 0..=4 {
+                let (value, stats) = prepared.count(n, &weights, true);
+                let (decoded_value, decoded_stats) = decoded.count(n, &weights, true);
+                assert_eq!(value, decoded_value, "{sentence} at n={n}");
+                assert_eq!(stats, decoded_stats, "{sentence} stats at n={n}");
             }
         }
     }

@@ -45,11 +45,12 @@ use wfomc_ground::{CompiledWfomc, Lineage};
 use wfomc_guard::{CancelToken, ExecutionLimits, Guard, Interrupt};
 use wfomc_logic::algebra::{Algebra, AlgebraWeights, LogF64, LogF64xN, LogWeight, LOG_LANES};
 use wfomc_logic::cq::ConjunctiveQuery;
+use wfomc_logic::snap;
 use wfomc_logic::syntax::Formula;
 use wfomc_logic::vocabulary::{Predicate, Vocabulary};
 use wfomc_logic::weights::{weight_pow, Weight, Weights};
 use wfomc_prop::counter::{wmc_formula_via_guarded, wmc_formula_via_in};
-use wfomc_prop::WmcBackend;
+use wfomc_prop::{PropFormula, WmcBackend};
 
 use crate::cq::gamma_acyclic::{
     gamma_acyclic_probability, gamma_acyclic_wfomc_memo_guarded, CqMemo,
@@ -1465,6 +1466,443 @@ fn predicate_factor_in<A: Algebra>(
     factor
 }
 
+// ---- Snapshot codec (wfomc-snap/v1) ---------------------------------------
+//
+// A plan serializes to a flat payload covering everything `Solver::plan`
+// computes plus the mutable caches worth keeping across restarts: the FO²
+// prepared state (via `Fo2Prepared::snap_encode`), the ground lineage cache,
+// and each cached grounding's compiled d-DNNF circuit. State that is cheap
+// and deterministic to recompute — QS4 extras, the CQ query recognition, the
+// Tseitin transform — is re-derived on decode instead of persisted, which
+// keeps the format small and leaves fewer invariants to re-validate.
+
+/// Format tags for [`PlanState`], stable across releases of the format.
+const SNAP_STATE_QS4: u8 = 0;
+const SNAP_STATE_FO2: u8 = 1;
+const SNAP_STATE_CQ: u8 = 2;
+const SNAP_STATE_GROUND: u8 = 3;
+
+fn snap_backend_tag(backend: WmcBackend) -> u8 {
+    match backend {
+        WmcBackend::Enumerate => 0,
+        WmcBackend::Dpll => 1,
+        WmcBackend::Circuit => 2,
+    }
+}
+
+fn snap_backend_from(tag: u8) -> snap::SnapResult<WmcBackend> {
+    match tag {
+        0 => Ok(WmcBackend::Enumerate),
+        1 => Ok(WmcBackend::Dpll),
+        2 => Ok(WmcBackend::Circuit),
+        other => Err(snap::SnapError::new(format!("unknown backend tag {other}"))),
+    }
+}
+
+fn snap_encode_vocabulary(enc: &mut snap::Enc, vocabulary: &Vocabulary) {
+    enc.usize(vocabulary.len());
+    for p in vocabulary.iter() {
+        snap::encode_predicate(enc, p);
+    }
+}
+
+fn snap_decode_vocabulary(dec: &mut snap::Dec<'_>) -> snap::SnapResult<Vocabulary> {
+    let n = dec.len()?;
+    let mut out = Vocabulary::new();
+    for _ in 0..n {
+        let p = snap::decode_predicate(dec)?;
+        // `Vocabulary::add` panics on conflicting arities; reject the
+        // corruption gracefully instead.
+        if let Some(existing) = out.iter().find(|q| q.name() == p.name()) {
+            if existing.arity() != p.arity() {
+                return Err(snap::SnapError::new(format!(
+                    "predicate {} has conflicting arities",
+                    p.name()
+                )));
+            }
+        }
+        out.add(p);
+    }
+    Ok(out)
+}
+
+/// Encodes a propositional formula as a postfix op stream: children are
+/// emitted before their operator, so decode is a simple stack machine that
+/// rebuilds the *raw* enum variants (no smart-constructor simplification —
+/// the formula must round-trip bit-identically).
+fn snap_encode_prop(enc: &mut snap::Enc, f: &PropFormula) {
+    enc.usize(f.size());
+    let mut stack: Vec<(&PropFormula, bool)> = vec![(f, false)];
+    while let Some((node, children_done)) = stack.pop() {
+        if children_done {
+            match node {
+                PropFormula::Not(_) => enc.u8(3),
+                PropFormula::And(gs) => {
+                    enc.u8(4);
+                    enc.usize(gs.len());
+                }
+                PropFormula::Or(gs) => {
+                    enc.u8(5);
+                    enc.usize(gs.len());
+                }
+                _ => unreachable!("only connectives are re-visited"),
+            }
+            continue;
+        }
+        match node {
+            PropFormula::Top => enc.u8(0),
+            PropFormula::Bottom => enc.u8(1),
+            PropFormula::Var(v) => {
+                enc.u8(2);
+                enc.usize(*v);
+            }
+            PropFormula::Not(g) => {
+                stack.push((node, true));
+                stack.push((g, false));
+            }
+            PropFormula::And(gs) | PropFormula::Or(gs) => {
+                stack.push((node, true));
+                for g in gs.iter().rev() {
+                    stack.push((g, false));
+                }
+            }
+        }
+    }
+}
+
+fn snap_decode_prop(dec: &mut snap::Dec<'_>) -> snap::SnapResult<PropFormula> {
+    let ops = dec.len()?;
+    let mut stack: Vec<PropFormula> = Vec::new();
+    for _ in 0..ops {
+        match dec.u8()? {
+            0 => stack.push(PropFormula::Top),
+            1 => stack.push(PropFormula::Bottom),
+            2 => stack.push(PropFormula::Var(dec.usize()?)),
+            3 => {
+                let g = stack
+                    .pop()
+                    .ok_or_else(|| snap::SnapError::new("negation with empty stack"))?;
+                stack.push(PropFormula::Not(Box::new(g)));
+            }
+            tag @ (4 | 5) => {
+                let len = dec.usize()?;
+                if len > stack.len() {
+                    return Err(snap::SnapError::new("connective arity exceeds stack"));
+                }
+                let args = stack.split_off(stack.len() - len);
+                stack.push(if tag == 4 {
+                    PropFormula::And(args)
+                } else {
+                    PropFormula::Or(args)
+                });
+            }
+            other => {
+                return Err(snap::SnapError::new(format!(
+                    "unknown prop formula tag {other}"
+                )))
+            }
+        }
+    }
+    if stack.len() == 1 {
+        Ok(stack.pop().expect("checked length"))
+    } else {
+        Err(snap::SnapError::new("prop formula stack not a singleton"))
+    }
+}
+
+fn snap_encode_lineage(enc: &mut snap::Enc, lineage: &Lineage) {
+    enc.usize(lineage.domain_size);
+    enc.usize(lineage.atoms.len());
+    for atom in &lineage.atoms {
+        enc.str(&atom.predicate);
+        enc.usize(atom.tuple.len());
+        for &i in &atom.tuple {
+            enc.usize(i);
+        }
+    }
+    snap_encode_prop(enc, &lineage.prop);
+}
+
+fn snap_decode_lineage(dec: &mut snap::Dec<'_>) -> snap::SnapResult<Lineage> {
+    let domain_size = dec.usize()?;
+    let num_atoms = dec.len()?;
+    let mut atoms = Vec::with_capacity(num_atoms);
+    for _ in 0..num_atoms {
+        let predicate = dec.str()?;
+        let arity = dec.len()?;
+        let mut tuple = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            tuple.push(dec.usize()?);
+        }
+        atoms.push(wfomc_ground::GroundAtom { predicate, tuple });
+    }
+    let prop = snap_decode_prop(dec)?;
+    if prop.num_vars() > atoms.len() {
+        return Err(snap::SnapError::new(
+            "lineage formula mentions variables beyond its atoms",
+        ));
+    }
+    Ok(Lineage {
+        prop,
+        atoms,
+        domain_size,
+    })
+}
+
+fn snap_encode_compiled(enc: &mut snap::Enc, compiled: &CompiledWfomc) {
+    use wfomc_circuit::Node;
+    let inner = compiled.compiled().inner();
+    let circuit = inner.circuit();
+    enc.usize(circuit.len());
+    for node in circuit.nodes() {
+        match node {
+            Node::False => enc.u8(0),
+            Node::True => enc.u8(1),
+            Node::Lit(lit) => {
+                enc.u8(2);
+                enc.usize(lit.var);
+                enc.bool(lit.positive);
+            }
+            Node::And(children) => {
+                enc.u8(3);
+                enc.usize(children.len());
+                for child in children.iter() {
+                    enc.u32(child.0);
+                }
+            }
+            Node::Decision { var, hi, lo } => {
+                enc.u8(4);
+                enc.usize(*var);
+                enc.u32(hi.0);
+                enc.u32(lo.0);
+            }
+        }
+    }
+    enc.u32(inner.root().0);
+    enc.usize(inner.num_vars());
+    let stats = inner.stats();
+    enc.usize(stats.nodes);
+    enc.usize(stats.edges);
+    enc.usize(stats.decisions);
+    enc.usize(stats.cache_hits);
+}
+
+fn snap_decode_compiled(
+    dec: &mut snap::Dec<'_>,
+    lineage: &Lineage,
+) -> snap::SnapResult<CompiledWfomc> {
+    use wfomc_circuit::{CLit, Circuit, CompileStats, CompiledCnf, Node, NodeId};
+    let num_nodes = dec.len()?;
+    let mut nodes = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        nodes.push(match dec.u8()? {
+            0 => Node::False,
+            1 => Node::True,
+            2 => {
+                let var = dec.usize()?;
+                let positive = dec.bool()?;
+                Node::Lit(CLit { var, positive })
+            }
+            3 => {
+                let len = dec.len()?;
+                let mut children = Vec::with_capacity(len);
+                for _ in 0..len {
+                    children.push(NodeId(dec.u32()?));
+                }
+                Node::And(children.into_boxed_slice())
+            }
+            4 => {
+                let var = dec.usize()?;
+                let hi = NodeId(dec.u32()?);
+                let lo = NodeId(dec.u32()?);
+                Node::Decision { var, hi, lo }
+            }
+            other => {
+                return Err(snap::SnapError::new(format!(
+                    "unknown circuit node tag {other}"
+                )))
+            }
+        });
+    }
+    let root = NodeId(dec.u32()?);
+    let num_vars = dec.usize()?;
+    let stats = CompileStats {
+        nodes: dec.usize()?,
+        edges: dec.usize()?,
+        decisions: dec.usize()?,
+        cache_hits: dec.usize()?,
+    };
+    let circuit = Circuit::from_nodes(nodes)
+        .ok_or_else(|| snap::SnapError::new("circuit arena violates d-DNNF invariants"))?;
+    let inner = CompiledCnf::from_parts(circuit, root, num_vars, stats)
+        .ok_or_else(|| snap::SnapError::new("compiled circuit parts are inconsistent"))?;
+    CompiledWfomc::from_parts(
+        lineage.clone(),
+        wfomc_prop::counter::CompiledWmc::from_inner(inner),
+    )
+    .ok_or_else(|| snap::SnapError::new("circuit does not match its lineage"))
+}
+
+impl Plan {
+    /// Serializes the plan's full prepared state — analysis plus the ground
+    /// lineage cache and any compiled circuits — as a `wfomc-snap/v1`
+    /// payload. The inverse is [`snap_decode`](Self::snap_decode); the
+    /// weight-binding LRU and cache hit counters are not persisted (they
+    /// restart cold, like a fresh plan).
+    pub fn snap_encode(&self) -> Vec<u8> {
+        let mut enc = snap::Enc::new();
+        snap::encode_formula(&mut enc, &self.sentence);
+        snap_encode_vocabulary(&mut enc, &self.vocabulary);
+        snap::encode_weights(&mut enc, &self.default_weights);
+        enc.bool(self.solver.allow_ground_fallback);
+        enc.u8(snap_backend_tag(self.solver.ground_backend));
+        enc.bool(self.solver.use_lifted);
+        match self.solver.ground_cache_capacity {
+            Some(capacity) => {
+                enc.bool(true);
+                enc.usize(capacity);
+            }
+            None => enc.bool(false),
+        }
+        match &self.state {
+            PlanState::Qs4 { .. } => enc.u8(SNAP_STATE_QS4),
+            PlanState::Fo2(prepared) => {
+                enc.u8(SNAP_STATE_FO2);
+                prepared.snap_encode(&mut enc);
+            }
+            PlanState::Cq { .. } => enc.u8(SNAP_STATE_CQ),
+            PlanState::Ground => enc.u8(SNAP_STATE_GROUND),
+        }
+        // Ground cache entries in LRU order (oldest first), so decode can
+        // reassign fresh stamps without disturbing eviction behavior.
+        let cache = self.ground.instances.lock().expect("ground cache poisoned");
+        let mut entries: Vec<_> = cache.map.iter().collect();
+        entries.sort_by_key(|(_, (_, stamp))| *stamp);
+        enc.usize(entries.len());
+        for (&n, (instance, _)) in entries {
+            enc.usize(n);
+            snap_encode_lineage(&mut enc, &instance.lineage);
+            match instance.compiled.get() {
+                Some(compiled) => {
+                    enc.bool(true);
+                    snap_encode_compiled(&mut enc, compiled);
+                }
+                None => enc.bool(false),
+            }
+        }
+        drop(cache);
+        enc.into_bytes()
+    }
+
+    /// Rebuilds a plan from a [`snap_encode`](Self::snap_encode) payload.
+    ///
+    /// Analysis state that is deterministic given the sentence (QS4 extras,
+    /// CQ recognition, Tseitin CNFs) is recomputed; everything else is
+    /// validated structurally as it is read. Any inconsistency — truncation,
+    /// unknown tags, broken circuit invariants — yields an error, never a
+    /// panic or a wrong plan, so callers can always fall back to replanning.
+    pub fn snap_decode(bytes: &[u8]) -> Result<Plan, snap::SnapError> {
+        let mut dec = snap::Dec::new(bytes);
+        let sentence = snap::decode_formula(&mut dec)?;
+        if !sentence.is_sentence() {
+            return Err(snap::SnapError::new("payload formula is not a sentence"));
+        }
+        let vocabulary = snap_decode_vocabulary(&mut dec)?;
+        if !sentence.vocabulary().is_subvocabulary_of(&vocabulary) {
+            return Err(snap::SnapError::new(
+                "vocabulary does not cover the sentence",
+            ));
+        }
+        let default_weights = snap::decode_weights(&mut dec)?;
+        let allow_ground_fallback = dec.bool()?;
+        let ground_backend = snap_backend_from(dec.u8()?)?;
+        let use_lifted = dec.bool()?;
+        let ground_cache_capacity = if dec.bool()? {
+            Some(dec.usize()?)
+        } else {
+            None
+        };
+        let solver = Solver {
+            allow_ground_fallback,
+            ground_backend,
+            use_lifted,
+            ground_cache_capacity,
+        };
+        let state = match dec.u8()? {
+            SNAP_STATE_QS4 => {
+                if !is_qs4(&sentence) {
+                    return Err(snap::SnapError::new("sentence is not QS4"));
+                }
+                PlanState::Qs4 {
+                    extra: extra_predicates(&vocabulary, &sentence.vocabulary()),
+                }
+            }
+            SNAP_STATE_FO2 => PlanState::Fo2(Fo2Prepared::snap_decode(&mut dec)?),
+            SNAP_STATE_CQ => {
+                let query = ConjunctiveQuery::from_formula(&sentence)
+                    .ok_or_else(|| snap::SnapError::new("sentence is not a CQ"))?;
+                let extra = extra_predicates(&vocabulary, &query.vocabulary());
+                PlanState::Cq {
+                    query,
+                    extra,
+                    memo: Mutex::new(CqMemo::default()),
+                }
+            }
+            SNAP_STATE_GROUND => PlanState::Ground,
+            other => {
+                return Err(snap::SnapError::new(format!(
+                    "unknown plan state tag {other}"
+                )))
+            }
+        };
+        let num_cached = dec.len()?;
+        let mut cache = GroundCache::default();
+        for _ in 0..num_cached {
+            let n = dec.usize()?;
+            let lineage = snap_decode_lineage(&mut dec)?;
+            if lineage.domain_size != n {
+                return Err(snap::SnapError::new("cached lineage at the wrong key"));
+            }
+            let compiled = OnceLock::new();
+            if dec.bool()? {
+                let circuit = snap_decode_compiled(&mut dec, &lineage)?;
+                let _ = compiled.set(circuit);
+            }
+            cache.clock += 1;
+            let stamp = cache.clock;
+            cache
+                .map
+                .insert(n, (Arc::new(GroundInstance { lineage, compiled }), stamp));
+        }
+        dec.finish()?;
+        Ok(Plan {
+            sentence,
+            vocabulary,
+            default_weights,
+            solver,
+            state,
+            ground: GroundPrep {
+                instances: Mutex::new(cache),
+            },
+        })
+    }
+
+    /// A cheap fingerprint of the plan's mutable snapshot-relevant state:
+    /// the number of cached groundings and how many of them carry a
+    /// compiled circuit. A snapshot written at stamp `s` is *dirty* once the
+    /// live plan's stamp differs — the serve layer uses this to decide which
+    /// plans to rewrite on graceful shutdown.
+    pub fn snap_stamp(&self) -> u64 {
+        let cache = self.ground.instances.lock().expect("ground cache poisoned");
+        let compiled = cache
+            .map
+            .values()
+            .filter(|(instance, _)| instance.compiled.get().is_some())
+            .count() as u64;
+        ((cache.map.len() as u64) << 32) | compiled
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2118,8 +2556,76 @@ mod tests {
         scale
     }
 
+    #[test]
+    fn snapshot_round_trip_preserves_ground_cache_and_circuits() {
+        let mut solver = Solver::new();
+        solver.ground_backend = WmcBackend::Circuit;
+        let plan = solver.plan(&Problem::new(catalog::transitivity())).unwrap();
+        let weights = Weights::from_ints([("R", 2, 1)]);
+        // Populate the ground cache and compile a circuit per domain size.
+        for n in 0..=2 {
+            let _ = plan.count(n, &weights).unwrap();
+        }
+        let stamp = plan.snap_stamp();
+        assert_ne!(stamp, 0, "counts populated the cache");
+
+        let bytes = plan.snap_encode();
+        let decoded = Plan::snap_decode(&bytes).expect("round trip");
+        assert_eq!(decoded.method(), Method::Ground);
+        assert_eq!(
+            decoded.snap_stamp(),
+            stamp,
+            "groundings and compiled circuits survive the round trip"
+        );
+        for n in 0..=2 {
+            let fresh = decoded.count(n, &weights).unwrap();
+            assert_eq!(fresh.value, plan.count(n, &weights).unwrap().value);
+            let cache = fresh.cache.expect("plan counts report cache stats");
+            assert_eq!(cache.ground_misses, 0, "decoded cache serves n={n}");
+        }
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_corruption_gracefully() {
+        let plan = Solver::new()
+            .plan(&Problem::new(catalog::table1_sentence()))
+            .unwrap();
+        let bytes = plan.snap_encode();
+        // Truncation at every prefix length must error, never panic.
+        for cut in 0..bytes.len().min(64) {
+            assert!(Plan::snap_decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        assert!(Plan::snap_decode(&bytes[..bytes.len() - 1]).is_err());
+        // Trailing garbage is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(Plan::snap_decode(&padded).is_err());
+        // And the pristine payload still decodes.
+        assert!(Plan::snap_decode(&bytes).is_ok());
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Snapshot round-trip (encode → decode) reproduces bit-identical
+        /// counts across all four methods, under random weights including
+        /// zeros and negatives.
+        #[test]
+        fn snapshot_round_trip_is_bit_identical(seed in 0u64..5000) {
+            let solver = Solver::new();
+            let weights = seeded_weights(seed);
+            for (sentence, method, max_n) in four_methods() {
+                let plan = solver.plan(&Problem::new(sentence.clone())).unwrap();
+                let bytes = plan.snap_encode();
+                let decoded = Plan::snap_decode(&bytes).expect("round trip");
+                prop_assert_eq!(decoded.method(), method);
+                for n in 0..=max_n {
+                    let expected = plan.count(n, &weights).unwrap().value;
+                    let got = decoded.count(n, &weights).unwrap().value;
+                    prop_assert_eq!(got, expected, "{} at n={}", sentence, n);
+                }
+            }
+        }
 
         /// LogF64 evaluation of one plan matches exact evaluation within
         /// relative tolerance, for all four methods, under random weights

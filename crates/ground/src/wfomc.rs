@@ -154,6 +154,24 @@ impl CompiledWfomc {
         })
     }
 
+    /// Reassembles a compiled grounding from a decoded lineage and circuit,
+    /// skipping the expensive compilation step. The Tseitin transform is
+    /// deterministic and linear, so it is recomputed rather than persisted;
+    /// its variable universe must match the circuit's, otherwise the pair
+    /// cannot have come from [`from_lineage`](Self::from_lineage) and `None`
+    /// is returned.
+    pub fn from_parts(lineage: Lineage, compiled: CompiledWmc) -> Option<CompiledWfomc> {
+        let tseitin = to_cnf(&lineage.prop, &VarWeights::ones(lineage.num_vars()));
+        if compiled.num_vars() != tseitin.cnf.num_vars {
+            return None;
+        }
+        Some(CompiledWfomc {
+            lineage,
+            tseitin,
+            compiled,
+        })
+    }
+
     /// Symmetric WFOMC under a weight function — one circuit evaluation, no
     /// recompilation.
     pub fn wfomc(&self, weights: &Weights) -> Weight {

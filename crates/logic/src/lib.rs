@@ -42,6 +42,7 @@ pub mod cq;
 pub mod parser;
 pub mod poly;
 pub mod printer;
+pub mod snap;
 pub mod syntax;
 pub mod term;
 pub mod transform;

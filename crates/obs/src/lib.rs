@@ -452,6 +452,11 @@ pub mod metrics {
             pub SERVE_LATENCY_NS => "serve.latency_ns";
             pub SERVE_PLANS_REGISTERED => "serve.plans_registered";
             pub SERVE_REGISTRY_EVICTIONS => "serve.registry.evictions";
+            // Plan-state snapshots (wfomc-snap/v1).
+            pub SNAP_HITS => "snap.hits";
+            pub SNAP_MISSES => "snap.misses";
+            pub SNAP_INVALID => "snap.invalid";
+            pub SNAP_WRITES => "snap.writes";
         }
         gauges {
             pub FO2_BIND_CACHED => "fo2.bind.cached";

@@ -99,6 +99,12 @@ impl CompiledWmc {
     pub fn inner(&self) -> &CompiledCnf {
         &self.inner
     }
+
+    /// Wraps an already-validated compiled circuit — the snapshot decoder's
+    /// entry point, pairing with [`inner`](Self::inner) on the encode side.
+    pub fn from_inner(inner: CompiledCnf) -> CompiledWmc {
+        CompiledWmc { inner }
+    }
 }
 
 /// One-shot weighted model count through compilation — the

@@ -38,8 +38,11 @@ use wfomc_logic::weights::Weights;
 use wfomc_obs::json::{JsonArray, JsonObject};
 use wfomc_obs::metrics as obs;
 
+use wfomc_core::Plan;
+
 use crate::json::{parse, Value};
-use crate::registry::PlanRegistry;
+use crate::registry::{PlanRegistry, RegisteredPlan};
+use crate::snap::SnapshotStore;
 use crate::store::RegistryLog;
 use crate::wire::{limits_from_json, n_from_json, weights_from_json, ApiError, SCHEMA};
 
@@ -103,6 +106,9 @@ impl ServeStats {
 struct ServerCtx {
     registry: PlanRegistry,
     log: Option<Mutex<RegistryLog>>,
+    /// Plan-state snapshots (`wfomc-snap/v1`), enabled alongside the log:
+    /// a `snapshots/` directory next to the registry JSONL.
+    snap: Option<SnapshotStore>,
     stats: ServeStats,
     shutdown: AtomicBool,
     cancel: CancelToken,
@@ -159,34 +165,46 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and replays the registry log (if configured):
-    /// every well-formed record is re-planned and registered, so the
-    /// daemon serves the same plan ids it did before a restart. Records
-    /// that no longer plan are skipped with a warning; a corrupt tail is
-    /// truncated (see [`RegistryLog::replay`]).
+    /// Binds the listener and replays the registry log (if configured).
+    /// Each logged record first tries its `wfomc-snap/v1` snapshot — one
+    /// read plus a validated decode — and only replans when the snapshot
+    /// is missing, version-skewed, corrupt, or does not match the record,
+    /// so the daemon serves the same plan ids (and warm caches) it did
+    /// before a restart. Records that no longer plan are skipped with a
+    /// warning; a corrupt log tail is truncated (see [`RegistryLog::replay`]).
     pub fn bind(config: &ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let registry = PlanRegistry::new(config.capacity);
-        let log = match &config.registry_path {
+        let (log, snap) = match &config.registry_path {
             Some(path) => {
+                let snap = SnapshotStore::for_registry(path);
                 let log = RegistryLog::new(path);
                 let outcome = log.replay()?;
                 for record in outcome.records {
-                    if let Err(e) = registry.register(&record.sentence, record.weights) {
-                        eprintln!(
+                    if replay_from_snapshot(&registry, &snap, &record.sentence, &record.weights) {
+                        continue;
+                    }
+                    match registry.register(&record.sentence, record.weights) {
+                        Ok((registered, created)) => {
+                            if created {
+                                write_snapshot(&snap, &registered);
+                            }
+                        }
+                        Err(e) => eprintln!(
                             "wfomc-serve: skipping logged sentence `{}`: {}",
                             record.sentence, e.message
-                        );
+                        ),
                     }
                 }
-                Some(Mutex::new(log))
+                (Some(Mutex::new(log)), Some(snap))
             }
-            None => None,
+            None => (None, None),
         };
         let ctx = Arc::new(ServerCtx {
             registry,
             log,
+            snap,
             stats: ServeStats::default(),
             shutdown: AtomicBool::new(false),
             cancel: CancelToken::new(),
@@ -251,7 +269,91 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
+        self.shutdown_persistence();
         Ok(())
+    }
+
+    /// Graceful-shutdown persistence sweep, run after the last worker has
+    /// drained: rewrite snapshots for dirty plans (whose caches or compiled
+    /// circuits grew since their last write) and compact the JSONL log down
+    /// to the entries still live in the registry.
+    fn shutdown_persistence(&self) {
+        let plans = self.ctx.registry.plans();
+        if let Some(snap) = &self.ctx.snap {
+            for registered in &plans {
+                if registered.snapshot_dirty() {
+                    write_snapshot(snap, registered);
+                }
+            }
+        }
+        if let Some(log) = &self.ctx.log {
+            let mut log = log.lock().expect("registry log poisoned");
+            let live: Vec<(String, Weights)> = plans
+                .iter()
+                .map(|r| (r.sentence.clone(), r.weights.clone()))
+                .collect();
+            if let Err(e) = log.compact(&live) {
+                eprintln!(
+                    "wfomc-serve: failed to compact {}: {e}",
+                    log.path().display()
+                );
+            }
+        }
+    }
+}
+
+/// Boot-replay fast path: registers a logged record straight from its
+/// snapshot when one exists, validates, decodes, and matches the record's
+/// canonical sentence and weights exactly. Returns `false` (replan) on any
+/// shortfall; a snapshot can never change which plans are served, only how
+/// fast they come back.
+fn replay_from_snapshot(
+    registry: &PlanRegistry,
+    snap: &SnapshotStore,
+    sentence: &str,
+    weights: &Weights,
+) -> bool {
+    let canonical = match PlanRegistry::canonicalize(sentence) {
+        Ok(canonical) => canonical,
+        Err(_) => return false, // register() will report the parse error
+    };
+    let key = PlanRegistry::hash_sentence(&canonical);
+    let id = PlanRegistry::format_id(key);
+    let payload = match snap.load(&id, key) {
+        Some(payload) => payload,
+        None => return false,
+    };
+    let plan = match Plan::snap_decode(&payload) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("wfomc-serve: snapshot {id} failed to decode ({e}); replanning");
+            snap.note_invalid();
+            return false;
+        }
+    };
+    if plan.sentence().to_string() != canonical || plan.default_weights() != weights {
+        // A valid snapshot for a different registration (e.g. the logged
+        // weights changed since it was written): replan and overwrite.
+        snap.note_invalid();
+        return false;
+    }
+    registry.register_preplanned(canonical, weights.clone(), plan);
+    true
+}
+
+/// Encodes and writes a plan's snapshot — always outside any shard lock —
+/// marking the entry clean at the stamp captured *before* encoding (so
+/// state that races in mid-encode leaves the plan dirty for the shutdown
+/// sweep rather than silently unsnapshotted).
+fn write_snapshot(snap: &SnapshotStore, registered: &RegisteredPlan) {
+    let stamp = registered.plan.snap_stamp();
+    let payload = registered.plan.snap_encode();
+    match snap.write(&registered.id, registered.key, &payload) {
+        Ok(_) => registered.mark_snapshotted(stamp),
+        Err(e) => eprintln!(
+            "wfomc-serve: snapshot write failed for {}: {e}",
+            registered.id
+        ),
     }
 }
 
@@ -476,6 +578,10 @@ fn handle_register(ctx: &ServerCtx, body: &[u8]) -> Result<(u16, String), ApiErr
                 );
             }
         }
+        // Snapshot the freshly-planned state; no shard lock is held here.
+        if let Some(snap) = &ctx.snap {
+            write_snapshot(snap, &registered);
+        }
     }
     let report = registered.plan.explain();
     let mut plan_obj = JsonObject::new();
@@ -640,6 +746,7 @@ fn handle_stats(ctx: &ServerCtx, id: &str) -> Result<(u16, String), ApiError> {
     obj.field_str("id", &registered.id);
     obj.field_str("sentence", &registered.sentence);
     obj.field_str("method", &registered.plan.method().to_string());
+    obj.field_bool("snapshotted", registered.snapshotted());
     obj.field_raw("cache", &registered.plan.cache_stats().to_json());
     obj.field_raw("metrics", &registered.plan.metrics().to_json());
     Ok((200, obj.finish()))
@@ -656,6 +763,13 @@ fn metrics_body(ctx: &ServerCtx) -> String {
     let registry = ctx.registry.stats();
     snap.set_gauge("serve.registry.len", registry.len as u64);
     snap.set_counter("serve.registry.evictions", registry.evictions);
+    if let Some(store) = &ctx.snap {
+        let stats = store.stats();
+        snap.set_counter("snap.hits", stats.hits);
+        snap.set_counter("snap.misses", stats.misses);
+        snap.set_counter("snap.invalid", stats.invalid);
+        snap.set_counter("snap.writes", stats.writes);
+    }
     snap.to_json()
 }
 

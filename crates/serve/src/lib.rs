@@ -60,10 +60,12 @@ pub mod client;
 pub mod http;
 pub mod json;
 pub mod registry;
+pub mod snap;
 pub mod store;
 pub mod wire;
 
 pub use http::{Server, ServerConfig, ServerHandle};
 pub use registry::{PlanRegistry, RegisteredPlan, RegistryStats};
+pub use snap::{SnapStats, SnapshotStore};
 pub use store::RegistryLog;
 pub use wire::SCHEMA;

@@ -10,6 +10,7 @@
 //! wfomc-serve list     [--addr A]
 //! wfomc-serve metrics  [--addr A]
 //! wfomc-serve shutdown [--addr A]
+//! wfomc-serve snapshots [--registry PATH]
 //! ```
 //!
 //! Client subcommands print the server's JSON body to stdout and exit
@@ -27,7 +28,7 @@ use wfomc_serve::http::{Server, ServerConfig};
 const DEFAULT_ADDR: &str = "127.0.0.1:7171";
 
 fn usage() -> &'static str {
-    "usage: wfomc-serve <serve|register|query|stats|list|metrics|shutdown> [options]\n\
+    "usage: wfomc-serve <serve|register|query|stats|list|metrics|shutdown|snapshots> [options]\n\
      \n\
      serve     --addr A --registry PATH | --no-registry --workers N --capacity N\n\
      register  --addr A [--weights JSON] <sentence>\n\
@@ -36,7 +37,8 @@ fn usage() -> &'static str {
      stats     --addr A <id>\n\
      list      --addr A\n\
      metrics   --addr A\n\
-     shutdown  --addr A\n"
+     shutdown  --addr A\n\
+     snapshots --registry PATH   (offline: lists the on-disk snapshot store)\n"
 }
 
 /// Flag-style argument cursor: `--name value` pairs plus positionals.
@@ -118,6 +120,7 @@ fn main() -> ExitCode {
         "list" => client_get(&args, "/v1/plans"),
         "metrics" => client_get(&args, "/v1/metrics"),
         "shutdown" => client_post(&args, "/v1/shutdown", "{}"),
+        "snapshots" => cmd_snapshots(&args),
         "--help" | "-h" | "help" => {
             print!("{}", usage());
             return ExitCode::SUCCESS;
@@ -210,6 +213,31 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         return Err("stats takes exactly one <id>".into());
     };
     finish(client::get(args.addr()?, &format!("/v1/plans/{id}/stats")))
+}
+
+/// Offline snapshot-store inspection: no daemon involved, just the
+/// directory next to the registry log. Prints one JSON object per line
+/// (id, size, validation status) so scripts can grep for `invalid`.
+fn cmd_snapshots(args: &Args) -> Result<(), String> {
+    let registry = PathBuf::from(args.get("--registry").unwrap_or(".wfomc/registry.jsonl"));
+    let store = wfomc_serve::SnapshotStore::for_registry(&registry);
+    let rows = store
+        .inspect()
+        .map_err(|e| format!("cannot read {}: {e}", store.dir().display()))?;
+    for row in &rows {
+        let mut obj = JsonObject::new();
+        obj.field_str("id", &row.id);
+        obj.field_u64("bytes", row.bytes);
+        obj.field_str("status", &row.status);
+        println!("{}", obj.finish());
+    }
+    eprintln!(
+        "{} snapshot(s) in {} ({} valid)",
+        rows.len(),
+        store.dir().display(),
+        rows.iter().filter(|r| r.status == "ok").count()
+    );
+    Ok(())
 }
 
 fn client_get(args: &Args, path: &str) -> Result<(), String> {

@@ -17,7 +17,7 @@
 //! holding their `Arc`.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use wfomc_core::{Plan, Problem};
@@ -45,6 +45,33 @@ pub struct RegisteredPlan {
     pub weights: Weights,
     /// The prepared plan (`Sync`; shared by every concurrent request).
     pub plan: Plan,
+    /// Whether a valid on-disk snapshot of this plan exists.
+    snapshotted: AtomicBool,
+    /// `Plan::snap_stamp` at the time of the last snapshot write; compared
+    /// against the live stamp to decide whether a shutdown rewrite is due.
+    snap_stamp: AtomicU64,
+}
+
+impl RegisteredPlan {
+    /// True once an on-disk snapshot has been written (or loaded) for this
+    /// plan. Surfaced as the `snapshotted` stats field.
+    pub fn snapshotted(&self) -> bool {
+        self.snapshotted.load(Ordering::Relaxed)
+    }
+
+    /// Records that a snapshot capturing the given [`Plan::snap_stamp`] is
+    /// now on disk.
+    pub fn mark_snapshotted(&self, stamp: u64) {
+        self.snap_stamp.store(stamp, Ordering::Relaxed);
+        self.snapshotted.store(true, Ordering::Relaxed);
+    }
+
+    /// True when the on-disk snapshot (if any) no longer matches the plan's
+    /// live state — caches or compiled circuits grew since the last write —
+    /// so a graceful shutdown should rewrite it.
+    pub fn snapshot_dirty(&self) -> bool {
+        !self.snapshotted() || self.snap_stamp.load(Ordering::Relaxed) != self.plan.snap_stamp()
+    }
 }
 
 struct Entry {
@@ -170,6 +197,8 @@ impl PlanRegistry {
             sentence: canonical.clone(),
             weights,
             plan,
+            snapshotted: AtomicBool::new(false),
+            snap_stamp: AtomicU64::new(0),
         });
 
         let mut shard = self.shard_of(key).write().expect("registry shard poisoned");
@@ -182,6 +211,45 @@ impl PlanRegistry {
                 return Ok((Arc::clone(&entry.plan), false));
             }
         }
+        self.insert_locked(&mut shard, key, Arc::clone(&registered));
+        drop(shard); // len() re-locks every shard, including this one
+        obs::SERVE_PLANS_REGISTERED.inc();
+        obs::SERVE_REGISTRY_LEN.set(self.len() as u64);
+        Ok((registered, true))
+    }
+
+    /// Registers an already-prepared plan under its canonical sentence —
+    /// the snapshot-warm boot path, where the plan was decoded from disk
+    /// instead of analyzed. The entry starts marked as snapshotted at the
+    /// plan's current stamp (the snapshot on disk *is* its current state).
+    pub fn register_preplanned(
+        &self,
+        canonical: String,
+        weights: Weights,
+        plan: Plan,
+    ) -> Arc<RegisteredPlan> {
+        let key = Self::hash_sentence(&canonical);
+        let stamp = plan.snap_stamp();
+        let registered = Arc::new(RegisteredPlan {
+            id: Self::format_id(key),
+            key,
+            sentence: canonical,
+            weights,
+            plan,
+            snapshotted: AtomicBool::new(true),
+            snap_stamp: AtomicU64::new(stamp),
+        });
+        let mut shard = self.shard_of(key).write().expect("registry shard poisoned");
+        self.insert_locked(&mut shard, key, Arc::clone(&registered));
+        drop(shard);
+        obs::SERVE_PLANS_REGISTERED.inc();
+        obs::SERVE_REGISTRY_LEN.set(self.len() as u64);
+        registered
+    }
+
+    /// Inserts under an already-held shard write lock, evicting the
+    /// least-recently-stamped entry if the shard is full.
+    fn insert_locked(&self, shard: &mut Shard, key: u64, registered: Arc<RegisteredPlan>) {
         if !shard.map.contains_key(&key) && shard.map.len() >= self.shard_capacity {
             // Evict the least-recently-stamped entry of this shard.
             if let Some(&victim) = shard
@@ -199,14 +267,10 @@ impl PlanRegistry {
         shard.map.insert(
             key,
             Entry {
-                plan: Arc::clone(&registered),
+                plan: registered,
                 stamp: AtomicU64::new(stamp),
             },
         );
-        drop(shard); // len() re-locks every shard, including this one
-        obs::SERVE_PLANS_REGISTERED.inc();
-        obs::SERVE_REGISTRY_LEN.set(self.len() as u64);
-        Ok((registered, true))
     }
 
     /// Looks a plan up by its hex id, bumping its LRU recency.
@@ -254,6 +318,25 @@ impl PlanRegistry {
             })
             .collect();
         out.sort();
+        out
+    }
+
+    /// Every live registered plan, sorted by id — the graceful-shutdown
+    /// snapshot sweep walks this to find dirty plans.
+    pub fn plans(&self) -> Vec<Arc<RegisteredPlan>> {
+        let mut out: Vec<Arc<RegisteredPlan>> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("registry shard poisoned")
+                    .map
+                    .values()
+                    .map(|e| Arc::clone(&e.plan))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by(|a, b| a.id.cmp(&b.id));
         out
     }
 

@@ -175,6 +175,38 @@ impl RegistryLog {
         file.write_all(line.as_bytes())?;
         file.flush()
     }
+
+    /// Rewrites the log to exactly `entries` (the registrations still live
+    /// in the registry), dropping superseded and evicted lines. Run on
+    /// graceful shutdown, after the last worker has drained.
+    ///
+    /// The rewrite goes through a temp file in the same directory followed
+    /// by an atomic rename, so a crash mid-compaction leaves either the old
+    /// log or the new one intact — never a torn mixture. Any open append
+    /// handle is dropped first and reopened lazily on the next append.
+    pub fn compact(&mut self, entries: &[(String, Weights)]) -> io::Result<()> {
+        self.file = None; // reopen against the compacted file on next append
+        if entries.is_empty() && !self.path.exists() {
+            return Ok(()); // nothing logged, nothing to rewrite
+        }
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            let mut buf = String::new();
+            for (sentence, weights) in entries {
+                buf.push_str(&Self::encode_record(sentence, weights));
+                buf.push('\n');
+            }
+            file.write_all(buf.as_bytes())?;
+            file.flush()?;
+        }
+        fs::rename(&tmp, &self.path)
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +286,75 @@ mod tests {
         assert_eq!(record.sentence, "R(x) & S(x,y)");
         assert!(RegistryLog::decode_record("{\"kind\":\"nope\"}").is_err());
         assert!(RegistryLog::decode_record("not json").is_err());
+    }
+
+    #[test]
+    fn compact_keeps_only_live_entries_and_replay_agrees() {
+        let path = temp_path("compact");
+        let mut log = RegistryLog::new(&path);
+        log.append("forall x. R(x)", &Weights::ones()).unwrap();
+        log.append("forall x. P()", &Weights::ones()).unwrap();
+        // The same sentence re-registered with different weights: the log
+        // now holds a superseded line that compaction should drop.
+        let mut w = Weights::ones();
+        w.set("R", weight_int(2), weight_int(1));
+        log.append("forall x. R(x)", &w).unwrap();
+
+        let live = vec![
+            ("forall x. P()".to_string(), Weights::ones()),
+            ("forall x. R(x)".to_string(), w.clone()),
+        ];
+        log.compact(&live).unwrap();
+        let outcome = RegistryLog::new(&path).replay().unwrap();
+        assert_eq!(outcome.truncated_at, None);
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(outcome.records[0].sentence, "forall x. P()");
+        assert_eq!(outcome.records[1].weights, w);
+        // Appending after compaction reopens the compacted file.
+        log.append("forall x. exists y. S(x,y)", &Weights::ones())
+            .unwrap();
+        assert_eq!(RegistryLog::new(&path).replay().unwrap().records.len(), 3);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_compaction_leaves_the_old_log_intact() {
+        // Mirrors `corrupt_tail_is_truncated_and_prefix_kept`, but for the
+        // rewrite path: a crash mid-compaction means the rename never
+        // happened, so the orphaned temp file must not disturb replay.
+        let path = temp_path("torn-compact");
+        let mut log = RegistryLog::new(&path);
+        log.append("forall x. R(x)", &Weights::ones()).unwrap();
+        log.append("forall x. P()", &Weights::ones()).unwrap();
+        drop(log);
+        // Simulate the crash: a half-written temp file next to the log.
+        let tmp = path.with_extension("jsonl.tmp");
+        fs::write(&tmp, b"{\"schema\":\"wfomc-serve/v1\",\"kind\":\"regi").unwrap();
+
+        let outcome = RegistryLog::new(&path).replay().unwrap();
+        assert_eq!(outcome.records.len(), 2, "old log replays untouched");
+        assert_eq!(outcome.truncated_at, None);
+        // The next compaction overwrites the orphan and completes.
+        let mut log = RegistryLog::new(&path);
+        log.compact(&[("forall x. R(x)".to_string(), Weights::ones())])
+            .unwrap();
+        assert!(!tmp.exists(), "compaction consumed the temp file");
+        let outcome = RegistryLog::new(&path).replay().unwrap();
+        assert_eq!(outcome.records.len(), 1);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_to_empty_truncates_and_missing_log_stays_missing() {
+        let path = temp_path("compact-empty");
+        let mut log = RegistryLog::new(&path);
+        log.compact(&[]).unwrap();
+        assert!(!path.exists(), "no log, no file created");
+        log.append("forall x. R(x)", &Weights::ones()).unwrap();
+        log.compact(&[]).unwrap();
+        assert_eq!(fs::metadata(&path).unwrap().len(), 0);
+        assert!(RegistryLog::new(&path).replay().unwrap().records.is_empty());
+        fs::remove_file(&path).ok();
     }
 
     #[test]

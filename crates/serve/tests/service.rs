@@ -375,3 +375,108 @@ fn shutdown_drains_and_rejects_new_work() {
     // The listener is gone; new connections are refused outright.
     assert!(client::post(addr, &format!("/v1/plans/{id}/count"), r#"{"n": 2}"#).is_err());
 }
+
+/// Reads a named counter out of the `/v1/metrics` overlay.
+fn metric(addr: SocketAddr, name: &str) -> u64 {
+    let reply = client::get(addr, "/v1/metrics").unwrap();
+    json_of(&reply)
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing counter `{name}`: {}", reply.body))
+}
+
+#[test]
+fn snapshot_warm_restart_is_bit_identical_and_survives_corruption() {
+    let path = temp_registry("snap-warm");
+
+    // First daemon: register, evaluate, shut down gracefully.
+    let (handle, addr, daemon) = boot(Some(path.clone()));
+    let id = register(addr, SENTENCE);
+    let want = direct_value(SENTENCE, 6);
+    let reply = client::post(addr, &format!("/v1/plans/{id}/count"), r#"{"n": 6}"#).unwrap();
+    assert_eq!(str_field(&json_of(&reply), "value"), want);
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+
+    let snap_path = path
+        .parent()
+        .unwrap()
+        .join("snapshots")
+        .join(format!("{id}.snap"));
+    assert!(snap_path.exists(), "registration wrote {snap_path:?}");
+
+    // Warm boot: the plan comes back from its snapshot (a hit, no replan)
+    // and serves the same bits.
+    let (handle, addr, daemon) = boot(Some(path.clone()));
+    assert_eq!(handle.plans(), 1);
+    assert_eq!(metric(addr, "snap.hits"), 1, "boot loaded the snapshot");
+    assert_eq!(metric(addr, "snap.invalid"), 0);
+    let reply = client::get(addr, &format!("/v1/plans/{id}/stats")).unwrap();
+    let stats = json_of(&reply);
+    assert_eq!(
+        stats.get("snapshotted").and_then(Value::as_bool),
+        Some(true),
+        "{}",
+        reply.body
+    );
+    let reply = client::post(addr, &format!("/v1/plans/{id}/count"), r#"{"n": 6}"#).unwrap();
+    assert_eq!(str_field(&json_of(&reply), "value"), want);
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+
+    // Flip one payload byte: the checksum fails, the boot silently replans,
+    // and the answer is unchanged. The replan then rewrites a good file.
+    {
+        let mut bytes = std::fs::read(&snap_path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&snap_path, &bytes).unwrap();
+    }
+    let (handle, addr, daemon) = boot(Some(path.clone()));
+    assert_eq!(handle.plans(), 1);
+    assert_eq!(metric(addr, "snap.invalid"), 1, "corruption was detected");
+    assert_eq!(metric(addr, "snap.writes"), 1, "replan rewrote the file");
+    let reply = client::post(addr, &format!("/v1/plans/{id}/count"), r#"{"n": 6}"#).unwrap();
+    assert_eq!(str_field(&json_of(&reply), "value"), want);
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+
+    // The rewrite is valid again: one more boot, one more hit.
+    let (handle, addr, daemon) = boot(Some(path.clone()));
+    assert_eq!(metric(addr, "snap.hits"), 1);
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn version_skewed_snapshot_silently_replans() {
+    let path = temp_registry("snap-skew");
+    let (handle, addr, daemon) = boot(Some(path.clone()));
+    let id = register(addr, SENTENCE);
+    let want = direct_value(SENTENCE, 4);
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+
+    // A snapshot from a future (or past) format version: bump the version
+    // field right after the 4-byte magic.
+    let snap_path = path
+        .parent()
+        .unwrap()
+        .join("snapshots")
+        .join(format!("{id}.snap"));
+    let mut bytes = std::fs::read(&snap_path).unwrap();
+    bytes[4] = bytes[4].wrapping_add(1);
+    std::fs::write(&snap_path, &bytes).unwrap();
+
+    let (handle, addr, daemon) = boot(Some(path.clone()));
+    assert_eq!(handle.plans(), 1, "skew costs a replan, never a plan");
+    assert_eq!(metric(addr, "snap.invalid"), 1, "skew counted as invalid");
+    assert_eq!(metric(addr, "snap.hits"), 0);
+    let reply = client::post(addr, &format!("/v1/plans/{id}/count"), r#"{"n": 4}"#).unwrap();
+    assert_eq!(str_field(&json_of(&reply), "value"), want);
+    handle.shutdown();
+    daemon.join().unwrap().unwrap();
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}

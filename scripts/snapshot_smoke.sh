@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Cold-start smoke test for wfomc-snap/v1 plan-state snapshots, used by the
+# CI cold-start job and runnable locally: boots the daemon against a fresh
+# registry, registers and queries two plans, and shuts down gracefully
+# (which writes/refreshes the snapshots and compacts the log). A second
+# boot must come up entirely from snapshots (snap.hits == plans) and serve
+# bit-identical values; a third boot — after one snapshot is corrupted and
+# the other truncated — must silently replan (snap.invalid == plans) and
+# STILL serve the same values: a bad snapshot costs a replan, never an
+# answer.
+#
+#   cargo build --release -p wfomc-serve && bash scripts/snapshot_smoke.sh
+#
+# WFOMC_SERVE_BIN and WFOMC_SERVE_ADDR override the binary and address.
+set -euo pipefail
+
+BIN="${WFOMC_SERVE_BIN:-target/release/wfomc-serve}"
+ADDR="${WFOMC_SERVE_ADDR:-127.0.0.1:7181}"
+WORKDIR="$(mktemp -d)"
+REGISTRY="$WORKDIR/registry.jsonl"
+SNAPDIR="$WORKDIR/snapshots"
+
+DAEMON=""
+boot() {
+    "$BIN" serve --addr "$ADDR" --registry "$REGISTRY" --workers 2 &
+    DAEMON=$!
+    for _ in $(seq 1 50); do
+        if "$BIN" list --addr "$ADDR" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "daemon did not come up on $ADDR" >&2
+    exit 1
+}
+stop() {
+    "$BIN" shutdown --addr "$ADDR" >/dev/null
+    wait "$DAEMON"
+    DAEMON=""
+}
+cleanup() {
+    if [ -n "$DAEMON" ]; then
+        kill "$DAEMON" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+extract_id() {
+    sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p'
+}
+value_of() { # <id> <n>
+    "$BIN" query --addr "$ADDR" "$1" --n "$2" | sed -n 's/.*"value":"\([-0-9/]*\)".*/\1/p'
+}
+metric() { # <counter name>
+    "$BIN" metrics --addr "$ADDR" | sed -n "s/.*\"$1\":\([0-9]*\).*/\1/p"
+}
+
+S1='forall x. forall y. S(x) | N(x,y) | S(y)'
+S2='forall x. exists y. R(x,y)'
+
+# --- Cold boot: register two plans, record their values, shut down.
+boot
+ID1="$("$BIN" register --addr "$ADDR" "$S1" | extract_id)"
+ID2="$("$BIN" register --addr "$ADDR" "$S2" | extract_id)"
+test -n "$ID1" && test -n "$ID2" || { echo "registration returned no id" >&2; exit 1; }
+V1="$(value_of "$ID1" 6)"
+V2="$(value_of "$ID2" 6)"
+test -n "$V1" && test -n "$V2" || { echo "query returned no value" >&2; exit 1; }
+stop
+
+test -f "$SNAPDIR/$ID1.snap" || { echo "missing snapshot $SNAPDIR/$ID1.snap" >&2; exit 1; }
+test -f "$SNAPDIR/$ID2.snap" || { echo "missing snapshot $SNAPDIR/$ID2.snap" >&2; exit 1; }
+"$BIN" snapshots --registry "$REGISTRY" | grep -c '"status":"ok"' | grep -qx 2 || {
+    echo "expected two valid snapshots in the store listing" >&2
+    exit 1
+}
+
+# --- Warm boot: every plan restores from its snapshot, values identical.
+boot
+HITS="$(metric 'snap.hits')"
+test "$HITS" = "2" || { echo "expected 2 snapshot hits on warm boot, got '$HITS'" >&2; exit 1; }
+test "$(value_of "$ID1" 6)" = "$V1" || { echo "warm boot changed $ID1's value" >&2; exit 1; }
+test "$(value_of "$ID2" 6)" = "$V2" || { echo "warm boot changed $ID2's value" >&2; exit 1; }
+stop
+
+# --- Corrupt one snapshot (trailing garbage breaks the length/checksum)
+# and truncate the other mid-header: the boot must fall back to replanning
+# both, count them invalid, and serve the same bits as before.
+printf 'garbage' >>"$SNAPDIR/$ID1.snap"
+truncate -s 12 "$SNAPDIR/$ID2.snap"
+"$BIN" snapshots --registry "$REGISTRY" | grep -c '"status":"invalid' | grep -qx 2 || {
+    echo "store listing failed to flag the corrupted snapshots" >&2
+    exit 1
+}
+boot
+INVALID="$(metric 'snap.invalid')"
+test "$INVALID" = "2" || { echo "expected 2 invalid snapshots, got '$INVALID'" >&2; exit 1; }
+test "$(value_of "$ID1" 6)" = "$V1" || { echo "corrupt fallback changed $ID1's value" >&2; exit 1; }
+test "$(value_of "$ID2" 6)" = "$V2" || { echo "corrupt fallback changed $ID2's value" >&2; exit 1; }
+stop
+
+# The fallback replans rewrote valid snapshots on the way out.
+"$BIN" snapshots --registry "$REGISTRY" | grep -c '"status":"ok"' | grep -qx 2 || {
+    echo "fallback boot did not rewrite valid snapshots" >&2
+    exit 1
+}
+
+trap - EXIT
+cleanup
+echo "snapshot smoke: ok"
